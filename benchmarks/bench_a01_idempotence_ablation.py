@@ -1,0 +1,94 @@
+"""A1 (ablation) — At-least-once delivery *without* idempotent receivers.
+
+Design choice under test (principle 2.4): "For unreliable messaging,
+at-least-once delivery can be used with idempotence."  The library
+always pairs the two; this ablation removes the idempotent receiver and
+counts the duplicate business effects that leak through.
+
+Scenario: ``EVENTS`` payment events on a queue whose acks are lost with
+probability ``ack_loss``; the handler credits an account by 1 per event.
+With the receiver, the final balance equals ``EVENTS`` exactly; without
+it, every redelivery double-credits.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import ExperimentReport
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.queues.idempotence import IdempotentReceiver
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+EVENTS = 200
+
+
+def run_queue(ack_loss: float, idempotent: bool, seed: int = 0) -> dict[str, float]:
+    sim = Simulator(seed=seed)
+    queue = ReliableQueue(
+        sim, ack_loss_probability=ack_loss, redelivery_timeout=1.0, max_attempts=50
+    )
+    store = LSDBStore(clock=lambda: sim.now)
+    store.insert("account", "a", {"balance": 0})
+
+    def credit(message) -> bool:
+        store.apply_delta("account", "a", Delta.add("balance", 1))
+        return True
+
+    handler = IdempotentReceiver(credit) if idempotent else credit
+    queue.subscribe("payment", handler)
+    for _ in range(EVENTS):
+        queue.enqueue("payment", {})
+    sim.run()
+    balance = store.get("account", "a").fields["balance"]
+    return {
+        "final_balance": float(balance),
+        "duplicate_effects": float(balance - EVENTS),
+        "redeliveries": float(queue.stats.redelivered),
+    }
+
+
+def sweep() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="A1",
+        title="Ablation: at-least-once without idempotence",
+        claim=(
+            "at-least-once delivery alone double-applies effects exactly "
+            "once per lost ack; the idempotent receiver restores "
+            "exactly-once effects at any loss rate (2.4)"
+        ),
+        headers=[
+            "ack_loss",
+            "with_receiver_balance",
+            "without_receiver_balance",
+            "duplicate_effects_leaked",
+            "redeliveries",
+        ],
+        notes=f"correct balance is exactly {EVENTS} in every row",
+    )
+    for ack_loss in (0.0, 0.1, 0.3, 0.5):
+        safe = run_queue(ack_loss, idempotent=True)
+        unsafe = run_queue(ack_loss, idempotent=False)
+        report.add_row(
+            ack_loss,
+            safe["final_balance"],
+            unsafe["final_balance"],
+            unsafe["duplicate_effects"],
+            unsafe["redeliveries"],
+        )
+    return report
+
+
+def test_a01_idempotence_ablation(benchmark):
+    safe = benchmark(run_queue, 0.3, True)
+    unsafe = run_queue(0.3, False)
+    assert safe["final_balance"] == EVENTS  # exactly-once effects
+    assert unsafe["duplicate_effects"] > 0  # the leak the receiver plugs
+    # Duplicates equal redeliveries: each lost ack re-runs the handler.
+    assert unsafe["duplicate_effects"] == unsafe["redeliveries"]
+    # Lossless delivery needs no protection either way.
+    assert run_queue(0.0, False)["duplicate_effects"] == 0
+
+
+if __name__ == "__main__":
+    sweep().print()

@@ -1,0 +1,143 @@
+"""E5 — Apology rate vs consistency level (bookstore overbooking).
+
+Paper claim (principle 2.9, section 3.2): subjective order acceptance
+across replicas can over-promise ("there were only 5 copies of the book
+available, and more than 5 were sold"), requiring apologies after
+replicas share information; apologies "can also be avoided by providing
+stronger consistency guarantees (trading off other aspects of CAP)" —
+at the price of refusing demand and/or entry latency.
+
+Scenario: a title with ``COPIES`` physical copies; demand of
+``ratio * COPIES`` orders arrives split across two replicas *while they
+are partitioned*.  We compare:
+
+* **subjective** — both replicas accept against local views; after the
+  heal, fulfilment apologises to the overflow;
+* **strong** — all orders serialize on one authoritative store; excess
+  demand is rejected at entry (never promised, never apologised).
+"""
+
+from __future__ import annotations
+
+from repro.apps.bookstore import ENTERED, Bookstore, ReplicaSurface
+from repro.bench.report import ExperimentReport
+from repro.core.compensation import CompensationManager
+from repro.lsdb.store import LSDBStore
+from repro.replication import ActiveActiveGroup
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+COPIES = 10
+
+
+def run_subjective(ratio: float, seed: int = 0) -> dict[str, float]:
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=2.0)
+    group = ActiveActiveGroup(sim, net, ["r1", "r2"], anti_entropy_interval=10.0)
+    store = group.replicas["r1"].store
+    shop = Bookstore(CompensationManager(store, clock=lambda: sim.now))
+    shop.stock_book(ReplicaSurface(group, "r1"), "title", copies=COPIES)
+    sim.run(until=10.0)
+    net.partition_into({"r1"}, {"r2"})
+    demand = int(round(ratio * COPIES))
+    surfaces = [ReplicaSurface(group, "r1"), ReplicaSurface(group, "r2")]
+    accepted = 0
+    for index in range(demand):
+        surface = surfaces[index % 2]
+        if shop.place_order(
+            surface, f"o{index}", f"cust{index}", "title", at=sim.now + index
+        ) == ENTERED:
+            accepted += 1
+    net.heal()
+    sim.run(until=300.0)
+    report = shop.fulfill(store, "title")
+    return {
+        "demand": demand,
+        "accepted": accepted,
+        "fulfilled": report.fulfilled,
+        "apologized": report.apologized,
+        "apology_rate": report.apologized / accepted if accepted else 0.0,
+        "rejected": shop.orders_rejected,
+    }
+
+
+def run_strong(ratio: float, seed: int = 0) -> dict[str, float]:
+    store = LSDBStore()
+    shop = Bookstore(CompensationManager(store))
+    from repro.apps.bookstore import StoreSurface
+
+    shop.stock_book(StoreSurface(store), "title", copies=COPIES)
+    demand = int(round(ratio * COPIES))
+    accepted = 0
+    for index in range(demand):
+        if shop.place_order_strong(
+            store, f"o{index}", f"cust{index}", "title", at=float(index)
+        ) == ENTERED:
+            accepted += 1
+    report = shop.fulfill(store, "title")
+    return {
+        "demand": demand,
+        "accepted": accepted,
+        "fulfilled": accepted + report.fulfilled,
+        "apologized": report.apologized,
+        "apology_rate": 0.0 if accepted == 0 else report.apologized / accepted,
+        "rejected": shop.orders_rejected,
+    }
+
+
+def sweep() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E5",
+        title="Apology rate vs consistency level (overbooking)",
+        claim=(
+            "subjective entry accepts all demand during a partition and "
+            "apologises for the overflow after convergence; strong entry "
+            "never apologises but rejects the same overflow up front "
+            "(2.9, 3.2)"
+        ),
+        headers=[
+            "demand/supply",
+            "subj_accepted",
+            "subj_apologized",
+            "subj_apology_rate",
+            "strong_accepted",
+            "strong_rejected",
+            "strong_apologies",
+        ],
+        notes=(
+            "the overflow (demand - supply) surfaces as apologies in the "
+            "subjective scheme and as rejections in the strong scheme — "
+            "the same business shortfall, different user experience"
+        ),
+    )
+    for ratio in (0.5, 1.0, 1.5, 2.0, 3.0):
+        subjective = run_subjective(ratio)
+        strong = run_strong(ratio)
+        report.add_row(
+            ratio,
+            subjective["accepted"],
+            subjective["apologized"],
+            subjective["apology_rate"],
+            strong["accepted"],
+            strong["rejected"],
+            strong["apologized"],
+        )
+    return report
+
+
+def test_e05_apologies(benchmark):
+    oversold = benchmark(run_subjective, 2.0)
+    strong = run_strong(2.0)
+    # Subjective: everything accepted, overflow apologised.
+    assert oversold["accepted"] == 2 * COPIES
+    assert oversold["apologized"] == COPIES
+    # Strong: overflow rejected, zero apologies.
+    assert strong["accepted"] == COPIES
+    assert strong["apologized"] == 0
+    assert strong["rejected"] == COPIES
+    # Under-demand needs no apologies anywhere.
+    assert run_subjective(0.5)["apologized"] == 0
+
+
+if __name__ == "__main__":
+    sweep().print()

@@ -1,0 +1,52 @@
+"""Run every experiment sweep (E1–E12) and print the full reports.
+
+This is the script that regenerates the tables recorded in
+EXPERIMENTS.md::
+
+    python benchmarks/run_all.py
+
+Each experiment module also runs standalone
+(``python benchmarks/bench_eNN_*.py``) and as a pytest-benchmark target
+(``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+import time
+
+EXPERIMENTS = [
+    "bench_e01_availability",
+    "bench_e02_deferred_updates",
+    "bench_e03_soups_vs_2pc",
+    "bench_e04_solipsistic_cc",
+    "bench_e05_apologies",
+    "bench_e06_lsdb_rollup",
+    "bench_e07_step_collapsing",
+    "bench_e08_insert_only_growth",
+    "bench_e09_out_of_order",
+    "bench_e10_mixed_consistency",
+    "bench_e11_ops_vs_state",
+    "bench_e12_convergence",
+    "bench_a01_idempotence_ablation",
+    "bench_a02_propagation_modes",
+    "bench_a03_reorder_buffer",
+    "bench_a04_relocation",
+]
+
+
+def main() -> None:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    started = time.perf_counter()
+    for name in EXPERIMENTS:
+        module = importlib.import_module(name)
+        module.sweep().print()
+    elapsed = time.perf_counter() - started
+    print(f"(all {len(EXPERIMENTS)} experiment sweeps completed in "
+          f"{elapsed:.1f}s wall-clock)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Supply chain Available-To-Purchase choreography with tentative offers.
+
+Reproduces the SCM narrative of principle 2.9: a supplier quotes
+tentative offers (reserving stock), purchase requests arriving before
+the deadline are honored, deadlines expire reservations — and a
+warehouse disaster forces the supplier to renege with apologies,
+because reality is realer than the information system (principle 2.1).
+
+Run with::
+
+    python examples/supply_chain_atp.py
+"""
+
+from __future__ import annotations
+
+from repro import CompensationManager, LSDBStore, Simulator, TransactionManager
+from repro.apps.scm import SupplyChainApp
+
+
+def show_item(scm: SupplyChainApp, key: str) -> None:
+    item = scm.store.require("scm_item", key)
+    print(
+        f"   {key}: on_hand={item.fields['on_hand']:.0f} "
+        f"reserved={item.fields['reserved']:.0f} "
+        f"shipped={item.fields['shipped']:.0f} "
+        f"lost={item.fields['lost']:.0f} "
+        f"(ATP={scm.available_to_purchase(key):.0f})"
+    )
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    store = LSDBStore(name="supplier", clock=lambda: sim.now)
+    tx_manager = TransactionManager(store, sim=sim)
+    compensation = CompensationManager(store, clock=lambda: sim.now)
+    scm = SupplyChainApp(tx_manager, compensation)
+
+    scm.add_item("steel-beams", on_hand=100)
+    print("supplier stocks 100 steel beams")
+    show_item(scm, "steel-beams")
+
+    # Three purchasers get quotes; quantities are *tentatively* held.
+    offer_acme = scm.quote_offer(
+        "steel-beams", 40, price=95.0, deadline=50.0, purchaser="acme"
+    )
+    offer_globex = scm.quote_offer(
+        "steel-beams", 30, price=97.5, deadline=30.0, purchaser="globex"
+    )
+    offer_initech = scm.quote_offer(
+        "steel-beams", 20, price=99.0, deadline=80.0, purchaser="initech"
+    )
+    print("\nthree offers quoted (tentative updates of quantity, 2.9):")
+    show_item(scm, "steel-beams")
+
+    # ACME purchases in time: honored.
+    sim.run(until=10.0)
+    outcome = scm.purchase(offer_acme.op_id)
+    print(f"\n[t={sim.now:.0f}] acme purchases: honored={outcome.honored}")
+    show_item(scm, "steel-beams")
+
+    # Globex misses its deadline: the reservation is released.
+    sim.run(until=35.0)
+    expired = scm.expire_offers()
+    print(f"\n[t={sim.now:.0f}] deadlines pass: {expired} offer(s) expired")
+    show_item(scm, "steel-beams")
+    late = scm.purchase(offer_globex.op_id)
+    print(f"   globex arrives late: honored={late.honored} ({late.reason})")
+
+    # Disaster strikes before Initech's purchase.
+    sim.run(until=40.0)
+    reneged = scm.warehouse_disaster("steel-beams")
+    print(f"\n[t={sim.now:.0f}] WAREHOUSE FIRE — {len(reneged)} open offer(s) reneged")
+    show_item(scm, "steel-beams")
+    attempt = scm.purchase(offer_initech.op_id)
+    print(f"   initech tries to purchase anyway: honored={attempt.honored} "
+          f"({attempt.reason})")
+
+    print("\napology ledger (apology-oriented computing, 2.9):")
+    for apology in compensation.ledger.all():
+        print(f"   to {apology.to_party}: {apology.reason} — {apology.compensation}")
+
+    print("\ntentative operations remain visible and durable (3.2):")
+    for state in store.entities_of_type("tentative_op", live_only=False):
+        marker = "obsolete" if state.obsolete else "current"
+        print(f"   {state.entity_key}: status={state.fields['status']} [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs.
+
+The metadata lives in pyproject.toml; this file exists because the
+offline environment lacks the ``wheel`` package required by PEP 660
+editable installs, so ``pip install -e .`` falls back to
+``setup.py develop`` (which needs this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""repro — a reproduction of *Principles for Inconsistency* (CIDR 2009).
+
+Finkelstein, Brendle and Jacobs argued that inconsistency, managed in
+principled ways, is often the right engineering choice for scalable
+business systems.  This library builds the system their paper envisions:
+
+* a **log-structured database** whose current state is a rollup
+  aggregation of an insert-only event log (:mod:`repro.lsdb`);
+* **convergent merge types and commutative deltas** so concurrent work
+  composes (:mod:`repro.merge`);
+* **solipsistic transactions** with deferred secondary updates under
+  logical locks — the SAP transaction model (:mod:`repro.core.transaction`);
+* a **SOUPS process engine** — one transaction, one entity per step,
+  steps connected by reliable events (:mod:`repro.core.process`,
+  :mod:`repro.queues`);
+* **constraints as managed exceptions**, **tentative operations and
+  apologies**, and a **single end-to-end conflict mechanism**
+  (:mod:`repro.core`);
+* the full **replication spectrum** — async/sync backup, active/active
+  with anti-entropy, quorum, master/slave, warehouse extract
+  (:mod:`repro.replication`);
+* everything running on a deterministic **discrete-event simulator**
+  (:mod:`repro.sim`).
+
+Quickstart::
+
+    from repro import Simulator, LSDBStore, TransactionManager, Delta
+
+    sim = Simulator()
+    store = LSDBStore(origin="r1", clock=lambda: sim.now)
+    txm = TransactionManager(store, sim=sim)
+    tx = txm.begin()
+    tx.insert("account", "a1", {"owner": "ada", "balance": 0})
+    tx.apply_delta("account", "a1", Delta.add("balance", 100))
+    receipt = tx.commit()
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+experiment suite (DESIGN.md maps each experiment to the paper claim it
+reproduces).
+"""
+
+from repro.core import (
+    Apology,
+    ApologyLedger,
+    CCMode,
+    CandidateWrite,
+    CommitReceipt,
+    CompensationManager,
+    ConflictResolver,
+    ConsistencyLevel,
+    ConsistencyPolicy,
+    ConstraintManager,
+    ConstraintMode,
+    EntityCatalog,
+    EntityType,
+    FieldSpec,
+    JoinContext,
+    NonNegativeConstraint,
+    PRINCIPLES,
+    PolicyRouter,
+    PredicateConstraint,
+    Principle,
+    ProcessEngine,
+    ProcessStep,
+    ReferentialConstraint,
+    SchemeBinding,
+    StepContext,
+    Strategy,
+    TentativeOperation,
+    Transaction,
+    TransactionManager,
+    UpdateMode,
+    Violation,
+    get_principle,
+)
+from repro.lsdb import EventKind, LSDBStore, LogEvent
+from repro.merge import (
+    Delta,
+    GCounter,
+    LWWRegister,
+    MVRegister,
+    ORSet,
+    PNCounter,
+    VectorClock,
+    VersionVector,
+)
+from repro.queues import IdempotentReceiver, Message, ReliableQueue
+from repro.sim import FailureInjector, Network, Node, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Apology",
+    "ApologyLedger",
+    "CCMode",
+    "CandidateWrite",
+    "CommitReceipt",
+    "CompensationManager",
+    "ConflictResolver",
+    "ConsistencyLevel",
+    "ConsistencyPolicy",
+    "ConstraintManager",
+    "ConstraintMode",
+    "EntityCatalog",
+    "EntityType",
+    "FieldSpec",
+    "JoinContext",
+    "NonNegativeConstraint",
+    "PRINCIPLES",
+    "PolicyRouter",
+    "PredicateConstraint",
+    "Principle",
+    "ProcessEngine",
+    "ProcessStep",
+    "ReferentialConstraint",
+    "SchemeBinding",
+    "StepContext",
+    "Strategy",
+    "TentativeOperation",
+    "Transaction",
+    "TransactionManager",
+    "UpdateMode",
+    "Violation",
+    "get_principle",
+    "EventKind",
+    "LSDBStore",
+    "LogEvent",
+    "Delta",
+    "GCounter",
+    "LWWRegister",
+    "MVRegister",
+    "ORSet",
+    "PNCounter",
+    "VectorClock",
+    "VersionVector",
+    "IdempotentReceiver",
+    "Message",
+    "ReliableQueue",
+    "FailureInjector",
+    "Network",
+    "Node",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Domain applications from the paper's motivating examples.
+
+Each app exercises the public API on one of the business scenarios the
+principles were distilled from:
+
+* :mod:`~repro.apps.banking` — balance as aggregate of operations (2.8).
+* :mod:`~repro.apps.inventory` — managed negative stock (2.1).
+* :mod:`~repro.apps.bookstore` — order entry vs fulfilment, overbooking
+  apologies (2.9, 3.2).
+* :mod:`~repro.apps.crm` — out-of-order lead→opportunity→order entry
+  (2.2).
+* :mod:`~repro.apps.scm` — Available-To-Purchase tentative offers (2.9).
+* :mod:`~repro.apps.hr` — multi-step employee transfer process (2.4).
+"""
+
+from repro.apps.banking import BankApp, StatementLine
+from repro.apps.bookstore import (
+    Bookstore,
+    FulfillmentReport,
+    MasterReadSlaveSurface,
+    ReplicaSurface,
+    StoreSurface,
+)
+from repro.apps.crm import CRMApp, LifecycleMetrics
+from repro.apps.hr import HRApp, TransferStatus, make_transfer_steps
+from repro.apps.inventory import DiscrepancyReport, InventoryApp
+from repro.apps.scm import PurchaseOutcome, SupplyChainApp
+
+__all__ = [
+    "BankApp",
+    "StatementLine",
+    "Bookstore",
+    "FulfillmentReport",
+    "MasterReadSlaveSurface",
+    "ReplicaSurface",
+    "StoreSurface",
+    "CRMApp",
+    "LifecycleMetrics",
+    "HRApp",
+    "TransferStatus",
+    "make_transfer_steps",
+    "DiscrepancyReport",
+    "InventoryApp",
+    "PurchaseOutcome",
+    "SupplyChainApp",
+]

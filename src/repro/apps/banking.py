@@ -1,0 +1,157 @@
+"""Banking ledger: operations, not consequences.
+
+The paper's running example for principle 2.8: "entering a banking
+withdrawal means entering the withdrawal, not just the remaining
+balance", and for section 3.2: "if I'm looking at operations on a bank
+account, my balance may change, but individual deposits and withdrawals
+are visible and durable."
+
+Every deposit/withdrawal is recorded twice in one transaction:
+
+* a ``bank_op`` entity (the operation itself — insert-only, tagged
+  ``regulatory`` so compaction archives rather than discards it);
+* a commutative delta on the account's ``balance`` (the consequence,
+  derivable from the operations and safe under concurrency).
+
+Because the consequence is a delta, concurrent transactions on the same
+account compose without lost updates — the property experiment E11
+contrasts with balance-overwriting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.transaction import CommitReceipt, TransactionManager
+from repro.lsdb.events import LogEvent
+from repro.merge.deltas import Delta
+
+#: Entity types used by the app.
+ACCOUNT_TYPE = "account"
+OPERATION_TYPE = "bank_op"
+
+
+@dataclass
+class StatementLine:
+    """One line of an account statement."""
+
+    op_id: str
+    kind: str  # "deposit" | "withdrawal"
+    amount: float
+    at: float
+    memo: str = ""
+
+
+class BankApp:
+    """Accounts whose balance is the aggregate of their operations.
+
+    Args:
+        tx_manager: The transaction manager of the owning unit.
+
+    Example:
+        >>> from repro.lsdb import LSDBStore
+        >>> bank = BankApp(TransactionManager(LSDBStore()))
+        >>> _ = bank.open_account("a1", owner="ada")
+        >>> _ = bank.deposit("a1", 100)
+        >>> _ = bank.withdraw("a1", 30)
+        >>> bank.balance("a1")
+        70
+        >>> [line.kind for line in bank.statement("a1")]
+        ['deposit', 'withdrawal']
+    """
+
+    def __init__(self, tx_manager: TransactionManager):
+        self.tx = tx_manager
+        self._op_ids = itertools.count(1)
+
+    @property
+    def store(self):
+        """The underlying store (for probes and assertions)."""
+        return self.tx.store
+
+    def open_account(self, account_id: str, owner: str) -> CommitReceipt:
+        """Create an account with zero balance."""
+        tx = self.tx.begin()
+        tx.insert(ACCOUNT_TYPE, account_id, {"owner": owner, "balance": 0})
+        return tx.commit()
+
+    def deposit(self, account_id: str, amount: float, memo: str = "") -> CommitReceipt:
+        """Record a deposit (operation + balance delta, one transaction)."""
+        return self._post(account_id, "deposit", amount, memo)
+
+    def withdraw(self, account_id: str, amount: float, memo: str = "") -> CommitReceipt:
+        """Record a withdrawal.
+
+        Note the subjective stance: the withdrawal is *entered*, not
+        gated on the locally known balance — overdraft policy is a
+        constraint (attach a
+        :class:`~repro.core.constraints.NonNegativeConstraint` on
+        ``account.balance`` in MANAGE or PREVENT mode as the business
+        requires).
+        """
+        return self._post(account_id, "withdrawal", -amount, memo)
+
+    def _post(
+        self, account_id: str, kind: str, signed_amount: float, memo: str
+    ) -> CommitReceipt:
+        if signed_amount == 0:
+            raise ValueError("amount must be non-zero")
+        op_id = f"{account_id}-op-{next(self._op_ids)}"
+        tx = self.tx.begin()
+        tx.insert(
+            OPERATION_TYPE,
+            op_id,
+            {
+                "account_id": account_id,
+                "kind": kind,
+                "amount": abs(signed_amount),
+                "signed": signed_amount,
+                "memo": memo,
+            },
+            tags=("regulatory",),
+        )
+        tx.apply_delta(ACCOUNT_TYPE, account_id, Delta.add("balance", signed_amount))
+        tx.enqueue("bank.op_posted", {"op_id": op_id, "account_id": account_id})
+        return tx.commit()
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def balance(self, account_id: str) -> float:
+        """The current balance (the rollup aggregate)."""
+        state = self.store.require(ACCOUNT_TYPE, account_id)
+        return state.get("balance", 0)
+
+    def statement(self, account_id: str) -> list[StatementLine]:
+        """All operations on the account, oldest first — each visible
+        and durable even as the balance moves (section 3.2)."""
+        lines: list[StatementLine] = []
+        for state in self.store.entities_of_type(OPERATION_TYPE):
+            if state.get("account_id") != account_id:
+                continue
+            lines.append(
+                StatementLine(
+                    op_id=state.entity_key,
+                    kind=state.get("kind", ""),
+                    amount=state.get("amount", 0),
+                    at=state.last_timestamp,
+                    memo=state.get("memo", ""),
+                )
+            )
+        lines.sort(key=lambda line: (line.at, line.op_id))
+        return lines
+
+    def audit_balance(self, account_id: str) -> float:
+        """Recompute the balance from the operations alone.
+
+        Must equal :meth:`balance`; the invariant "consequences are
+        derivable from operations" (principle 2.8), asserted in tests.
+        """
+        return sum(
+            state.get("signed", 0)
+            for state in self.store.entities_of_type(OPERATION_TYPE)
+            if state.get("account_id") == account_id
+        )

@@ -1,0 +1,148 @@
+"""CRM lifecycle: out-of-order entry across the data's journey.
+
+Principle 2.2's narrative: "Leads become qualified and turn into
+Opportunities, which are won and become Orders [...] Opportunities may
+refer to customers not yet entered."  Front-end users enter what they
+know *now*; references resolve as collaboration fills the gaps.
+
+The app wires MANAGE-mode referential constraints along the whole
+chain — lead→customer, opportunity→lead, opportunity→customer,
+sales_order→opportunity — so any arrival order commits, every dangling
+reference is ledgered, and :meth:`repair_pass` heals violations as the
+referents appear.  Experiment E9 shuffles arrival order and measures
+repair rate and time-to-repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.constraints import ReferentialConstraint, Violation
+from repro.core.transaction import CommitReceipt, TransactionManager
+
+CUSTOMER_TYPE = "customer"
+LEAD_TYPE = "lead"
+OPPORTUNITY_TYPE = "opportunity"
+ORDER_TYPE = "sales_order"
+
+
+@dataclass
+class LifecycleMetrics:
+    """Referential-integrity health of the pipeline."""
+
+    total_violations: int
+    open_violations: int
+    repaired_violations: int
+    mean_time_to_repair: Optional[float]
+
+    @property
+    def repair_rate(self) -> float:
+        """Fraction of recorded violations repaired so far."""
+        if not self.total_violations:
+            return 1.0
+        return self.repaired_violations / self.total_violations
+
+
+class CRMApp:
+    """Lead-to-order pipeline with managed referential integrity.
+
+    Args:
+        tx_manager: Transaction manager whose constraint manager (which
+            must be present) receives the pipeline's referential rules.
+    """
+
+    def __init__(self, tx_manager: TransactionManager):
+        if tx_manager.constraints is None:
+            raise ValueError("CRMApp requires a ConstraintManager on the tx manager")
+        self.tx = tx_manager
+        self.constraints = tx_manager.constraints
+        for name, child, ref_field, parent in (
+            ("lead-customer", LEAD_TYPE, "customer_id", CUSTOMER_TYPE),
+            ("opp-lead", OPPORTUNITY_TYPE, "lead_id", LEAD_TYPE),
+            ("opp-customer", OPPORTUNITY_TYPE, "customer_id", CUSTOMER_TYPE),
+            ("order-opp", ORDER_TYPE, "opportunity_id", OPPORTUNITY_TYPE),
+        ):
+            self.constraints.add(ReferentialConstraint(name, child, ref_field, parent))
+
+    @property
+    def store(self):
+        """The underlying store."""
+        return self.tx.store
+
+    # ------------------------------------------------------------------ #
+    # Entry — any order, never bureaucratically refused
+    # ------------------------------------------------------------------ #
+
+    def enter_customer(self, customer_id: str, name: str) -> CommitReceipt:
+        """A business partner gets entered (often *after* things that
+        reference it)."""
+        tx = self.tx.begin()
+        tx.insert(CUSTOMER_TYPE, customer_id, {"name": name})
+        receipt = tx.commit()
+        # New referents may heal outstanding violations immediately.
+        self.constraints.attempt_repairs()
+        return receipt
+
+    def enter_lead(
+        self, lead_id: str, customer_id: Optional[str], source: str = ""
+    ) -> CommitReceipt:
+        """Enter a lead, possibly naming a customer nobody entered yet."""
+        tx = self.tx.begin()
+        tx.insert(
+            LEAD_TYPE, lead_id, {"customer_id": customer_id, "source": source}
+        )
+        return tx.commit()
+
+    def qualify_lead(
+        self,
+        opportunity_id: str,
+        lead_id: str,
+        customer_id: Optional[str],
+        value: float = 0.0,
+    ) -> CommitReceipt:
+        """A lead becomes an opportunity (which may still be dangling)."""
+        tx = self.tx.begin()
+        tx.insert(
+            OPPORTUNITY_TYPE,
+            opportunity_id,
+            {"lead_id": lead_id, "customer_id": customer_id, "value": value},
+        )
+        return tx.commit()
+
+    def win_opportunity(self, order_id: str, opportunity_id: str) -> CommitReceipt:
+        """An opportunity is won and becomes an order."""
+        tx = self.tx.begin()
+        tx.insert(ORDER_TYPE, order_id, {"opportunity_id": opportunity_id})
+        return tx.commit()
+
+    # ------------------------------------------------------------------ #
+    # Repair & metrics
+    # ------------------------------------------------------------------ #
+
+    def repair_pass(self) -> int:
+        """Re-check open violations (the scheduled process step that
+        handles violation events, principle 2.2)."""
+        return self.constraints.attempt_repairs()
+
+    def open_violations(self) -> list[Violation]:
+        """Currently dangling references across the pipeline."""
+        return self.constraints.open_violations()
+
+    def metrics(self) -> LifecycleMetrics:
+        """Pipeline health snapshot."""
+        ledger = self.constraints.ledger
+        repaired = [violation for violation in ledger if violation.repaired]
+        repair_times = [
+            violation.time_to_repair
+            for violation in repaired
+            if violation.time_to_repair is not None
+        ]
+        return LifecycleMetrics(
+            total_violations=len(ledger),
+            open_violations=len(ledger) - len(repaired),
+            repaired_violations=len(repaired),
+            mean_time_to_repair=(
+                sum(repair_times) / len(repair_times) if repair_times else None
+            ),
+        )

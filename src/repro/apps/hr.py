@@ -1,0 +1,184 @@
+"""HR employee transfer: a multi-step SOUPS process.
+
+The paper's process example (principle 2.4): "A process, such as
+transferring an employee from one department to another, should be
+broken down into a series of steps, such as reassigning the employee's
+business responsibilities to other employees, that are connected by
+events."
+
+The transfer is a linear four-step chain, each step one transaction
+updating one entity:
+
+1. ``start`` — mark the employee *transferring* (entity: employee);
+2. ``reassign`` — hand the employee's responsibility bundle to a
+   delegate (entity: responsibility);
+3. ``move`` — change the employee's department (entity: employee);
+4. ``payroll`` — write the payroll notice (entity: payroll_notice).
+
+The chain's linearity makes it the canonical workload for the vertical
+step-collapsing experiment (E7): the same four handlers can run as four
+queued steps or as one fused transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.process import ProcessEngine, ProcessStep, StepContext
+
+EMPLOYEE_TYPE = "employee"
+RESPONSIBILITY_TYPE = "responsibility"
+PAYROLL_NOTICE_TYPE = "payroll_notice"
+
+#: Topics of the transfer chain, in order.
+TOPIC_REQUESTED = "hr.transfer.requested"
+TOPIC_REASSIGN = "hr.transfer.reassign"
+TOPIC_MOVE = "hr.transfer.move"
+TOPIC_PAYROLL = "hr.transfer.payroll"
+
+
+def make_transfer_steps() -> list[ProcessStep]:
+    """The four transfer steps, unregistered (so callers can run them as
+    a queued chain or hand them to ``collapse_vertical``)."""
+
+    def start(ctx: StepContext) -> None:
+        payload = ctx.message.payload
+        ctx.set_fields(
+            EMPLOYEE_TYPE, payload["employee_id"], {"status": "transferring"}
+        )
+        ctx.emit(TOPIC_REASSIGN, dict(payload))
+
+    def reassign(ctx: StepContext) -> None:
+        payload = ctx.message.payload
+        ctx.set_fields(
+            RESPONSIBILITY_TYPE,
+            payload["employee_id"],
+            {"owner": payload["delegate_id"]},
+        )
+        ctx.emit(TOPIC_MOVE, dict(payload))
+
+    def move(ctx: StepContext) -> None:
+        payload = ctx.message.payload
+        ctx.set_fields(
+            EMPLOYEE_TYPE,
+            payload["employee_id"],
+            {"department": payload["new_department"], "status": "transferred"},
+        )
+        ctx.emit(TOPIC_PAYROLL, dict(payload))
+
+    def payroll(ctx: StepContext) -> None:
+        payload = ctx.message.payload
+        ctx.insert(
+            PAYROLL_NOTICE_TYPE,
+            f"notice-{payload['employee_id']}-{payload['transfer_id']}",
+            {
+                "employee_id": payload["employee_id"],
+                "department": payload["new_department"],
+            },
+        )
+
+    return [
+        ProcessStep("transfer-start", TOPIC_REQUESTED, start),
+        ProcessStep("transfer-reassign", TOPIC_REASSIGN, reassign),
+        ProcessStep("transfer-move", TOPIC_MOVE, move),
+        ProcessStep("transfer-payroll", TOPIC_PAYROLL, payroll),
+    ]
+
+
+@dataclass
+class TransferStatus:
+    """Observable state of one transfer."""
+
+    employee_status: str
+    department: Optional[str]
+    responsibility_owner: Optional[str]
+    payroll_notified: bool
+
+    @property
+    def complete(self) -> bool:
+        """Whether every step's effect is visible."""
+        return self.employee_status == "transferred" and self.payroll_notified
+
+
+class HRApp:
+    """Employee transfers over a process engine.
+
+    Args:
+        engine: The process engine of the HR serialization unit.
+        collapsed: Register the chain as one vertically collapsed step
+            instead of four queued steps (section 3.1's optimization).
+    """
+
+    def __init__(self, engine: ProcessEngine, collapsed: bool = False):
+        self.engine = engine
+        self._transfer_ids = 0
+        steps = make_transfer_steps()
+        if collapsed:
+            engine.collapse_vertical("transfer-collapsed", steps, TOPIC_REQUESTED)
+        else:
+            for step in steps:
+                engine.register_step(step)
+
+    @property
+    def store(self):
+        """The engine's store."""
+        return self.engine.tx_manager.store
+
+    # ------------------------------------------------------------------ #
+    # Setup & kick-off
+    # ------------------------------------------------------------------ #
+
+    def hire(self, employee_id: str, department: str, responsibilities: str) -> None:
+        """Create the employee and their responsibility bundle."""
+        tx = self.engine.tx_manager.begin()
+        tx.insert(
+            EMPLOYEE_TYPE,
+            employee_id,
+            {"department": department, "status": "active"},
+        )
+        tx.commit()
+        tx = self.engine.tx_manager.begin()
+        tx.insert(
+            RESPONSIBILITY_TYPE,
+            employee_id,
+            {"owner": employee_id, "bundle": responsibilities},
+        )
+        tx.commit()
+
+    def start_transfer(
+        self, employee_id: str, new_department: str, delegate_id: str
+    ) -> str:
+        """Kick off a transfer process; returns the transfer id."""
+        self._transfer_ids += 1
+        transfer_id = f"tr-{self._transfer_ids}"
+        self.engine.start_process(
+            TOPIC_REQUESTED,
+            {
+                "transfer_id": transfer_id,
+                "employee_id": employee_id,
+                "new_department": new_department,
+                "delegate_id": delegate_id,
+            },
+        )
+        return transfer_id
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def status(self, employee_id: str, transfer_id: str) -> TransferStatus:
+        """Snapshot of a transfer's visible progress."""
+        employee = self.store.get(EMPLOYEE_TYPE, employee_id)
+        responsibility = self.store.get(RESPONSIBILITY_TYPE, employee_id)
+        notice = self.store.get(
+            PAYROLL_NOTICE_TYPE, f"notice-{employee_id}-{transfer_id}"
+        )
+        return TransferStatus(
+            employee_status=employee.get("status", "?") if employee else "?",
+            department=employee.get("department") if employee else None,
+            responsibility_owner=(
+                responsibility.get("owner") if responsibility else None
+            ),
+            payroll_notified=notice is not None and notice.live,
+        )

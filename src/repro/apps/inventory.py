@@ -1,0 +1,185 @@
+"""Warehouse inventory with managed negative stock.
+
+Principle 2.1's example: "a business may permit inventory levels to go
+negative if a packager knows more about current inventory than the
+system does. [...] For negative inventories, the system should track
+the history that resulted in negative inventory levels, and eventually
+account for the discrepancy."
+
+The app issues stock *subjectively* — an issue is never refused for
+insufficient on-hand — while a MANAGE-mode
+:class:`~repro.core.constraints.NonNegativeConstraint` turns every dip
+below zero into a ledger entry.  :meth:`discrepancy_report` reconstructs
+the operation history that produced the dip (possible because storage is
+insert-only, principle 2.7), and :meth:`reconcile` posts the physical
+count that accounts for it, repairing the violation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.constraints import ConstraintManager, NonNegativeConstraint, Violation
+from repro.core.transaction import CommitReceipt, TransactionManager
+from repro.lsdb.events import EventKind, LogEvent
+from repro.merge.deltas import Delta
+
+ITEM_TYPE = "inventory_item"
+MOVEMENT_TYPE = "stock_movement"
+
+#: Name of the constraint the app registers.
+FLOOR_CONSTRAINT = "inventory-non-negative"
+
+
+@dataclass
+class DiscrepancyReport:
+    """The history behind a negative-inventory episode."""
+
+    item_key: str
+    current_on_hand: float
+    open_violations: list[Violation]
+    movements: list[LogEvent]
+
+    @property
+    def is_negative(self) -> bool:
+        """Whether the item is currently below zero."""
+        return self.current_on_hand < 0
+
+
+class InventoryApp:
+    """Subjective stock keeping over one serialization unit.
+
+    Args:
+        tx_manager: Transaction manager of the owning unit; its
+            constraint manager (if any) gets the non-negative rule
+            registered automatically.
+    """
+
+    def __init__(self, tx_manager: TransactionManager):
+        self.tx = tx_manager
+        self.constraints: Optional[ConstraintManager] = tx_manager.constraints
+        if self.constraints is not None:
+            self.constraints.add(
+                NonNegativeConstraint(FLOOR_CONSTRAINT, ITEM_TYPE, "on_hand")
+            )
+        self._movement_ids = itertools.count(1)
+
+    @property
+    def store(self):
+        """The underlying store."""
+        return self.tx.store
+
+    # ------------------------------------------------------------------ #
+    # Movements
+    # ------------------------------------------------------------------ #
+
+    def add_item(self, item_key: str, name: str, on_hand: float = 0) -> CommitReceipt:
+        """Register an item."""
+        tx = self.tx.begin()
+        tx.insert(ITEM_TYPE, item_key, {"name": name, "on_hand": on_hand})
+        return tx.commit()
+
+    def receive(self, item_key: str, quantity: float, source: str = "") -> CommitReceipt:
+        """Goods receipt: on-hand increases."""
+        return self._move(item_key, quantity, "receipt", source)
+
+    def issue(self, item_key: str, quantity: float, actor: str = "") -> CommitReceipt:
+        """Goods issue: on-hand decreases — *even below zero*.
+
+        A packer who ships what the system doesn't know it has is
+        recording reality; the constraint machinery records the
+        discrepancy instead of blocking the dock (principle 2.1).
+        """
+        return self._move(item_key, -quantity, "issue", actor)
+
+    def _move(
+        self, item_key: str, signed_qty: float, kind: str, actor: str
+    ) -> CommitReceipt:
+        if signed_qty == 0:
+            raise ValueError("quantity must be non-zero")
+        movement_id = f"{item_key}-mv-{next(self._movement_ids)}"
+        tx = self.tx.begin()
+        tx.insert(
+            MOVEMENT_TYPE,
+            movement_id,
+            {
+                "item_key": item_key,
+                "kind": kind,
+                "quantity": abs(signed_qty),
+                "signed": signed_qty,
+                "actor": actor,
+            },
+            tags=("regulatory",),
+        )
+        tx.apply_delta(ITEM_TYPE, item_key, Delta.add("on_hand", signed_qty))
+        return tx.commit()
+
+    # ------------------------------------------------------------------ #
+    # Discrepancy accounting
+    # ------------------------------------------------------------------ #
+
+    def on_hand(self, item_key: str) -> float:
+        """Current (system-known) stock level."""
+        state = self.store.require(ITEM_TYPE, item_key)
+        return state.get("on_hand", 0)
+
+    def discrepancy_report(self, item_key: str) -> DiscrepancyReport:
+        """The audit trail for an item: its open negative-stock
+        violations plus the delta events that moved its level — the
+        trace that can "identify a packer as the source of the
+        inconsistency" (principle 2.7)."""
+        open_violations = []
+        if self.constraints is not None:
+            open_violations = [
+                violation
+                for violation in self.constraints.violations_for(ITEM_TYPE, item_key)
+                if violation.open
+            ]
+        movements = [
+            event
+            for event in self.store.history(ITEM_TYPE, item_key)
+            if event.kind is EventKind.DELTA
+        ]
+        return DiscrepancyReport(
+            item_key=item_key,
+            current_on_hand=self.on_hand(item_key),
+            open_violations=open_violations,
+            movements=movements,
+        )
+
+    def reconcile(self, item_key: str, counted_quantity: float) -> CommitReceipt:
+        """Post a physical count: an adjustment delta bringing on-hand
+        to the counted value, which "eventually accounts for the
+        discrepancy" — the violation repairs on the next check pass."""
+        adjustment = counted_quantity - self.on_hand(item_key)
+        tx = self.tx.begin()
+        movement_id = f"{item_key}-mv-{next(self._movement_ids)}"
+        tx.insert(
+            MOVEMENT_TYPE,
+            movement_id,
+            {
+                "item_key": item_key,
+                "kind": "physical_count",
+                "quantity": abs(adjustment),
+                "signed": adjustment,
+                "actor": "stocktaking",
+            },
+            tags=("regulatory",),
+        )
+        if adjustment != 0:
+            tx.apply_delta(ITEM_TYPE, item_key, Delta.add("on_hand", adjustment))
+        receipt = tx.commit()
+        if self.constraints is not None:
+            self.constraints.attempt_repairs()
+        return receipt
+
+    def audit_on_hand(self, item_key: str, initial: float = 0) -> float:
+        """Recompute stock from movements alone (must match
+        :meth:`on_hand` given the item's initial level)."""
+        return initial + sum(
+            state.get("signed", 0)
+            for state in self.store.entities_of_type(MOVEMENT_TYPE)
+            if state.get("item_key") == item_key
+        )

@@ -1,0 +1,218 @@
+"""Supply chain: Available-To-Purchase offers and their choreography.
+
+Principle 2.9's worked example: "when one business informs another that
+a given quantity of an item is Available-To-Purchase at a quoted price
+by a deadline date/time [...] the Supplier enters a description of the
+offer inside its DMS, handling the given quantity as a tentative update
+of quantity, subject to business rules.  A purchase request received by
+the deadline date will normally be honored, but there may be business
+reasons (e.g., a disaster at a warehouse) why that can't occur."
+
+Offers are :class:`~repro.core.compensation.TentativeOperation` records;
+quoting reserves quantity (a delta — visible, durable, revocable),
+purchasing confirms, deadlines expire, and a warehouse disaster cancels
+open offers with apologies and releases their reservations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.compensation import CompensationManager, TentativeOperation
+from repro.core.transaction import TransactionManager
+from repro.merge.deltas import Delta
+
+ITEM_TYPE = "scm_item"
+
+#: Tentative-operation kind for ATP offers.
+OFFER_KIND = "atp_offer"
+
+
+@dataclass
+class PurchaseOutcome:
+    """Result of a purchase request against an offer."""
+
+    offer_id: str
+    honored: bool
+    reason: str = ""
+
+
+class SupplyChainApp:
+    """Supplier-side ATP processing.
+
+    Args:
+        tx_manager: Transaction manager of the supplier's unit.
+        compensation: Compensation manager (shares the same store).
+    """
+
+    def __init__(
+        self,
+        tx_manager: TransactionManager,
+        compensation: CompensationManager,
+    ):
+        self.tx = tx_manager
+        self.compensation = compensation
+        compensation.register_compensator(
+            "release_reservation",
+            lambda context: (
+                f"released reservation of {context.get('quantity', '?')} "
+                f"x {context.get('item_key', '?')}"
+            ),
+        )
+
+    @property
+    def store(self):
+        """The underlying store."""
+        return self.tx.store
+
+    # ------------------------------------------------------------------ #
+    # Stock
+    # ------------------------------------------------------------------ #
+
+    def add_item(self, item_key: str, on_hand: float) -> None:
+        """Register an item with initial stock."""
+        tx = self.tx.begin()
+        tx.insert(
+            ITEM_TYPE,
+            item_key,
+            {"on_hand": on_hand, "reserved": 0, "shipped": 0, "lost": 0},
+        )
+        tx.commit()
+
+    def available_to_purchase(self, item_key: str) -> float:
+        """Unreserved stock a new offer could quote against."""
+        state = self.store.require(ITEM_TYPE, item_key)
+        return state.get("on_hand", 0) - state.get("reserved", 0)
+
+    # ------------------------------------------------------------------ #
+    # Offer lifecycle
+    # ------------------------------------------------------------------ #
+
+    def quote_offer(
+        self,
+        item_key: str,
+        quantity: float,
+        price: float,
+        deadline: float,
+        purchaser: str,
+    ) -> TentativeOperation:
+        """Quote an ATP offer: reserve the quantity tentatively.
+
+        The reservation is a real, durable state change — the "tentative
+        update of quantity" — not a mere annotation, so every other
+        offer sees reduced availability immediately.
+        """
+        tx = self.tx.begin()
+        tx.apply_delta(ITEM_TYPE, item_key, Delta.add("reserved", quantity))
+        tx.commit()
+        return self.compensation.open_tentative(
+            kind=OFFER_KIND,
+            subject_type=ITEM_TYPE,
+            subject_key=item_key,
+            payload={
+                "quantity": quantity,
+                "price": price,
+                "purchaser": purchaser,
+            },
+            expires_at=deadline,
+        )
+
+    def purchase(self, offer_id: str) -> PurchaseOutcome:
+        """A purchase request arrives for an offer.
+
+        Honored when the offer is still open *and* the stock survived
+        (a disaster may have destroyed it); otherwise the purchaser is
+        apologised to — "in either case, the Purchaser will be
+        notified, and appropriate business actions will be taken".
+        """
+        operation = self.compensation.get_operation(offer_id)
+        if not operation.open:
+            return PurchaseOutcome(
+                offer_id=offer_id,
+                honored=False,
+                reason=f"offer is {operation.status.value}",
+            )
+        item = self.store.require(ITEM_TYPE, operation.subject_key)
+        quantity = operation.payload["quantity"]
+        if item.get("on_hand", 0) < quantity:
+            # Reality intervened between quote and purchase.
+            self._renege(operation, reason="stock destroyed before purchase")
+            return PurchaseOutcome(
+                offer_id=offer_id, honored=False, reason="stock destroyed"
+            )
+        self.compensation.confirm(offer_id)
+        tx = self.tx.begin()
+        tx.apply_delta(
+            ITEM_TYPE,
+            operation.subject_key,
+            Delta(
+                numeric={
+                    "reserved": -quantity,
+                    "on_hand": -quantity,
+                    "shipped": quantity,
+                }
+            ),
+        )
+        tx.commit()
+        return PurchaseOutcome(offer_id=offer_id, honored=True)
+
+    def expire_offers(self) -> int:
+        """Expire overdue offers and release their reservations.
+
+        Returns the number expired.
+        """
+        expired = self.compensation.expire_overdue()
+        for operation in expired:
+            if operation.kind != OFFER_KIND:
+                continue
+            tx = self.tx.begin()
+            tx.apply_delta(
+                ITEM_TYPE,
+                operation.subject_key,
+                Delta.add("reserved", -operation.payload["quantity"]),
+            )
+            tx.commit()
+        return len(expired)
+
+    # ------------------------------------------------------------------ #
+    # Reality is real
+    # ------------------------------------------------------------------ #
+
+    def warehouse_disaster(self, item_key: str) -> list[TentativeOperation]:
+        """The warehouse burns down: stock is lost, open offers on the
+        item are reneged with apologies (principle 2.1 — reality is
+        realer than the information system)."""
+        item = self.store.require(ITEM_TYPE, item_key)
+        lost = item.get("on_hand", 0)
+        tx = self.tx.begin()
+        tx.apply_delta(
+            ITEM_TYPE, item_key, Delta(numeric={"on_hand": -lost, "lost": lost})
+        )
+        tx.commit()
+        reneged = []
+        for operation in self.compensation.open_operations():
+            if operation.kind == OFFER_KIND and operation.subject_key == item_key:
+                self._renege(operation, reason="warehouse disaster")
+                reneged.append(operation)
+        return reneged
+
+    def _renege(self, operation: TentativeOperation, reason: str) -> None:
+        self.compensation.cancel(operation.op_id)
+        tx = self.tx.begin()
+        tx.apply_delta(
+            ITEM_TYPE,
+            operation.subject_key,
+            Delta.add("reserved", -operation.payload["quantity"]),
+        )
+        tx.commit()
+        self.compensation.apologize(
+            to_party=operation.payload.get("purchaser", "?"),
+            reason=reason,
+            kind="release_reservation",
+            context={
+                "item_key": operation.subject_key,
+                "quantity": operation.payload["quantity"],
+            },
+            related_op=operation.op_id,
+        )

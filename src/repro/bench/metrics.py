@@ -1,0 +1,147 @@
+"""Measurement utilities for the experiment suite.
+
+Latency percentiles, throughput windows and staleness probes — the
+numbers the paper's prose claims are about (response time, availability,
+apology rates, convergence time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports percentiles.
+
+    Example:
+        >>> recorder = LatencyRecorder()
+        >>> for value in [1.0, 2.0, 3.0, 4.0]:
+        ...     recorder.record(value)
+        >>> recorder.percentile(50)
+        2.0
+        >>> recorder.mean
+        2.5
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile (nearest-rank, 0 when empty)."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, math.ceil(pct / 100 * len(self._sorted)) - 1)
+        return self._sorted[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        """``{count, mean, p50, p99, max}`` for table rows."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+@dataclass
+class ThroughputWindow:
+    """Committed operations over a virtual-time window."""
+
+    start: float
+    end: float
+    operations: int = 0
+
+    def record(self) -> None:
+        """Count one completed operation."""
+        self.operations += 1
+
+    @property
+    def duration(self) -> float:
+        """Window length."""
+        return self.end - self.start
+
+    @property
+    def per_time_unit(self) -> float:
+        """Operations per virtual time unit."""
+        if self.duration <= 0:
+            return 0.0
+        return self.operations / self.duration
+
+
+@dataclass
+class AvailabilityProbe:
+    """Success/failure accounting for an operation stream.
+
+    ``attempted``/``succeeded`` counters, with a separate window for
+    operations issued during a failure (partition/crash), so a report
+    can state availability *during* the failure — the CAP measurement
+    of experiment E1.
+    """
+
+    attempted: int = 0
+    succeeded: int = 0
+    attempted_during_failure: int = 0
+    succeeded_during_failure: int = 0
+
+    def record(self, ok: bool, during_failure: bool = False) -> None:
+        """Count one operation outcome."""
+        self.attempted += 1
+        if ok:
+            self.succeeded += 1
+        if during_failure:
+            self.attempted_during_failure += 1
+            if ok:
+                self.succeeded_during_failure += 1
+
+    @property
+    def availability(self) -> float:
+        """Overall success fraction."""
+        return self.succeeded / self.attempted if self.attempted else 1.0
+
+    @property
+    def availability_during_failure(self) -> float:
+        """Success fraction among operations issued during the failure."""
+        if not self.attempted_during_failure:
+            return 1.0
+        return self.succeeded_during_failure / self.attempted_during_failure

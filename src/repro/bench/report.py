@@ -1,0 +1,74 @@
+"""Plain-text experiment reports.
+
+Every bench target prints the same artefact: a titled table of sweep
+rows (one per parameter setting) plus the claim it tests, so
+EXPERIMENTS.md can be assembled by running ``benchmarks/run_all.py``
+and reading the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats to 3 significant places, rest as str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered)) if rendered else len(header)
+        for col, header in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rendered)
+    return "\n".join(body)
+
+
+@dataclass
+class ExperimentReport:
+    """A complete experiment artefact: id, claim, table, reading."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one sweep row."""
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The printable report."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            "",
+            format_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            parts.extend(["", f"reading: {self.notes}"])
+        return "\n".join(parts)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, reads naturally
+        """Print the report to stdout."""
+        print(self.render())
+        print()

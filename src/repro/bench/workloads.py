@@ -1,0 +1,136 @@
+"""Workload generators: arrivals, key skew, operation mixes.
+
+The paper's claims hinge on workload properties — contention (hot
+entities, principle 2.10), arrival disorder (principle 2.2), demand
+versus supply (principle 2.9) — so the generators parameterise exactly
+those.  Everything draws from seeded streams: the same seed reproduces
+the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.sim.rng import SeededRNG, ZipfGenerator, poisson_arrivals
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled workload operation."""
+
+    at: float
+    key: str
+    kind: str = "op"
+    index: int = 0
+
+
+class KeyChooser:
+    """Zipf-skewed choice over a key population.
+
+    Args:
+        rng: Random stream.
+        keys: The key population (index 0 is the hottest).
+        theta: Zipf skew (0 = uniform).
+    """
+
+    def __init__(self, rng: SeededRNG, keys: Sequence[str], theta: float = 0.99):
+        self._keys = list(keys)
+        self._zipf = ZipfGenerator(rng, len(self._keys), theta)
+
+    def choose(self) -> str:
+        """One skewed draw."""
+        return self._keys[self._zipf.draw()]
+
+
+class MixChooser:
+    """Weighted choice among operation kinds.
+
+    Example:
+        >>> rng = SeededRNG(1)
+        >>> mix = MixChooser(rng, {"read": 0.9, "write": 0.1})
+        >>> mix.choose() in ("read", "write")
+        True
+    """
+
+    def __init__(self, rng: SeededRNG, weights: dict[str, float]):
+        if not weights:
+            raise ValueError("MixChooser needs at least one kind")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._rng = rng
+        self._cumulative: list[tuple[float, str]] = []
+        acc = 0.0
+        for kind, weight in weights.items():
+            acc += weight / total
+            self._cumulative.append((acc, kind))
+
+    def choose(self) -> str:
+        """One weighted draw."""
+        draw = self._rng.random()
+        for bound, kind in self._cumulative:
+            if draw < bound:
+                return kind
+        return self._cumulative[-1][1]
+
+
+def open_loop_arrivals(
+    rng: SeededRNG,
+    rate: float,
+    duration: float,
+    keys: Sequence[str],
+    theta: float = 0.0,
+    kinds: Optional[dict[str, float]] = None,
+    start: float = 0.0,
+) -> list[Arrival]:
+    """An open-loop (Poisson) arrival schedule over skewed keys.
+
+    Args:
+        rng: Random stream.
+        rate: Mean arrivals per time unit.
+        duration: Window length.
+        keys: Key population.
+        theta: Zipf skew of key choice.
+        kinds: Optional operation mix weights.
+        start: Window start time.
+
+    Returns:
+        Arrivals sorted by time.
+    """
+    chooser = KeyChooser(rng, keys, theta)
+    mix = MixChooser(rng, kinds) if kinds else None
+    arrivals = []
+    for index, at in enumerate(poisson_arrivals(rng, rate, duration, start=start)):
+        arrivals.append(
+            Arrival(
+                at=at,
+                key=chooser.choose(),
+                kind=mix.choose() if mix else "op",
+                index=index,
+            )
+        )
+    return arrivals
+
+
+def shuffled_within_window(
+    rng: SeededRNG, items: list[T], window: int
+) -> list[T]:
+    """Disorder a sequence by shuffling within sliding windows.
+
+    ``window = 1`` leaves the order intact; larger windows let items
+    arrive up to ``window - 1`` positions early/late — the arrival
+    disorder of experiment E9 (out-of-order data entry).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return list(items)
+    result: list[T] = []
+    for offset in range(0, len(items), window):
+        chunk = list(items[offset : offset + window])
+        rng.shuffle(chunk)
+        result.extend(chunk)
+    return result

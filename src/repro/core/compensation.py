@@ -1,0 +1,334 @@
+"""Tentative operations and apology-oriented computing.
+
+Principle 2.9 ("I think I can"): decisions taken on subjective data are
+*tentative*; when reality (or another replica) contradicts them, the
+system compensates and apologises.  Section 3.2 adds the user-experience
+contract: a tentative change is "visible and durable, but might be
+marked as obsolete" — never silently erased.
+
+This module provides:
+
+* :class:`TentativeOperation` — a durable, visible reservation/offer
+  with an expiry, stored as an entity in the LSDB (so it survives
+  crashes and shows up in history).
+* :class:`ApologyLedger` — the record of every apology issued, by
+  reason, with its compensation.
+* :class:`CompensationManager` — registry of compensating actions per
+  operation kind plus the choreography helpers: create/confirm/cancel
+  tentative operations and issue apologies (running the registered
+  compensator and emitting an ``apology.issued`` event).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+
+#: Entity type under which tentative operations are stored.
+TENTATIVE_TYPE = "tentative_op"
+
+
+class TentativeStatus(enum.Enum):
+    """Lifecycle of a tentative operation."""
+
+    PENDING = "pending"
+    CONFIRMED = "confirmed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+
+@dataclass
+class TentativeOperation:
+    """A visible, durable, possibly-revocable business commitment.
+
+    Examples from the paper: an Available-To-Purchase offer from a
+    supplier (quantity held at a price until a deadline), or an order
+    acceptance awaiting fulfilment.
+    """
+
+    op_id: str
+    kind: str
+    subject_type: str
+    subject_key: str
+    payload: dict[str, Any]
+    created_at: float
+    expires_at: Optional[float] = None
+    status: TentativeStatus = TentativeStatus.PENDING
+
+    @property
+    def open(self) -> bool:
+        """Whether the operation can still be confirmed or cancelled."""
+        return self.status is TentativeStatus.PENDING
+
+
+@dataclass
+class Apology:
+    """One apology, with its compensation.
+
+    Section 3.2 insists apologies be *comprehensible*: the record keeps
+    the reason, the party, and what was done about it.
+    """
+
+    apology_id: str
+    to_party: str
+    reason: str
+    at: float
+    related_op: str = ""
+    compensation: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Apology({self.apology_id} to {self.to_party}: {self.reason})"
+
+
+class ApologyLedger:
+    """Append-only record of apologies issued."""
+
+    def __init__(self):
+        self._apologies: list[Apology] = []
+        self._ids = itertools.count(1)
+
+    def record(
+        self,
+        to_party: str,
+        reason: str,
+        at: float,
+        related_op: str = "",
+        compensation: str = "",
+    ) -> Apology:
+        """Append an apology and return it."""
+        apology = Apology(
+            apology_id=f"apology-{next(self._ids)}",
+            to_party=to_party,
+            reason=reason,
+            at=at,
+            related_op=related_op,
+            compensation=compensation,
+        )
+        self._apologies.append(apology)
+        return apology
+
+    def all(self) -> list[Apology]:
+        """Every apology, in issue order."""
+        return list(self._apologies)
+
+    def count(self) -> int:
+        """Total apologies issued."""
+        return len(self._apologies)
+
+    def by_reason(self) -> dict[str, int]:
+        """Apology counts per reason string."""
+        counts: dict[str, int] = {}
+        for apology in self._apologies:
+            counts[apology.reason] = counts.get(apology.reason, 0) + 1
+        return counts
+
+    def rate(self, total_operations: int) -> float:
+        """Apologies per operation — the user-experience metric of
+        experiments E5 and E10 ("preferably rare")."""
+        if total_operations <= 0:
+            return 0.0
+        return len(self._apologies) / total_operations
+
+
+Compensator = Callable[[Mapping[str, Any]], str]
+
+
+class CompensationManager:
+    """Registry and choreography for tentative ops and compensation.
+
+    Args:
+        store: The LSDB where tentative operations are persisted.
+        queue: Optional queue receiving ``apology.issued`` and
+            ``tentative.*`` events so downstream process steps can react.
+        clock: Virtual-time source.
+    """
+
+    def __init__(
+        self,
+        store: LSDBStore,
+        queue: Optional[ReliableQueue] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.store = store
+        self.queue = queue
+        self._clock = clock or (lambda: 0.0)
+        self.ledger = ApologyLedger()
+        self._compensators: dict[str, Compensator] = {}
+        self._operations: dict[str, TentativeOperation] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Compensator registry
+    # ------------------------------------------------------------------ #
+
+    def register_compensator(self, kind: str, compensator: Compensator) -> None:
+        """Register the compensating action for operations of ``kind``.
+
+        The compensator receives the operation payload/context and
+        returns a human-readable description of what it did (refund
+        issued, reservation restored, ...), which is stored with the
+        apology.
+        """
+        self._compensators[kind] = compensator
+
+    # ------------------------------------------------------------------ #
+    # Tentative operation lifecycle
+    # ------------------------------------------------------------------ #
+
+    def open_tentative(
+        self,
+        kind: str,
+        subject_type: str,
+        subject_key: str,
+        payload: Mapping[str, Any],
+        expires_at: Optional[float] = None,
+    ) -> TentativeOperation:
+        """Record a tentative commitment, durably and visibly."""
+        op_id = f"tnt-{next(self._ids)}"
+        operation = TentativeOperation(
+            op_id=op_id,
+            kind=kind,
+            subject_type=subject_type,
+            subject_key=subject_key,
+            payload=dict(payload),
+            created_at=self._clock(),
+            expires_at=expires_at,
+        )
+        self._operations[op_id] = operation
+        self.store.insert(
+            TENTATIVE_TYPE,
+            op_id,
+            {
+                "kind": kind,
+                "subject_type": subject_type,
+                "subject_key": subject_key,
+                "status": TentativeStatus.PENDING.value,
+                **{f"payload_{k}": v for k, v in payload.items()},
+            },
+            tags=("tentative",),
+        )
+        self._announce("tentative.opened", operation)
+        return operation
+
+    def confirm(self, op_id: str) -> TentativeOperation:
+        """The commitment became permanent (offer accepted in time)."""
+        return self._transition(op_id, TentativeStatus.CONFIRMED, "tentative.confirmed")
+
+    def cancel(self, op_id: str) -> TentativeOperation:
+        """The commitment is withdrawn; the stored entity is marked
+        obsolete — visible and durable, but no longer current."""
+        operation = self._transition(
+            op_id, TentativeStatus.CANCELLED, "tentative.cancelled"
+        )
+        self.store.mark_obsolete(TENTATIVE_TYPE, op_id)
+        return operation
+
+    def expire_overdue(self) -> list[TentativeOperation]:
+        """Expire every open operation whose deadline has passed."""
+        now = self._clock()
+        expired = []
+        for operation in self._operations.values():
+            if (
+                operation.open
+                and operation.expires_at is not None
+                and now >= operation.expires_at
+            ):
+                operation.status = TentativeStatus.EXPIRED
+                self.store.set_fields(
+                    TENTATIVE_TYPE,
+                    operation.op_id,
+                    {"status": TentativeStatus.EXPIRED.value},
+                )
+                self.store.mark_obsolete(TENTATIVE_TYPE, operation.op_id)
+                self._announce("tentative.expired", operation)
+                expired.append(operation)
+        return expired
+
+    def _transition(
+        self, op_id: str, status: TentativeStatus, topic: str
+    ) -> TentativeOperation:
+        operation = self._operations.get(op_id)
+        if operation is None:
+            raise KeyError(f"unknown tentative operation {op_id!r}")
+        if not operation.open:
+            raise ValueError(
+                f"operation {op_id!r} is {operation.status.value}, not pending"
+            )
+        operation.status = status
+        self.store.set_fields(TENTATIVE_TYPE, op_id, {"status": status.value})
+        self._announce(topic, operation)
+        return operation
+
+    def get_operation(self, op_id: str) -> TentativeOperation:
+        """Look up a tentative operation by id."""
+        return self._operations[op_id]
+
+    def open_operations(self) -> list[TentativeOperation]:
+        """All still-pending tentative operations."""
+        return [op for op in self._operations.values() if op.open]
+
+    # ------------------------------------------------------------------ #
+    # Apologies
+    # ------------------------------------------------------------------ #
+
+    def apologize(
+        self,
+        to_party: str,
+        reason: str,
+        kind: str = "",
+        context: Optional[Mapping[str, Any]] = None,
+        related_op: str = "",
+    ) -> Apology:
+        """Issue an apology, running the registered compensator.
+
+        Args:
+            to_party: Who is owed the apology.
+            reason: Why (short, stable string — it keys the reports).
+            kind: Compensator to run ("" for apology-only).
+            context: Passed to the compensator.
+            related_op: Tentative-operation id this relates to.
+
+        Returns:
+            The recorded :class:`Apology`.
+        """
+        compensation = ""
+        if kind:
+            compensator = self._compensators.get(kind)
+            if compensator is not None:
+                compensation = compensator(dict(context or {}))
+        apology = self.ledger.record(
+            to_party=to_party,
+            reason=reason,
+            at=self._clock(),
+            related_op=related_op,
+            compensation=compensation,
+        )
+        if self.queue is not None:
+            self.queue.enqueue(
+                "apology.issued",
+                {
+                    "apology_id": apology.apology_id,
+                    "to": to_party,
+                    "reason": reason,
+                    "compensation": compensation,
+                },
+            )
+        return apology
+
+    def _announce(self, topic: str, operation: TentativeOperation) -> None:
+        if self.queue is not None:
+            self.queue.enqueue(
+                topic,
+                {
+                    "op_id": operation.op_id,
+                    "kind": operation.kind,
+                    "subject_type": operation.subject_type,
+                    "subject_key": operation.subject_key,
+                    "status": operation.status.value,
+                },
+            )

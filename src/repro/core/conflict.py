@@ -1,0 +1,212 @@
+"""The single end-to-end conflict-handling mechanism.
+
+Principle 2.10: "The crux of this principle is to have a single
+'end-to-end' conflict-handling mechanism that deals with single and
+multiple replicas, rather than having different mechanisms for each
+case."
+
+The mechanism here is a per-``(entity_type, field)`` strategy registry.
+When candidate writes to the same field collide — whether they came
+from two solipsistic transactions on one replica or from two replicas
+merging — the resolver applies the registered strategy:
+
+* ``COMMUTATIVE`` — compose the candidates as deltas (no loser; the
+  paper's preferred outcome, enabled by recording operations, 2.8);
+* ``LWW`` — keep the latest ``(timestamp, origin)`` write and count the
+  rest as overwritten (cheap, but loses updates — experiment E11
+  measures exactly how many);
+* ``ESCALATE`` — neither composable nor safely overwritable: hand the
+  case to a business-level handler (typically
+  :meth:`~repro.core.compensation.CompensationManager.apologize`).
+* ``CUSTOM`` — a caller-supplied merge function.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.merge.deltas import Delta, compose
+
+
+class Strategy(enum.Enum):
+    """How conflicting writes to one field are reconciled."""
+
+    COMMUTATIVE = "commutative"
+    LWW = "lww"
+    ESCALATE = "escalate"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class CandidateWrite:
+    """One side of a conflict.
+
+    Either ``value`` (a proposed new field value, for LWW/custom) or
+    ``delta`` (a proposed adjustment, for commutative composition) is
+    set, stamped with where and when it happened.
+    """
+
+    timestamp: float
+    origin: str
+    tx_id: str = ""
+    value: Any = None
+    delta: Optional[Delta] = None
+
+    @property
+    def stamp(self) -> tuple[float, str]:
+        """The LWW ordering key."""
+        return (self.timestamp, self.origin)
+
+
+@dataclass
+class Resolution:
+    """Outcome of resolving one conflict case."""
+
+    strategy: Strategy
+    value: Any = None
+    delta: Optional[Delta] = None
+    winner: Optional[CandidateWrite] = None
+    losers: list[CandidateWrite] = field(default_factory=list)
+    escalated: bool = False
+
+    @property
+    def lost_updates(self) -> int:
+        """Candidates whose effect was discarded."""
+        return len(self.losers)
+
+
+MergeFunction = Callable[[list[CandidateWrite]], Any]
+EscalationHandler = Callable[[str, str, list[CandidateWrite]], None]
+
+
+class ConflictResolver:
+    """Field-level conflict resolution with pluggable strategies.
+
+    Args:
+        default_strategy: Used for fields with no explicit registration
+            (``LWW``, matching the generic rollup's behaviour).
+        on_escalate: Called as ``(entity_type, field_name, candidates)``
+            when an ``ESCALATE`` case fires; wire this to the
+            compensation manager so escalations become apologies.
+
+    Example:
+        >>> resolver = ConflictResolver()
+        >>> resolver.register("stock", "on_hand", Strategy.COMMUTATIVE)
+        >>> a = CandidateWrite(1.0, "r1", delta=Delta.add("on_hand", -2))
+        >>> b = CandidateWrite(1.0, "r2", delta=Delta.add("on_hand", -3))
+        >>> resolution = resolver.resolve("stock", "on_hand", [a, b])
+        >>> resolution.delta.numeric["on_hand"]
+        -5
+        >>> resolution.lost_updates
+        0
+    """
+
+    def __init__(
+        self,
+        default_strategy: Strategy = Strategy.LWW,
+        on_escalate: Optional[EscalationHandler] = None,
+    ):
+        self.default_strategy = default_strategy
+        self.on_escalate = on_escalate
+        self._strategies: dict[tuple[str, str], Strategy] = {}
+        self._custom: dict[tuple[str, str], MergeFunction] = {}
+        self.stats: dict[str, int] = {
+            "commutative": 0,
+            "lww": 0,
+            "escalated": 0,
+            "custom": 0,
+            "lost_updates": 0,
+        }
+
+    def register(
+        self,
+        entity_type: str,
+        field_name: str,
+        strategy: Strategy,
+        merge_function: Optional[MergeFunction] = None,
+    ) -> None:
+        """Declare how conflicts on one field are resolved.
+
+        Args:
+            entity_type: The entity type.
+            field_name: The field.
+            strategy: The resolution strategy.
+            merge_function: Required for ``Strategy.CUSTOM``.
+        """
+        if strategy is Strategy.CUSTOM and merge_function is None:
+            raise ValueError("CUSTOM strategy requires a merge_function")
+        self._strategies[(entity_type, field_name)] = strategy
+        if merge_function is not None:
+            self._custom[(entity_type, field_name)] = merge_function
+
+    def strategy_for(self, entity_type: str, field_name: str) -> Strategy:
+        """The strategy that would resolve conflicts on this field."""
+        return self._strategies.get((entity_type, field_name), self.default_strategy)
+
+    def resolve(
+        self,
+        entity_type: str,
+        field_name: str,
+        candidates: list[CandidateWrite],
+    ) -> Resolution:
+        """Reconcile concurrent candidate writes to one field.
+
+        The same call serves both conflict sources (one replica's
+        solipsistic transactions, or divergent replicas) — that sameness
+        is the point of principle 2.10.
+        """
+        if not candidates:
+            raise ValueError("resolve requires at least one candidate")
+        strategy = self.strategy_for(entity_type, field_name)
+        if strategy is Strategy.COMMUTATIVE:
+            return self._resolve_commutative(candidates)
+        if strategy is Strategy.LWW:
+            return self._resolve_lww(candidates)
+        if strategy is Strategy.CUSTOM:
+            return self._resolve_custom(entity_type, field_name, candidates)
+        return self._resolve_escalate(entity_type, field_name, candidates)
+
+    # ------------------------------------------------------------------ #
+
+    def _resolve_commutative(self, candidates: list[CandidateWrite]) -> Resolution:
+        deltas = [c.delta for c in candidates if c.delta is not None]
+        if len(deltas) != len(candidates):
+            raise ValueError(
+                "COMMUTATIVE strategy requires every candidate to carry a delta"
+            )
+        self.stats["commutative"] += 1
+        return Resolution(strategy=Strategy.COMMUTATIVE, delta=compose(deltas))
+
+    def _resolve_lww(self, candidates: list[CandidateWrite]) -> Resolution:
+        ordered = sorted(candidates, key=lambda c: c.stamp)
+        winner = ordered[-1]
+        losers = ordered[:-1]
+        self.stats["lww"] += 1
+        self.stats["lost_updates"] += len(losers)
+        return Resolution(
+            strategy=Strategy.LWW,
+            value=winner.value,
+            winner=winner,
+            losers=losers,
+        )
+
+    def _resolve_custom(
+        self, entity_type: str, field_name: str, candidates: list[CandidateWrite]
+    ) -> Resolution:
+        merge_function = self._custom[(entity_type, field_name)]
+        self.stats["custom"] += 1
+        return Resolution(
+            strategy=Strategy.CUSTOM, value=merge_function(list(candidates))
+        )
+
+    def _resolve_escalate(
+        self, entity_type: str, field_name: str, candidates: list[CandidateWrite]
+    ) -> Resolution:
+        self.stats["escalated"] += 1
+        if self.on_escalate is not None:
+            self.on_escalate(entity_type, field_name, list(candidates))
+        return Resolution(
+            strategy=Strategy.ESCALATE, losers=list(candidates), escalated=True
+        )

@@ -1,0 +1,437 @@
+"""Integrity constraints as managed exceptions.
+
+Principles 2.1 and 2.2 reframe integrity enforcement: "The constraint
+still exists, but its violations are handled, rather than prevented, so
+an 'inconsistent' business state that would have been regarded as
+unsound has been transformed into a system-managed exception."
+
+A :class:`Constraint` can run in two modes:
+
+* ``MANAGE`` (the default, and the paper's recommendation for
+  entry-stage data): a violating transaction still commits; the
+  violation is recorded in a ledger, a ``constraint.violated`` event is
+  emitted so a process step can react, and the manager re-checks open
+  violations as new data arrives, marking them *repaired* when reality
+  catches up (e.g. the referenced customer finally gets entered).
+* ``PREVENT``: the classical behaviour — the transaction aborts.  Kept
+  for the data classes where inconsistency is intolerable
+  (principle 2.9's missiles and air-traffic systems).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol
+
+from repro.core.ops import PendingOp, preview_state
+from repro.lsdb.rollup import EntityState
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+
+
+class ConstraintMode(enum.Enum):
+    """How violations of a constraint are treated."""
+
+    MANAGE = "manage"
+    PREVENT = "prevent"
+
+
+@dataclass
+class Violation:
+    """One recorded constraint violation (a system-managed exception).
+
+    Attributes:
+        violation_id: Unique id.
+        constraint_name: Which constraint was violated.
+        entity_type: The violating entity's type.
+        entity_key: The violating entity's key.
+        message: Human-readable description.
+        tx_id: Transaction that introduced the violation.
+        at: Virtual time of detection.
+        context: Structured detail (observed value, missing referent,
+            ...) for discrepancy accounting (principle 2.1).
+        repaired: Whether a later re-check found the constraint
+            satisfied again.
+        repaired_at: When that happened.
+    """
+
+    violation_id: str
+    constraint_name: str
+    entity_type: str
+    entity_key: str
+    message: str
+    tx_id: str = ""
+    at: float = 0.0
+    context: dict[str, Any] = field(default_factory=dict)
+    repaired: bool = False
+    repaired_at: Optional[float] = None
+
+    @property
+    def entity_ref(self) -> tuple[str, str]:
+        """``(entity_type, entity_key)``."""
+        return (self.entity_type, self.entity_key)
+
+    @property
+    def open(self) -> bool:
+        """Whether the violation is still outstanding."""
+        return not self.repaired
+
+    @property
+    def time_to_repair(self) -> Optional[float]:
+        """Virtual time the violation stayed open (``None`` if open)."""
+        if self.repaired_at is None:
+            return None
+        return self.repaired_at - self.at
+
+
+class Constraint(Protocol):
+    """One declarative integrity rule."""
+
+    name: str
+
+    def check(
+        self,
+        store: LSDBStore,
+        previews: dict[tuple[str, str], EntityState],
+    ) -> list[tuple[tuple[str, str], str, dict[str, Any]]]:
+        """Evaluate against previewed post-transaction states.
+
+        Args:
+            store: The store (for looking up untouched entities).
+            previews: Post-op states of the entities the transaction
+                touches.
+
+        Returns:
+            ``(entity_ref, message, context)`` per violation found.
+        """
+        ...
+
+    def is_satisfied(self, store: LSDBStore, violation: Violation) -> bool:
+        """Whether a previously recorded violation now holds."""
+        ...
+
+
+def _lookup(
+    store: LSDBStore,
+    previews: dict[tuple[str, str], EntityState],
+    entity_type: str,
+    entity_key: str,
+) -> Optional[EntityState]:
+    """Preview-aware entity lookup."""
+    preview = previews.get((entity_type, entity_key))
+    return preview if preview is not None else store.get(entity_type, entity_key)
+
+
+class ReferentialConstraint:
+    """Foreign-key integrity: child references must resolve to a live
+    parent — *eventually* (principle 2.2's leads-before-customers case).
+
+    Args:
+        name: Constraint name.
+        child_type: Type carrying the reference.
+        reference_field: Field holding the referenced key.
+        parent_type: Type the reference points at.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        child_type: str,
+        reference_field: str,
+        parent_type: str,
+    ):
+        self.name = name
+        self.child_type = child_type
+        self.reference_field = reference_field
+        self.parent_type = parent_type
+
+    def check(self, store, previews):
+        findings = []
+        for ref, state in previews.items():
+            if ref[0] != self.child_type or not state.live:
+                continue
+            target_key = state.get(self.reference_field)
+            if target_key is None:
+                continue
+            parent = _lookup(store, previews, self.parent_type, target_key)
+            if parent is None or not parent.live:
+                findings.append(
+                    (
+                        ref,
+                        f"{self.child_type}/{ref[1]} references missing "
+                        f"{self.parent_type}/{target_key}",
+                        {"missing": target_key, "field": self.reference_field},
+                    )
+                )
+        return findings
+
+    def is_satisfied(self, store: LSDBStore, violation: Violation) -> bool:
+        child = store.get(violation.entity_type, violation.entity_key)
+        if child is None or not child.live:
+            return True  # the dangling child itself went away
+        target_key = child.get(self.reference_field)
+        if target_key is None:
+            return True
+        parent = store.get(self.parent_type, target_key)
+        return parent is not None and parent.live
+
+
+class NonNegativeConstraint:
+    """A numeric field must not go below a floor (default 0).
+
+    The inventory rule of principle 2.1: violations are *expected* when
+    a packer knows more than the system, so manage them — the ledger
+    plus the entity's event history is the discrepancy account.
+    """
+
+    def __init__(self, name: str, entity_type: str, field_name: str, floor: float = 0.0):
+        self.name = name
+        self.entity_type = entity_type
+        self.field_name = field_name
+        self.floor = floor
+
+    def check(self, store, previews):
+        findings = []
+        for ref, state in previews.items():
+            if ref[0] != self.entity_type or not state.live:
+                continue
+            value = state.get(self.field_name)
+            if value is not None and value < self.floor:
+                findings.append(
+                    (
+                        ref,
+                        f"{self.entity_type}/{ref[1]}.{self.field_name} = "
+                        f"{value} below floor {self.floor}",
+                        {"observed": value, "floor": self.floor},
+                    )
+                )
+        return findings
+
+    def is_satisfied(self, store: LSDBStore, violation: Violation) -> bool:
+        state = store.get(violation.entity_type, violation.entity_key)
+        if state is None or not state.live:
+            return True
+        value = state.get(self.field_name)
+        return value is None or value >= self.floor
+
+
+class PredicateConstraint:
+    """An arbitrary per-entity predicate (escape hatch for domain rules).
+
+    Args:
+        name: Constraint name.
+        entity_type: Type to check.
+        predicate: ``state -> bool``; ``False`` is a violation.
+        describe: Optional ``state -> str`` message builder.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entity_type: str,
+        predicate: Callable[[EntityState], bool],
+        describe: Optional[Callable[[EntityState], str]] = None,
+    ):
+        self.name = name
+        self.entity_type = entity_type
+        self.predicate = predicate
+        self.describe = describe or (
+            lambda state: f"{self.name} violated by {entity_type}/{state.entity_key}"
+        )
+
+    def check(self, store, previews):
+        findings = []
+        for ref, state in previews.items():
+            if ref[0] != self.entity_type or not state.live:
+                continue
+            if not self.predicate(state):
+                findings.append((ref, self.describe(state), {}))
+        return findings
+
+    def is_satisfied(self, store: LSDBStore, violation: Violation) -> bool:
+        state = store.get(violation.entity_type, violation.entity_key)
+        if state is None or not state.live:
+            return True
+        return self.predicate(state)
+
+
+@dataclass
+class CheckOutcome:
+    """Result of checking one transaction's pending ops."""
+
+    violations: list[Violation]
+    blocking: bool
+
+    @property
+    def ok(self) -> bool:
+        """Whether the transaction may commit."""
+        return not self.blocking
+
+
+class ConstraintManager:
+    """The violation ledger and repair loop.
+
+    Args:
+        store: The store constraints evaluate against.
+        queue: Optional queue receiving ``constraint.violated`` /
+            ``constraint.repaired`` events (so repair process steps can
+            be scheduled, per principle 2.2).
+        clock: Virtual-time source for violation timestamps.
+    """
+
+    def __init__(
+        self,
+        store: LSDBStore,
+        queue: Optional[ReliableQueue] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.store = store
+        self.queue = queue
+        self._clock = clock or (lambda: 0.0)
+        self._constraints: list[tuple[Constraint, ConstraintMode]] = []
+        self.ledger: list[Violation] = []
+        self._ids = itertools.count(1)
+        self.blocked_transactions = 0
+
+    def add(
+        self,
+        constraint: Constraint,
+        mode: ConstraintMode = ConstraintMode.MANAGE,
+    ) -> None:
+        """Register a constraint in the given mode."""
+        self._constraints.append((constraint, mode))
+
+    # ------------------------------------------------------------------ #
+    # Commit-time checking
+    # ------------------------------------------------------------------ #
+
+    def check_ops(self, ops: list[PendingOp], tx_id: str = "") -> CheckOutcome:
+        """Preview ``ops`` and evaluate every constraint.
+
+        ``MANAGE``-mode violations are recorded (and announced on the
+        queue); a ``PREVENT``-mode violation makes the outcome blocking
+        and records nothing (the transaction will abort, leaving no
+        violating state behind).
+        """
+        previews: dict[tuple[str, str], EntityState] = {}
+        ops_by_ref: dict[tuple[str, str], list[PendingOp]] = {}
+        for op in ops:
+            ops_by_ref.setdefault(op.entity_ref, []).append(op)
+        for ref, entity_ops in ops_by_ref.items():
+            previews[ref] = preview_state(
+                self.store.get(ref[0], ref[1]), entity_ops
+            )
+        managed: list[Violation] = []
+        blocking = False
+        for constraint, mode in self._constraints:
+            findings = constraint.check(self.store, previews)
+            if not findings:
+                continue
+            if mode is ConstraintMode.PREVENT:
+                blocking = True
+                continue
+            for ref, message, context in findings:
+                managed.append(
+                    self._record(constraint.name, ref, message, context, tx_id)
+                )
+        if blocking:
+            self.blocked_transactions += 1
+        return CheckOutcome(violations=managed, blocking=blocking)
+
+    def _record(
+        self,
+        constraint_name: str,
+        ref: tuple[str, str],
+        message: str,
+        context: dict[str, Any],
+        tx_id: str,
+    ) -> Violation:
+        violation = Violation(
+            violation_id=f"v-{next(self._ids)}",
+            constraint_name=constraint_name,
+            entity_type=ref[0],
+            entity_key=ref[1],
+            message=message,
+            tx_id=tx_id,
+            at=self._clock(),
+            context=context,
+        )
+        self.ledger.append(violation)
+        if self.queue is not None:
+            self.queue.enqueue(
+                "constraint.violated",
+                {
+                    "violation_id": violation.violation_id,
+                    "constraint": constraint_name,
+                    "entity_type": ref[0],
+                    "entity_key": ref[1],
+                    "message": message,
+                },
+                causation_id=tx_id,
+            )
+        return violation
+
+    # ------------------------------------------------------------------ #
+    # Repair loop
+    # ------------------------------------------------------------------ #
+
+    def attempt_repairs(self) -> int:
+        """Re-check every open managed violation; mark the now-satisfied
+        ones repaired (the data cleansing / deferred conflict handling of
+        principle 2.8).
+
+        Returns:
+            The number of violations repaired by this pass.
+        """
+        by_name = {constraint.name: constraint for constraint, _ in self._constraints}
+        repaired = 0
+        for violation in self.ledger:
+            if violation.repaired:
+                continue
+            constraint = by_name.get(violation.constraint_name)
+            if constraint is None:
+                continue
+            if constraint.is_satisfied(self.store, violation):
+                violation.repaired = True
+                violation.repaired_at = self._clock()
+                repaired += 1
+                if self.queue is not None:
+                    self.queue.enqueue(
+                        "constraint.repaired",
+                        {
+                            "violation_id": violation.violation_id,
+                            "constraint": violation.constraint_name,
+                            "entity_type": violation.entity_type,
+                            "entity_key": violation.entity_key,
+                        },
+                    )
+        return repaired
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def open_violations(self) -> list[Violation]:
+        """Violations not yet repaired."""
+        return [violation for violation in self.ledger if violation.open]
+
+    def repaired_violations(self) -> list[Violation]:
+        """Violations that healed as data caught up."""
+        return [violation for violation in self.ledger if violation.repaired]
+
+    def violations_for(self, entity_type: str, entity_key: str) -> list[Violation]:
+        """The violation history of one entity."""
+        return [
+            violation
+            for violation in self.ledger
+            if violation.entity_ref == (entity_type, entity_key)
+        ]
+
+    @property
+    def repair_rate(self) -> float:
+        """Fraction of recorded violations that have been repaired."""
+        if not self.ledger:
+            return 1.0
+        return len(self.repaired_violations()) / len(self.ledger)

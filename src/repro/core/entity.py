@@ -1,0 +1,241 @@
+"""Hierarchical business entities and their catalog.
+
+Principle 2.5 defines the unit of work: "An entity is a business object,
+frequently hierarchical, such as an order and its lineitems."  In this
+library an entity is identified by ``(entity_type, entity_key)``; child
+objects (line items, responsibilities, offer lines) are entities of a
+child type whose keys extend the parent key (``order/o1`` →
+``order/o1/line/2``), so one hierarchical entity — parent plus children
+— lives in one serialization unit and can be updated in one focused
+transaction.
+
+Validation follows principle 2.2 ("Out-of-order works"): by default the
+catalog reports problems as *advisories* rather than rejecting entry —
+"especially in the early stages of the data lifecycle, the DMS should
+not bureaucratically prevent data entry."  Strict validation is
+available for the data classes that need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import SchemaViolation, UnknownEntityType
+
+#: Python types accepted for each declared field kind.
+_KIND_CHECKS: dict[str, tuple[type, ...]] = {
+    "str": (str,),
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "set": (set, frozenset),
+    "any": (object,),
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Declaration of one entity field.
+
+    Attributes:
+        name: Field name.
+        kind: One of ``str``, ``int``, ``float``, ``bool``, ``set``,
+            ``any``.
+        required: Whether a *complete* entity must carry the field.
+            Incomplete entry is still permitted in advisory mode — the
+            missing field becomes a reported problem, not a rejection.
+        reference: Optional name of the entity type this field refers to
+            (a foreign key); the referential constraint machinery in
+            :mod:`repro.core.constraints` reads this.
+    """
+
+    name: str
+    kind: str = "any"
+    required: bool = False
+    reference: Optional[str] = None
+
+    def problems_with(self, value: Any) -> list[str]:
+        """Advisory problems for one value (empty if acceptable)."""
+        if self.kind not in _KIND_CHECKS:
+            return [f"field {self.name!r} has unknown kind {self.kind!r}"]
+        expected = _KIND_CHECKS[self.kind]
+        if value is None:
+            return []
+        # bool is an int subclass; don't let booleans pass as numbers.
+        if self.kind in ("int", "float") and isinstance(value, bool):
+            return [f"field {self.name!r}: expected {self.kind}, got bool"]
+        if not isinstance(value, expected):
+            return [
+                f"field {self.name!r}: expected {self.kind}, "
+                f"got {type(value).__name__}"
+            ]
+        return []
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """Declaration of one business-object type.
+
+    Attributes:
+        name: Catalog name (e.g. ``"order"``).
+        fields: Field declarations by name.
+        parent: Name of the parent type for hierarchical children
+            (``"order_line"`` has parent ``"order"``).
+        schema_version: Monotone version; events record the version they
+            were written under and readers must tolerate older ones.
+        description: Human documentation.
+    """
+
+    name: str
+    fields: Mapping[str, FieldSpec] = field(default_factory=dict)
+    parent: Optional[str] = None
+    schema_version: int = 1
+    description: str = ""
+
+    @staticmethod
+    def define(
+        name: str,
+        field_specs: list[FieldSpec],
+        parent: Optional[str] = None,
+        schema_version: int = 1,
+        description: str = "",
+    ) -> "EntityType":
+        """Convenience constructor from a spec list."""
+        return EntityType(
+            name=name,
+            fields={spec.name: spec for spec in field_specs},
+            parent=parent,
+            schema_version=schema_version,
+            description=description,
+        )
+
+    def problems_with(
+        self, payload: Mapping[str, Any], complete: bool = False
+    ) -> list[str]:
+        """Advisory validation of a payload.
+
+        Args:
+            payload: Field values to check.
+            complete: Whether to also report missing required fields
+                (entry-stage data is allowed to be incomplete —
+                principle 2.2 — so this defaults to ``False``).
+
+        Returns:
+            Problem descriptions; empty means acceptable.
+        """
+        problems: list[str] = []
+        for name, value in payload.items():
+            spec = self.fields.get(name)
+            if spec is None:
+                problems.append(f"unknown field {name!r} on {self.name!r}")
+            else:
+                problems.extend(spec.problems_with(value))
+        if complete:
+            for name, spec in self.fields.items():
+                if spec.required and payload.get(name) is None:
+                    problems.append(f"missing required field {name!r}")
+        return problems
+
+    def validate_strict(
+        self, payload: Mapping[str, Any], complete: bool = False
+    ) -> None:
+        """Raise :class:`SchemaViolation` on any advisory problem.
+
+        For the data classes where prevention *is* appropriate
+        (section 4: "consistency is a critical consideration for certain
+        business applications").
+        """
+        problems = self.problems_with(payload, complete=complete)
+        if problems:
+            raise SchemaViolation("; ".join(problems))
+
+    def references(self) -> dict[str, str]:
+        """Foreign-key fields: ``{field_name: referenced_type}``."""
+        return {
+            name: spec.reference
+            for name, spec in self.fields.items()
+            if spec.reference
+        }
+
+
+class EntityCatalog:
+    """The registry of entity types.
+
+    Example:
+        >>> catalog = EntityCatalog()
+        >>> _ = catalog.register(EntityType.define(
+        ...     "order", [FieldSpec("total", "float", required=True)]))
+        >>> catalog.get("order").name
+        'order'
+        >>> catalog.get("order").problems_with({"total": "oops"})
+        ["field 'total': expected float, got str"]
+    """
+
+    def __init__(self):
+        self._types: dict[str, EntityType] = {}
+
+    def register(self, entity_type: EntityType) -> EntityType:
+        """Add (or replace, for schema evolution) a type declaration.
+
+        Replacing requires a strictly newer ``schema_version`` — the
+        "only supportable changes can be permitted" rule of section 3.1.
+        """
+        existing = self._types.get(entity_type.name)
+        if existing is not None and entity_type.schema_version <= existing.schema_version:
+            raise SchemaViolation(
+                f"cannot replace {entity_type.name!r} schema v{existing.schema_version} "
+                f"with v{entity_type.schema_version}; bump schema_version"
+            )
+        self._types[entity_type.name] = entity_type
+        return entity_type
+
+    def get(self, name: str) -> EntityType:
+        """Look up a type declaration.
+
+        Raises:
+            UnknownEntityType: If the name is not registered.
+        """
+        entity_type = self._types.get(name)
+        if entity_type is None:
+            raise UnknownEntityType(name)
+        return entity_type
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> list[str]:
+        """All registered type names."""
+        return sorted(self._types)
+
+    def children_of(self, parent_name: str) -> list[EntityType]:
+        """Types declaring ``parent_name`` as their parent."""
+        return [
+            entity_type
+            for entity_type in self._types.values()
+            if entity_type.parent == parent_name
+        ]
+
+
+def child_key(parent_key: str, child_suffix: str) -> str:
+    """The hierarchical key of a child under ``parent_key``.
+
+    The suffix must be a single path segment (no ``/``) so that
+    :func:`parent_key` can strip exactly one level; use dashes inside a
+    segment, e.g. ``child_key("order/o1", "line-2")``.
+    """
+    if "/" in child_suffix:
+        raise ValueError(f"child suffix may not contain '/': {child_suffix!r}")
+    return f"{parent_key}/{child_suffix}"
+
+
+def parent_key(key: str) -> Optional[str]:
+    """The parent portion of a hierarchical key (``None`` for roots)."""
+    if "/" not in key:
+        return None
+    return key.rsplit("/", 1)[0]
+
+
+def is_descendant(key: str, ancestor_key: str) -> bool:
+    """Whether ``key`` lies under ``ancestor_key`` in the hierarchy."""
+    return key.startswith(ancestor_key + "/")

@@ -1,0 +1,217 @@
+"""The eleven principles, as machine-readable metadata.
+
+The paper's contribution is the principles themselves; this module
+records them verbatim (number, title, one-line statement) together with
+the modules that mechanise each one and the experiments that measure it.
+Tests in ``tests/test_principles.py`` assert that every referenced
+module imports and every referenced experiment has a bench file — a
+living table of contents that keeps code and paper aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Principle:
+    """One principle from paper section 2.
+
+    Attributes:
+        number: Subsection number within section 2 (1..11).
+        slug: Short stable identifier.
+        title: The paper's heading.
+        statement: The paper's italicised one-line statement.
+        mechanisms: Importable module paths implementing the principle.
+        experiments: Experiment ids (see DESIGN.md section 3) measuring
+            the tradeoff the principle asserts.
+    """
+
+    number: int
+    slug: str
+    title: str
+    statement: str
+    mechanisms: tuple[str, ...]
+    experiments: tuple[str, ...]
+
+
+PRINCIPLES: tuple[Principle, ...] = (
+    Principle(
+        number=1,
+        slug="reality-is-real",
+        title="Reality is real",
+        statement=(
+            "Business data may not always correctly reflect the state of "
+            "the world or the business."
+        ),
+        mechanisms=(
+            "repro.core.constraints",
+            "repro.apps.inventory",
+        ),
+        experiments=("E9",),
+    ),
+    Principle(
+        number=2,
+        slug="out-of-order-works",
+        title="Out-of-order works",
+        statement=(
+            "Transactions and events sometimes happen in unexpected "
+            "sequences, temporarily violating integrity constraints."
+        ),
+        mechanisms=(
+            "repro.core.constraints",
+            "repro.apps.crm",
+        ),
+        experiments=("E9",),
+    ),
+    Principle(
+        number=3,
+        slug="ill-do-it-eventually",
+        title="I'll do it eventually",
+        statement="Secondary data need not be updated with primary data.",
+        mechanisms=(
+            "repro.core.transaction",
+            "repro.lsdb.index",
+            "repro.locks.logical",
+        ),
+        experiments=("E2",),
+    ),
+    Principle(
+        number=4,
+        slug="focused-process-steps",
+        title="Process steps should focus",
+        statement=(
+            "Processes should be made up of process steps, connected by "
+            "events; a process step should contain at most one "
+            "transaction, which commits at the end of the step."
+        ),
+        mechanisms=(
+            "repro.core.process",
+            "repro.queues",
+        ),
+        experiments=("E7",),
+    ),
+    Principle(
+        number=5,
+        slug="focused-transactions",
+        title="Transactions should focus",
+        statement=(
+            "Whenever possible, update only a single (frequently "
+            "hierarchical) entity within a transaction."
+        ),
+        mechanisms=(
+            "repro.core.entity",
+            "repro.partition",
+            "repro.locks.two_pc",
+        ),
+        experiments=("E3",),
+    ),
+    Principle(
+        number=6,
+        slug="soups",
+        title="Single Object Update per Process Step: SOUPS on",
+        statement=(
+            "Each process step consists of at most one transaction, "
+            "updating exactly one data object, possibly also generating "
+            "reliable and/or transactional events."
+        ),
+        mechanisms=(
+            "repro.core.process",
+            "repro.queues.transactional",
+        ),
+        experiments=("E3", "E7"),
+    ),
+    Principle(
+        number=7,
+        slug="i-remember-it-well",
+        title="I remember it well",
+        statement=(
+            "Handle (almost all) updates as inserts of new data, and "
+            "handle deletes by marking data as deleted, rather than "
+            "actually deleting."
+        ),
+        mechanisms=(
+            "repro.lsdb",
+            "repro.merge.deltas",
+        ),
+        experiments=("E8",),
+    ),
+    Principle(
+        number=8,
+        slug="beware-the-consequences",
+        title="Beware the consequences",
+        statement=(
+            "Data written in transactions should describe what the "
+            "transactions do, not just transaction consequences."
+        ),
+        mechanisms=(
+            "repro.merge.deltas",
+            "repro.apps.banking",
+        ),
+        experiments=("E11",),
+    ),
+    Principle(
+        number=9,
+        slug="i-think-i-can",
+        title="I think I can",
+        statement=(
+            "Process steps and user experience should be designed to "
+            "support tentative operations and apology-oriented computing."
+        ),
+        mechanisms=(
+            "repro.core.compensation",
+            "repro.apps.bookstore",
+            "repro.apps.scm",
+        ),
+        experiments=("E5", "E10"),
+    ),
+    Principle(
+        number=10,
+        slug="solipsists-get-things-done",
+        title="Solipsists get things done quickly",
+        statement=(
+            "Each transaction acts based on its local view of the data, "
+            "without considering other local transactions."
+        ),
+        mechanisms=(
+            "repro.core.transaction",
+            "repro.core.conflict",
+            "repro.locks.two_phase",
+            "repro.locks.optimistic",
+        ),
+        experiments=("E4",),
+    ),
+    Principle(
+        number=11,
+        slug="the-show-must-go-on",
+        title="The show must go on",
+        statement="Business services should always be available.",
+        mechanisms=(
+            "repro.replication.active_active",
+            "repro.replication.quorum",
+            "repro.sim.failure",
+        ),
+        experiments=("E1", "E12"),
+    ),
+)
+
+
+def get_principle(number: int) -> Principle:
+    """Look up a principle by its section-2 subsection number.
+
+    Raises:
+        KeyError: If ``number`` is not in 1..11.
+    """
+    for principle in PRINCIPLES:
+        if principle.number == number:
+            return principle
+    raise KeyError(f"no principle {number}; valid numbers are 1..11")
+
+
+def principles_for_experiment(experiment_id: str) -> list[Principle]:
+    """Principles measured by a given experiment id (e.g. ``"E4"``)."""
+    return [
+        principle
+        for principle in PRINCIPLES
+        if experiment_id in principle.experiments
+    ]

@@ -1,0 +1,472 @@
+"""The process engine: steps, events, SOUPS, and step collapsing.
+
+Principles 2.4 and 2.6 define the programming model this module
+enforces:
+
+* a **process** is a series of **steps** connected by events;
+* each step contains **at most one transaction**, which commits at the
+  end of the step (there is no application work after commit inside a
+  step);
+* under **SOUPS** each step's transaction updates **exactly one
+  entity** — a :class:`~repro.errors.SoupsViolation` is raised the
+  moment a handler touches a second one;
+* a committed step may enqueue events that trigger further steps; a
+  failed step leaks nothing (transactional outbox) and is retried by
+  the queue's at-least-once machinery, with idempotent receivers
+  absorbing duplicates.
+
+Section 3.1's performance escape hatches are here too:
+
+* :meth:`ProcessEngine.collapse_vertical` fuses a linear chain of steps
+  of one process into a single step running one transaction (fewer
+  queue hops, longer transaction);
+* :meth:`ProcessEngine.collapse_horizontal` batches several triggering
+  events of one step into a single transaction (throughput for
+  response time).
+
+Experiment E7 sweeps both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.transaction import Transaction, TransactionManager
+from repro.errors import SoupsViolation
+from repro.lsdb.rollup import EntityState
+from repro.merge.deltas import Delta
+from repro.queues.idempotence import IdempotentReceiver
+from repro.queues.message import Message
+from repro.queues.reliable import ReliableQueue
+
+
+class StepContext:
+    """What a step handler may do.
+
+    Wraps the step's transaction with SOUPS enforcement: the first
+    entity a handler updates becomes *the* entity of the step; touching
+    any other raises :class:`SoupsViolation` (unless the engine was
+    built with ``enforce_soups=False``, used by collapsed steps whose
+    single transaction legitimately spans local entities).
+    """
+
+    def __init__(
+        self,
+        message: Message,
+        tx: Transaction,
+        enforce_soups: bool = True,
+    ):
+        self.message = message
+        self.tx = tx
+        self.enforce_soups = enforce_soups
+        self._pinned: Optional[tuple[str, str]] = None
+
+    # -- reads are unrestricted (SOUPS restricts *updates*) ------------- #
+
+    def read(self, entity_type: str, entity_key: str) -> Optional[EntityState]:
+        """Read any entity (subjectively: the local store's view)."""
+        return self.tx.read(entity_type, entity_key)
+
+    # -- updates are pinned to one entity -------------------------------- #
+
+    def insert(self, entity_type: str, entity_key: str, fields: Mapping[str, Any]) -> None:
+        """Insert the step's entity."""
+        self._pin(entity_type, entity_key)
+        self.tx.insert(entity_type, entity_key, fields)
+
+    def apply_delta(self, entity_type: str, entity_key: str, delta: Delta) -> None:
+        """Adjust the step's entity."""
+        self._pin(entity_type, entity_key)
+        self.tx.apply_delta(entity_type, entity_key, delta)
+
+    def set_fields(self, entity_type: str, entity_key: str, fields: Mapping[str, Any]) -> None:
+        """Overwrite fields of the step's entity."""
+        self._pin(entity_type, entity_key)
+        self.tx.set_fields(entity_type, entity_key, fields)
+
+    def tombstone(self, entity_type: str, entity_key: str) -> None:
+        """Mark the step's entity deleted."""
+        self._pin(entity_type, entity_key)
+        self.tx.tombstone(entity_type, entity_key)
+
+    def _pin(self, entity_type: str, entity_key: str) -> None:
+        ref = (entity_type, entity_key)
+        if not self.enforce_soups:
+            return
+        if self._pinned is None:
+            self._pinned = ref
+        elif self._pinned != ref:
+            raise SoupsViolation(
+                f"step already updates {self._pinned[0]}/{self._pinned[1]}; "
+                f"cannot also update {entity_type}/{entity_key} "
+                "(principle 2.6: one object per step — emit an event instead)"
+            )
+
+    # -- events & deferred work ----------------------------------------- #
+
+    def emit(self, topic: str, payload: Mapping[str, Any]) -> None:
+        """Enqueue a follow-up event (published only if the step's
+        transaction commits)."""
+        self.tx.enqueue(topic, payload)
+
+    def defer(self, name: str, run: Callable, cost: float = 1.0) -> None:
+        """Register a deferred secondary update (principle 2.3)."""
+        self.tx.defer(name, run, cost)
+
+    @property
+    def updated_entity(self) -> Optional[tuple[str, str]]:
+        """The entity this step updates (``None`` if read-only so far)."""
+        return self._pinned
+
+
+Handler = Callable[[StepContext], None]
+
+
+@dataclass
+class ProcessStep:
+    """Declaration of one step: the topic that triggers it and the
+    handler that runs inside its transaction."""
+
+    name: str
+    topic: str
+    handler: Handler
+
+
+@dataclass
+class EngineStats:
+    """Counters for the engine's activity."""
+
+    steps_run: int = 0
+    steps_committed: int = 0
+    steps_aborted: int = 0
+    soups_violations: int = 0
+    handler_errors: int = 0
+    batches_run: int = 0
+
+
+class ProcessEngine:
+    """Schedules process steps off the event queue.
+
+    Args:
+        tx_manager: Transaction factory for the engine's serialization
+            unit (one transaction per step).
+        queue: The event queue steps subscribe to and emit into.  Must
+            be the same queue the transaction manager's outboxes publish
+            to.
+        enforce_soups: Whether step contexts enforce single-object
+            updates (the default; collapsed steps relax it internally).
+    """
+
+    def __init__(
+        self,
+        tx_manager: TransactionManager,
+        queue: ReliableQueue,
+        enforce_soups: bool = True,
+    ):
+        self.tx_manager = tx_manager
+        self.queue = queue
+        self.enforce_soups = enforce_soups
+        self.stats = EngineStats()
+        self._steps: dict[str, ProcessStep] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register_step(self, step: ProcessStep) -> None:
+        """Subscribe a step to its triggering topic, behind an
+        idempotent receiver (at-least-once delivery is a given)."""
+        if step.name in self._steps:
+            raise ValueError(f"duplicate step name {step.name!r}")
+        self._steps[step.name] = step
+        receiver = IdempotentReceiver(
+            lambda message, bound=step: self._run_step(bound, message),
+            name=step.name,
+        )
+        self.queue.subscribe(step.topic, receiver)
+
+    def step(self, name: str, topic: str) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`register_step`.
+
+        Example:
+            >>> # @engine.step("qualify", "lead.entered")
+            >>> # def qualify(ctx): ...
+        """
+
+        def decorate(handler: Handler) -> Handler:
+            self.register_step(ProcessStep(name=name, topic=topic, handler=handler))
+            return handler
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def start_process(self, topic: str, payload: Mapping[str, Any]) -> Message:
+        """Kick off a process by publishing its initial event."""
+        return self.queue.enqueue(topic, payload)
+
+    def _run_step(self, step: ProcessStep, message: Message) -> bool:
+        """One step = one transaction; ack tracks commit."""
+        self.stats.steps_run += 1
+        tx = self.tx_manager.begin()
+        ctx = StepContext(message, tx, enforce_soups=self.enforce_soups)
+        try:
+            step.handler(ctx)
+        except SoupsViolation:
+            # A SOUPS violation is a deterministic programming error:
+            # retrying cannot help, so nack — the queue's retry cap will
+            # park the message on the dead-letter list for the operator.
+            self.stats.soups_violations += 1
+            tx.abort("SOUPS violation")
+            self.stats.steps_aborted += 1
+            return False
+        except Exception:
+            self.stats.handler_errors += 1
+            tx.abort("handler error")
+            self.stats.steps_aborted += 1
+            return False  # nack: the queue will redeliver
+        receipt = tx.commit()
+        if receipt.committed:
+            self.stats.steps_committed += 1
+        else:
+            self.stats.steps_aborted += 1
+        return receipt.committed
+
+    # ------------------------------------------------------------------ #
+    # Collapsing optimizations (section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def collapse_vertical(
+        self,
+        name: str,
+        steps: list[ProcessStep],
+        trigger_topic: str,
+    ) -> ProcessStep:
+        """Fuse a linear chain of steps into one step with one
+        transaction.
+
+        Events a step emits that trigger the *next* step in the chain
+        are consumed internally (no queue round trip); all other emitted
+        events publish normally at commit.  The fused transaction may
+        update several entities — legal because everything is local to
+        this serialization unit ("that single transaction would have to
+        address local data only").
+
+        Returns:
+            The registered composite step.
+        """
+        if not steps:
+            raise ValueError("collapse_vertical needs at least one step")
+
+        def composite_handler(ctx: StepContext) -> None:
+            # The composite shares one transaction; sub-contexts disable
+            # SOUPS pinning (multi-entity is the point of the collapse)
+            # but capture internal hand-off events.
+            current_message = ctx.message
+            for position, inner_step in enumerate(steps):
+                inner_ctx = _CollectingContext(current_message, ctx.tx)
+                inner_step.handler(inner_ctx)
+                next_topic = (
+                    steps[position + 1].topic if position + 1 < len(steps) else None
+                )
+                handoff: Optional[Message] = None
+                for topic, payload in inner_ctx.collected:
+                    if topic == next_topic and handoff is None:
+                        handoff = Message(
+                            message_id=f"{current_message.message_id}:v{position}",
+                            topic=topic,
+                            payload=dict(payload),
+                        )
+                    else:
+                        ctx.tx.enqueue(topic, payload)
+                if next_topic is None:
+                    break
+                if handoff is None:
+                    break  # the chain chose not to continue
+                current_message = handoff
+
+        composite = ProcessStep(
+            name=name, topic=trigger_topic, handler=composite_handler
+        )
+        # Composite steps are inherently multi-entity: register with a
+        # context that does not enforce SOUPS.
+        self._steps[name] = composite
+        receiver = IdempotentReceiver(
+            lambda message: self._run_collapsed(composite, message), name=name
+        )
+        self.queue.subscribe(trigger_topic, receiver)
+        return composite
+
+    def _run_collapsed(self, step: ProcessStep, message: Message) -> bool:
+        self.stats.steps_run += 1
+        tx = self.tx_manager.begin()
+        ctx = StepContext(message, tx, enforce_soups=False)
+        try:
+            step.handler(ctx)
+        except Exception:
+            self.stats.handler_errors += 1
+            tx.abort("handler error")
+            self.stats.steps_aborted += 1
+            return False
+        receipt = tx.commit()
+        if receipt.committed:
+            self.stats.steps_committed += 1
+        else:
+            self.stats.steps_aborted += 1
+        return receipt.committed
+
+    def collapse_horizontal(
+        self,
+        name: str,
+        step: ProcessStep,
+        batch_size: int,
+    ) -> None:
+        """Batch ``batch_size`` triggering events of one step into a
+        single transaction.
+
+        Messages buffer until the batch fills; the batch then runs as
+        one transaction (one commit, one descriptor, one lock round)
+        processing every message.  Buffered messages are acknowledged on
+        arrival — a modelled simplification: the simulation measures
+        throughput/latency shape, and a real implementation would hold
+        the acks in the batch transaction.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        buffer: list[Message] = []
+
+        def batched(message: Message) -> bool:
+            buffer.append(message)
+            if len(buffer) < batch_size:
+                return True
+            batch, buffer[:] = list(buffer), []
+            self.stats.batches_run += 1
+            self.stats.steps_run += 1
+            tx = self.tx_manager.begin()
+            try:
+                for buffered in batch:
+                    step.handler(StepContext(buffered, tx, enforce_soups=False))
+            except Exception:
+                self.stats.handler_errors += 1
+                tx.abort("handler error")
+                self.stats.steps_aborted += 1
+                return False
+            receipt = tx.commit()
+            if receipt.committed:
+                self.stats.steps_committed += 1
+            else:
+                self.stats.steps_aborted += 1
+            return receipt.committed
+
+        self.queue.subscribe(step.topic, IdempotentReceiver(batched, name=name))
+
+
+    # ------------------------------------------------------------------ #
+    # Multi-event scheduling (section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def register_join(
+        self,
+        name: str,
+        topics: list[str],
+        correlate: Callable[[Message], str],
+        handler: Callable[["JoinContext"], None],
+    ) -> None:
+        """Register a step triggered by a *series* of events.
+
+        Section 3.1: "Scheduling for process steps (which may be based
+        on a series of events, not just a single event) is handled by
+        system infrastructure."  The join step fires once every topic
+        in ``topics`` has delivered a message with the same correlation
+        key; the handler then runs as one ordinary (SOUPS-checked)
+        transaction with all the correlated messages in hand.
+
+        Partial arrivals are acknowledged and buffered by the engine (a
+        modelled simplification — a durable implementation would stage
+        them in the store; the simulation measures scheduling
+        behaviour, not crash recovery of the buffer).
+
+        Args:
+            name: Step name.
+            topics: The event topics that must all arrive.
+            correlate: Extracts the correlation key from a message.
+            handler: Runs once per completed join, receiving a
+                :class:`JoinContext`.
+        """
+        if not topics:
+            raise ValueError("register_join needs at least one topic")
+        if name in self._steps:
+            raise ValueError(f"duplicate step name {name!r}")
+        self._steps[name] = ProcessStep(name, topics[0], lambda ctx: None)
+        pending: dict[str, dict[str, Message]] = {}
+        expected = set(topics)
+
+        def arrival(topic: str, message: Message) -> bool:
+            key = correlate(message)
+            bucket = pending.setdefault(key, {})
+            bucket[topic] = message
+            if set(bucket) != expected:
+                return True  # partial join: buffered, acked
+            del pending[key]
+            self.stats.steps_run += 1
+            tx = self.tx_manager.begin()
+            ctx = JoinContext(dict(bucket), tx, enforce_soups=self.enforce_soups)
+            try:
+                handler(ctx)
+            except SoupsViolation:
+                self.stats.soups_violations += 1
+                tx.abort("SOUPS violation")
+                self.stats.steps_aborted += 1
+                return False
+            except Exception:
+                self.stats.handler_errors += 1
+                tx.abort("handler error")
+                self.stats.steps_aborted += 1
+                return False
+            receipt = tx.commit()
+            if receipt.committed:
+                self.stats.steps_committed += 1
+            else:
+                self.stats.steps_aborted += 1
+            return receipt.committed
+
+        for topic in topics:
+            receiver = IdempotentReceiver(
+                lambda message, bound_topic=topic: arrival(bound_topic, message),
+                name=f"{name}:{topic}",
+            )
+            self.queue.subscribe(topic, receiver)
+
+class JoinContext(StepContext):
+    """Step context for multi-event (join) steps.
+
+    ``messages`` maps each triggering topic to its message; ``message``
+    (the base-class attribute) is the first topic's message for
+    compatibility with helpers that expect one.
+    """
+
+    def __init__(
+        self,
+        messages: dict[str, Message],
+        tx: Transaction,
+        enforce_soups: bool = True,
+    ):
+        first = next(iter(messages.values()))
+        super().__init__(first, tx, enforce_soups=enforce_soups)
+        self.messages = messages
+
+
+class _CollectingContext(StepContext):
+    """A sub-context for vertical collapsing: records emitted events
+    instead of enqueueing them, so the composite can route hand-offs
+    internally."""
+
+    def __init__(self, message: Message, tx: Transaction):
+        super().__init__(message, tx, enforce_soups=False)
+        self.collected: list[tuple[str, dict[str, Any]]] = []
+
+    def emit(self, topic: str, payload: Mapping[str, Any]) -> None:
+        self.collected.append((topic, dict(payload)))

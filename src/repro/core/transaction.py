@@ -1,0 +1,506 @@
+"""Transactions: solipsistic commits and principled procrastination.
+
+This module implements the paper's transaction model:
+
+* **Solipsistic mode** (principle 2.10): a transaction acts on its local
+  view "without considering other local transactions" — no locks, no
+  validation, commit always succeeds; conflicts are left to the
+  end-to-end resolution infrastructure (:mod:`repro.core.conflict`,
+  convergent rollup, compensation).
+* **Optimistic / try-lock modes**: the classical baselines (backward
+  validation; non-blocking logical-lock acquisition) so experiments can
+  measure what solipsism buys.
+* **The SAP deferred-update model** (principle 2.3): "a transaction
+  [completes] when a descriptor listing pending actions has been
+  committed to the database; the actions themselves are performed after
+  control has returned to the user.  Logical locks are held until the
+  actions have completed, but these prevent access by other users, not
+  the user who performed the transaction."  Commit appends the primary
+  events plus a durable descriptor entity, acknowledges the user, then
+  runs the deferred actions asynchronously under logical locks.
+  ``UpdateMode.SYNCHRONOUS`` is the alternative the paper also supports:
+  actions run before the acknowledgement — slower, but no
+  read-your-writes staleness window.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.core.constraints import ConstraintManager, Violation
+from repro.core.ops import PendingOp, preview_state
+from repro.errors import LockUnavailable, TransactionAborted, ValidationFailed
+from repro.locks.logical import LockMode, LogicalLockManager
+from repro.locks.optimistic import OCCValidator
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.rollup import EntityState
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.queues.reliable import ReliableQueue
+from repro.queues.transactional import TransactionalOutbox
+from repro.sim.scheduler import Simulator
+
+#: Entity type of the durable pending-actions descriptor (the SAP model's
+#: commit record).
+DESCRIPTOR_TYPE = "__tx_descriptor__"
+
+
+class CCMode(enum.Enum):
+    """Concurrency-control discipline of a transaction."""
+
+    SOLIPSISTIC = "solipsistic"
+    OPTIMISTIC = "optimistic"
+    TRY_LOCK = "try_lock"
+
+
+class UpdateMode(enum.Enum):
+    """When deferred actions run relative to the user acknowledgement."""
+
+    DEFERRED = "deferred"
+    SYNCHRONOUS = "synchronous"
+
+
+@dataclass
+class DeferredAction:
+    """A secondary update performed after (or at) commit.
+
+    Attributes:
+        name: Diagnostic name, recorded in the descriptor.
+        run: Callable applying the action to the store (update an
+            aggregate, refresh an index, ...).
+        cost: Virtual time the action occupies.
+    """
+
+    name: str
+    run: Callable[[LSDBStore], None]
+    cost: float = 1.0
+
+
+@dataclass
+class CommitReceipt:
+    """What the user learns from a commit attempt.
+
+    Attributes:
+        tx_id: The transaction id.
+        committed: Whether the transaction committed.
+        reason: Abort reason ("" when committed).
+        submitted_at: Virtual time ``commit()`` was called.
+        acked_at: Virtual time control returns to the user.  In deferred
+            mode this precedes :attr:`actions_done_at`; the gap is the
+            read-your-writes staleness window experiment E2 measures.
+        actions_done_at: Virtual time the last deferred action applied.
+        events: Log events the transaction appended.
+        violations: Managed constraint violations recorded at commit.
+    """
+
+    tx_id: str
+    committed: bool
+    reason: str = ""
+    submitted_at: float = 0.0
+    acked_at: float = 0.0
+    actions_done_at: float = 0.0
+    events: list[LogEvent] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        """User-perceived latency of the commit."""
+        return self.acked_at - self.submitted_at
+
+    @property
+    def staleness_window(self) -> float:
+        """How long committed-but-unapplied secondary updates linger."""
+        return max(0.0, self.actions_done_at - self.acked_at)
+
+
+class Transaction:
+    """One open transaction: buffered ops, reads, events, actions.
+
+    Obtained from :meth:`TransactionManager.begin`; not constructed
+    directly.
+    """
+
+    def __init__(self, manager: "TransactionManager", tx_id: str, mode: CCMode):
+        self.manager = manager
+        self.tx_id = tx_id
+        self.mode = mode
+        self.ops: list[PendingOp] = []
+        self.actions: list[DeferredAction] = []
+        self.read_set: set[str] = set()
+        self.outbox: Optional[TransactionalOutbox] = (
+            TransactionalOutbox(manager.queue, tx_id) if manager.queue else None
+        )
+        self.begun_at = manager.now()
+        self.finished = False
+        if mode is CCMode.OPTIMISTIC:
+            manager.occ.begin(tx_id)
+
+    # ------------------------------------------------------------------ #
+    # Reads (read-your-writes within the transaction)
+    # ------------------------------------------------------------------ #
+
+    def read(self, entity_type: str, entity_key: str) -> Optional[EntityState]:
+        """Read an entity, overlaying this transaction's pending writes.
+
+        Records the read for optimistic validation.  Note the subjective
+        framing: this is the *local replica's* current state, nothing
+        more (paper section 1).
+        """
+        self._check_open()
+        self.read_set.add(f"{entity_type}/{entity_key}")
+        base = self.manager.store.get(entity_type, entity_key)
+        own_ops = [op for op in self.ops if op.entity_ref == (entity_type, entity_key)]
+        if not own_ops:
+            return base
+        return preview_state(base, own_ops)
+
+    # ------------------------------------------------------------------ #
+    # Writes (buffered until commit)
+    # ------------------------------------------------------------------ #
+
+    def insert(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: Mapping[str, Any],
+        tags: Iterable[str] = (),
+    ) -> None:
+        """Buffer an insert (a new entity version)."""
+        self._buffer(EventKind.INSERT, entity_type, entity_key, dict(fields), tags)
+
+    def apply_delta(
+        self,
+        entity_type: str,
+        entity_key: str,
+        delta: Delta,
+        tags: Iterable[str] = (),
+    ) -> None:
+        """Buffer a commutative delta (record the operation, 2.8)."""
+        self._buffer(EventKind.DELTA, entity_type, entity_key, delta.to_payload(), tags)
+
+    def set_fields(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: Mapping[str, Any],
+        tags: Iterable[str] = (),
+    ) -> None:
+        """Buffer a field overwrite (prefer deltas where possible)."""
+        self._buffer(EventKind.SET_FIELDS, entity_type, entity_key, dict(fields), tags)
+
+    def tombstone(self, entity_type: str, entity_key: str) -> None:
+        """Buffer a deletion mark."""
+        self._buffer(EventKind.TOMBSTONE, entity_type, entity_key, {}, ())
+
+    def mark_obsolete(self, entity_type: str, entity_key: str) -> None:
+        """Buffer an obsolescence mark (tentative data superseded)."""
+        self._buffer(EventKind.OBSOLETE, entity_type, entity_key, {}, ())
+
+    def _buffer(
+        self,
+        kind: EventKind,
+        entity_type: str,
+        entity_key: str,
+        payload: dict[str, Any],
+        tags: Iterable[str],
+    ) -> None:
+        self._check_open()
+        self.ops.append(
+            PendingOp(
+                kind=kind,
+                entity_type=entity_type,
+                entity_key=entity_key,
+                payload=payload,
+                tags=frozenset(tags),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Side channels
+    # ------------------------------------------------------------------ #
+
+    def defer(
+        self,
+        name: str,
+        run: Callable[[LSDBStore], None],
+        cost: float = 1.0,
+    ) -> None:
+        """Register a deferred action (secondary update, principle 2.3).
+
+        The action becomes part of the committed descriptor and runs
+        after the acknowledgement (deferred mode) or before it
+        (synchronous mode).
+        """
+        self._check_open()
+        self.actions.append(DeferredAction(name=name, run=run, cost=cost))
+
+    def enqueue(self, topic: str, payload: Mapping[str, Any]) -> Optional[str]:
+        """Buffer an event for publication at commit (transactional
+        outbox — failed transactions leak no events, principle 2.4)."""
+        self._check_open()
+        if self.outbox is None:
+            return None
+        return self.outbox.enqueue(topic, payload)
+
+    def enqueue_on_abort(self, topic: str, payload: Mapping[str, Any]) -> Optional[str]:
+        """Buffer an infrastructure compensation event published only if
+        this transaction aborts (post-rollback actions, 2.4)."""
+        self._check_open()
+        if self.outbox is None:
+            return None
+        return self.outbox.enqueue_on_abort(topic, payload)
+
+    # ------------------------------------------------------------------ #
+    # Outcome
+    # ------------------------------------------------------------------ #
+
+    def touched_entities(self) -> set[tuple[str, str]]:
+        """Entity refs this transaction writes."""
+        return {op.entity_ref for op in self.ops}
+
+    def commit(self) -> CommitReceipt:
+        """Attempt to commit; see :class:`CommitReceipt`.
+
+        Never raises for concurrency or managed-constraint outcomes —
+        the receipt carries success/failure so simulator-driven clients
+        can branch without exception plumbing.
+        """
+        self._check_open()
+        return self.manager._commit(self)
+
+    def abort(self, reason: str = "explicit rollback") -> CommitReceipt:
+        """Roll back: buffered ops are discarded, abort-bound
+        compensation events publish, locks/validators release."""
+        self._check_open()
+        return self.manager._abort(self, reason)
+
+    def _check_open(self) -> None:
+        if self.finished:
+            raise TransactionAborted(f"transaction {self.tx_id} already finished")
+
+
+class TransactionManager:
+    """Factory and commit engine for transactions over one store.
+
+    Args:
+        store: The serialization unit's store.
+        sim: Optional simulator; without it, deferred actions run inline
+            and all receipt times collapse to the store clock.
+        queue: Optional queue backing transactional outboxes.
+        constraints: Optional constraint manager consulted at commit.
+        cc_mode: Default concurrency-control mode for new transactions.
+        update_mode: Deferred (SAP default) or synchronous secondary
+            updates.
+        commit_cost: Virtual time to durably commit the descriptor.
+        defer_lag: Virtual time between user ack and the first deferred
+            action starting (queueing/dispatch delay).
+        locks: Logical lock manager; required for ``TRY_LOCK`` mode and
+            used to hold entity locks while deferred actions run.
+    """
+
+    def __init__(
+        self,
+        store: LSDBStore,
+        sim: Optional[Simulator] = None,
+        queue: Optional[ReliableQueue] = None,
+        constraints: Optional[ConstraintManager] = None,
+        cc_mode: CCMode = CCMode.SOLIPSISTIC,
+        update_mode: UpdateMode = UpdateMode.DEFERRED,
+        commit_cost: float = 1.0,
+        defer_lag: float = 1.0,
+        locks: Optional[LogicalLockManager] = None,
+    ):
+        self.store = store
+        self.sim = sim
+        self.queue = queue
+        self.constraints = constraints
+        self.cc_mode = cc_mode
+        self.update_mode = update_mode
+        self.commit_cost = commit_cost
+        self.defer_lag = defer_lag
+        self.locks = locks or LogicalLockManager()
+        self.occ = OCCValidator()
+        self._tx_ids = itertools.count(1)
+        self.commits = 0
+        self.aborts = 0
+        self.abort_reasons: dict[str, int] = {}
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now if self.sim else 0.0
+
+    def begin(self, mode: Optional[CCMode] = None, tx_id: str = "") -> Transaction:
+        """Open a transaction (one per process step — principle 2.4)."""
+        return Transaction(
+            self,
+            tx_id or f"tx-{next(self._tx_ids)}",
+            mode or self.cc_mode,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Commit path
+    # ------------------------------------------------------------------ #
+
+    def _commit(self, tx: Transaction) -> CommitReceipt:
+        submitted_at = self.now()
+        # 1. Concurrency control.  Solipsists skip straight through.
+        if tx.mode is CCMode.OPTIMISTIC:
+            write_keys = [f"{ref[0]}/{ref[1]}" for ref in tx.touched_entities()]
+            try:
+                self.occ.commit(tx.tx_id, tx.read_set, write_keys)
+            except ValidationFailed as error:
+                return self._abort(tx, str(error), occ_done=True)
+        elif tx.mode is CCMode.TRY_LOCK:
+            acquired: list[str] = []
+            for ref in sorted(tx.touched_entities()):
+                resource = f"{ref[0]}/{ref[1]}"
+                if self.locks.acquire(resource, tx.tx_id, LockMode.EXCLUSIVE):
+                    acquired.append(resource)
+                else:
+                    for resource_name in acquired:
+                        self.locks.release(resource_name, tx.tx_id)
+                    return self._abort(
+                        tx, f"lock unavailable on {resource}", occ_done=True
+                    )
+        # 2. Constraints (managed violations record; PREVENT blocks).
+        violations: list[Violation] = []
+        if self.constraints is not None and tx.ops:
+            outcome = self.constraints.check_ops(tx.ops, tx_id=tx.tx_id)
+            if outcome.blocking:
+                if tx.mode is CCMode.TRY_LOCK:
+                    self.locks.release_all(tx.tx_id)
+                return self._abort(tx, "blocking constraint violation", occ_done=True)
+            violations = outcome.violations
+        # 3. Make the primary events durable.
+        events = [self._append_op(op, tx.tx_id) for op in tx.ops]
+        # 4. Commit the descriptor listing pending actions (the SAP
+        #    model's durable to-do list).
+        if tx.actions:
+            self.store.insert(
+                DESCRIPTOR_TYPE,
+                tx.tx_id,
+                {
+                    "status": "pending",
+                    "actions": [action.name for action in tx.actions],
+                },
+            )
+        # 5. Hold logical locks on touched entities until the deferred
+        #    actions complete (they exclude *other* lock-respecting
+        #    users, never the owner).
+        if tx.actions:
+            for ref in sorted(tx.touched_entities()):
+                self.locks.acquire(f"{ref[0]}/{ref[1]}", tx.tx_id, LockMode.EXCLUSIVE)
+        # 6. Publish the outbox (events exist only for committed work).
+        if tx.outbox is not None:
+            tx.outbox.publish_on_commit()
+        # 7. Schedule the deferred actions and compute the timeline.
+        acked_at, actions_done_at = self._schedule_actions(tx, submitted_at)
+        if not tx.actions:
+            # No deferred work: nothing justifies holding locks past
+            # the commit itself.
+            self.locks.release_all(tx.tx_id)
+        tx.finished = True
+        self.commits += 1
+        return CommitReceipt(
+            tx_id=tx.tx_id,
+            committed=True,
+            submitted_at=submitted_at,
+            acked_at=acked_at,
+            actions_done_at=actions_done_at,
+            events=events,
+            violations=violations,
+        )
+
+    def _append_op(self, op: PendingOp, tx_id: str) -> LogEvent:
+        if op.kind is EventKind.INSERT:
+            return self.store.insert(
+                op.entity_type, op.entity_key, dict(op.payload), tx_id, op.tags
+            )
+        if op.kind is EventKind.DELTA:
+            return self.store.apply_delta(
+                op.entity_type,
+                op.entity_key,
+                Delta.from_payload(op.payload),
+                tx_id,
+                op.tags,
+            )
+        if op.kind is EventKind.SET_FIELDS:
+            return self.store.set_fields(
+                op.entity_type, op.entity_key, dict(op.payload), tx_id, op.tags
+            )
+        if op.kind is EventKind.TOMBSTONE:
+            return self.store.tombstone(op.entity_type, op.entity_key, tx_id, op.tags)
+        return self.store.mark_obsolete(op.entity_type, op.entity_key, tx_id, op.tags)
+
+    def _schedule_actions(
+        self, tx: Transaction, submitted_at: float
+    ) -> tuple[float, float]:
+        """Returns ``(acked_at, actions_done_at)`` and arranges for each
+        action to apply at its completion time."""
+        commit_done = submitted_at + self.commit_cost
+        total_action_cost = sum(action.cost for action in tx.actions)
+        if not tx.actions:
+            return commit_done, commit_done
+        if self.update_mode is UpdateMode.SYNCHRONOUS:
+            start = commit_done
+            acked_at = commit_done + total_action_cost
+            done_at = acked_at
+        else:
+            acked_at = commit_done
+            start = commit_done + self.defer_lag
+            done_at = start + total_action_cost
+        if self.sim is None:
+            for action in tx.actions:
+                action.run(self.store)
+            self._finish_actions(tx)
+            return acked_at, done_at
+        cursor = start
+        for action in tx.actions:
+            cursor += action.cost
+            self.sim.schedule_at(
+                cursor,
+                (lambda bound_action=action: bound_action.run(self.store)),
+                label=f"deferred:{tx.tx_id}:{action.name}",
+            )
+        self.sim.schedule_at(
+            done_at, lambda: self._finish_actions(tx), label=f"tx-done:{tx.tx_id}"
+        )
+        return acked_at, done_at
+
+    def _finish_actions(self, tx: Transaction) -> None:
+        """Mark the descriptor done and drop the logical locks."""
+        self.store.set_fields(DESCRIPTOR_TYPE, tx.tx_id, {"status": "done"})
+        self.locks.release_all(tx.tx_id)
+
+    # ------------------------------------------------------------------ #
+    # Abort path
+    # ------------------------------------------------------------------ #
+
+    def _abort(
+        self, tx: Transaction, reason: str, occ_done: bool = False
+    ) -> CommitReceipt:
+        if tx.mode is CCMode.OPTIMISTIC and not occ_done:
+            self.occ.abort(tx.tx_id)
+        if tx.outbox is not None:
+            tx.outbox.discard_on_abort()
+        tx.finished = True
+        self.aborts += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+        now = self.now()
+        return CommitReceipt(
+            tx_id=tx.tx_id,
+            committed=False,
+            reason=reason,
+            submitted_at=now,
+            acked_at=now,
+            actions_done_at=now,
+        )
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts as a fraction of finished transactions."""
+        finished = self.commits + self.aborts
+        return self.aborts / finished if finished else 0.0

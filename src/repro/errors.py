@@ -1,0 +1,109 @@
+"""Shared exception hierarchy for the ``repro`` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate on the specific condition.
+
+The hierarchy mirrors the paper's distinction between *prevented* failures
+(programming errors, unsupported requests — raised eagerly) and *managed*
+inconsistency (constraint violations, conflicts — which are ordinarily
+recorded and handled, not raised; see :mod:`repro.core.constraints`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly (e.g. time moved backwards)."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be routed (unknown node, node not registered)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-processing failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back.
+
+    Attributes:
+        reason: Human-readable explanation (deadlock victim, validation
+            failure, explicit rollback, ...).
+    """
+
+    def __init__(self, reason: str = "aborted"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class DeadlockDetected(TransactionAborted):
+    """The transaction was chosen as a deadlock victim under 2PL."""
+
+    def __init__(self, reason: str = "deadlock victim"):
+        super().__init__(reason)
+
+
+class ValidationFailed(TransactionAborted):
+    """Optimistic concurrency control validation failed at commit."""
+
+    def __init__(self, reason: str = "optimistic validation failed"):
+        super().__init__(reason)
+
+
+class LockUnavailable(TransactionError):
+    """A non-blocking lock request could not be granted."""
+
+
+class EntityError(ReproError):
+    """Base class for entity-model failures."""
+
+
+class UnknownEntityType(EntityError):
+    """An entity type name was not registered in the catalog."""
+
+
+class EntityNotFound(EntityError):
+    """No live version of the requested entity exists."""
+
+
+class SchemaViolation(EntityError):
+    """A payload does not match the entity type's declared schema."""
+
+
+class ProcessError(ReproError):
+    """Base class for process-engine failures."""
+
+
+class SoupsViolation(ProcessError):
+    """A process step tried to update more than one entity or run more
+    than one transaction, violating the SOUPS principle (paper section 2.6)."""
+
+
+class QueueError(ReproError):
+    """Base class for messaging failures."""
+
+
+class DuplicateMessage(QueueError):
+    """An idempotent receiver rejected a message it has already processed."""
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-scheme failures."""
+
+
+class QuorumUnavailable(ReplicationError):
+    """A quorum operation could not reach enough replicas (CAP tradeoff)."""
+
+
+class NotMaster(ReplicationError):
+    """An update was sent to a replica that does not accept updates."""
+
+
+class ConsistencyPolicyError(ReproError):
+    """No consistency policy matches the requested data class/application."""

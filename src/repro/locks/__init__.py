@@ -1,0 +1,27 @@
+"""Concurrency control: SAP-style logical locks plus the classical
+baselines the paper's principles are measured against.
+
+* :class:`LogicalLockManager` — coarse, non-blocking, owner-scoped locks
+  held across deferred updates (principle 2.3, section 3.1).
+* :class:`LockManager2PL` — strict two-phase locking with deadlock
+  detection (the pessimistic foil of principle 2.10).
+* :class:`OCCValidator` — backward-validation optimistic concurrency
+  control (the abort/retry foil of principle 2.10).
+* :class:`TwoPCCoordinator` / :class:`TwoPCParticipant` — distributed
+  two-phase commit (the cross-entity transaction cost of principle 2.5).
+"""
+
+from repro.locks.logical import LockMode, LogicalLockManager
+from repro.locks.optimistic import OCCValidator
+from repro.locks.two_pc import TwoPCCoordinator, TwoPCParticipant, TwoPCResult
+from repro.locks.two_phase import LockManager2PL
+
+__all__ = [
+    "LockMode",
+    "LogicalLockManager",
+    "OCCValidator",
+    "TwoPCCoordinator",
+    "TwoPCParticipant",
+    "TwoPCResult",
+    "LockManager2PL",
+]

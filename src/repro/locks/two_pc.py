@@ -1,0 +1,211 @@
+"""Two-phase commit over the simulated network — the distributed baseline.
+
+Principle 2.5: "When entities from two different organizational units
+are accessed in the same transaction, a distributed (two-phase commit)
+transaction is required, which impacts performance and availability."
+This module supplies that baseline so experiment E3 can measure the
+impact: a textbook presumed-abort 2PC with a coordinator and voting
+participants exchanging messages over :class:`~repro.sim.network.Network`.
+
+The two costs the paper alludes to are both observable here:
+
+* **performance** — a distributed commit takes two network round trips
+  versus zero for a single-entity local commit;
+* **availability** — a participant that voted yes is *in doubt* until it
+  hears the decision; if the coordinator crashes in that window the
+  participant stays blocked, holding its locks (``in_doubt`` exposes
+  this set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.sim.network import Network, Node
+
+
+@dataclass
+class TwoPCResult:
+    """Outcome of one distributed transaction."""
+
+    tx_id: str
+    decision: str  # "commit" | "abort"
+    started_at: float
+    decided_at: float
+    completed_at: float  # all acks received
+
+    @property
+    def decision_latency(self) -> float:
+        """Time from start until the coordinator decided."""
+        return self.decided_at - self.started_at
+
+    @property
+    def total_latency(self) -> float:
+        """Time from start until every participant acknowledged."""
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class _PendingCommit:
+    """Coordinator-side state for one in-flight 2PC round."""
+
+    tx_id: str
+    participants: set[str]
+    on_complete: Callable[[TwoPCResult], None]
+    started_at: float
+    votes: dict[str, bool] = field(default_factory=dict)
+    acks: set[str] = field(default_factory=set)
+    decision: Optional[str] = None
+    decided_at: float = 0.0
+    timeout_handle: Any = None
+
+
+class TwoPCParticipant(Node):
+    """A resource manager voting in two-phase commit.
+
+    Args:
+        node_id: Network id.
+        can_commit: Predicate deciding the vote for a transaction id
+            (e.g. "are my local constraints satisfiable?").
+        on_commit: Callback applying the transaction locally on a
+            commit decision.
+        on_abort: Callback rolling back on an abort decision.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        can_commit: Callable[[str], bool] = lambda _tx: True,
+        on_commit: Optional[Callable[[str], None]] = None,
+        on_abort: Optional[Callable[[str], None]] = None,
+    ):
+        super().__init__(node_id)
+        self.can_commit = can_commit
+        self.on_commit = on_commit
+        self.on_abort = on_abort
+        self.in_doubt: dict[str, float] = {}  # tx -> time it became in doubt
+        self.blocked_time_total = 0.0
+        self.committed: list[str] = []
+        self.aborted: list[str] = []
+
+    def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
+        kind = message.get("type")
+        tx_id = message.get("tx", "")
+        if kind == "prepare":
+            vote = bool(self.can_commit(tx_id))
+            if vote:
+                self.in_doubt[tx_id] = self._now()
+            self.send(source, {"type": "vote", "tx": tx_id, "yes": vote})
+        elif kind in ("commit", "abort"):
+            became_in_doubt = self.in_doubt.pop(tx_id, None)
+            if became_in_doubt is not None:
+                self.blocked_time_total += self._now() - became_in_doubt
+            if kind == "commit":
+                self.committed.append(tx_id)
+                if self.on_commit:
+                    self.on_commit(tx_id)
+            else:
+                self.aborted.append(tx_id)
+                if self.on_abort:
+                    self.on_abort(tx_id)
+            self.send(source, {"type": "ack", "tx": tx_id})
+
+    def _now(self) -> float:
+        assert self.network is not None
+        return self.network.sim.now
+
+
+class TwoPCCoordinator(Node):
+    """Presumed-abort two-phase commit coordinator.
+
+    Args:
+        node_id: Network id.
+        vote_timeout: Virtual time to wait for votes before unilaterally
+            aborting (covers lost messages and partitioned participants
+            — the availability hit principle 2.5 warns about).
+    """
+
+    def __init__(self, node_id: str, vote_timeout: float = 100.0):
+        super().__init__(node_id)
+        self.vote_timeout = vote_timeout
+        self._pending: dict[str, _PendingCommit] = {}
+        self.results: list[TwoPCResult] = []
+
+    def begin(
+        self,
+        tx_id: str,
+        participants: list[str],
+        on_complete: Optional[Callable[[TwoPCResult], None]] = None,
+    ) -> None:
+        """Start a 2PC round across ``participants``.
+
+        ``on_complete`` fires when every participant acknowledged the
+        decision; the result is also appended to :attr:`results`.
+        """
+        assert self.network is not None
+        if tx_id in self._pending:
+            raise ValueError(f"transaction {tx_id!r} already running")
+        pending = _PendingCommit(
+            tx_id=tx_id,
+            participants=set(participants),
+            on_complete=on_complete or (lambda _result: None),
+            started_at=self.network.sim.now,
+        )
+        self._pending[tx_id] = pending
+        pending.timeout_handle = self.network.sim.schedule(
+            self.vote_timeout,
+            lambda: self._on_vote_timeout(tx_id),
+            label=f"2pc-timeout:{tx_id}",
+        )
+        for participant in participants:
+            self.send(participant, {"type": "prepare", "tx": tx_id})
+
+    def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
+        kind = message.get("type")
+        tx_id = message.get("tx", "")
+        pending = self._pending.get(tx_id)
+        if pending is None:
+            return
+        if kind == "vote" and pending.decision is None:
+            pending.votes[source] = bool(message.get("yes"))
+            if not message.get("yes"):
+                self._decide(pending, "abort")
+            elif set(pending.votes) == pending.participants:
+                self._decide(pending, "commit")
+        elif kind == "ack" and pending.decision is not None:
+            pending.acks.add(source)
+            if pending.acks == pending.participants:
+                self._complete(pending)
+
+    def _on_vote_timeout(self, tx_id: str) -> None:
+        pending = self._pending.get(tx_id)
+        if pending is not None and pending.decision is None:
+            self._decide(pending, "abort")
+
+    def _decide(self, pending: _PendingCommit, decision: str) -> None:
+        assert self.network is not None
+        pending.decision = decision
+        pending.decided_at = self.network.sim.now
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        for participant in pending.participants:
+            self.send(participant, {"type": decision, "tx": pending.tx_id})
+
+    def _complete(self, pending: _PendingCommit) -> None:
+        assert self.network is not None
+        result = TwoPCResult(
+            tx_id=pending.tx_id,
+            decision=pending.decision or "abort",
+            started_at=pending.started_at,
+            decided_at=pending.decided_at,
+            completed_at=self.network.sim.now,
+        )
+        self.results.append(result)
+        del self._pending[pending.tx_id]
+        pending.on_complete(result)
+
+    @property
+    def in_flight(self) -> int:
+        """2PC rounds started but not yet fully acknowledged."""
+        return len(self._pending)

@@ -1,0 +1,221 @@
+"""Strict two-phase locking — the pessimistic baseline.
+
+Principle 2.10 argues that solipsistic transactions avoid the costs of
+pessimistic concurrency control, "which can cause waits, timeouts,
+deadlocks".  To measure that claim (experiment E4) we need the
+pessimistic baseline itself: a strict 2PL lock manager with FIFO wait
+queues and wait-for-graph deadlock detection.
+
+The manager is callback-based so it composes with the discrete-event
+simulator: a request that cannot be granted now is queued and its
+``on_grant`` callback fires when the conflicting holders release.  A
+request that would close a cycle in the wait-for graph raises
+:class:`~repro.errors.DeadlockDetected` immediately (the requester is
+the victim — a deterministic policy that keeps runs reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import DeadlockDetected
+from repro.locks.logical import LockMode
+
+
+@dataclass
+class _WaitingRequest:
+    """A queued lock request."""
+
+    tx_id: str
+    mode: LockMode
+    on_grant: Callable[[], None]
+
+
+@dataclass
+class _ResourceLock:
+    """Holders and waiters for one resource."""
+
+    mode: Optional[LockMode] = None
+    holders: set[str] = field(default_factory=set)
+    waiters: list[_WaitingRequest] = field(default_factory=list)
+
+
+class LockManager2PL:
+    """Strict two-phase locking with deadlock detection.
+
+    Locks are held until :meth:`release_all` (strictness — no early
+    release), waits are FIFO, and every blocked request adds wait-for
+    edges that are checked for cycles before queueing.
+
+    Example:
+        >>> manager = LockManager2PL()
+        >>> manager.acquire("t1", "x", LockMode.EXCLUSIVE)
+        True
+        >>> granted = []
+        >>> manager.acquire("t2", "x", LockMode.EXCLUSIVE,
+        ...                 on_grant=lambda: granted.append("t2"))
+        False
+        >>> _ = manager.release_all("t1")
+        >>> granted
+        ['t2']
+    """
+
+    def __init__(self):
+        self._locks: dict[str, _ResourceLock] = {}
+        self._held_by_tx: dict[str, set[str]] = {}
+        self._waiting_for: dict[str, set[str]] = {}  # tx -> txs it waits on
+        self.deadlocks = 0
+        self.waits = 0
+        self.immediate_grants = 0
+
+    # ------------------------------------------------------------------ #
+    # Acquisition
+    # ------------------------------------------------------------------ #
+
+    def acquire(
+        self,
+        tx_id: str,
+        resource: str,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        on_grant: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Request ``resource`` in ``mode`` for transaction ``tx_id``.
+
+        Returns:
+            ``True`` if granted immediately.  ``False`` if queued; the
+            ``on_grant`` callback fires on grant (required in that case).
+
+        Raises:
+            DeadlockDetected: If waiting would create a cycle in the
+                wait-for graph; the requester is the victim and should
+                release its locks and retry.
+        """
+        lock = self._locks.setdefault(resource, _ResourceLock())
+        if self._compatible(lock, tx_id, mode):
+            self._grant(lock, tx_id, mode, resource)
+            self.immediate_grants += 1
+            return True
+        blockers = {holder for holder in lock.holders if holder != tx_id}
+        blockers.update(
+            waiter.tx_id for waiter in lock.waiters if waiter.tx_id != tx_id
+        )
+        if self._would_deadlock(tx_id, blockers):
+            self.deadlocks += 1
+            raise DeadlockDetected(
+                f"{tx_id} waiting on {resource} would close a wait cycle"
+            )
+        if on_grant is None:
+            raise ValueError("queued acquire requires an on_grant callback")
+        self._waiting_for.setdefault(tx_id, set()).update(blockers)
+        lock.waiters.append(_WaitingRequest(tx_id, mode, on_grant))
+        self.waits += 1
+        return False
+
+    def _compatible(self, lock: _ResourceLock, tx_id: str, mode: LockMode) -> bool:
+        if not lock.holders:
+            # An empty lock is only free if no earlier waiter is queued
+            # (FIFO fairness: never jump the queue).
+            return not lock.waiters
+        if lock.holders == {tx_id}:
+            return True  # re-entrant; upgrade handled in _grant
+        if lock.mode is LockMode.SHARED and mode is LockMode.SHARED:
+            return not any(
+                waiter.mode is LockMode.EXCLUSIVE for waiter in lock.waiters
+            )
+        return False
+
+    def _grant(
+        self, lock: _ResourceLock, tx_id: str, mode: LockMode, resource: str
+    ) -> None:
+        if lock.holders == {tx_id} and mode is LockMode.EXCLUSIVE:
+            lock.mode = LockMode.EXCLUSIVE
+        elif not lock.holders:
+            lock.mode = mode
+        lock.holders.add(tx_id)
+        if lock.mode is None:
+            lock.mode = mode
+        self._held_by_tx.setdefault(tx_id, set()).add(resource)
+
+    def _would_deadlock(self, tx_id: str, new_blockers: set[str]) -> bool:
+        """Would adding edges ``tx_id -> new_blockers`` close a cycle?"""
+        stack = list(new_blockers)
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == tx_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._waiting_for.get(current, ()))
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Release
+    # ------------------------------------------------------------------ #
+
+    def release_all(self, tx_id: str) -> int:
+        """Release every lock and queued wait of ``tx_id`` and grant any
+        now-compatible waiters (their callbacks run synchronously, in
+        FIFO order).
+
+        Returns the number of resources released.
+        """
+        resources = self._held_by_tx.pop(tx_id, set())
+        self._waiting_for.pop(tx_id, None)
+        for lock in self._locks.values():
+            lock.waiters = [
+                waiter for waiter in lock.waiters if waiter.tx_id != tx_id
+            ]
+        for blockers in self._waiting_for.values():
+            blockers.discard(tx_id)
+        released = 0
+        # Sorted: set iteration order varies across processes (hash
+        # randomization) and grant order must be reproducible.
+        for resource in sorted(resources):
+            lock = self._locks.get(resource)
+            if lock is None:
+                continue
+            lock.holders.discard(tx_id)
+            if not lock.holders:
+                lock.mode = None
+            released += 1
+            self._promote_waiters(resource, lock)
+            if not lock.holders and not lock.waiters:
+                self._locks.pop(resource, None)
+        return released
+
+    def _promote_waiters(self, resource: str, lock: _ResourceLock) -> None:
+        while lock.waiters:
+            head = lock.waiters[0]
+            if lock.holders and not (
+                lock.mode is LockMode.SHARED and head.mode is LockMode.SHARED
+            ) and lock.holders != {head.tx_id}:
+                break
+            lock.waiters.pop(0)
+            self._grant(lock, head.tx_id, head.mode, resource)
+            waiting = self._waiting_for.get(head.tx_id)
+            if waiting is not None:
+                waiting.clear()
+            head.on_grant()
+            if lock.mode is LockMode.EXCLUSIVE:
+                break
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def holders(self, resource: str) -> set[str]:
+        """Transactions currently holding ``resource``."""
+        lock = self._locks.get(resource)
+        return set(lock.holders) if lock else set()
+
+    def waiting_count(self, resource: str) -> int:
+        """Queued waiters on ``resource``."""
+        lock = self._locks.get(resource)
+        return len(lock.waiters) if lock else 0
+
+    def locks_held(self, tx_id: str) -> set[str]:
+        """Resources held by ``tx_id``."""
+        return set(self._held_by_tx.get(tx_id, set()))

@@ -1,0 +1,169 @@
+"""Summarization and archival — bounding insert-only growth.
+
+Principle 2.7 closes with the operational caveat: "unlimited data growth
+may be an issue, so the DMS should provide data summarization and
+archival functionality, while still addressing regulatory requirements
+and eventual consistency."
+
+The :class:`Compactor` implements exactly that: it replaces a log prefix
+with one ``SUMMARY`` event per entity (the rollup of that entity's
+events in the prefix) and moves the raw events to an :class:`Archive`.
+Nothing is destroyed — audit queries can consult the archive — but the
+*live* log the rollup reads stays bounded.  Events tagged ``regulatory``
+are always archived in full (never silently summarised away), honouring
+the retention requirement.  Experiment E8 sweeps compaction policies and
+reports live-log size versus summarisation horizon.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import Rollup
+
+
+class Archive:
+    """Cold storage for compacted-away raw events.
+
+    Keeps events in memory as dictionaries; :meth:`dump_jsonl` writes
+    them out as JSON lines for offline audit tooling.
+    """
+
+    def __init__(self):
+        self._records: list[dict[str, Any]] = []
+
+    def store(self, events: list[LogEvent]) -> None:
+        """Append raw events to the archive."""
+        self._records.extend(event.to_dict() for event in events)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def events_for(self, entity_type: str, entity_key: str) -> list[LogEvent]:
+        """The archived history of one entity (regulatory audit view)."""
+        return [
+            LogEvent.from_dict(record)
+            for record in self._records
+            if record["entity_type"] == entity_type
+            and record["entity_key"] == entity_key
+        ]
+
+    def regulatory_events(self) -> list[LogEvent]:
+        """All archived events carrying the ``regulatory`` tag."""
+        return [
+            LogEvent.from_dict(record)
+            for record in self._records
+            if "regulatory" in record.get("tags", ())
+        ]
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the archive as JSON lines; returns the record count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record) + "\n")
+        return len(self._records)
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass did."""
+
+    compacted_up_to_lsn: int = 0
+    events_removed: int = 0
+    summaries_written: int = 0
+    events_archived: int = 0
+
+    @property
+    def shrinkage(self) -> int:
+        """Net reduction in live-log length."""
+        return self.events_removed - self.summaries_written
+
+
+class Compactor:
+    """Replaces old event runs with per-entity summaries.
+
+    Args:
+        log: The log to compact.
+        rollup: Rollup defining summary semantics (reducers decide what
+            a run of events aggregates to).
+        archive: Destination for removed raw events (created if omitted).
+    """
+
+    def __init__(
+        self,
+        log: AppendOnlyLog,
+        rollup: Rollup,
+        archive: Optional[Archive] = None,
+    ):
+        self.log = log
+        self.rollup = rollup
+        # Explicit None check: an empty Archive is falsy (len() == 0),
+        # so ``archive or Archive()`` would silently discard it.
+        self.archive = archive if archive is not None else Archive()
+
+    def compact_before(self, lsn: int) -> CompactionReport:
+        """Summarise all live events with LSN <= ``lsn``.
+
+        Every affected entity gets exactly one ``SUMMARY`` event whose
+        payload is the entity's rolled-up fields over the prefix, placed
+        at the LSN of the entity's last summarised event (so ordering
+        against the surviving suffix is preserved).
+
+        Returns:
+            A :class:`CompactionReport` describing the pass.
+        """
+        prefix = self.log.up_to(lsn)
+        if not prefix:
+            return CompactionReport(compacted_up_to_lsn=lsn)
+        states = self.rollup.fold(prefix)
+        last_lsn_of: dict[tuple[str, str], LogEvent] = {}
+        for event in prefix:
+            last_lsn_of[event.entity_ref] = event
+        summaries: list[LogEvent] = []
+        for ref, state in states.items():
+            marker = last_lsn_of[ref]
+            tags = set()
+            if state.deleted:
+                tags.add("deleted")
+            if state.obsolete:
+                tags.add("obsolete")
+            summaries.append(
+                LogEvent(
+                    lsn=marker.lsn,
+                    timestamp=state.last_timestamp,
+                    entity_type=ref[0],
+                    entity_key=ref[1],
+                    kind=EventKind.SUMMARY,
+                    payload=dict(state.fields),
+                    origin="compactor",
+                    origin_seq=0,
+                    tags=frozenset(tags),
+                )
+            )
+        summaries.sort(key=lambda event: event.lsn)
+        removed = self.log.rewrite_prefix(lsn, summaries)
+        self.archive.store(removed)
+        return CompactionReport(
+            compacted_up_to_lsn=lsn,
+            events_removed=len(removed),
+            summaries_written=len(summaries),
+            events_archived=len(removed),
+        )
+
+    def compact_keep_recent(self, keep: int) -> CompactionReport:
+        """Summarise everything except the newest ``keep`` live events.
+
+        This is the steady-state policy: call it periodically and the
+        live log length stays near ``keep`` plus one summary per entity.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        events = self.log.events()
+        if len(events) <= keep:
+            return CompactionReport(compacted_up_to_lsn=0)
+        boundary = events[len(events) - keep - 1].lsn
+        return self.compact_before(boundary)

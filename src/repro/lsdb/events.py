@@ -1,0 +1,146 @@
+"""Log event records — the unit of storage in the LSDB.
+
+Paper section 3.1: "storing events when they arrive, with inserts treated
+as events, in a log-structured database (LSDB)".  Every state change in
+this library — inserts, commutative deltas, field overwrites, deletion
+marks, obsolescence marks for tentative data, and compaction summaries —
+is an immutable :class:`LogEvent` appended to an
+:class:`~repro.lsdb.log.AppendOnlyLog`.
+
+Events carry their *origin* replica and a per-origin sequence number so
+replication can deduplicate redeliveries (at-least-once messaging plus
+idempotence, principle 2.4) and version vectors can summarise what a
+replica has seen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+
+class EventKind(enum.Enum):
+    """The operation an event describes.
+
+    The catalogue deliberately mirrors the principles:
+
+    * ``INSERT`` — new entity version (insert-only storage, 2.7).
+    * ``DELTA`` — commutative adjustment (operations not consequences, 2.8).
+    * ``SET_FIELDS`` — overwrite of named fields (last-update-wins when
+      concurrent; the non-commutative case the resolver must handle).
+    * ``TOMBSTONE`` — deletion *mark*, never physical removal (2.7).
+    * ``OBSOLETE`` — a tentative change that did not become permanent is
+      marked obsolete, not erased (section 3.2).
+    * ``SUMMARY`` — a compaction artefact replacing a run of older
+      events with their aggregate (2.7, summarization and archival).
+    """
+
+    INSERT = "insert"
+    DELTA = "delta"
+    SET_FIELDS = "set_fields"
+    TOMBSTONE = "tombstone"
+    OBSOLETE = "obsolete"
+    SUMMARY = "summary"
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """An immutable record of one operation on one entity.
+
+    Attributes:
+        lsn: Log sequence number, assigned by the owning log at append
+            time (0 means "not yet appended").
+        timestamp: Virtual time of the operation (simulator clock).
+        entity_type: Name of the entity type in the catalog.
+        entity_key: Business key of the entity instance.
+        kind: What the operation is (see :class:`EventKind`).
+        payload: Operation arguments: field values for ``INSERT`` /
+            ``SET_FIELDS`` / ``SUMMARY``, a serialized
+            :class:`~repro.merge.deltas.Delta` for ``DELTA``, free-form
+            for marks.
+        origin: Replica id where the operation first entered the system.
+        origin_seq: Per-origin monotone sequence number (for version
+            vectors and idempotent replication).
+        tx_id: Identifier of the transaction that produced the event.
+        schema_version: Version of the entity type's schema the payload
+            was written under; readers must tolerate older versions
+            (section 3.1 on sustainable application environments).
+        tags: Free-form labels; compaction preserves events tagged
+            ``"regulatory"`` in the archive rather than dropping them.
+    """
+
+    lsn: int
+    timestamp: float
+    entity_type: str
+    entity_key: str
+    kind: EventKind
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    origin: str = "local"
+    origin_seq: int = 0
+    tx_id: str = ""
+    schema_version: int = 1
+    tags: frozenset[str] = frozenset()
+
+    def with_lsn(self, lsn: int) -> "LogEvent":
+        """A copy with the log-assigned sequence number."""
+        return LogEvent(
+            lsn=lsn,
+            timestamp=self.timestamp,
+            entity_type=self.entity_type,
+            entity_key=self.entity_key,
+            kind=self.kind,
+            payload=self.payload,
+            origin=self.origin,
+            origin_seq=self.origin_seq,
+            tx_id=self.tx_id,
+            schema_version=self.schema_version,
+            tags=self.tags,
+        )
+
+    @property
+    def identity(self) -> tuple[str, int]:
+        """Globally unique event identity: ``(origin, origin_seq)``.
+
+        Two deliveries of the same event (at-least-once messaging) share
+        this identity, which is what the idempotent apply path checks.
+        """
+        return (self.origin, self.origin_seq)
+
+    @property
+    def entity_ref(self) -> tuple[str, str]:
+        """``(entity_type, entity_key)`` — the entity this event touches."""
+        return (self.entity_type, self.entity_key)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly representation (used by archival)."""
+        return {
+            "lsn": self.lsn,
+            "timestamp": self.timestamp,
+            "entity_type": self.entity_type,
+            "entity_key": self.entity_key,
+            "kind": self.kind.value,
+            "payload": dict(self.payload),
+            "origin": self.origin,
+            "origin_seq": self.origin_seq,
+            "tx_id": self.tx_id,
+            "schema_version": self.schema_version,
+            "tags": sorted(self.tags),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "LogEvent":
+        """Inverse of :meth:`to_dict`."""
+        return LogEvent(
+            lsn=int(data["lsn"]),
+            timestamp=float(data["timestamp"]),
+            entity_type=str(data["entity_type"]),
+            entity_key=str(data["entity_key"]),
+            kind=EventKind(data["kind"]),
+            payload=dict(data.get("payload", {})),
+            origin=str(data.get("origin", "local")),
+            origin_seq=int(data.get("origin_seq", 0)),
+            tx_id=str(data.get("tx_id", "")),
+            schema_version=int(data.get("schema_version", 1)),
+            tags=frozenset(data.get("tags", ())),
+        )

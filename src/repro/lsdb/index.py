@@ -1,0 +1,105 @@
+"""Asynchronously maintained secondary indexes.
+
+Principle 2.3 (after Helland): "inconsistency of secondary indexes is
+necessary for highly scalable systems".  A :class:`SecondaryIndex` is
+therefore *not* updated on the transaction's append path; it records how
+far into the log it has applied (``applied_lsn``) and catches up when
+:meth:`refresh` is called (by a background task in the simulator, or
+manually in tests).  Between appends and refreshes the index is stale —
+queries can miss new entities or return recently deleted ones — and the
+staleness is observable and measurable (experiment E2's probe uses the
+same mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import EntityRef, Rollup, StateMap
+
+
+class SecondaryIndex:
+    """An equality index on one field of one entity type.
+
+    Args:
+        log: The log whose events feed the index.
+        rollup: The rollup defining field semantics (deltas etc.).
+        entity_type: The indexed entity type.
+        field_name: The indexed field.
+
+    Example:
+        >>> # index lookups reflect only refreshed state:
+        >>> # store.insert(...); index.lookup(v) may be empty until
+        >>> # index.refresh() is called.
+    """
+
+    def __init__(
+        self,
+        log: AppendOnlyLog,
+        rollup: Rollup,
+        entity_type: str,
+        field_name: str,
+    ):
+        self.log = log
+        self.rollup = rollup
+        self.entity_type = entity_type
+        self.field_name = field_name
+        self.applied_lsn = 0
+        self._states: StateMap = {}
+        self._buckets: dict[Hashable, set[str]] = {}
+
+    def refresh(self, up_to_lsn: Optional[int] = None) -> int:
+        """Apply log events appended since the last refresh.
+
+        Args:
+            up_to_lsn: Stop at this LSN (defaults to the log head);
+                useful for scripting a fixed index lag in experiments.
+
+        Returns:
+            The number of events applied.
+        """
+        target = self.log.head_lsn if up_to_lsn is None else up_to_lsn
+        applied = 0
+        for event in self.log.since(self.applied_lsn):
+            if event.lsn > target:
+                break
+            if event.entity_type == self.entity_type:
+                self._apply(event)
+            self.applied_lsn = event.lsn
+            applied += 1
+        return applied
+
+    def _apply(self, event) -> None:
+        ref: EntityRef = event.entity_ref
+        old_state = self._states.get(ref)
+        old_value = old_state.get(self.field_name) if old_state else None
+        old_live = old_state.live if old_state else False
+        new_state = self.rollup.reducer_for(self.entity_type).apply(old_state, event)
+        self._states[ref] = new_state
+        new_value = new_state.get(self.field_name)
+        new_live = new_state.live
+        if old_live and (not new_live or new_value != old_value):
+            bucket = self._buckets.get(old_value)
+            if bucket is not None:
+                bucket.discard(ref[1])
+                if not bucket:
+                    del self._buckets[old_value]
+        if new_live and (not old_live or new_value != old_value):
+            self._buckets.setdefault(new_value, set()).add(ref[1])
+
+    def lookup(self, value: Any) -> set[str]:
+        """Entity keys whose indexed field equals ``value`` *as of the
+        last refresh* — staleness is part of the contract."""
+        return set(self._buckets.get(value, set()))
+
+    @property
+    def lag(self) -> int:
+        """How many LSNs the index is behind the log head."""
+        return self.log.head_lsn - self.applied_lsn
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SecondaryIndex({self.entity_type}.{self.field_name}, "
+            f"applied={self.applied_lsn}, lag={self.lag})"
+        )

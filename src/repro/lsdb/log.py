@@ -1,0 +1,166 @@
+"""The append-only event log — one per serialization unit.
+
+Paper principle 2.5: "A single organization may partition data by entity
+type and key, where partitions are managed as separate 'serialization
+units' with separate logs."  An :class:`AppendOnlyLog` is such a log:
+appends are totally ordered by LSN within the log, and there is no
+cross-log ordering (that absence is precisely what makes cross-partition
+transactions expensive, measured in experiment E3).
+
+The only structural mutation besides append is :meth:`rewrite_prefix`,
+used by compaction (:mod:`repro.lsdb.compaction`) to replace a prefix of
+old events with summary events — the "data summarization and archival
+functionality" of principle 2.7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+from repro.lsdb.events import EventKind, LogEvent
+
+
+class AppendOnlyLog:
+    """An ordered, in-memory, append-only sequence of :class:`LogEvent`.
+
+    LSNs start at 1 and never repeat, even across compactions: a rewrite
+    may *remove* LSNs from the live log but never reassigns them, so
+    "events since LSN x" remains meaningful to subscribers after a
+    compaction.
+
+    Args:
+        name: Diagnostic name (usually the owning serialization unit).
+    """
+
+    def __init__(self, name: str = "log"):
+        self.name = name
+        self._events: list[LogEvent] = []
+        self._next_lsn = 1
+        self._subscribers: list[Callable[[LogEvent], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append(self, event: LogEvent) -> LogEvent:
+        """Append ``event``, assigning the next LSN.
+
+        Returns:
+            The stored event (a copy of ``event`` with its LSN set).
+        """
+        stored = event.with_lsn(self._next_lsn)
+        self._next_lsn += 1
+        self._events.append(stored)
+        for subscriber in self._subscribers:
+            subscriber(stored)
+        return stored
+
+    def subscribe(self, callback: Callable[[LogEvent], None]) -> None:
+        """Invoke ``callback`` synchronously for every future append.
+
+        Used by incremental state caches, asynchronous index maintenance
+        and replication shippers.
+        """
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head_lsn(self) -> int:
+        """LSN of the most recent event (0 if the log is empty)."""
+        return self._events[-1].lsn if self._events else 0
+
+    @property
+    def tail_lsn(self) -> int:
+        """LSN of the oldest *live* event (0 if empty); events below
+        this were compacted away."""
+        return self._events[0].lsn if self._events else 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self._events)
+
+    def events(self) -> list[LogEvent]:
+        """A shallow copy of the live events, in LSN order."""
+        return list(self._events)
+
+    def since(self, lsn: int) -> list[LogEvent]:
+        """Events with LSN strictly greater than ``lsn``.
+
+        This is the replication/catch-up primitive: a subscriber that has
+        applied up to ``lsn`` calls ``since(lsn)`` to fetch its backlog.
+        """
+        if not self._events or lsn >= self._events[-1].lsn:
+            return []
+        low = self._bisect_gt(lsn)
+        return self._events[low:]
+
+    def up_to(self, lsn: int) -> list[LogEvent]:
+        """Events with LSN less than or equal to ``lsn``."""
+        high = self._bisect_gt(lsn)
+        return self._events[:high]
+
+    def for_entity(self, entity_type: str, entity_key: str) -> list[LogEvent]:
+        """The full live history of one entity, in LSN order.
+
+        This is the audit/history view principle 2.7 calls for ("past
+        descriptions are available"), e.g. tracing which operations drove
+        inventory negative (principle 2.1).
+        """
+        return [
+            event
+            for event in self._events
+            if event.entity_type == entity_type and event.entity_key == entity_key
+        ]
+
+    def _bisect_gt(self, lsn: int) -> int:
+        """Index of the first event with LSN > ``lsn``."""
+        import bisect
+
+        return bisect.bisect_right([event.lsn for event in self._events], lsn)
+
+    # ------------------------------------------------------------------ #
+    # Compaction support
+    # ------------------------------------------------------------------ #
+
+    def rewrite_prefix(
+        self,
+        up_to_lsn: int,
+        replacement: Iterable[LogEvent],
+    ) -> list[LogEvent]:
+        """Replace all events with LSN <= ``up_to_lsn`` by ``replacement``.
+
+        Replacement events must already carry LSNs within the replaced
+        range and in ascending order (the compactor reuses the LSN of the
+        last summarised event so "since" queries stay correct).
+
+        Returns:
+            The removed events (the caller archives them).
+
+        Raises:
+            ReproError: If a replacement event's LSN falls outside the
+                replaced range or breaks ordering.
+        """
+        cut = self._bisect_gt(up_to_lsn)
+        removed = self._events[:cut]
+        replacement_list = list(replacement)
+        previous = 0
+        for event in replacement_list:
+            if event.lsn <= previous or event.lsn > up_to_lsn:
+                raise ReproError(
+                    f"replacement LSN {event.lsn} outside (0, {up_to_lsn}]"
+                )
+            previous = event.lsn
+        self._events = replacement_list + self._events[cut:]
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AppendOnlyLog({self.name!r}, live={len(self._events)}, "
+            f"head={self.head_lsn})"
+        )

@@ -1,0 +1,134 @@
+"""Snapshots: bounding the cost of rollup reads.
+
+Rollup from the log head is linear in log length; the paper's remedy is
+main-memory techniques (section 3.1).  This module implements the
+standard one: periodic snapshots of the rolled-up state, so a read is
+"latest snapshot at or below the target LSN, plus replay of the suffix".
+Experiment E6 sweeps the snapshot interval to show the read-cost curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import Rollup, StateMap
+
+
+@dataclass
+class Snapshot:
+    """A frozen rollup of the log prefix up to ``lsn`` (inclusive)."""
+
+    lsn: int
+    states: StateMap
+
+    def copy_states(self) -> StateMap:
+        """A mutation-safe copy of the state map (entity states copied)."""
+        return {ref: state.copy() for ref, state in self.states.items()}
+
+
+class SnapshotManager:
+    """Takes and serves snapshots over one log.
+
+    Args:
+        log: The log to snapshot.
+        rollup: The rollup (with its reducers) defining state semantics.
+        interval: Take a snapshot automatically every ``interval``
+            appends (``0`` disables automatic snapshots; call
+            :meth:`take_snapshot` manually).
+
+    Example:
+        >>> from repro.lsdb.events import EventKind, LogEvent
+        >>> log = AppendOnlyLog()
+        >>> manager = SnapshotManager(log, Rollup(), interval=2)
+        >>> for value in range(5):
+        ...     _ = log.append(LogEvent(0, float(value), "t", "k",
+        ...                             EventKind.SET_FIELDS, {"v": value}))
+        >>> manager.latest().lsn
+        4
+        >>> manager.state_at(5)[("t", "k")].fields["v"]
+        4
+    """
+
+    def __init__(self, log: AppendOnlyLog, rollup: Rollup, interval: int = 0):
+        self.log = log
+        self.rollup = rollup
+        self.interval = interval
+        self._snapshots: list[Snapshot] = []
+        self._since_last = 0
+        if interval:
+            log.subscribe(self._on_append)
+
+    def _on_append(self, _event) -> None:
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            self.take_snapshot()
+
+    def take_snapshot(self) -> Snapshot:
+        """Roll up the whole log prefix now and store the result.
+
+        The fold starts from the previous snapshot (if any), so the cost
+        of snapshotting is proportional to the events since the last
+        snapshot, not to the whole log.
+        """
+        previous = self.latest()
+        if previous is None:
+            states = self.rollup.fold(self.log.events())
+        else:
+            states = self.rollup.fold(
+                self.log.since(previous.lsn), initial=previous.copy_states()
+            )
+        snapshot = Snapshot(lsn=self.log.head_lsn, states=states)
+        self._snapshots.append(snapshot)
+        self._since_last = 0
+        return snapshot
+
+    def latest(self) -> Optional[Snapshot]:
+        """The most recent snapshot, or ``None`` if none taken yet."""
+        return self._snapshots[-1] if self._snapshots else None
+
+    def latest_at_or_below(self, lsn: int) -> Optional[Snapshot]:
+        """The newest snapshot whose LSN does not exceed ``lsn``."""
+        candidate: Optional[Snapshot] = None
+        for snapshot in self._snapshots:
+            if snapshot.lsn <= lsn:
+                candidate = snapshot
+            else:
+                break
+        return candidate
+
+    def state_at(self, lsn: Optional[int] = None) -> StateMap:
+        """The rolled-up state as of ``lsn`` (defaults to the log head).
+
+        Implements snapshot + suffix replay; with no usable snapshot it
+        falls back to a full fold, which is the worst case experiment E6
+        measures.
+        """
+        target = self.log.head_lsn if lsn is None else lsn
+        base = self.latest_at_or_below(target)
+        if base is None:
+            return self.rollup.fold(self.log.up_to(target))
+        suffix = [
+            event for event in self.log.since(base.lsn) if event.lsn <= target
+        ]
+        return self.rollup.fold(suffix, initial=base.copy_states())
+
+    @property
+    def count(self) -> int:
+        """How many snapshots exist."""
+        return len(self._snapshots)
+
+    def prune(self, keep_last: int = 1) -> int:
+        """Drop all but the newest ``keep_last`` snapshots.
+
+        Returns the number pruned.  Time-travel reads below the oldest
+        kept snapshot fall back to full log fold (if those events are
+        still live) — pruning trades history-read speed for memory.
+        """
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be non-negative, got {keep_last}")
+        pruned = max(0, len(self._snapshots) - keep_last)
+        if pruned:
+            self._snapshots = self._snapshots[-keep_last:] if keep_last else []
+        return pruned

@@ -1,0 +1,358 @@
+"""The LSDB facade: a main-memory, insert-only, log-structured store.
+
+This is the storage engine every replica in the library runs on.  It
+ties together the pieces of paper section 3.1:
+
+* every write is an event appended to an :class:`AppendOnlyLog`;
+* the application-visible "current state" is a rollup aggregation of the
+  log (kept incrementally on the append path, recomputable from scratch
+  or from snapshots for time-travel reads);
+* secondary indexes are maintained asynchronously;
+* compaction summarises old events into an archive;
+* remote events are applied idempotently (per-origin sequence numbers)
+  with out-of-order buffering, which is what lets at-least-once
+  messaging and anti-entropy converge replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import EntityNotFound
+from repro.lsdb.compaction import Archive, CompactionReport, Compactor
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.index import SecondaryIndex
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import EntityState, Reducer, Rollup, StateMap
+from repro.lsdb.snapshot import SnapshotManager
+from repro.merge.clock import VersionVector
+from repro.merge.deltas import Delta
+
+
+class LSDBStore:
+    """A log-structured, main-memory entity store.
+
+    Args:
+        name: Diagnostic name (also the log name).
+        origin: Replica id stamped on locally originated events.
+        clock: Zero-argument callable returning the current (virtual)
+            time; defaults to a constant 0.0 for clock-free unit tests.
+        snapshot_interval: If non-zero, take a rollup snapshot every N
+            appends (accelerates :meth:`state_as_of`).
+
+    Example:
+        >>> store = LSDBStore(origin="r1")
+        >>> _ = store.insert("account", "a1", {"owner": "ada", "balance": 0})
+        >>> _ = store.apply_delta("account", "a1", Delta.add("balance", 50))
+        >>> store.get("account", "a1").fields["balance"]
+        50
+    """
+
+    def __init__(
+        self,
+        name: str = "store",
+        origin: str = "local",
+        clock: Optional[Callable[[], float]] = None,
+        snapshot_interval: int = 0,
+    ):
+        self.name = name
+        self.origin = origin
+        self._clock = clock or (lambda: 0.0)
+        self.log = AppendOnlyLog(name)
+        self.rollup = Rollup()
+        self._states: StateMap = {}
+        self.log.subscribe(self._on_append)
+        self.snapshots = SnapshotManager(self.log, self.rollup, snapshot_interval)
+        self.archive = Archive()
+        self.compactor = Compactor(self.log, self.rollup, self.archive)
+        self.version_vector = VersionVector()
+        self._origin_seq = 0
+        self._by_origin: dict[str, list[LogEvent]] = {}
+        self._reorder_buffer: dict[str, dict[int, LogEvent]] = {}
+        self._indexes: dict[tuple[str, str], SecondaryIndex] = {}
+        self.duplicates_rejected = 0
+        #: Optional hook returning the current schema version for an
+        #: entity type; locally written events are stamped with it so
+        #: lazy upcasting (repro.core.migration) knows what each event
+        #: already conforms to.  ``None`` stamps version 1.
+        self.schema_version_source: Optional[Callable[[str], int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+
+    def register_reducer(self, entity_type: str, reducer: Reducer) -> None:
+        """Install a domain-specific reducer for ``entity_type``.
+
+        Must be called before events of that type are appended; the
+        incremental cache folds each event exactly once.
+        """
+        self.rollup.register(entity_type, reducer)
+
+    def register_index(self, entity_type: str, field_name: str) -> SecondaryIndex:
+        """Create (or return) an asynchronously maintained equality index."""
+        key = (entity_type, field_name)
+        if key not in self._indexes:
+            self._indexes[key] = SecondaryIndex(
+                self.log, self.rollup, entity_type, field_name
+            )
+        return self._indexes[key]
+
+    # ------------------------------------------------------------------ #
+    # Local writes (each becomes one log event)
+    # ------------------------------------------------------------------ #
+
+    def insert(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: dict[str, Any],
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> LogEvent:
+        """Record a new entity version (insert-only storage, 2.7)."""
+        return self._append_local(
+            entity_type, entity_key, EventKind.INSERT, dict(fields), tx_id, tags
+        )
+
+    def apply_delta(
+        self,
+        entity_type: str,
+        entity_key: str,
+        delta: Delta,
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> LogEvent:
+        """Record a commutative adjustment (operations, not consequences)."""
+        return self._append_local(
+            entity_type, entity_key, EventKind.DELTA, delta.to_payload(), tx_id, tags
+        )
+
+    def set_fields(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: dict[str, Any],
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> LogEvent:
+        """Record a field overwrite (resolved last-update-wins across
+        replicas; prefer deltas where the domain allows)."""
+        return self._append_local(
+            entity_type, entity_key, EventKind.SET_FIELDS, dict(fields), tx_id, tags
+        )
+
+    def tombstone(
+        self,
+        entity_type: str,
+        entity_key: str,
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> LogEvent:
+        """Mark an entity deleted (the data stays readable, 2.7)."""
+        return self._append_local(
+            entity_type, entity_key, EventKind.TOMBSTONE, {}, tx_id, tags
+        )
+
+    def mark_obsolete(
+        self,
+        entity_type: str,
+        entity_key: str,
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> LogEvent:
+        """Mark a tentative entity obsolete — visible and durable, but no
+        longer current (section 3.2)."""
+        return self._append_local(
+            entity_type, entity_key, EventKind.OBSOLETE, {}, tx_id, tags
+        )
+
+    def _append_local(
+        self,
+        entity_type: str,
+        entity_key: str,
+        kind: EventKind,
+        payload: dict[str, Any],
+        tx_id: str,
+        tags: Iterable[str],
+    ) -> LogEvent:
+        self._origin_seq += 1
+        schema_version = (
+            self.schema_version_source(entity_type)
+            if self.schema_version_source is not None
+            else 1
+        )
+        event = LogEvent(
+            lsn=0,
+            timestamp=self._clock(),
+            entity_type=entity_type,
+            entity_key=entity_key,
+            kind=kind,
+            payload=payload,
+            origin=self.origin,
+            origin_seq=self._origin_seq,
+            tx_id=tx_id,
+            schema_version=schema_version,
+            tags=frozenset(tags),
+        )
+        return self.log.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Remote application (replication / at-least-once delivery)
+    # ------------------------------------------------------------------ #
+
+    def apply_remote(self, event: LogEvent) -> bool:
+        """Apply an event originated elsewhere, idempotently and in
+        per-origin order.
+
+        * A duplicate (origin sequence already applied) is rejected.
+        * An out-of-order event (a gap in the origin's sequence) is
+          buffered and drained once the gap fills, so at-least-once,
+          unordered delivery still yields exactly-once, in-order apply.
+
+        Returns:
+            ``True`` if the event was appended now, ``False`` if it was
+            a duplicate or was buffered for later.
+        """
+        applied_up_to = self.version_vector.get(event.origin)
+        if event.origin_seq <= applied_up_to:
+            self.duplicates_rejected += 1
+            return False
+        if event.origin_seq > applied_up_to + 1:
+            self._reorder_buffer.setdefault(event.origin, {})[
+                event.origin_seq
+            ] = event
+            return False
+        self.log.append(event.with_lsn(0))
+        self._drain_buffer(event.origin)
+        return True
+
+    def _drain_buffer(self, origin: str) -> None:
+        buffered = self._reorder_buffer.get(origin)
+        if not buffered:
+            return
+        while True:
+            next_seq = self.version_vector.get(origin) + 1
+            event = buffered.pop(next_seq, None)
+            if event is None:
+                break
+            self.log.append(event.with_lsn(0))
+        if not buffered:
+            self._reorder_buffer.pop(origin, None)
+
+    # ------------------------------------------------------------------ #
+    # Append bookkeeping (runs for local and remote appends alike)
+    # ------------------------------------------------------------------ #
+
+    def _on_append(self, event: LogEvent) -> None:
+        self.rollup.fold_into(self._states, event)
+        if event.origin_seq:
+            self.version_vector.record(event.origin, event.origin_seq)
+        self._by_origin.setdefault(event.origin, []).append(event)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, entity_type: str, entity_key: str) -> Optional[EntityState]:
+        """The current rolled-up state of one entity (``None`` if the
+        entity has no events at all; a tombstoned entity is returned
+        with ``deleted=True``)."""
+        return self._states.get((entity_type, entity_key))
+
+    def require(self, entity_type: str, entity_key: str) -> EntityState:
+        """Like :meth:`get` but raises for missing or deleted entities."""
+        state = self.get(entity_type, entity_key)
+        if state is None or state.deleted:
+            raise EntityNotFound(f"{entity_type}/{entity_key}")
+        return state
+
+    def current_state(self) -> StateMap:
+        """A copy of the whole current-state map."""
+        return {ref: state.copy() for ref, state in self._states.items()}
+
+    def entities_of_type(self, entity_type: str, live_only: bool = True) -> list[EntityState]:
+        """All entities of a type (optionally excluding deleted/obsolete)."""
+        return [
+            state
+            for (etype, _), state in self._states.items()
+            if etype == entity_type and (state.live or not live_only)
+        ]
+
+    def state_as_of(self, lsn: int) -> StateMap:
+        """Time-travel read: the rolled-up state at a historic LSN,
+        served from snapshots plus suffix replay."""
+        return self.snapshots.state_at(lsn)
+
+    def rebuild_cache(self) -> int:
+        """Re-fold the live log into the incremental state cache.
+
+        Needed when the *interpretation* of existing events changes —
+        e.g. a schema migration installed a new upcast chain
+        (:class:`repro.core.migration.MigratingReducer`): events already
+        folded under the old schema re-fold under the new one.
+
+        Returns:
+            The number of events re-folded.
+        """
+        events = self.log.events()
+        self._states = self.rollup.fold(events)
+        return len(events)
+
+    def rollup_from_scratch(self) -> StateMap:
+        """Fold the entire live log (the unaccelerated rollup the paper
+        describes; used by E6 as the baseline read cost)."""
+        return self.rollup.fold(self.log.events())
+
+    def history(self, entity_type: str, entity_key: str) -> list[LogEvent]:
+        """The full operation history of an entity: archived events (if
+        compacted) followed by live log events (principle 2.7's audit
+        trail, e.g. tracing negative inventory, 2.1)."""
+        return self.archive.events_for(entity_type, entity_key) + self.log.for_entity(
+            entity_type, entity_key
+        )
+
+    def query(self, entity_type: str, field_name: str, value: Any) -> set[str]:
+        """Index lookup, *as of the index's last refresh* (stale by design)."""
+        index = self._indexes.get((entity_type, field_name))
+        if index is None:
+            raise KeyError(f"no index on {entity_type}.{field_name}")
+        return index.lookup(value)
+
+    def refresh_indexes(self) -> None:
+        """Bring every index up to the log head (the deferred action a
+        background step performs, principle 2.3)."""
+        for index in self._indexes.values():
+            index.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Replication feeds & maintenance
+    # ------------------------------------------------------------------ #
+
+    def events_since(self, lsn: int) -> list[LogEvent]:
+        """Local-log catch-up feed (async backup shipping)."""
+        return self.log.since(lsn)
+
+    def events_from_origin(self, origin: str, after_seq: int) -> list[LogEvent]:
+        """Events originated at ``origin`` with sequence > ``after_seq``
+        (anti-entropy fills version-vector gaps from this feed)."""
+        return [
+            event
+            for event in self._by_origin.get(origin, [])
+            if event.origin_seq > after_seq
+        ]
+
+    def compact(self, keep_recent: int = 0) -> CompactionReport:
+        """Summarise all but the newest ``keep_recent`` events."""
+        return self.compactor.compact_keep_recent(keep_recent)
+
+    @property
+    def live_events(self) -> int:
+        """Number of events in the live (uncompacted) log."""
+        return len(self.log)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LSDBStore({self.name!r}, origin={self.origin!r}, "
+            f"entities={len(self._states)}, live_events={self.live_events})"
+        )

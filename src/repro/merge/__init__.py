@@ -1,0 +1,39 @@
+"""Convergent (mergeable) types, commutative deltas and logical clocks.
+
+These are the primitives behind the paper's conflict-handling story:
+
+* principle 2.7 — "insert-only" plus SAP's *commutative update strategy*
+  (:mod:`repro.merge.deltas`);
+* principle 2.8 — record operations, not consequences, so concurrent
+  work composes (:class:`PNCounter`, :class:`ORSet`, ...);
+* principle 2.10 — one end-to-end conflict mechanism for local and
+  cross-replica conflicts, built on the merge laws in
+  :mod:`repro.merge.base`.
+"""
+
+from repro.merge.base import Mergeable, merge_all
+from repro.merge.clock import LamportClock, Ordering, VectorClock, VersionVector
+from repro.merge.counters import GCounter, PNCounter
+from repro.merge.deltas import Delta, apply_delta, compose, numeric_only
+from repro.merge.registers import LWWRegister, MVRegister
+from repro.merge.sets import GSet, ORSet, TwoPhaseSet
+
+__all__ = [
+    "Mergeable",
+    "merge_all",
+    "LamportClock",
+    "Ordering",
+    "VectorClock",
+    "VersionVector",
+    "GCounter",
+    "PNCounter",
+    "Delta",
+    "apply_delta",
+    "compose",
+    "numeric_only",
+    "LWWRegister",
+    "MVRegister",
+    "GSet",
+    "ORSet",
+    "TwoPhaseSet",
+]

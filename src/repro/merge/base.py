@@ -1,0 +1,56 @@
+"""The mergeable-value protocol shared by all convergent types.
+
+Principle 2.10 asks for "a single end-to-end conflict-handling mechanism"
+whether conflicting updates happened on one replica (solipsistic
+transactions) or on many (subjective replicas).  The mechanism this
+library uses is *state merge*: every convergent type exposes
+``merge(other)`` satisfying the join-semilattice laws —
+
+* **commutative**: ``a.merge(b) == b.merge(a)``
+* **associative**: ``a.merge(b).merge(c) == a.merge(b.merge(c))``
+* **idempotent**:  ``a.merge(a) == a``
+
+— which together guarantee that replicas applying the same set of updates
+in any order, any number of times, converge to the same value (eventual
+consistency, paper section 1).  The property-based tests in
+``tests/test_merge_properties.py`` check these laws with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, TypeVar, runtime_checkable
+
+M = TypeVar("M", bound="Mergeable")
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """Protocol for convergent (CRDT-style) values."""
+
+    def merge(self: M, other: M) -> M:
+        """Return the least upper bound of the two states.
+
+        Implementations must be pure (neither operand is mutated) and
+        satisfy commutativity, associativity and idempotence.
+        """
+        ...
+
+    @property
+    def value(self) -> Any:
+        """The application-visible value of this state."""
+        ...
+
+
+def merge_all(states: list[M]) -> M:
+    """Fold ``merge`` over a non-empty list of states.
+
+    Order does not matter by the semilattice laws; this helper exists so
+    call sites read as intent ("converge these replicas") rather than a
+    reduce expression.
+    """
+    if not states:
+        raise ValueError("merge_all requires at least one state")
+    result = states[0]
+    for state in states[1:]:
+        result = result.merge(state)
+    return result

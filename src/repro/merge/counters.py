@@ -1,0 +1,115 @@
+"""Convergent counters: grow-only and increment/decrement.
+
+Counters are the canonical "commutative update strategy" the paper
+attributes to SAP (principle 2.7, "deltas"): recording *how much an
+account changed* instead of *the new balance* makes concurrent updates
+composable without coordination (principle 2.8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+class GCounter:
+    """A grow-only counter: per-replica non-negative contributions.
+
+    Example:
+        >>> a = GCounter().increment("r1", 3)
+        >>> b = GCounter().increment("r2", 4)
+        >>> a.merge(b).value
+        7
+    """
+
+    def __init__(self, counts: Mapping[str, int] | None = None):
+        self._counts: dict[str, int] = dict(counts or {})
+
+    def increment(self, replica_id: str, amount: int = 1) -> "GCounter":
+        """Return a copy with ``amount`` added to ``replica_id``'s slot.
+
+        Raises:
+            ValueError: If ``amount`` is negative (use :class:`PNCounter`
+                for decrementable counts).
+        """
+        if amount < 0:
+            raise ValueError(f"GCounter cannot decrease (amount={amount})")
+        merged = dict(self._counts)
+        merged[replica_id] = merged.get(replica_id, 0) + amount
+        return GCounter(merged)
+
+    def merge(self, other: "GCounter") -> "GCounter":
+        """Component-wise maximum of the two contribution maps."""
+        merged = dict(self._counts)
+        for replica_id, count in other._counts.items():
+            merged[replica_id] = max(merged.get(replica_id, 0), count)
+        return GCounter(merged)
+
+    @property
+    def value(self) -> int:
+        """The counter total (sum of all replica contributions)."""
+        return sum(self._counts.values())
+
+    def contribution(self, replica_id: str) -> int:
+        """How much ``replica_id`` has added."""
+        return self._counts.get(replica_id, 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GCounter):
+            return NotImplemented
+        keys = set(self._counts) | set(other._counts)
+        return all(
+            self._counts.get(key, 0) == other._counts.get(key, 0) for key in keys
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GCounter(value={self.value})"
+
+
+class PNCounter:
+    """An increment/decrement counter built from two grow-only halves.
+
+    The positive half accumulates increments and the negative half
+    accumulates decrements; the value is their difference.  This is the
+    natural representation of an account balance as the aggregate of
+    deposits and withdrawals (paper sections 2.8 and 3.2).
+    """
+
+    def __init__(
+        self,
+        positive: GCounter | None = None,
+        negative: GCounter | None = None,
+    ):
+        self._positive = positive or GCounter()
+        self._negative = negative or GCounter()
+
+    def increment(self, replica_id: str, amount: int = 1) -> "PNCounter":
+        """Return a copy with ``amount`` added at ``replica_id``."""
+        if amount < 0:
+            return self.decrement(replica_id, -amount)
+        return PNCounter(self._positive.increment(replica_id, amount), self._negative)
+
+    def decrement(self, replica_id: str, amount: int = 1) -> "PNCounter":
+        """Return a copy with ``amount`` subtracted at ``replica_id``."""
+        if amount < 0:
+            return self.increment(replica_id, -amount)
+        return PNCounter(self._positive, self._negative.increment(replica_id, amount))
+
+    def merge(self, other: "PNCounter") -> "PNCounter":
+        """Merge both halves independently."""
+        return PNCounter(
+            self._positive.merge(other._positive),
+            self._negative.merge(other._negative),
+        )
+
+    @property
+    def value(self) -> int:
+        """Increments minus decrements."""
+        return self._positive.value - self._negative.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PNCounter):
+            return NotImplemented
+        return self._positive == other._positive and self._negative == other._negative
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PNCounter(value={self.value})"

@@ -1,0 +1,127 @@
+"""Convergent registers: last-update-wins and multi-value.
+
+Registers model singly-valued fields that are overwritten rather than
+composed.  The paper names "last-update wins" as one local
+conflict-resolution option (principle 2.10); the multi-value register is
+the honest alternative that *exposes* concurrency to a business-level
+resolver instead of silently dropping one side (Dynamo-style siblings,
+paper reference [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet
+
+from repro.merge.clock import Ordering, VectorClock
+
+
+@dataclass(frozen=True)
+class LWWRegister:
+    """Last-update-wins register.
+
+    Ties on timestamp are broken by replica id so that merge stays
+    deterministic and commutative — two replicas merging each other's
+    states agree on the winner regardless of merge order.
+
+    Example:
+        >>> a = LWWRegister("x", timestamp=1, replica_id="r1")
+        >>> b = LWWRegister("y", timestamp=2, replica_id="r2")
+        >>> a.merge(b).value
+        'y'
+    """
+
+    stored: Any = None
+    timestamp: int = 0
+    replica_id: str = ""
+
+    def assign(self, value: Any, timestamp: int, replica_id: str) -> "LWWRegister":
+        """Return a register holding ``value`` stamped at ``timestamp``."""
+        return LWWRegister(value, timestamp, replica_id)
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        """Keep the write with the larger ``(timestamp, replica_id)``.
+
+        A full stamp collision (same timestamp *and* replica — only
+        possible through misuse, since a replica stamps each write
+        uniquely) falls back to comparing value representations, so
+        merge stays commutative even then.
+        """
+        own_stamp = (self.timestamp, self.replica_id)
+        other_stamp = (other.timestamp, other.replica_id)
+        if other_stamp > own_stamp:
+            return other
+        if other_stamp == own_stamp and repr(other.stored) > repr(self.stored):
+            return other
+        return self
+
+    @property
+    def value(self) -> Any:
+        """The current (winning) value."""
+        return self.stored
+
+
+@dataclass(frozen=True)
+class _Sibling:
+    """One concurrent candidate value inside an :class:`MVRegister`."""
+
+    stored: Any
+    clock: VectorClock
+
+    def __hash__(self) -> int:
+        return hash((repr(self.stored), self.clock))
+
+
+class MVRegister:
+    """Multi-value register: concurrent writes become siblings.
+
+    A write replaces every sibling it causally dominates; merges keep
+    all pairwise-concurrent candidates.  ``value`` is therefore a *set* —
+    when it has more than one element the application (or the conflict
+    resolver, :mod:`repro.core.conflict`) must reconcile, which is exactly
+    the "handle conflicts, don't hide them" stance of principle 2.8.
+    """
+
+    def __init__(self, siblings: FrozenSet[_Sibling] | None = None):
+        self._siblings: frozenset[_Sibling] = siblings or frozenset()
+
+    def assign(self, value: Any, clock: VectorClock) -> "MVRegister":
+        """Write ``value`` at ``clock``, superseding dominated siblings."""
+        survivors = {
+            sibling
+            for sibling in self._siblings
+            if sibling.clock.compare(clock) is Ordering.CONCURRENT
+        }
+        survivors.add(_Sibling(value, clock))
+        return MVRegister(frozenset(survivors))
+
+    def merge(self, other: "MVRegister") -> "MVRegister":
+        """Union of siblings, dropping any dominated by another sibling."""
+        candidates = set(self._siblings) | set(other._siblings)
+        survivors = {
+            sibling
+            for sibling in candidates
+            if not any(
+                contender.clock.compare(sibling.clock) is Ordering.AFTER
+                for contender in candidates
+            )
+        }
+        return MVRegister(frozenset(survivors))
+
+    @property
+    def value(self) -> set[Any]:
+        """All concurrent candidate values (empty set if never written)."""
+        return {sibling.stored for sibling in self._siblings}
+
+    @property
+    def is_conflicted(self) -> bool:
+        """Whether more than one concurrent candidate survives."""
+        return len(self._siblings) > 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVRegister):
+            return NotImplemented
+        return self._siblings == other._siblings
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MVRegister(value={self.value!r})"

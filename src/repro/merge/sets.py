@@ -1,0 +1,174 @@
+"""Convergent sets: grow-only, two-phase and observed-remove.
+
+Sets model collections maintained insert-only (principle 2.7): a delete
+is not a physical removal but a durable *mark* — a tombstone in the
+two-phase set, an observed-tag removal in the OR-set.  Past membership
+therefore stays reconstructible, which is what lets eventual consistency
+and auditing coexist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Hashable, Iterable, Mapping
+
+
+class GSet:
+    """A grow-only set; merge is union."""
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._items: frozenset[Hashable] = frozenset(items)
+
+    def add(self, item: Hashable) -> "GSet":
+        """Return a copy containing ``item``."""
+        return GSet(self._items | {item})
+
+    def merge(self, other: "GSet") -> "GSet":
+        """Union of both element sets."""
+        return GSet(self._items | other._items)
+
+    @property
+    def value(self) -> frozenset:
+        """The current membership."""
+        return self._items
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GSet):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GSet({sorted(map(repr, self._items))})"
+
+
+class TwoPhaseSet:
+    """Add/remove set where removal is a permanent tombstone.
+
+    Once removed, an element can never be re-added — the tombstone wins
+    every merge.  This matches "mark data as deleted, rather than
+    actually deleting" (principle 2.7) for data whose identity is never
+    recycled (e.g. cancelled document numbers).
+    """
+
+    def __init__(
+        self,
+        added: Iterable[Hashable] = (),
+        removed: Iterable[Hashable] = (),
+    ):
+        self._added: frozenset[Hashable] = frozenset(added)
+        self._removed: frozenset[Hashable] = frozenset(removed)
+
+    def add(self, item: Hashable) -> "TwoPhaseSet":
+        """Return a copy with ``item`` added (no effect if tombstoned)."""
+        return TwoPhaseSet(self._added | {item}, self._removed)
+
+    def remove(self, item: Hashable) -> "TwoPhaseSet":
+        """Return a copy with ``item`` tombstoned.
+
+        Removing an element never observed is permitted and simply
+        pre-poisons it (the tombstone will also defeat later adds).
+        """
+        return TwoPhaseSet(self._added, self._removed | {item})
+
+    def merge(self, other: "TwoPhaseSet") -> "TwoPhaseSet":
+        """Union both the add-set and the tombstone-set."""
+        return TwoPhaseSet(
+            self._added | other._added, self._removed | other._removed
+        )
+
+    @property
+    def value(self) -> frozenset:
+        """Live membership: added and not tombstoned."""
+        return self._added - self._removed
+
+    @property
+    def tombstones(self) -> frozenset:
+        """All permanently removed elements (audit view)."""
+        return self._removed
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TwoPhaseSet):
+            return NotImplemented
+        return self._added == other._added and self._removed == other._removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TwoPhaseSet(live={sorted(map(repr, self.value))})"
+
+
+class ORSet:
+    """Observed-remove set: add-wins semantics with unique tags.
+
+    Every add attaches a unique tag; a remove deletes exactly the tags it
+    has *observed*.  A concurrent add (whose tag the remover never saw)
+    survives, so re-adding after removal works — unlike
+    :class:`TwoPhaseSet`.  This is the right set for collections whose
+    members legitimately come and go (e.g. a customer's open orders).
+    """
+
+    def __init__(
+        self,
+        entries: Mapping[Hashable, FrozenSet[str]] | None = None,
+        tombstones: Iterable[str] = (),
+    ):
+        self._entries: dict[Hashable, frozenset[str]] = {
+            item: frozenset(tags) for item, tags in (entries or {}).items()
+        }
+        self._tombstones: frozenset[str] = frozenset(tombstones)
+
+    def add(self, item: Hashable, tag: str) -> "ORSet":
+        """Return a copy with ``item`` present under unique ``tag``.
+
+        Callers must supply globally unique tags (e.g.
+        ``f"{replica_id}:{sequence}"``); reuse would let an old remove
+        cancel a new add.
+        """
+        entries = dict(self._entries)
+        entries[item] = entries.get(item, frozenset()) | {tag}
+        return ORSet(entries, self._tombstones)
+
+    def remove(self, item: Hashable) -> "ORSet":
+        """Return a copy that removes the *currently observed* tags of
+        ``item``; tags added concurrently elsewhere survive a merge."""
+        observed = self._live_tags(item)
+        return ORSet(self._entries, self._tombstones | observed)
+
+    def merge(self, other: "ORSet") -> "ORSet":
+        """Union of tag maps and tombstones."""
+        entries = dict(self._entries)
+        for item, tags in other._entries.items():
+            entries[item] = entries.get(item, frozenset()) | tags
+        return ORSet(entries, self._tombstones | other._tombstones)
+
+    def _live_tags(self, item: Hashable) -> frozenset[str]:
+        return self._entries.get(item, frozenset()) - self._tombstones
+
+    @property
+    def value(self) -> frozenset:
+        """Live membership: items with at least one un-tombstoned tag."""
+        return frozenset(
+            item for item in self._entries if self._live_tags(item)
+        )
+
+    def __contains__(self, item: Hashable) -> bool:
+        return bool(self._live_tags(item))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ORSet):
+            return NotImplemented
+        # Equality of observable state: same live tags per item and same
+        # effective tombstones over known tags.
+        items = set(self._entries) | set(other._entries)
+        return all(
+            self._live_tags(item) == other._live_tags(item) for item in items
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ORSet(live={sorted(map(repr, self.value))})"

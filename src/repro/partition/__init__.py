@@ -1,0 +1,21 @@
+"""Partitioning: serialization units with separate logs and dynamic
+entity location (principle 2.5)."""
+
+from repro.partition.relocation import EntityMover, MoveReport
+from repro.partition.router import (
+    DynamicDirectory,
+    HashRouter,
+    RangeRouter,
+    Router,
+)
+from repro.partition.units import SerializationUnit
+
+__all__ = [
+    "EntityMover",
+    "MoveReport",
+    "DynamicDirectory",
+    "HashRouter",
+    "RangeRouter",
+    "Router",
+    "SerializationUnit",
+]

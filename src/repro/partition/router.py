@@ -1,0 +1,120 @@
+"""Entity location: key-range and hash routing, plus dynamic placement.
+
+Principle 2.5: "Entity location is determined dynamically, e.g., by key
+range partitioning or with a dynamic hash table."  The routers map an
+``(entity_type, entity_key)`` reference to a serialization-unit name;
+:class:`DynamicDirectory` adds per-entity overrides so entities can be
+*moved* between units without changing the base routing function.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Protocol, Sequence
+
+EntityRef = tuple[str, str]
+
+
+class Router(Protocol):
+    """Maps an entity reference to the unit that owns it."""
+
+    def unit_for(self, entity_type: str, entity_key: str) -> str:
+        """The owning unit's name."""
+        ...
+
+
+class HashRouter:
+    """Stable-hash placement over a fixed unit list.
+
+    Uses MD5 (not Python's ``hash``, which is salted per process) so the
+    placement is stable across runs — a determinism requirement.
+
+    Args:
+        units: Unit names, in a fixed order.
+    """
+
+    def __init__(self, units: Sequence[str]):
+        if not units:
+            raise ValueError("HashRouter needs at least one unit")
+        self._units = list(units)
+
+    def unit_for(self, entity_type: str, entity_key: str) -> str:
+        digest = hashlib.md5(f"{entity_type}/{entity_key}".encode()).hexdigest()
+        return self._units[int(digest, 16) % len(self._units)]
+
+    @property
+    def units(self) -> list[str]:
+        """The unit names this router spreads over."""
+        return list(self._units)
+
+
+class RangeRouter:
+    """Key-range placement: sorted split points map key prefixes to units.
+
+    Args:
+        boundaries: ``[(upper_bound_exclusive, unit), ...]`` sorted by
+            bound; keys below the first bound go to the first unit, and
+            ``default_unit`` catches keys at or above the last bound.
+        default_unit: Owner of the residual range.
+
+    Example:
+        >>> router = RangeRouter([("m", "unit-a")], default_unit="unit-b")
+        >>> router.unit_for("customer", "alice")
+        'unit-a'
+        >>> router.unit_for("customer", "zoe")
+        'unit-b'
+    """
+
+    def __init__(
+        self,
+        boundaries: Sequence[tuple[str, str]],
+        default_unit: str,
+    ):
+        self._boundaries = sorted(boundaries)
+        self.default_unit = default_unit
+
+    def unit_for(self, entity_type: str, entity_key: str) -> str:
+        for bound, unit in self._boundaries:
+            if entity_key < bound:
+                return unit
+        return self.default_unit
+
+
+class DynamicDirectory:
+    """A movable-entity directory over a base router.
+
+    Placement lookups check explicit overrides first, then fall back to
+    the base router.  :meth:`move` records an override — the mechanism
+    behind "entity location is determined dynamically": hot entities can
+    be rebalanced without rewriting the routing function.
+
+    Args:
+        base: The fallback router.
+    """
+
+    def __init__(self, base: Router):
+        self.base = base
+        self._overrides: dict[EntityRef, str] = {}
+        self.moves = 0
+
+    def unit_for(self, entity_type: str, entity_key: str) -> str:
+        override = self._overrides.get((entity_type, entity_key))
+        return override if override is not None else self.base.unit_for(
+            entity_type, entity_key
+        )
+
+    def move(self, entity_type: str, entity_key: str, unit: str) -> None:
+        """Relocate one entity to ``unit`` (takes effect immediately for
+        subsequent lookups; migrating the entity's events between stores
+        is the caller's job, typically via a process step)."""
+        self._overrides[(entity_type, entity_key)] = unit
+        self.moves += 1
+
+    def placement_of(self, entity_type: str, entity_key: str) -> Optional[str]:
+        """The explicit override for an entity, if any."""
+        return self._overrides.get((entity_type, entity_key))
+
+    @property
+    def override_count(self) -> int:
+        """How many entities have explicit placements."""
+        return len(self._overrides)

@@ -1,0 +1,21 @@
+"""Event queues: reliable delivery, idempotence, transactional outboxes.
+
+The messaging substrate of principles 2.4 and 2.6: process steps are
+connected by events; delivery is at-least-once with idempotent
+receivers; enqueue/dequeue are always local operations bound to the
+local transaction's outcome, never distributed transactions.
+"""
+
+from repro.queues.idempotence import IdempotentReceiver
+from repro.queues.message import Message, next_message_id
+from repro.queues.reliable import QueueStats, ReliableQueue
+from repro.queues.transactional import TransactionalOutbox
+
+__all__ = [
+    "IdempotentReceiver",
+    "Message",
+    "next_message_id",
+    "QueueStats",
+    "ReliableQueue",
+    "TransactionalOutbox",
+]

@@ -1,0 +1,78 @@
+"""Idempotent receivers: exactly-once *effect* over at-least-once delivery.
+
+"For unreliable messaging, at-least-once delivery can be used with
+idempotence" (principle 2.4, after Helland).  An
+:class:`IdempotentReceiver` wraps a handler with a processed-id set so a
+redelivered message acknowledges immediately without re-running the
+business logic — duplicates become harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.queues.message import Message
+
+Handler = Callable[[Message], bool]
+
+
+class IdempotentReceiver:
+    """Deduplicating wrapper around a message handler.
+
+    Args:
+        handler: The business handler; invoked at most once per
+            message id, no matter how many deliveries occur.
+        name: Diagnostic name for reports.
+        capacity: Optional bound on the dedup set; when exceeded the
+            oldest ids are forgotten (a real system bounds this table
+            and relies on redelivery windows being shorter than the
+            retention horizon).
+
+    Example:
+        >>> calls = []
+        >>> receiver = IdempotentReceiver(lambda m: calls.append(m) or True)
+        >>> message = Message("m-1", "t")
+        >>> receiver(message), receiver(message)
+        (True, True)
+        >>> len(calls)
+        1
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        name: str = "receiver",
+        capacity: Optional[int] = None,
+    ):
+        self.handler = handler
+        self.name = name
+        self.capacity = capacity
+        self.duplicates_skipped = 0
+        self.processed = 0
+        self._seen: dict[str, bool] = {}
+
+    def __call__(self, message: Message) -> bool:
+        """Handle ``message`` once; duplicates ack without side effects.
+
+        A failed first attempt (handler returned ``False`` or raised) is
+        *not* recorded as seen, so redelivery retries the business logic
+        — only successful processing is deduplicated.
+        """
+        if message.message_id in self._seen:
+            self.duplicates_skipped += 1
+            return True
+        acknowledged = self.handler(message)
+        if acknowledged:
+            self._remember(message.message_id)
+            self.processed += 1
+        return acknowledged
+
+    def _remember(self, message_id: str) -> None:
+        self._seen[message_id] = True
+        if self.capacity is not None and len(self._seen) > self.capacity:
+            oldest = next(iter(self._seen))
+            del self._seen[oldest]
+
+    def has_processed(self, message_id: str) -> bool:
+        """Whether ``message_id`` was already successfully handled."""
+        return message_id in self._seen

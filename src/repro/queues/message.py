@@ -1,0 +1,51 @@
+"""Message records for the event-queue substrate.
+
+Process steps are "connected by events" (principle 2.4); a
+:class:`Message` is one such event in flight.  Messages carry a unique id
+so receivers can deduplicate redeliveries (at-least-once delivery plus
+idempotence — the combination the paper prescribes for unreliable
+messaging).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_id_counter = itertools.count(1)
+
+
+def next_message_id(prefix: str = "m") -> str:
+    """A process-wide unique message id (deterministic across a run:
+    ids are assigned in creation order)."""
+    return f"{prefix}-{next(_id_counter)}"
+
+
+@dataclass
+class Message:
+    """An event/message flowing between process steps.
+
+    Attributes:
+        message_id: Globally unique id; the deduplication key.
+        topic: Routing key — consumers subscribe to topics.
+        payload: Application data (kept JSON-friendly by convention).
+        enqueue_time: Virtual time of first enqueue.
+        attempts: Delivery attempts so far (grows under redelivery).
+        causation_id: Message id (or transaction id) that caused this
+            message, for tracing choreographies (e.g. the SCM flows of
+            principle 2.9).
+    """
+
+    message_id: str
+    topic: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    enqueue_time: float = 0.0
+    attempts: int = 0
+    causation_id: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message({self.message_id}, topic={self.topic!r}, "
+            f"attempts={self.attempts})"
+        )

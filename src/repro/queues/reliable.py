@@ -1,0 +1,159 @@
+"""Reliable (at-least-once) event queues.
+
+Principle 2.4: process steps are connected by events, delivered by
+"reliable message queue specifications and products, such as the Java
+Message Service.  For unreliable messaging, at-least-once delivery can
+be used with idempotence."
+
+:class:`ReliableQueue` implements the at-least-once contract on the
+simulator: a delivered message that is not acknowledged (handler returns
+``False`` or raises) is redelivered after a timeout, up to a retry cap,
+after which it parks on a dead-letter list for operator attention.
+Duplicate deliveries are *expected* under this contract — pair consumers
+with :class:`~repro.queues.idempotence.IdempotentReceiver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.queues.message import Message, next_message_id
+from repro.sim.scheduler import Simulator
+
+Handler = Callable[[Message], bool]
+
+
+@dataclass
+class QueueStats:
+    """Counters describing a queue's delivery behaviour."""
+
+    enqueued: int = 0
+    delivered: int = 0
+    acked: int = 0
+    redelivered: int = 0
+    dead_lettered: int = 0
+    handler_failures: int = 0
+
+
+class ReliableQueue:
+    """An at-least-once topic queue on the simulator.
+
+    Args:
+        sim: The simulator providing time and scheduling.
+        name: Diagnostic name.
+        delivery_delay: Virtual time between enqueue and the delivery
+            attempt (models broker/network hop).
+        redelivery_timeout: Wait before redelivering an unacked message.
+        max_attempts: Attempts before the message is dead-lettered.
+        ack_loss_probability: Probability that a *successful* handler
+            run's ack is lost (consumer crashed after processing, before
+            acknowledging) — the classic source of duplicates that
+            motivates idempotent receivers.
+
+    Example:
+        >>> sim = Simulator()
+        >>> queue = ReliableQueue(sim)
+        >>> seen = []
+        >>> queue.subscribe("greeting", lambda m: seen.append(m.payload) or True)
+        >>> _ = queue.enqueue("greeting", {"text": "hi"})
+        >>> _ = sim.run()
+        >>> seen
+        [{'text': 'hi'}]
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "queue",
+        delivery_delay: float = 0.0,
+        redelivery_timeout: float = 10.0,
+        max_attempts: int = 5,
+        ack_loss_probability: float = 0.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.delivery_delay = delivery_delay
+        self.redelivery_timeout = redelivery_timeout
+        self.max_attempts = max_attempts
+        self.ack_loss_probability = ack_loss_probability
+        self.stats = QueueStats()
+        self.dead_letters: list[Message] = []
+        self._handlers: dict[str, list[Handler]] = {}
+        self._rng = sim.fork_rng()
+        self._acked_ids: set[str] = set()
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Register ``handler`` for ``topic``.
+
+        The handler returns ``True`` to acknowledge; ``False`` or an
+        exception triggers redelivery.  Multiple handlers on one topic
+        each receive the message; the message is acked only when *all*
+        acknowledge in the same attempt.
+        """
+        self._handlers.setdefault(topic, []).append(handler)
+
+    def enqueue(
+        self,
+        topic: str,
+        payload: Mapping[str, Any],
+        message_id: Optional[str] = None,
+        causation_id: str = "",
+    ) -> Message:
+        """Enqueue a message for delivery to ``topic`` subscribers.
+
+        Enqueue is always a *local* operation (principle 2.6's note:
+        queue operations are never distributed transactions).
+        """
+        message = Message(
+            message_id=message_id or next_message_id(),
+            topic=topic,
+            payload=dict(payload),
+            enqueue_time=self.sim.now,
+            causation_id=causation_id,
+        )
+        self.stats.enqueued += 1
+        self._schedule_delivery(message, self.delivery_delay)
+        return message
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        self.sim.schedule(
+            delay,
+            lambda: self._deliver(message),
+            label=f"{self.name}:{message.topic}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        if message.message_id in self._acked_ids:
+            return
+        handlers = self._handlers.get(message.topic, [])
+        message.attempts += 1
+        self.stats.delivered += 1
+        success = bool(handlers)
+        for handler in handlers:
+            try:
+                if not handler(message):
+                    success = False
+            except Exception:
+                self.stats.handler_failures += 1
+                success = False
+        if success and self.ack_loss_probability > 0 and self._rng.coin(
+            self.ack_loss_probability
+        ):
+            # Processing happened but the ack was lost: at-least-once
+            # semantics say redeliver; idempotent receivers absorb it.
+            success = False
+        if success:
+            self.stats.acked += 1
+            self._acked_ids.add(message.message_id)
+        elif message.attempts >= self.max_attempts:
+            self.stats.dead_lettered += 1
+            self.dead_letters.append(message)
+        else:
+            self.stats.redelivered += 1
+            self._schedule_delivery(message, self.redelivery_timeout)
+
+    @property
+    def pending_ack(self) -> int:
+        """Messages enqueued but neither acked nor dead-lettered."""
+        return self.stats.enqueued - self.stats.acked - self.stats.dead_lettered

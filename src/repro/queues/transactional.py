@@ -1,0 +1,145 @@
+"""Transactional messaging: outbox publication bound to commit.
+
+Principle 2.4: "A committed transaction may enqueue events that result
+in additional process steps"; a *failed* transaction must not leak its
+events.  The :class:`TransactionalOutbox` gives transactions exactly
+that: ``enqueue`` buffers during the transaction, ``publish_on_commit``
+flushes to the real queue atomically with commit, ``discard_on_abort``
+drops everything.
+
+The paper also allows *post-rollback actions* — "they must be
+non-transactional and infrastructure-generated" — so the outbox supports
+a separate compensation channel that fires only on abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.queues.message import Message, next_message_id
+from repro.queues.reliable import ReliableQueue
+
+
+@dataclass
+class _PendingMessage:
+    """A message buffered inside an open transaction."""
+
+    topic: str
+    payload: dict[str, Any]
+    message_id: str
+    causation_id: str
+
+
+class TransactionalOutbox:
+    """Buffers enqueues until the owning transaction decides its fate.
+
+    Args:
+        queue: The reliable queue that receives published messages.
+        tx_id: The owning transaction's id (stamped as causation).
+
+    Example:
+        >>> from repro.sim import Simulator
+        >>> sim = Simulator()
+        >>> queue = ReliableQueue(sim)
+        >>> outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        >>> _ = outbox.enqueue("order.created", {"order": "o1"})
+        >>> queue.stats.enqueued        # nothing published yet
+        0
+        >>> outbox.publish_on_commit()
+        1
+        >>> queue.stats.enqueued
+        1
+    """
+
+    def __init__(self, queue: ReliableQueue, tx_id: str = ""):
+        self.queue = queue
+        self.tx_id = tx_id
+        self._pending: list[_PendingMessage] = []
+        self._on_abort: list[_PendingMessage] = []
+        self._closed = False
+
+    def enqueue(
+        self,
+        topic: str,
+        payload: Mapping[str, Any],
+        message_id: Optional[str] = None,
+    ) -> str:
+        """Buffer a message for publication at commit.
+
+        Returns:
+            The message id (fixed now so retries of the same logical
+            send can share it).
+        """
+        self._check_open()
+        pending = _PendingMessage(
+            topic=topic,
+            payload=dict(payload),
+            message_id=message_id or next_message_id(),
+            causation_id=self.tx_id,
+        )
+        self._pending.append(pending)
+        return pending.message_id
+
+    def enqueue_on_abort(
+        self,
+        topic: str,
+        payload: Mapping[str, Any],
+    ) -> str:
+        """Buffer an infrastructure compensation message that is
+        published only if the transaction aborts (post-rollback actions,
+        principle 2.4)."""
+        self._check_open()
+        pending = _PendingMessage(
+            topic=topic,
+            payload=dict(payload),
+            message_id=next_message_id(),
+            causation_id=self.tx_id,
+        )
+        self._on_abort.append(pending)
+        return pending.message_id
+
+    def publish_on_commit(self) -> int:
+        """Flush commit-bound messages to the queue; abort-bound ones
+        are discarded.  Returns the number published."""
+        self._check_open()
+        self._closed = True
+        for pending in self._pending:
+            self.queue.enqueue(
+                pending.topic,
+                pending.payload,
+                message_id=pending.message_id,
+                causation_id=pending.causation_id,
+            )
+        published = len(self._pending)
+        self._pending.clear()
+        self._on_abort.clear()
+        return published
+
+    def discard_on_abort(self) -> int:
+        """Drop commit-bound messages and publish abort-bound
+        compensations.  Returns the number of compensations published."""
+        self._check_open()
+        self._closed = True
+        self._pending.clear()
+        for pending in self._on_abort:
+            self.queue.enqueue(
+                pending.topic,
+                pending.payload,
+                message_id=pending.message_id,
+                causation_id=pending.causation_id,
+            )
+        published = len(self._on_abort)
+        self._on_abort.clear()
+        return published
+
+    @property
+    def pending_count(self) -> int:
+        """Messages buffered awaiting the commit decision."""
+        return len(self._pending)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"outbox for {self.tx_id!r} already published or discarded"
+            )

@@ -1,0 +1,33 @@
+"""Replication schemes across the consistency/availability spectrum.
+
+The paper's section 2 preamble names the design space this package
+implements: "active systems with asynchronous commits to backups, active
+systems with synchronous commits to backups, active/active replication
+with subjective/eventual consistency, and replication with strong
+consistency" — plus the master/slave mixed-consistency approach and the
+read-only warehouse extract from section 3.1.
+"""
+
+from repro.replication.active_active import ActiveActiveGroup
+from repro.replication.anti_entropy import AntiEntropy
+from repro.replication.asynchronous import AsyncPrimaryBackup, FailoverReport
+from repro.replication.master_slave import MasterSlaveGroup
+from repro.replication.quorum import QuorumGroup, QuorumOutcome
+from repro.replication.replica import ReplicaNode, converged
+from repro.replication.synchronous import SyncPrimaryBackup, SyncWriteResult
+from repro.replication.warehouse import WarehouseExtract
+
+__all__ = [
+    "ActiveActiveGroup",
+    "AntiEntropy",
+    "AsyncPrimaryBackup",
+    "FailoverReport",
+    "MasterSlaveGroup",
+    "QuorumGroup",
+    "QuorumOutcome",
+    "ReplicaNode",
+    "converged",
+    "SyncPrimaryBackup",
+    "SyncWriteResult",
+    "WarehouseExtract",
+]

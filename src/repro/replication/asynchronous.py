@@ -1,0 +1,147 @@
+"""Active system with asynchronous commits to a backup.
+
+One of the four replication schemes the paper's section 2 preamble
+names.  The primary acknowledges a write as soon as its *local* commit
+completes; a shipper forwards the log tail to the backup on an interval.
+Users get the fastest possible response time, and the price is a
+potential **lost tail** on failover: committed-and-acknowledged
+transactions the backup never received (the apology case of
+principle 2.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.lsdb.events import LogEvent
+from repro.merge.deltas import Delta
+from repro.replication.replica import ReplicaNode
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@dataclass
+class FailoverReport:
+    """What a failover cost."""
+
+    at: float
+    lost_events: int
+    lost_tx_ids: list[str]
+
+
+class AsyncPrimaryBackup:
+    """Primary/backup replication with asynchronous log shipping.
+
+    Args:
+        sim: The simulator.
+        network: The network both nodes attach to.
+        ship_interval: Virtual time between shipping rounds.
+        primary_id: Node id of the primary.
+        backup_id: Node id of the backup.
+
+    Example:
+        >>> sim = Simulator(); net = Network(sim, latency=5.0)
+        >>> pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        >>> _ = pair.primary.store.insert("order", "o1", {"total": 9})
+        >>> _ = sim.run(until=20.0)
+        >>> pair.backup.store.get("order", "o1").fields["total"]
+        9
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        ship_interval: float = 10.0,
+        primary_id: str = "primary",
+        backup_id: str = "backup",
+    ):
+        self.sim = sim
+        self.network = network
+        self.ship_interval = ship_interval
+        self.primary = ReplicaNode(primary_id, sim)
+        self.backup = ReplicaNode(backup_id, sim)
+        network.register(self.primary)
+        network.register(self.backup)
+        self._shipped_lsn = 0
+        self._active = True
+        self.failovers: list[FailoverReport] = []
+        self._schedule_shipping()
+
+    # ------------------------------------------------------------------ #
+    # Client API: writes ack immediately after the local commit
+    # ------------------------------------------------------------------ #
+
+    def write_insert(
+        self, entity_type: str, entity_key: str, fields: dict[str, Any], tx_id: str = ""
+    ) -> float:
+        """Insert at the primary; returns the (immediate) ack time."""
+        self.primary.store.insert(entity_type, entity_key, fields, tx_id=tx_id)
+        return self.sim.now
+
+    def write_delta(
+        self, entity_type: str, entity_key: str, delta: Delta, tx_id: str = ""
+    ) -> float:
+        """Apply a delta at the primary; returns the (immediate) ack time."""
+        self.primary.store.apply_delta(entity_type, entity_key, delta, tx_id=tx_id)
+        return self.sim.now
+
+    # ------------------------------------------------------------------ #
+    # Shipping loop
+    # ------------------------------------------------------------------ #
+
+    def _schedule_shipping(self) -> None:
+        self.sim.schedule(self.ship_interval, self._ship_round, label="async-ship")
+
+    def _ship_round(self) -> None:
+        if not self._active:
+            return
+        backlog = self.primary.store.events_since(self._shipped_lsn)
+        if backlog and not self.primary.crashed:
+            if self.primary.ship_events(self.backup.node_id, backlog):
+                # Optimistically advance; a lost batch is repaired by the
+                # next round because apply is idempotent — we re-ship the
+                # suffix whenever the backup's vector lags.
+                self._shipped_lsn = backlog[-1].lsn
+        self._reship_if_lagging()
+        self._schedule_shipping()
+
+    def _reship_if_lagging(self) -> None:
+        """Probe the backup so it can pull anything a dropped batch left
+        behind (anti-entropy over the same event feed)."""
+        if not self.primary.crashed:
+            self.backup.probe(self.primary.node_id)
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+
+    def lost_tail(self) -> list[LogEvent]:
+        """Primary events the backup has not applied (what a failover
+        right now would lose)."""
+        applied = self.backup.store.version_vector.get(self.primary.node_id)
+        return self.primary.store.events_from_origin(self.primary.node_id, applied)
+
+    def failover(self) -> FailoverReport:
+        """Promote the backup; report the acknowledged-but-lost tail.
+
+        The lost transactions are exactly the ones that will need
+        apologies (principle 2.9): the user was told "committed", and
+        the surviving replica has no record of it.
+        """
+        lost = self.lost_tail()
+        report = FailoverReport(
+            at=self.sim.now,
+            lost_events=len(lost),
+            lost_tx_ids=sorted({event.tx_id for event in lost if event.tx_id}),
+        )
+        self.failovers.append(report)
+        self.primary.crash()
+        self._active = False
+        return report
+
+    @property
+    def replication_lag_events(self) -> int:
+        """Events at the primary not yet applied at the backup."""
+        return len(self.lost_tail())

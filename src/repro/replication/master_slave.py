@@ -1,0 +1,137 @@
+"""Master/slave replication — mixed consistency from one event feed.
+
+Paper section 3.1: "a master-slave approach where the master copy
+handles all updates unapologetically but slaves may have to apologize
+and compensate might address needs for variegated consistency
+requirements."
+
+The master is the single writer (updates routed elsewhere raise
+:class:`~repro.errors.NotMaster`); slaves receive the log asynchronously
+and serve reads that are *stale by a measurable lag*.  Decisions taken
+against slave data (e.g. accepting an order based on stale stock) are
+subjective and may need apologies — experiment E10 wires the bookstore
+to slave reads and counts them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import NotMaster
+from repro.lsdb.rollup import EntityState
+from repro.merge.deltas import Delta
+from repro.replication.replica import ReplicaNode
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+class MasterSlaveGroup:
+    """One writable master, many read-only slaves.
+
+    Args:
+        sim: The simulator.
+        network: The network.
+        master_id: Node id of the master.
+        slave_ids: Node ids of the slaves.
+        ship_interval: Period of the master's log-shipping loop (the
+            knob that sets slave staleness).
+
+    Example:
+        >>> sim = Simulator(); net = Network(sim, latency=2.0)
+        >>> group = MasterSlaveGroup(sim, net, "master", ["slave-1"],
+        ...                          ship_interval=10.0)
+        >>> _ = group.write_insert("stock", "book", {"copies": 5})
+        >>> group.read("slave-1", "stock", "book") is None   # not shipped yet
+        True
+        >>> _ = sim.run(until=30.0)
+        >>> group.read("slave-1", "stock", "book").fields["copies"]
+        5
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        master_id: str = "master",
+        slave_ids: Optional[list[str]] = None,
+        ship_interval: float = 10.0,
+    ):
+        self.sim = sim
+        self.network = network
+        self.ship_interval = ship_interval
+        self.master = network.register(ReplicaNode(master_id, sim))
+        self.slaves: dict[str, ReplicaNode] = {}
+        for slave_id in slave_ids or ["slave"]:
+            self.slaves[slave_id] = network.register(ReplicaNode(slave_id, sim))
+        self._shipped: dict[str, int] = {slave_id: 0 for slave_id in self.slaves}
+        self.rejected_writes = 0
+        self._schedule_shipping()
+
+    # ------------------------------------------------------------------ #
+    # Writes: master only
+    # ------------------------------------------------------------------ #
+
+    def write_insert(
+        self, entity_type: str, entity_key: str, fields: dict[str, Any], tx_id: str = ""
+    ) -> float:
+        """Insert at the master; ack immediate (local commit)."""
+        self.master.store.insert(entity_type, entity_key, fields, tx_id=tx_id)
+        return self.sim.now
+
+    def write_delta(
+        self, entity_type: str, entity_key: str, delta: Delta, tx_id: str = ""
+    ) -> float:
+        """Delta at the master; ack immediate."""
+        self.master.store.apply_delta(entity_type, entity_key, delta, tx_id=tx_id)
+        return self.sim.now
+
+    def write_at(self, node_id: str, *_args, **_kwargs) -> None:
+        """Reject updates addressed to a slave (single-writer discipline).
+
+        Raises:
+            NotMaster: Always, unless ``node_id`` is the master.
+        """
+        if node_id != self.master.node_id:
+            self.rejected_writes += 1
+            raise NotMaster(f"{node_id!r} does not accept updates")
+        raise ValueError("use write_insert/write_delta for master writes")
+
+    # ------------------------------------------------------------------ #
+    # Reads: anywhere, with staleness at slaves
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self, node_id: str, entity_type: str, entity_key: str
+    ) -> Optional[EntityState]:
+        """Read at the master (fresh) or a slave (possibly stale)."""
+        if node_id == self.master.node_id:
+            return self.master.store.get(entity_type, entity_key)
+        return self.slaves[node_id].store.get(entity_type, entity_key)
+
+    def slave_lag_events(self, slave_id: str) -> int:
+        """Master events not yet applied at ``slave_id``."""
+        applied = self.slaves[slave_id].store.version_vector.get(
+            self.master.node_id
+        )
+        return len(
+            self.master.store.events_from_origin(self.master.node_id, applied)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shipping loop
+    # ------------------------------------------------------------------ #
+
+    def _schedule_shipping(self) -> None:
+        self.sim.schedule(self.ship_interval, self._ship_round, label="ms-ship")
+
+    def _ship_round(self) -> None:
+        for slave_id in self.slaves:
+            backlog = self.master.store.events_since(self._shipped[slave_id])
+            if backlog and not self.master.crashed:
+                if self.master.ship_events(slave_id, backlog):
+                    self._shipped[slave_id] = backlog[-1].lsn
+            # Idempotent apply means re-probing is always safe; lets a
+            # slave that missed a batch (partition) catch up.
+            if not self.master.crashed:
+                self.slaves[slave_id].probe(self.master.node_id)
+        self._schedule_shipping()

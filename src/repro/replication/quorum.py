@@ -1,0 +1,296 @@
+"""Quorum replication — strong consistency, at availability's expense.
+
+The "replication with strong consistency" scheme from the paper's
+section 2 preamble.  A write succeeds only when ``write_quorum``
+replicas acknowledge; a read consults ``read_quorum`` replicas and keeps
+the freshest value.  With ``W + R > N`` reads observe the latest
+committed write — but any operation that cannot reach its quorum
+*fails* rather than proceeding on local data, which is exactly the
+availability sacrifice CAP forces and experiment E1 quantifies against
+the active/active group.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.replication.replica import ReplicaNode
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+
+
+@dataclass
+class QuorumOutcome:
+    """Result of one quorum operation."""
+
+    request_id: str
+    kind: str  # "write" | "read"
+    ok: bool
+    submitted_at: float
+    finished_at: float
+    responses: int = 0
+    value: Optional[dict[str, Any]] = None
+
+    @property
+    def latency(self) -> float:
+        """Time from submission to quorum (or timeout)."""
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class _PendingRequest:
+    outcome: QuorumOutcome
+    needed: int
+    on_done: Callable[[QuorumOutcome], None]
+    best_timestamp: float = -1.0
+    timeout_handle: Any = None
+    done: bool = False
+    entity_type: str = ""
+    entity_key: str = ""
+    stale_repliers: list[str] = field(default_factory=list)
+    replier_timestamps: dict[str, float] = field(default_factory=dict)
+
+
+class _QuorumReplica(ReplicaNode):
+    """Replica answering versioned read/write requests."""
+
+    def handle_extra_message(self, source: str, message: Mapping[str, Any]) -> None:
+        kind = message.get("type")
+        if kind == "q-write":
+            self.store.set_fields(
+                message["entity_type"],
+                message["entity_key"],
+                dict(message["fields"]),
+                tx_id=message.get("request_id", ""),
+            )
+            self.send(
+                source, {"type": "q-write-ack", "request_id": message["request_id"]}
+            )
+        elif kind == "q-read":
+            state = self.store.get(message["entity_type"], message["entity_key"])
+            self.send(
+                source,
+                {
+                    "type": "q-read-reply",
+                    "request_id": message["request_id"],
+                    "fields": dict(state.fields) if state else None,
+                    "timestamp": state.last_timestamp if state else -1.0,
+                },
+            )
+        elif kind == "q-repair":
+            # Read repair: accept only if we are genuinely behind.  The
+            # repair event carries the winning value's *original*
+            # timestamp — re-stamping it with local time would make the
+            # repaired replica look newer than the replicas that wrote
+            # the value, and every subsequent read would "repair" them
+            # in turn (ping-pong).
+            state = self.store.get(message["entity_type"], message["entity_key"])
+            local_timestamp = state.last_timestamp if state else -1.0
+            if local_timestamp < message.get("timestamp", -1.0):
+                from repro.lsdb.events import EventKind, LogEvent
+
+                self.store.log.append(
+                    LogEvent(
+                        lsn=0,
+                        timestamp=float(message["timestamp"]),
+                        entity_type=message["entity_type"],
+                        entity_key=message["entity_key"],
+                        kind=EventKind.SET_FIELDS,
+                        payload=dict(message["fields"]),
+                        origin="read-repair",
+                        origin_seq=0,
+                        tx_id=message.get("request_id", ""),
+                        tags=frozenset({"read-repair"}),
+                    )
+                )
+
+
+class QuorumCoordinator(Node):
+    """Client-facing coordinator for quorum reads and writes."""
+
+    def __init__(
+        self,
+        node_id: str,
+        group: "QuorumGroup",
+    ):
+        super().__init__(node_id)
+        self.group = group
+        self._pending: dict[str, _PendingRequest] = {}
+
+    def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
+        request_id = message.get("request_id", "")
+        pending = self._pending.get(request_id)
+        if pending is None or pending.done:
+            return
+        kind = message.get("type")
+        if kind == "q-write-ack":
+            pending.outcome.responses += 1
+        elif kind == "q-read-reply":
+            pending.outcome.responses += 1
+            timestamp = message.get("timestamp", -1.0)
+            pending.replier_timestamps[source] = timestamp
+            if message.get("fields") is not None and timestamp > pending.best_timestamp:
+                pending.best_timestamp = timestamp
+                pending.outcome.value = dict(message["fields"])
+        if pending.outcome.responses >= pending.needed:
+            if pending.outcome.kind == "read":
+                self._read_repair(pending)
+            self._finish(pending, ok=True)
+
+    def _read_repair(self, pending: _PendingRequest) -> None:
+        """Write the freshest value back to repliers that returned stale
+        (or missing) data — the classic read-repair of Dynamo-style
+        systems, keeping quorum overlap effective over time."""
+        if pending.outcome.value is None or not self.group.read_repair:
+            return
+        for replica_id, timestamp in pending.replier_timestamps.items():
+            if timestamp < pending.best_timestamp:
+                pending.stale_repliers.append(replica_id)
+                self.send(
+                    replica_id,
+                    {
+                        "type": "q-repair",
+                        "request_id": pending.outcome.request_id,
+                        "entity_type": pending.entity_type,
+                        "entity_key": pending.entity_key,
+                        "fields": dict(pending.outcome.value),
+                        "timestamp": pending.best_timestamp,
+                    },
+                )
+                self.group.read_repairs_sent += 1
+
+    def _finish(self, pending: _PendingRequest, ok: bool) -> None:
+        if pending.done:
+            return
+        pending.done = True
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        pending.outcome.ok = ok
+        pending.outcome.finished_at = self.group.sim.now
+        self.group.outcomes.append(pending.outcome)
+        del self._pending[pending.outcome.request_id]
+        pending.on_done(pending.outcome)
+
+    def start(
+        self,
+        kind: str,
+        needed: int,
+        payload: dict[str, Any],
+        on_done: Callable[[QuorumOutcome], None],
+    ) -> str:
+        request_id = f"q-{next(self.group.request_counter)}"
+        outcome = QuorumOutcome(
+            request_id=request_id,
+            kind=kind,
+            ok=False,
+            submitted_at=self.group.sim.now,
+            finished_at=self.group.sim.now,
+        )
+        pending = _PendingRequest(
+            outcome=outcome,
+            needed=needed,
+            on_done=on_done,
+            entity_type=str(payload.get("entity_type", "")),
+            entity_key=str(payload.get("entity_key", "")),
+        )
+        self._pending[request_id] = pending
+        pending.timeout_handle = self.group.sim.schedule(
+            self.group.timeout,
+            lambda: self._finish(pending, ok=False),
+            label=f"quorum-timeout:{request_id}",
+        )
+        message = dict(payload)
+        message["request_id"] = request_id
+        message["type"] = "q-write" if kind == "write" else "q-read"
+        for replica in self.group.replicas:
+            self.send(replica.node_id, message)
+        return request_id
+
+
+class QuorumGroup:
+    """N replicas with R/W quorum operations.
+
+    Args:
+        sim: The simulator.
+        network: The network.
+        replica_ids: Replica names (``N = len(replica_ids)``).
+        write_quorum: Acks required for a write (``W``).
+        read_quorum: Replies required for a read (``R``).
+        timeout: Virtual time before an operation fails for lack of
+            quorum (the unavailability signal).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        replica_ids: list[str],
+        write_quorum: Optional[int] = None,
+        read_quorum: Optional[int] = None,
+        timeout: float = 100.0,
+        coordinator_id: str = "quorum-coordinator",
+        read_repair: bool = True,
+    ):
+        count = len(replica_ids)
+        if count < 1:
+            raise ValueError("quorum group needs at least one replica")
+        self.sim = sim
+        self.network = network
+        self.write_quorum = write_quorum or count // 2 + 1
+        self.read_quorum = read_quorum or count // 2 + 1
+        if self.write_quorum > count or self.read_quorum > count:
+            raise ValueError("quorum larger than replica count")
+        self.timeout = timeout
+        self.replicas = [
+            network.register(_QuorumReplica(replica_id, sim))
+            for replica_id in replica_ids
+        ]
+        self.coordinator = network.register(QuorumCoordinator(coordinator_id, self))
+        self.outcomes: list[QuorumOutcome] = []
+        self.request_counter = itertools.count(1)
+        self.read_repair = read_repair
+        self.read_repairs_sent = 0
+
+    def write(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: dict[str, Any],
+        on_done: Optional[Callable[[QuorumOutcome], None]] = None,
+    ) -> str:
+        """Quorum write; outcome delivered via callback and
+        :attr:`outcomes`."""
+        return self.coordinator.start(
+            "write",
+            self.write_quorum,
+            {
+                "entity_type": entity_type,
+                "entity_key": entity_key,
+                "fields": dict(fields),
+            },
+            on_done or (lambda _outcome: None),
+        )
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        on_done: Optional[Callable[[QuorumOutcome], None]] = None,
+    ) -> str:
+        """Quorum read; the freshest replica value wins."""
+        return self.coordinator.start(
+            "read",
+            self.read_quorum,
+            {"entity_type": entity_type, "entity_key": entity_key},
+            on_done or (lambda _outcome: None),
+        )
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of finished operations that missed their quorum."""
+        if not self.outcomes:
+            return 0.0
+        failed = sum(1 for outcome in self.outcomes if not outcome.ok)
+        return failed / len(self.outcomes)

@@ -1,0 +1,127 @@
+"""The replica node: an LSDB store behind a network endpoint.
+
+Every replication scheme in this package composes the same building
+block: a :class:`ReplicaNode` owning a local
+:class:`~repro.lsdb.store.LSDBStore` whose events carry the replica's
+identity.  The node speaks a two-message protocol:
+
+* ``{"type": "events", "events": [...]}`` — apply remote events
+  (idempotently, in per-origin order; duplicates from at-least-once
+  shipping are rejected by the store).
+* ``{"type": "vv", "vector": {...}, "reply_to": id}`` — anti-entropy
+  probe: compare the sender's version vector with ours and ship back
+  whatever the sender is missing.
+
+Subjective consistency (paper section 1) falls out of the structure:
+every read and write a client performs against one node sees only that
+node's log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from repro.lsdb.events import LogEvent
+from repro.lsdb.store import LSDBStore
+from repro.merge.clock import VersionVector
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+
+
+class ReplicaNode(Node):
+    """A network-attached replica.
+
+    Args:
+        node_id: Network id, also the store's origin id.
+        sim: Simulator providing the store's clock.
+        snapshot_interval: Forwarded to the store.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: Simulator,
+        snapshot_interval: int = 0,
+    ):
+        super().__init__(node_id)
+        self.sim = sim
+        self.store = LSDBStore(
+            name=node_id,
+            origin=node_id,
+            clock=lambda: sim.now,
+            snapshot_interval=snapshot_interval,
+        )
+        self.events_received = 0
+        self.anti_entropy_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # Message protocol
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
+        kind = message.get("type")
+        if kind == "events":
+            for event in message.get("events", ()):
+                if self.store.apply_remote(event):
+                    self.events_received += 1
+        elif kind == "vv":
+            self._answer_probe(source, message)
+        else:
+            self.handle_extra_message(source, message)
+
+    def handle_extra_message(self, source: str, message: Mapping[str, Any]) -> None:
+        """Hook for scheme-specific messages (overridden by subclasses)."""
+
+    def _answer_probe(self, source: str, message: Mapping[str, Any]) -> None:
+        remote_vector = VersionVector(message.get("vector", {}))
+        missing: list[LogEvent] = []
+        for origin, have in remote_vector.missing_from(self.store.version_vector).items():
+            # ``have`` is (their_count, my_count): ship the gap.
+            their_count, _my_count = have
+            missing.extend(self.store.events_from_origin(origin, their_count))
+        self.anti_entropy_rounds += 1
+        if missing:
+            self.send(source, {"type": "events", "events": missing})
+
+    # ------------------------------------------------------------------ #
+    # Propagation helpers
+    # ------------------------------------------------------------------ #
+
+    def ship_events(self, destination: str, events: list[LogEvent]) -> bool:
+        """Send a batch of events to one peer (best-effort)."""
+        if not events:
+            return True
+        return self.send(destination, {"type": "events", "events": events})
+
+    def probe(self, destination: str) -> bool:
+        """Send our version vector to a peer, inviting it to fill our
+        gaps (one half of a gossip exchange)."""
+        return self.send(
+            destination,
+            {"type": "vv", "vector": self.store.version_vector.to_dict()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convergence checks (used by tests and experiments)
+    # ------------------------------------------------------------------ #
+
+    def observable_state(self) -> dict[tuple[str, str], dict[str, Any]]:
+        """Field values of all live entities — the application view used
+        to decide whether replicas have converged."""
+        return {
+            ref: dict(state.fields)
+            for ref, state in self.store.current_state().items()
+        }
+
+
+def converged(replicas: list[ReplicaNode]) -> bool:
+    """Whether all replicas expose identical observable state.
+
+    This is the paper's eventual-consistency test: "convergence to
+    equivalent states at all replicas if there were no further
+    transactions" (section 1).
+    """
+    if len(replicas) < 2:
+        return True
+    reference = replicas[0].observable_state()
+    return all(replica.observable_state() == reference for replica in replicas[1:])

@@ -1,0 +1,167 @@
+"""Active system with synchronous commits to a backup.
+
+The strong-durability counterpart of
+:mod:`repro.replication.asynchronous`: the primary does not acknowledge
+a write until the backup confirms it has the events.  Nothing is lost on
+failover — and the user's response time now includes a network round
+trip, and writes become *unavailable* whenever the backup is unreachable
+(the CAP tradeoff, measured in experiments E1 and E2; see also paper
+section 3.2: "response time for users may degrade ... when a backup
+system must receive transaction records before a transaction commits").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.lsdb.events import LogEvent
+from repro.merge.deltas import Delta
+from repro.replication.replica import ReplicaNode
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@dataclass
+class SyncWriteResult:
+    """Outcome of one synchronous write."""
+
+    tx_id: str
+    ok: bool
+    submitted_at: float
+    acked_at: float
+
+    @property
+    def latency(self) -> float:
+        """User-visible response time."""
+        return self.acked_at - self.submitted_at
+
+
+class _SyncPrimary(ReplicaNode):
+    """Primary that tracks acknowledgements from the backup."""
+
+    def __init__(self, node_id: str, sim: Simulator):
+        super().__init__(node_id, sim)
+        self.pending: dict[str, Callable[[], None]] = {}
+
+    def handle_extra_message(self, source: str, message: Mapping[str, Any]) -> None:
+        if message.get("type") == "replication-ack":
+            callback = self.pending.pop(message.get("tx", ""), None)
+            if callback is not None:
+                callback()
+
+
+class _SyncBackup(ReplicaNode):
+    """Backup that acknowledges every replicated batch."""
+
+    def handle_extra_message(self, source: str, message: Mapping[str, Any]) -> None:
+        if message.get("type") == "replicate":
+            for event in message.get("events", ()):
+                self.store.apply_remote(event)
+            self.send(source, {"type": "replication-ack", "tx": message.get("tx")})
+
+
+class SyncPrimaryBackup:
+    """Primary/backup replication with commit-time acknowledgement.
+
+    Args:
+        sim: The simulator.
+        network: The network both nodes attach to.
+        ack_timeout: Virtual time after which an unacknowledged write is
+            reported as failed (the unavailability window under
+            partition or backup crash).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        ack_timeout: float = 100.0,
+        primary_id: str = "sync-primary",
+        backup_id: str = "sync-backup",
+    ):
+        self.sim = sim
+        self.network = network
+        self.ack_timeout = ack_timeout
+        self.primary = _SyncPrimary(primary_id, sim)
+        self.backup = _SyncBackup(backup_id, sim)
+        network.register(self.primary)
+        network.register(self.backup)
+        self.results: list[SyncWriteResult] = []
+        self._tx_counter = itertools.count(1)
+
+    def write_insert(
+        self,
+        entity_type: str,
+        entity_key: str,
+        fields: dict[str, Any],
+        on_done: Optional[Callable[[SyncWriteResult], None]] = None,
+    ) -> str:
+        """Insert with synchronous replication.
+
+        Returns the transaction id immediately; the commit outcome
+        arrives via ``on_done`` (and :attr:`results`) once the backup
+        acknowledges or the timeout fires.
+        """
+        event = lambda tx_id: self.primary.store.insert(
+            entity_type, entity_key, fields, tx_id=tx_id
+        )
+        return self._write(event, on_done)
+
+    def write_delta(
+        self,
+        entity_type: str,
+        entity_key: str,
+        delta: Delta,
+        on_done: Optional[Callable[[SyncWriteResult], None]] = None,
+    ) -> str:
+        """Apply a delta with synchronous replication."""
+        event = lambda tx_id: self.primary.store.apply_delta(
+            entity_type, entity_key, delta, tx_id=tx_id
+        )
+        return self._write(event, on_done)
+
+    def _write(
+        self,
+        append_local: Callable[[str], LogEvent],
+        on_done: Optional[Callable[[SyncWriteResult], None]],
+    ) -> str:
+        tx_id = f"sync-{next(self._tx_counter)}"
+        submitted_at = self.sim.now
+        stored = append_local(tx_id)
+        finished = {"done": False}
+
+        def finish(ok: bool) -> None:
+            if finished["done"]:
+                return
+            finished["done"] = True
+            result = SyncWriteResult(
+                tx_id=tx_id, ok=ok, submitted_at=submitted_at, acked_at=self.sim.now
+            )
+            self.results.append(result)
+            if on_done is not None:
+                on_done(result)
+
+        self.primary.pending[tx_id] = lambda: finish(True)
+        self.sim.schedule(
+            self.ack_timeout,
+            lambda: finish(False),
+            label=f"sync-timeout:{tx_id}",
+        )
+        self.primary.send(
+            self.backup.node_id,
+            {"type": "replicate", "tx": tx_id, "events": [stored]},
+        )
+        return tx_id
+
+    @property
+    def failed_writes(self) -> int:
+        """Writes that timed out waiting for the backup."""
+        return sum(1 for result in self.results if not result.ok)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean response time of successful writes."""
+        latencies = [result.latency for result in self.results if result.ok]
+        return sum(latencies) / len(latencies) if latencies else 0.0

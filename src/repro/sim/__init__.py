@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's principles are about the behaviour of distributed data
+management under latency, partitions, replica divergence and failures.
+The authors' substrate — SAP's enterprise landscape — is proprietary, so
+every experiment in this repository runs on this simulator instead (see
+DESIGN.md section 4 for the substitution argument).
+
+The substrate is intentionally small and fully deterministic:
+
+* :class:`~repro.sim.scheduler.Simulator` — a virtual clock plus an event
+  heap; callbacks fire in (time, insertion-order) order, so two runs with
+  the same seed produce identical histories.
+* :class:`~repro.sim.network.Network` — message passing between
+  :class:`~repro.sim.network.Node` objects with configurable latency
+  distributions, message loss and partitions.
+* :class:`~repro.sim.failure.FailureInjector` — scripted crash/recover
+  schedules for nodes.
+* :mod:`~repro.sim.rng` — seeded random-variate helpers (exponential
+  inter-arrival times, Zipf key skew) used by workload generators.
+"""
+
+from repro.sim.scheduler import Simulator, ScheduledEvent
+from repro.sim.network import Network, Node, Partition
+from repro.sim.failure import FailureInjector
+from repro.sim.rng import SeededRNG, ZipfGenerator
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Network",
+    "Node",
+    "Partition",
+    "FailureInjector",
+    "SeededRNG",
+    "ZipfGenerator",
+]

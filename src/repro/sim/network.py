@@ -1,0 +1,254 @@
+"""Simulated message-passing network between nodes.
+
+The network is the only channel between replicas, queue brokers and
+process engines, so everything the CAP principle is about — latency, loss
+and partitions (paper section 1 and principle 2.11) — is injected here.
+
+Messages are delivered by scheduling a callback on the simulator after a
+latency drawn from a configurable distribution.  Partitions are modelled
+as named groups of nodes; a message crossing group boundaries while a
+partition is active is silently dropped (and counted), exactly the
+behaviour that forces a replication scheme to choose between availability
+and consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.sim.scheduler import Simulator
+
+
+class Node:
+    """A participant in the simulated distributed system.
+
+    Subclasses (replicas, brokers, coordinators) override
+    :meth:`handle_message`.  A crashed node receives nothing; messages
+    addressed to it while down are dropped, mirroring a real crash-stop
+    failure model.
+
+    Args:
+        node_id: Unique name used for routing.
+    """
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.crashed = False
+        self.network: Optional["Network"] = None
+
+    def handle_message(self, source: str, message: Any) -> None:
+        """React to a delivered message.  Default: ignore."""
+
+    def send(self, destination: str, message: Any) -> bool:
+        """Send ``message`` to ``destination`` via the attached network.
+
+        Returns:
+            ``True`` if the message was accepted for (possible) delivery,
+            ``False`` if it was dropped at send time (partition, loss, or
+            this node is crashed).
+
+        Raises:
+            NetworkError: If the node was never registered on a network.
+        """
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not on a network")
+        return self.network.send(self.node_id, destination, message)
+
+    def crash(self) -> None:
+        """Stop receiving messages until :meth:`recover` is called."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Resume receiving messages."""
+        self.crashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}({self.node_id!r}, {state})"
+
+
+@dataclass
+class Partition:
+    """An active network partition.
+
+    Nodes are split into groups; messages within a group flow normally,
+    messages between groups are dropped.  Nodes not named in any group
+    can talk to everyone (useful for partial partitions).
+    """
+
+    groups: list[set[str]]
+
+    def allows(self, source: str, destination: str) -> bool:
+        """Whether a message from ``source`` to ``destination`` crosses
+        a partition boundary."""
+        source_group = self._group_of(source)
+        destination_group = self._group_of(destination)
+        if source_group is None or destination_group is None:
+            return True
+        return source_group is destination_group
+
+    def _group_of(self, node_id: str) -> Optional[set[str]]:
+        for group in self.groups:
+            if node_id in group:
+                return group
+        return None
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing what the network did to traffic."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_loss: int = 0
+    dropped_crashed: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total messages that never reached a handler."""
+        return self.dropped_partition + self.dropped_loss + self.dropped_crashed
+
+
+class Network:
+    """Latency/loss/partition-aware message router.
+
+    Args:
+        sim: The simulator providing time and scheduling.
+        latency: Either a constant (float) one-way delay, or a callable
+            ``(rng) -> float`` drawing a delay per message.
+        loss_probability: Independent per-message drop probability.
+
+    Example:
+        >>> sim = Simulator()
+        >>> net = Network(sim, latency=2.0)
+        >>> class Echo(Node):
+        ...     def handle_message(self, source, message):
+        ...         self.last = (source, message)
+        >>> a, b = Echo("a"), Echo("b")
+        >>> _, _ = net.register(a), net.register(b)
+        >>> _ = a.send("b", "ping")
+        >>> _ = sim.run()
+        >>> b.last
+        ('a', 'ping')
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float | Callable[..., float] = 1.0,
+        loss_probability: float = 0.0,
+    ):
+        self.sim = sim
+        self._latency = latency
+        self.loss_probability = loss_probability
+        self.nodes: dict[str, Node] = {}
+        self.partition: Optional[Partition] = None
+        self.stats = NetworkStats()
+        self._rng = sim.fork_rng()
+        self._trace: list[tuple[float, str, str, Any]] = []
+        self.tracing = False
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def register(self, node: Node) -> Node:
+        """Attach a node.  Node ids must be unique."""
+        if node.node_id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        node.network = self
+        return node
+
+    def partition_into(self, *groups: set[str] | list[str]) -> Partition:
+        """Split the network into isolated groups (heals any prior
+        partition first).
+
+        Returns:
+            The active :class:`Partition`, useful for assertions.
+        """
+        self.partition = Partition(groups=[set(group) for group in groups])
+        return self.partition
+
+    def heal(self) -> None:
+        """Remove the active partition; traffic flows everywhere again."""
+        self.partition = None
+
+    def is_partitioned(self, source: str, destination: str) -> bool:
+        """Whether traffic between two nodes is currently blocked."""
+        return self.partition is not None and not self.partition.allows(
+            source, destination
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    def send(self, source: str, destination: str, message: Any) -> bool:
+        """Route a message, applying partition, loss and crash rules.
+
+        Returns ``True`` if delivery was scheduled.  Note a ``True``
+        return still does not guarantee delivery: the destination may
+        crash before the latency elapses.
+        """
+        if destination not in self.nodes:
+            raise NetworkError(f"unknown destination {destination!r}")
+        if source not in self.nodes:
+            raise NetworkError(f"unknown source {source!r}")
+        self.stats.sent += 1
+        if self.nodes[source].crashed:
+            self.stats.dropped_crashed += 1
+            return False
+        if self.is_partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            return False
+        if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
+            self.stats.dropped_loss += 1
+            return False
+        delay = self._draw_latency()
+        self.sim.schedule(
+            delay,
+            lambda: self._deliver(source, destination, message),
+            label=f"net {source}->{destination}",
+        )
+        return True
+
+    def broadcast(self, source: str, message: Any) -> int:
+        """Send ``message`` from ``source`` to every other node.
+
+        Returns the number of sends accepted for delivery.
+        """
+        accepted = 0
+        for node_id in list(self.nodes):
+            if node_id != source and self.send(source, node_id, message):
+                accepted += 1
+        return accepted
+
+    def _draw_latency(self) -> float:
+        if callable(self._latency):
+            return max(0.0, self._latency(self._rng))
+        return float(self._latency)
+
+    def _deliver(self, source: str, destination: str, message: Any) -> None:
+        node = self.nodes.get(destination)
+        if node is None or node.crashed:
+            self.stats.dropped_crashed += 1
+            return
+        # A partition that started while the message was in flight also
+        # blocks it: partitions sever links, not just send attempts.
+        if self.is_partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            return
+        self.stats.delivered += 1
+        if self.tracing:
+            self._trace.append((self.sim.now, source, destination, message))
+        node.handle_message(source, message)
+
+    @property
+    def trace(self) -> list[tuple[float, str, str, Any]]:
+        """Delivered-message trace ``(time, src, dst, message)``;
+        populated only while :attr:`tracing` is ``True``."""
+        return list(self._trace)

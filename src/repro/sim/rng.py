@@ -1,0 +1,144 @@
+"""Seeded random-variate helpers for workloads and network models.
+
+All randomness in the library flows through :class:`SeededRNG` so that a
+single seed pins an entire experiment.  The class wraps
+:class:`random.Random` and adds the variates the benchmark workloads need:
+exponential inter-arrival times (Poisson processes) and Zipf-skewed key
+choice (hot-entity contention, paper section 2.10 experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRNG:
+    """A deterministic random stream.
+
+    Args:
+        seed: Any integer; equal seeds produce equal streams.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._random = random.Random(seed)
+        self.seed = seed
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """A uniform float in ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """A uniform integer in ``[low, high]`` (inclusive)."""
+        return self._random.randint(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """An exponential variate with the given mean.
+
+        Used as the inter-arrival time of a Poisson arrival process with
+        rate ``1 / mean``.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self._random.expovariate(1.0 / mean)
+
+    def normal(self, mu: float, sigma: float) -> float:
+        """A normal variate (used for jittered latencies, floored at 0)."""
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """A uniformly random element of ``items``."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        """``k`` distinct elements of ``items`` without replacement."""
+        return self._random.sample(items, k)
+
+    def random(self) -> float:
+        """A uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def coin(self, probability: float) -> bool:
+        """``True`` with the given probability."""
+        return self._random.random() < probability
+
+
+class ZipfGenerator:
+    """Zipf-distributed indices over ``0 .. n - 1``.
+
+    Pre-computes the cumulative distribution once so each draw is a
+    binary search; ``theta = 0`` degenerates to uniform and larger theta
+    concentrates mass on low indices ("hot keys").
+
+    Args:
+        rng: The random stream to draw from.
+        n: Number of distinct items.
+        theta: Skew parameter (0 = uniform; ~0.99 is the YCSB default).
+    """
+
+    def __init__(self, rng: SeededRNG, n: int, theta: float = 0.99):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta}")
+        self._rng = rng
+        self.n = n
+        self.theta = theta
+        weights = [1.0 / ((rank + 1) ** theta) for rank in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def draw(self) -> int:
+        """Return an index in ``[0, n)`` with Zipf(theta) probability."""
+        import bisect
+
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def draw_many(self, count: int) -> list[int]:
+        """Return ``count`` independent draws."""
+        return [self.draw() for _ in range(count)]
+
+
+def poisson_arrivals(
+    rng: SeededRNG,
+    rate: float,
+    duration: float,
+    start: float = 0.0,
+    limit: Optional[int] = None,
+) -> list[float]:
+    """Arrival timestamps of a Poisson process.
+
+    Args:
+        rng: Random stream.
+        rate: Mean arrivals per time unit.
+        duration: Length of the observation window.
+        start: Timestamp of the window start.
+        limit: Optional hard cap on the number of arrivals.
+
+    Returns:
+        Sorted arrival times in ``[start, start + duration)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    times: list[float] = []
+    now = start
+    end = start + duration
+    while True:
+        now += rng.exponential(1.0 / rate)
+        if now >= end:
+            break
+        times.append(now)
+        if limit is not None and len(times) >= limit:
+            break
+    return times

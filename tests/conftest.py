@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import ConstraintManager
+from repro.core.transaction import TransactionManager
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with constant 1.0 latency on the shared simulator."""
+    return Network(sim, latency=1.0)
+
+
+@pytest.fixture
+def store(sim: Simulator) -> LSDBStore:
+    """A store clocked by the shared simulator."""
+    return LSDBStore(name="test-store", origin="test", clock=lambda: sim.now)
+
+
+@pytest.fixture
+def queue(sim: Simulator) -> ReliableQueue:
+    """A reliable queue on the shared simulator."""
+    return ReliableQueue(sim)
+
+
+@pytest.fixture
+def tx_manager(sim: Simulator, store: LSDBStore, queue: ReliableQueue) -> TransactionManager:
+    """A transaction manager wired to sim + store + queue."""
+    return TransactionManager(store, sim=sim, queue=queue)
+
+
+@pytest.fixture
+def constrained_tx_manager(
+    sim: Simulator, store: LSDBStore, queue: ReliableQueue
+) -> TransactionManager:
+    """A transaction manager with a constraint manager attached."""
+    constraints = ConstraintManager(store, queue, clock=lambda: sim.now)
+    return TransactionManager(store, sim=sim, queue=queue, constraints=constraints)

@@ -1,0 +1,154 @@
+"""Tests for the banking and inventory applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.banking import BankApp
+from repro.apps.inventory import FLOOR_CONSTRAINT, InventoryApp
+from repro.core.constraints import ConstraintManager
+from repro.core.transaction import TransactionManager
+from repro.errors import EntityNotFound
+from repro.lsdb.store import LSDBStore
+
+
+def make_bank():
+    return BankApp(TransactionManager(LSDBStore()))
+
+
+def make_inventory():
+    store = LSDBStore()
+    constraints = ConstraintManager(store)
+    return InventoryApp(TransactionManager(store, constraints=constraints))
+
+
+class TestBank:
+    def test_balance_is_aggregate_of_operations(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        bank.deposit("a1", 100)
+        bank.withdraw("a1", 30)
+        bank.deposit("a1", 5)
+        assert bank.balance("a1") == 75
+
+    def test_audit_balance_always_matches(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        for amount in (10, 20, 30):
+            bank.deposit("a1", amount)
+        bank.withdraw("a1", 15)
+        assert bank.audit_balance("a1") == bank.balance("a1") == 45
+
+    def test_statement_lists_operations_in_order(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        bank.deposit("a1", 100, memo="salary")
+        bank.withdraw("a1", 40, memo="rent")
+        statement = bank.statement("a1")
+        assert [(line.kind, line.amount) for line in statement] == [
+            ("deposit", 100),
+            ("withdrawal", 40),
+        ]
+        assert statement[0].memo == "salary"
+
+    def test_operations_survive_balance_changes(self):
+        """Section 3.2: individual deposits/withdrawals stay visible."""
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        bank.deposit("a1", 100)
+        first_statement = bank.statement("a1")
+        bank.withdraw("a1", 99)
+        assert bank.statement("a1")[0] == first_statement[0]
+
+    def test_operations_are_regulatory_tagged(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        receipt = bank.deposit("a1", 10)
+        op_events = [e for e in receipt.events if e.entity_type == "bank_op"]
+        assert "regulatory" in op_events[0].tags
+
+    def test_zero_amount_rejected(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        with pytest.raises(ValueError):
+            bank.deposit("a1", 0)
+
+    def test_unknown_account_raises_on_read(self):
+        with pytest.raises(EntityNotFound):
+            make_bank().balance("ghost")
+
+    def test_separate_accounts_isolated(self):
+        bank = make_bank()
+        bank.open_account("a1", owner="ada")
+        bank.open_account("a2", owner="bob")
+        bank.deposit("a1", 10)
+        assert bank.balance("a2") == 0
+        assert bank.statement("a2") == []
+
+
+class TestInventory:
+    def test_receive_and_issue(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=5)
+        inventory.receive("w", 10)
+        inventory.issue("w", 3)
+        assert inventory.on_hand("w") == 12
+
+    def test_issue_below_zero_is_allowed_and_recorded(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=2)
+        receipt = inventory.issue("w", 5, actor="packer-joe")
+        assert receipt.committed  # never refused (principle 2.1)
+        assert inventory.on_hand("w") == -3
+        report = inventory.discrepancy_report("w")
+        assert report.is_negative
+        assert len(report.open_violations) == 1
+        assert report.open_violations[0].constraint_name == FLOOR_CONSTRAINT
+
+    def test_discrepancy_history_names_the_movements(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=1)
+        inventory.issue("w", 4, actor="packer-joe")
+        report = inventory.discrepancy_report("w")
+        assert len(report.movements) == 1  # the issue delta
+        # The movement entity records the actor — the trace that can
+        # identify the source of the inconsistency (principle 2.7).
+        movements = [
+            state for state in inventory.store.entities_of_type("stock_movement")
+            if state.get("item_key") == "w"
+        ]
+        assert movements[0].get("actor") == "packer-joe"
+
+    def test_reconcile_repairs_discrepancy(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=2)
+        inventory.issue("w", 5)
+        inventory.reconcile("w", counted_quantity=0)
+        assert inventory.on_hand("w") == 0
+        assert inventory.discrepancy_report("w").open_violations == []
+
+    def test_reconcile_records_adjustment_movement(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=0)
+        inventory.issue("w", 2)
+        inventory.reconcile("w", counted_quantity=7)
+        kinds = [
+            state.get("kind")
+            for state in inventory.store.entities_of_type("stock_movement")
+            if state.get("item_key") == "w"
+        ]
+        assert "physical_count" in kinds
+        assert inventory.on_hand("w") == 7
+
+    def test_audit_matches_running_level(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget", on_hand=10)
+        inventory.receive("w", 5)
+        inventory.issue("w", 8)
+        assert inventory.audit_on_hand("w", initial=10) == inventory.on_hand("w")
+
+    def test_zero_quantity_movement_rejected(self):
+        inventory = make_inventory()
+        inventory.add_item("w", "widget")
+        with pytest.raises(ValueError):
+            inventory.receive("w", 0)

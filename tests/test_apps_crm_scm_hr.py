@@ -1,0 +1,188 @@
+"""Tests for the CRM, SCM (ATP) and HR applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.crm import CRMApp
+from repro.apps.hr import HRApp
+from repro.apps.scm import SupplyChainApp
+from repro.core.compensation import CompensationManager, TentativeStatus
+from repro.core.constraints import ConstraintManager
+from repro.core.process import ProcessEngine
+from repro.core.transaction import TransactionManager
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+
+def make_crm(clock=None):
+    store = LSDBStore()
+    constraints = ConstraintManager(store, clock=clock)
+    return CRMApp(TransactionManager(store, constraints=constraints))
+
+
+class TestCRM:
+    def test_in_order_entry_has_no_violations(self):
+        crm = make_crm()
+        crm.enter_customer("c1", "ACME")
+        crm.enter_lead("l1", "c1")
+        crm.qualify_lead("opp1", "l1", "c1")
+        crm.win_opportunity("so1", "opp1")
+        assert crm.metrics().total_violations == 0
+
+    def test_out_of_order_entry_commits_with_violations(self):
+        crm = make_crm()
+        crm.win_opportunity("so1", "opp1")           # nothing exists yet
+        crm.qualify_lead("opp1", "l1", "c1")         # lead+customer missing
+        assert len(crm.open_violations()) == 3
+        # Data was never refused:
+        assert crm.store.get("sales_order", "so1") is not None
+
+    def test_violations_repair_as_referents_arrive(self):
+        crm = make_crm()
+        crm.qualify_lead("opp1", "l1", "c1")
+        crm.enter_lead("l1", "c1")
+        crm.repair_pass()
+        remaining = {v.constraint_name for v in crm.open_violations()}
+        assert "opp-lead" not in remaining        # lead arrived
+        crm.enter_customer("c1", "ACME")          # repairs the rest
+        metrics = crm.metrics()
+        assert metrics.open_violations == 0
+        assert metrics.repair_rate == 1.0
+
+    def test_time_to_repair_measured(self):
+        clock = {"now": 0.0}
+        crm = make_crm(clock=lambda: clock["now"])
+        crm.enter_lead("l1", "c1")
+        clock["now"] = 30.0
+        crm.enter_customer("c1", "ACME")
+        metrics = crm.metrics()
+        assert metrics.mean_time_to_repair == 30.0
+
+    def test_requires_constraint_manager(self):
+        with pytest.raises(ValueError):
+            CRMApp(TransactionManager(LSDBStore()))
+
+
+class TestSCM:
+    def _make(self):
+        sim = Simulator()
+        store = LSDBStore(clock=lambda: sim.now)
+        manager = TransactionManager(store, sim=sim)
+        compensation = CompensationManager(store, clock=lambda: sim.now)
+        return sim, SupplyChainApp(manager, compensation), compensation
+
+    def test_quote_reserves_quantity(self):
+        _, scm, _ = self._make()
+        scm.add_item("steel", 100)
+        scm.quote_offer("steel", 40, price=9.5, deadline=50.0, purchaser="acme")
+        assert scm.available_to_purchase("steel") == 60
+
+    def test_purchase_before_deadline_is_honored(self):
+        _, scm, _ = self._make()
+        scm.add_item("steel", 100)
+        offer = scm.quote_offer("steel", 40, 9.5, deadline=50.0, purchaser="acme")
+        outcome = scm.purchase(offer.op_id)
+        assert outcome.honored
+        item = scm.store.require("scm_item", "steel")
+        assert item.fields["shipped"] == 40
+        assert item.fields["on_hand"] == 60
+        assert item.fields["reserved"] == 0
+
+    def test_expired_offer_releases_reservation(self):
+        sim, scm, _ = self._make()
+        scm.add_item("steel", 100)
+        offer = scm.quote_offer("steel", 40, 9.5, deadline=10.0, purchaser="acme")
+        sim.schedule(20.0, lambda: None)
+        sim.run()
+        assert scm.expire_offers() == 1
+        assert scm.available_to_purchase("steel") == 100
+        outcome = scm.purchase(offer.op_id)
+        assert not outcome.honored
+        assert "expired" in outcome.reason
+
+    def test_disaster_reneges_open_offers_with_apologies(self):
+        _, scm, compensation = self._make()
+        scm.add_item("steel", 100)
+        scm.quote_offer("steel", 40, 9.5, deadline=50.0, purchaser="acme")
+        scm.quote_offer("steel", 20, 9.0, deadline=50.0, purchaser="globex")
+        reneged = scm.warehouse_disaster("steel")
+        assert len(reneged) == 2
+        assert compensation.ledger.by_reason() == {"warehouse disaster": 2}
+        item = scm.store.require("scm_item", "steel")
+        assert item.fields["on_hand"] == 0
+        assert item.fields["lost"] == 100
+        assert item.fields["reserved"] == 0
+
+    def test_disaster_between_quote_and_purchase(self):
+        """Reality is realer than the information system (2.1/2.9)."""
+        _, scm, compensation = self._make()
+        scm.add_item("steel", 50)
+        offer = scm.quote_offer("steel", 30, 9.5, deadline=100.0, purchaser="acme")
+        # Disaster cancels the offer; purchase arrives afterwards.
+        scm.warehouse_disaster("steel")
+        outcome = scm.purchase(offer.op_id)
+        assert not outcome.honored
+        assert compensation.ledger.count() == 1
+
+    def test_confirmed_offer_marked_in_store(self):
+        _, scm, compensation = self._make()
+        scm.add_item("steel", 100)
+        offer = scm.quote_offer("steel", 10, 9.5, deadline=50.0, purchaser="acme")
+        scm.purchase(offer.op_id)
+        assert compensation.get_operation(offer.op_id).status is TentativeStatus.CONFIRMED
+
+
+class TestHR:
+    def _make(self, collapsed=False):
+        sim = Simulator()
+        queue = ReliableQueue(sim)
+        store = LSDBStore(clock=lambda: sim.now)
+        manager = TransactionManager(store, sim=sim, queue=queue)
+        engine = ProcessEngine(manager, queue)
+        return sim, engine, HRApp(engine, collapsed=collapsed)
+
+    def test_transfer_completes_through_all_steps(self):
+        sim, engine, hr = self._make()
+        hr.hire("emp1", "sales", "key-accounts")
+        transfer_id = hr.start_transfer("emp1", "marketing", "emp2")
+        sim.run()
+        status = hr.status("emp1", transfer_id)
+        assert status.complete
+        assert status.department == "marketing"
+        assert status.responsibility_owner == "emp2"
+        assert engine.stats.steps_committed == 4
+
+    def test_collapsed_transfer_single_step_same_outcome(self):
+        sim, engine, hr = self._make(collapsed=True)
+        hr.hire("emp1", "sales", "key-accounts")
+        transfer_id = hr.start_transfer("emp1", "marketing", "emp2")
+        sim.run()
+        status = hr.status("emp1", transfer_id)
+        assert status.complete
+        assert engine.stats.steps_run == 1  # one fused transaction
+
+    def test_intermediate_state_visible_between_steps(self):
+        sim, engine, hr = self._make()
+        hr.hire("emp1", "sales", "key-accounts")
+        transfer_id = hr.start_transfer("emp1", "marketing", "emp2")
+        # Run just the first step's delivery.
+        sim.run(max_events=3)
+        employee = hr.store.get("employee", "emp1")
+        if employee.get("status") == "transferring":
+            # The in-between state is a legitimate, visible business
+            # state (subjective consistency), not an anomaly.
+            assert employee.get("department") == "sales"
+        sim.run()
+        assert hr.status("emp1", transfer_id).complete
+
+    def test_multiple_concurrent_transfers(self):
+        sim, engine, hr = self._make()
+        hr.hire("emp1", "sales", "a")
+        hr.hire("emp2", "support", "b")
+        first = hr.start_transfer("emp1", "marketing", "emp9")
+        second = hr.start_transfer("emp2", "legal", "emp9")
+        sim.run()
+        assert hr.status("emp1", first).complete
+        assert hr.status("emp2", second).department == "legal"

@@ -1,0 +1,140 @@
+"""Tests for tentative operations and apology-oriented computing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compensation import (
+    TENTATIVE_TYPE,
+    ApologyLedger,
+    CompensationManager,
+    TentativeStatus,
+)
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+
+def make_manager(clock=None):
+    store = LSDBStore()
+    return store, CompensationManager(store, clock=clock)
+
+
+class TestTentativeLifecycle:
+    def test_open_is_durable_and_visible(self):
+        store, manager = make_manager()
+        operation = manager.open_tentative(
+            "atp_offer", "item", "steel", {"qty": 5}
+        )
+        stored = store.get(TENTATIVE_TYPE, operation.op_id)
+        assert stored is not None and stored.live
+        assert stored.fields["status"] == "pending"
+        assert stored.fields["payload_qty"] == 5
+
+    def test_confirm(self):
+        store, manager = make_manager()
+        operation = manager.open_tentative("offer", "item", "x", {})
+        manager.confirm(operation.op_id)
+        assert operation.status is TentativeStatus.CONFIRMED
+        assert store.get(TENTATIVE_TYPE, operation.op_id).fields["status"] == "confirmed"
+
+    def test_cancel_marks_obsolete_but_keeps_record(self):
+        store, manager = make_manager()
+        operation = manager.open_tentative("offer", "item", "x", {})
+        manager.cancel(operation.op_id)
+        stored = store.get(TENTATIVE_TYPE, operation.op_id)
+        assert stored.obsolete  # visible and durable, marked obsolete (3.2)
+        assert stored.fields["status"] == "cancelled"
+
+    def test_double_transition_rejected(self):
+        _, manager = make_manager()
+        operation = manager.open_tentative("offer", "item", "x", {})
+        manager.confirm(operation.op_id)
+        with pytest.raises(ValueError):
+            manager.cancel(operation.op_id)
+
+    def test_unknown_operation_rejected(self):
+        _, manager = make_manager()
+        with pytest.raises(KeyError):
+            manager.confirm("tnt-ghost")
+
+    def test_expire_overdue_only_past_deadline(self):
+        clock = {"now": 0.0}
+        _, manager = make_manager(clock=lambda: clock["now"])
+        early = manager.open_tentative("offer", "item", "x", {}, expires_at=10.0)
+        late = manager.open_tentative("offer", "item", "y", {}, expires_at=50.0)
+        clock["now"] = 20.0
+        expired = manager.expire_overdue()
+        assert [op.op_id for op in expired] == [early.op_id]
+        assert early.status is TentativeStatus.EXPIRED
+        assert late.open
+
+    def test_open_operations_listing(self):
+        _, manager = make_manager()
+        kept = manager.open_tentative("offer", "item", "x", {})
+        done = manager.open_tentative("offer", "item", "y", {})
+        manager.confirm(done.op_id)
+        assert [op.op_id for op in manager.open_operations()] == [kept.op_id]
+
+
+class TestApologies:
+    def test_apology_recorded_with_compensation(self):
+        _, manager = make_manager()
+        manager.register_compensator(
+            "refund", lambda context: f"refunded {context['amount']}"
+        )
+        apology = manager.apologize(
+            "alice", reason="oversold", kind="refund", context={"amount": 42}
+        )
+        assert apology.compensation == "refunded 42"
+        assert manager.ledger.count() == 1
+
+    def test_apology_without_compensator_still_records(self):
+        _, manager = make_manager()
+        apology = manager.apologize("bob", reason="lost-reservation", kind="missing")
+        assert apology.compensation == ""
+        assert manager.ledger.count() == 1
+
+    def test_by_reason_breakdown(self):
+        ledger = ApologyLedger()
+        ledger.record("a", "oversold", 0.0)
+        ledger.record("b", "oversold", 1.0)
+        ledger.record("c", "disaster", 2.0)
+        assert ledger.by_reason() == {"oversold": 2, "disaster": 1}
+
+    def test_apology_rate(self):
+        ledger = ApologyLedger()
+        ledger.record("a", "oversold", 0.0)
+        assert ledger.rate(total_operations=10) == 0.1
+        assert ledger.rate(total_operations=0) == 0.0
+
+    def test_apology_events_announced(self):
+        sim = Simulator()
+        store = LSDBStore()
+        queue = ReliableQueue(sim)
+        seen = []
+        queue.subscribe("apology.issued", lambda m: seen.append(m.payload) or True)
+        manager = CompensationManager(store, queue)
+        manager.apologize("alice", reason="oversold")
+        sim.run()
+        assert seen[0]["to"] == "alice"
+
+    def test_tentative_events_announced(self):
+        sim = Simulator()
+        store = LSDBStore()
+        queue = ReliableQueue(sim)
+        topics = []
+        for topic in ("tentative.opened", "tentative.confirmed", "tentative.cancelled"):
+            queue.subscribe(topic, lambda m, t=topic: topics.append(t) or True)
+        manager = CompensationManager(store, queue)
+        first = manager.open_tentative("offer", "item", "x", {})
+        manager.confirm(first.op_id)
+        second = manager.open_tentative("offer", "item", "y", {})
+        manager.cancel(second.op_id)
+        sim.run()
+        assert topics == [
+            "tentative.opened",
+            "tentative.confirmed",
+            "tentative.opened",
+            "tentative.cancelled",
+        ]

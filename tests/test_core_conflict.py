@@ -1,0 +1,139 @@
+"""Tests for the single end-to-end conflict-resolution mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflict import CandidateWrite, ConflictResolver, Strategy
+from repro.merge.deltas import Delta
+
+
+def delta_candidate(origin, amount, ts=1.0):
+    return CandidateWrite(timestamp=ts, origin=origin, delta=Delta.add("qty", amount))
+
+
+def value_candidate(origin, value, ts=1.0):
+    return CandidateWrite(timestamp=ts, origin=origin, value=value)
+
+
+class TestCommutative:
+    def test_deltas_compose_with_no_losers(self):
+        resolver = ConflictResolver()
+        resolver.register("stock", "qty", Strategy.COMMUTATIVE)
+        resolution = resolver.resolve(
+            "stock", "qty", [delta_candidate("r1", -2), delta_candidate("r2", -3)]
+        )
+        assert resolution.delta.numeric["qty"] == -5
+        assert resolution.lost_updates == 0
+        assert resolver.stats["commutative"] == 1
+
+    def test_candidate_without_delta_rejected(self):
+        resolver = ConflictResolver()
+        resolver.register("stock", "qty", Strategy.COMMUTATIVE)
+        with pytest.raises(ValueError):
+            resolver.resolve("stock", "qty", [value_candidate("r1", 7)])
+
+
+class TestLWW:
+    def test_latest_timestamp_wins(self):
+        resolver = ConflictResolver()
+        resolution = resolver.resolve(
+            "doc", "title",
+            [value_candidate("r1", "old", ts=1.0), value_candidate("r2", "new", ts=2.0)],
+        )
+        assert resolution.value == "new"
+        assert resolution.lost_updates == 1
+        assert resolver.stats["lost_updates"] == 1
+
+    def test_ties_break_by_origin(self):
+        resolver = ConflictResolver()
+        resolution = resolver.resolve(
+            "doc", "title",
+            [value_candidate("r2", "b", ts=1.0), value_candidate("r1", "a", ts=1.0)],
+        )
+        assert resolution.value == "b"  # origin r2 > r1
+
+    def test_lww_is_default_strategy(self):
+        resolver = ConflictResolver()
+        assert resolver.strategy_for("anything", "field") is Strategy.LWW
+
+    def test_single_candidate_has_no_losers(self):
+        resolver = ConflictResolver()
+        resolution = resolver.resolve("doc", "title", [value_candidate("r1", "only")])
+        assert resolution.value == "only"
+        assert resolution.lost_updates == 0
+
+
+class TestEscalation:
+    def test_escalation_invokes_handler(self):
+        escalations = []
+        resolver = ConflictResolver(
+            on_escalate=lambda etype, fname, candidates: escalations.append(
+                (etype, fname, len(candidates))
+            )
+        )
+        resolver.register("order", "status", Strategy.ESCALATE)
+        resolution = resolver.resolve(
+            "order", "status",
+            [value_candidate("r1", "shipped"), value_candidate("r2", "cancelled")],
+        )
+        assert resolution.escalated
+        assert escalations == [("order", "status", 2)]
+        assert resolver.stats["escalated"] == 1
+
+    def test_escalation_to_compensation_manager(self):
+        from repro.core.compensation import CompensationManager
+        from repro.lsdb.store import LSDBStore
+
+        manager = CompensationManager(LSDBStore())
+        resolver = ConflictResolver(
+            on_escalate=lambda etype, fname, candidates: manager.apologize(
+                "affected-user", reason=f"conflict on {etype}.{fname}"
+            )
+        )
+        resolver.register("order", "status", Strategy.ESCALATE)
+        resolver.resolve(
+            "order", "status",
+            [value_candidate("r1", "shipped"), value_candidate("r2", "cancelled")],
+        )
+        assert manager.ledger.count() == 1
+
+
+class TestCustomAndRegistration:
+    def test_custom_merge_function(self):
+        resolver = ConflictResolver()
+        resolver.register(
+            "doc", "body", Strategy.CUSTOM,
+            merge_function=lambda candidates: "|".join(
+                sorted(str(c.value) for c in candidates)
+            ),
+        )
+        resolution = resolver.resolve(
+            "doc", "body", [value_candidate("r1", "a"), value_candidate("r2", "b")]
+        )
+        assert resolution.value == "a|b"
+
+    def test_custom_requires_function(self):
+        resolver = ConflictResolver()
+        with pytest.raises(ValueError):
+            resolver.register("doc", "body", Strategy.CUSTOM)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictResolver().resolve("t", "f", [])
+
+    def test_same_mechanism_for_local_and_replica_conflicts(self):
+        """The point of 2.10: identical call for both conflict sources."""
+        resolver = ConflictResolver()
+        resolver.register("stock", "qty", Strategy.COMMUTATIVE)
+        # two solipsistic transactions on one replica:
+        local = resolver.resolve(
+            "stock", "qty",
+            [delta_candidate("r1", -1, ts=1.0), delta_candidate("r1", -2, ts=1.0)],
+        )
+        # the same writes arriving from two replicas:
+        cross = resolver.resolve(
+            "stock", "qty",
+            [delta_candidate("r1", -1, ts=1.0), delta_candidate("r2", -2, ts=5.0)],
+        )
+        assert local.delta.numeric == cross.delta.numeric == {"qty": -3}

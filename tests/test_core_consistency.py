@@ -1,0 +1,100 @@
+"""Tests for metadata-driven consistency routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import (
+    ConsistencyLevel,
+    ConsistencyPolicy,
+    PolicyRouter,
+    SchemeBinding,
+)
+from repro.errors import ConsistencyPolicyError
+
+
+def binding(tag):
+    return SchemeBinding(
+        write=lambda *args, **kwargs: f"{tag}-write",
+        read=lambda *args, **kwargs: f"{tag}-read",
+        describe=tag,
+    )
+
+
+class TestPolicies:
+    def test_policy_requires_rationale(self):
+        router = PolicyRouter()
+        with pytest.raises(ConsistencyPolicyError):
+            router.add_policy(
+                ConsistencyPolicy("order", ConsistencyLevel.EVENTUAL, rationale="")
+            )
+
+    def test_explicit_policy_wins_over_default(self):
+        router = PolicyRouter(default_level=ConsistencyLevel.EVENTUAL)
+        router.add_policy(
+            ConsistencyPolicy(
+                "fulfillment", ConsistencyLevel.STRONG, rationale="no overselling"
+            )
+        )
+        assert router.level_for("fulfillment") is ConsistencyLevel.STRONG
+        assert router.level_for("anything-else") is ConsistencyLevel.EVENTUAL
+
+    def test_no_policy_and_no_default_is_error(self):
+        router = PolicyRouter()
+        with pytest.raises(ConsistencyPolicyError):
+            router.level_for("mystery")
+
+    def test_policies_listing_sorted(self):
+        router = PolicyRouter()
+        router.add_policy(ConsistencyPolicy("z", ConsistencyLevel.STRONG, rationale="r"))
+        router.add_policy(ConsistencyPolicy("a", ConsistencyLevel.EVENTUAL, rationale="r"))
+        assert [policy.entity_type for policy in router.policies()] == ["a", "z"]
+
+
+class TestRouting:
+    def _router(self):
+        router = PolicyRouter(default_level=ConsistencyLevel.EVENTUAL)
+        router.bind(ConsistencyLevel.EVENTUAL, binding("eventual"))
+        router.bind(ConsistencyLevel.STRONG, binding("strong"))
+        router.add_policy(
+            ConsistencyPolicy(
+                "fulfillment", ConsistencyLevel.STRONG, rationale="no overselling"
+            )
+        )
+        return router
+
+    def test_writes_route_by_policy(self):
+        router = self._router()
+        assert router.write("order", "o1", {}) == "eventual-write"
+        assert router.write("fulfillment", "f1", {}) == "strong-write"
+
+    def test_reads_route_by_policy(self):
+        router = self._router()
+        assert router.read("order", "o1") == "eventual-read"
+        assert router.read("fulfillment", "f1") == "strong-read"
+
+    def test_unbound_level_is_error(self):
+        router = PolicyRouter(default_level=ConsistencyLevel.EXTRACT)
+        with pytest.raises(ConsistencyPolicyError):
+            router.read("analytics", "a")
+
+    def test_routing_counters(self):
+        router = self._router()
+        router.write("order", "o1", {})
+        router.write("order", "o2", {})
+        router.read("fulfillment", "f1")
+        assert router.routed[ConsistencyLevel.EVENTUAL] == 2
+        assert router.routed[ConsistencyLevel.STRONG] == 1
+
+    def test_handlers_receive_entity_type_and_args(self):
+        captured = {}
+
+        def write(entity_type, key, fields):
+            captured["args"] = (entity_type, key, fields)
+
+        router = PolicyRouter(default_level=ConsistencyLevel.EVENTUAL)
+        router.bind(
+            ConsistencyLevel.EVENTUAL, SchemeBinding(write=write, read=lambda *a: None)
+        )
+        router.write("order", "o1", {"total": 5})
+        assert captured["args"] == ("order", "o1", {"total": 5})

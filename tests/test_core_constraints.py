@@ -1,0 +1,224 @@
+"""Tests for constraints as managed exceptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import (
+    ConstraintManager,
+    ConstraintMode,
+    NonNegativeConstraint,
+    PredicateConstraint,
+    ReferentialConstraint,
+)
+from repro.core.ops import PendingOp, preview_state
+from repro.lsdb.events import EventKind
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+
+def insert_op(etype, key, fields):
+    return PendingOp(EventKind.INSERT, etype, key, fields)
+
+
+def delta_op(etype, key, delta):
+    return PendingOp(EventKind.DELTA, etype, key, delta.to_payload())
+
+
+class TestPreviewState:
+    def test_preview_from_nothing(self):
+        state = preview_state(None, [insert_op("t", "k", {"a": 1})])
+        assert state.fields == {"a": 1}
+
+    def test_preview_overlays_base(self):
+        store = LSDBStore()
+        store.insert("t", "k", {"a": 1, "b": 2})
+        base = store.get("t", "k")
+        state = preview_state(base, [delta_op("t", "k", Delta.add("a", 10))])
+        assert state.fields == {"a": 11, "b": 2}
+        assert base.fields["a"] == 1  # base untouched
+
+    def test_preview_tombstone(self):
+        state = preview_state(
+            None,
+            [insert_op("t", "k", {}), PendingOp(EventKind.TOMBSTONE, "t", "k")],
+        )
+        assert state.deleted
+
+
+class TestReferential:
+    def _manager(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(ReferentialConstraint("ref", "lead", "customer_id", "customer"))
+        return store, manager
+
+    def test_dangling_reference_recorded_not_blocked(self):
+        _, manager = self._manager()
+        outcome = manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        assert outcome.ok
+        assert len(outcome.violations) == 1
+        assert "missing customer/c9" in outcome.violations[0].message
+
+    def test_resolved_reference_passes(self):
+        store, manager = self._manager()
+        store.insert("customer", "c1", {})
+        outcome = manager.check_ops([insert_op("lead", "l1", {"customer_id": "c1"})])
+        assert outcome.violations == []
+
+    def test_reference_to_entity_in_same_transaction_passes(self):
+        _, manager = self._manager()
+        outcome = manager.check_ops([
+            insert_op("customer", "c1", {}),
+            insert_op("lead", "l1", {"customer_id": "c1"}),
+        ])
+        assert outcome.violations == []
+
+    def test_null_reference_is_fine(self):
+        _, manager = self._manager()
+        outcome = manager.check_ops([insert_op("lead", "l1", {"customer_id": None})])
+        assert outcome.violations == []
+
+    def test_reference_to_tombstoned_parent_violates(self):
+        store, manager = self._manager()
+        store.insert("customer", "c1", {})
+        store.tombstone("customer", "c1")
+        outcome = manager.check_ops([insert_op("lead", "l1", {"customer_id": "c1"})])
+        assert len(outcome.violations) == 1
+
+    def test_repair_when_parent_appears(self):
+        store, manager = self._manager()
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        store.insert("lead", "l1", {"customer_id": "c9"})  # make the preview real
+        assert manager.attempt_repairs() == 0  # parent still missing
+        store.insert("customer", "c9", {})
+        assert manager.attempt_repairs() == 1
+        assert manager.open_violations() == []
+
+    def test_repair_when_dangling_child_deleted(self):
+        store, manager = self._manager()
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        store.insert("lead", "l1", {"customer_id": "c9"})
+        store.tombstone("lead", "l1")
+        assert manager.attempt_repairs() == 1
+
+
+class TestNonNegative:
+    def test_negative_value_recorded_with_context(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(NonNegativeConstraint("floor", "stock", "qty"))
+        store.insert("stock", "s", {"qty": 2})
+        outcome = manager.check_ops([delta_op("stock", "s", Delta.add("qty", -5))])
+        assert outcome.ok
+        assert outcome.violations[0].context == {"observed": -3, "floor": 0.0}
+
+    def test_repair_when_value_recovers(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(NonNegativeConstraint("floor", "stock", "qty"))
+        store.insert("stock", "s", {"qty": -3})
+        manager.check_ops([delta_op("stock", "s", Delta.add("qty", 0))])
+        store.apply_delta("stock", "s", Delta.add("qty", 10))
+        assert manager.attempt_repairs() == 1
+
+    def test_custom_floor(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(NonNegativeConstraint("floor", "stock", "qty", floor=10))
+        outcome = manager.check_ops([insert_op("stock", "s", {"qty": 5})])
+        assert len(outcome.violations) == 1
+
+
+class TestPreventMode:
+    def test_blocking_violation_blocks_and_records_nothing(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(
+            NonNegativeConstraint("floor", "account", "balance"),
+            mode=ConstraintMode.PREVENT,
+        )
+        outcome = manager.check_ops([insert_op("account", "a", {"balance": -1})])
+        assert outcome.blocking
+        assert manager.ledger == []
+        assert manager.blocked_transactions == 1
+
+    def test_mixed_modes_record_managed_and_block(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(
+            NonNegativeConstraint("hard", "account", "balance"),
+            mode=ConstraintMode.PREVENT,
+        )
+        manager.add(ReferentialConstraint("soft", "account", "owner_id", "customer"))
+        outcome = manager.check_ops(
+            [insert_op("account", "a", {"balance": -1, "owner_id": "c9"})]
+        )
+        assert outcome.blocking
+        assert len(manager.ledger) == 1  # the managed one still recorded
+
+
+class TestPredicateConstraint:
+    def test_predicate_violation_and_repair(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(
+            PredicateConstraint(
+                "order-has-items",
+                "order",
+                predicate=lambda state: state.get("item_count", 0) > 0,
+            )
+        )
+        manager.check_ops([insert_op("order", "o1", {"item_count": 0})])
+        store.insert("order", "o1", {"item_count": 0})
+        assert len(manager.open_violations()) == 1
+        store.set_fields("order", "o1", {"item_count": 3})
+        assert manager.attempt_repairs() == 1
+
+
+class TestLedgerAndEvents:
+    def test_violation_events_published_to_queue(self):
+        sim = Simulator()
+        store = LSDBStore()
+        queue = ReliableQueue(sim)
+        topics = []
+        queue.subscribe("constraint.violated", lambda m: topics.append(m.payload) or True)
+        queue.subscribe("constraint.repaired", lambda m: topics.append("repaired") or True)
+        manager = ConstraintManager(store, queue)
+        manager.add(ReferentialConstraint("ref", "lead", "customer_id", "customer"))
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        store.insert("lead", "l1", {"customer_id": "c9"})
+        store.insert("customer", "c9", {})
+        manager.attempt_repairs()
+        sim.run()
+        assert topics[0]["constraint"] == "ref"
+        assert "repaired" in topics
+
+    def test_time_to_repair_measured(self):
+        times = iter([1.0, 5.0])
+        store = LSDBStore()
+        manager = ConstraintManager(store, clock=lambda: next(times))
+        manager.add(ReferentialConstraint("ref", "lead", "customer_id", "customer"))
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        store.insert("lead", "l1", {"customer_id": "c9"})
+        store.insert("customer", "c9", {})
+        manager.attempt_repairs()
+        assert manager.ledger[0].time_to_repair == 4.0
+
+    def test_violations_for_entity(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        manager.add(ReferentialConstraint("ref", "lead", "customer_id", "customer"))
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        assert len(manager.violations_for("lead", "l1")) == 1
+        assert manager.violations_for("lead", "other") == []
+
+    def test_repair_rate(self):
+        store = LSDBStore()
+        manager = ConstraintManager(store)
+        assert manager.repair_rate == 1.0  # vacuous
+        manager.add(ReferentialConstraint("ref", "lead", "customer_id", "customer"))
+        manager.check_ops([insert_op("lead", "l1", {"customer_id": "c9"})])
+        assert manager.repair_rate == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the entity model and catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entity import (
+    EntityCatalog,
+    EntityType,
+    FieldSpec,
+    child_key,
+    is_descendant,
+    parent_key,
+)
+from repro.errors import SchemaViolation, UnknownEntityType
+
+
+def order_type(version=1):
+    return EntityType.define(
+        "order",
+        [
+            FieldSpec("total", "float", required=True),
+            FieldSpec("customer_id", "str", reference="customer"),
+            FieldSpec("tags", "set"),
+        ],
+        schema_version=version,
+    )
+
+
+class TestFieldSpec:
+    def test_accepts_matching_kind(self):
+        assert FieldSpec("total", "float").problems_with(3.5) == []
+        assert FieldSpec("total", "float").problems_with(3) == []  # int ok as float
+        assert FieldSpec("name", "str").problems_with("x") == []
+
+    def test_rejects_wrong_kind(self):
+        problems = FieldSpec("total", "float").problems_with("oops")
+        assert "expected float" in problems[0]
+
+    def test_bool_is_not_int(self):
+        assert FieldSpec("count", "int").problems_with(True)
+
+    def test_none_is_always_acceptable(self):
+        assert FieldSpec("total", "float").problems_with(None) == []
+
+    def test_any_kind_accepts_everything(self):
+        assert FieldSpec("blob", "any").problems_with(object()) == []
+
+
+class TestEntityType:
+    def test_unknown_field_reported(self):
+        problems = order_type().problems_with({"bogus": 1})
+        assert "unknown field" in problems[0]
+
+    def test_incomplete_entry_allowed_by_default(self):
+        # Principle 2.2: entry-stage data may be incomplete.
+        assert order_type().problems_with({}) == []
+
+    def test_completeness_check_reports_missing_required(self):
+        problems = order_type().problems_with({}, complete=True)
+        assert any("missing required" in problem for problem in problems)
+
+    def test_strict_validation_raises(self):
+        with pytest.raises(SchemaViolation):
+            order_type().validate_strict({"total": "NaNish"})
+
+    def test_strict_validation_passes_good_payload(self):
+        order_type().validate_strict({"total": 5.0, "customer_id": "c1"})
+
+    def test_references_lists_foreign_keys(self):
+        assert order_type().references() == {"customer_id": "customer"}
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = EntityCatalog()
+        catalog.register(order_type())
+        assert catalog.get("order").name == "order"
+        assert "order" in catalog
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(UnknownEntityType):
+            EntityCatalog().get("ghost")
+
+    def test_schema_evolution_requires_newer_version(self):
+        catalog = EntityCatalog()
+        catalog.register(order_type(version=1))
+        with pytest.raises(SchemaViolation):
+            catalog.register(order_type(version=1))
+        catalog.register(order_type(version=2))
+        assert catalog.get("order").schema_version == 2
+
+    def test_children_of(self):
+        catalog = EntityCatalog()
+        catalog.register(order_type())
+        catalog.register(
+            EntityType.define("order_line", [FieldSpec("qty", "int")], parent="order")
+        )
+        children = catalog.children_of("order")
+        assert [child.name for child in children] == ["order_line"]
+
+    def test_names_sorted(self):
+        catalog = EntityCatalog()
+        catalog.register(EntityType.define("zebra", []))
+        catalog.register(EntityType.define("apple", []))
+        assert catalog.names() == ["apple", "zebra"]
+
+
+class TestHierarchicalKeys:
+    def test_child_key_builds_path(self):
+        assert child_key("order/o1", "line-2") == "order/o1/line-2"
+
+    def test_child_suffix_may_not_contain_slash(self):
+        with pytest.raises(ValueError):
+            child_key("order/o1", "line/2")
+
+    def test_parent_key_strips_one_level(self):
+        assert parent_key("order/o1/line-2") == "order/o1"
+        assert parent_key("o1") is None
+
+    def test_is_descendant(self):
+        assert is_descendant("order/o1/line-2", "order/o1")
+        assert not is_descendant("order/o10", "order/o1")
+        assert not is_descendant("order/o1", "order/o1")

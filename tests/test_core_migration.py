@@ -1,0 +1,275 @@
+"""Tests for dynamic schema and application migration (section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entity import EntityCatalog, EntityType, FieldSpec
+from repro.core.migration import (
+    ApplicationMigrator,
+    ChangeKind,
+    MigratingReducer,
+    SchemaMigrationManager,
+    classify_changes,
+)
+from repro.errors import SchemaViolation
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.store import LSDBStore
+
+
+def order_v1():
+    return EntityType.define(
+        "order",
+        [
+            FieldSpec("total", "int", required=True),
+            FieldSpec("note", "str"),
+        ],
+    )
+
+
+def make_manager():
+    catalog = EntityCatalog()
+    catalog.register(order_v1())
+    return catalog, SchemaMigrationManager(catalog)
+
+
+class TestClassification:
+    def test_add_field_detected(self):
+        new = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        changes = classify_changes(order_v1(), new)
+        assert ChangeKind.ADD_FIELD in {change.kind for change in changes}
+
+    def test_remove_optional_vs_required(self):
+        without_note = EntityType.define(
+            "order", [FieldSpec("total", "int", required=True)], schema_version=2
+        )
+        kinds = {c.kind for c in classify_changes(order_v1(), without_note)}
+        assert kinds == {ChangeKind.REMOVE_OPTIONAL_FIELD}
+        without_total = EntityType.define(
+            "order", [FieldSpec("note", "str")], schema_version=2
+        )
+        kinds = {c.kind for c in classify_changes(order_v1(), without_total)}
+        assert kinds == {ChangeKind.REMOVE_REQUIRED_FIELD}
+
+    def test_widen_vs_narrow(self):
+        widened = EntityType.define(
+            "order",
+            [FieldSpec("total", "float", required=True), FieldSpec("note", "str")],
+            schema_version=2,
+        )
+        assert classify_changes(order_v1(), widened)[0].kind is ChangeKind.WIDEN_KIND
+        narrowed = EntityType.define(
+            "order",
+            [FieldSpec("total", "bool", required=True), FieldSpec("note", "str")],
+            schema_version=2,
+        )
+        assert classify_changes(order_v1(), narrowed)[0].kind is ChangeKind.NARROW_KIND
+
+    def test_requiredness_changes(self):
+        relaxed = EntityType.define(
+            "order", [FieldSpec("total", "int"), FieldSpec("note", "str")],
+            schema_version=2,
+        )
+        assert classify_changes(order_v1(), relaxed)[0].kind is ChangeKind.RELAX_REQUIRED
+        tightened = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True),
+             FieldSpec("note", "str", required=True)],
+            schema_version=2,
+        )
+        assert (
+            classify_changes(order_v1(), tightened)[0].kind
+            is ChangeKind.TIGHTEN_REQUIRED
+        )
+
+    def test_different_types_rejected(self):
+        with pytest.raises(ValueError):
+            classify_changes(order_v1(), EntityType.define("invoice", []))
+
+
+class TestAdmissibility:
+    def test_supportable_migration_applies(self):
+        catalog, manager = make_manager()
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "float", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        plan = manager.apply(v2)
+        assert plan.admissible
+        assert catalog.get("order").schema_version == 2
+        assert manager.migrations_applied == 1
+
+    def test_proscribed_migration_refused(self):
+        catalog, manager = make_manager()
+        v2 = EntityType.define(
+            "order", [FieldSpec("note", "str")], schema_version=2
+        )  # drops a required field
+        with pytest.raises(SchemaViolation):
+            manager.apply(v2)
+        assert catalog.get("order").schema_version == 1  # unchanged
+
+    def test_tightening_required_is_proscribed(self):
+        _, manager = make_manager()
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True),
+             FieldSpec("note", "str", required=True)],
+            schema_version=2,
+        )
+        plan = manager.propose(v2)
+        assert not plan.admissible
+        assert plan.proscribed[0].kind is ChangeKind.TIGHTEN_REQUIRED
+
+
+class TestLazyUpcasting:
+    def _migrated_store(self):
+        catalog, manager = make_manager()
+        store = LSDBStore()
+        store.register_reducer("order", MigratingReducer(manager))
+        # A v1-era event exists before the migration.
+        store.log.append(
+            LogEvent(0, 0.0, "order", "o1", EventKind.INSERT,
+                     {"total": 10, "note": "old"}, schema_version=1)
+        )
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        manager.apply(v2, upcast=lambda p: {**p, "currency": "EUR"})
+        # Events folded before the migration re-fold under the new
+        # interpretation (no data rewrite — just a cache re-fold).
+        store.rebuild_cache()
+        return store, manager
+
+    def test_old_events_upcast_at_read_time(self):
+        store, _ = self._migrated_store()
+        # New event folds after migration; old one upcasts lazily.
+        store.log.append(
+            LogEvent(0, 1.0, "order", "o2", EventKind.INSERT,
+                     {"total": 20, "currency": "USD"}, schema_version=2)
+        )
+        assert store.get("order", "o1").fields["currency"] == "EUR"
+        assert store.get("order", "o2").fields["currency"] == "USD"
+
+    def test_raw_log_events_unchanged(self):
+        store, _ = self._migrated_store()
+        raw = store.log.for_entity("order", "o1")[0]
+        assert raw.schema_version == 1
+        assert "currency" not in raw.payload  # insert-only: no rewrite
+
+    def test_upcast_chain_across_multiple_versions(self):
+        catalog, manager = make_manager()
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        manager.apply(v2, upcast=lambda p: {**p, "currency": "EUR"})
+        v3 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str"), FieldSpec("region", "str")],
+            schema_version=3,
+        )
+        manager.apply(v3, upcast=lambda p: {**p, "region": "EMEA"})
+        payload = manager.upcast_payload("order", {"total": 5}, from_version=1)
+        assert payload == {"total": 5, "currency": "EUR", "region": "EMEA"}
+
+
+class TestAttachStore:
+    def test_writes_stamped_with_current_schema_version(self):
+        catalog, manager = make_manager()
+        store = LSDBStore()
+        manager.attach_store(store)
+        first = store.insert("order", "o1", {"total": 1})
+        assert first.schema_version == 1
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        manager.apply(v2)
+        second = store.insert("order", "o2", {"total": 2, "currency": "USD"})
+        assert second.schema_version == 2
+
+    def test_current_version_events_skip_the_upcast(self):
+        catalog, manager = make_manager()
+        store = LSDBStore()
+        manager.attach_store(store)
+        v2 = EntityType.define(
+            "order",
+            [FieldSpec("total", "int", required=True), FieldSpec("note", "str"),
+             FieldSpec("currency", "str")],
+            schema_version=2,
+        )
+        manager.apply(v2, upcast=lambda p: {**p, "currency": "EUR"})
+        store.insert("order", "o2", {"total": 2, "currency": "USD"})
+        # Written at v2: the v1->v2 upcast must not clobber the USD.
+        assert store.get("order", "o2").fields["currency"] == "USD"
+
+    def test_unregistered_types_default_to_version_one(self):
+        catalog, manager = make_manager()
+        store = LSDBStore()
+        manager.attach_store(store)
+        event = store.insert("unregistered_type", "x", {"v": 1})
+        assert event.schema_version == 1
+
+
+class TestApplicationMigration:
+    def test_zero_fraction_routes_everything_old(self):
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        assert all(migrator.route(f"k{i}") == "old" for i in range(50))
+
+    def test_full_fraction_routes_everything_new(self):
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        migrator.set_fraction(1.0)
+        assert all(migrator.route(f"k{i}") == "new" for i in range(50))
+
+    def test_half_fraction_splits_roughly(self):
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        migrator.set_fraction(0.5)
+        results = [migrator.route(f"k{i}") for i in range(400)]
+        new_count = results.count("new")
+        assert 120 < new_count < 280
+
+    def test_entity_assignment_is_sticky(self):
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        migrator.set_fraction(0.5)
+        assignments = {f"k{i}": migrator.uses_new(f"k{i}") for i in range(100)}
+        for _ in range(3):
+            for key, expected in assignments.items():
+                assert migrator.uses_new(key) == expected
+
+    def test_ramping_is_monotone(self):
+        """Raising the fraction never moves an entity new -> old."""
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        migrator.set_fraction(0.3)
+        on_new_early = {f"k{i}" for i in range(200) if migrator.uses_new(f"k{i}")}
+        migrator.set_fraction(0.7)
+        on_new_late = {f"k{i}" for i in range(200) if migrator.uses_new(f"k{i}")}
+        assert on_new_early <= on_new_late
+
+    def test_invalid_fraction_rejected(self):
+        migrator = ApplicationMigrator(lambda k: None, lambda k: None)
+        with pytest.raises(ValueError):
+            migrator.set_fraction(1.5)
+
+    def test_status_counts_routing(self):
+        migrator = ApplicationMigrator(lambda k: "old", lambda k: "new")
+        migrator.set_fraction(1.0)
+        migrator.route("a")
+        migrator.route("b")
+        status = migrator.status()
+        assert status.routed_to_new == 2
+        assert status.complete

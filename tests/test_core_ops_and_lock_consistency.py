@@ -1,0 +1,94 @@
+"""Preview-state edge cases and §3.1's logical-lock strong consistency.
+
+Section 3.1: "Strong consistency can also be provided using logical
+locks with coarse granularity, a technique SAP systems use to avoid
+database bottlenecks."  The second test class demonstrates exactly
+that: TRY_LOCK transactions over one coarse lock serialize conflicting
+business decisions that solipsistic transactions would have overbooked.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import PendingOp, preview_state
+from repro.core.transaction import CCMode, TransactionManager
+from repro.lsdb.events import EventKind
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+
+
+class TestPreviewStateEdges:
+    def test_insert_then_delta_then_set(self):
+        ops = [
+            PendingOp(EventKind.INSERT, "t", "k", {"a": 1, "b": 1}),
+            PendingOp(EventKind.DELTA, "t", "k", Delta.add("a", 5).to_payload()),
+            PendingOp(EventKind.SET_FIELDS, "t", "k", {"b": 9}),
+        ]
+        state = preview_state(None, ops)
+        assert state.fields == {"a": 6, "b": 9}
+        assert state.version_count == 1
+
+    def test_obsolete_mark_in_preview(self):
+        ops = [
+            PendingOp(EventKind.INSERT, "t", "k", {}),
+            PendingOp(EventKind.OBSOLETE, "t", "k"),
+        ]
+        assert preview_state(None, ops).obsolete
+
+    def test_preview_of_delta_on_missing_entity_defaults_zero(self):
+        state = preview_state(
+            None, [PendingOp(EventKind.DELTA, "t", "k", Delta.add("n", -4).to_payload())]
+        )
+        assert state.fields == {"n": -4}
+
+    def test_entity_ref_property(self):
+        op = PendingOp(EventKind.INSERT, "order", "o1", {})
+        assert op.entity_ref == ("order", "o1")
+
+
+class TestLogicalLockStrongConsistency:
+    """Coarse logical locks serialize the subjective race away (§3.1)."""
+
+    def _manager(self):
+        store = LSDBStore()
+        manager = TransactionManager(store)
+        store.insert("book_stock", "moby", {"available": 1})
+        return store, manager
+
+    def test_solipsistic_buyers_overbook(self):
+        store, manager = self._manager()
+        # Both buyers read availability=1 before either writes.
+        tx_a = manager.begin(mode=CCMode.SOLIPSISTIC)
+        tx_b = manager.begin(mode=CCMode.SOLIPSISTIC)
+        assert tx_a.read("book_stock", "moby").fields["available"] == 1
+        assert tx_b.read("book_stock", "moby").fields["available"] == 1
+        tx_a.apply_delta("book_stock", "moby", Delta.add("available", -1))
+        tx_b.apply_delta("book_stock", "moby", Delta.add("available", -1))
+        assert tx_a.commit().committed and tx_b.commit().committed
+        # The oversell is recorded honestly (-1) for later apology.
+        assert store.get("book_stock", "moby").fields["available"] == -1
+
+    def test_try_lock_buyers_serialize(self):
+        store, manager = self._manager()
+        # Coarse lock: the whole title.  First buyer holds it across
+        # their read-decide-write; second buyer's commit is refused.
+        tx_a = manager.begin(mode=CCMode.TRY_LOCK)
+        tx_b = manager.begin(mode=CCMode.TRY_LOCK)
+        manager.locks.acquire("book_stock/moby", tx_a.tx_id)
+        tx_a.apply_delta("book_stock", "moby", Delta.add("available", -1))
+        tx_b.apply_delta("book_stock", "moby", Delta.add("available", -1))
+        receipt_b = tx_b.commit()
+        assert not receipt_b.committed
+        assert "lock unavailable" in receipt_b.reason
+        assert tx_a.commit().committed
+        # Exactly one sale: no oversell, no apology needed — at the
+        # price of refusing the concurrent buyer (the CAP trade again).
+        assert store.get("book_stock", "moby").fields["available"] == 0
+
+    def test_lock_freed_after_owner_commits(self):
+        store, manager = self._manager()
+        tx_a = manager.begin(mode=CCMode.TRY_LOCK)
+        tx_a.apply_delta("book_stock", "moby", Delta.add("available", -1))
+        assert tx_a.commit().committed
+        tx_b = manager.begin(mode=CCMode.TRY_LOCK)
+        tx_b.apply_delta("book_stock", "moby", Delta.add("available", 1))
+        assert tx_b.commit().committed  # restock succeeds post-release

@@ -1,0 +1,58 @@
+"""Tests keeping the principles metadata aligned with the codebase."""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro.core.principles import PRINCIPLES, get_principle, principles_for_experiment
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+class TestCatalogue:
+    def test_exactly_eleven_principles(self):
+        assert len(PRINCIPLES) == 11
+        assert [principle.number for principle in PRINCIPLES] == list(range(1, 12))
+
+    def test_slugs_unique(self):
+        slugs = [principle.slug for principle in PRINCIPLES]
+        assert len(set(slugs)) == len(slugs)
+
+    def test_every_principle_has_statement_and_mechanisms(self):
+        for principle in PRINCIPLES:
+            assert principle.statement
+            assert principle.mechanisms
+            assert principle.experiments
+
+    def test_lookup_by_number(self):
+        assert get_principle(6).slug == "soups"
+        assert get_principle(11).title == "The show must go on"
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(KeyError):
+            get_principle(12)
+
+    def test_experiment_reverse_lookup(self):
+        soups_like = principles_for_experiment("E3")
+        assert {principle.number for principle in soups_like} == {5, 6}
+
+
+class TestAlignment:
+    def test_every_mechanism_module_imports(self):
+        for principle in PRINCIPLES:
+            for module_path in principle.mechanisms:
+                importlib.import_module(module_path)
+
+    def test_every_experiment_has_a_bench_file(self):
+        bench_files = {path.name for path in BENCH_DIR.glob("bench_e*.py")}
+        for principle in PRINCIPLES:
+            for experiment in principle.experiments:
+                number = int(experiment[1:])
+                matches = [
+                    name for name in bench_files
+                    if name.startswith(f"bench_e{number:02d}_")
+                ]
+                assert matches, f"{experiment} has no bench file in benchmarks/"

@@ -1,0 +1,284 @@
+"""Tests for the SOUPS process engine and step collapsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.process import ProcessEngine, ProcessStep
+from repro.core.transaction import TransactionManager
+from repro.errors import SoupsViolation
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+
+def make_engine(sim=None, enforce_soups=True, max_attempts=2):
+    sim = sim or Simulator()
+    queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=max_attempts)
+    store = LSDBStore(clock=lambda: sim.now)
+    manager = TransactionManager(store, sim=sim, queue=queue)
+    return sim, ProcessEngine(manager, queue, enforce_soups=enforce_soups)
+
+
+class TestSteps:
+    def test_step_runs_one_transaction_and_acks(self):
+        sim, engine = make_engine()
+
+        @engine.step("create", "order.requested")
+        def create(ctx):
+            ctx.insert("order", ctx.message.payload["key"], {"total": 1})
+
+        engine.start_process("order.requested", {"key": "o1"})
+        sim.run()
+        assert engine.stats.steps_committed == 1
+        assert engine.tx_manager.store.get("order", "o1") is not None
+
+    def test_chained_steps_via_events(self):
+        sim, engine = make_engine()
+
+        @engine.step("create", "order.requested")
+        def create(ctx):
+            ctx.insert("order", "o1", {"total": 40})
+            ctx.emit("order.created", {"key": "o1"})
+
+        @engine.step("invoice", "order.created")
+        def invoice(ctx):
+            order = ctx.read("order", ctx.message.payload["key"])
+            ctx.insert("invoice", "inv-o1", {"amount": order.fields["total"]})
+
+        engine.start_process("order.requested", {})
+        sim.run()
+        assert engine.tx_manager.store.get("invoice", "inv-o1").fields["amount"] == 40
+        assert engine.stats.steps_committed == 2
+
+    def test_failed_handler_nacks_and_retries(self):
+        sim, engine = make_engine(max_attempts=3)
+        attempts = []
+
+        @engine.step("flaky", "topic")
+        def flaky(ctx):
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise RuntimeError("transient")
+            ctx.insert("done", "d", {})
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert len(attempts) == 2
+        assert engine.stats.handler_errors == 1
+        assert engine.tx_manager.store.get("done", "d") is not None
+
+    def test_aborted_step_emits_nothing(self):
+        sim, engine = make_engine(max_attempts=1)
+        downstream = []
+
+        @engine.step("fails", "start")
+        def fails(ctx):
+            ctx.insert("order", "o1", {})
+            ctx.emit("next", {})
+            raise RuntimeError("boom")
+
+        @engine.step("never", "next")
+        def never(ctx):
+            downstream.append(1)
+
+        engine.start_process("start", {})
+        sim.run()
+        assert downstream == []
+        assert engine.tx_manager.store.get("order", "o1") is None
+
+    def test_duplicate_step_name_rejected(self):
+        _, engine = make_engine()
+        engine.register_step(ProcessStep("s", "t", lambda ctx: None))
+        with pytest.raises(ValueError):
+            engine.register_step(ProcessStep("s", "t2", lambda ctx: None))
+
+    def test_idempotent_redelivery_does_not_rerun_handler(self):
+        sim = Simulator(seed=2)
+        queue = ReliableQueue(
+            sim, ack_loss_probability=0.5, redelivery_timeout=1.0, max_attempts=30
+        )
+        store = LSDBStore(clock=lambda: sim.now)
+        engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)
+        runs = []
+
+        @engine.step("once", "topic")
+        def once(ctx):
+            runs.append(ctx.message.message_id)
+            ctx.apply_delta("counter", "c", Delta.add("n", 1))
+
+        for _ in range(10):
+            engine.start_process("topic", {})
+        sim.run()
+        # Exactly-once effect: one run per distinct message.
+        assert len(runs) == 10
+        assert store.get("counter", "c").fields["n"] == 10
+
+
+class TestSoupsEnforcement:
+    def test_second_entity_update_aborts_and_dead_letters(self):
+        sim, engine = make_engine(max_attempts=2)
+
+        @engine.step("greedy", "topic")
+        def greedy(ctx):
+            ctx.insert("a", "1", {})
+            ctx.insert("b", "1", {})
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert engine.stats.soups_violations >= 1
+        assert len(engine.queue.dead_letters) == 1
+        # Nothing from the violating step became durable.
+        assert engine.tx_manager.store.get("a", "1") is None
+
+    def test_same_entity_repeatedly_is_fine(self):
+        sim, engine = make_engine()
+
+        @engine.step("focused", "topic")
+        def focused(ctx):
+            ctx.insert("a", "1", {"v": 1})
+            ctx.apply_delta("a", "1", Delta.add("v", 1))
+            ctx.set_fields("a", "1", {"note": "ok"})
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert engine.stats.steps_committed == 1
+
+    def test_reads_are_unrestricted(self):
+        sim, engine = make_engine()
+        engine.tx_manager.store.insert("ref", "r1", {"v": 7})
+
+        @engine.step("reader", "topic")
+        def reader(ctx):
+            ctx.read("ref", "r1")
+            ctx.read("other", "o1")
+            ctx.insert("a", "1", {})
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert engine.stats.soups_violations == 0
+
+    def test_enforcement_can_be_disabled(self):
+        sim, engine = make_engine(enforce_soups=False)
+
+        @engine.step("multi", "topic")
+        def multi(ctx):
+            ctx.insert("a", "1", {})
+            ctx.insert("b", "1", {})
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert engine.stats.steps_committed == 1
+
+    def test_updated_entity_exposed(self):
+        sim, engine = make_engine()
+        observed = []
+
+        @engine.step("probe", "topic")
+        def probe(ctx):
+            ctx.insert("order", "o9", {})
+            observed.append(ctx.updated_entity)
+
+        engine.start_process("topic", {})
+        sim.run()
+        assert observed == [("order", "o9")]
+
+
+class TestVerticalCollapse:
+    def _chain_steps(self):
+        def first(ctx):
+            ctx.insert("a", "1", {"stage": 1})
+            ctx.emit("stage.two", {"from": "first"})
+
+        def second(ctx):
+            ctx.insert("b", "1", {"stage": 2})
+            ctx.emit("stage.three", {"from": "second"})
+            ctx.emit("audit.trail", {"note": "external"})
+
+        def third(ctx):
+            ctx.insert("c", "1", {"stage": 3})
+
+        return [
+            ProcessStep("first", "stage.one", first),
+            ProcessStep("second", "stage.two", second),
+            ProcessStep("third", "stage.three", third),
+        ]
+
+    def test_collapsed_chain_runs_in_one_transaction(self):
+        sim, engine = make_engine()
+        engine.collapse_vertical("fused", self._chain_steps(), "stage.one")
+        engine.start_process("stage.one", {})
+        sim.run()
+        assert engine.stats.steps_run == 1
+        assert engine.stats.steps_committed == 1
+        for etype in ("a", "b", "c"):
+            assert engine.tx_manager.store.get(etype, "1") is not None
+
+    def test_collapsed_chain_still_publishes_external_events(self):
+        sim, engine = make_engine()
+        external = []
+        engine.queue.subscribe("audit.trail", lambda m: external.append(m.payload) or True)
+        engine.collapse_vertical("fused", self._chain_steps(), "stage.one")
+        engine.start_process("stage.one", {})
+        sim.run()
+        assert external == [{"note": "external"}]
+
+    def test_chain_stops_when_no_handoff_emitted(self):
+        sim, engine = make_engine()
+
+        def first(ctx):
+            ctx.insert("a", "1", {})
+            # no emit: chain ends here
+
+        def second(ctx):
+            ctx.insert("b", "1", {})
+
+        engine.collapse_vertical(
+            "fused",
+            [ProcessStep("f", "go", first), ProcessStep("s", "next", second)],
+            "go",
+        )
+        engine.start_process("go", {})
+        sim.run()
+        assert engine.tx_manager.store.get("a", "1") is not None
+        assert engine.tx_manager.store.get("b", "1") is None
+
+    def test_empty_chain_rejected(self):
+        _, engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.collapse_vertical("fused", [], "topic")
+
+
+class TestHorizontalCollapse:
+    def test_batch_runs_as_one_transaction(self):
+        sim, engine = make_engine()
+        step = ProcessStep(
+            "count", "tick",
+            lambda ctx: ctx.apply_delta("counter", "c", Delta.add("n", 1)),
+        )
+        engine.collapse_horizontal("batched", step, batch_size=4)
+        for _ in range(8):
+            engine.start_process("tick", {})
+        sim.run()
+        assert engine.stats.batches_run == 2
+        assert engine.tx_manager.store.get("counter", "c").fields["n"] == 8
+
+    def test_partial_batch_waits(self):
+        sim, engine = make_engine()
+        step = ProcessStep(
+            "count", "tick",
+            lambda ctx: ctx.apply_delta("counter", "c", Delta.add("n", 1)),
+        )
+        engine.collapse_horizontal("batched", step, batch_size=5)
+        for _ in range(3):
+            engine.start_process("tick", {})
+        sim.run()
+        assert engine.stats.batches_run == 0
+        assert engine.tx_manager.store.get("counter", "c") is None
+
+    def test_invalid_batch_size_rejected(self):
+        _, engine = make_engine()
+        step = ProcessStep("s", "t", lambda ctx: None)
+        with pytest.raises(ValueError):
+            engine.collapse_horizontal("b", step, batch_size=0)

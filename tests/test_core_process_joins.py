@@ -1,0 +1,169 @@
+"""Tests for multi-event (join) step scheduling — section 3.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.process import JoinContext, ProcessEngine, ProcessStep
+from repro.core.transaction import TransactionManager
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.queues.reliable import ReliableQueue
+from repro.sim.scheduler import Simulator
+
+
+def make_engine(seed=0, ack_loss=0.0):
+    sim = Simulator(seed=seed)
+    queue = ReliableQueue(
+        sim, ack_loss_probability=ack_loss, redelivery_timeout=1.0, max_attempts=30
+    )
+    store = LSDBStore(clock=lambda: sim.now)
+    engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)
+    return sim, store, engine
+
+
+def register_settlement(engine):
+    def settle(ctx: JoinContext):
+        order = ctx.messages["payment.received"].payload["order"]
+        ctx.insert(
+            "settlement",
+            order,
+            {
+                "paid": ctx.messages["payment.received"].payload["amount"],
+                "carrier": ctx.messages["goods.shipped"].payload["carrier"],
+            },
+        )
+
+    engine.register_join(
+        "settle",
+        ["payment.received", "goods.shipped"],
+        correlate=lambda message: message.payload["order"],
+        handler=settle,
+    )
+
+
+class TestJoinScheduling:
+    def test_fires_only_when_all_topics_arrived(self):
+        sim, store, engine = make_engine()
+        register_settlement(engine)
+        engine.start_process("payment.received", {"order": "o1", "amount": 42})
+        sim.run()
+        assert store.get("settlement", "o1") is None
+        engine.start_process("goods.shipped", {"order": "o1", "carrier": "DHL"})
+        sim.run()
+        assert store.get("settlement", "o1").fields == {"paid": 42, "carrier": "DHL"}
+
+    def test_arrival_order_is_irrelevant(self):
+        sim, store, engine = make_engine()
+        register_settlement(engine)
+        engine.start_process("goods.shipped", {"order": "o1", "carrier": "DHL"})
+        engine.start_process("payment.received", {"order": "o1", "amount": 42})
+        sim.run()
+        assert store.get("settlement", "o1") is not None
+
+    def test_correlation_keys_isolate_joins(self):
+        sim, store, engine = make_engine()
+        register_settlement(engine)
+        engine.start_process("payment.received", {"order": "o1", "amount": 1})
+        engine.start_process("goods.shipped", {"order": "o2", "carrier": "UPS"})
+        sim.run()
+        assert store.get("settlement", "o1") is None
+        assert store.get("settlement", "o2") is None
+        engine.start_process("goods.shipped", {"order": "o1", "carrier": "DHL"})
+        engine.start_process("payment.received", {"order": "o2", "amount": 2})
+        sim.run()
+        assert store.get("settlement", "o1").fields["paid"] == 1
+        assert store.get("settlement", "o2").fields["paid"] == 2
+
+    def test_many_interleaved_joins_all_complete(self):
+        sim, store, engine = make_engine()
+        register_settlement(engine)
+        for index in range(20):
+            engine.start_process(
+                "payment.received", {"order": f"o{index}", "amount": index}
+            )
+        for index in reversed(range(20)):
+            engine.start_process(
+                "goods.shipped", {"order": f"o{index}", "carrier": "DHL"}
+            )
+        sim.run()
+        assert engine.stats.steps_committed == 20
+
+    def test_join_step_is_one_soups_transaction(self):
+        sim, store, engine = make_engine()
+
+        def greedy(ctx: JoinContext):
+            ctx.insert("a", "1", {})
+            ctx.insert("b", "1", {})  # second entity: SOUPS violation
+
+        engine.register_join(
+            "greedy", ["x", "y"],
+            correlate=lambda m: m.payload["k"], handler=greedy,
+        )
+        engine.start_process("x", {"k": "1"})
+        engine.start_process("y", {"k": "1"})
+        sim.run()
+        assert engine.stats.soups_violations >= 1
+        assert store.get("a", "1") is None
+
+    def test_duplicate_deliveries_do_not_double_fire(self):
+        sim, store, engine = make_engine(seed=5, ack_loss=0.4)
+
+        def tally(ctx: JoinContext):
+            ctx.apply_delta("stats", "joins", Delta.add("n", 1))
+
+        engine.register_join(
+            "tally", ["left", "right"],
+            correlate=lambda m: m.payload["k"], handler=tally,
+        )
+        for index in range(10):
+            engine.start_process("left", {"k": f"k{index}"})
+            engine.start_process("right", {"k": f"k{index}"})
+        sim.run()
+        assert store.get("stats", "joins").fields["n"] == 10
+
+    def test_handler_failure_aborts_without_effects(self):
+        sim, store, engine = make_engine()
+
+        def explode(ctx: JoinContext):
+            ctx.insert("a", "1", {})
+            raise RuntimeError("boom")
+
+        engine.register_join(
+            "explode", ["x", "y"],
+            correlate=lambda m: m.payload["k"], handler=explode,
+        )
+        engine.start_process("x", {"k": "1"})
+        engine.start_process("y", {"k": "1"})
+        sim.run()
+        assert store.get("a", "1") is None
+        assert engine.stats.handler_errors >= 1
+
+    def test_registration_validation(self):
+        _, _, engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.register_join("empty", [], correlate=lambda m: "", handler=lambda c: None)
+        engine.register_join(
+            "ok", ["t"], correlate=lambda m: "", handler=lambda c: None
+        )
+        with pytest.raises(ValueError):
+            engine.register_join(
+                "ok", ["t2"], correlate=lambda m: "", handler=lambda c: None
+            )
+
+    def test_join_context_exposes_all_messages(self):
+        sim, store, engine = make_engine()
+        captured = {}
+
+        def capture(ctx: JoinContext):
+            captured["topics"] = sorted(ctx.messages)
+            ctx.insert("done", "d", {})
+
+        engine.register_join(
+            "capture", ["x", "y", "z"],
+            correlate=lambda m: m.payload["k"], handler=capture,
+        )
+        for topic in ("x", "y", "z"):
+            engine.start_process(topic, {"k": "1"})
+        sim.run()
+        assert captured["topics"] == ["x", "y", "z"]

@@ -1,0 +1,46 @@
+"""Run every docstring example in the library as part of the suite.
+
+Docstring examples are the first code a reader copies; a refactor that
+breaks one should fail here, not in a user's shell.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+MODULES = list(_all_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.IGNORE_EXCEPTION_DETAIL,
+        verbose=False,
+    )
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_docstring_examples_exist_somewhere():
+    """The library should carry a healthy number of runnable examples."""
+    attempted = sum(
+        doctest.testmod(
+            module,
+            optionflags=doctest.ELLIPSIS | doctest.IGNORE_EXCEPTION_DETAIL,
+        ).attempted
+        for module in MODULES
+    )
+    assert attempted >= 20

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy's catchability contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        leaf_classes = [
+            errors.SimulationError,
+            errors.NetworkError,
+            errors.TransactionAborted,
+            errors.DeadlockDetected,
+            errors.ValidationFailed,
+            errors.LockUnavailable,
+            errors.UnknownEntityType,
+            errors.EntityNotFound,
+            errors.SchemaViolation,
+            errors.SoupsViolation,
+            errors.DuplicateMessage,
+            errors.QuorumUnavailable,
+            errors.NotMaster,
+            errors.ConsistencyPolicyError,
+        ]
+        for leaf in leaf_classes:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_concurrency_failures_are_transaction_aborted(self):
+        assert issubclass(errors.DeadlockDetected, errors.TransactionAborted)
+        assert issubclass(errors.ValidationFailed, errors.TransactionAborted)
+
+    def test_soups_violation_is_a_process_error(self):
+        assert issubclass(errors.SoupsViolation, errors.ProcessError)
+
+    def test_replication_failures_share_a_base(self):
+        assert issubclass(errors.QuorumUnavailable, errors.ReplicationError)
+        assert issubclass(errors.NotMaster, errors.ReplicationError)
+
+    def test_aborted_carries_reason(self):
+        exc = errors.TransactionAborted("deadlock victim")
+        assert exc.reason == "deadlock victim"
+        assert "deadlock victim" in str(exc)
+
+    def test_deadlock_default_reason(self):
+        assert errors.DeadlockDetected().reason == "deadlock victim"
+
+    def test_single_except_clause_catches_library_failures(self):
+        for make in (
+            lambda: errors.EntityNotFound("x"),
+            lambda: errors.ValidationFailed(),
+            lambda: errors.QuorumUnavailable("no majority"),
+        ):
+            with pytest.raises(errors.ReproError):
+                raise make()

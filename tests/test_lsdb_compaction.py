@@ -1,0 +1,122 @@
+"""Tests for summarization, archival and retention."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lsdb.compaction import Archive, Compactor
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import Rollup
+from repro.merge.deltas import Delta
+
+
+def delta_event(amount, key="k", tags=()):
+    return LogEvent(
+        lsn=0, timestamp=0.0, entity_type="t", entity_key=key,
+        kind=EventKind.DELTA, payload=Delta.add("v", amount).to_payload(),
+        tags=frozenset(tags),
+    )
+
+
+def make_world():
+    log = AppendOnlyLog()
+    rollup = Rollup()
+    compactor = Compactor(log, rollup)
+    return log, rollup, compactor
+
+
+class TestCompaction:
+    def test_prefix_becomes_one_summary_per_entity(self):
+        log, rollup, compactor = make_world()
+        for _ in range(4):
+            log.append(delta_event(1, key="a"))
+        for _ in range(3):
+            log.append(delta_event(2, key="b"))
+        report = compactor.compact_before(log.head_lsn)
+        assert report.events_removed == 7
+        assert report.summaries_written == 2
+        assert len(log) == 2
+
+    def test_state_is_preserved_across_compaction(self):
+        log, rollup, compactor = make_world()
+        for amount in (5, -2, 4):
+            log.append(delta_event(amount))
+        compactor.compact_before(log.head_lsn)
+        state = rollup.fold(log.events())[("t", "k")]
+        assert state.fields["v"] == 7
+
+    def test_suffix_events_survive(self):
+        log, rollup, compactor = make_world()
+        for _ in range(5):
+            log.append(delta_event(1))
+        compactor.compact_before(3)
+        state = rollup.fold(log.events())[("t", "k")]
+        assert state.fields["v"] == 5
+        assert len(log) == 3  # 1 summary + 2 live
+
+    def test_deleted_entities_stay_deleted(self):
+        log, rollup, compactor = make_world()
+        log.append(delta_event(1))
+        log.append(
+            LogEvent(lsn=0, timestamp=0.0, entity_type="t", entity_key="k",
+                     kind=EventKind.TOMBSTONE)
+        )
+        compactor.compact_before(log.head_lsn)
+        state = rollup.fold(log.events())[("t", "k")]
+        assert state.deleted
+
+    def test_compact_keep_recent(self):
+        log, rollup, compactor = make_world()
+        for _ in range(10):
+            log.append(delta_event(1))
+        report = compactor.compact_keep_recent(3)
+        assert report.shrinkage == 6  # 7 removed, 1 summary
+        assert len(log) == 4
+
+    def test_keep_recent_noop_when_small(self):
+        log, rollup, compactor = make_world()
+        log.append(delta_event(1))
+        report = compactor.compact_keep_recent(5)
+        assert report.events_removed == 0
+
+    def test_empty_prefix_is_noop(self):
+        log, rollup, compactor = make_world()
+        report = compactor.compact_before(0)
+        assert report.events_removed == 0
+
+
+class TestArchive:
+    def test_removed_events_are_archived(self):
+        log, rollup, compactor = make_world()
+        for _ in range(4):
+            log.append(delta_event(1))
+        compactor.compact_before(log.head_lsn)
+        assert len(compactor.archive) == 4
+
+    def test_entity_history_recoverable_from_archive(self):
+        log, rollup, compactor = make_world()
+        log.append(delta_event(3, key="a"))
+        log.append(delta_event(9, key="b"))
+        compactor.compact_before(log.head_lsn)
+        archived = compactor.archive.events_for("t", "a")
+        assert len(archived) == 1
+        assert Delta.from_payload(archived[0].payload).numeric["v"] == 3
+
+    def test_regulatory_events_queryable(self):
+        log, rollup, compactor = make_world()
+        log.append(delta_event(1, tags=("regulatory",)))
+        log.append(delta_event(2))
+        compactor.compact_before(log.head_lsn)
+        regulatory = compactor.archive.regulatory_events()
+        assert len(regulatory) == 1
+
+    def test_jsonl_dump(self, tmp_path):
+        log, rollup, compactor = make_world()
+        log.append(delta_event(1))
+        compactor.compact_before(log.head_lsn)
+        path = tmp_path / "archive.jsonl"
+        count = compactor.archive.dump_jsonl(str(path))
+        assert count == 1
+        lines = path.read_text().strip().splitlines()
+        assert json.loads(lines[0])["entity_key"] == "k"

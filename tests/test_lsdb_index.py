@@ -1,0 +1,101 @@
+"""Tests for asynchronously maintained secondary indexes."""
+
+from __future__ import annotations
+
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.index import SecondaryIndex
+from repro.lsdb.rollup import Rollup
+
+
+def insert(key, fields, etype="order"):
+    return LogEvent(
+        lsn=0, timestamp=0.0, entity_type=etype, entity_key=key,
+        kind=EventKind.INSERT, payload=fields,
+    )
+
+
+def set_fields(key, fields, etype="order", ts=1.0):
+    return LogEvent(
+        lsn=0, timestamp=ts, entity_type=etype, entity_key=key,
+        kind=EventKind.SET_FIELDS, payload=fields,
+    )
+
+
+def tombstone(key, etype="order"):
+    return LogEvent(
+        lsn=0, timestamp=2.0, entity_type=etype, entity_key=key,
+        kind=EventKind.TOMBSTONE,
+    )
+
+
+def make_index():
+    log = AppendOnlyLog()
+    index = SecondaryIndex(log, Rollup(), "order", "status")
+    return log, index
+
+
+class TestStaleness:
+    def test_index_is_stale_until_refreshed(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        assert index.lookup("open") == set()  # async: not applied yet
+        assert index.lag == 1
+        index.refresh()
+        assert index.lookup("open") == {"o1"}
+        assert index.lag == 0
+
+    def test_partial_refresh_to_fixed_lsn(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        log.append(insert("o2", {"status": "open"}))
+        index.refresh(up_to_lsn=1)
+        assert index.lookup("open") == {"o1"}
+        assert index.lag == 1
+
+
+class TestMaintenance:
+    def test_value_change_moves_between_buckets(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        log.append(set_fields("o1", {"status": "closed"}))
+        index.refresh()
+        assert index.lookup("open") == set()
+        assert index.lookup("closed") == {"o1"}
+
+    def test_tombstoned_entity_leaves_index(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        log.append(tombstone("o1"))
+        index.refresh()
+        assert index.lookup("open") == set()
+
+    def test_other_types_ignored(self):
+        log, index = make_index()
+        log.append(insert("c1", {"status": "open"}, etype="customer"))
+        index.refresh()
+        assert index.lookup("open") == set()
+        assert index.lag == 0  # still consumed the LSN
+
+    def test_multiple_entities_same_value(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        log.append(insert("o2", {"status": "open"}))
+        index.refresh()
+        assert index.lookup("open") == {"o1", "o2"}
+
+    def test_refresh_is_incremental(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        assert index.refresh() == 1
+        assert index.refresh() == 0
+        log.append(insert("o2", {"status": "open"}))
+        assert index.refresh() == 1
+
+    def test_lookup_returns_copy(self):
+        log, index = make_index()
+        log.append(insert("o1", {"status": "open"}))
+        index.refresh()
+        result = index.lookup("open")
+        result.add("bogus")
+        assert index.lookup("open") == {"o1"}

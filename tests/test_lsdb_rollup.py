@@ -1,0 +1,129 @@
+"""Tests for rollup aggregation (current state as a fold over the log)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.rollup import EntityState, GenericReducer, Rollup
+from repro.merge.deltas import Delta
+
+
+def event(kind, payload=None, key="k", lsn=0, ts=0.0, origin="local", tags=()):
+    return LogEvent(
+        lsn=lsn, timestamp=ts, entity_type="t", entity_key=key,
+        kind=kind, payload=payload or {}, origin=origin,
+        tags=frozenset(tags),
+    )
+
+
+class TestGenericReducer:
+    def test_insert_creates_and_overlays(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"a": 1, "b": 2}),
+            event(EventKind.INSERT, {"b": 3}),
+        ])
+        state = states[("t", "k")]
+        assert state.fields == {"a": 1, "b": 3}
+        assert state.version_count == 2
+
+    def test_delta_adjusts_fields(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"qty": 10}),
+            event(EventKind.DELTA, Delta.add("qty", -4).to_payload()),
+        ])
+        assert states[("t", "k")].fields["qty"] == 6
+
+    def test_set_fields_lww_by_timestamp(self):
+        rollup = Rollup()
+        late_then_early = rollup.fold([
+            event(EventKind.SET_FIELDS, {"v": "late"}, ts=5.0, origin="r2"),
+            event(EventKind.SET_FIELDS, {"v": "early"}, ts=1.0, origin="r1"),
+        ])
+        assert late_then_early[("t", "k")].fields["v"] == "late"
+
+    def test_tombstone_marks_but_keeps_fields(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"name": "x"}),
+            event(EventKind.TOMBSTONE),
+        ])
+        state = states[("t", "k")]
+        assert state.deleted
+        assert not state.live
+        assert state.fields["name"] == "x"  # deletion is a mark (2.7)
+
+    def test_obsolete_mark(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"status": "tentative"}),
+            event(EventKind.OBSOLETE),
+        ])
+        assert states[("t", "k")].obsolete
+        assert not states[("t", "k")].live
+
+    def test_summary_replaces_fields_and_restores_marks(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.SUMMARY, {"qty": 42}, tags=("deleted",)),
+        ])
+        state = states[("t", "k")]
+        assert state.fields == {"qty": 42}
+        assert state.deleted
+
+    def test_event_count_and_last_lsn_tracked(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"a": 1}, lsn=1, ts=1.0),
+            event(EventKind.DELTA, Delta.add("a", 1).to_payload(), lsn=2, ts=2.0),
+        ])
+        state = states[("t", "k")]
+        assert state.event_count == 2
+        assert state.last_lsn == 2
+        assert state.last_timestamp == 2.0
+
+
+class TestRollup:
+    def test_fold_does_not_mutate_initial(self):
+        rollup = Rollup()
+        initial = rollup.fold([event(EventKind.INSERT, {"a": 1})])
+        rollup.fold([event(EventKind.DELTA, Delta.add("a", 5).to_payload())], initial)
+        assert initial[("t", "k")].fields["a"] == 1
+
+    def test_fold_into_mutates_in_place(self):
+        rollup = Rollup()
+        states = {}
+        rollup.fold_into(states, event(EventKind.INSERT, {"a": 1}))
+        assert states[("t", "k")].fields["a"] == 1
+
+    def test_custom_reducer_per_type(self):
+        class CountingReducer(GenericReducer):
+            def apply(self, state: Optional[EntityState], evt: LogEvent) -> EntityState:
+                result = super().apply(state, evt)
+                result.fields["touches"] = result.fields.get("touches", 0) + 1
+                return result
+
+        rollup = Rollup()
+        rollup.register("t", CountingReducer())
+        states = rollup.fold([
+            event(EventKind.INSERT, {"a": 1}),
+            event(EventKind.INSERT, {"a": 2}),
+        ])
+        assert states[("t", "k")].fields["touches"] == 2
+
+    def test_separate_entities_fold_independently(self):
+        rollup = Rollup()
+        states = rollup.fold([
+            event(EventKind.INSERT, {"v": 1}, key="a"),
+            event(EventKind.INSERT, {"v": 2}, key="b"),
+        ])
+        assert states[("t", "a")].fields["v"] == 1
+        assert states[("t", "b")].fields["v"] == 2
+
+    def test_entity_state_copy_isolated(self):
+        state = EntityState("t", "k", fields={"a": 1})
+        clone = state.copy()
+        clone.fields["a"] = 99
+        assert state.fields["a"] == 1

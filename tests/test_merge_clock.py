@@ -1,0 +1,106 @@
+"""Tests for logical clocks and version vectors."""
+
+from __future__ import annotations
+
+from repro.merge.clock import LamportClock, Ordering, VectorClock, VersionVector
+
+
+class TestLamportClock:
+    def test_tick_is_monotone(self):
+        clock = LamportClock()
+        stamps = [clock.tick() for _ in range(5)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 5
+
+    def test_observe_jumps_past_remote(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.observe(100) == 101
+
+    def test_observe_smaller_remote_still_ticks(self):
+        clock = LamportClock(start=50)
+        assert clock.observe(3) == 51
+
+
+class TestVectorClock:
+    def test_increment_returns_new_instance(self):
+        base = VectorClock()
+        bumped = base.increment("r1")
+        assert base.get("r1") == 0
+        assert bumped.get("r1") == 1
+
+    def test_causal_chain_orders_before_after(self):
+        first = VectorClock().increment("r1")
+        second = first.increment("r1")
+        assert first.compare(second) is Ordering.BEFORE
+        assert second.compare(first) is Ordering.AFTER
+
+    def test_independent_updates_are_concurrent(self):
+        a = VectorClock().increment("r1")
+        b = VectorClock().increment("r2")
+        assert a.compare(b) is Ordering.CONCURRENT
+        assert a.concurrent_with(b)
+
+    def test_equal_clocks(self):
+        a = VectorClock({"r1": 2, "r2": 1})
+        b = VectorClock({"r2": 1, "r1": 2})
+        assert a.compare(b) is Ordering.EQUAL
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock({"r1": 3, "r2": 1})
+        b = VectorClock({"r1": 1, "r3": 4})
+        merged = a.merge(b)
+        assert merged.to_dict() == {"r1": 3, "r2": 1, "r3": 4}
+
+    def test_merge_dominates_both_inputs(self):
+        a = VectorClock({"r1": 3})
+        b = VectorClock({"r2": 2})
+        merged = a.merge(b)
+        assert merged.dominates(a) and merged.dominates(b)
+
+    def test_missing_component_treated_as_zero(self):
+        a = VectorClock({"r1": 1})
+        b = VectorClock({"r1": 1, "r2": 1})
+        assert a.compare(b) is Ordering.BEFORE
+
+
+class TestVersionVector:
+    def test_record_is_monotone(self):
+        vector = VersionVector()
+        vector.record("r1", 5)
+        vector.record("r1", 3)  # lower: ignored
+        assert vector.get("r1") == 5
+
+    def test_advance_increments(self):
+        vector = VersionVector()
+        assert vector.advance("r1") == 1
+        assert vector.advance("r1") == 2
+
+    def test_missing_from_reports_gaps(self):
+        mine = VersionVector({"r1": 2})
+        theirs = VersionVector({"r1": 5, "r2": 3})
+        gaps = mine.missing_from(theirs)
+        assert gaps == {"r1": (2, 5), "r2": (0, 3)}
+
+    def test_no_gaps_when_ahead(self):
+        mine = VersionVector({"r1": 9})
+        theirs = VersionVector({"r1": 4})
+        assert mine.missing_from(theirs) == {}
+
+    def test_merge_absorbs_other(self):
+        mine = VersionVector({"r1": 2})
+        theirs = VersionVector({"r1": 5, "r2": 1})
+        mine.merge(theirs)
+        assert mine == VersionVector({"r1": 5, "r2": 1})
+
+    def test_equality_ignores_zero_components(self):
+        assert VersionVector({"r1": 1, "r2": 0}) == VersionVector({"r1": 1})
+
+    def test_snapshot_is_immutable_view(self):
+        vector = VersionVector({"r1": 2})
+        snapshot = vector.snapshot()
+        vector.advance("r1")
+        assert snapshot.get("r1") == 2
+        assert vector.get("r1") == 3

@@ -1,0 +1,237 @@
+"""Property-based tests: the semilattice laws behind eventual consistency.
+
+Every convergent type must satisfy commutativity, associativity and
+idempotence of ``merge`` — the algebra that makes "replicas converge to
+equivalent states" (paper section 1) a theorem instead of a hope.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.merge.clock import VectorClock, VersionVector
+from repro.merge.counters import GCounter, PNCounter
+from repro.merge.deltas import Delta, apply_delta, compose
+from repro.merge.registers import LWWRegister, MVRegister
+from repro.merge.sets import GSet, ORSet, TwoPhaseSet
+
+REPLICAS = st.sampled_from(["r1", "r2", "r3"])
+SMALL_INT = st.integers(min_value=0, max_value=20)
+
+
+# --------------------------------------------------------------------- #
+# Strategies building random instances of each type
+# --------------------------------------------------------------------- #
+
+@st.composite
+def gcounters(draw):
+    counter = GCounter()
+    for _ in range(draw(st.integers(0, 5))):
+        counter = counter.increment(draw(REPLICAS), draw(SMALL_INT))
+    return counter
+
+
+@st.composite
+def pncounters(draw):
+    counter = PNCounter()
+    for _ in range(draw(st.integers(0, 5))):
+        replica = draw(REPLICAS)
+        amount = draw(st.integers(-10, 10))
+        counter = counter.increment(replica, amount)
+    return counter
+
+
+@st.composite
+def lww_registers(draw):
+    return LWWRegister(
+        stored=draw(st.integers(0, 100)),
+        timestamp=draw(st.integers(0, 50)),
+        replica_id=draw(REPLICAS),
+    )
+
+
+@st.composite
+def mv_registers(draw):
+    register = MVRegister()
+    clock = VectorClock()
+    for _ in range(draw(st.integers(0, 4))):
+        clock = clock.increment(draw(REPLICAS))
+        register = register.assign(draw(st.integers(0, 9)), clock)
+    return register
+
+
+@st.composite
+def gsets(draw):
+    return GSet(draw(st.lists(st.integers(0, 9), max_size=5)))
+
+
+@st.composite
+def two_phase_sets(draw):
+    items = TwoPhaseSet()
+    for value in draw(st.lists(st.integers(0, 9), max_size=5)):
+        items = items.add(value)
+    for value in draw(st.lists(st.integers(0, 9), max_size=3)):
+        items = items.remove(value)
+    return items
+
+
+@st.composite
+def orsets(draw):
+    items = ORSet()
+    tag = 0
+    for value in draw(st.lists(st.integers(0, 5), max_size=5)):
+        tag += 1
+        items = items.add(value, f"{draw(REPLICAS)}:{tag}")
+    for value in draw(st.lists(st.integers(0, 5), max_size=3)):
+        items = items.remove(value)
+    return items
+
+
+@st.composite
+def version_vectors(draw):
+    vector = VersionVector()
+    for replica in ("r1", "r2", "r3"):
+        vector.record(replica, draw(SMALL_INT))
+    return vector
+
+
+MERGEABLE_STRATEGIES = [
+    gcounters(),
+    pncounters(),
+    lww_registers(),
+    mv_registers(),
+    gsets(),
+    two_phase_sets(),
+    orsets(),
+]
+
+
+def observable(value):
+    """Comparable view of any merge type (its application-visible value)."""
+    return value.value
+
+
+# --------------------------------------------------------------------- #
+# The three laws, once per type
+# --------------------------------------------------------------------- #
+
+def make_law_tests(strategy, type_name):
+    @settings(max_examples=60)
+    @given(a=strategy, b=strategy)
+    def commutative(a, b):
+        assert observable(a.merge(b)) == observable(b.merge(a))
+
+    @settings(max_examples=60)
+    @given(a=strategy, b=strategy, c=strategy)
+    def associative(a, b, c):
+        assert observable(a.merge(b).merge(c)) == observable(a.merge(b.merge(c)))
+
+    @settings(max_examples=60)
+    @given(a=strategy)
+    def idempotent(a):
+        assert observable(a.merge(a)) == observable(a)
+
+    commutative.__name__ = f"test_{type_name}_merge_commutative"
+    associative.__name__ = f"test_{type_name}_merge_associative"
+    idempotent.__name__ = f"test_{type_name}_merge_idempotent"
+    return commutative, associative, idempotent
+
+
+(
+    test_gcounter_merge_commutative,
+    test_gcounter_merge_associative,
+    test_gcounter_merge_idempotent,
+) = make_law_tests(gcounters(), "gcounter")
+
+(
+    test_pncounter_merge_commutative,
+    test_pncounter_merge_associative,
+    test_pncounter_merge_idempotent,
+) = make_law_tests(pncounters(), "pncounter")
+
+(
+    test_lww_merge_commutative,
+    test_lww_merge_associative,
+    test_lww_merge_idempotent,
+) = make_law_tests(lww_registers(), "lww")
+
+(
+    test_mv_merge_commutative,
+    test_mv_merge_associative,
+    test_mv_merge_idempotent,
+) = make_law_tests(mv_registers(), "mv")
+
+(
+    test_gset_merge_commutative,
+    test_gset_merge_associative,
+    test_gset_merge_idempotent,
+) = make_law_tests(gsets(), "gset")
+
+(
+    test_2pset_merge_commutative,
+    test_2pset_merge_associative,
+    test_2pset_merge_idempotent,
+) = make_law_tests(two_phase_sets(), "2pset")
+
+(
+    test_orset_merge_commutative,
+    test_orset_merge_associative,
+    test_orset_merge_idempotent,
+) = make_law_tests(orsets(), "orset")
+
+
+# --------------------------------------------------------------------- #
+# Additional invariants
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=60)
+@given(a=gcounters(), b=gcounters())
+def test_gcounter_merge_never_decreases(a, b):
+    merged = a.merge(b)
+    # Per-replica max implies the merged total dominates both inputs.
+    assert merged.value >= max(a.value, b.value)
+
+
+@settings(max_examples=60)
+@given(vector_counts=st.lists(version_vectors(), min_size=2, max_size=4))
+def test_version_vector_merge_is_least_upper_bound(vector_counts):
+    merged = VersionVector()
+    for vector in vector_counts:
+        merged.merge(vector)
+    for vector in vector_counts:
+        for replica in ("r1", "r2", "r3"):
+            assert merged.get(replica) >= vector.get(replica)
+
+
+@settings(max_examples=80)
+@given(
+    amounts=st.lists(st.integers(-20, 20), min_size=1, max_size=8),
+    initial=st.integers(-10, 10),
+)
+def test_delta_application_order_does_not_matter(amounts, initial):
+    """Numeric deltas commute: any application order reaches the same state."""
+    deltas = [Delta.add("balance", amount) for amount in amounts]
+    forward = {"balance": initial}
+    for delta in deltas:
+        forward = apply_delta(forward, delta)
+    backward = {"balance": initial}
+    for delta in reversed(deltas):
+        backward = apply_delta(backward, delta)
+    assert forward == backward
+    composed = apply_delta({"balance": initial}, compose(deltas))
+    assert composed == forward
+
+
+@settings(max_examples=60)
+@given(
+    amounts=st.lists(st.integers(-20, 20), min_size=1, max_size=8),
+)
+def test_delta_invert_restores_any_state(amounts):
+    deltas = [Delta.add("x", amount) for amount in amounts]
+    state = {"x": 0}
+    for delta in deltas:
+        state = apply_delta(state, delta)
+    for delta in deltas:
+        state = apply_delta(state, delta.invert())
+    assert state == {"x": 0}

@@ -1,0 +1,185 @@
+"""Example-based tests for convergent types (counters, registers, sets,
+deltas).  The algebraic laws are covered separately with hypothesis in
+``test_merge_properties.py``; these tests pin concrete semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.merge.base import merge_all
+from repro.merge.clock import VectorClock
+from repro.merge.counters import GCounter, PNCounter
+from repro.merge.deltas import Delta, apply_delta, compose, numeric_only
+from repro.merge.registers import LWWRegister, MVRegister
+from repro.merge.sets import GSet, ORSet, TwoPhaseSet
+
+
+class TestGCounter:
+    def test_increment_accumulates_per_replica(self):
+        counter = GCounter().increment("r1", 2).increment("r1", 3).increment("r2", 1)
+        assert counter.value == 6
+        assert counter.contribution("r1") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            GCounter().increment("r1", -1)
+
+    def test_merge_takes_max_not_sum(self):
+        a = GCounter().increment("r1", 5)
+        stale_copy_of_a = GCounter().increment("r1", 3)
+        assert a.merge(stale_copy_of_a).value == 5
+
+    def test_merge_of_disjoint_replicas_sums(self):
+        a = GCounter().increment("r1", 5)
+        b = GCounter().increment("r2", 7)
+        assert a.merge(b).value == 12
+
+
+class TestPNCounter:
+    def test_value_is_increments_minus_decrements(self):
+        counter = PNCounter().increment("r1", 10).decrement("r2", 4)
+        assert counter.value == 6
+
+    def test_negative_arguments_swap_direction(self):
+        assert PNCounter().increment("r1", -3).value == -3
+        assert PNCounter().decrement("r1", -3).value == 3
+
+    def test_concurrent_banking_ops_compose(self):
+        base = PNCounter().increment("bank", 100)
+        at_branch = base.decrement("branch", 30)
+        at_web = base.decrement("web", 20)
+        assert at_branch.merge(at_web).value == 50
+
+    def test_merge_all_helper(self):
+        states = [
+            PNCounter().increment("r1", 1),
+            PNCounter().increment("r2", 2),
+            PNCounter().decrement("r3", 3),
+        ]
+        assert merge_all(states).value == 0
+
+    def test_merge_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_all([])
+
+
+class TestLWWRegister:
+    def test_later_timestamp_wins(self):
+        a = LWWRegister("old", timestamp=1, replica_id="r1")
+        b = a.assign("new", timestamp=2, replica_id="r2")
+        assert a.merge(b).value == "new"
+
+    def test_ties_break_by_replica_id_deterministically(self):
+        a = LWWRegister("from-r1", timestamp=5, replica_id="r1")
+        b = LWWRegister("from-r2", timestamp=5, replica_id="r2")
+        assert a.merge(b).value == "from-r2"
+        assert b.merge(a).value == "from-r2"
+
+
+class TestMVRegister:
+    def test_causal_overwrite_leaves_one_value(self):
+        clock1 = VectorClock().increment("r1")
+        clock2 = clock1.increment("r1")
+        register = MVRegister().assign("v1", clock1).assign("v2", clock2)
+        assert register.value == {"v2"}
+        assert not register.is_conflicted
+
+    def test_concurrent_writes_become_siblings(self):
+        a = MVRegister().assign("from-r1", VectorClock().increment("r1"))
+        b = MVRegister().assign("from-r2", VectorClock().increment("r2"))
+        merged = a.merge(b)
+        assert merged.value == {"from-r1", "from-r2"}
+        assert merged.is_conflicted
+
+    def test_dominating_write_clears_siblings(self):
+        clock_a = VectorClock().increment("r1")
+        clock_b = VectorClock().increment("r2")
+        merged = (
+            MVRegister().assign("a", clock_a).merge(MVRegister().assign("b", clock_b))
+        )
+        resolution_clock = clock_a.merge(clock_b).increment("r1")
+        resolved = merged.assign("resolved", resolution_clock)
+        assert resolved.value == {"resolved"}
+
+
+class TestSets:
+    def test_gset_union(self):
+        a = GSet(["x"]).add("y")
+        b = GSet(["z"])
+        assert a.merge(b).value == frozenset({"x", "y", "z"})
+
+    def test_two_phase_remove_is_permanent(self):
+        items = TwoPhaseSet().add("doc-1").remove("doc-1").add("doc-1")
+        assert "doc-1" not in items
+        assert "doc-1" in items.tombstones
+
+    def test_two_phase_merge_unions_both_sides(self):
+        a = TwoPhaseSet().add("x")
+        b = TwoPhaseSet().add("y").remove("x")
+        merged = a.merge(b)
+        assert merged.value == frozenset({"y"})
+
+    def test_orset_readd_after_remove_works(self):
+        items = ORSet().add("order", "r1:1").remove("order").add("order", "r1:2")
+        assert "order" in items
+
+    def test_orset_concurrent_add_survives_remove(self):
+        base = ORSet().add("order", "r1:1")
+        removed = base.remove("order")
+        concurrent_add = base.add("order", "r2:1")
+        merged = removed.merge(concurrent_add)
+        assert "order" in merged  # add-wins
+
+    def test_orset_remove_only_observed_tags(self):
+        a = ORSet().add("x", "r1:1")
+        b = ORSet().add("x", "r2:1")
+        removed_at_a = a.remove("x")  # never saw r2:1
+        assert "x" in removed_at_a.merge(b)
+
+
+class TestDeltas:
+    def test_numeric_application(self):
+        state = apply_delta({"qty": 10}, Delta.add("qty", -4))
+        assert state == {"qty": 6}
+
+    def test_missing_field_defaults_to_zero(self):
+        assert apply_delta({}, Delta.add("qty", 5)) == {"qty": 5}
+
+    def test_set_operations(self):
+        delta = Delta.insert("tags", "hot").invert()
+        state = apply_delta({"tags": frozenset({"hot", "new"})}, delta)
+        assert state["tags"] == frozenset({"new"})
+
+    def test_input_state_is_not_mutated(self):
+        original = {"qty": 1}
+        apply_delta(original, Delta.add("qty", 5))
+        assert original == {"qty": 1}
+
+    def test_compose_sums_numeric_fields(self):
+        combined = compose([Delta.add("x", 2), Delta.add("x", 3), Delta.add("y", 1)])
+        assert combined.numeric == {"x": 5, "y": 1}
+
+    def test_compose_drops_zero_net_fields(self):
+        combined = compose([Delta.add("x", 2), Delta.add("x", -2)])
+        assert combined.is_empty()
+
+    def test_invert_compensates(self):
+        delta = Delta(numeric={"x": 3, "y": -2})
+        restored = apply_delta(apply_delta({"x": 1, "y": 1}, delta), delta.invert())
+        assert restored == {"x": 1, "y": 1}
+
+    def test_payload_roundtrip(self):
+        delta = Delta(
+            numeric={"x": 1.5},
+            set_adds={"tags": frozenset({"a"})},
+            set_removes={"tags": frozenset({"b"})},
+        )
+        assert Delta.from_payload(delta.to_payload()) == delta
+
+    def test_numeric_only_detection(self):
+        assert numeric_only(Delta.add("x", 1))
+        assert not numeric_only(Delta.insert("tags", "a"))
+
+    def test_fields_lists_all_touched(self):
+        delta = Delta(numeric={"a": 1}, set_adds={"b": frozenset({"x"})})
+        assert delta.fields() == {"a", "b"}

@@ -1,0 +1,100 @@
+"""Tests for serialization units and routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.router import DynamicDirectory, HashRouter, RangeRouter
+from repro.partition.units import SerializationUnit
+from repro.sim.scheduler import Simulator
+
+
+class TestHashRouter:
+    def test_placement_is_deterministic(self):
+        router_a = HashRouter(["u1", "u2", "u3"])
+        router_b = HashRouter(["u1", "u2", "u3"])
+        for key in ("alpha", "beta", "gamma"):
+            assert router_a.unit_for("order", key) == router_b.unit_for("order", key)
+
+    def test_all_units_receive_some_keys(self):
+        router = HashRouter(["u1", "u2", "u3"])
+        placements = {router.unit_for("order", f"k{i}") for i in range(100)}
+        assert placements == {"u1", "u2", "u3"}
+
+    def test_type_participates_in_placement(self):
+        router = HashRouter(["u1", "u2", "u3", "u4"])
+        differs = any(
+            router.unit_for("order", f"k{i}") != router.unit_for("invoice", f"k{i}")
+            for i in range(20)
+        )
+        assert differs
+
+    def test_needs_at_least_one_unit(self):
+        with pytest.raises(ValueError):
+            HashRouter([])
+
+
+class TestRangeRouter:
+    def test_key_ranges(self):
+        router = RangeRouter([("h", "u1"), ("p", "u2")], default_unit="u3")
+        assert router.unit_for("customer", "alice") == "u1"
+        assert router.unit_for("customer", "mike") == "u2"
+        assert router.unit_for("customer", "zoe") == "u3"
+
+    def test_boundary_is_exclusive(self):
+        router = RangeRouter([("m", "low")], default_unit="high")
+        assert router.unit_for("t", "m") == "high"
+        assert router.unit_for("t", "lzz") == "low"
+
+
+class TestDynamicDirectory:
+    def test_falls_back_to_base_router(self):
+        directory = DynamicDirectory(HashRouter(["u1", "u2"]))
+        base = HashRouter(["u1", "u2"])
+        assert directory.unit_for("order", "k") == base.unit_for("order", "k")
+
+    def test_move_overrides_placement(self):
+        directory = DynamicDirectory(HashRouter(["u1", "u2"]))
+        directory.move("order", "hot-key", "u2")
+        assert directory.unit_for("order", "hot-key") == "u2"
+        assert directory.placement_of("order", "hot-key") == "u2"
+        assert directory.override_count == 1
+
+    def test_other_entities_unaffected_by_move(self):
+        directory = DynamicDirectory(HashRouter(["u1", "u2"]))
+        before = directory.unit_for("order", "other")
+        directory.move("order", "hot-key", "u2")
+        assert directory.unit_for("order", "other") == before
+
+
+class TestSerializationUnit:
+    def test_unit_owns_independent_store_and_log(self):
+        sim = Simulator()
+        unit_a = SerializationUnit("u1", sim)
+        unit_b = SerializationUnit("u2", sim)
+        unit_a.store.insert("order", "o1", {"v": 1})
+        assert unit_b.store.get("order", "o1") is None
+        assert unit_a.store.log.head_lsn == 1
+        assert unit_b.store.log.head_lsn == 0
+
+    def test_store_origin_matches_unit(self):
+        unit = SerializationUnit("u7", Simulator())
+        event = unit.store.insert("t", "k", {})
+        assert event.origin == "u7"
+
+    def test_commit_slots_serialize(self):
+        sim = Simulator()
+        unit = SerializationUnit("u1", sim, local_commit_cost=2.0)
+        first = unit.next_commit_slot()
+        second = unit.next_commit_slot()
+        assert first == 2.0
+        assert second == 4.0  # queued behind the first
+        assert unit.commits == 2
+
+    def test_commit_slot_respects_current_time(self):
+        sim = Simulator()
+        unit = SerializationUnit("u1", sim, local_commit_cost=1.0)
+        unit.next_commit_slot()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert unit.next_commit_slot() == 11.0

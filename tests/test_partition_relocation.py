@@ -1,0 +1,130 @@
+"""Tests for online entity relocation between serialization units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locks.logical import LockMode
+from repro.partition.relocation import EntityMover
+from repro.partition.router import DynamicDirectory, HashRouter
+from repro.partition.units import SerializationUnit
+
+
+def make_world():
+    units = {name: SerializationUnit(name) for name in ("u1", "u2", "u3")}
+    directory = DynamicDirectory(HashRouter(["u1", "u2", "u3"]))
+    return units, directory, EntityMover(units, directory)
+
+
+def seed_entity(units, directory, key="hot", fields=None):
+    source = directory.unit_for("order", key)
+    units[source].store.insert("order", key, fields or {"total": 5})
+    return source
+
+
+class TestMove:
+    def test_state_carried_to_target(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory, fields={"total": 5, "customer": "ada"})
+        target = "u2" if source != "u2" else "u3"
+        report = mover.move("order", "hot", target)
+        assert report.moved
+        assert report.fields_carried == 2
+        assert units[target].store.get("order", "hot").fields == {
+            "total": 5, "customer": "ada",
+        }
+
+    def test_directory_updated(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        assert mover.location_of("order", "hot") == target
+
+    def test_source_keeps_tombstoned_audit_copy(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        residue = units[source].store.get("order", "hot")
+        assert residue.deleted  # a mark, not an erasure (2.7)
+        assert residue.fields["total"] == 5
+        tombstones = [
+            event for event in units[source].store.log.for_entity("order", "hot")
+            if "migrated-out" in event.tags
+        ]
+        assert tombstones
+
+    def test_provenance_tags_on_target(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        inserted = units[target].store.log.for_entity("order", "hot")[0]
+        assert "migrated-in" in inserted.tags
+        assert f"from:{source}" in inserted.tags
+
+    def test_move_to_current_location_is_noop(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        report = mover.move("order", "hot", source)
+        assert not report.moved
+        assert report.reason == "already at target"
+        assert mover.moves_completed == 0
+
+    def test_missing_entity_fails_cleanly(self):
+        units, directory, mover = make_world()
+        report = mover.move("order", "ghost", "u2")
+        assert not report.moved
+        assert "not found" in report.reason
+        assert mover.moves_failed == 1
+
+    def test_unknown_target_raises(self):
+        units, directory, mover = make_world()
+        seed_entity(units, directory)
+        with pytest.raises(KeyError):
+            mover.move("order", "hot", "u99")
+
+    def test_locked_entity_not_moved(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        units[source].locks.acquire("order/hot", "busy-user", LockMode.EXCLUSIVE)
+        target = "u2" if source != "u2" else "u3"
+        report = mover.move("order", "hot", target)
+        assert not report.moved
+        assert "locked" in report.reason
+        # Directory unchanged: the entity stays reachable at the source.
+        assert mover.location_of("order", "hot") == source
+
+    def test_lock_released_after_move(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        assert units[source].locks.acquire("order/hot", "someone", LockMode.EXCLUSIVE)
+
+
+class TestRebalance:
+    def test_batch_move(self):
+        units, directory, mover = make_world()
+        keys = []
+        for index in range(6):
+            key = f"k{index}"
+            seed_entity(units, directory, key=key, fields={"n": index})
+            keys.append(key)
+        reports = mover.rebalance_hot_keys("order", keys, "u1")
+        assert all(
+            report.moved or report.reason == "already at target"
+            for report in reports
+        )
+        assert all(mover.location_of("order", key) == "u1" for key in keys)
+
+    def test_moved_entity_writable_at_target(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        from repro.merge.deltas import Delta
+
+        units[target].store.apply_delta("order", "hot", Delta.add("total", 3))
+        assert units[target].store.get("order", "hot").fields["total"] == 8

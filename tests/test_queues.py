@@ -1,0 +1,197 @@
+"""Tests for reliable queues, idempotent receivers and outboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queues.idempotence import IdempotentReceiver
+from repro.queues.message import Message, next_message_id
+from repro.queues.reliable import ReliableQueue
+from repro.queues.transactional import TransactionalOutbox
+from repro.sim.scheduler import Simulator
+
+
+class TestReliableQueue:
+    def test_basic_delivery(self, sim):
+        queue = ReliableQueue(sim)
+        seen = []
+        queue.subscribe("greet", lambda m: seen.append(m.payload) or True)
+        queue.enqueue("greet", {"text": "hi"})
+        sim.run()
+        assert seen == [{"text": "hi"}]
+        assert queue.stats.acked == 1
+
+    def test_delivery_delay(self, sim):
+        queue = ReliableQueue(sim, delivery_delay=5.0)
+        times = []
+        queue.subscribe("t", lambda m: times.append(sim.now) or True)
+        queue.enqueue("t", {})
+        sim.run()
+        assert times == [5.0]
+
+    def test_nack_triggers_redelivery(self, sim):
+        queue = ReliableQueue(sim, redelivery_timeout=2.0)
+        attempts = []
+
+        def handler(message):
+            attempts.append(sim.now)
+            return len(attempts) >= 3  # succeed on third attempt
+
+        queue.subscribe("t", handler)
+        queue.enqueue("t", {})
+        sim.run()
+        assert attempts == [0.0, 2.0, 4.0]
+        assert queue.stats.redelivered == 2
+        assert queue.stats.acked == 1
+
+    def test_exception_counts_as_failure(self, sim):
+        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+
+        def explode(_message):
+            raise RuntimeError("boom")
+
+        queue.subscribe("t", explode)
+        queue.enqueue("t", {})
+        sim.run()
+        assert queue.stats.handler_failures == 2
+        assert queue.stats.dead_lettered == 1
+
+    def test_dead_letter_after_max_attempts(self, sim):
+        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=3)
+        queue.subscribe("t", lambda m: False)
+        message = queue.enqueue("t", {"v": 1})
+        sim.run()
+        assert queue.dead_letters == [message]
+        assert message.attempts == 3
+
+    def test_no_subscriber_means_retry_then_dead_letter(self, sim):
+        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+        queue.enqueue("nobody-listens", {})
+        sim.run()
+        assert queue.stats.dead_lettered == 1
+
+    def test_ack_loss_causes_duplicate_delivery(self):
+        sim = Simulator(seed=3)
+        queue = ReliableQueue(
+            sim, ack_loss_probability=0.5, redelivery_timeout=1.0, max_attempts=30
+        )
+        deliveries = []
+        queue.subscribe("t", lambda m: deliveries.append(m.message_id) or True)
+        for _ in range(30):
+            queue.enqueue("t", {})
+        sim.run()
+        assert len(deliveries) > 30  # at-least-once produced duplicates
+        assert queue.stats.acked == 30  # but everything eventually acked
+
+    def test_all_handlers_must_ack(self, sim):
+        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+        first_calls, second_calls = [], []
+        queue.subscribe("t", lambda m: first_calls.append(1) or True)
+        queue.subscribe("t", lambda m: second_calls.append(1) or False)
+        queue.enqueue("t", {})
+        sim.run()
+        assert queue.stats.dead_lettered == 1
+        assert len(first_calls) == 2  # re-runs on every attempt
+
+    def test_pending_ack_accounting(self, sim):
+        queue = ReliableQueue(sim)
+        queue.subscribe("t", lambda m: True)
+        queue.enqueue("t", {})
+        assert queue.pending_ack == 1
+        sim.run()
+        assert queue.pending_ack == 0
+
+
+class TestIdempotentReceiver:
+    def test_duplicate_message_processed_once(self):
+        calls = []
+        receiver = IdempotentReceiver(lambda m: calls.append(m.message_id) or True)
+        message = Message("m-1", "t")
+        assert receiver(message) and receiver(message)
+        assert calls == ["m-1"]
+        assert receiver.duplicates_skipped == 1
+
+    def test_failed_attempt_not_remembered(self):
+        outcomes = iter([False, True])
+        receiver = IdempotentReceiver(lambda m: next(outcomes))
+        message = Message("m-1", "t")
+        assert not receiver(message)
+        assert receiver(message)  # retried for real
+        assert receiver.processed == 1
+
+    def test_capacity_bound_evicts_oldest(self):
+        receiver = IdempotentReceiver(lambda m: True, capacity=2)
+        for index in range(3):
+            receiver(Message(f"m-{index}", "t"))
+        assert not receiver.has_processed("m-0")
+        assert receiver.has_processed("m-2")
+
+    def test_end_to_end_with_lossy_acks(self):
+        sim = Simulator(seed=5)
+        queue = ReliableQueue(sim, ack_loss_probability=0.4, redelivery_timeout=1.0)
+        effects = []
+        receiver = IdempotentReceiver(lambda m: effects.append(m.payload["n"]) or True)
+        queue.subscribe("t", receiver)
+        for n in range(25):
+            queue.enqueue("t", {"n": n})
+        sim.run()
+        # Exactly-once effect despite at-least-once delivery:
+        assert sorted(effects) == list(range(25))
+
+
+class TestTransactionalOutbox:
+    def test_nothing_published_before_commit(self, sim):
+        queue = ReliableQueue(sim)
+        outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        outbox.enqueue("t", {"v": 1})
+        assert queue.stats.enqueued == 0
+        assert outbox.pending_count == 1
+
+    def test_publish_on_commit(self, sim):
+        queue = ReliableQueue(sim)
+        seen = []
+        queue.subscribe("t", lambda m: seen.append(m.causation_id) or True)
+        outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        outbox.enqueue("t", {"v": 1})
+        assert outbox.publish_on_commit() == 1
+        sim.run()
+        assert seen == ["tx-1"]
+
+    def test_abort_discards_commit_messages(self, sim):
+        queue = ReliableQueue(sim)
+        outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        outbox.enqueue("t", {"v": 1})
+        assert outbox.discard_on_abort() == 0
+        sim.run()
+        assert queue.stats.enqueued == 0
+
+    def test_abort_publishes_compensations(self, sim):
+        queue = ReliableQueue(sim)
+        seen = []
+        queue.subscribe("compensate", lambda m: seen.append(m.payload) or True)
+        outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        outbox.enqueue("t", {"v": 1})
+        outbox.enqueue_on_abort("compensate", {"undo": True})
+        outbox.discard_on_abort()
+        sim.run()
+        assert seen == [{"undo": True}]
+
+    def test_commit_drops_abort_compensations(self, sim):
+        queue = ReliableQueue(sim)
+        outbox = TransactionalOutbox(queue, tx_id="tx-1")
+        outbox.enqueue_on_abort("compensate", {})
+        outbox.publish_on_commit()
+        sim.run()
+        assert queue.stats.enqueued == 0
+
+    def test_outbox_single_use(self, sim):
+        queue = ReliableQueue(sim)
+        outbox = TransactionalOutbox(queue)
+        outbox.publish_on_commit()
+        with pytest.raises(RuntimeError):
+            outbox.enqueue("t", {})
+        with pytest.raises(RuntimeError):
+            outbox.publish_on_commit()
+
+    def test_message_ids_unique(self):
+        assert next_message_id() != next_message_id()

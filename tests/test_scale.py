@@ -1,0 +1,84 @@
+"""Scale sanity: the substrate stays fast enough for the experiments.
+
+Loose wall-clock bounds (10× headroom on a laptop) so genuine
+complexity regressions fail while machine noise does not.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+
+
+def elapsed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class TestScale:
+    def test_hundred_thousand_simulator_events(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 100_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        assert elapsed(sim.run) < 10.0
+        assert counter["n"] == 100_000
+
+    def test_fifty_thousand_store_events_with_incremental_reads(self):
+        store = LSDBStore()
+        for index in range(100):
+            store.insert("acct", f"a{index}", {"bal": 0})
+
+        def load():
+            for index in range(50_000):
+                store.apply_delta(
+                    "acct", f"a{index % 100}", Delta.add("bal", 1)
+                )
+
+        assert elapsed(load) < 10.0
+        # Incremental current-state reads are O(1) afterwards.
+        assert store.get("acct", "a0").fields["bal"] == 500
+
+    def test_network_throughput(self):
+        sim = Simulator()
+        net = Network(sim, latency=1.0)
+
+        class Sink(Node):
+            received = 0
+
+            def handle_message(self, source, message):
+                Sink.received += 1
+
+        sender = net.register(Node("sender"))
+        net.register(Sink("sink"))
+
+        def load():
+            for _ in range(20_000):
+                sender.send("sink", "x")
+            sim.run()
+
+        assert elapsed(load) < 10.0
+        assert Sink.received == 20_000
+
+    def test_compaction_of_large_log(self):
+        store = LSDBStore()
+        store.insert("acct", "a", {"bal": 0})
+        for _ in range(20_000):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+
+        def compact():
+            store.compact(keep_recent=100)
+
+        assert elapsed(compact) < 10.0
+        assert store.live_events <= 102
+        assert store.get("acct", "a").fields["bal"] == 20_000

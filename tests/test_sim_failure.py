@@ -1,0 +1,68 @@
+"""Tests for scripted failure injection."""
+
+from __future__ import annotations
+
+from repro.sim.failure import FailureInjector
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+
+
+def make_world():
+    sim = Simulator()
+    net = Network(sim, latency=1.0)
+    a = net.register(Node("a"))
+    b = net.register(Node("b"))
+    return sim, net, a, b
+
+
+class TestCrashWindows:
+    def test_node_is_down_inside_window_only(self):
+        sim, net, a, _ = make_world()
+        injector = FailureInjector(sim, net)
+        injector.crash_window(a, start=10.0, duration=5.0)
+        sim.run(until=9.0)
+        assert not a.crashed
+        sim.run(until=12.0)
+        assert a.crashed
+        sim.run(until=16.0)
+        assert not a.crashed
+
+    def test_records_capture_the_timeline(self):
+        sim, net, a, _ = make_world()
+        injector = FailureInjector(sim, net)
+        injector.crash_window(a, start=2.0, duration=3.0)
+        sim.run()
+        kinds = [(record.time, record.kind) for record in injector.records]
+        assert kinds == [(2.0, "crash"), (5.0, "recover")]
+
+    def test_multiple_windows_for_different_nodes(self):
+        sim, net, a, b = make_world()
+        injector = FailureInjector(sim, net)
+        injector.crash_window(a, start=1.0, duration=2.0)
+        injector.crash_window(b, start=2.0, duration=2.0)
+        sim.run(until=2.5)
+        assert a.crashed and b.crashed
+        sim.run()
+        assert not a.crashed and not b.crashed
+
+
+class TestPartitionWindows:
+    def test_partition_active_only_inside_window(self):
+        sim, net, _, _ = make_world()
+        injector = FailureInjector(sim, net)
+        injector.partition_window([["a"], ["b"]], start=5.0, duration=10.0)
+        sim.run(until=4.0)
+        assert not net.is_partitioned("a", "b")
+        sim.run(until=7.0)
+        assert net.is_partitioned("a", "b")
+        sim.run(until=20.0)
+        assert not net.is_partitioned("a", "b")
+
+    def test_partition_record_names_groups(self):
+        sim, net, _, _ = make_world()
+        injector = FailureInjector(sim, net)
+        injector.partition_window([["a"], ["b"]], start=1.0, duration=1.0)
+        sim.run()
+        partition_records = [r for r in injector.records if r.kind == "partition"]
+        assert partition_records[0].detail == "a | b"
+        assert any(record.kind == "heal" for record in injector.records)

@@ -1,0 +1,87 @@
+"""Tests for seeded random variates and the Zipf generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import SeededRNG, ZipfGenerator, poisson_arrivals
+
+
+class TestSeededRNG:
+    def test_same_seed_reproduces_stream(self):
+        a = SeededRNG(11)
+        b = SeededRNG(11)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_diverge(self):
+        assert SeededRNG(1).random() != SeededRNG(2).random()
+
+    def test_exponential_mean_is_approximate(self):
+        rng = SeededRNG(5)
+        samples = [rng.exponential(4.0) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 3.5 < mean < 4.5
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SeededRNG(1).exponential(0)
+
+    def test_coin_probability_extremes(self):
+        rng = SeededRNG(1)
+        assert not any(rng.coin(0.0) for _ in range(100))
+        assert all(rng.coin(1.0) for _ in range(100))
+
+    def test_randint_bounds_inclusive(self):
+        rng = SeededRNG(9)
+        draws = {rng.randint(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_sample_without_replacement(self):
+        rng = SeededRNG(2)
+        picked = rng.sample(list(range(10)), 4)
+        assert len(picked) == len(set(picked)) == 4
+
+
+class TestZipf:
+    def test_draws_stay_in_range(self):
+        zipf = ZipfGenerator(SeededRNG(3), n=10, theta=0.99)
+        assert all(0 <= draw < 10 for draw in zipf.draw_many(500))
+
+    def test_theta_zero_is_roughly_uniform(self):
+        zipf = ZipfGenerator(SeededRNG(4), n=4, theta=0.0)
+        counts = [0] * 4
+        for draw in zipf.draw_many(8000):
+            counts[draw] += 1
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_high_theta_concentrates_on_low_indices(self):
+        zipf = ZipfGenerator(SeededRNG(5), n=100, theta=1.2)
+        draws = zipf.draw_many(2000)
+        hot_fraction = sum(1 for draw in draws if draw < 10) / len(draws)
+        assert hot_fraction > 0.6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(SeededRNG(1), n=0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(SeededRNG(1), n=5, theta=-0.1)
+
+
+class TestPoissonArrivals:
+    def test_arrivals_sorted_and_within_window(self):
+        times = poisson_arrivals(SeededRNG(6), rate=2.0, duration=50.0, start=10.0)
+        assert times == sorted(times)
+        assert all(10.0 <= at < 60.0 for at in times)
+
+    def test_rate_controls_count(self):
+        sparse = poisson_arrivals(SeededRNG(7), rate=0.5, duration=200.0)
+        dense = poisson_arrivals(SeededRNG(7), rate=5.0, duration=200.0)
+        assert len(dense) > 4 * len(sparse)
+
+    def test_limit_caps_arrivals(self):
+        times = poisson_arrivals(SeededRNG(8), rate=10.0, duration=1000.0, limit=25)
+        assert len(times) == 25
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(SeededRNG(1), rate=0.0, duration=1.0)

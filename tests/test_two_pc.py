@@ -1,0 +1,105 @@
+"""Tests for the two-phase commit baseline."""
+
+from __future__ import annotations
+
+from repro.locks.two_pc import TwoPCCoordinator, TwoPCParticipant
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+def make_world(latency=5.0, participant_count=2, vote=None, vote_timeout=100.0):
+    sim = Simulator()
+    net = Network(sim, latency=latency)
+    coordinator = net.register(TwoPCCoordinator("coord", vote_timeout=vote_timeout))
+    participants = []
+    for index in range(participant_count):
+        can_commit = vote[index] if vote else (lambda _tx: True)
+        participants.append(
+            net.register(TwoPCParticipant(f"p{index}", can_commit=can_commit))
+        )
+    return sim, net, coordinator, participants
+
+
+class TestHappyPath:
+    def test_unanimous_yes_commits(self):
+        sim, _, coordinator, participants = make_world()
+        results = []
+        coordinator.begin("tx1", ["p0", "p1"], on_complete=results.append)
+        sim.run()
+        assert results[0].decision == "commit"
+        assert all(p.committed == ["tx1"] for p in participants)
+
+    def test_commit_takes_two_round_trips(self):
+        sim, _, coordinator, _ = make_world(latency=5.0)
+        results = []
+        coordinator.begin("tx1", ["p0", "p1"], on_complete=results.append)
+        sim.run()
+        # prepare(5) + vote(5) + commit(5) + ack(5) = 20
+        assert results[0].total_latency == 20.0
+        assert results[0].decision_latency == 10.0
+
+    def test_on_commit_callbacks_applied(self):
+        sim, net, coordinator, _ = make_world(participant_count=1)
+        applied = []
+        participant = net.nodes["p0"]
+        participant.on_commit = applied.append
+        coordinator.begin("tx1", ["p0"])
+        sim.run()
+        assert applied == ["tx1"]
+
+    def test_multiple_sequential_transactions(self):
+        sim, _, coordinator, _ = make_world()
+        coordinator.begin("tx1", ["p0", "p1"])
+        sim.run()
+        coordinator.begin("tx2", ["p0", "p1"])
+        sim.run()
+        assert [r.tx_id for r in coordinator.results] == ["tx1", "tx2"]
+
+
+class TestAbortPaths:
+    def test_single_no_vote_aborts_everyone(self):
+        sim, _, coordinator, participants = make_world(
+            vote=[lambda _tx: True, lambda _tx: False]
+        )
+        results = []
+        coordinator.begin("tx1", ["p0", "p1"], on_complete=results.append)
+        sim.run()
+        assert results[0].decision == "abort"
+        assert all("tx1" in p.aborted for p in participants)
+
+    def test_on_abort_callbacks_run(self):
+        sim, net, coordinator, _ = make_world(
+            participant_count=1, vote=[lambda _tx: False]
+        )
+        rolled_back = []
+        net.nodes["p0"].on_abort = rolled_back.append
+        coordinator.begin("tx1", ["p0"])
+        sim.run()
+        assert rolled_back == ["tx1"]
+
+    def test_vote_timeout_aborts(self):
+        sim, net, coordinator, _ = make_world(vote_timeout=30.0)
+        net.nodes["p1"].crash()  # never votes
+        coordinator.begin("tx1", ["p0", "p1"])
+        sim.run(until=200.0)
+        # Decision was abort; p0 heard it, p1 never acked (crashed), so
+        # the round stays in flight (blocking behaviour is real).
+        assert "tx1" in net.nodes["p0"].aborted
+        assert coordinator.in_flight == 1
+
+
+class TestBlocking:
+    def test_prepared_participant_blocks_under_partition(self):
+        sim, net, coordinator, participants = make_world(latency=5.0)
+        coordinator.begin("tx1", ["p0", "p1"])
+        # Partition right after votes leave: participants are in doubt.
+        sim.run(until=10.0)
+        net.partition_into({"coord"}, {"p0", "p1"})
+        sim.run(until=500.0)
+        assert all("tx1" in p.in_doubt for p in participants)
+
+    def test_blocked_time_accounted_on_late_decision(self):
+        sim, net, coordinator, participants = make_world(latency=5.0)
+        coordinator.begin("tx1", ["p0", "p1"])
+        sim.run()
+        assert all(p.blocked_time_total == 10.0 for p in participants)
