@@ -1,0 +1,122 @@
+"""Perf gate: fail loudly when a hot path regresses.
+
+Two modes over the committed trajectory file ``BENCH_core_hotpaths.json``
+at the repo root:
+
+* **check** (default): validate the recorded before/after numbers — the
+  optimization claims this repo ships must hold in the artefact itself
+  (≥ ``--min-speedup`` on at least ``--min-wins`` of the key hot-path
+  metrics).
+* **--rerun**: re-run the microbenchmarks now (``--quick`` sizes by
+  default) and compare against the recorded *after* numbers; a live
+  throughput below ``--tolerance`` × recorded is a regression.  Use in
+  CI on hardware comparable to the recording machine, or locally before
+  committing changes to ``sim/``/``lsdb/``.
+
+Exit code 0 means the gate passed; 1 means a regression / broken claim.
+
+Usage::
+
+    python benchmarks/perf_gate.py
+    python benchmarks/perf_gate.py --rerun --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY = ROOT / "BENCH_core_hotpaths.json"
+
+#: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
+#: >= 3x on at least two of these).
+KEY_METRICS = (
+    "fold_throughput_eps",
+    "feed_events_from_origin_ops",
+    "scheduler_eps_largest",
+)
+
+
+def load_trajectory() -> dict:
+    if not TRAJECTORY.exists():
+        print(f"perf gate: missing {TRAJECTORY}", file=sys.stderr)
+        raise SystemExit(1)
+    return json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+
+
+def check_claims(data: dict, min_speedup: float, min_wins: int) -> bool:
+    """Validate the recorded speedup claims."""
+    speedup = data.get("speedup", {})
+    wins = 0
+    print(f"perf gate: recorded speedups (claim: >= {min_speedup:g}x on "
+          f">= {min_wins} of {len(KEY_METRICS)} key metrics)")
+    for metric in KEY_METRICS:
+        factor = speedup.get(metric)
+        verdict = "missing"
+        if factor is not None:
+            verdict = f"{factor:g}x " + ("PASS" if factor >= min_speedup else "below")
+            if factor >= min_speedup:
+                wins += 1
+        print(f"  {metric:32s} {verdict}")
+    ok = wins >= min_wins
+    print(f"perf gate: {wins}/{len(KEY_METRICS)} key metrics at or above "
+          f"{min_speedup:g}x -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def check_live(data: dict, tolerance: float, quick: bool) -> bool:
+    """Re-run the bench and compare against the recorded after-numbers."""
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    from bench_core_hotpaths import collect
+
+    recorded = data.get("after", {})
+    live_raw = collect(quick=quick)
+    live: dict[str, float] = {}
+    for key, value in live_raw.items():
+        if isinstance(value, dict):
+            live.update({f"{key}_{size}": v for size, v in value.items()})
+        elif not key.startswith("_"):
+            live[key] = value
+
+    ok = True
+    print(f"perf gate: live rerun vs recorded (tolerance {tolerance:g}x, "
+          f"{'quick' if quick else 'full'} sizes)")
+    for metric in KEY_METRICS:
+        have, want = live.get(metric), recorded.get(metric)
+        if have is None or want is None:
+            print(f"  {metric:32s} skipped (not measured at these sizes)")
+            continue
+        ratio = have / want
+        passed = ratio >= tolerance
+        ok = ok and passed
+        print(f"  {metric:32s} {have:14.0f} vs {want:14.0f} "
+              f"({ratio:5.2f}x) {'PASS' if passed else 'REGRESSION'}")
+    print(f"perf gate: live comparison -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rerun", action="store_true",
+                        help="re-run the bench and compare to the recording")
+    parser.add_argument("--full", action="store_true",
+                        help="with --rerun: use full (non-quick) sizes")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="with --rerun: min live/recorded ratio (hardware "
+                             "varies; default 0.25)")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-wins", type=int, default=2)
+    args = parser.parse_args()
+
+    data = load_trajectory()
+    ok = check_claims(data, args.min_speedup, args.min_wins)
+    if args.rerun:
+        ok = check_live(data, args.tolerance, quick=not args.full) and ok
+    raise SystemExit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

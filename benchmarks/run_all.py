@@ -4,20 +4,26 @@ This is the script that regenerates the tables recorded in
 EXPERIMENTS.md::
 
     python benchmarks/run_all.py
+    python benchmarks/run_all.py --json-out experiments.json
 
 Each experiment module also runs standalone
 (``python benchmarks/bench_eNN_*.py``) and as a pytest-benchmark target
-(``pytest benchmarks/ --benchmark-only``).
+(``pytest benchmarks/ --benchmark-only``).  With ``--json-out`` the
+reports are additionally written as machine-readable JSON, so CI and
+trend tooling can diff results across commits.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
 import pathlib
 import sys
 import time
 
 EXPERIMENTS = [
+    "bench_core_hotpaths",
     "bench_e01_availability",
     "bench_e02_deferred_updates",
     "bench_e03_soups_vs_2pc",
@@ -38,12 +44,27 @@ EXPERIMENTS = [
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json-out", type=str, default="", metavar="PATH",
+        help="also write every report as machine-readable JSON to PATH",
+    )
+    args = parser.parse_args()
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
     started = time.perf_counter()
+    reports = []
     for name in EXPERIMENTS:
         module = importlib.import_module(name)
-        module.sweep().print()
+        report = module.sweep()
+        report.print()
+        reports.append(report.to_dict())
     elapsed = time.perf_counter() - started
+    if args.json_out:
+        payload = {"elapsed_seconds": elapsed, "experiments": reports}
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     print(f"(all {len(EXPERIMENTS)} experiment sweeps completed in "
           f"{elapsed:.1f}s wall-clock)")
 

@@ -56,6 +56,17 @@ class ExperimentReport:
         """Append one sweep row."""
         self.rows.append(list(cells))
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly representation (``run_all.py --json-out``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
     def render(self) -> str:
         """The printable report."""
         parts = [

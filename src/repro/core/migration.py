@@ -288,9 +288,20 @@ class MigratingReducer:
         self.inner = inner or GenericReducer()
 
     def apply(self, state: Optional[EntityState], event: LogEvent) -> EntityState:
+        return self.inner.apply(state, self._translate(event))
+
+    def fold(self, state: Optional[EntityState], event: LogEvent) -> EntityState:
+        """In-place fold (see :class:`~repro.lsdb.rollup.Reducer`):
+        upcasting happens per event either way, so the wrapper passes
+        the mutation permission straight through to the inner reducer
+        when it supports it."""
+        inner_fold = getattr(self.inner, "fold", self.inner.apply)
+        return inner_fold(state, self._translate(event))
+
+    def _translate(self, event: LogEvent) -> LogEvent:
         current = self.manager.catalog.get(event.entity_type).schema_version
         if event.schema_version >= current or not event.payload:
-            return self.inner.apply(state, event)
+            return event
         upcasted = self.manager.upcast_payload(
             event.entity_type, event.payload, event.schema_version
         )
@@ -307,7 +318,7 @@ class MigratingReducer:
             schema_version=current,
             tags=event.tags,
         )
-        return self.inner.apply(state, translated)
+        return translated
 
 
 @dataclass

@@ -35,21 +35,27 @@ class Archive:
 
     def __init__(self):
         self._records: list[dict[str, Any]] = []
+        #: (entity_type, entity_key) -> record positions, so the audit
+        #: view is O(entity history), not O(archive).
+        self._by_ref: dict[tuple[str, str], list[int]] = {}
 
     def store(self, events: list[LogEvent]) -> None:
         """Append raw events to the archive."""
-        self._records.extend(event.to_dict() for event in events)
+        records = self._records
+        by_ref = self._by_ref
+        for event in events:
+            by_ref.setdefault(event.entity_ref, []).append(len(records))
+            records.append(event.to_dict())
 
     def __len__(self) -> int:
         return len(self._records)
 
     def events_for(self, entity_type: str, entity_key: str) -> list[LogEvent]:
         """The archived history of one entity (regulatory audit view)."""
+        records = self._records
         return [
-            LogEvent.from_dict(record)
-            for record in self._records
-            if record["entity_type"] == entity_type
-            and record["entity_key"] == entity_key
+            LogEvent.from_dict(records[position])
+            for position in self._by_ref.get((entity_type, entity_key), ())
         ]
 
     def regulatory_events(self) -> list[LogEvent]:

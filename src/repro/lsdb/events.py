@@ -83,20 +83,16 @@ class LogEvent:
     tags: frozenset[str] = frozenset()
 
     def with_lsn(self, lsn: int) -> "LogEvent":
-        """A copy with the log-assigned sequence number."""
-        return LogEvent(
-            lsn=lsn,
-            timestamp=self.timestamp,
-            entity_type=self.entity_type,
-            entity_key=self.entity_key,
-            kind=self.kind,
-            payload=self.payload,
-            origin=self.origin,
-            origin_seq=self.origin_seq,
-            tx_id=self.tx_id,
-            schema_version=self.schema_version,
-            tags=self.tags,
-        )
+        """A copy with the log-assigned sequence number.
+
+        Built by cloning the instance dict rather than re-running the
+        dataclass ``__init__`` — this runs once per append, and the
+        constructor is the single most expensive step on that path.
+        """
+        clone = object.__new__(LogEvent)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__["lsn"] = lsn
+        return clone
 
     @property
     def identity(self) -> tuple[str, int]:

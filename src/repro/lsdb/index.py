@@ -60,14 +60,16 @@ class SecondaryIndex:
             The number of events applied.
         """
         target = self.log.head_lsn if up_to_lsn is None else up_to_lsn
-        applied = 0
-        for event in self.log.since(self.applied_lsn):
-            if event.lsn > target:
-                break
-            if event.entity_type == self.entity_type:
-                self._apply(event)
-            self.applied_lsn = event.lsn
-            applied += 1
+        applied = self.log.count_between(self.applied_lsn, target)
+        if applied == 0:
+            return 0
+        # Only this type's events need folding; the typed feed skips the
+        # rest instead of filtering the whole suffix event by event.
+        for event in self.log.for_type_since(
+            self.entity_type, self.applied_lsn, target
+        ):
+            self._apply(event)
+        self.applied_lsn = self.log.last_lsn_at_or_below(target)
         return applied
 
     def _apply(self, event) -> None:
@@ -75,7 +77,9 @@ class SecondaryIndex:
         old_state = self._states.get(ref)
         old_value = old_state.get(self.field_name) if old_state else None
         old_live = old_state.live if old_state else False
-        new_state = self.rollup.reducer_for(self.entity_type).apply(old_state, event)
+        # The index exclusively owns its state map, so the in-place fold
+        # path is safe (old value/liveness are captured above).
+        new_state = self.rollup.folder_for(self.entity_type)(old_state, event)
         self._states[ref] = new_state
         new_value = new_state.get(self.field_name)
         new_live = new_state.live

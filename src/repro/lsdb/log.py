@@ -15,6 +15,7 @@ functionality" of principle 2.7.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.errors import ReproError
@@ -29,6 +30,13 @@ class AppendOnlyLog:
     "events since LSN x" remains meaningful to subscribers after a
     compaction.
 
+    Feeds are indexed: a parallel LSN array (with an arithmetic fast
+    path while the live log is contiguous) makes :meth:`since` /
+    :meth:`up_to` O(log n + result), and per-entity / per-type indexes
+    make :meth:`for_entity` and :meth:`for_type_since` O(result).  The
+    indexes are maintained on append (O(1) amortised) and rebuilt on the
+    rare prefix rewrite, whose cost compaction already pays.
+
     Args:
         name: Diagnostic name (usually the owning serialization unit).
     """
@@ -36,6 +44,14 @@ class AppendOnlyLog:
     def __init__(self, name: str = "log"):
         self.name = name
         self._events: list[LogEvent] = []
+        #: Parallel array of ``event.lsn`` for O(log n) position lookup.
+        self._lsns: list[int] = []
+        #: True while ``lsn[i] == lsn[0] + i`` for every live event
+        #: (always true until the first compaction leaves holes).
+        self._contiguous = True
+        self._by_entity: dict[tuple[str, str], list[LogEvent]] = {}
+        #: entity type -> (events, parallel lsns) in LSN order.
+        self._by_type: dict[str, tuple[list[LogEvent], list[int]]] = {}
         self._next_lsn = 1
         self._subscribers: list[Callable[[LogEvent], None]] = []
 
@@ -51,10 +67,39 @@ class AppendOnlyLog:
         """
         stored = event.with_lsn(self._next_lsn)
         self._next_lsn += 1
+        lsns = self._lsns
+        if not lsns:
+            self._contiguous = True
+        elif self._contiguous and stored.lsn != lsns[-1] + 1:
+            self._contiguous = False
         self._events.append(stored)
+        lsns.append(stored.lsn)
+        self._index_event(stored)
         for subscriber in self._subscribers:
             subscriber(stored)
         return stored
+
+    def _index_event(self, stored: LogEvent) -> None:
+        self._by_entity.setdefault(stored.entity_ref, []).append(stored)
+        entry = self._by_type.get(stored.entity_type)
+        if entry is None:
+            self._by_type[stored.entity_type] = ([stored], [stored.lsn])
+        else:
+            entry[0].append(stored)
+            entry[1].append(stored.lsn)
+
+    def _rebuild_indexes(self) -> None:
+        """Recompute all derived structures from ``self._events``
+        (called after a prefix rewrite)."""
+        self._lsns = [event.lsn for event in self._events]
+        self._contiguous = (
+            not self._lsns
+            or self._lsns[-1] - self._lsns[0] + 1 == len(self._lsns)
+        )
+        self._by_entity = {}
+        self._by_type = {}
+        for event in self._events:
+            self._index_event(event)
 
     def subscribe(self, callback: Callable[[LogEvent], None]) -> None:
         """Invoke ``callback`` synchronously for every future append.
@@ -71,13 +116,13 @@ class AppendOnlyLog:
     @property
     def head_lsn(self) -> int:
         """LSN of the most recent event (0 if the log is empty)."""
-        return self._events[-1].lsn if self._events else 0
+        return self._lsns[-1] if self._lsns else 0
 
     @property
     def tail_lsn(self) -> int:
         """LSN of the oldest *live* event (0 if empty); events below
         this were compacted away."""
-        return self._events[0].lsn if self._events else 0
+        return self._lsns[0] if self._lsns else 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -94,8 +139,9 @@ class AppendOnlyLog:
 
         This is the replication/catch-up primitive: a subscriber that has
         applied up to ``lsn`` calls ``since(lsn)`` to fetch its backlog.
+        O(log n + result) — O(result) while the log is uncompacted.
         """
-        if not self._events or lsn >= self._events[-1].lsn:
+        if not self._events or lsn >= self._lsns[-1]:
             return []
         low = self._bisect_gt(lsn)
         return self._events[low:]
@@ -105,24 +151,63 @@ class AppendOnlyLog:
         high = self._bisect_gt(lsn)
         return self._events[:high]
 
+    def between(self, after_lsn: int, up_to_lsn: int) -> list[LogEvent]:
+        """Events with ``after_lsn < LSN <= up_to_lsn`` (the bounded
+        catch-up feed snapshot replay uses)."""
+        return self._events[self._bisect_gt(after_lsn):self._bisect_gt(up_to_lsn)]
+
+    def count_between(self, after_lsn: int, up_to_lsn: int) -> int:
+        """How many live events fall in ``(after_lsn, up_to_lsn]``,
+        without materialising them."""
+        return max(0, self._bisect_gt(up_to_lsn) - self._bisect_gt(after_lsn))
+
+    def last_lsn_at_or_below(self, lsn: int) -> int:
+        """The largest live LSN <= ``lsn`` (0 if none)."""
+        high = self._bisect_gt(lsn)
+        return self._lsns[high - 1] if high else 0
+
     def for_entity(self, entity_type: str, entity_key: str) -> list[LogEvent]:
         """The full live history of one entity, in LSN order.
 
         This is the audit/history view principle 2.7 calls for ("past
         descriptions are available"), e.g. tracing which operations drove
-        inventory negative (principle 2.1).
+        inventory negative (principle 2.1).  Served from the per-entity
+        index: O(result), not O(log).
         """
-        return [
-            event
-            for event in self._events
-            if event.entity_type == entity_type and event.entity_key == entity_key
-        ]
+        return list(self._by_entity.get((entity_type, entity_key), ()))
+
+    def for_type_since(
+        self,
+        entity_type: str,
+        lsn: int,
+        up_to_lsn: Optional[int] = None,
+    ) -> list[LogEvent]:
+        """Events of one entity type with ``lsn < LSN <= up_to_lsn``
+        (``up_to_lsn=None`` means the head), in LSN order.
+
+        Secondary-index refresh catches up from this feed so its cost
+        scales with the matching events, not with the whole suffix.
+        """
+        entry = self._by_type.get(entity_type)
+        if entry is None:
+            return []
+        events, lsns = entry
+        low = bisect_right(lsns, lsn)
+        high = len(events) if up_to_lsn is None else bisect_right(lsns, up_to_lsn)
+        return events[low:high]
 
     def _bisect_gt(self, lsn: int) -> int:
         """Index of the first event with LSN > ``lsn``."""
-        import bisect
-
-        return bisect.bisect_right([event.lsn for event in self._events], lsn)
+        lsns = self._lsns
+        if not lsns:
+            return 0
+        if self._contiguous:
+            # Live LSNs are first, first+1, ..., so the position is
+            # pure arithmetic — no search at all.
+            if lsn < lsns[0]:
+                return 0
+            return min(len(lsns), lsn - lsns[0] + 1)
+        return bisect_right(lsns, lsn)
 
     # ------------------------------------------------------------------ #
     # Compaction support
@@ -157,6 +242,7 @@ class AppendOnlyLog:
                 )
             previous = event.lsn
         self._events = replacement_list + self._events[cut:]
+        self._rebuild_indexes()
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -16,10 +16,9 @@ that apply the same event *set* in different orders reach the same state
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional, Protocol
+from typing import Any, Callable, Iterable, Mapping, Optional, Protocol
 
 from repro.lsdb.events import EventKind, LogEvent
-from repro.merge.deltas import Delta, apply_delta
 
 
 @dataclass
@@ -88,11 +87,18 @@ class Reducer(Protocol):
     an account whose ``balance`` field is the sum of deposit/withdrawal
     operations); register them per type on the
     :class:`~repro.lsdb.store.LSDBStore`.
+
+    ``apply`` must never mutate its input (copy-on-write semantics).  A
+    reducer may additionally provide ``fold(state, event)`` with the
+    same signature that is *allowed* to mutate ``state`` in place and
+    return it; the rollup uses that path for states it owns exclusively
+    (the store's incremental cache), skipping the per-event copy.
     """
 
     def apply(self, state: Optional[EntityState], event: LogEvent) -> EntityState:
         """Return the state after folding ``event`` into ``state``
-        (``state is None`` means the entity has no prior events)."""
+        (``state is None`` means the entity has no prior events).
+        The input ``state`` must not be mutated."""
         ...
 
 
@@ -114,17 +120,41 @@ class GenericReducer:
     """
 
     def apply(self, state: Optional[EntityState], event: LogEvent) -> EntityState:
+        """Copying fold: the input state is left untouched (used where
+        states are shared — snapshots, time-travel reads)."""
+        return self.fold(state.copy() if state is not None else None, event)
+
+    def fold(self, state: Optional[EntityState], event: LogEvent) -> EntityState:
+        """In-place fold: mutates and returns ``state`` (creating it for
+        the entity's first event).  This is the append hot path — the
+        store-owned incremental cache folds every event exactly once, so
+        no copy is needed."""
         if state is None:
             state = EntityState(event.entity_type, event.entity_key)
-        else:
-            state = state.copy()
         kind = event.kind
         if kind is EventKind.INSERT:
             state.fields.update(event.payload)
             state.version_count += 1
         elif kind is EventKind.DELTA:
-            delta = Delta.from_payload(event.payload)
-            state.fields = apply_delta(state.fields, delta)
+            # Deltas are applied straight from the payload, in place:
+            # materialising a Delta object and copying the field dict
+            # per event would dominate the fold cost.
+            fields = state.fields
+            payload = event.payload
+            numeric = payload.get("numeric")
+            if numeric:
+                for name, amount in numeric.items():
+                    fields[name] = fields.get(name, 0) + amount
+            set_adds = payload.get("set_adds")
+            if set_adds:
+                for name, additions in set_adds.items():
+                    current = fields.get(name, frozenset())
+                    fields[name] = frozenset(current) | frozenset(additions)
+            set_removes = payload.get("set_removes")
+            if set_removes:
+                for name, removals in set_removes.items():
+                    current = fields.get(name, frozenset())
+                    fields[name] = frozenset(current) - frozenset(removals)
         elif kind is EventKind.SET_FIELDS:
             stamp = (event.timestamp, event.origin)
             for name, value in event.payload.items():
@@ -155,6 +185,25 @@ EntityRef = tuple[str, str]
 StateMap = dict[EntityRef, EntityState]
 
 
+def _resolve_folder(reducer: Reducer):
+    """The fastest fold callable a reducer offers.
+
+    ``fold`` is only trusted when the class defining it is at least as
+    derived as the class defining ``apply`` — a subclass that overrides
+    ``apply`` alone (e.g. to decorate the generic behaviour) must not be
+    bypassed by an inherited in-place ``fold``.
+    """
+    cls = type(reducer)
+    mro = cls.__mro__
+    fold_owner = next((c for c in mro if "fold" in c.__dict__), None)
+    if fold_owner is None:
+        return reducer.apply
+    apply_owner = next((c for c in mro if "apply" in c.__dict__), None)
+    if apply_owner is not None and mro.index(apply_owner) < mro.index(fold_owner):
+        return reducer.apply
+    return reducer.fold
+
+
 class Rollup:
     """Folds event sequences into state maps using per-type reducers.
 
@@ -172,37 +221,79 @@ class Rollup:
     ):
         self._reducers: dict[str, Reducer] = dict(reducers or {})
         self._default = default_reducer or GenericReducer()
+        #: entity type -> fastest folding callable (the reducer's
+        #: in-place ``fold`` when it has one, else its copying ``apply``)
+        self._folders: dict[str, Callable[[Optional[EntityState], LogEvent], EntityState]] = {}
 
     def register(self, entity_type: str, reducer: Reducer) -> None:
         """Attach a custom reducer for ``entity_type``."""
         self._reducers[entity_type] = reducer
+        self._folders.clear()
 
     def reducer_for(self, entity_type: str) -> Reducer:
         """The reducer used for ``entity_type``."""
         return self._reducers.get(entity_type, self._default)
 
+    def folder_for(
+        self, entity_type: str
+    ) -> Callable[[Optional[EntityState], LogEvent], EntityState]:
+        """The fastest fold callable for ``entity_type``: the reducer's
+        in-place ``fold`` when it provides one, else its copying
+        ``apply``.  Only safe on states the caller owns exclusively."""
+        folder = self._folders.get(entity_type)
+        if folder is None:
+            reducer = self._reducers.get(entity_type, self._default)
+            folder = _resolve_folder(reducer)
+            self._folders[entity_type] = folder
+        return folder
+
     def fold(
         self,
         events: Iterable[LogEvent],
         initial: StateMap | None = None,
+        *,
+        copy_untouched: bool = False,
     ) -> StateMap:
         """Fold ``events`` (in the given order) over ``initial``.
 
-        The initial map is not mutated; entity states are copied on first
-        touch so snapshots can be shared safely.
+        The initial map is not mutated; entity states are copied on
+        first touch so snapshots can be shared safely.  Entities *not*
+        touched by ``events`` remain shared with ``initial`` (exactly as
+        before: ``dict(initial)`` shares values) unless
+        ``copy_untouched=True``, which yields a fully isolated result
+        map at the cost of one copy per untouched entity.
         """
-        states: StateMap = dict(initial or {})
+        folder_for = self.folder_for
+        if initial:
+            states: StateMap = dict(initial)
+            # Refs whose state object is still shared with ``initial``;
+            # the first event touching one folds over a private copy.
+            shared = set(states)
+            for event in events:
+                ref = event.entity_ref
+                state = states.get(ref)
+                if state is not None and ref in shared:
+                    state = state.copy()
+                    shared.discard(ref)
+                states[ref] = folder_for(event.entity_type)(state, event)
+            if copy_untouched:
+                for ref in shared:
+                    states[ref] = states[ref].copy()
+            return states
+        # No initial map: every state is freshly created by the fold and
+        # owned by the result, so the in-place path is safe throughout.
+        states = {}
         for event in events:
             ref = event.entity_ref
-            states[ref] = self.reducer_for(event.entity_type).apply(
-                states.get(ref), event
-            )
+            states[ref] = folder_for(event.entity_type)(states.get(ref), event)
         return states
 
     def fold_into(self, states: StateMap, event: LogEvent) -> None:
         """Fold one event into ``states`` in place (incremental cache
-        maintenance on the append path)."""
+        maintenance on the append path).
+
+        The caller must own ``states`` and every state in it — the
+        in-place reducer path mutates them without copying.
+        """
         ref = event.entity_ref
-        states[ref] = self.reducer_for(event.entity_type).apply(
-            states.get(ref), event
-        )
+        states[ref] = self.folder_for(event.entity_type)(states.get(ref), event)

@@ -70,14 +70,16 @@ class SnapshotManager:
 
         The fold starts from the previous snapshot (if any), so the cost
         of snapshotting is proportional to the events since the last
-        snapshot, not to the whole log.
+        snapshot, not to the whole log.  States untouched since the
+        previous snapshot are *shared* with it (both are frozen), so a
+        snapshot costs O(suffix), not O(entities).
         """
         previous = self.latest()
         if previous is None:
             states = self.rollup.fold(self.log.events())
         else:
             states = self.rollup.fold(
-                self.log.since(previous.lsn), initial=previous.copy_states()
+                self.log.since(previous.lsn), initial=previous.states
             )
         snapshot = Snapshot(lsn=self.log.head_lsn, states=states)
         self._snapshots.append(snapshot)
@@ -109,10 +111,11 @@ class SnapshotManager:
         base = self.latest_at_or_below(target)
         if base is None:
             return self.rollup.fold(self.log.up_to(target))
-        suffix = [
-            event for event in self.log.since(base.lsn) if event.lsn <= target
-        ]
-        return self.rollup.fold(suffix, initial=base.copy_states())
+        suffix = self.log.between(base.lsn, target)
+        # ``copy_untouched`` keeps the returned map fully isolated from
+        # the stored snapshot (callers may mutate what they read) while
+        # copying each entity exactly once.
+        return self.rollup.fold(suffix, initial=base.states, copy_untouched=True)
 
     @property
     def count(self) -> int:

@@ -16,6 +16,7 @@ ties together the pieces of paper section 3.1:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import EntityNotFound
@@ -67,7 +68,13 @@ class LSDBStore:
         self.compactor = Compactor(self.log, self.rollup, self.archive)
         self.version_vector = VersionVector()
         self._origin_seq = 0
+        #: origin -> events in origin-sequence order, with a parallel
+        #: seq array so catch-up feeds bisect instead of scanning.
         self._by_origin: dict[str, list[LogEvent]] = {}
+        self._by_origin_seqs: dict[str, list[int]] = {}
+        #: entity type -> refs in first-event order (entities are never
+        #: physically removed, so this only grows).
+        self._type_refs: dict[str, list[tuple[str, str]]] = {}
         self._reorder_buffer: dict[str, dict[int, LogEvent]] = {}
         self._indexes: dict[tuple[str, str], SecondaryIndex] = {}
         self.duplicates_rejected = 0
@@ -245,10 +252,30 @@ class LSDBStore:
     # ------------------------------------------------------------------ #
 
     def _on_append(self, event: LogEvent) -> None:
-        self.rollup.fold_into(self._states, event)
+        states = self._states
+        ref = event.entity_ref
+        if ref not in states:
+            self._type_refs.setdefault(event.entity_type, []).append(ref)
+        self.rollup.fold_into(states, event)
         if event.origin_seq:
             self.version_vector.record(event.origin, event.origin_seq)
-        self._by_origin.setdefault(event.origin, []).append(event)
+        origin = event.origin
+        events = self._by_origin.get(origin)
+        if events is None:
+            self._by_origin[origin] = [event]
+            self._by_origin_seqs[origin] = [event.origin_seq]
+            return
+        seqs = self._by_origin_seqs[origin]
+        if event.origin_seq >= seqs[-1]:
+            events.append(event)
+            seqs.append(event.origin_seq)
+        else:
+            # Out-of-sequence arrival (only possible for events injected
+            # outside the replication protocol): keep the feed sorted so
+            # bisect stays correct.
+            position = bisect_right(seqs, event.origin_seq)
+            seqs.insert(position, event.origin_seq)
+            events.insert(position, event)
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -272,11 +299,14 @@ class LSDBStore:
         return {ref: state.copy() for ref, state in self._states.items()}
 
     def entities_of_type(self, entity_type: str, live_only: bool = True) -> list[EntityState]:
-        """All entities of a type (optionally excluding deleted/obsolete)."""
+        """All entities of a type (optionally excluding deleted/obsolete).
+        Served from the per-type ref index: O(entities of the type), not
+        O(all entities)."""
+        states = self._states
         return [
             state
-            for (etype, _), state in self._states.items()
-            if etype == entity_type and (state.live or not live_only)
+            for ref in self._type_refs.get(entity_type, ())
+            if (state := states[ref]).live or not live_only
         ]
 
     def state_as_of(self, lsn: int) -> StateMap:
@@ -297,6 +327,9 @@ class LSDBStore:
         """
         events = self.log.events()
         self._states = self.rollup.fold(events)
+        self._type_refs = {}
+        for ref in self._states:
+            self._type_refs.setdefault(ref[0], []).append(ref)
         return len(events)
 
     def rollup_from_scratch(self) -> StateMap:
@@ -335,12 +368,20 @@ class LSDBStore:
 
     def events_from_origin(self, origin: str, after_seq: int) -> list[LogEvent]:
         """Events originated at ``origin`` with sequence > ``after_seq``
-        (anti-entropy fills version-vector gaps from this feed)."""
-        return [
-            event
-            for event in self._by_origin.get(origin, [])
-            if event.origin_seq > after_seq
-        ]
+        (anti-entropy fills version-vector gaps from this feed).
+        O(log n + result) via bisect over the per-origin sequence array."""
+        seqs = self._by_origin_seqs.get(origin)
+        if not seqs or after_seq >= seqs[-1]:
+            return []
+        return self._by_origin[origin][bisect_right(seqs, after_seq):]
+
+    def count_from_origin(self, origin: str, after_seq: int) -> int:
+        """How many events from ``origin`` have sequence > ``after_seq``,
+        without materialising them (replication-lag probes)."""
+        seqs = self._by_origin_seqs.get(origin)
+        if not seqs:
+            return 0
+        return len(seqs) - bisect_right(seqs, after_seq)
 
     def compact(self, keep_recent: int = 0) -> CompactionReport:
         """Summarise all but the newest ``keep_recent`` events."""

@@ -143,5 +143,10 @@ class AsyncPrimaryBackup:
 
     @property
     def replication_lag_events(self) -> int:
-        """Events at the primary not yet applied at the backup."""
-        return len(self.lost_tail())
+        """Events at the primary not yet applied at the backup.
+
+        Counted via the indexed per-origin feed — no event list is
+        materialised, so lag probes are cheap enough to run per tick.
+        """
+        applied = self.backup.store.version_vector.get(self.primary.node_id)
+        return self.primary.store.count_from_origin(self.primary.node_id, applied)

@@ -113,9 +113,7 @@ class MasterSlaveGroup:
         applied = self.slaves[slave_id].store.version_vector.get(
             self.master.node_id
         )
-        return len(
-            self.master.store.events_from_origin(self.master.node_id, applied)
-        )
+        return self.master.store.count_from_origin(self.master.node_id, applied)
 
     # ------------------------------------------------------------------ #
     # Shipping loop

@@ -18,30 +18,54 @@ reproducible.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """A callback scheduled to fire at a virtual time.
+    """A handle for a callback scheduled to fire at a virtual time.
 
-    Instances are ordered by ``(time, seq)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events stay in the heap but are
-    skipped when popped (lazy deletion).
+    The heap itself stores plain ``(time, seq, event)`` tuples — tuple
+    comparison is far cheaper than dataclass ordering, and ``(time,
+    seq)`` is unique so the handle is never compared.  ``cancelled``
+    events stay in the heap but are skipped when popped (lazy deletion).
     """
 
-    time: float
-    seq: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "action", "label", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], Any],
+        label: str = "",
+        sim: Optional["Simulator"] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Keep the owning simulator's live-event counter exact; a
+            # cancel after the event fired (or was dropped) is a no-op
+            # because the pop detached the handle.
+            if self._sim is not None:
+                self._sim._live -= 1
+                self._sim = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "live"
+        return (
+            f"ScheduledEvent(t={self.time}, seq={self.seq}, "
+            f"label={self.label!r}, {state})"
+        )
 
 
 class Simulator:
@@ -65,9 +89,10 @@ class Simulator:
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq: int = 0
         self._processed: int = 0
+        self._live: int = 0
         from repro.sim.rng import SeededRNG
 
         self.rng = SeededRNG(seed)
@@ -100,10 +125,12 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         event = ScheduledEvent(
-            time=self.now + delay, seq=self._seq, action=action, label=label
+            time=self.now + delay, seq=self._seq, action=action, label=label,
+            sim=self,
         )
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
     def schedule_at(
@@ -131,14 +158,16 @@ class Simulator:
             ``True`` if an event fired, ``False`` if the heap is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            if event.time < self.now:
+            if time < self.now:
                 raise SimulationError(
-                    f"event time {event.time} precedes clock {self.now}"
+                    f"event time {time} precedes clock {self.now}"
                 )
-            self.now = event.time
+            self._live -= 1
+            event._sim = None  # fired: later cancel() calls are no-ops
+            self.now = time
             self._processed += 1
             event.action()
             return True
@@ -159,17 +188,27 @@ class Simulator:
         Returns:
             The number of events fired by this call.
         """
+        # One fused loop: the old _peek-then-step pair traversed the heap
+        # head twice per event; here each event is examined exactly once.
         fired = 0
-        while self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
             if max_events is not None and fired >= max_events:
                 return fired
-            head = self._peek()
-            if head is None:
-                break
-            if until is not None and head.time > until:
+            time, _seq, event = heap[0]
+            if event.cancelled:
+                pop(heap)
+                continue
+            if until is not None and time > until:
                 self.now = max(self.now, until)
                 return fired
-            self.step()
+            pop(heap)
+            self._live -= 1
+            event._sim = None
+            self.now = time
+            self._processed += 1
+            event.action()
             fired += 1
         if until is not None:
             self.now = max(self.now, until)
@@ -182,9 +221,9 @@ class Simulator:
     def _peek(self) -> Optional[ScheduledEvent]:
         """Return the next live event without firing it, dropping
         cancelled entries encountered along the way."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+        return self._heap[0][2] if self._heap else None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -192,8 +231,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        O(1): a live counter maintained on schedule, cancel and pop
+        (the heap may still physically hold cancelled entries awaiting
+        lazy deletion, but they are not counted).
+        """
+        return self._live
 
     @property
     def processed(self) -> int:

@@ -1,0 +1,270 @@
+"""Regression tests pinned to the PR 1 hot-path overhaul.
+
+Three families:
+
+* the ``apply_remote`` reorder buffer (duplicate accounting, gap-fill
+  drain order, interleaved multi-origin gaps) — behaviour the indexed
+  per-origin feeds must not disturb;
+* equivalence of the in-place fold path with a reference copying fold
+  (hypothesis property over random event sequences);
+* the indexed log feeds against their brute-force definitions,
+  including across a compaction rewrite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.rollup import GenericReducer, Rollup
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+
+
+def remote_event(origin, seq, amount=1, key="k", kind=EventKind.DELTA):
+    payload = (
+        Delta.add("v", amount).to_payload()
+        if kind is EventKind.DELTA
+        else {"v": amount}
+    )
+    return LogEvent(
+        lsn=0, timestamp=float(seq), entity_type="t", entity_key=key,
+        kind=kind, payload=payload, origin=origin, origin_seq=seq,
+    )
+
+
+class TestReorderBuffer:
+    def test_duplicate_rejection_count_across_redeliveries(self):
+        store = LSDBStore(origin="r0")
+        event = remote_event("r1", 1)
+        assert store.apply_remote(event)
+        for _ in range(3):
+            assert not store.apply_remote(event)
+        assert store.duplicates_rejected == 3
+        assert store.get("t", "k").fields["v"] == 1
+
+    def test_buffered_event_redelivery_is_not_counted_as_duplicate(self):
+        store = LSDBStore(origin="r0")
+        assert not store.apply_remote(remote_event("r1", 2))
+        # Redelivering a still-buffered (gapped) event is not a
+        # *duplicate* — it has not been applied yet.
+        assert not store.apply_remote(remote_event("r1", 2))
+        assert store.duplicates_rejected == 0
+        assert store.apply_remote(remote_event("r1", 1))
+        assert store.version_vector.get("r1") == 2
+
+    def test_gap_fill_drains_in_origin_sequence_order(self):
+        store = LSDBStore(origin="r0")
+        for seq in (4, 2, 3, 5):
+            assert not store.apply_remote(remote_event("r1", seq))
+        assert store.apply_remote(remote_event("r1", 1))
+        applied = [event.origin_seq for event in store.log.events()]
+        assert applied == [1, 2, 3, 4, 5]
+        # LSNs were assigned in drain order, so the per-origin feed is
+        # seq-sorted and bisect-served.
+        assert [e.origin_seq for e in store.events_from_origin("r1", 2)] == [3, 4, 5]
+
+    def test_interleaved_multi_origin_gaps_drain_independently(self):
+        store = LSDBStore(origin="r0")
+        assert not store.apply_remote(remote_event("r1", 2, amount=10))
+        assert not store.apply_remote(remote_event("r2", 3, amount=100))
+        assert not store.apply_remote(remote_event("r2", 2, amount=100))
+        # Filling r1's gap drains only r1; r2 still has a hole at 1.
+        assert store.apply_remote(remote_event("r1", 1, amount=10))
+        assert store.version_vector.get("r1") == 2
+        assert store.version_vector.get("r2") == 0
+        assert store.apply_remote(remote_event("r2", 1, amount=100))
+        assert store.version_vector.get("r2") == 3
+        assert store.get("t", "k").fields["v"] == 2 * 10 + 3 * 100
+
+    def test_drained_buffer_entries_are_released(self):
+        store = LSDBStore(origin="r0")
+        for seq in (3, 2):
+            store.apply_remote(remote_event("r1", seq))
+        store.apply_remote(remote_event("r1", 1))
+        assert store._reorder_buffer == {}
+
+
+# --------------------------------------------------------------------- #
+# In-place fold vs reference copying fold
+# --------------------------------------------------------------------- #
+
+
+class CopyingOnlyReducer:
+    """The pre-PR-1 reducer contract: ``apply`` with a fresh copy per
+    event and no in-place ``fold`` — the equivalence oracle."""
+
+    def __init__(self):
+        self._generic = GenericReducer()
+
+    def apply(self, state, event):
+        return self._generic.apply(state, event)
+
+
+@st.composite
+def event_sequences(draw):
+    """Random mixed-kind event sequences over a few entities."""
+    count = draw(st.integers(1, 30))
+    events = []
+    for index in range(count):
+        kind = draw(
+            st.sampled_from(
+                [
+                    EventKind.INSERT,
+                    EventKind.DELTA,
+                    EventKind.SET_FIELDS,
+                    EventKind.TOMBSTONE,
+                    EventKind.OBSOLETE,
+                ]
+            )
+        )
+        key = draw(st.sampled_from(["a", "b", "c"]))
+        field = draw(st.sampled_from(["x", "y"]))
+        if kind is EventKind.DELTA:
+            payload = Delta.add(field, draw(st.integers(-5, 5))).to_payload()
+        elif kind is EventKind.TOMBSTONE or kind is EventKind.OBSOLETE:
+            payload = {}
+        else:
+            payload = {field: draw(st.integers(0, 9))}
+        events.append(
+            LogEvent(
+                lsn=index + 1,
+                timestamp=float(draw(st.integers(0, 10))),
+                entity_type="t",
+                entity_key=key,
+                kind=kind,
+                payload=payload,
+                origin=draw(st.sampled_from(["r1", "r2"])),
+                origin_seq=index + 1,
+            )
+        )
+    return events
+
+
+def canonical(states):
+    return {
+        ref: (
+            dict(state.fields),
+            dict(state.field_stamps),
+            state.deleted,
+            state.obsolete,
+            state.version_count,
+            state.event_count,
+            state.last_lsn,
+            state.last_timestamp,
+        )
+        for ref, state in states.items()
+    }
+
+
+class TestFoldEquivalence:
+    @settings(max_examples=120)
+    @given(events=event_sequences())
+    def test_in_place_fold_matches_copying_fold(self, events):
+        fast = Rollup()  # GenericReducer: in-place fold path
+        slow = Rollup(default_reducer=CopyingOnlyReducer())  # apply-only
+        assert canonical(fast.fold(events)) == canonical(slow.fold(events))
+
+    @settings(max_examples=60)
+    @given(events=event_sequences(), split=st.integers(0, 30))
+    def test_incremental_cache_matches_from_scratch(self, events, split):
+        """The store's incremental (in-place) cache equals a from-scratch
+        fold at every prefix boundary."""
+        split = min(split, len(events))
+        states = {}
+        rollup = Rollup()
+        for event in events[:split]:
+            rollup.fold_into(states, event)
+        assert canonical(states) == canonical(rollup.fold(events[:split]))
+
+    @settings(max_examples=60)
+    @given(events=event_sequences(), split=st.integers(1, 29))
+    def test_fold_never_mutates_shared_initial(self, events, split):
+        """Snapshot safety: folding a suffix over an initial map leaves
+        every state in the initial map untouched."""
+        split = min(split, len(events))
+        rollup = Rollup()
+        prefix = rollup.fold(events[:split])
+        frozen = canonical(prefix)
+        rollup.fold(events[split:], initial=prefix)
+        assert canonical(prefix) == frozen
+
+
+# --------------------------------------------------------------------- #
+# Indexed feeds vs brute force
+# --------------------------------------------------------------------- #
+
+
+def make_log_event(lsn, key="k", etype="t", kind=EventKind.INSERT):
+    return LogEvent(
+        lsn=0, timestamp=float(lsn), entity_type=etype, entity_key=key,
+        kind=kind, payload={"n": lsn},
+    )
+
+
+class TestIndexedFeeds:
+    def _build(self):
+        log = AppendOnlyLog()
+        for index in range(20):
+            log.append(
+                make_log_event(index, key=f"k{index % 3}", etype=f"t{index % 2}")
+            )
+        return log
+
+    def assert_feeds_match_bruteforce(self, log):
+        events = log.events()
+        for lsn in range(0, log.head_lsn + 2):
+            expected = [e for e in events if e.lsn > lsn]
+            assert [e.lsn for e in log.since(lsn)] == [e.lsn for e in expected]
+            expected_up = [e for e in events if e.lsn <= lsn]
+            assert [e.lsn for e in log.up_to(lsn)] == [e.lsn for e in expected_up]
+        for etype in ("t0", "t1"):
+            for key in ("k0", "k1", "k2"):
+                expected = [
+                    e for e in events
+                    if e.entity_type == etype and e.entity_key == key
+                ]
+                got = log.for_entity(etype, key)
+                assert [e.lsn for e in got] == [e.lsn for e in expected]
+            for lsn in (0, 5, log.head_lsn):
+                expected = [
+                    e for e in events if e.entity_type == etype and e.lsn > lsn
+                ]
+                got = log.for_type_since(etype, lsn)
+                assert [e.lsn for e in got] == [e.lsn for e in expected]
+
+    def test_feeds_match_bruteforce_contiguous(self):
+        self.assert_feeds_match_bruteforce(self._build())
+
+    def test_feeds_match_bruteforce_after_rewrite(self):
+        log = self._build()
+        summary = LogEvent(
+            lsn=7, timestamp=0.0, entity_type="t0", entity_key="k0",
+            kind=EventKind.SUMMARY, payload={"n": 7},
+        )
+        log.rewrite_prefix(7, [summary])
+        assert log.tail_lsn == 7  # holes: the contiguity fast path is off
+        self.assert_feeds_match_bruteforce(log)
+        # Appends after a rewrite keep the indexes live.
+        log.append(make_log_event(99, key="k0", etype="t0"))
+        self.assert_feeds_match_bruteforce(log)
+
+    def test_between_and_counts(self):
+        log = self._build()
+        assert [e.lsn for e in log.between(5, 9)] == [6, 7, 8, 9]
+        assert log.count_between(5, 9) == 4
+        assert log.count_between(9, 5) == 0
+        assert log.last_lsn_at_or_below(9) == 9
+        assert log.last_lsn_at_or_below(0) == 0
+
+    def test_store_feed_counts_match_lists(self):
+        store = LSDBStore(origin="r1")
+        for index in range(10):
+            store.insert("t", f"k{index % 2}", {"n": index})
+        for after in (0, 3, 9, 10):
+            assert store.count_from_origin("r1", after) == len(
+                store.events_from_origin("r1", after)
+            )
+        assert store.count_from_origin("missing", 0) == 0

@@ -89,6 +89,39 @@ class TestCancellation:
         assert sim.pending == 1
         assert keep.time == 1.0
 
+    def test_pending_counter_tracks_through_lifecycle(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(offset), lambda: None) for offset in range(5)]
+        assert sim.pending == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 3
+        # Double-cancelling must not decrement twice.
+        handles[3].cancel()
+        assert sim.pending == 3
+        sim.run(max_events=1)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1)
+        assert sim.pending == 1
+        handle.cancel()  # already fired: must not touch the live counter
+        assert sim.pending == 1
+
+    def test_cancel_inside_callback_prevents_pending_fire(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, lambda: victim.cancel())
+        assert sim.run() == 1
+        assert fired == []
+        assert sim.pending == 0
+
 
 class TestRunBounds:
     def test_run_until_leaves_later_events(self):
