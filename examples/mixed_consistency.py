@@ -17,22 +17,26 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    Cluster,
     ConsistencyLevel,
     ConsistencyPolicy,
-    Network,
     PolicyRouter,
     SchemeBinding,
-    Simulator,
 )
 from repro.merge.deltas import Delta
-from repro.replication import MasterSlaveGroup, WarehouseExtract
 
 
 def main() -> None:
-    sim = Simulator(seed=5)
-    network = Network(sim, latency=2.0)
-    group = MasterSlaveGroup(sim, network, "master", ["slave"], ship_interval=10.0)
-    warehouse = WarehouseExtract(sim, group.master.store, interval=30.0)
+    cluster = (
+        Cluster.build(seed=5)
+        .with_network(latency=2.0)
+        .with_replicas(2, mode="master_slave", ship_interval=10.0)
+        .with_warehouse(interval=30.0)
+        .create()
+    )
+    sim = cluster.sim
+    group = cluster.replication
+    warehouse = cluster.warehouse
 
     router = PolicyRouter()
     policies = [
@@ -47,14 +51,20 @@ def main() -> None:
     for policy in policies:
         router.add_policy(policy)
 
+    # The bindings use the canonical read protocol (repro.core.readpath):
+    # the group routes STRONG to the master and weaker levels to a slave.
     router.bind(ConsistencyLevel.STRONG, SchemeBinding(
         write=lambda etype, key, fields: group.write_insert(etype, key, fields),
-        read=lambda etype, key: group.read("master", etype, key),
+        read=lambda etype, key: group.read(
+            etype, key, consistency=ConsistencyLevel.STRONG
+        ),
         describe="master reads/writes (unapologetic, 3.1)",
     ))
     router.bind(ConsistencyLevel.BOUNDED_STALENESS, SchemeBinding(
         write=lambda etype, key, fields: group.write_insert(etype, key, fields),
-        read=lambda etype, key: group.read("slave", etype, key),
+        read=lambda etype, key: group.read(
+            etype, key, consistency=ConsistencyLevel.BOUNDED_STALENESS
+        ),
         describe="master writes, slave reads (may apologise)",
     ))
     router.bind(ConsistencyLevel.EXTRACT, SchemeBinding(
@@ -88,7 +98,7 @@ def main() -> None:
     sim.run(until=15.0)
     print(f"\nafter one shipping interval (t={sim.now:.0f}):")
     print(f"   BOUNDED order read : {router.read('book_order', 'o-1').fields}")
-    print(f"   slave lag: {group.slave_lag_events('slave')} events")
+    print(f"   slave lag: {group.slave_lag_events('slave-1')} events")
 
     sim.run(until=35.0)
     print(f"\nafter the first warehouse extract (t={sim.now:.0f}):")

@@ -12,33 +12,32 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ConstraintManager,
-    Delta,
-    LSDBStore,
-    ProcessEngine,
-    ReferentialConstraint,
-    ReliableQueue,
-    Simulator,
-    TransactionManager,
-)
+from repro import Cluster, Delta, ProcessEngine, ReferentialConstraint
 
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. The substrate: a simulator, a queue, a log-structured store.
+    # 1. The substrate, declared: a simulator, a queue, a log-structured
+    #    store, constraints and transactions — one builder, wired in
+    #    dependency order by create().
     # ------------------------------------------------------------------ #
-    sim = Simulator(seed=7)
-    queue = ReliableQueue(sim)
-    store = LSDBStore(name="orders-unit", origin="u1", clock=lambda: sim.now)
-    constraints = ConstraintManager(store, queue, clock=lambda: sim.now)
-    constraints.add(
-        ReferentialConstraint("order-customer", "order", "customer_id", "customer")
+    cluster = (
+        Cluster.build(seed=7)
+        .with_store(name="orders-unit", origin="u1")
+        .with_queue()
+        .with_constraints(
+            ReferentialConstraint(
+                "order-customer", "order", "customer_id", "customer"
+            )
+        )
+        .with_transactions(commit_cost=1.0, defer_lag=2.0)
+        .create()
     )
-    txm = TransactionManager(
-        store, sim=sim, queue=queue, constraints=constraints,
-        commit_cost=1.0, defer_lag=2.0,
-    )
+    sim = cluster.sim
+    queue = cluster.queue
+    store = cluster.store
+    constraints = cluster.constraints
+    txm = cluster.transactions
 
     # ------------------------------------------------------------------ #
     # 2. A transaction: primary insert + commutative delta + deferred

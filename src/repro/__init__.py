@@ -84,6 +84,8 @@ from repro.merge import (
     VectorClock,
     VersionVector,
 )
+from repro.cluster import Cluster, ClusterBuilder
+from repro.obs import MetricsRegistry, MetricsReport, Tracer
 from repro.queues import IdempotentReceiver, Message, ReliableQueue
 from repro.sim import FailureInjector, Network, Node, Simulator
 
@@ -133,6 +135,11 @@ __all__ = [
     "PNCounter",
     "VectorClock",
     "VersionVector",
+    "Cluster",
+    "ClusterBuilder",
+    "MetricsRegistry",
+    "MetricsReport",
+    "Tracer",
     "IdempotentReceiver",
     "Message",
     "ReliableQueue",

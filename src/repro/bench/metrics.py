@@ -7,13 +7,19 @@ apology rates, convergence time).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.obs.metrics import percentile_of
 
 
 class LatencyRecorder:
     """Collects latency samples and reports percentiles.
+
+    Percentile math is :func:`repro.obs.metrics.percentile_of` — the
+    one nearest-rank implementation shared with the observability
+    histograms, so a benchmark table and a metrics report computed over
+    the same samples can never disagree.
 
     Example:
         >>> recorder = LatencyRecorder()
@@ -35,6 +41,22 @@ class LatencyRecorder:
         self._samples.append(value)
         self._sorted = None
 
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = None
+
+    @classmethod
+    def merged(
+        cls, recorders: Iterable["LatencyRecorder"], name: str = "merged"
+    ) -> "LatencyRecorder":
+        """A new recorder holding every sample of ``recorders`` (e.g.
+        per-node recorders combined into one cluster-wide summary)."""
+        result = cls(name=name)
+        for recorder in recorders:
+            result.merge(recorder)
+        return result
+
     @property
     def count(self) -> int:
         """Number of samples."""
@@ -54,14 +76,11 @@ class LatencyRecorder:
 
     def percentile(self, pct: float) -> float:
         """The ``pct``-th percentile (nearest-rank, 0 when empty)."""
-        if not self._samples:
-            return 0.0
         if not 0 <= pct <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
         if self._sorted is None:
             self._sorted = sorted(self._samples)
-        rank = max(0, math.ceil(pct / 100 * len(self._sorted)) - 1)
-        return self._sorted[rank]
+        return percentile_of(self._sorted, pct)
 
     @property
     def p50(self) -> float:
@@ -69,16 +88,22 @@ class LatencyRecorder:
         return self.percentile(50)
 
     @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.percentile(95)
+
+    @property
     def p99(self) -> float:
         """99th percentile."""
         return self.percentile(99)
 
     def summary(self) -> dict[str, float]:
-        """``{count, mean, p50, p99, max}`` for table rows."""
+        """``{count, mean, p50, p95, p99, max}`` for table rows."""
         return {
             "count": float(self.count),
             "mean": self.mean,
             "p50": self.p50,
+            "p95": self.p95,
             "p99": self.p99,
             "max": self.maximum,
         }

@@ -1,0 +1,380 @@
+"""The cluster facade: one fluent builder for a whole simulated system.
+
+Standing up an experiment used to mean hand-wiring a
+:class:`~repro.sim.scheduler.Simulator`, a
+:class:`~repro.sim.network.Network`, replica stores, a replication
+scheme and (since the observability subsystem) a tracer and metrics
+registry — five to ten lines of boilerplate repeated in every example,
+benchmark and test.  The builder collapses that to declarations::
+
+    from repro import Cluster
+
+    cluster = (
+        Cluster.build(seed=7)
+        .with_network(latency=5.0)
+        .with_replicas(2, mode="async", ship_interval=10.0)
+        .with_tracing()
+        .create()
+    )
+    cluster.replication.write_insert("order", "o-1", {"total": 9})
+    cluster.sim.run(until=30.0)
+    print(cluster.timeline())
+
+Every component the builder creates inherits the cluster's tracer and
+metrics registry, so ``with_tracing()`` is the only switch between "no
+observability overhead" and "every hop traced".  The builder is a
+facade only — each ``with_*`` call maps onto the public constructor of
+the component it creates, and hand-wiring those constructors remains
+fully supported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.compensation import CompensationManager
+from repro.core.constraints import ConstraintManager
+from repro.core.transaction import TransactionManager
+from repro.lsdb.store import LSDBStore
+from repro.obs.export import render_timeline, trace_payload
+from repro.obs.metrics import MetricsRegistry, MetricsReport
+from repro.obs.trace import Tracer
+from repro.partition.units import SerializationUnit
+from repro.queues.reliable import ReliableQueue
+from repro.replication.active_active import ActiveActiveGroup
+from repro.replication.asynchronous import AsyncPrimaryBackup
+from repro.replication.master_slave import MasterSlaveGroup
+from repro.replication.quorum import QuorumGroup
+from repro.replication.synchronous import SyncPrimaryBackup
+from repro.replication.warehouse import WarehouseExtract
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+#: Replication modes ``with_replicas`` understands.
+REPLICATION_MODES = ("async", "sync", "active_active", "master_slave", "quorum")
+
+
+class Cluster:
+    """A built simulated system: simulator, network, stores, schemes.
+
+    Instances come from :meth:`Cluster.build` (the
+    :class:`ClusterBuilder`); the attributes are the wired components,
+    all optional except ``sim``:
+
+    Attributes:
+        sim: The simulator everything runs on.
+        network: The message network (``None`` for single-node setups).
+        tracer: The shared tracer (``None`` unless ``with_tracing``).
+        metrics: The shared registry (``None`` unless ``with_tracing``).
+        replication: The replication scheme object, as built by its own
+            constructor (:class:`AsyncPrimaryBackup`,
+            :class:`MasterSlaveGroup`, ...).
+        store: The primary application store: the standalone store if
+            one was requested, else the scheme's primary/master store.
+        queue: The reliable queue, if requested.
+        units: Serialization units by name, if requested.
+        warehouse: The warehouse extract, if requested.
+        transactions: The transaction manager, if requested.
+        constraints: The constraint manager, if requested.
+        compensation: The compensation manager, if requested.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.network: Optional[Network] = None
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self.replication: Any = None
+        self.store: Optional[LSDBStore] = None
+        self.queue: Optional[ReliableQueue] = None
+        self.units: dict[str, SerializationUnit] = {}
+        self.warehouse: Optional[WarehouseExtract] = None
+        self.transactions: Optional[TransactionManager] = None
+        self.constraints: Optional[ConstraintManager] = None
+        self.compensation: Optional[CompensationManager] = None
+
+    @staticmethod
+    def build(seed: int = 0) -> "ClusterBuilder":
+        """Start declaring a cluster (the recommended entry point)."""
+        return ClusterBuilder(seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Unified read/write over whatever was built
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = None,
+    ) -> Optional[Any]:
+        """Canonical read against the cluster's primary read surface.
+
+        Prefers the replication scheme (which routes on
+        ``consistency``), falling back to the standalone store.
+        """
+        surface = self.replication if self.replication is not None else self.store
+        if surface is None:
+            raise RuntimeError("cluster has no readable surface")
+        from repro.core.readpath import read_from
+
+        return read_from(
+            surface, entity_type, entity_key, consistency=consistency
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability views
+    # ------------------------------------------------------------------ #
+
+    def timeline(self, trace_id: Optional[str] = None) -> str:
+        """Text timeline of the cluster's traces (see
+        :func:`repro.obs.export.render_timeline`)."""
+        if self.tracer is None:
+            raise RuntimeError("cluster built without with_tracing()")
+        return render_timeline(self.tracer, trace_id)
+
+    def trace_payload(self, **meta: Any) -> dict[str, Any]:
+        """The exportable trace log (schema-pinned JSON shape)."""
+        if self.tracer is None:
+            raise RuntimeError("cluster built without with_tracing()")
+        return trace_payload(self.tracer, meta)
+
+    def metrics_report(self) -> MetricsReport:
+        """A deterministic snapshot of every registered metric."""
+        if self.metrics is None:
+            raise RuntimeError("cluster built without with_tracing()")
+        return self.metrics.report()
+
+
+class ClusterBuilder:
+    """Fluent declaration of a cluster; ``create()`` wires it.
+
+    Every ``with_*`` method returns the builder, and declaration order
+    does not matter — ``create()`` builds components in dependency
+    order (observability, simulator, network, stores, schemes).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._tracing = False
+        self._tracer: Optional[Tracer] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        self._network_kwargs: Optional[dict[str, Any]] = None
+        self._replica_count = 0
+        self._replica_mode = ""
+        self._replica_kwargs: dict[str, Any] = {}
+        self._unit_names: tuple[str, ...] = ()
+        self._store_kwargs: Optional[dict[str, Any]] = None
+        self._queue_kwargs: Optional[dict[str, Any]] = None
+        self._warehouse_kwargs: Optional[dict[str, Any]] = None
+        self._transactions_kwargs: Optional[dict[str, Any]] = None
+        self._constraint_objs: Optional[tuple[Any, ...]] = None
+        self._with_compensation = False
+
+    # ------------------------------------------------------------------ #
+    # Declarations
+    # ------------------------------------------------------------------ #
+
+    def with_tracing(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "ClusterBuilder":
+        """Attach causal tracing and a metrics registry to everything
+        the builder creates (defaults are freshly constructed)."""
+        self._tracing = True
+        self._tracer = tracer
+        self._metrics = metrics
+        return self
+
+    def with_network(
+        self,
+        latency: float | Callable[..., float] = 1.0,
+        loss_probability: float = 0.0,
+    ) -> "ClusterBuilder":
+        """Add a message network (implied by ``with_replicas``)."""
+        self._network_kwargs = {
+            "latency": latency,
+            "loss_probability": loss_probability,
+        }
+        return self
+
+    def with_replicas(
+        self, count: int, mode: str = "async", **options: Any
+    ) -> "ClusterBuilder":
+        """Add a replication scheme over ``count`` replicas.
+
+        Args:
+            count: Number of replicas (including the primary/master).
+            mode: One of :data:`REPLICATION_MODES`.  ``"async"`` builds
+                an :class:`AsyncPrimaryBackup` pair for ``count == 2``
+                and generalises to a :class:`MasterSlaveGroup` (same
+                asynchronous shipping, one master, many backups) for
+                larger counts.
+            **options: Forwarded to the scheme constructor
+                (``ship_interval``, ``anti_entropy_interval``,
+                ``write_quorum``, ...).
+        """
+        if mode not in REPLICATION_MODES:
+            raise ValueError(
+                f"unknown replication mode {mode!r}; "
+                f"expected one of {REPLICATION_MODES}"
+            )
+        if count < 2:
+            raise ValueError(f"replication needs at least 2 replicas, got {count}")
+        self._replica_count = count
+        self._replica_mode = mode
+        self._replica_kwargs = dict(options)
+        return self
+
+    def with_partition_units(self, *names: str) -> "ClusterBuilder":
+        """Add named serialization units (separate logs, principle 2.5)."""
+        if not names:
+            raise ValueError("with_partition_units needs at least one name")
+        self._unit_names = tuple(names)
+        return self
+
+    def with_store(self, name: str = "store", origin: str = "local", **kwargs: Any) -> "ClusterBuilder":
+        """Add a standalone (unreplicated) store."""
+        self._store_kwargs = {"name": name, "origin": origin, **kwargs}
+        return self
+
+    def with_queue(self, name: str = "queue", **kwargs: Any) -> "ClusterBuilder":
+        """Add a reliable at-least-once queue."""
+        self._queue_kwargs = {"name": name, **kwargs}
+        return self
+
+    def with_warehouse(self, interval: float = 100.0, **kwargs: Any) -> "ClusterBuilder":
+        """Add a periodic warehouse extract of the primary store."""
+        self._warehouse_kwargs = {"interval": interval, **kwargs}
+        return self
+
+    def with_transactions(self, **kwargs: Any) -> "ClusterBuilder":
+        """Add a transaction manager over the primary store (implies a
+        store if none was declared)."""
+        self._transactions_kwargs = dict(kwargs)
+        return self
+
+    def with_constraints(self, *constraints: Any) -> "ClusterBuilder":
+        """Add a constraint manager (with optional initial constraints)
+        over the primary store."""
+        self._constraint_objs = tuple(constraints)
+        return self
+
+    def with_compensation(self) -> "ClusterBuilder":
+        """Add a compensation manager (tentative ops + apologies) over
+        the primary store."""
+        self._with_compensation = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def create(self) -> Cluster:
+        """Build and wire everything that was declared."""
+        tracer = metrics = None
+        if self._tracing:
+            metrics = self._metrics if self._metrics is not None else MetricsRegistry()
+            tracer = self._tracer
+        sim = Simulator(seed=self._seed, metrics=metrics)
+        if self._tracing and tracer is None:
+            tracer = Tracer(clock=lambda: sim.now)
+        sim.tracer = tracer
+        cluster = Cluster(sim)
+        cluster.tracer = tracer
+        cluster.metrics = metrics
+
+        needs_network = self._network_kwargs is not None or self._replica_count
+        if needs_network:
+            cluster.network = Network(sim, **(self._network_kwargs or {}))
+
+        if self._replica_count:
+            cluster.replication = self._build_replication(sim, cluster.network)
+            cluster.store = self._primary_store_of(cluster.replication)
+
+        for name in self._unit_names:
+            cluster.units[name] = SerializationUnit(name, sim=sim)
+
+        if self._queue_kwargs is not None:
+            cluster.queue = ReliableQueue(sim, **self._queue_kwargs)
+
+        store_kwargs = self._store_kwargs
+        if store_kwargs is None and cluster.store is None and (
+            self._transactions_kwargs is not None
+            or self._constraint_objs is not None
+            or self._with_compensation
+        ):
+            store_kwargs = {"name": "store", "origin": "local"}
+        if store_kwargs is not None:
+            cluster.store = LSDBStore(
+                clock=lambda: sim.now,
+                tracer=tracer,
+                metrics=metrics,
+                **store_kwargs,
+            )
+
+        if cluster.store is not None:
+            if self._constraint_objs is not None:
+                cluster.constraints = ConstraintManager(
+                    cluster.store, cluster.queue, clock=lambda: sim.now
+                )
+                for constraint in self._constraint_objs:
+                    cluster.constraints.add(constraint)
+            if self._transactions_kwargs is not None:
+                cluster.transactions = TransactionManager(
+                    cluster.store,
+                    sim=sim,
+                    queue=cluster.queue,
+                    constraints=cluster.constraints,
+                    **self._transactions_kwargs,
+                )
+            if self._with_compensation:
+                cluster.compensation = CompensationManager(
+                    cluster.store, queue=cluster.queue, clock=lambda: sim.now
+                )
+
+        if self._warehouse_kwargs is not None:
+            source = cluster.store
+            if source is None:
+                raise ValueError(
+                    "with_warehouse needs a source store: declare "
+                    "with_replicas or with_store first"
+                )
+            cluster.warehouse = WarehouseExtract(
+                sim, source, **self._warehouse_kwargs
+            )
+        return cluster
+
+    def _build_replication(self, sim: Simulator, network: Network) -> Any:
+        count, mode = self._replica_count, self._replica_mode
+        options = dict(self._replica_kwargs)
+        if mode == "async" and count == 2:
+            return AsyncPrimaryBackup(sim, network, **options)
+        if mode == "sync":
+            if count != 2:
+                raise ValueError("sync replication is a primary/backup pair")
+            return SyncPrimaryBackup(sim, network, **options)
+        if mode in ("async", "master_slave"):
+            slave_ids = [f"slave-{i}" for i in range(1, count)]
+            return MasterSlaveGroup(sim, network, "master", slave_ids, **options)
+        if mode == "active_active":
+            replica_ids = [f"r{i}" for i in range(1, count + 1)]
+            return ActiveActiveGroup(sim, network, replica_ids, **options)
+        if mode == "quorum":
+            replica_ids = [f"q{i}" for i in range(1, count + 1)]
+            return QuorumGroup(sim, network, replica_ids, **options)
+        raise AssertionError(f"unhandled mode {mode!r}")  # pragma: no cover
+
+    @staticmethod
+    def _primary_store_of(scheme: Any) -> Optional[LSDBStore]:
+        primary = getattr(scheme, "primary", None) or getattr(scheme, "master", None)
+        if primary is not None:
+            return primary.store
+        replicas = getattr(scheme, "replicas", None)
+        if isinstance(replicas, dict) and replicas:
+            return next(iter(replicas.values())).store
+        if isinstance(replicas, list) and replicas:
+            return replicas[0].store
+        return None

@@ -86,11 +86,19 @@ class Apology:
 
 
 class ApologyLedger:
-    """Append-only record of apologies issued."""
+    """Append-only record of apologies issued.
 
-    def __init__(self):
+    Args:
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; every
+            recorded apology then increments ``apologies.issued``
+            (labelled by reason) so experiments read apology counts
+            from the registry instead of scraping the ledger.
+    """
+
+    def __init__(self, metrics=None):
         self._apologies: list[Apology] = []
         self._ids = itertools.count(1)
+        self.metrics = metrics
 
     def record(
         self,
@@ -110,6 +118,8 @@ class ApologyLedger:
             compensation=compensation,
         )
         self._apologies.append(apology)
+        if self.metrics is not None:
+            self.metrics.counter("apologies.issued", reason=reason).inc()
         return apology
 
     def all(self) -> list[Apology]:
@@ -153,11 +163,16 @@ class CompensationManager:
         store: LSDBStore,
         queue: Optional[ReliableQueue] = None,
         clock: Optional[Callable[[], float]] = None,
+        metrics=None,
     ):
         self.store = store
         self.queue = queue
         self._clock = clock or (lambda: 0.0)
-        self.ledger = ApologyLedger()
+        # The ledger reports into the store's registry unless a
+        # dedicated one is passed.
+        self.ledger = ApologyLedger(
+            metrics=metrics if metrics is not None else store.metrics
+        )
         self._compensators: dict[str, Compensator] = {}
         self._operations: dict[str, TentativeOperation] = {}
         self._ids = itertools.count(1)

@@ -1,0 +1,70 @@
+"""The unified read protocol.
+
+Historically each surface grew its own read-path name: stores exposed
+``get``/``require``, replication groups exposed positional ``read``
+variants keyed by node id, warehouses exposed ``get`` over extracts,
+indexes exposed ``lookup``.  Call sites could not swap one surface for
+another without rewriting every read.
+
+The protocol, implemented by every surface in the library::
+
+    surface.read(entity_type, entity_key, *, consistency=None)
+
+* ``entity_type`` / ``entity_key`` name the entity, exactly as in the
+  entity catalog.
+* ``consistency`` is an optional
+  :class:`~repro.core.consistency.ConsistencyLevel`; surfaces that can
+  serve multiple levels route on it (a master/slave group sends
+  ``STRONG`` to the master and anything weaker to a slave), surfaces
+  with a single level accept and ignore it — the parameter exists so a
+  call site can be pointed at a different surface without edits.
+* Returns the entity's :class:`~repro.lsdb.rollup.EntityState`, or
+  ``None`` when the surface has never seen the entity (which, on a
+  stale surface, includes "written but not replicated here yet").
+
+Legacy forms remain as thin aliases and are not scheduled for removal:
+``store.get(...)`` and ``warehouse.get(...)`` are the same read without
+the consistency parameter, and the three-positional
+``group.read(node_id, entity_type, entity_key)`` addresses an explicit
+replica.  New code should prefer the canonical form.
+
+:func:`read_from` is the dispatch helper for code that receives an
+arbitrary surface (the policy router, experiment harnesses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ReadSurface(Protocol):
+    """Anything that can answer a canonical read."""
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = None,
+    ) -> Optional[Any]:
+        """Current state of one entity at this surface's consistency."""
+        ...
+
+
+def read_from(
+    surface: Any,
+    entity_type: str,
+    entity_key: str,
+    *,
+    consistency: Any = None,
+) -> Optional[Any]:
+    """Read from any surface, old or new.
+
+    Prefers the canonical ``read`` protocol; falls back to a bare
+    ``get`` for objects predating it.
+    """
+    reader = getattr(surface, "read", None)
+    if reader is not None:
+        return reader(entity_type, entity_key, consistency=consistency)
+    return surface.get(entity_type, entity_key)

@@ -68,6 +68,11 @@ class LogEvent:
             (section 3.1 on sustainable application environments).
         tags: Free-form labels; compaction preserves events tagged
             ``"regulatory"`` in the archive rather than dropping them.
+        trace_id: Causal trace this event belongs to ("" when tracing
+            is off).  Travels with the event through replication, so a
+            remote apply can attach to the origin append's trace.
+        span_id: The span of the append that created the event — the
+            parent for downstream spans (ship, apply, index refresh).
     """
 
     lsn: int
@@ -81,6 +86,8 @@ class LogEvent:
     tx_id: str = ""
     schema_version: int = 1
     tags: frozenset[str] = frozenset()
+    trace_id: str = ""
+    span_id: str = ""
 
     def with_lsn(self, lsn: int) -> "LogEvent":
         """A copy with the log-assigned sequence number.
@@ -122,6 +129,8 @@ class LogEvent:
             "tx_id": self.tx_id,
             "schema_version": self.schema_version,
             "tags": sorted(self.tags),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
         }
 
     @staticmethod
@@ -139,4 +148,6 @@ class LogEvent:
             tx_id=str(data.get("tx_id", "")),
             schema_version=int(data.get("schema_version", 1)),
             tags=frozenset(data.get("tags", ())),
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
         )

@@ -13,7 +13,7 @@ same mechanism).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 from repro.lsdb.log import AppendOnlyLog
 from repro.lsdb.rollup import EntityRef, Rollup, StateMap
@@ -27,6 +27,16 @@ class SecondaryIndex:
         rollup: The rollup defining field semantics (deltas etc.).
         entity_type: The indexed entity type.
         field_name: The indexed field.
+        tracer: Optional :class:`repro.obs.Tracer`; each refreshed event
+            then gets an ``index.refresh`` span chained (via
+            ``span_of``) to the span that stored the event, making the
+            staleness window visible as the gap between parent and
+            child span times.
+        metrics: Optional :class:`repro.obs.MetricsRegistry` for the
+            refresh counter and lag gauge (labelled type.field).
+        node: Node/replica name stamped on refresh spans.
+        span_of: Callable mapping an event to the span id it was stored
+            under (the owning store provides this).
 
     Example:
         >>> # index lookups reflect only refreshed state:
@@ -40,6 +50,10 @@ class SecondaryIndex:
         rollup: Rollup,
         entity_type: str,
         field_name: str,
+        tracer=None,
+        metrics=None,
+        node: str = "",
+        span_of: Optional[Callable[[Any], Optional[str]]] = None,
     ):
         self.log = log
         self.rollup = rollup
@@ -48,6 +62,15 @@ class SecondaryIndex:
         self.applied_lsn = 0
         self._states: StateMap = {}
         self._buckets: dict[Hashable, set[str]] = {}
+        self.tracer = tracer
+        self.node = node
+        self._span_of = span_of
+        if metrics is not None:
+            label = f"{entity_type}.{field_name}"
+            self._m_refreshed = metrics.counter("index.refreshed", index=label)
+            self._g_lag = metrics.gauge("index.lag", index=label)
+        else:
+            self._m_refreshed = self._g_lag = None
 
     def refresh(self, up_to_lsn: Optional[int] = None) -> int:
         """Apply log events appended since the last refresh.
@@ -62,14 +85,32 @@ class SecondaryIndex:
         target = self.log.head_lsn if up_to_lsn is None else up_to_lsn
         applied = self.log.count_between(self.applied_lsn, target)
         if applied == 0:
+            if self._g_lag is not None:
+                self._g_lag.set(self.lag)
             return 0
         # Only this type's events need folding; the typed feed skips the
         # rest instead of filtering the whole suffix event by event.
+        tracer = self.tracer
         for event in self.log.for_type_since(
             self.entity_type, self.applied_lsn, target
         ):
             self._apply(event)
+            if tracer is not None:
+                parent = self._span_of(event) if self._span_of else None
+                tracer.end_span(
+                    tracer.start_span(
+                        "index.refresh",
+                        parent=parent or event.span_id or None,
+                        node=self.node,
+                        field=f"{self.entity_type}.{self.field_name}",
+                        lsn=event.lsn,
+                    )
+                )
         self.applied_lsn = self.log.last_lsn_at_or_below(target)
+        if self._m_refreshed is not None:
+            self._m_refreshed.inc(applied)
+        if self._g_lag is not None:
+            self._g_lag.set(self.lag)
         return applied
 
     def _apply(self, event) -> None:

@@ -40,6 +40,14 @@ class LSDBStore:
             time; defaults to a constant 0.0 for clock-free unit tests.
         snapshot_interval: If non-zero, take a rollup snapshot every N
             appends (accelerates :meth:`state_as_of`).
+        tracer: Optional :class:`repro.obs.Tracer`.  When set, local
+            appends open ``store.append`` spans (stamped onto the event,
+            so the span travels with it through replication) and remote
+            applies open ``store.apply`` spans chained to the shipping
+            hop — the store's half of the causal write journey.
+        metrics: Optional :class:`repro.obs.MetricsRegistry` for append,
+            duplicate-rejection and fold counters plus the
+            reorder-buffer depth gauge (all labelled by ``origin``).
 
     Example:
         >>> store = LSDBStore(origin="r1")
@@ -55,6 +63,8 @@ class LSDBStore:
         origin: str = "local",
         clock: Optional[Callable[[], float]] = None,
         snapshot_interval: int = 0,
+        tracer=None,
+        metrics=None,
     ):
         self.name = name
         self.origin = origin
@@ -78,6 +88,24 @@ class LSDBStore:
         self._reorder_buffer: dict[str, dict[int, LogEvent]] = {}
         self._indexes: dict[tuple[str, str], SecondaryIndex] = {}
         self.duplicates_rejected = 0
+        self.tracer = tracer
+        self.metrics = metrics
+        #: event identity -> span id of the local append/apply that
+        #: stored it; index refreshes chain their spans through this.
+        self._span_by_identity: dict[tuple[str, int], str] = {}
+        if metrics is not None:
+            counter = metrics.counter
+            self._m_appends = counter("store.appends", origin=origin)
+            self._m_duplicates = counter(
+                "store.duplicates_rejected", origin=origin
+            )
+            self._m_folds = counter("store.folds", origin=origin)
+            self._g_reorder = metrics.gauge(
+                "store.reorder_buffer_depth", origin=origin
+            )
+        else:
+            self._m_appends = self._m_duplicates = self._m_folds = None
+            self._g_reorder = None
         #: Optional hook returning the current schema version for an
         #: entity type; locally written events are stamped with it so
         #: lazy upcasting (repro.core.migration) knows what each event
@@ -101,9 +129,21 @@ class LSDBStore:
         key = (entity_type, field_name)
         if key not in self._indexes:
             self._indexes[key] = SecondaryIndex(
-                self.log, self.rollup, entity_type, field_name
+                self.log,
+                self.rollup,
+                entity_type,
+                field_name,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                node=self.origin,
+                span_of=self._span_of_event,
             )
         return self._indexes[key]
+
+    def _span_of_event(self, event: LogEvent) -> Optional[str]:
+        """The span id under which ``event`` was stored locally (the
+        parent for its index-refresh span), if tracing recorded one."""
+        return self._span_by_identity.get(event.identity)
 
     # ------------------------------------------------------------------ #
     # Local writes (each becomes one log event)
@@ -189,6 +229,17 @@ class LSDBStore:
             if self.schema_version_source is not None
             else 1
         )
+        tracer = self.tracer
+        span = None
+        trace_id = span_id = ""
+        if tracer is not None:
+            span = tracer.start_span(
+                "store.append",
+                node=self.origin,
+                entity=f"{entity_type}/{entity_key}",
+                kind=kind.value,
+            )
+            trace_id, span_id = span.trace_id, span.span_id
         event = LogEvent(
             lsn=0,
             timestamp=self._clock(),
@@ -201,14 +252,22 @@ class LSDBStore:
             tx_id=tx_id,
             schema_version=schema_version,
             tags=frozenset(tags),
+            trace_id=trace_id,
+            span_id=span_id,
         )
-        return self.log.append(event)
+        if span is None:
+            return self.log.append(event)
+        self._span_by_identity[event.identity] = span.span_id
+        with tracer.resume(span.span_id):
+            stored = self.log.append(event)
+        tracer.end_span(span, lsn=stored.lsn)
+        return stored
 
     # ------------------------------------------------------------------ #
     # Remote application (replication / at-least-once delivery)
     # ------------------------------------------------------------------ #
 
-    def apply_remote(self, event: LogEvent) -> bool:
+    def apply_remote(self, event: LogEvent, parent_span: Optional[str] = None) -> bool:
         """Apply an event originated elsewhere, idempotently and in
         per-origin order.
 
@@ -217,20 +276,49 @@ class LSDBStore:
           buffered and drained once the gap fills, so at-least-once,
           unordered delivery still yields exactly-once, in-order apply.
 
+        Args:
+            event: The remote event to apply.
+            parent_span: Optional span id the apply span should chain to
+                (the replication shipper passes its per-event ship span);
+                falls back to the event's own origin-append span.
+
         Returns:
             ``True`` if the event was appended now, ``False`` if it was
             a duplicate or was buffered for later.
         """
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "store.apply",
+                parent=parent_span or event.span_id or None,
+                node=self.origin,
+                origin=event.origin,
+                seq=event.origin_seq,
+            )
         applied_up_to = self.version_vector.get(event.origin)
         if event.origin_seq <= applied_up_to:
             self.duplicates_rejected += 1
+            if self._m_duplicates is not None:
+                self._m_duplicates.inc()
+            if span is not None:
+                tracer.end_span(span, status="duplicate")
             return False
         if event.origin_seq > applied_up_to + 1:
             self._reorder_buffer.setdefault(event.origin, {})[
                 event.origin_seq
             ] = event
+            self._update_reorder_gauge()
+            if span is not None:
+                tracer.end_span(span, status="buffered")
             return False
-        self.log.append(event.with_lsn(0))
+        if span is None:
+            self.log.append(event.with_lsn(0))
+        else:
+            self._span_by_identity[event.identity] = span.span_id
+            with tracer.resume(span.span_id):
+                self.log.append(event.with_lsn(0))
+            tracer.end_span(span, status="applied")
         self._drain_buffer(event.origin)
         return True
 
@@ -238,14 +326,35 @@ class LSDBStore:
         buffered = self._reorder_buffer.get(origin)
         if not buffered:
             return
+        tracer = self.tracer
         while True:
             next_seq = self.version_vector.get(origin) + 1
             event = buffered.pop(next_seq, None)
             if event is None:
                 break
-            self.log.append(event.with_lsn(0))
+            if tracer is None:
+                self.log.append(event.with_lsn(0))
+            else:
+                span = tracer.start_span(
+                    "store.apply",
+                    parent=event.span_id or None,
+                    node=self.origin,
+                    origin=event.origin,
+                    seq=event.origin_seq,
+                )
+                self._span_by_identity[event.identity] = span.span_id
+                with tracer.resume(span.span_id):
+                    self.log.append(event.with_lsn(0))
+                tracer.end_span(span, status="applied_from_buffer")
         if not buffered:
             self._reorder_buffer.pop(origin, None)
+        self._update_reorder_gauge()
+
+    def _update_reorder_gauge(self) -> None:
+        if self._g_reorder is not None:
+            self._g_reorder.set(
+                sum(len(pending) for pending in self._reorder_buffer.values())
+            )
 
     # ------------------------------------------------------------------ #
     # Append bookkeeping (runs for local and remote appends alike)
@@ -257,6 +366,9 @@ class LSDBStore:
         if ref not in states:
             self._type_refs.setdefault(event.entity_type, []).append(ref)
         self.rollup.fold_into(states, event)
+        if self._m_appends is not None:
+            self._m_appends.inc()
+            self._m_folds.inc()
         if event.origin_seq:
             self.version_vector.record(event.origin, event.origin_seq)
         origin = event.origin
@@ -286,6 +398,22 @@ class LSDBStore:
         entity has no events at all; a tombstoned entity is returned
         with ``deleted=True``)."""
         return self._states.get((entity_type, entity_key))
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = None,
+    ) -> Optional[EntityState]:
+        """The unified read protocol (see :mod:`repro.core.readpath`).
+
+        A single store has one copy of the data, so every consistency
+        level reads the same rollup; the parameter exists so callers can
+        swap a store for a replicated surface without changing call
+        sites.
+        """
+        return self.get(entity_type, entity_key)
 
     def require(self, entity_type: str, entity_key: str) -> EntityState:
         """Like :meth:`get` but raises for missing or deleted entities."""

@@ -1,0 +1,135 @@
+"""Trace export: JSON payloads, text timelines, schema validation.
+
+Two renderings of one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`trace_payload` — a JSON-friendly dict (``{"spans": [...]}``)
+  whose shape is pinned by the checked-in schema
+  ``benchmarks/trace_schema.json``; CI exports a traced run and
+  validates it against that schema so the export format cannot drift
+  silently.
+* :func:`render_timeline` — a human-readable tree per trace, indented
+  by causality and annotated with virtual times, the artefact
+  ``benchmarks/run_all.py`` prints for the demo write.
+
+:func:`validate_trace` is a deliberately small validator for the
+JSON-Schema *subset* the trace schema uses (type / properties /
+required / items / enum) — the container has no ``jsonschema``
+package, and the subset keeps the checked-in schema honest without a
+new dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+from repro.obs.trace import Span, Tracer
+
+
+def trace_payload(tracer: Tracer, meta: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
+    """The exportable trace log: every span, in deterministic order."""
+    return {
+        "meta": dict(meta or {}),
+        "trace_count": len(tracer.trace_ids()),
+        "spans": [span.to_dict() for span in tracer.spans],
+    }
+
+
+def trace_json(tracer: Tracer, meta: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical JSON for :func:`trace_payload` (byte-stable)."""
+    return json.dumps(trace_payload(tracer, meta), sort_keys=True, indent=2) + "\n"
+
+
+def _format_time(value: Optional[float]) -> str:
+    return "open" if value is None else f"{value:g}"
+
+
+def render_span(tracer: Tracer, span: Span, depth: int = 0) -> list[str]:
+    """Render one span and its subtree as indented timeline lines."""
+    detail = " ".join(
+        f"{key}={value}" for key, value in sorted(span.attrs.items())
+    )
+    node = f" @{span.node}" if span.node else ""
+    line = (
+        f"{'  ' * depth}[{span.start:>7g} -> {_format_time(span.end):>7}] "
+        f"{span.name}{node}{(' ' + detail) if detail else ''}"
+    )
+    lines = [line]
+    for child in tracer.children_of(span):
+        lines.extend(render_span(tracer, child, depth + 1))
+    return lines
+
+
+def render_timeline(tracer: Tracer, trace_id: Optional[str] = None) -> str:
+    """Text timeline of one trace (or every trace), causally indented.
+
+    A span still open at export time renders with ``open`` in place of
+    its end time — for a network hop span that is a dropped message,
+    made visible instead of silently missing.
+    """
+    trace_ids = [trace_id] if trace_id is not None else tracer.trace_ids()
+    blocks: list[str] = []
+    for tid in trace_ids:
+        spans = tracer.spans_of(tid)
+        if not spans:
+            continue
+        start = min(span.start for span in spans)
+        ends = [span.end for span in spans if span.end is not None]
+        finish = max(ends) if ends else start
+        header = f"trace {tid} ({len(spans)} spans, t={start:g} -> {finish:g})"
+        body: list[str] = []
+        for root in tracer.roots_of(tid):
+            body.extend(render_span(tracer, root, depth=1))
+        blocks.append("\n".join([header] + body))
+    return "\n".join(blocks)
+
+
+# --------------------------------------------------------------------- #
+# Schema validation (JSON-Schema subset)
+# --------------------------------------------------------------------- #
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value: Any, schema: Mapping[str, Any], path: str, errors: list[str]) -> None:
+    schema_type = schema.get("type")
+    if schema_type is not None:
+        allowed = schema_type if isinstance(schema_type, list) else [schema_type]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path or '$'}: expected {'|'.join(allowed)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path or '$'}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for required in schema.get("required", ()):
+            if required not in value:
+                errors.append(f"{path or '$'}: missing required key {required!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in value:
+                _validate(value[key], subschema, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_trace(payload: Mapping[str, Any], schema: Mapping[str, Any]) -> list[str]:
+    """Validate an exported trace payload against a schema.
+
+    Returns:
+        A list of human-readable problems — empty means valid.
+    """
+    errors: list[str] = []
+    _validate(payload, schema, "", errors)
+    return errors

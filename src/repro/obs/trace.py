@@ -1,0 +1,267 @@
+"""Causal trace spans over virtual time.
+
+A write in this library has a journey: the origin append, the shipping
+hop across the simulated network, the idempotent remote apply, the
+asynchronous secondary-index refresh.  The paper's whole argument is
+that these stages are *allowed* to drift apart in time; this module
+makes the drift visible by reconstructing the journey as a span tree.
+
+Three carriers propagate causality:
+
+* **scheduled callbacks** — :class:`repro.sim.scheduler.Simulator`
+  captures the ambient span at ``schedule()`` time and restores it when
+  the event fires, so work done "later" in virtual time still attaches
+  to the span that caused it;
+* **log events** — :class:`repro.lsdb.events.LogEvent` records the
+  ``trace_id``/``span_id`` of the append that created it, and travels
+  with them through replication, so a remote apply can attach to the
+  origin append even on another node;
+* **queued messages** — :class:`repro.queues.message.Message` likewise.
+
+One :class:`Tracer` is shared by every node of a simulated cluster (it
+is all one process); that is exactly what makes cross-node trees
+reconstructable.  Ids are drawn from deterministic counters, so traces
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+
+class Span:
+    """One named stage of a trace, spanning virtual time.
+
+    Attributes:
+        span_id: Unique id (``s<n>``, assignment order).
+        trace_id: The trace (causal tree) this span belongs to.
+        parent_id: Parent span id ("" for a trace root).
+        name: Stage name, e.g. ``store.append`` or ``net.hop``.
+        node: Node/replica the stage ran on (diagnostic).
+        start: Virtual time the stage started.
+        end: Virtual time it finished (``None`` while open — a hop
+            span that never ends is a dropped message, visibly).
+        attrs: Free-form details (entity ref, destination, status...).
+    """
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "node",
+                 "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: str,
+        trace_id: str,
+        parent_id: str,
+        name: str,
+        node: str,
+        start: float,
+        attrs: dict[str, Any],
+    ):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Virtual-time extent (0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly record (the export schema's span object)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.span_id} {self.name!r} trace={self.trace_id} "
+            f"parent={self.parent_id or '-'} t={self.start}..{self.end})"
+        )
+
+
+class Tracer:
+    """Creates, stacks and stores spans for one simulated cluster.
+
+    Args:
+        clock: Virtual-time source (usually ``lambda: sim.now``); a
+            constant 0.0 for clock-free unit tests.
+
+    The ambient *current span* is an explicit stack: instrumented code
+    pushes with :meth:`span` (a context manager) or resumes a captured
+    context with :meth:`resume`; everything opened inside attaches to
+    the top of the stack.
+
+    Example:
+        >>> tracer = Tracer()
+        >>> with tracer.span("write", node="r1") as root:
+        ...     with tracer.span("store.append") as child:
+        ...         pass
+        >>> child.parent_id == root.span_id
+        True
+        >>> root.parent_id
+        ''
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self.spans: list[Span] = []
+        self._by_id: dict[str, Span] = {}
+        self._stack: list[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Creating and ending spans
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The ambient span new spans will attach to (``None`` at top level)."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span | str] = None,
+        node: str = "",
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.
+
+        ``parent`` may be a :class:`Span`, a span id, or ``None`` —
+        ``None`` means "the ambient current span", and if there is no
+        ambient span either, the span roots a **new trace**.
+        """
+        if parent is None:
+            parent = self.current
+        elif isinstance(parent, str):
+            parent = self._by_id.get(parent)
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = f"t{next(self._trace_ids)}", ""
+        span = Span(
+            span_id=f"s{next(self._span_ids)}",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            name=name,
+            node=node,
+            start=self._clock(),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def end_span(self, span: Span, **attrs: Any) -> Span:
+        """Close ``span`` at the current virtual time (idempotent:
+        closing twice keeps the first end time)."""
+        if span.end is None:
+            span.end = self._clock()
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span | str] = None,
+        node: str = "",
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Open a span, make it ambient for the body, end it on exit."""
+        opened = self.start_span(name, parent=parent, node=node, **attrs)
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            self._stack.pop()
+            self.end_span(opened)
+
+    # ------------------------------------------------------------------ #
+    # Context capture/resume (the scheduled-callback carrier)
+    # ------------------------------------------------------------------ #
+
+    def capture(self) -> Optional[str]:
+        """The ambient span id, for stashing on a scheduled callback or
+        message (``None`` when nothing is ambient)."""
+        current = self.current
+        return current.span_id if current is not None else None
+
+    @contextmanager
+    def resume(self, span_id: Optional[str]) -> Iterator[Optional[Span]]:
+        """Make a previously captured span ambient for the body.
+
+        An unknown or ``None`` id resumes nothing (the body runs at top
+        level) — a callback scheduled before tracing was enabled must
+        still run.
+        """
+        span = self._by_id.get(span_id) if span_id else None
+        if span is None:
+            yield None
+            return
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------ #
+    # Reconstruction
+    # ------------------------------------------------------------------ #
+
+    def get(self, span_id: str) -> Optional[Span]:
+        """Look a span up by id."""
+        return self._by_id.get(span_id)
+
+    def trace_ids(self) -> list[str]:
+        """All trace ids, in creation order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def spans_of(self, trace_id: str) -> list[Span]:
+        """All spans of one trace, in creation order."""
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct children, ordered by (start, creation)."""
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.span_id),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    def roots_of(self, trace_id: str) -> list[Span]:
+        """Root spans of a trace (normally exactly one)."""
+        return [s for s in self.spans_of(trace_id) if not s.parent_id]
+
+    def tree(self, trace_id: str) -> list[dict[str, Any]]:
+        """The trace as nested dicts: each node is the span's
+        :meth:`Span.to_dict` plus a ``children`` list — the
+        reconstruction tests and the JSON exporter both read this."""
+
+        def build(span: Span) -> dict[str, Any]:
+            record = span.to_dict()
+            record["children"] = [build(child) for child in self.children_of(span)]
+            return record
+
+        return [build(root) for root in self.roots_of(trace_id)]
+
+    def __len__(self) -> int:
+        return len(self.spans)

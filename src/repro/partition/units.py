@@ -52,6 +52,8 @@ class SerializationUnit:
             origin=name,
             clock=clock,
             snapshot_interval=snapshot_interval,
+            tracer=sim.tracer if sim else None,
+            metrics=sim.metrics if sim else None,
         )
         self.locks = LogicalLockManager(name=f"{name}-locks")
         self.queue = ReliableQueue(sim, name=f"{name}-queue") if sim else None

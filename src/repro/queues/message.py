@@ -35,6 +35,10 @@ class Message:
         causation_id: Message id (or transaction id) that caused this
             message, for tracing choreographies (e.g. the SCM flows of
             principle 2.9).
+        trace_id: Causal trace of the enqueue ("" when tracing is off);
+            delivery resumes this context so handler work attaches to
+            the producer's span tree.
+        span_id: The enqueue span — parent for the delivery span.
     """
 
     message_id: str
@@ -43,6 +47,8 @@ class Message:
     enqueue_time: float = 0.0
     attempts: int = 0
     causation_id: str = ""
+    trace_id: str = ""
+    span_id: str = ""
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -15,6 +15,7 @@ with :class:`~repro.queues.idempotence.IdempotentReceiver`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -22,6 +23,9 @@ from repro.queues.message import Message, next_message_id
 from repro.sim.scheduler import Simulator
 
 Handler = Callable[[Message], bool]
+
+#: Reusable no-op context for the tracing-off delivery path.
+_NULL_CTX = nullcontext()
 
 
 @dataclass
@@ -70,6 +74,8 @@ class ReliableQueue:
         redelivery_timeout: float = 10.0,
         max_attempts: int = 5,
         ack_loss_probability: float = 0.0,
+        tracer=None,
+        metrics=None,
     ):
         self.sim = sim
         self.name = name
@@ -82,6 +88,19 @@ class ReliableQueue:
         self._handlers: dict[str, list[Handler]] = {}
         self._rng = sim.fork_rng()
         self._acked_ids: set[str] = set()
+        # Observability handles default from the simulator (one traced
+        # simulator => every queue on it is traced).
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self.metrics = metrics if metrics is not None else sim.metrics
+        if self.metrics is not None:
+            counter = self.metrics.counter
+            self._m_enqueued = counter("queue.enqueued", queue=name)
+            self._m_delivered = counter("queue.delivered", queue=name)
+            self._m_redelivered = counter("queue.redelivered", queue=name)
+            self._m_dead = counter("queue.dead_lettered", queue=name)
+        else:
+            self._m_enqueued = self._m_delivered = None
+            self._m_redelivered = self._m_dead = None
 
     def subscribe(self, topic: str, handler: Handler) -> None:
         """Register ``handler`` for ``topic``.
@@ -105,14 +124,26 @@ class ReliableQueue:
         Enqueue is always a *local* operation (principle 2.6's note:
         queue operations are never distributed transactions).
         """
+        tracer = self.tracer
+        trace_id = span_id = ""
+        if tracer is not None:
+            span = tracer.start_span(
+                "queue.enqueue", node=self.name, topic=topic,
+            )
+            tracer.end_span(span)
+            trace_id, span_id = span.trace_id, span.span_id
         message = Message(
             message_id=message_id or next_message_id(),
             topic=topic,
             payload=dict(payload),
             enqueue_time=self.sim.now,
             causation_id=causation_id,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         self.stats.enqueued += 1
+        if self._m_enqueued is not None:
+            self._m_enqueued.inc()
         self._schedule_delivery(message, self.delivery_delay)
         return message
 
@@ -129,14 +160,29 @@ class ReliableQueue:
         handlers = self._handlers.get(message.topic, [])
         message.attempts += 1
         self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
+        tracer = self.tracer
+        span = None
+        if tracer is not None and message.span_id:
+            # Handlers run inside a delivery span chained to the enqueue
+            # span, so consumer-side work joins the producer's trace.
+            span = tracer.start_span(
+                "queue.deliver",
+                parent=message.span_id,
+                node=self.name,
+                topic=message.topic,
+                attempt=message.attempts,
+            )
         success = bool(handlers)
-        for handler in handlers:
-            try:
-                if not handler(message):
+        with tracer.resume(span.span_id) if span is not None else _NULL_CTX:
+            for handler in handlers:
+                try:
+                    if not handler(message):
+                        success = False
+                except Exception:
+                    self.stats.handler_failures += 1
                     success = False
-            except Exception:
-                self.stats.handler_failures += 1
-                success = False
         if success and self.ack_loss_probability > 0 and self._rng.coin(
             self.ack_loss_probability
         ):
@@ -146,11 +192,21 @@ class ReliableQueue:
         if success:
             self.stats.acked += 1
             self._acked_ids.add(message.message_id)
+            if span is not None:
+                tracer.end_span(span, status="acked")
         elif message.attempts >= self.max_attempts:
             self.stats.dead_lettered += 1
             self.dead_letters.append(message)
+            if self._m_dead is not None:
+                self._m_dead.inc()
+            if span is not None:
+                tracer.end_span(span, status="dead_lettered")
         else:
             self.stats.redelivered += 1
+            if self._m_redelivered is not None:
+                self._m_redelivered.inc()
+            if span is not None:
+                tracer.end_span(span, status="redelivering")
             self._schedule_delivery(message, self.redelivery_timeout)
 
     @property

@@ -130,8 +130,26 @@ class ActiveActiveGroup:
         self.writes_accepted += 1
         return self.sim.now
 
-    def read(self, replica_id: str, entity_type: str, entity_key: str):
-        """Subjective read: whatever ``replica_id`` currently knows."""
+    def read(self, *args: str, consistency: Any = None):
+        """Subjective read — canonical or legacy form.
+
+        Canonical (unified protocol): ``read(entity_type, entity_key,
+        consistency=...)`` serves from the first replica; there is no
+        strong copy in an active/active group, so every consistency
+        level gets a subjective answer.  Legacy three-positional form:
+        ``read(replica_id, entity_type, entity_key)`` reads whatever
+        that replica currently knows.
+        """
+        if len(args) == 3:
+            replica_id, entity_type, entity_key = args
+        elif len(args) == 2:
+            entity_type, entity_key = args
+            replica_id = next(iter(self.replicas))
+        else:
+            raise TypeError(
+                "read() takes (entity_type, entity_key) or "
+                f"(replica_id, entity_type, entity_key); got {len(args)} args"
+            )
         return self.replicas[replica_id].store.get(entity_type, entity_key)
 
     # ------------------------------------------------------------------ #

@@ -51,6 +51,11 @@ class AntiEntropy:
         self.rounds = 0
         self._rng = sim.fork_rng()
         self._stopped = False
+        self._m_rounds = (
+            sim.metrics.counter("antientropy.rounds")
+            if sim.metrics is not None
+            else None
+        )
         self._schedule_next()
 
     def _schedule_next(self) -> None:
@@ -60,6 +65,8 @@ class AntiEntropy:
         if self._stopped:
             return
         self.rounds += 1
+        if self._m_rounds is not None:
+            self._m_rounds.inc()
         for replica in self.replicas:
             if replica.crashed:
                 continue

@@ -67,6 +67,13 @@ class AsyncPrimaryBackup:
         self._shipped_lsn = 0
         self._active = True
         self.failovers: list[FailoverReport] = []
+        self._g_lag = (
+            sim.metrics.gauge(
+                "replication.lag_events", scheme="async", backup=backup_id
+            )
+            if sim.metrics is not None
+            else None
+        )
         self._schedule_shipping()
 
     # ------------------------------------------------------------------ #
@@ -87,6 +94,19 @@ class AsyncPrimaryBackup:
         self.primary.store.apply_delta(entity_type, entity_key, delta, tx_id=tx_id)
         return self.sim.now
 
+    def read(self, entity_type: str, entity_key: str, *, consistency: Any = None):
+        """The unified read protocol (see :mod:`repro.core.readpath`).
+
+        ``STRONG`` (and the default) reads the primary, which has every
+        acknowledged write; weaker levels read the backup, which lags by
+        up to one shipping interval.
+        """
+        from repro.core.consistency import ConsistencyLevel
+
+        if consistency is None or consistency is ConsistencyLevel.STRONG:
+            return self.primary.store.get(entity_type, entity_key)
+        return self.backup.store.get(entity_type, entity_key)
+
     # ------------------------------------------------------------------ #
     # Shipping loop
     # ------------------------------------------------------------------ #
@@ -105,6 +125,8 @@ class AsyncPrimaryBackup:
                 # suffix whenever the backup's vector lags.
                 self._shipped_lsn = backlog[-1].lsn
         self._reship_if_lagging()
+        if self._g_lag is not None:
+            self._g_lag.set(self.replication_lag_events)
         self._schedule_shipping()
 
     def _reship_if_lagging(self) -> None:

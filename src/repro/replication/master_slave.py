@@ -65,6 +65,11 @@ class MasterSlaveGroup:
             self.slaves[slave_id] = network.register(ReplicaNode(slave_id, sim))
         self._shipped: dict[str, int] = {slave_id: 0 for slave_id in self.slaves}
         self.rejected_writes = 0
+        self._h_staleness = (
+            sim.metrics.histogram("read.staleness_events", scheme="master_slave")
+            if sim.metrics is not None
+            else None
+        )
         self._schedule_shipping()
 
     # ------------------------------------------------------------------ #
@@ -100,12 +105,42 @@ class MasterSlaveGroup:
     # Reads: anywhere, with staleness at slaves
     # ------------------------------------------------------------------ #
 
-    def read(
-        self, node_id: str, entity_type: str, entity_key: str
-    ) -> Optional[EntityState]:
-        """Read at the master (fresh) or a slave (possibly stale)."""
+    def read(self, *args: str, consistency: Any = None) -> Optional[EntityState]:
+        """Read an entity — canonical or legacy form.
+
+        Canonical (the unified protocol, :mod:`repro.core.readpath`)::
+
+            group.read(entity_type, entity_key, consistency=...)
+
+        routes by consistency level: ``STRONG`` goes to the master,
+        anything weaker (or ``None``'s default of ``EVENTUAL``) goes to
+        the first slave and may be stale.  The legacy three-positional
+        form ``read(node_id, entity_type, entity_key)`` addresses an
+        explicit node and keeps existing call sites working.
+
+        Slave reads record their staleness (master events not yet
+        applied at the serving slave) into the ``read.staleness_events``
+        histogram when metrics are attached.
+        """
+        if len(args) == 3:
+            node_id, entity_type, entity_key = args
+        elif len(args) == 2:
+            entity_type, entity_key = args
+            from repro.core.consistency import ConsistencyLevel
+
+            if consistency is None or consistency is ConsistencyLevel.STRONG:
+                node_id = self.master.node_id
+            else:
+                node_id = next(iter(self.slaves))
+        else:
+            raise TypeError(
+                "read() takes (entity_type, entity_key) or "
+                f"(node_id, entity_type, entity_key); got {len(args)} args"
+            )
         if node_id == self.master.node_id:
             return self.master.store.get(entity_type, entity_key)
+        if self._h_staleness is not None:
+            self._h_staleness.record(self.slave_lag_events(node_id))
         return self.slaves[node_id].store.get(entity_type, entity_key)
 
     def slave_lag_events(self, slave_id: str) -> int:

@@ -160,6 +160,8 @@ class QuorumCoordinator(Node):
                     },
                 )
                 self.group.read_repairs_sent += 1
+                if self.group._m_repairs is not None:
+                    self.group._m_repairs.inc()
 
     def _finish(self, pending: _PendingRequest, ok: bool) -> None:
         if pending.done:
@@ -170,6 +172,9 @@ class QuorumCoordinator(Node):
         pending.outcome.ok = ok
         pending.outcome.finished_at = self.group.sim.now
         self.group.outcomes.append(pending.outcome)
+        counter = self.group._m_ops.get((pending.outcome.kind, ok))
+        if counter is not None:
+            counter.inc()
         del self._pending[pending.outcome.request_id]
         pending.on_done(pending.outcome)
 
@@ -252,6 +257,18 @@ class QuorumGroup:
         self.request_counter = itertools.count(1)
         self.read_repair = read_repair
         self.read_repairs_sent = 0
+        if sim.metrics is not None:
+            counter = sim.metrics.counter
+            self._m_ops = {
+                ("write", True): counter("quorum.ops", kind="write", result="ok"),
+                ("write", False): counter("quorum.ops", kind="write", result="failed"),
+                ("read", True): counter("quorum.ops", kind="read", result="ok"),
+                ("read", False): counter("quorum.ops", kind="read", result="failed"),
+            }
+            self._m_repairs = counter("quorum.read_repairs")
+        else:
+            self._m_ops = {}
+            self._m_repairs = None
 
     def write(
         self,

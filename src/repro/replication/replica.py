@@ -45,14 +45,23 @@ class ReplicaNode(Node):
     ):
         super().__init__(node_id)
         self.sim = sim
+        # The store inherits the simulator's observability handles, so a
+        # traced simulator yields traced replicas with no extra wiring.
         self.store = LSDBStore(
             name=node_id,
             origin=node_id,
             clock=lambda: sim.now,
             snapshot_interval=snapshot_interval,
+            tracer=sim.tracer,
+            metrics=sim.metrics,
         )
         self.events_received = 0
         self.anti_entropy_rounds = 0
+        self._m_received = (
+            sim.metrics.counter("replica.events_received", node=node_id)
+            if sim.metrics is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Message protocol
@@ -61,9 +70,23 @@ class ReplicaNode(Node):
     def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
         kind = message.get("type")
         if kind == "events":
+            # ``ctx`` maps "origin:seq" to the per-event ship span opened
+            # by the sender; arriving here is what closes that span, and
+            # the apply span chains onto it (the causal hop).
+            ctx = message.get("ctx")
+            tracer = self.store.tracer
             for event in message.get("events", ()):
-                if self.store.apply_remote(event):
+                ship_id = None
+                if ctx is not None:
+                    ship_id = ctx.get(f"{event.origin}:{event.origin_seq}")
+                if ship_id is not None and tracer is not None:
+                    ship_span = tracer.get(ship_id)
+                    if ship_span is not None:
+                        tracer.end_span(ship_span, status="delivered")
+                if self.store.apply_remote(event, parent_span=ship_id):
                     self.events_received += 1
+                    if self._m_received is not None:
+                        self._m_received.inc()
         elif kind == "vv":
             self._answer_probe(source, message)
         else:
@@ -81,17 +104,41 @@ class ReplicaNode(Node):
             missing.extend(self.store.events_from_origin(origin, their_count))
         self.anti_entropy_rounds += 1
         if missing:
-            self.send(source, {"type": "events", "events": missing})
+            # ship_events (not raw send) so anti-entropy repairs carry
+            # per-event ship spans like first-time shipping does.
+            self.ship_events(source, missing)
 
     # ------------------------------------------------------------------ #
     # Propagation helpers
     # ------------------------------------------------------------------ #
 
     def ship_events(self, destination: str, events: list[LogEvent]) -> bool:
-        """Send a batch of events to one peer (best-effort)."""
+        """Send a batch of events to one peer (best-effort).
+
+        With tracing on, each traced event gets a ``replicate.ship``
+        span parented on its append span; the span ids ride along in
+        the message's ``ctx`` and are closed by the receiver.  A batch
+        that never arrives leaves its ship spans open — the timeline's
+        way of showing a lost replication hop.
+        """
         if not events:
             return True
-        return self.send(destination, {"type": "events", "events": events})
+        message: dict[str, Any] = {"type": "events", "events": events}
+        tracer = self.store.tracer
+        if tracer is not None:
+            ctx: dict[str, str] = {}
+            for event in events:
+                if event.span_id:
+                    span = tracer.start_span(
+                        "replicate.ship",
+                        parent=event.span_id,
+                        node=self.node_id,
+                        dst=destination,
+                    )
+                    ctx[f"{event.origin}:{event.origin_seq}"] = span.span_id
+            if ctx:
+                message["ctx"] = ctx
+        return self.send(destination, message)
 
     def probe(self, destination: str) -> bool:
         """Send our version vector to a peer, inviting it to fill our

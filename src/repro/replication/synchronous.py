@@ -122,6 +122,19 @@ class SyncPrimaryBackup:
         )
         return self._write(event, on_done)
 
+    def read(self, entity_type: str, entity_key: str, *, consistency: Any = None):
+        """The unified read protocol (see :mod:`repro.core.readpath`).
+
+        Both nodes hold every acknowledged write, so the level only
+        picks which copy answers: ``STRONG`` (and the default) reads the
+        primary, weaker levels read the backup.
+        """
+        from repro.core.consistency import ConsistencyLevel
+
+        if consistency is None or consistency is ConsistencyLevel.STRONG:
+            return self.primary.store.get(entity_type, entity_key)
+        return self.backup.store.get(entity_type, entity_key)
+
     def _write(
         self,
         append_local: Callable[[str], LogEvent],

@@ -46,6 +46,11 @@ class WarehouseExtract:
         self.extracts_taken = 0
         self.events_applied_incrementally = 0
         self._snapshot: dict[tuple[str, str], EntityState] = {}
+        self._g_lag = (
+            sim.metrics.gauge("warehouse.lag_events")
+            if sim.metrics is not None
+            else None
+        )
         self._schedule_next()
 
     def _schedule_next(self) -> None:
@@ -67,6 +72,8 @@ class WarehouseExtract:
         self.extracted_at = self.sim.now
         self.extracted_lsn = self.source.log.head_lsn
         self.extracts_taken += 1
+        if self._g_lag is not None:
+            self._g_lag.set(self.lag_events)
         self._schedule_next()
 
     # ------------------------------------------------------------------ #
@@ -77,6 +84,21 @@ class WarehouseExtract:
         """Entity state as of the last extract (``None`` before the
         first extract or for unknown entities)."""
         return self._snapshot.get((entity_type, entity_key))
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = None,
+    ) -> Optional[EntityState]:
+        """The unified read protocol (see :mod:`repro.core.readpath`).
+
+        A warehouse has exactly one consistency level — ``EXTRACT`` —
+        so the parameter is accepted for surface compatibility and the
+        answer is always the last extract's.
+        """
+        return self.get(entity_type, entity_key)
 
     def scan(self, entity_type: str) -> list[EntityState]:
         """All live entities of a type as of the last extract."""

@@ -140,6 +140,8 @@ class Network:
         sim: Simulator,
         latency: float | Callable[..., float] = 1.0,
         loss_probability: float = 0.0,
+        tracer=None,
+        metrics=None,
     ):
         self.sim = sim
         self._latency = latency
@@ -150,6 +152,23 @@ class Network:
         self._rng = sim.fork_rng()
         self._trace: list[tuple[float, str, str, Any]] = []
         self.tracing = False
+        # Observability handles default from the simulator, so a traced
+        # simulator automatically yields a traced network.
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self.metrics = metrics if metrics is not None else sim.metrics
+        if self.metrics is not None:
+            counter = self.metrics.counter
+            self._m_sent = counter("net.sent")
+            self._m_delivered = counter("net.delivered")
+            self._m_dropped = {
+                "partition": counter("net.dropped", reason="partition"),
+                "loss": counter("net.dropped", reason="loss"),
+                "crashed": counter("net.dropped", reason="crashed"),
+            }
+            self._m_latency = self.metrics.histogram("net.latency")
+        else:
+            self._m_sent = self._m_delivered = self._m_latency = None
+            self._m_dropped = {}
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -199,22 +218,55 @@ class Network:
         if source not in self.nodes:
             raise NetworkError(f"unknown source {source!r}")
         self.stats.sent += 1
+        if self._m_sent is not None:
+            self._m_sent.inc()
         if self.nodes[source].crashed:
-            self.stats.dropped_crashed += 1
+            self._drop("crashed", source, destination)
             return False
         if self.is_partitioned(source, destination):
-            self.stats.dropped_partition += 1
+            self._drop("partition", source, destination)
             return False
         if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
-            self.stats.dropped_loss += 1
+            self._drop("loss", source, destination)
             return False
         delay = self._draw_latency()
+        if self._m_latency is not None:
+            self._m_latency.record(delay)
+        # A hop span is opened only when the send happens inside an
+        # active trace; it closes at delivery — or never, which is how a
+        # message dropped in flight shows up in the timeline.
+        hop = None
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            hop = tracer.start_span(
+                "net.hop", node=source, src=source, dst=destination,
+            )
         self.sim.schedule(
             delay,
-            lambda: self._deliver(source, destination, message),
+            lambda: self._deliver(source, destination, message, hop),
             label=f"net {source}->{destination}",
         )
         return True
+
+    def _drop(self, reason: str, source: str, destination: str) -> None:
+        """Record a dropped message in stats, metrics, and (when inside
+        an active trace) as an instantly-closed hop span."""
+        setattr(
+            self.stats,
+            f"dropped_{reason}",
+            getattr(self.stats, f"dropped_{reason}") + 1,
+        )
+        counter = self._m_dropped.get(reason)
+        if counter is not None:
+            counter.inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            tracer.end_span(
+                tracer.start_span(
+                    "net.hop", node=source, src=source, dst=destination,
+                    status=f"dropped_{reason}",
+                )
+            )
 
     def broadcast(self, source: str, message: Any) -> int:
         """Send ``message`` from ``source`` to every other node.
@@ -232,20 +284,44 @@ class Network:
             return max(0.0, self._latency(self._rng))
         return float(self._latency)
 
-    def _deliver(self, source: str, destination: str, message: Any) -> None:
+    def _deliver(
+        self,
+        source: str,
+        destination: str,
+        message: Any,
+        hop=None,
+    ) -> None:
+        tracer = self.tracer
         node = self.nodes.get(destination)
         if node is None or node.crashed:
             self.stats.dropped_crashed += 1
+            counter = self._m_dropped.get("crashed")
+            if counter is not None:
+                counter.inc()
+            if hop is not None:
+                tracer.end_span(hop, status="dropped_crashed")
             return
         # A partition that started while the message was in flight also
         # blocks it: partitions sever links, not just send attempts.
         if self.is_partitioned(source, destination):
             self.stats.dropped_partition += 1
+            counter = self._m_dropped.get("partition")
+            if counter is not None:
+                counter.inc()
+            # The hop span stays OPEN: the message left the source and
+            # never arrived, which the timeline renders as "open".
             return
         self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
         if self.tracing:
             self._trace.append((self.sim.now, source, destination, message))
-        node.handle_message(source, message)
+        if hop is not None:
+            tracer.end_span(hop, status="delivered")
+            with tracer.resume(hop.span_id):
+                node.handle_message(source, message)
+        else:
+            node.handle_message(source, message)
 
     @property
     def trace(self) -> list[tuple[float, str, str, Any]]:

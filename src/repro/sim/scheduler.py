@@ -30,9 +30,13 @@ class ScheduledEvent:
     comparison is far cheaper than dataclass ordering, and ``(time,
     seq)`` is unique so the handle is never compared.  ``cancelled``
     events stay in the heap but are skipped when popped (lazy deletion).
+
+    ``ctx`` is the span id that was ambient when the event was
+    scheduled (``None`` with tracing off): firing resumes that span, so
+    deferred work attaches to the trace of whatever caused it.
     """
 
-    __slots__ = ("time", "seq", "action", "label", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "action", "label", "cancelled", "_sim", "ctx")
 
     def __init__(
         self,
@@ -41,6 +45,7 @@ class ScheduledEvent:
         action: Callable[[], Any],
         label: str = "",
         sim: Optional["Simulator"] = None,
+        ctx: Optional[str] = None,
     ):
         self.time = time
         self.seq = seq
@@ -48,6 +53,7 @@ class ScheduledEvent:
         self.label = label
         self.cancelled = False
         self._sim = sim
+        self.ctx = ctx
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -85,9 +91,17 @@ class Simulator:
             Subsystems that need randomness should draw from this stream
             (or fork it via :meth:`fork_rng`) so a single seed pins the
             whole run.
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  When set, the
+            ambient span is captured at ``schedule()`` time and resumed
+            around the callback when it fires — the causal carrier for
+            deferred work.  Components built on this simulator default
+            their own tracer to this one.
+        metrics: Optional :class:`repro.obs.metrics.MetricsRegistry`;
+            the simulator counts fired events into it, and components
+            built on this simulator default their registry to this one.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, tracer=None, metrics=None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq: int = 0
@@ -98,6 +112,21 @@ class Simulator:
         self.rng = SeededRNG(seed)
         self._seed = seed
         self._fork_count = 0
+        self.tracer = tracer
+        self.metrics = metrics
+        self._fired_counter = (
+            metrics.counter("sim.events_fired") if metrics is not None else None
+        )
+
+    def instrument(self, tracer=None, metrics=None) -> "Simulator":
+        """Attach observability handles after construction (the cluster
+        builder uses this; components created later inherit them)."""
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+            self._fired_counter = metrics.counter("sim.events_fired")
+        return self
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -124,9 +153,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        tracer = self.tracer
         event = ScheduledEvent(
             time=self.now + delay, seq=self._seq, action=action, label=label,
-            sim=self,
+            sim=self, ctx=tracer.capture() if tracer is not None else None,
         )
         self._seq += 1
         self._live += 1
@@ -169,7 +199,13 @@ class Simulator:
             event._sim = None  # fired: later cancel() calls are no-ops
             self.now = time
             self._processed += 1
-            event.action()
+            if self._fired_counter is not None:
+                self._fired_counter.inc()
+            if self.tracer is not None and event.ctx is not None:
+                with self.tracer.resume(event.ctx):
+                    event.action()
+            else:
+                event.action()
             return True
         return False
 
@@ -193,6 +229,8 @@ class Simulator:
         fired = 0
         heap = self._heap
         pop = heapq.heappop
+        tracer = self.tracer
+        fired_counter = self._fired_counter
         while heap:
             if max_events is not None and fired >= max_events:
                 return fired
@@ -208,7 +246,13 @@ class Simulator:
             event._sim = None
             self.now = time
             self._processed += 1
-            event.action()
+            if fired_counter is not None:
+                fired_counter.inc()
+            if tracer is not None and event.ctx is not None:
+                with tracer.resume(event.ctx):
+                    event.action()
+            else:
+                event.action()
             fired += 1
         if until is not None:
             self.now = max(self.now, until)

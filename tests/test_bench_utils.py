@@ -39,7 +39,9 @@ class TestLatencyRecorder:
     def test_summary_keys(self):
         recorder = LatencyRecorder()
         recorder.record(2.0)
-        assert set(recorder.summary()) == {"count", "mean", "p50", "p99", "max"}
+        assert set(recorder.summary()) == {
+            "count", "mean", "p50", "p95", "p99", "max"
+        }
 
 
 class TestProbesAndWindows:

@@ -1,0 +1,210 @@
+"""The Cluster builder facade and the unified read protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, ClusterBuilder, ConsistencyLevel
+from repro.core.readpath import ReadSurface, read_from
+from repro.lsdb.store import LSDBStore
+from repro.replication import (
+    ActiveActiveGroup,
+    AsyncPrimaryBackup,
+    MasterSlaveGroup,
+    QuorumGroup,
+    SyncPrimaryBackup,
+)
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+class TestBuilderModes:
+    def test_async_pair_round_trip(self):
+        cluster = (
+            Cluster.build(seed=1)
+            .with_replicas(2, mode="async", ship_interval=10.0)
+            .create()
+        )
+        assert isinstance(cluster.replication, AsyncPrimaryBackup)
+        cluster.replication.write_insert("order", "o-1", {"total": 5})
+        cluster.sim.run(until=30.0)
+        assert cluster.read("order", "o-1").fields["total"] == 5
+        assert cluster.read(
+            "order", "o-1", consistency=ConsistencyLevel.EVENTUAL
+        ).fields["total"] == 5
+
+    def test_async_generalises_to_master_slave(self):
+        cluster = Cluster.build(seed=1).with_replicas(3, mode="async").create()
+        assert isinstance(cluster.replication, MasterSlaveGroup)
+        assert set(cluster.replication.slaves) == {"slave-1", "slave-2"}
+
+    def test_sync_pair(self):
+        cluster = Cluster.build(seed=1).with_replicas(2, mode="sync").create()
+        assert isinstance(cluster.replication, SyncPrimaryBackup)
+        cluster.replication.write_insert("order", "o-1", {"total": 2})
+        cluster.sim.run(until=50.0)
+        assert cluster.read("order", "o-1").fields["total"] == 2
+
+    def test_sync_rejects_larger_groups(self):
+        with pytest.raises(ValueError):
+            Cluster.build().with_replicas(3, mode="sync").create()
+
+    def test_active_active(self):
+        cluster = (
+            Cluster.build(seed=1)
+            .with_replicas(3, mode="active_active", anti_entropy_interval=5.0)
+            .create()
+        )
+        assert isinstance(cluster.replication, ActiveActiveGroup)
+        assert set(cluster.replication.replicas) == {"r1", "r2", "r3"}
+
+    def test_quorum(self):
+        cluster = (
+            Cluster.build(seed=1).with_replicas(3, mode="quorum").create()
+        )
+        assert isinstance(cluster.replication, QuorumGroup)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster.build().with_replicas(2, mode="chain")
+
+    def test_single_replica_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster.build().with_replicas(1)
+
+
+class TestBuilderComponents:
+    def test_standalone_stack(self):
+        cluster = (
+            Cluster.build(seed=7)
+            .with_store(name="orders-unit", origin="u1")
+            .with_queue()
+            .with_transactions(commit_cost=1.0, defer_lag=2.0)
+            .with_compensation()
+            .create()
+        )
+        assert cluster.store.origin == "u1"
+        tx = cluster.transactions.begin()
+        tx.insert("order", "o-1", {"total": 1})
+        receipt = tx.commit()
+        assert receipt.committed
+        cluster.sim.run()
+        assert cluster.read("order", "o-1").fields["total"] == 1
+        assert cluster.compensation.store is cluster.store
+
+    def test_transactions_imply_a_store(self):
+        cluster = Cluster.build().with_transactions().create()
+        assert cluster.store is not None
+        assert cluster.transactions is not None
+
+    def test_partition_units(self):
+        cluster = Cluster.build().with_partition_units("u1", "u2").create()
+        assert set(cluster.units) == {"u1", "u2"}
+        assert cluster.units["u1"].store.origin == "u1"
+
+    def test_warehouse_needs_a_source(self):
+        with pytest.raises(ValueError):
+            Cluster.build().with_warehouse(interval=10.0).create()
+
+    def test_warehouse_over_replication(self):
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(2, mode="master_slave", ship_interval=10.0)
+            .with_warehouse(interval=30.0)
+            .create()
+        )
+        cluster.replication.write_insert("report", "today", {"revenue": 6})
+        cluster.sim.run(until=35.0)
+        assert cluster.warehouse.get("report", "today").fields["revenue"] == 6
+
+    def test_tracing_wires_everything(self):
+        cluster = (
+            Cluster.build(seed=1)
+            .with_replicas(2, mode="async")
+            .with_tracing()
+            .create()
+        )
+        assert cluster.sim.tracer is cluster.tracer
+        assert cluster.network.tracer is cluster.tracer
+        assert cluster.store.tracer is cluster.tracer
+        assert cluster.network.metrics is cluster.metrics
+
+    def test_read_without_surface_raises(self):
+        cluster = Cluster.build().create()
+        with pytest.raises(RuntimeError):
+            cluster.read("order", "o-1")
+
+
+class TestLegacyConstructors:
+    """The builder is a facade: hand-wiring stays fully supported."""
+
+    def test_hand_wired_async_pair(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, latency=5.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        pair.write_insert("order", "o-1", {"total": 9})
+        sim.run(until=30.0)
+        assert pair.backup.store.get("order", "o-1").fields["total"] == 9
+
+    def test_legacy_node_addressed_read(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, latency=1.0)
+        group = MasterSlaveGroup(sim, net, "master", ["slave"], ship_interval=5.0)
+        group.write_insert("order", "o-1", {"total": 4})
+        sim.run(until=20.0)
+        # Three-positional form still addresses an explicit replica.
+        assert group.read("master", "order", "o-1").fields["total"] == 4
+        assert group.read("slave", "order", "o-1").fields["total"] == 4
+
+
+class TestReadProtocol:
+    def test_consistency_routes_master_slave(self):
+        cluster = (
+            Cluster.build(seed=2)
+            .with_network(latency=1.0)
+            .with_replicas(2, mode="master_slave", ship_interval=10.0)
+            .create()
+        )
+        cluster.replication.write_insert("order", "o-1", {"total": 4})
+        # Before shipping: the master has it, the slave does not.
+        assert cluster.read(
+            "order", "o-1", consistency=ConsistencyLevel.STRONG
+        ).fields["total"] == 4
+        assert cluster.read(
+            "order", "o-1", consistency=ConsistencyLevel.BOUNDED_STALENESS
+        ) is None
+        cluster.sim.run(until=30.0)
+        assert cluster.read(
+            "order", "o-1", consistency=ConsistencyLevel.BOUNDED_STALENESS
+        ).fields["total"] == 4
+
+    def test_store_implements_protocol(self):
+        store = LSDBStore()
+        store.insert("order", "o-1", {"total": 1})
+        assert isinstance(store, ReadSurface)
+        assert store.read("order", "o-1").fields["total"] == 1
+        # Consistency is accepted (and ignored) on single-level surfaces.
+        assert store.read(
+            "order", "o-1", consistency=ConsistencyLevel.STRONG
+        ).fields["total"] == 1
+
+    def test_read_from_falls_back_to_get(self):
+        class LegacySurface:
+            def get(self, entity_type, entity_key):
+                return (entity_type, entity_key)
+
+        assert read_from(LegacySurface(), "order", "o-1") == ("order", "o-1")
+
+    def test_builder_round_trips_all_modes(self):
+        for mode, count in (
+            ("async", 2),
+            ("sync", 2),
+            ("master_slave", 2),
+            ("active_active", 2),
+            ("quorum", 3),
+        ):
+            builder = Cluster.build(seed=4).with_replicas(count, mode=mode)
+            cluster = builder.create()
+            assert isinstance(builder, ClusterBuilder)
+            assert cluster.replication is not None
+            assert cluster.store is not None
