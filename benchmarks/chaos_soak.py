@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Deterministic chaos soak: faults + workload + invariants, one verdict.
+
+Runs the :mod:`repro.chaos` soak harness with a fixed seed and prints
+the canonical JSON report.  Exit status is 0 only when every invariant
+held AND at least four distinct fault kinds were injected — the CI
+chaos step fails the build otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_soak.py --seed 42
+    PYTHONPATH=src python benchmarks/chaos_soak.py --profile heavy \
+        --duration 3000 --check-determinism
+
+``--check-determinism`` runs the soak twice and additionally fails if
+the two reports are not byte-identical (the seeded-chaos contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos import PROFILES, SoakConfig, report_json, run_soak
+
+#: The acceptance floor: a soak that exercised fewer distinct fault
+#: kinds than this is not considered a chaos run at all.
+MIN_FAULT_KINDS = 4
+
+
+def build_config(args: argparse.Namespace) -> SoakConfig:
+    return SoakConfig(
+        seed=args.seed,
+        profile=args.profile,
+        replicas=args.replicas,
+        duration=args.duration,
+        quiesce_grace=args.grace,
+        write_rate=args.rate,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=42, help="simulator seed")
+    parser.add_argument(
+        "--profile", default="moderate", choices=sorted(PROFILES),
+        help="chaos intensity profile",
+    )
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="virtual time of the chaos+workload window",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=500.0,
+        help="quiet repair time after the chaos stops",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.4, help="mean writes per time unit"
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run twice and require byte-identical reports",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the verdict line"
+    )
+    args = parser.parse_args(argv)
+
+    config = build_config(args)
+    report = run_soak(config)
+    rendered = report_json(report)
+    if not args.quiet:
+        print(rendered)
+
+    ok = True
+    kinds = report["fault_kinds"]
+    if len(kinds) < MIN_FAULT_KINDS:
+        print(
+            f"FAIL: only {len(kinds)} fault kinds injected "
+            f"({', '.join(kinds)}); need >= {MIN_FAULT_KINDS}",
+            file=sys.stderr,
+        )
+        ok = False
+    if not report["invariants"]["ok"]:
+        failed = [
+            result["name"]
+            for result in report["invariants"]["results"]
+            if not result["passed"]
+        ]
+        print(f"FAIL: invariants violated: {', '.join(failed)}", file=sys.stderr)
+        ok = False
+
+    if args.check_determinism:
+        second = report_json(run_soak(config))
+        if second != rendered:
+            print("FAIL: report is not byte-deterministic", file=sys.stderr)
+            ok = False
+        elif not args.quiet:
+            print("determinism: byte-identical across two runs", file=sys.stderr)
+
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: seed={config.seed} profile={report['config']['profile']} "
+        f"kinds={len(kinds)} acked={report['workload']['writes_acked']} "
+        f"invariants_ok={report['invariants']['ok']}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ experiment suite (DESIGN.md maps each experiment to the paper claim it
 reproduces).
 """
 
+from repro.chaos import ChaosEngine, ChaosProfile, SoakConfig, run_soak
 from repro.core import (
     Apology,
     ApologyLedger,
@@ -51,6 +52,7 @@ from repro.core import (
     ConsistencyPolicy,
     ConstraintManager,
     ConstraintMode,
+    Deadline,
     EntityCatalog,
     EntityType,
     FieldSpec,
@@ -63,16 +65,20 @@ from repro.core import (
     ProcessEngine,
     ProcessStep,
     ReferentialConstraint,
+    RetryBudget,
+    RetryPolicy,
     SchemeBinding,
     StepContext,
     Strategy,
     TentativeOperation,
+    TimeoutPolicy,
     Transaction,
     TransactionManager,
     UpdateMode,
     Violation,
     get_principle,
 )
+from repro.errors import DeadlineExceeded, RetryExhausted
 from repro.lsdb import EventKind, LSDBStore, LogEvent
 from repro.merge import (
     Delta,
@@ -147,5 +153,15 @@ __all__ = [
     "Network",
     "Node",
     "Simulator",
+    "ChaosEngine",
+    "ChaosProfile",
+    "SoakConfig",
+    "run_soak",
+    "Deadline",
+    "RetryBudget",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "DeadlineExceeded",
+    "RetryExhausted",
     "__version__",
 ]

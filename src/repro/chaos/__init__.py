@@ -1,0 +1,40 @@
+"""Chaos/resilience subsystem: seeded fault schedules + invariants.
+
+"The show must go on" (principle 2.11) is a testable claim: inject
+crashes, partitions, loss, duplication, delay spikes and gray failures
+from a *seeded* schedule, quiesce, and assert that the system converged
+without losing an acknowledged write.  This package supplies the fault
+engine (:class:`ChaosEngine`), the intensity profiles
+(:class:`ChaosProfile`), the invariant checkers, and the end-to-end
+soak harness (:func:`run_soak`) the CI chaos step runs.
+"""
+
+from repro.chaos.engine import FAULT_KINDS, ChaosEngine, FaultEvent
+from repro.chaos.invariants import (
+    InvariantReport,
+    InvariantResult,
+    check_bounded_staleness,
+    check_convergence,
+    check_monotonic_reads,
+    check_no_lost_acked_writes,
+)
+from repro.chaos.profiles import PROFILES, ChaosProfile, get_profile
+from repro.chaos.soak import SoakConfig, report_json, run_soak
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROFILES",
+    "ChaosEngine",
+    "ChaosProfile",
+    "FaultEvent",
+    "InvariantReport",
+    "InvariantResult",
+    "SoakConfig",
+    "check_bounded_staleness",
+    "check_convergence",
+    "check_monotonic_reads",
+    "check_no_lost_acked_writes",
+    "get_profile",
+    "report_json",
+    "run_soak",
+]

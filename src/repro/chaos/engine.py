@@ -1,0 +1,282 @@
+"""The chaos engine: seeded fault schedules over a simulated cluster.
+
+Principle 2.11 says the show must go on — the system must keep serving
+and converge once conditions allow.  The chaos engine operationalises
+that as a repeatable experiment: it pre-generates a *deterministic*
+schedule of fault windows from a seeded random stream (crash-restart
+storms, rolling partitions, message-loss spikes, duplication spikes,
+delay spikes and gray failures), arms them on the simulator, and can
+quiesce — revert every knob and heal every failure — so invariant
+checkers can ask "did the system converge, and did it lose anything?"
+
+Determinism contract: the schedule is fully drawn at :meth:`plan` time
+in a fixed fault-family order from one forked RNG, so the same seed and
+profile always produce byte-identical schedules no matter how the run
+interleaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chaos.profiles import ChaosProfile, get_profile
+from repro.sim.failure import FailureInjector
+from repro.sim.network import Network, Node
+from repro.sim.rng import SeededRNG
+from repro.sim.scheduler import Simulator
+
+#: Generation order of fault families — fixed, part of the determinism
+#: contract (reordering would shift every RNG draw).
+FAULT_KINDS = ("crash", "partition", "loss", "duplication", "delay", "slow")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault window."""
+
+    at: float
+    kind: str  # one of FAULT_KINDS
+    duration: float
+    detail: str
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+
+class ChaosEngine:
+    """Composes randomized fault schedules over a simulator/network.
+
+    Args:
+        sim: The simulator.
+        network: The network whose knobs and nodes the faults hit.
+        nodes: The nodes eligible for crashes/slowdowns (default: every
+            node registered on the network at :meth:`plan` time).
+        profile: A :class:`~repro.chaos.profiles.ChaosProfile` or the
+            name of a built-in one (``"light"``/``"moderate"``/
+            ``"heavy"``).
+        rng: Optional private random stream; default is forked from the
+            simulator so the simulator seed pins the schedule.
+        injector: Optional :class:`~repro.sim.failure.FailureInjector`
+            to share a failure timeline with scripted injections.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: Optional[list[Node]] = None,
+        profile: str | ChaosProfile = "moderate",
+        rng: Optional[SeededRNG] = None,
+        injector: Optional[FailureInjector] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self._nodes = list(nodes) if nodes is not None else None
+        self.profile = get_profile(profile)
+        self._rng = rng if rng is not None else sim.fork_rng()
+        self.injector = injector if injector is not None else FailureInjector(sim, network)
+        self.schedule: list[FaultEvent] = []
+        self._handles: list = []
+        # Reference counts for overlapping windows of the same knob.
+        self._spike_depth = {"loss": 0, "duplication": 0, "delay": 0}
+        self._crash_depth: dict[str, int] = {}
+        self._slow_depth: dict[str, int] = {}
+        self._baseline_loss = network.loss_probability
+        self._baseline_duplication = network.duplication_probability
+        self._baseline_latency_factor = network.latency_factor
+        self._m_faults = (
+            sim.metrics.counter("chaos.faults_injected")
+            if sim.metrics is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def _eligible_nodes(self) -> list[str]:
+        nodes = self._nodes if self._nodes is not None else list(self.network.nodes.values())
+        return sorted(node.node_id for node in nodes)
+
+    def plan(self, horizon: float) -> list[FaultEvent]:
+        """Draw the full fault schedule for ``[0, horizon)``.
+
+        Idempotent per engine: planning twice raises, because the RNG
+        draws would differ and silently break determinism.
+        """
+        if self.schedule:
+            raise RuntimeError("chaos schedule already planned")
+        node_ids = self._eligible_nodes()
+        if len(node_ids) < 2:
+            raise ValueError("chaos needs at least two nodes to be interesting")
+        profile = self.profile
+        events: list[FaultEvent] = []
+        for kind in FAULT_KINDS:
+            interval = getattr(profile, self._field(kind, "interval"))
+            lo, hi = getattr(profile, self._field(kind, "duration"))
+            at = self._rng.exponential(interval)
+            while at < horizon:
+                duration = self._rng.uniform(lo, hi)
+                events.append(
+                    FaultEvent(
+                        at=at,
+                        kind=kind,
+                        duration=duration,
+                        detail=self._draw_detail(kind, node_ids),
+                    )
+                )
+                at += self._rng.exponential(interval)
+        events.sort(key=lambda event: (event.at, event.kind, event.detail))
+        self.schedule = events
+        return events
+
+    @staticmethod
+    def _field(kind: str, suffix: str) -> str:
+        prefix = {"loss": "loss", "duplication": "duplication"}.get(kind, kind)
+        return f"{prefix}_{suffix}"
+
+    def _draw_detail(self, kind: str, node_ids: list[str]) -> str:
+        if kind in ("crash", "slow"):
+            return self._rng.choice(node_ids)
+        if kind == "partition":
+            shuffled = list(node_ids)
+            self._rng.shuffle(shuffled)
+            cut = self._rng.randint(1, len(shuffled) - 1)
+            left, right = sorted(shuffled[:cut]), sorted(shuffled[cut:])
+            return f"{','.join(left)}|{','.join(right)}"
+        return ""  # knob spikes carry no per-event detail
+
+    # ------------------------------------------------------------------ #
+    # Arming
+    # ------------------------------------------------------------------ #
+
+    def inject(self, horizon: float) -> list[FaultEvent]:
+        """Plan (if not yet planned) and arm every fault window."""
+        if not self.schedule:
+            self.plan(horizon)
+        for event in self.schedule:
+            self._arm(event)
+        return self.schedule
+
+    def _arm(self, event: FaultEvent) -> None:
+        self._handles.append(
+            self.sim.schedule_at(
+                event.at, lambda e=event: self._apply(e), label=f"chaos:{event.kind}"
+            )
+        )
+        self._handles.append(
+            self.sim.schedule_at(
+                event.until,
+                lambda e=event: self._revert(e),
+                label=f"chaos-end:{event.kind}",
+            )
+        )
+
+    def _apply(self, event: FaultEvent) -> None:
+        if self._m_faults is not None:
+            self._m_faults.inc()
+        kind = event.kind
+        if kind == "crash":
+            depth = self._crash_depth.get(event.detail, 0)
+            self._crash_depth[event.detail] = depth + 1
+            if depth == 0:
+                self.injector._crash(self.network.nodes[event.detail])
+        elif kind == "partition":
+            groups = [part.split(",") for part in event.detail.split("|")]
+            # Route through the injector so overlapping windows restore
+            # correctly (the partition-stack semantics).
+            self.injector.partition_window(groups, self.sim.now, event.duration)
+        elif kind == "slow":
+            depth = self._slow_depth.get(event.detail, 0)
+            self._slow_depth[event.detail] = depth + 1
+            if depth == 0:
+                self.network.slow_nodes[event.detail] = self.profile.slow_factor
+        else:
+            depth = self._spike_depth[kind]
+            self._spike_depth[kind] = depth + 1
+            if depth == 0:
+                if kind == "loss":
+                    self.network.loss_probability = max(
+                        self._baseline_loss, self.profile.loss_probability
+                    )
+                elif kind == "duplication":
+                    self.network.duplication_probability = max(
+                        self._baseline_duplication,
+                        self.profile.duplication_probability,
+                    )
+                elif kind == "delay":
+                    self.network.latency_factor = (
+                        self._baseline_latency_factor * self.profile.delay_factor
+                    )
+
+    def _revert(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "crash":
+            depth = self._crash_depth.get(event.detail, 0) - 1
+            self._crash_depth[event.detail] = max(0, depth)
+            if depth == 0:
+                self.injector._recover(self.network.nodes[event.detail])
+        elif kind == "partition":
+            pass  # partition_window scheduled its own heal
+        elif kind == "slow":
+            depth = self._slow_depth.get(event.detail, 0) - 1
+            self._slow_depth[event.detail] = max(0, depth)
+            if depth == 0:
+                self.network.slow_nodes.pop(event.detail, None)
+        else:
+            depth = self._spike_depth[kind] - 1
+            self._spike_depth[kind] = max(0, depth)
+            if depth == 0:
+                if kind == "loss":
+                    self.network.loss_probability = self._baseline_loss
+                elif kind == "duplication":
+                    self.network.duplication_probability = self._baseline_duplication
+                elif kind == "delay":
+                    self.network.latency_factor = self._baseline_latency_factor
+
+    # ------------------------------------------------------------------ #
+    # Quiesce
+    # ------------------------------------------------------------------ #
+
+    def quiesce(self) -> None:
+        """Stop the chaos and restore benign conditions.
+
+        Cancels every pending window, recovers crashed nodes, heals all
+        partitions and resets every network knob to its baseline — the
+        precondition for checking convergence invariants.
+        """
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        for node_id, depth in self._crash_depth.items():
+            if depth > 0:
+                self.injector._recover(self.network.nodes[node_id])
+        self._crash_depth.clear()
+        self.injector.heal_all()
+        self.network.loss_probability = self._baseline_loss
+        self.network.duplication_probability = self._baseline_duplication
+        self.network.latency_factor = self._baseline_latency_factor
+        self.network.slow_nodes.clear()
+        self._slow_depth.clear()
+        for kind in self._spike_depth:
+            self._spike_depth[kind] = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fault_kinds(self) -> list[str]:
+        """The distinct fault kinds in the planned schedule, sorted."""
+        return sorted({event.kind for event in self.schedule})
+
+    def schedule_summary(self) -> dict[str, int]:
+        """Planned window counts per fault kind (deterministic order)."""
+        counts: dict[str, int] = {}
+        for kind in FAULT_KINDS:
+            count = sum(1 for event in self.schedule if event.kind == kind)
+            if count:
+                counts[kind] = count
+        return counts

@@ -1,0 +1,179 @@
+"""Invariant checkers: what must still be true after the chaos.
+
+Each checker inspects the quiesced system and returns an
+:class:`InvariantResult`; a :class:`InvariantReport` aggregates them
+into a deterministic, JSON-serialisable verdict (sorted keys, stable
+ordering — the byte-determinism contract the soak harness asserts).
+
+The four invariants mirror the paper's promises:
+
+* **convergence** — "convergence to equivalent states at all replicas
+  if there were no further transactions" (section 1);
+* **no lost acknowledged writes** — a subjectively committed write
+  survives loss, duplication, crashes and partitions (at-least-once
+  shipping + idempotent, per-origin-ordered apply);
+* **monotonic reads per session** — a session pinned to one replica
+  never sees state move backwards;
+* **bounded staleness** — every acknowledged write becomes visible
+  everywhere within a bound once conditions allow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.replication.replica import ReplicaNode
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Verdict of one invariant checker."""
+
+    name: str
+    passed: bool
+    checked: int  # how many items the checker examined
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "checked": self.checked,
+            "detail": self.detail,
+            "name": self.name,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class InvariantReport:
+    """All invariant verdicts for one soak run."""
+
+    results: list[InvariantResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def failed(self) -> list[InvariantResult]:
+        return [result for result in self.results if not result.passed]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "results": [
+                result.to_dict()
+                for result in sorted(self.results, key=lambda r: r.name)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators — byte-identical
+        across runs with the same seed."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------- #
+# Checkers
+# ---------------------------------------------------------------------- #
+
+
+def check_convergence(replicas: Sequence[ReplicaNode]) -> InvariantResult:
+    """All replicas expose identical observable state."""
+    reference = replicas[0].observable_state()
+    divergent = [
+        replica.node_id
+        for replica in replicas[1:]
+        if replica.observable_state() != reference
+    ]
+    return InvariantResult(
+        name="convergence",
+        passed=not divergent,
+        checked=len(replicas),
+        detail="" if not divergent else f"divergent: {','.join(divergent)}",
+    )
+
+
+def check_no_lost_acked_writes(
+    replicas: Sequence[ReplicaNode],
+    expected: Mapping[tuple[str, str], Mapping[str, float]],
+) -> InvariantResult:
+    """Every acknowledged (delta) write is reflected in every replica.
+
+    ``expected`` maps ``(entity_type, entity_key)`` to the field sums
+    the acknowledged deltas add up to.  Duplicated deliveries must not
+    inflate the sums (idempotence) and lost deliveries must have been
+    repaired (anti-entropy), so equality in both directions is the
+    check.
+    """
+    mismatches: list[str] = []
+    for replica in replicas:
+        state = replica.observable_state()
+        for ref, field_sums in expected.items():
+            fields = state.get(ref)
+            if fields is None:
+                mismatches.append(f"{replica.node_id}:{ref[1]}:missing")
+                continue
+            for field_name, total in field_sums.items():
+                actual = fields.get(field_name, 0)
+                if actual != total:
+                    mismatches.append(
+                        f"{replica.node_id}:{ref[1]}.{field_name}="
+                        f"{actual}!={total}"
+                    )
+    return InvariantResult(
+        name="no_lost_acked_writes",
+        passed=not mismatches,
+        checked=len(expected) * len(replicas),
+        detail="; ".join(sorted(mismatches)[:5]),
+    )
+
+
+def check_monotonic_reads(
+    sessions: Mapping[str, Sequence[float]],
+) -> InvariantResult:
+    """Each session's observed values never decrease.
+
+    ``sessions`` maps a session id to the sequence of values it read
+    (from its pinned replica) over the run.
+    """
+    violations: list[str] = []
+    reads = 0
+    for session_id in sorted(sessions):
+        values = sessions[session_id]
+        reads += len(values)
+        for earlier, later in zip(values, values[1:]):
+            if later < earlier:
+                violations.append(f"{session_id}:{earlier}->{later}")
+                break
+    return InvariantResult(
+        name="monotonic_reads",
+        passed=not violations,
+        checked=reads,
+        detail="; ".join(violations[:5]),
+    )
+
+
+def check_bounded_staleness(
+    staleness_samples: Sequence[float],
+    bound: float,
+    uncovered: int = 0,
+) -> InvariantResult:
+    """No acknowledged write took longer than ``bound`` virtual time to
+    become visible at every replica.
+
+    ``staleness_samples`` are the observed ack-to-visible lags (one per
+    write per observer); ``uncovered`` counts acknowledged writes some
+    replica never saw at all — each is an automatic violation.
+    """
+    worst = max(staleness_samples) if staleness_samples else 0.0
+    passed = uncovered == 0 and worst <= bound
+    detail = f"max={worst:.1f} bound={bound:.1f}"
+    if uncovered:
+        detail += f" uncovered={uncovered}"
+    return InvariantResult(
+        name="bounded_staleness",
+        passed=passed,
+        checked=len(staleness_samples),
+        detail=detail,
+    )

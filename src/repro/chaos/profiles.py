@@ -1,0 +1,114 @@
+"""Chaos intensity profiles: how often and how hard faults hit.
+
+A :class:`ChaosProfile` is a declarative bundle of fault rates and
+magnitudes; the :class:`~repro.chaos.engine.ChaosEngine` turns one into
+a concrete, seeded fault schedule.  Profiles are plain frozen data so
+experiments can version them alongside their results.
+
+Every fault family is parameterised the same way: a mean interval
+between windows (the engine draws exponential gaps, so windows arrive
+as a Poisson process), a ``(min, max)`` uniform window duration, and —
+where it applies — an intensity (loss probability, latency factor,
+slowdown factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Fault rates and magnitudes for one chaos run.
+
+    Intervals are the *mean* virtual-time gap between windows of that
+    fault family; durations are uniform ``(min, max)`` window lengths.
+    """
+
+    name: str
+    # Crash-restart storms: a node goes down and comes back.
+    crash_interval: float = 400.0
+    crash_duration: tuple[float, float] = (20.0, 60.0)
+    # Rolling partitions: a random two-way split of the node set.
+    partition_interval: float = 500.0
+    partition_duration: tuple[float, float] = (30.0, 80.0)
+    # Message-loss spikes: loss probability jumps for a window.
+    loss_interval: float = 450.0
+    loss_duration: tuple[float, float] = (20.0, 60.0)
+    loss_probability: float = 0.3
+    # Duplication spikes: at-least-once delivery turns pathological.
+    duplication_interval: float = 450.0
+    duplication_duration: tuple[float, float] = (20.0, 60.0)
+    duplication_probability: float = 0.3
+    # Delay spikes: every latency draw is multiplied for a window.
+    delay_interval: float = 500.0
+    delay_duration: tuple[float, float] = (20.0, 60.0)
+    delay_factor: float = 6.0
+    # Gray failures: one node is up but pathologically slow.
+    slow_interval: float = 500.0
+    slow_duration: tuple[float, float] = (30.0, 80.0)
+    slow_factor: float = 10.0
+
+    @property
+    def max_window(self) -> float:
+        """The longest single fault window this profile can produce
+        (used to size staleness bounds and quiesce grace periods)."""
+        return max(
+            self.crash_duration[1],
+            self.partition_duration[1],
+            self.loss_duration[1],
+            self.duplication_duration[1],
+            self.delay_duration[1],
+            self.slow_duration[1],
+        )
+
+
+#: The named profiles the CLI and the cluster builder accept.
+PROFILES: dict[str, ChaosProfile] = {
+    "light": ChaosProfile(
+        name="light",
+        crash_interval=900.0,
+        partition_interval=1100.0,
+        loss_interval=1000.0,
+        loss_probability=0.15,
+        duplication_interval=1000.0,
+        duplication_probability=0.15,
+        delay_interval=1100.0,
+        delay_factor=3.0,
+        slow_interval=1100.0,
+        slow_factor=5.0,
+    ),
+    "moderate": ChaosProfile(name="moderate"),
+    "heavy": ChaosProfile(
+        name="heavy",
+        crash_interval=250.0,
+        crash_duration=(30.0, 90.0),
+        partition_interval=300.0,
+        partition_duration=(40.0, 110.0),
+        loss_interval=280.0,
+        loss_probability=0.5,
+        duplication_interval=280.0,
+        duplication_probability=0.5,
+        delay_interval=300.0,
+        delay_factor=10.0,
+        slow_interval=300.0,
+        slow_factor=20.0,
+    ),
+}
+
+
+def get_profile(profile: str | ChaosProfile) -> ChaosProfile:
+    """Resolve a profile by name (or pass a profile through).
+
+    Raises:
+        ValueError: If ``profile`` is an unknown name.
+    """
+    if isinstance(profile, ChaosProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; "
+            f"expected one of {sorted(PROFILES)}"
+        ) from None

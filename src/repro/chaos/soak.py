@@ -1,0 +1,250 @@
+"""The chaos soak harness: workload + faults + invariants, one report.
+
+A soak run is the package's end-to-end experiment:
+
+1. build an active/active replica group (the scheme the paper's
+   principles are *for*) on a lossy network;
+2. drive a seeded open-loop write workload while the
+   :class:`~repro.chaos.engine.ChaosEngine` injects its fault schedule;
+3. quiesce — stop the chaos, heal everything, let anti-entropy repair;
+4. run the invariant checkers and emit one deterministic report.
+
+Everything draws from streams forked off the one simulator seed, so
+``run_soak(SoakConfig(seed=42))`` twice yields byte-identical JSON —
+the property the CI chaos step and the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.bench.workloads import open_loop_arrivals
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.invariants import (
+    InvariantReport,
+    check_bounded_staleness,
+    check_convergence,
+    check_monotonic_reads,
+    check_no_lost_acked_writes,
+)
+from repro.chaos.profiles import ChaosProfile, get_profile
+from repro.merge.deltas import Delta
+from repro.obs.metrics import MetricsRegistry
+from repro.replication.active_active import ActiveActiveGroup
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Parameters of one chaos soak run."""
+
+    seed: int = 0
+    profile: str | ChaosProfile = "moderate"
+    replicas: int = 4
+    duration: float = 2000.0  # chaos + workload window
+    quiesce_grace: float = 500.0  # quiet repair time after the chaos stops
+    write_rate: float = 0.4  # mean writes per virtual time unit
+    keys: int = 8
+    key_skew: float = 0.6
+    sessions: int = 4
+    read_interval: float = 25.0
+    poll_interval: float = 20.0  # staleness monitor cadence
+    anti_entropy_interval: float = 20.0
+    network_latency: float = 2.0
+    staleness_bound: Optional[float] = None  # default derived from profile
+
+    def resolved_staleness_bound(self) -> float:
+        """The bound used when none is given: the longest fault window
+        plus repair time, with slack for chained/overlapping faults."""
+        if self.staleness_bound is not None:
+            return self.staleness_bound
+        profile = get_profile(self.profile)
+        return 3 * profile.max_window + 10 * self.anti_entropy_interval + 100.0
+
+
+@dataclass
+class _Recorder:
+    """Mutable run state shared by the scheduled closures."""
+
+    acked: int = 0
+    rejected: int = 0
+    reads: int = 0
+    skipped_reads: int = 0
+    ack_times: dict[tuple[str, int], float] = field(default_factory=dict)
+    write_counts: dict[str, int] = field(default_factory=dict)
+    expected: dict[tuple[str, str], dict[str, float]] = field(default_factory=dict)
+    sessions: dict[str, list[float]] = field(default_factory=dict)
+    staleness: list[float] = field(default_factory=list)
+    vv_seen: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+def run_soak(config: SoakConfig) -> dict[str, Any]:
+    """Run one chaos soak and return the deterministic report dict."""
+    metrics = MetricsRegistry()
+    sim = Simulator(seed=config.seed, metrics=metrics)
+    network = Network(sim, latency=config.network_latency)
+    replica_ids = [f"r{index}" for index in range(1, config.replicas + 1)]
+    group = ActiveActiveGroup(
+        sim,
+        network,
+        replica_ids,
+        anti_entropy_interval=config.anti_entropy_interval,
+        gossip_fanout=2,
+    )
+    chaos = ChaosEngine(sim, network, group.replica_list(), profile=config.profile)
+    recorder = _Recorder()
+    recorder.sessions = {f"s{index}": [] for index in range(1, config.sessions + 1)}
+
+    # ---- workload: seeded open-loop writes, round-robin over replicas -- #
+    workload_rng = sim.fork_rng()
+    key_names = [f"k{index}" for index in range(config.keys)]
+    arrivals = open_loop_arrivals(
+        workload_rng,
+        rate=config.write_rate,
+        duration=config.duration,
+        keys=key_names,
+        theta=config.key_skew,
+    )
+
+    def do_write(arrival) -> None:
+        replica_id = replica_ids[arrival.index % len(replica_ids)]
+        replica = group.replicas[replica_id]
+        if replica.crashed:
+            # A real client cannot reach a crashed node: no ack, no write.
+            recorder.rejected += 1
+            return
+        amount = 1 + arrival.index % 3  # deterministic, non-uniform amounts
+        group.write_delta(
+            replica_id, "counter", arrival.key, Delta.add("value", amount)
+        )
+        recorder.acked += 1
+        count = recorder.write_counts.get(replica_id, 0) + 1
+        recorder.write_counts[replica_id] = count
+        recorder.ack_times[(replica_id, count)] = sim.now
+        sums = recorder.expected.setdefault(("counter", arrival.key), {})
+        sums["value"] = sums.get("value", 0) + amount
+
+    for arrival in arrivals:
+        sim.schedule_at(arrival.at, lambda a=arrival: do_write(a), label="soak-write")
+
+    # ---- sessions: pinned reads of the hottest key --------------------- #
+    hot_key = key_names[0]
+
+    def do_read(session_id: str, replica_id: str) -> None:
+        replica = group.replicas[replica_id]
+        if replica.crashed:
+            recorder.skipped_reads += 1
+            return
+        state = replica.store.get("counter", hot_key)
+        value = state.fields.get("value", 0) if state is not None else 0
+        recorder.sessions[session_id].append(value)
+        recorder.reads += 1
+
+    read_horizon = config.duration + config.quiesce_grace
+    for index, session_id in enumerate(sorted(recorder.sessions)):
+        replica_id = replica_ids[index % len(replica_ids)]
+        tick = config.read_interval * (1 + index % 2)  # desynchronised cadences
+        at = tick
+        while at < read_horizon:
+            sim.schedule_at(
+                at,
+                lambda s=session_id, r=replica_id: do_read(s, r),
+                label="soak-read",
+            )
+            at += tick
+
+    # ---- staleness monitor: watch version vectors advance -------------- #
+    def poll_staleness() -> None:
+        now = sim.now
+        for replica in group.replica_list():
+            seen = recorder.vv_seen.setdefault(replica.node_id, {})
+            vector = replica.store.version_vector.to_dict()
+            for origin, covered in vector.items():
+                last = seen.get(origin, 0)
+                for seq in range(last + 1, covered + 1):
+                    acked_at = recorder.ack_times.get((origin, seq))
+                    if acked_at is not None:
+                        recorder.staleness.append(now - acked_at)
+                seen[origin] = max(last, covered)
+
+    at = config.poll_interval
+    while at <= read_horizon:
+        sim.schedule_at(at, poll_staleness, label="soak-poll")
+        at += config.poll_interval
+
+    # ---- chaos, then quiesce ------------------------------------------- #
+    chaos.inject(config.duration)
+    sim.schedule_at(config.duration, chaos.quiesce, label="soak-quiesce")
+    sim.run(until=read_horizon)
+
+    # Give anti-entropy extra rounds if the grace period was not enough.
+    repair_rounds = 0
+    while not group.is_converged() and repair_rounds < 40:
+        sim.run(until=sim.now + 5 * config.anti_entropy_interval)
+        repair_rounds += 1
+    poll_staleness()  # final visibility sweep after repair
+
+    # ---- invariants ----------------------------------------------------- #
+    replicas = group.replica_list()
+    uncovered = sum(
+        1
+        for (origin, seq) in recorder.ack_times
+        if any(
+            recorder.vv_seen.get(replica.node_id, {}).get(origin, 0) < seq
+            for replica in replicas
+        )
+    )
+    report = InvariantReport(
+        results=[
+            check_convergence(replicas),
+            check_no_lost_acked_writes(replicas, recorder.expected),
+            check_monotonic_reads(recorder.sessions),
+            check_bounded_staleness(
+                recorder.staleness,
+                bound=config.resolved_staleness_bound(),
+                uncovered=uncovered,
+            ),
+        ]
+    )
+
+    profile = get_profile(config.profile)
+    stats = network.stats
+    return {
+        "config": {
+            "duration": config.duration,
+            "profile": profile.name,
+            "quiesce_grace": config.quiesce_grace,
+            "replicas": config.replicas,
+            "seed": config.seed,
+            "write_rate": config.write_rate,
+        },
+        "converged_at": sim.now,
+        "faults": chaos.schedule_summary(),
+        "fault_kinds": chaos.fault_kinds,
+        "invariants": report.to_dict(),
+        "network": {
+            "delivered": stats.delivered,
+            "dropped_crashed": stats.dropped_crashed,
+            "dropped_loss": stats.dropped_loss,
+            "dropped_partition": stats.dropped_partition,
+            "duplicated": stats.duplicated,
+            "sent": stats.sent,
+        },
+        "ok": report.ok and len(chaos.fault_kinds) >= 4,
+        "repair_rounds": repair_rounds,
+        "workload": {
+            "reads": recorder.reads,
+            "reads_skipped": recorder.skipped_reads,
+            "writes_acked": recorder.acked,
+            "writes_rejected": recorder.rejected,
+        },
+    }
+
+
+def report_json(report: dict[str, Any]) -> str:
+    """Canonical JSON rendering (sorted keys, fixed separators) — the
+    byte-determinism surface the tests compare."""
+    return json.dumps(report, sort_keys=True, indent=2)

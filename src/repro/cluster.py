@@ -77,6 +77,10 @@ class Cluster:
         transactions: The transaction manager, if requested.
         constraints: The constraint manager, if requested.
         compensation: The compensation manager, if requested.
+        chaos: The chaos engine, if requested (``with_chaos``).
+        retry_policy / timeout_policy: The cluster-wide fault-tolerance
+            defaults declared via ``with_policies`` (``None`` when
+            unset; components built with explicit policies keep them).
     """
 
     def __init__(self, sim: Simulator):
@@ -92,6 +96,9 @@ class Cluster:
         self.transactions: Optional[TransactionManager] = None
         self.constraints: Optional[ConstraintManager] = None
         self.compensation: Optional[CompensationManager] = None
+        self.chaos: Any = None  # ChaosEngine when with_chaos() was declared
+        self.retry_policy: Any = None  # cluster-wide defaults (with_policies)
+        self.timeout_policy: Any = None
 
     @staticmethod
     def build(seed: int = 0) -> "ClusterBuilder":
@@ -171,6 +178,9 @@ class ClusterBuilder:
         self._transactions_kwargs: Optional[dict[str, Any]] = None
         self._constraint_objs: Optional[tuple[Any, ...]] = None
         self._with_compensation = False
+        self._chaos_kwargs: Optional[dict[str, Any]] = None
+        self._retry_policy: Any = None
+        self._timeout_policy: Any = None
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -268,6 +278,49 @@ class ClusterBuilder:
         self._with_compensation = True
         return self
 
+    def with_chaos(
+        self,
+        seed: Optional[int] = None,
+        profile: str | Any = "moderate",
+    ) -> "ClusterBuilder":
+        """Attach a :class:`~repro.chaos.engine.ChaosEngine` over the
+        cluster's network and nodes (implies a network).
+
+        Args:
+            seed: Private seed for the chaos schedule; default derives
+                the stream from the cluster seed, so chaos intensity can
+                be re-rolled independently of the workload.
+            profile: A :class:`~repro.chaos.profiles.ChaosProfile` or a
+                built-in profile name.
+
+        The engine is built but not armed — call
+        ``cluster.chaos.inject(horizon)`` to start the faults, and
+        ``cluster.chaos.quiesce()`` before checking invariants.
+        """
+        self._chaos_kwargs = {"seed": seed, "profile": profile}
+        return self
+
+    def with_policies(
+        self,
+        retry: Any = None,
+        timeout: Any = None,
+    ) -> "ClusterBuilder":
+        """Set cluster-wide fault-tolerance defaults.
+
+        Args:
+            retry: A :class:`~repro.core.policy.RetryPolicy` applied to
+                every component the builder creates that retries (the
+                reliable queue, sync replication, quorum groups).
+            timeout: A :class:`~repro.core.policy.TimeoutPolicy` applied
+                the same way.
+
+        Component-specific options passed to ``with_queue`` /
+        ``with_replicas`` win over these defaults.
+        """
+        self._retry_policy = retry
+        self._timeout_policy = timeout
+        return self
+
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
@@ -286,7 +339,14 @@ class ClusterBuilder:
         cluster.tracer = tracer
         cluster.metrics = metrics
 
-        needs_network = self._network_kwargs is not None or self._replica_count
+        cluster.retry_policy = self._retry_policy
+        cluster.timeout_policy = self._timeout_policy
+
+        needs_network = (
+            self._network_kwargs is not None
+            or self._replica_count
+            or self._chaos_kwargs is not None
+        )
         if needs_network:
             cluster.network = Network(sim, **(self._network_kwargs or {}))
 
@@ -298,7 +358,12 @@ class ClusterBuilder:
             cluster.units[name] = SerializationUnit(name, sim=sim)
 
         if self._queue_kwargs is not None:
-            cluster.queue = ReliableQueue(sim, **self._queue_kwargs)
+            queue_kwargs = dict(self._queue_kwargs)
+            if self._retry_policy is not None:
+                queue_kwargs.setdefault("retry", self._retry_policy)
+            if self._timeout_policy is not None:
+                queue_kwargs.setdefault("timeout", self._timeout_policy)
+            cluster.queue = ReliableQueue(sim, **queue_kwargs)
 
         store_kwargs = self._store_kwargs
         if store_kwargs is None and cluster.store is None and (
@@ -345,11 +410,29 @@ class ClusterBuilder:
             cluster.warehouse = WarehouseExtract(
                 sim, source, **self._warehouse_kwargs
             )
+
+        if self._chaos_kwargs is not None:
+            from repro.chaos.engine import ChaosEngine
+            from repro.sim.rng import SeededRNG
+
+            chaos_seed = self._chaos_kwargs["seed"]
+            cluster.chaos = ChaosEngine(
+                sim,
+                cluster.network,
+                profile=self._chaos_kwargs["profile"],
+                rng=SeededRNG(chaos_seed) if chaos_seed is not None else None,
+            )
         return cluster
 
     def _build_replication(self, sim: Simulator, network: Network) -> Any:
         count, mode = self._replica_count, self._replica_mode
         options = dict(self._replica_kwargs)
+        if mode in ("sync", "quorum"):
+            # Cluster-wide policy defaults; explicit per-scheme options win.
+            if self._retry_policy is not None:
+                options.setdefault("retry", self._retry_policy)
+            if self._timeout_policy is not None:
+                options.setdefault("timeout", self._timeout_policy)
         if mode == "async" and count == 2:
             return AsyncPrimaryBackup(sim, network, **options)
         if mode == "sync":

@@ -17,6 +17,9 @@ Inconsistency* (CIDR 2009):
   apology-oriented computing (2.9, 3.2).
 * :mod:`~repro.core.consistency` — metadata-driven consistency levels
   (3.1, 3.2).
+* :mod:`~repro.core.policy` — the unified fault-tolerance policy API
+  (retry, timeout, deadline) shared by queues, replication, 2PC and
+  the process engine (2.11).
 """
 
 from repro.core.compensation import (
@@ -58,6 +61,7 @@ from repro.core.migration import (
     classify_changes,
 )
 from repro.core.ops import PendingOp, preview_state
+from repro.core.policy import Deadline, RetryBudget, RetryPolicy, TimeoutPolicy
 from repro.core.principles import PRINCIPLES, Principle, get_principle
 from repro.core.process import JoinContext, ProcessEngine, ProcessStep, StepContext
 from repro.core.transaction import (
@@ -103,6 +107,10 @@ __all__ = [
     "classify_changes",
     "PendingOp",
     "preview_state",
+    "Deadline",
+    "RetryBudget",
+    "RetryPolicy",
+    "TimeoutPolicy",
     "PRINCIPLES",
     "Principle",
     "get_principle",

@@ -1,0 +1,302 @@
+"""Shared fault-tolerance policies: retries, backoff, deadlines.
+
+Before this module every subsystem hand-rolled its own give-up logic —
+the reliable queue had ``redelivery_timeout``/``max_attempts``, quorum
+replication a bare ``timeout``, synchronous replication ``ack_timeout``,
+two-phase commit ``vote_timeout`` — four spellings of the same two
+questions: *how long do we keep trying?* and *how long may one attempt
+(or the whole operation) take?*  The paper frames failure handling as a
+first-class design surface (section 2.11, section 3.2), which argues for
+one vocabulary:
+
+* :class:`RetryPolicy` — how many attempts, how the delay between them
+  grows (fixed / exponential), how much seeded jitter decorrelates
+  retry storms, and an optional shared :class:`RetryBudget` that sheds
+  retries under overload;
+* :class:`TimeoutPolicy` — a per-attempt timeout plus an overall
+  deadline, materialised as a :class:`Deadline` that travels with the
+  operation (SOUPS process steps propagate it through their emitted
+  events).
+
+Both policies are plain descriptions: *consumers* (queue, replication
+schemes, 2PC, process engine) read them at construction time and keep
+their hot paths exactly as cheap as before when the policy is trivial.
+All jitter draws come from simulator-forked RNG streams, so a seeded run
+stays byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.errors import (
+    DeadlineExceeded,
+    RetryBudgetExhausted,
+    RetryExhausted,
+)
+
+__all__ = [
+    "Deadline",
+    "RetryBudget",
+    "RetryPolicy",
+    "TimeoutPolicy",
+]
+
+
+class RetryBudget:
+    """A shared pool of retries across many operations.
+
+    Per-operation attempt caps bound the *tail* of one operation; a
+    budget bounds the *aggregate* — when many operations fail at once
+    (a partition, a crashed backup) unbounded retries amplify the
+    outage.  Consumers call :meth:`try_spend` before every retry; a
+    ``False`` answer means "give up now even though your own attempt cap
+    has room".
+
+    Args:
+        total: Number of retries the budget will ever grant.
+    """
+
+    def __init__(self, total: int):
+        if total < 0:
+            raise ValueError(f"budget must be non-negative, got {total}")
+        self.total = total
+        self.spent = 0
+
+    @property
+    def remaining(self) -> int:
+        """Retries the budget can still grant."""
+        return self.total - self.spent
+
+    def try_spend(self) -> bool:
+        """Consume one retry if any remain.  ``False`` means exhausted."""
+        if self.spent >= self.total:
+            return False
+        self.spent += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RetryBudget({self.remaining}/{self.total} left)"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an operation is retried after a failed attempt.
+
+    Args:
+        max_attempts: Total attempts, counting the first (``1`` means
+            "never retry").
+        base_delay: Virtual time between attempts (the first retry waits
+            this long).
+        backoff: ``"fixed"`` keeps ``base_delay`` constant;
+            ``"exponential"`` multiplies it by ``multiplier`` per retry.
+        multiplier: Growth factor for exponential backoff.
+        max_delay: Ceiling on any single delay (``None`` = unbounded).
+        jitter: Fraction of the computed delay randomised away: the
+            actual delay is uniform in ``[delay * (1 - jitter), delay]``,
+            drawn from the consumer's simulator-forked RNG so seeded
+            runs reproduce byte-identically.
+        budget: Optional shared :class:`RetryBudget`; when it runs dry
+            the operation gives up early with
+            :class:`~repro.errors.RetryBudgetExhausted` semantics.
+
+    Example:
+        >>> policy = RetryPolicy.exponential(max_attempts=4, base_delay=1.0)
+        >>> [policy.delay(attempt) for attempt in (1, 2, 3)]
+        [1.0, 2.0, 4.0]
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 10.0
+    backoff: str = "fixed"  # "fixed" | "exponential"
+    multiplier: float = 2.0
+    max_delay: Optional[float] = None
+    jitter: float = 0.0
+    budget: Optional[RetryBudget] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.backoff not in ("fixed", "exponential"):
+            raise ValueError(
+                f"backoff must be 'fixed' or 'exponential', got {self.backoff!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A single attempt, no retries."""
+        return cls(max_attempts=1, base_delay=0.0)
+
+    @classmethod
+    def fixed(cls, max_attempts: int = 5, delay: float = 10.0,
+              **kwargs: Any) -> "RetryPolicy":
+        """Constant delay between attempts (the legacy queue behaviour)."""
+        return cls(max_attempts=max_attempts, base_delay=delay,
+                   backoff="fixed", **kwargs)
+
+    @classmethod
+    def exponential(cls, max_attempts: int = 5, base_delay: float = 1.0,
+                    multiplier: float = 2.0, **kwargs: Any) -> "RetryPolicy":
+        """Exponentially growing delay between attempts."""
+        return cls(max_attempts=max_attempts, base_delay=base_delay,
+                   backoff="exponential", multiplier=multiplier, **kwargs)
+
+    def with_budget(self, budget: RetryBudget) -> "RetryPolicy":
+        """A copy of this policy drawing from ``budget``."""
+        return replace(self, budget=budget)
+
+    def with_jitter(self, jitter: float) -> "RetryPolicy":
+        """A copy of this policy with the given jitter fraction."""
+        return replace(self, jitter=jitter)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether consumers may cache ``base_delay`` as a plain float
+        (fixed backoff, no jitter, no budget) — the hot-path fast case."""
+        return self.backoff == "fixed" and self.jitter == 0.0 and self.budget is None
+
+    def delay(self, attempt: int, rng: Any = None) -> float:
+        """Virtual time to wait after failed attempt number ``attempt``
+        (1-based) before the next one.
+
+        Args:
+            attempt: The attempt that just failed (``1`` = first).
+            rng: A :class:`~repro.sim.rng.SeededRNG` for the jitter
+                draw; required only when ``jitter > 0``.
+        """
+        if self.backoff == "exponential":
+            value = self.base_delay * (self.multiplier ** (attempt - 1))
+        else:
+            value = self.base_delay
+        if self.max_delay is not None and value > self.max_delay:
+            value = self.max_delay
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("jittered policy needs an rng to draw from")
+            value *= 1.0 - self.jitter * rng.random()
+        return value
+
+    def allows_retry(self, attempts_so_far: int) -> bool:
+        """Whether another attempt may start after ``attempts_so_far``
+        attempts have already run, consuming the budget if one is set.
+
+        Budget accounting is intentionally on the *grant* side: asking
+        and being told no does not spend.
+        """
+        if attempts_so_far >= self.max_attempts:
+            return False
+        if self.budget is not None:
+            return self.budget.try_spend()
+        return True
+
+    def check_exhausted(self, attempts_so_far: int, reason: str = "") -> None:
+        """Raise :class:`~repro.errors.RetryExhausted` (or the budget
+        variant) if no further attempt may start; otherwise spend one
+        retry grant and return."""
+        if attempts_so_far >= self.max_attempts:
+            raise RetryExhausted(
+                f"gave up after {attempts_so_far} attempts"
+                + (f": {reason}" if reason else ""),
+                attempts=attempts_so_far, reason=reason,
+            )
+        if self.budget is not None and not self.budget.try_spend():
+            raise RetryBudgetExhausted(attempts=attempts_so_far)
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """How long an operation — and each attempt of it — may take.
+
+    Args:
+        per_attempt: Virtual time one attempt may run before it is
+            declared failed (and retried, per the operation's
+            :class:`RetryPolicy`).  ``None`` = no per-attempt limit.
+        overall: Virtual time the whole operation may take across all
+            attempts.  ``None`` = no overall deadline.
+
+    Example:
+        >>> policy = TimeoutPolicy(per_attempt=10.0, overall=25.0)
+        >>> deadline = policy.start(now=100.0)
+        >>> deadline.expired(now=120.0)
+        False
+        >>> deadline.expired(now=126.0)
+        True
+    """
+
+    per_attempt: Optional[float] = None
+    overall: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("per_attempt", "overall"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @classmethod
+    def none(cls) -> "TimeoutPolicy":
+        """No limits at all."""
+        return cls()
+
+    @classmethod
+    def attempt(cls, per_attempt: float) -> "TimeoutPolicy":
+        """Only a per-attempt timeout (the legacy single-knob shape)."""
+        return cls(per_attempt=per_attempt)
+
+    def start(self, now: float) -> "Deadline":
+        """Materialise the overall deadline for an operation starting
+        at virtual time ``now``."""
+        at = None if self.overall is None else now + self.overall
+        return Deadline(at=at)
+
+    def attempt_timeout(self, deadline: Optional["Deadline"],
+                        now: float) -> Optional[float]:
+        """The wait to schedule for one attempt: the per-attempt limit,
+        clamped so it never outlives the overall deadline."""
+        timeout = self.per_attempt
+        if deadline is not None and deadline.at is not None:
+            remaining = deadline.remaining(now)
+            if timeout is None or remaining < timeout:
+                timeout = max(0.0, remaining)
+        return timeout
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point in virtual time an operation must finish by.
+
+    ``at=None`` means "no deadline" and makes every check a cheap no-op,
+    so unset policies stay off the hot path.
+    """
+
+    at: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        """Whether ``now`` is past the deadline."""
+        return self.at is not None and now > self.at
+
+    def remaining(self, now: float) -> float:
+        """Virtual time left (``inf`` when no deadline)."""
+        return float("inf") if self.at is None else self.at - now
+
+    def check(self, now: float, what: str = "operation") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired."""
+        if self.at is not None and now > self.at:
+            raise DeadlineExceeded(
+                f"{what} missed its deadline (t={now} > {self.at})",
+                deadline=self.at, now=now,
+            )

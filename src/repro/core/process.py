@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.policy import RetryPolicy, TimeoutPolicy
 from repro.core.transaction import Transaction, TransactionManager
 from repro.errors import SoupsViolation
 from repro.lsdb.rollup import EntityState
@@ -143,6 +144,8 @@ class EngineStats:
     soups_violations: int = 0
     handler_errors: int = 0
     batches_run: int = 0
+    deadline_exceeded: int = 0
+    giveups: int = 0
 
 
 class ProcessEngine:
@@ -156,6 +159,17 @@ class ProcessEngine:
             to.
         enforce_soups: Whether step contexts enforce single-object
             updates (the default; collapsed steps relax it internally).
+        retry: Optional :class:`~repro.core.policy.RetryPolicy` capping
+            step re-execution *at the engine*, independent of the
+            queue's own redelivery cap: once a message's attempts exceed
+            it, the engine acknowledges and gives up (counted in
+            ``stats.giveups``) instead of burning further redeliveries.
+        timeout: Optional :class:`~repro.core.policy.TimeoutPolicy`; its
+            ``overall`` limit stamps a deadline on every process started
+            via :meth:`start_process`, and steps propagate that deadline
+            to the events they emit — a whole SOUPS chain shares one
+            deadline, and a step whose triggering message has expired is
+            abandoned (``stats.deadline_exceeded``) rather than run.
     """
 
     def __init__(
@@ -163,12 +177,22 @@ class ProcessEngine:
         tx_manager: TransactionManager,
         queue: ReliableQueue,
         enforce_soups: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
     ):
         self.tx_manager = tx_manager
         self.queue = queue
         self.enforce_soups = enforce_soups
+        self.retry_policy = retry
+        self.timeout_policy = timeout
         self.stats = EngineStats()
         self._steps: dict[str, ProcessStep] = {}
+        metrics = queue.metrics
+        if metrics is not None:
+            self._m_deadline = metrics.counter("process.deadline_exceeded")
+            self._m_giveup = metrics.counter("process.giveup")
+        else:
+            self._m_deadline = self._m_giveup = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -204,36 +228,82 @@ class ProcessEngine:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def start_process(self, topic: str, payload: Mapping[str, Any]) -> Message:
-        """Kick off a process by publishing its initial event."""
-        return self.queue.enqueue(topic, payload)
+    def start_process(
+        self,
+        topic: str,
+        payload: Mapping[str, Any],
+        deadline: Optional[float] = None,
+    ) -> Message:
+        """Kick off a process by publishing its initial event.
+
+        ``deadline`` (absolute virtual time) bounds the whole process;
+        unset, the engine's ``timeout.overall`` policy supplies one.
+        """
+        if deadline is None and self.timeout_policy is not None:
+            overall = self.timeout_policy.overall
+            if overall is not None:
+                deadline = self.queue.sim.now + overall
+        return self.queue.enqueue(topic, payload, deadline=deadline)
+
+    def _policy_gate(self, message: Message) -> Optional[bool]:
+        """Fault-tolerance gate before a step runs.
+
+        Returns an ack verdict when the step must *not* run (``True``
+        acknowledges so the queue stops redelivering), or ``None`` to
+        proceed.  No policies configured and no deadline on the message
+        means two attribute checks — nothing on the hot path.
+        """
+        if message.deadline is not None and self.queue.sim.now > message.deadline:
+            self.stats.deadline_exceeded += 1
+            if self._m_deadline is not None:
+                self._m_deadline.inc()
+            return True  # the process missed its deadline; stop retrying
+        if (
+            self.retry_policy is not None
+            and message.attempts > self.retry_policy.max_attempts
+        ):
+            self.stats.giveups += 1
+            if self._m_giveup is not None:
+                self._m_giveup.inc()
+            return True  # engine-level retry cap reached; give up
+        return None
 
     def _run_step(self, step: ProcessStep, message: Message) -> bool:
         """One step = one transaction; ack tracks commit."""
+        verdict = self._policy_gate(message)
+        if verdict is not None:
+            return verdict
         self.stats.steps_run += 1
         tx = self.tx_manager.begin()
         ctx = StepContext(message, tx, enforce_soups=self.enforce_soups)
+        # Events emitted by this step (published at commit through the
+        # outbox) inherit the triggering message's deadline.
+        previous_deadline = self.queue.ambient_deadline
+        self.queue.ambient_deadline = message.deadline
         try:
-            step.handler(ctx)
-        except SoupsViolation:
-            # A SOUPS violation is a deterministic programming error:
-            # retrying cannot help, so nack — the queue's retry cap will
-            # park the message on the dead-letter list for the operator.
-            self.stats.soups_violations += 1
-            tx.abort("SOUPS violation")
-            self.stats.steps_aborted += 1
-            return False
-        except Exception:
-            self.stats.handler_errors += 1
-            tx.abort("handler error")
-            self.stats.steps_aborted += 1
-            return False  # nack: the queue will redeliver
-        receipt = tx.commit()
-        if receipt.committed:
-            self.stats.steps_committed += 1
-        else:
-            self.stats.steps_aborted += 1
-        return receipt.committed
+            try:
+                step.handler(ctx)
+            except SoupsViolation:
+                # A SOUPS violation is a deterministic programming error:
+                # retrying cannot help, so nack — the queue's retry cap will
+                # park the message on the dead-letter list for the operator.
+                self.stats.soups_violations += 1
+                tx.abort("SOUPS violation")
+                self.stats.steps_aborted += 1
+                return False
+            except Exception:
+                self.stats.handler_errors += 1
+                tx.abort("handler error")
+                self.stats.steps_aborted += 1
+                return False  # nack: the queue will redeliver
+            receipt = tx.commit()
+            if receipt.committed:
+                self.stats.steps_committed += 1
+            else:
+                self.stats.steps_aborted += 1
+            return receipt.committed
+        finally:
+            self.queue.ambient_deadline = previous_deadline
 
     # ------------------------------------------------------------------ #
     # Collapsing optimizations (section 3.1)
@@ -301,22 +371,30 @@ class ProcessEngine:
         return composite
 
     def _run_collapsed(self, step: ProcessStep, message: Message) -> bool:
+        verdict = self._policy_gate(message)
+        if verdict is not None:
+            return verdict
         self.stats.steps_run += 1
         tx = self.tx_manager.begin()
         ctx = StepContext(message, tx, enforce_soups=False)
+        previous_deadline = self.queue.ambient_deadline
+        self.queue.ambient_deadline = message.deadline
         try:
-            step.handler(ctx)
-        except Exception:
-            self.stats.handler_errors += 1
-            tx.abort("handler error")
-            self.stats.steps_aborted += 1
-            return False
-        receipt = tx.commit()
-        if receipt.committed:
-            self.stats.steps_committed += 1
-        else:
-            self.stats.steps_aborted += 1
-        return receipt.committed
+            try:
+                step.handler(ctx)
+            except Exception:
+                self.stats.handler_errors += 1
+                tx.abort("handler error")
+                self.stats.steps_aborted += 1
+                return False
+            receipt = tx.commit()
+            if receipt.committed:
+                self.stats.steps_committed += 1
+            else:
+                self.stats.steps_aborted += 1
+            return receipt.committed
+        finally:
+            self.queue.ambient_deadline = previous_deadline
 
     def collapse_horizontal(
         self,
@@ -339,6 +417,9 @@ class ProcessEngine:
         buffer: list[Message] = []
 
         def batched(message: Message) -> bool:
+            verdict = self._policy_gate(message)
+            if verdict is not None:
+                return verdict
             buffer.append(message)
             if len(buffer) < batch_size:
                 return True
@@ -346,20 +427,28 @@ class ProcessEngine:
             self.stats.batches_run += 1
             self.stats.steps_run += 1
             tx = self.tx_manager.begin()
+            # The batch transaction inherits the tightest deadline of its
+            # constituent messages.
+            deadlines = [m.deadline for m in batch if m.deadline is not None]
+            previous_deadline = self.queue.ambient_deadline
+            self.queue.ambient_deadline = min(deadlines) if deadlines else None
             try:
-                for buffered in batch:
-                    step.handler(StepContext(buffered, tx, enforce_soups=False))
-            except Exception:
-                self.stats.handler_errors += 1
-                tx.abort("handler error")
-                self.stats.steps_aborted += 1
-                return False
-            receipt = tx.commit()
-            if receipt.committed:
-                self.stats.steps_committed += 1
-            else:
-                self.stats.steps_aborted += 1
-            return receipt.committed
+                try:
+                    for buffered in batch:
+                        step.handler(StepContext(buffered, tx, enforce_soups=False))
+                except Exception:
+                    self.stats.handler_errors += 1
+                    tx.abort("handler error")
+                    self.stats.steps_aborted += 1
+                    return False
+                receipt = tx.commit()
+                if receipt.committed:
+                    self.stats.steps_committed += 1
+                else:
+                    self.stats.steps_aborted += 1
+                return receipt.committed
+            finally:
+                self.queue.ambient_deadline = previous_deadline
 
         self.queue.subscribe(step.topic, IdempotentReceiver(batched, name=name))
 
@@ -405,6 +494,9 @@ class ProcessEngine:
         expected = set(topics)
 
         def arrival(topic: str, message: Message) -> bool:
+            verdict = self._policy_gate(message)
+            if verdict is not None:
+                return verdict
             key = correlate(message)
             bucket = pending.setdefault(key, {})
             bucket[topic] = message
@@ -414,24 +506,32 @@ class ProcessEngine:
             self.stats.steps_run += 1
             tx = self.tx_manager.begin()
             ctx = JoinContext(dict(bucket), tx, enforce_soups=self.enforce_soups)
+            # The join transaction inherits the tightest deadline of its
+            # correlated messages.
+            deadlines = [m.deadline for m in bucket.values() if m.deadline is not None]
+            previous_deadline = self.queue.ambient_deadline
+            self.queue.ambient_deadline = min(deadlines) if deadlines else None
             try:
-                handler(ctx)
-            except SoupsViolation:
-                self.stats.soups_violations += 1
-                tx.abort("SOUPS violation")
-                self.stats.steps_aborted += 1
-                return False
-            except Exception:
-                self.stats.handler_errors += 1
-                tx.abort("handler error")
-                self.stats.steps_aborted += 1
-                return False
-            receipt = tx.commit()
-            if receipt.committed:
-                self.stats.steps_committed += 1
-            else:
-                self.stats.steps_aborted += 1
-            return receipt.committed
+                try:
+                    handler(ctx)
+                except SoupsViolation:
+                    self.stats.soups_violations += 1
+                    tx.abort("SOUPS violation")
+                    self.stats.steps_aborted += 1
+                    return False
+                except Exception:
+                    self.stats.handler_errors += 1
+                    tx.abort("handler error")
+                    self.stats.steps_aborted += 1
+                    return False
+                receipt = tx.commit()
+                if receipt.committed:
+                    self.stats.steps_committed += 1
+                else:
+                    self.stats.steps_aborted += 1
+                return receipt.committed
+            finally:
+                self.queue.ambient_deadline = previous_deadline
 
         for topic in topics:
             receiver = IdempotentReceiver(

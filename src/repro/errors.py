@@ -76,6 +76,81 @@ class SchemaViolation(EntityError):
     """A payload does not match the entity type's declared schema."""
 
 
+class FaultToleranceError(ReproError):
+    """Base class for *managed give-up* conditions.
+
+    The paper's fault model (section 2.11, "the show must go on") treats
+    failure as ordinary input: an operation that cannot complete is
+    retried under a :class:`~repro.core.policy.RetryPolicy`, bounded by a
+    :class:`~repro.core.policy.TimeoutPolicy`, and — only once both are
+    exhausted — *gives up* in a way the application can observe and
+    apologise for.  Every such give-up path raises (or records) a
+    subclass of this error, so one ``except FaultToleranceError`` clause
+    catches "the system stopped trying" regardless of which subsystem
+    stopped.
+    """
+
+
+class DeadlineExceeded(FaultToleranceError, TimeoutError):
+    """An operation ran past its deadline (overall or per-attempt).
+
+    Also a built-in :class:`TimeoutError`, so callers written against
+    the standard timeout idiom catch it without knowing the library.
+
+    Attributes:
+        deadline: The virtual time the operation had to finish by.
+        now: The virtual time when expiry was noticed.
+    """
+
+    def __init__(self, message: str = "deadline exceeded",
+                 deadline: float = 0.0, now: float = 0.0):
+        super().__init__(message)
+        self.deadline = deadline
+        self.now = now
+
+
+class RetryExhausted(FaultToleranceError):
+    """An operation was retried up to its policy's limit and still failed.
+
+    Attributes:
+        attempts: How many attempts were made before giving up.
+        reason: Why the attempts kept failing, when known.
+    """
+
+    def __init__(self, message: str = "retries exhausted",
+                 attempts: int = 0, reason: str = ""):
+        super().__init__(message)
+        self.attempts = attempts
+        self.reason = reason
+
+
+class RetryBudgetExhausted(RetryExhausted):
+    """A shared retry budget ran dry before the per-operation attempt
+    cap was reached (load-shedding under a retry storm)."""
+
+    def __init__(self, message: str = "retry budget exhausted",
+                 attempts: int = 0):
+        super().__init__(message, attempts=attempts, reason="budget")
+
+
+class CommitInDoubt(FaultToleranceError):
+    """A two-phase-commit participant voted yes and lost the coordinator.
+
+    The classic 2PC blocking window (principle 2.5): the participant
+    cannot unilaterally commit or abort and is stuck holding locks until
+    the coordinator (or an operator) resolves the transaction.
+
+    Attributes:
+        tx_id: The in-doubt transaction.
+        since: Virtual time the participant entered the window.
+    """
+
+    def __init__(self, tx_id: str = "", since: float = 0.0):
+        super().__init__(f"transaction {tx_id!r} is in doubt since t={since}")
+        self.tx_id = tx_id
+        self.since = since
+
+
 class ProcessError(ReproError):
     """Base class for process-engine failures."""
 
@@ -97,8 +172,16 @@ class ReplicationError(ReproError):
     """Base class for replication-scheme failures."""
 
 
-class QuorumUnavailable(ReplicationError):
-    """A quorum operation could not reach enough replicas (CAP tradeoff)."""
+class QuorumUnavailable(ReplicationError, DeadlineExceeded):
+    """A quorum operation could not reach enough replicas before its
+    deadline (CAP tradeoff) — both a replication failure and a managed
+    timeout, so either ``except`` clause catches it."""
+
+    def __init__(self, message: str = "quorum unavailable",
+                 deadline: float = 0.0, now: float = 0.0):
+        ReplicationError.__init__(self, message)
+        self.deadline = deadline
+        self.now = now
 
 
 class NotMaster(ReplicationError):

@@ -19,9 +19,12 @@ The two costs the paper alludes to are both observable here:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.policy import Deadline, RetryPolicy, TimeoutPolicy
+from repro.errors import CommitInDoubt
 from repro.sim.network import Network, Node
 
 
@@ -59,6 +62,8 @@ class _PendingCommit:
     decision: Optional[str] = None
     decided_at: float = 0.0
     timeout_handle: Any = None
+    attempts: int = 1
+    deadline: Deadline = field(default_factory=Deadline)
 
 
 class TwoPCParticipant(Node):
@@ -95,7 +100,10 @@ class TwoPCParticipant(Node):
         if kind == "prepare":
             vote = bool(self.can_commit(tx_id))
             if vote:
-                self.in_doubt[tx_id] = self._now()
+                # Re-prepares (coordinator retries after a lost vote)
+                # must not reset the in-doubt clock: the blocking window
+                # started at the *first* yes vote.
+                self.in_doubt.setdefault(tx_id, self._now())
             self.send(source, {"type": "vote", "tx": tx_id, "yes": vote})
         elif kind in ("commit", "abort"):
             became_in_doubt = self.in_doubt.pop(tx_id, None)
@@ -115,22 +123,70 @@ class TwoPCParticipant(Node):
         assert self.network is not None
         return self.network.sim.now
 
+    def check_in_doubt(self, tx_id: str) -> None:
+        """Raise :class:`~repro.errors.CommitInDoubt` if this
+        participant voted yes on ``tx_id`` and is still awaiting the
+        decision — the coordinator-crash blocking window of principle
+        2.5, surfaced through the unified fault hierarchy."""
+        since = self.in_doubt.get(tx_id)
+        if since is not None:
+            raise CommitInDoubt(tx_id=tx_id, since=since)
+
 
 class TwoPCCoordinator(Node):
     """Presumed-abort two-phase commit coordinator.
 
     Args:
         node_id: Network id.
-        vote_timeout: Virtual time to wait for votes before unilaterally
-            aborting (covers lost messages and partitioned participants
-            — the availability hit principle 2.5 warns about).
+        timeout: A :class:`~repro.core.policy.TimeoutPolicy` — each
+            prepare round waits ``per_attempt`` for votes; ``overall``
+            bounds the whole voting phase across retries.  Exhaustion
+            means a unilateral abort (covers lost messages and
+            partitioned participants — the availability hit principle
+            2.5 warns about).
+        retry: A :class:`~repro.core.policy.RetryPolicy` re-sending
+            ``prepare`` to participants whose votes are missing before
+            giving up.  Default: one round, the pre-policy behaviour.
+        vote_timeout: Deprecated alias for
+            ``timeout=TimeoutPolicy(per_attempt=vote_timeout)``.
     """
 
-    def __init__(self, node_id: str, vote_timeout: float = 100.0):
+    #: The historical single-round vote timeout.
+    DEFAULT_TIMEOUT = TimeoutPolicy(per_attempt=100.0)
+
+    def __init__(
+        self,
+        node_id: str,
+        vote_timeout: Optional[float] = None,
+        timeout: Optional[TimeoutPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         super().__init__(node_id)
-        self.vote_timeout = vote_timeout
+        if vote_timeout is not None:
+            if timeout is not None:
+                raise TypeError(
+                    "pass either timeout=TimeoutPolicy(...) or the legacy "
+                    "vote_timeout, not both"
+                )
+            warnings.warn(
+                "vote_timeout is deprecated; pass "
+                "timeout=TimeoutPolicy(per_attempt=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            timeout = TimeoutPolicy(per_attempt=float(vote_timeout))
+        self.timeout_policy = timeout if timeout is not None else self.DEFAULT_TIMEOUT
+        self.retry_policy = retry if retry is not None else RetryPolicy.none()
+        self.retries = 0
+        self._rng = None  # forked lazily from the network's simulator
         self._pending: dict[str, _PendingCommit] = {}
         self.results: list[TwoPCResult] = []
+
+    @property
+    def vote_timeout(self) -> float:
+        """The per-round vote timeout (legacy name for introspection)."""
+        per_attempt = self.timeout_policy.per_attempt
+        return per_attempt if per_attempt is not None else float("inf")
 
     def begin(
         self,
@@ -146,20 +202,34 @@ class TwoPCCoordinator(Node):
         assert self.network is not None
         if tx_id in self._pending:
             raise ValueError(f"transaction {tx_id!r} already running")
+        sim = self.network.sim
+        if self._rng is None:
+            self._rng = sim.fork_rng()
         pending = _PendingCommit(
             tx_id=tx_id,
             participants=set(participants),
             on_complete=on_complete or (lambda _result: None),
-            started_at=self.network.sim.now,
+            started_at=sim.now,
+            deadline=self.timeout_policy.start(sim.now),
         )
         self._pending[tx_id] = pending
-        pending.timeout_handle = self.network.sim.schedule(
-            self.vote_timeout,
-            lambda: self._on_vote_timeout(tx_id),
-            label=f"2pc-timeout:{tx_id}",
-        )
-        for participant in participants:
-            self.send(participant, {"type": "prepare", "tx": tx_id})
+        self._send_prepares(pending)
+
+    def _send_prepares(self, pending: _PendingCommit) -> None:
+        """One prepare round: solicit the votes still missing and arm
+        the round's timeout."""
+        assert self.network is not None
+        sim = self.network.sim
+        wait = self.timeout_policy.attempt_timeout(pending.deadline, sim.now)
+        if wait is not None:
+            pending.timeout_handle = sim.schedule(
+                wait,
+                lambda: self._on_vote_timeout(pending.tx_id),
+                label=f"2pc-timeout:{pending.tx_id}",
+            )
+        for participant in pending.participants:
+            if participant not in pending.votes:
+                self.send(participant, {"type": "prepare", "tx": pending.tx_id})
 
     def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
         kind = message.get("type")
@@ -180,8 +250,31 @@ class TwoPCCoordinator(Node):
 
     def _on_vote_timeout(self, tx_id: str) -> None:
         pending = self._pending.get(tx_id)
-        if pending is not None and pending.decision is None:
+        if pending is None or pending.decision is not None:
+            return
+        assert self.network is not None
+        sim = self.network.sim
+        if (
+            pending.deadline.remaining(sim.now) <= 0
+            or not self.retry_policy.allows_retry(pending.attempts)
+        ):
             self._decide(pending, "abort")
+            return
+        delay = self.retry_policy.delay(pending.attempts, self._rng)
+        pending.attempts += 1
+        self.retries += 1
+        if sim.metrics is not None:
+            sim.metrics.counter("twopc.retries").inc()
+        sim.schedule(
+            delay,
+            lambda: self._retry_prepare(tx_id),
+            label=f"2pc-retry:{tx_id}",
+        )
+
+    def _retry_prepare(self, tx_id: str) -> None:
+        pending = self._pending.get(tx_id)
+        if pending is not None and pending.decision is None:
+            self._send_prepares(pending)
 
     def _decide(self, pending: _PendingCommit, decision: str) -> None:
         assert self.network is not None

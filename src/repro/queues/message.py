@@ -39,6 +39,10 @@ class Message:
             delivery resumes this context so handler work attaches to
             the producer's span tree.
         span_id: The enqueue span — parent for the delivery span.
+        deadline: Absolute virtual time the work this event triggers
+            must finish by (``None`` = unbounded).  Process steps
+            propagate it onto the events they emit, so a whole SOUPS
+            process shares one deadline.
     """
 
     message_id: str
@@ -49,6 +53,7 @@ class Message:
     causation_id: str = ""
     trace_id: str = ""
     span_id: str = ""
+    deadline: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -15,10 +15,12 @@ with :class:`~repro.queues.idempotence.IdempotentReceiver`.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.policy import RetryPolicy, TimeoutPolicy
 from repro.queues.message import Message, next_message_id
 from repro.sim.scheduler import Simulator
 
@@ -26,6 +28,46 @@ Handler = Callable[[Message], bool]
 
 #: Reusable no-op context for the tracing-off delivery path.
 _NULL_CTX = nullcontext()
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: deprecated aliases can warn only when actually used.
+_UNSET: Any = object()
+
+
+def resolve_legacy_retry(
+    retry: Optional[RetryPolicy],
+    *,
+    defaults: RetryPolicy,
+    **legacy: Any,
+) -> RetryPolicy:
+    """Map deprecated retry/timeout kwargs onto a :class:`RetryPolicy`.
+
+    ``legacy`` maps old kwarg names to their passed values (``_UNSET``
+    when the caller omitted them).  Passing both a policy and a legacy
+    kwarg is an error; passing only legacy kwargs warns and builds a
+    policy from them over ``defaults``.
+    """
+    used = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if not used:
+        return retry if retry is not None else defaults
+    if retry is not None:
+        raise TypeError(
+            f"pass either retry=RetryPolicy(...) or the legacy kwargs "
+            f"{sorted(used)}, not both"
+        )
+    warnings.warn(
+        f"{sorted(used)} are deprecated; pass retry=RetryPolicy(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from dataclasses import replace
+
+    mapped: dict[str, Any] = {}
+    if "redelivery_timeout" in used:
+        mapped["base_delay"] = float(used["redelivery_timeout"])
+    if "max_attempts" in used:
+        mapped["max_attempts"] = int(used["max_attempts"])
+    return replace(defaults, **mapped)
 
 
 @dataclass
@@ -38,6 +80,7 @@ class QueueStats:
     redelivered: int = 0
     dead_lettered: int = 0
     handler_failures: int = 0
+    deadline_expired: int = 0
 
 
 class ReliableQueue:
@@ -48,8 +91,17 @@ class ReliableQueue:
         name: Diagnostic name.
         delivery_delay: Virtual time between enqueue and the delivery
             attempt (models broker/network hop).
-        redelivery_timeout: Wait before redelivering an unacked message.
-        max_attempts: Attempts before the message is dead-lettered.
+        retry: The :class:`~repro.core.policy.RetryPolicy` governing
+            redelivery of unacked messages: ``base_delay``/``backoff``
+            set the redelivery wait, ``max_attempts`` the dead-letter
+            cap, and an attached budget sheds redeliveries under retry
+            storms.  Default: 5 fixed attempts, 10.0 apart.
+        timeout: The :class:`~repro.core.policy.TimeoutPolicy` whose
+            ``overall`` limit becomes the default message deadline — a
+            message still undelivered past its deadline is parked with a
+            ``deadline_expired`` verdict instead of being retried.
+        redelivery_timeout: Deprecated alias for ``retry.base_delay``.
+        max_attempts: Deprecated alias for ``retry.max_attempts``.
         ack_loss_probability: Probability that a *successful* handler
             run's ack is lost (consumer crashed after processing, before
             acknowledging) — the classic source of duplicates that
@@ -66,22 +118,44 @@ class ReliableQueue:
         [{'text': 'hi'}]
     """
 
+    #: Default redelivery behaviour (the historical constructor values).
+    DEFAULT_RETRY = RetryPolicy(max_attempts=5, base_delay=10.0)
+
     def __init__(
         self,
         sim: Simulator,
         name: str = "queue",
         delivery_delay: float = 0.0,
-        redelivery_timeout: float = 10.0,
-        max_attempts: int = 5,
+        redelivery_timeout: float = _UNSET,
+        max_attempts: int = _UNSET,
         ack_loss_probability: float = 0.0,
         tracer=None,
         metrics=None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
     ):
         self.sim = sim
         self.name = name
         self.delivery_delay = delivery_delay
-        self.redelivery_timeout = redelivery_timeout
-        self.max_attempts = max_attempts
+        self.retry_policy = resolve_legacy_retry(
+            retry,
+            defaults=self.DEFAULT_RETRY,
+            redelivery_timeout=redelivery_timeout,
+            max_attempts=max_attempts,
+        )
+        self.timeout_policy = timeout if timeout is not None else TimeoutPolicy.none()
+        # Hot-path cache: a trivial policy redelivers after a constant
+        # wait, exactly like the pre-policy queue — no per-delivery
+        # policy evaluation.
+        self._fixed_redelivery: Optional[float] = (
+            self.retry_policy.base_delay if self.retry_policy.is_trivial else None
+        )
+        self._default_deadline_in = self.timeout_policy.overall
+        #: Deadline stamped onto enqueues that do not carry their own —
+        #: the process engine sets this while a step (and its commit-time
+        #: outbox publish) runs, so follow-up events inherit the
+        #: triggering message's deadline.
+        self.ambient_deadline: Optional[float] = None
         self.ack_loss_probability = ack_loss_probability
         self.stats = QueueStats()
         self.dead_letters: list[Message] = []
@@ -98,9 +172,22 @@ class ReliableQueue:
             self._m_delivered = counter("queue.delivered", queue=name)
             self._m_redelivered = counter("queue.redelivered", queue=name)
             self._m_dead = counter("queue.dead_lettered", queue=name)
+            self._m_deadline = counter("queue.deadline_expired", queue=name)
         else:
             self._m_enqueued = self._m_delivered = None
-            self._m_redelivered = self._m_dead = None
+            self._m_redelivered = self._m_dead = self._m_deadline = None
+
+    # -- legacy attribute views (kept for introspection/back-compat) ----- #
+
+    @property
+    def redelivery_timeout(self) -> float:
+        """The retry policy's base delay (legacy name)."""
+        return self.retry_policy.base_delay
+
+    @property
+    def max_attempts(self) -> int:
+        """The retry policy's attempt cap (legacy name)."""
+        return self.retry_policy.max_attempts
 
     def subscribe(self, topic: str, handler: Handler) -> None:
         """Register ``handler`` for ``topic``.
@@ -118,11 +205,17 @@ class ReliableQueue:
         payload: Mapping[str, Any],
         message_id: Optional[str] = None,
         causation_id: str = "",
+        deadline: Optional[float] = None,
     ) -> Message:
         """Enqueue a message for delivery to ``topic`` subscribers.
 
         Enqueue is always a *local* operation (principle 2.6's note:
         queue operations are never distributed transactions).
+
+        ``deadline`` (absolute virtual time) bounds how long delivery
+        may be retried; unset, it falls back to the ambient deadline of
+        the step currently running (if any), then to the queue's
+        ``timeout.overall`` policy.
         """
         tracer = self.tracer
         trace_id = span_id = ""
@@ -132,6 +225,10 @@ class ReliableQueue:
             )
             tracer.end_span(span)
             trace_id, span_id = span.trace_id, span.span_id
+        if deadline is None:
+            deadline = self.ambient_deadline
+            if deadline is None and self._default_deadline_in is not None:
+                deadline = self.sim.now + self._default_deadline_in
         message = Message(
             message_id=message_id or next_message_id(),
             topic=topic,
@@ -140,6 +237,7 @@ class ReliableQueue:
             causation_id=causation_id,
             trace_id=trace_id,
             span_id=span_id,
+            deadline=deadline,
         )
         self.stats.enqueued += 1
         if self._m_enqueued is not None:
@@ -156,6 +254,14 @@ class ReliableQueue:
 
     def _deliver(self, message: Message) -> None:
         if message.message_id in self._acked_ids:
+            return
+        if message.deadline is not None and self.sim.now > message.deadline:
+            # The operation this event belongs to has already missed its
+            # deadline: retrying would waste work the caller gave up on.
+            self.stats.deadline_expired += 1
+            self.dead_letters.append(message)
+            if self._m_deadline is not None:
+                self._m_deadline.inc()
             return
         handlers = self._handlers.get(message.topic, [])
         message.attempts += 1
@@ -194,7 +300,7 @@ class ReliableQueue:
             self._acked_ids.add(message.message_id)
             if span is not None:
                 tracer.end_span(span, status="acked")
-        elif message.attempts >= self.max_attempts:
+        elif not self.retry_policy.allows_retry(message.attempts):
             self.stats.dead_lettered += 1
             self.dead_letters.append(message)
             if self._m_dead is not None:
@@ -207,9 +313,20 @@ class ReliableQueue:
                 self._m_redelivered.inc()
             if span is not None:
                 tracer.end_span(span, status="redelivering")
-            self._schedule_delivery(message, self.redelivery_timeout)
+            wait = (
+                self._fixed_redelivery
+                if self._fixed_redelivery is not None
+                else self.retry_policy.delay(message.attempts, self._rng)
+            )
+            self._schedule_delivery(message, wait)
 
     @property
     def pending_ack(self) -> int:
-        """Messages enqueued but neither acked nor dead-lettered."""
-        return self.stats.enqueued - self.stats.acked - self.stats.dead_lettered
+        """Messages enqueued but neither acked nor parked (dead-letter
+        cap or expired deadline)."""
+        return (
+            self.stats.enqueued
+            - self.stats.acked
+            - self.stats.dead_lettered
+            - self.stats.deadline_expired
+        )

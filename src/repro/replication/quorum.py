@@ -13,9 +13,12 @@ the active/active group.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.policy import Deadline, RetryPolicy, TimeoutPolicy
+from repro.errors import QuorumUnavailable, RetryExhausted
 from repro.replication.replica import ReplicaNode
 from repro.sim.network import Network, Node
 from repro.sim.scheduler import Simulator
@@ -32,6 +35,8 @@ class QuorumOutcome:
     finished_at: float
     responses: int = 0
     value: Optional[dict[str, Any]] = None
+    attempts: int = 1
+    error: Optional[Exception] = None  # why a failed op gave up
 
     @property
     def latency(self) -> float:
@@ -44,6 +49,8 @@ class _PendingRequest:
     outcome: QuorumOutcome
     needed: int
     on_done: Callable[[QuorumOutcome], None]
+    message: dict[str, Any] = field(default_factory=dict)
+    deadline: Deadline = field(default_factory=Deadline)
     best_timestamp: float = -1.0
     timeout_handle: Any = None
     done: bool = False
@@ -185,33 +192,85 @@ class QuorumCoordinator(Node):
         payload: dict[str, Any],
         on_done: Callable[[QuorumOutcome], None],
     ) -> str:
-        request_id = f"q-{next(self.group.request_counter)}"
+        group = self.group
+        request_id = f"q-{next(group.request_counter)}"
         outcome = QuorumOutcome(
             request_id=request_id,
             kind=kind,
             ok=False,
-            submitted_at=self.group.sim.now,
-            finished_at=self.group.sim.now,
-        )
-        pending = _PendingRequest(
-            outcome=outcome,
-            needed=needed,
-            on_done=on_done,
-            entity_type=str(payload.get("entity_type", "")),
-            entity_key=str(payload.get("entity_key", "")),
-        )
-        self._pending[request_id] = pending
-        pending.timeout_handle = self.group.sim.schedule(
-            self.group.timeout,
-            lambda: self._finish(pending, ok=False),
-            label=f"quorum-timeout:{request_id}",
+            submitted_at=group.sim.now,
+            finished_at=group.sim.now,
         )
         message = dict(payload)
         message["request_id"] = request_id
         message["type"] = "q-write" if kind == "write" else "q-read"
-        for replica in self.group.replicas:
-            self.send(replica.node_id, message)
+        pending = _PendingRequest(
+            outcome=outcome,
+            needed=needed,
+            on_done=on_done,
+            message=message,
+            deadline=group.timeout_policy.start(group.sim.now),
+            entity_type=str(payload.get("entity_type", "")),
+            entity_key=str(payload.get("entity_key", "")),
+        )
+        self._pending[request_id] = pending
+        self._attempt(pending)
         return request_id
+
+    def _attempt(self, pending: _PendingRequest) -> None:
+        """Send (or re-send) the request to every replica.  Replies keep
+        the same request id, so late responses from earlier attempts
+        still count toward the quorum."""
+        group = self.group
+        wait = group.timeout_policy.attempt_timeout(pending.deadline, group.sim.now)
+        if wait is not None:
+            pending.timeout_handle = group.sim.schedule(
+                wait,
+                lambda: self._on_attempt_timeout(pending),
+                label=f"quorum-timeout:{pending.outcome.request_id}",
+            )
+        for replica in group.replicas:
+            self.send(replica.node_id, pending.message)
+
+    def _on_attempt_timeout(self, pending: _PendingRequest) -> None:
+        if pending.done:
+            return
+        group = self.group
+        now = group.sim.now
+        attempts = pending.outcome.attempts
+        if pending.deadline.remaining(now) <= 0:
+            pending.outcome.error = QuorumUnavailable(
+                f"quorum {pending.outcome.kind} missed its overall deadline "
+                f"after {attempts} attempt(s)",
+                deadline=pending.deadline.at or 0.0,
+                now=now,
+            )
+            self._finish(pending, ok=False)
+        elif not group.retry_policy.allows_retry(attempts):
+            if attempts == 1:
+                # Never retried: this is a plain quorum timeout, the
+                # pre-policy behaviour.
+                pending.outcome.error = QuorumUnavailable(
+                    f"quorum {pending.outcome.kind} timed out", now=now
+                )
+            else:
+                pending.outcome.error = RetryExhausted(
+                    f"quorum {pending.outcome.kind} gave up after "
+                    f"{attempts} attempts",
+                    attempts=attempts,
+                )
+            self._finish(pending, ok=False)
+        else:
+            delay = group.retry_policy.delay(attempts, group._rng)
+            pending.outcome.attempts += 1
+            group.retries += 1
+            if group._m_retries is not None:
+                group._m_retries.inc()
+            group.sim.schedule(
+                delay,
+                lambda: None if pending.done else self._attempt(pending),
+                label=f"quorum-retry:{pending.outcome.request_id}",
+            )
 
 
 class QuorumGroup:
@@ -223,9 +282,19 @@ class QuorumGroup:
         replica_ids: Replica names (``N = len(replica_ids)``).
         write_quorum: Acks required for a write (``W``).
         read_quorum: Replies required for a read (``R``).
-        timeout: Virtual time before an operation fails for lack of
-            quorum (the unavailability signal).
+        timeout: A :class:`~repro.core.policy.TimeoutPolicy` — the
+            per-attempt limit is the classic "no quorum" signal, the
+            overall limit bounds the operation across retries.  Passing
+            a bare number is deprecated and maps to
+            ``TimeoutPolicy(per_attempt=number)``.
+        retry: A :class:`~repro.core.policy.RetryPolicy` re-issuing the
+            request to all replicas after a per-attempt timeout (late
+            replies from earlier attempts still count).  Default: no
+            retries, the pre-policy behaviour.
     """
+
+    #: The historical single-knob timeout.
+    DEFAULT_TIMEOUT = TimeoutPolicy(per_attempt=100.0)
 
     def __init__(
         self,
@@ -234,9 +303,10 @@ class QuorumGroup:
         replica_ids: list[str],
         write_quorum: Optional[int] = None,
         read_quorum: Optional[int] = None,
-        timeout: float = 100.0,
+        timeout: TimeoutPolicy | float | None = None,
         coordinator_id: str = "quorum-coordinator",
         read_repair: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         count = len(replica_ids)
         if count < 1:
@@ -247,7 +317,21 @@ class QuorumGroup:
         self.read_quorum = read_quorum or count // 2 + 1
         if self.write_quorum > count or self.read_quorum > count:
             raise ValueError("quorum larger than replica count")
-        self.timeout = timeout
+        if timeout is None:
+            self.timeout_policy = self.DEFAULT_TIMEOUT
+        elif isinstance(timeout, TimeoutPolicy):
+            self.timeout_policy = timeout
+        else:
+            warnings.warn(
+                "QuorumGroup(timeout=<number>) is deprecated; pass "
+                "timeout=TimeoutPolicy(per_attempt=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.timeout_policy = TimeoutPolicy(per_attempt=float(timeout))
+        self.retry_policy = retry if retry is not None else RetryPolicy.none()
+        self.retries = 0
+        self._rng = sim.fork_rng()
         self.replicas = [
             network.register(_QuorumReplica(replica_id, sim))
             for replica_id in replica_ids
@@ -266,9 +350,17 @@ class QuorumGroup:
                 ("read", False): counter("quorum.ops", kind="read", result="failed"),
             }
             self._m_repairs = counter("quorum.read_repairs")
+            self._m_retries = counter("quorum.retries")
         else:
             self._m_ops = {}
             self._m_repairs = None
+            self._m_retries = None
+
+    @property
+    def timeout(self) -> float:
+        """The per-attempt timeout (legacy name for introspection)."""
+        per_attempt = self.timeout_policy.per_attempt
+        return per_attempt if per_attempt is not None else float("inf")
 
     def write(
         self,

@@ -13,9 +13,12 @@ system must receive transaction records before a transaction commits").
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.policy import RetryPolicy, TimeoutPolicy
+from repro.errors import DeadlineExceeded, RetryExhausted
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
 from repro.replication.replica import ReplicaNode
@@ -31,6 +34,8 @@ class SyncWriteResult:
     ok: bool
     submitted_at: float
     acked_at: float
+    attempts: int = 1
+    error: Optional[Exception] = None  # why a failed write gave up
 
     @property
     def latency(self) -> float:
@@ -68,28 +73,67 @@ class SyncPrimaryBackup:
     Args:
         sim: The simulator.
         network: The network both nodes attach to.
-        ack_timeout: Virtual time after which an unacknowledged write is
-            reported as failed (the unavailability window under
-            partition or backup crash).
+        timeout: A :class:`~repro.core.policy.TimeoutPolicy` — each
+            replication attempt may wait ``per_attempt`` for the
+            backup's ack, and the whole write is bounded by ``overall``.
+        retry: A :class:`~repro.core.policy.RetryPolicy` re-shipping the
+            transaction's events after an ack timeout (the backup's
+            apply is idempotent, so re-shipping is safe).  Default: no
+            retries, the pre-policy behaviour.
+        ack_timeout: Deprecated alias for
+            ``timeout=TimeoutPolicy(per_attempt=ack_timeout)``.
     """
+
+    #: The historical single-knob ack timeout.
+    DEFAULT_TIMEOUT = TimeoutPolicy(per_attempt=100.0)
 
     def __init__(
         self,
         sim: Simulator,
         network: Network,
-        ack_timeout: float = 100.0,
+        ack_timeout: Optional[float] = None,
         primary_id: str = "sync-primary",
         backup_id: str = "sync-backup",
+        timeout: Optional[TimeoutPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.network = network
-        self.ack_timeout = ack_timeout
+        if ack_timeout is not None:
+            if timeout is not None:
+                raise TypeError(
+                    "pass either timeout=TimeoutPolicy(...) or the legacy "
+                    "ack_timeout, not both"
+                )
+            warnings.warn(
+                "ack_timeout is deprecated; pass "
+                "timeout=TimeoutPolicy(per_attempt=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            timeout = TimeoutPolicy(per_attempt=float(ack_timeout))
+        self.timeout_policy = timeout if timeout is not None else self.DEFAULT_TIMEOUT
+        self.retry_policy = retry if retry is not None else RetryPolicy.none()
+        self.retries = 0
+        self._rng = sim.fork_rng()
+        self._m_retries = (
+            sim.metrics.counter("sync.retries") if sim.metrics is not None else None
+        )
+        self._m_giveup = (
+            sim.metrics.counter("sync.giveup") if sim.metrics is not None else None
+        )
         self.primary = _SyncPrimary(primary_id, sim)
         self.backup = _SyncBackup(backup_id, sim)
         network.register(self.primary)
         network.register(self.backup)
         self.results: list[SyncWriteResult] = []
         self._tx_counter = itertools.count(1)
+
+    @property
+    def ack_timeout(self) -> float:
+        """The per-attempt ack timeout (legacy name for introspection)."""
+        per_attempt = self.timeout_policy.per_attempt
+        return per_attempt if per_attempt is not None else float("inf")
 
     def write_insert(
         self,
@@ -143,29 +187,67 @@ class SyncPrimaryBackup:
         tx_id = f"sync-{next(self._tx_counter)}"
         submitted_at = self.sim.now
         stored = append_local(tx_id)
-        finished = {"done": False}
+        state = {"done": False, "attempts": 1}
+        deadline = self.timeout_policy.start(submitted_at)
 
-        def finish(ok: bool) -> None:
-            if finished["done"]:
+        def finish(ok: bool, error: Optional[Exception] = None) -> None:
+            if state["done"]:
                 return
-            finished["done"] = True
+            state["done"] = True
             result = SyncWriteResult(
-                tx_id=tx_id, ok=ok, submitted_at=submitted_at, acked_at=self.sim.now
+                tx_id=tx_id, ok=ok, submitted_at=submitted_at,
+                acked_at=self.sim.now, attempts=state["attempts"], error=error,
             )
             self.results.append(result)
+            if not ok and self._m_giveup is not None:
+                self._m_giveup.inc()
             if on_done is not None:
                 on_done(result)
 
+        def attempt() -> None:
+            if state["done"]:
+                return
+            wait = self.timeout_policy.attempt_timeout(deadline, self.sim.now)
+            if wait is not None:
+                self.sim.schedule(
+                    wait, on_timeout, label=f"sync-timeout:{tx_id}"
+                )
+            self.primary.send(
+                self.backup.node_id,
+                {"type": "replicate", "tx": tx_id, "events": [stored]},
+            )
+
+        def on_timeout() -> None:
+            if state["done"]:
+                return
+            now = self.sim.now
+            attempts = state["attempts"]
+            if deadline.remaining(now) <= 0:
+                finish(False, DeadlineExceeded(
+                    f"sync write {tx_id} missed its overall deadline",
+                    deadline=deadline.at or 0.0, now=now,
+                ))
+            elif not self.retry_policy.allows_retry(attempts):
+                if attempts == 1:
+                    finish(False, DeadlineExceeded(
+                        f"sync write {tx_id} timed out waiting for the backup",
+                        now=now,
+                    ))
+                else:
+                    finish(False, RetryExhausted(
+                        f"sync write {tx_id} gave up after {attempts} attempts",
+                        attempts=attempts,
+                    ))
+            else:
+                delay = self.retry_policy.delay(attempts, self._rng)
+                state["attempts"] += 1
+                self.retries += 1
+                if self._m_retries is not None:
+                    self._m_retries.inc()
+                self.sim.schedule(delay, attempt, label=f"sync-retry:{tx_id}")
+
         self.primary.pending[tx_id] = lambda: finish(True)
-        self.sim.schedule(
-            self.ack_timeout,
-            lambda: finish(False),
-            label=f"sync-timeout:{tx_id}",
-        )
-        self.primary.send(
-            self.backup.node_id,
-            {"type": "replicate", "tx": tx_id, "events": [stored]},
-        )
+        attempt()
         return tx_id
 
     @property

@@ -25,6 +25,18 @@ class FailureRecord:
     detail: str
 
 
+@dataclass
+class _PartitionWindow:
+    """One scheduled partition window (identity matters: the heal that
+    ends a window must remove *that* window, not whatever is newest)."""
+
+    groups: list[set[str]]
+
+    @property
+    def detail(self) -> str:
+        return " | ".join(",".join(sorted(group)) for group in self.groups)
+
+
 class FailureInjector:
     """Schedules failures against a simulator/network pair.
 
@@ -46,6 +58,11 @@ class FailureInjector:
         self.sim = sim
         self.network = network
         self.records: list[FailureRecord] = []
+        # Partition windows currently in force, in activation order.
+        # The newest one defines the live topology; healing any window
+        # re-imposes the newest *surviving* one (or heals fully), so
+        # overlapping windows never silently erase each other.
+        self._active_partitions: list[_PartitionWindow] = []
 
     def crash_window(self, node: Node, start: float, duration: float) -> None:
         """Crash ``node`` at virtual time ``start`` and recover it
@@ -64,14 +81,20 @@ class FailureInjector:
         """Partition the network into ``groups`` at ``start`` and heal it
         ``duration`` later.
 
-        Only one partition can be active at a time; a new window replaces
-        the previous one when it begins.
+        Windows may overlap: the most recently started window defines
+        the live topology, and healing a window restores the newest
+        window still in force (a full heal only once every window has
+        ended).  An earlier version healed unconditionally, silently
+        erasing an overlapping partition — the rolling-partition chaos
+        schedules tripped over exactly that.
         """
-        group_sets = [set(group) for group in groups]
+        window = _PartitionWindow(groups=[set(group) for group in groups])
         self.sim.schedule_at(
-            start, lambda: self._partition(group_sets), label="inject-partition"
+            start, lambda: self._partition(window), label="inject-partition"
         )
-        self.sim.schedule_at(start + duration, self._heal, label="inject-heal")
+        self.sim.schedule_at(
+            start + duration, lambda: self._heal(window), label="inject-heal"
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -83,11 +106,30 @@ class FailureInjector:
         node.recover()
         self.records.append(FailureRecord(self.sim.now, "recover", node.node_id))
 
-    def _partition(self, groups: list[set[str]]) -> None:
-        self.network.partition_into(*groups)
-        detail = " | ".join(",".join(sorted(group)) for group in groups)
-        self.records.append(FailureRecord(self.sim.now, "partition", detail))
+    def _partition(self, window: _PartitionWindow) -> None:
+        self._active_partitions.append(window)
+        self.network.partition_into(*window.groups)
+        self.records.append(FailureRecord(self.sim.now, "partition", window.detail))
 
-    def _heal(self) -> None:
-        self.network.heal()
-        self.records.append(FailureRecord(self.sim.now, "heal", ""))
+    def _heal(self, window: _PartitionWindow) -> None:
+        try:
+            self._active_partitions.remove(window)
+        except ValueError:
+            # Already gone (e.g. heal_all quiesced the run early).
+            return
+        if self._active_partitions:
+            survivor = self._active_partitions[-1]
+            self.network.partition_into(*survivor.groups)
+            self.records.append(
+                FailureRecord(self.sim.now, "heal", f"restored: {survivor.detail}")
+            )
+        else:
+            self.network.heal()
+            self.records.append(FailureRecord(self.sim.now, "heal", ""))
+
+    def heal_all(self) -> None:
+        """Drop every active partition window immediately (quiesce)."""
+        if self._active_partitions:
+            self._active_partitions.clear()
+            self.network.heal()
+            self.records.append(FailureRecord(self.sim.now, "heal", "all"))

@@ -102,6 +102,7 @@ class NetworkStats:
 
     sent: int = 0
     delivered: int = 0
+    duplicated: int = 0
     dropped_partition: int = 0
     dropped_loss: int = 0
     dropped_crashed: int = 0
@@ -120,6 +121,21 @@ class Network:
         latency: Either a constant (float) one-way delay, or a callable
             ``(rng) -> float`` drawing a delay per message.
         loss_probability: Independent per-message drop probability.
+        duplication_probability: Independent probability that a message
+            accepted for delivery is delivered *twice* (with independent
+            latency draws) — the at-least-once hazard chaos experiments
+            exercise; receivers are expected to be idempotent.
+
+    Mutable fault knobs (all default to the benign setting, and the
+    chaos engine flips them mid-run):
+
+    * :attr:`loss_probability` / :attr:`duplication_probability` — per
+      message probabilities;
+    * :attr:`latency_factor` — global multiplier on every latency draw
+      (a delay spike when > 1);
+    * :attr:`slow_nodes` — per-node latency multipliers; a message is
+      slowed by the factors of both its endpoints (a *gray failure*:
+      the node is up and correct, just pathologically slow).
 
     Example:
         >>> sim = Simulator()
@@ -140,12 +156,16 @@ class Network:
         sim: Simulator,
         latency: float | Callable[..., float] = 1.0,
         loss_probability: float = 0.0,
+        duplication_probability: float = 0.0,
         tracer=None,
         metrics=None,
     ):
         self.sim = sim
         self._latency = latency
         self.loss_probability = loss_probability
+        self.duplication_probability = duplication_probability
+        self.latency_factor = 1.0
+        self.slow_nodes: dict[str, float] = {}
         self.nodes: dict[str, Node] = {}
         self.partition: Optional[Partition] = None
         self.stats = NetworkStats()
@@ -229,7 +249,7 @@ class Network:
         if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
             self._drop("loss", source, destination)
             return False
-        delay = self._draw_latency()
+        delay = self._scaled_latency(source, destination)
         if self._m_latency is not None:
             self._m_latency.record(delay)
         # A hop span is opened only when the send happens inside an
@@ -246,6 +266,19 @@ class Network:
             lambda: self._deliver(source, destination, message, hop),
             label=f"net {source}->{destination}",
         )
+        if self.duplication_probability > 0 and self._rng.coin(
+            self.duplication_probability
+        ):
+            # The ghost copy takes its own (scaled) latency draw, so the
+            # duplicate may arrive before or after the original.
+            self.stats.duplicated += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.duplicated").inc()
+            self.sim.schedule(
+                self._scaled_latency(source, destination),
+                lambda: self._deliver(source, destination, message, None),
+                label=f"net dup {source}->{destination}",
+            )
         return True
 
     def _drop(self, reason: str, source: str, destination: str) -> None:
@@ -283,6 +316,18 @@ class Network:
         if callable(self._latency):
             return max(0.0, self._latency(self._rng))
         return float(self._latency)
+
+    def _scaled_latency(self, source: str, destination: str) -> float:
+        """One latency draw with the chaos knobs applied.  With the
+        knobs at their defaults this is a single extra float compare
+        over the raw draw — nothing on the hot path."""
+        delay = self._draw_latency()
+        if self.latency_factor != 1.0:
+            delay *= self.latency_factor
+        if self.slow_nodes:
+            delay *= self.slow_nodes.get(source, 1.0)
+            delay *= self.slow_nodes.get(destination, 1.0)
+        return delay
 
     def _deliver(
         self,

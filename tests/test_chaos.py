@@ -1,0 +1,274 @@
+"""Tests for the chaos subsystem: engine, invariants, soak determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    SoakConfig,
+    get_profile,
+    report_json,
+    run_soak,
+)
+from repro.chaos.engine import FaultEvent
+from repro.core.policy import RetryBudget, RetryPolicy, TimeoutPolicy
+from repro.core.process import ProcessEngine
+from repro.core.transaction import TransactionManager
+from repro.lsdb.store import LSDBStore
+from repro.queues.reliable import ReliableQueue
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+
+
+def make_network(node_count: int = 4, seed: int = 0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=1.0)
+    for index in range(node_count):
+        network.register(Node(f"n{index}"))
+    return sim, network
+
+
+class TestChaosEngine:
+    def test_plan_is_deterministic_per_seed(self):
+        schedules = []
+        for _ in range(2):
+            sim, network = make_network(seed=11)
+            engine = ChaosEngine(sim, network, profile="moderate")
+            schedules.append(engine.plan(2000.0))
+        assert schedules[0] == schedules[1]
+
+    def test_different_seeds_give_different_schedules(self):
+        sim_a, net_a = make_network(seed=1)
+        sim_b, net_b = make_network(seed=2)
+        plan_a = ChaosEngine(sim_a, net_a).plan(2000.0)
+        plan_b = ChaosEngine(sim_b, net_b).plan(2000.0)
+        assert plan_a != plan_b
+
+    def test_plan_covers_many_fault_kinds(self):
+        sim, network = make_network(seed=42)
+        engine = ChaosEngine(sim, network, profile="moderate")
+        engine.plan(2000.0)
+        assert len(engine.fault_kinds) >= 4
+
+    def test_plan_twice_raises(self):
+        sim, network = make_network()
+        engine = ChaosEngine(sim, network)
+        engine.plan(100.0)
+        with pytest.raises(RuntimeError):
+            engine.plan(100.0)
+
+    def test_quiesce_restores_every_knob(self):
+        sim, network = make_network()
+        network.loss_probability = 0.01  # baseline to come back to
+        engine = ChaosEngine(sim, network, profile="heavy")
+        engine._apply(FaultEvent(at=0.0, kind="loss", duration=50.0, detail=""))
+        engine._apply(FaultEvent(at=0.0, kind="delay", duration=50.0, detail=""))
+        engine._apply(FaultEvent(at=0.0, kind="slow", duration=50.0, detail="n1"))
+        engine._apply(FaultEvent(at=0.0, kind="crash", duration=50.0, detail="n2"))
+        engine._apply(
+            FaultEvent(at=0.0, kind="partition", duration=50.0, detail="n0,n1|n2,n3")
+        )
+        sim.run(until=1.0)  # let the partition window arm itself
+        assert network.loss_probability > 0.01
+        assert network.latency_factor > 1.0
+        assert network.slow_nodes
+        assert network.nodes["n2"].crashed
+        assert network.partition is not None
+        engine.quiesce()
+        assert network.loss_probability == 0.01
+        assert network.duplication_probability == 0.0
+        assert network.latency_factor == 1.0
+        assert network.slow_nodes == {}
+        assert not network.nodes["n2"].crashed
+        assert network.partition is None
+
+    def test_overlapping_knob_spikes_refcount(self):
+        sim, network = make_network()
+        engine = ChaosEngine(sim, network)
+        first = FaultEvent(at=0.0, kind="loss", duration=60.0, detail="")
+        second = FaultEvent(at=10.0, kind="loss", duration=20.0, detail="")
+        engine._apply(first)
+        engine._apply(second)
+        engine._revert(second)
+        # The first window is still open: loss must stay elevated.
+        assert network.loss_probability == engine.profile.loss_probability
+        engine._revert(first)
+        assert network.loss_probability == 0.0
+
+
+class TestNetworkChaosKnobs:
+    def test_duplication_delivers_twice(self):
+        sim = Simulator()
+        network = Network(sim, latency=1.0, duplication_probability=1.0)
+        received = []
+
+        class Sink(Node):
+            def handle_message(self, source, message):
+                received.append(message)
+
+        network.register(Node("src"))
+        network.register(Sink("dst"))
+        network.nodes["src"].send("dst", "ping")
+        sim.run()
+        assert received == ["ping", "ping"]
+        assert network.stats.duplicated == 1
+
+    def test_slow_node_multiplies_latency(self):
+        sim = Simulator()
+        network = Network(sim, latency=1.0)
+        arrival = []
+
+        class Sink(Node):
+            def handle_message(self, source, message):
+                arrival.append(sim.now)
+
+        network.register(Node("src"))
+        network.register(Sink("gray"))
+        network.slow_nodes["gray"] = 10.0
+        network.nodes["src"].send("gray", "x")
+        sim.run()
+        assert arrival == [10.0]
+
+    def test_latency_factor_scales_all_traffic(self):
+        sim = Simulator()
+        network = Network(sim, latency=2.0)
+        arrival = []
+
+        class Sink(Node):
+            def handle_message(self, source, message):
+                arrival.append(sim.now)
+
+        network.register(Node("src"))
+        network.register(Sink("dst"))
+        network.latency_factor = 5.0
+        network.nodes["src"].send("dst", "x")
+        sim.run()
+        assert arrival == [10.0]
+
+
+class TestSoakDeterminism:
+    CONFIG = SoakConfig(seed=17, duration=500.0, quiesce_grace=300.0)
+
+    def test_same_seed_is_byte_identical(self):
+        first = report_json(run_soak(self.CONFIG))
+        second = report_json(run_soak(self.CONFIG))
+        assert first == second
+
+    def test_invariants_hold_under_moderate_chaos(self):
+        report = run_soak(self.CONFIG)
+        assert report["invariants"]["ok"], report["invariants"]
+        assert report["workload"]["writes_acked"] > 0
+
+    def test_different_seed_changes_the_report(self):
+        other = SoakConfig(seed=18, duration=500.0, quiesce_grace=300.0)
+        assert report_json(run_soak(self.CONFIG)) != report_json(run_soak(other))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_profile("cataclysmic")
+
+
+class TestRetryBudgetExhaustion:
+    def test_queue_stops_redelivering_when_budget_dry(self):
+        sim = Simulator()
+        budget = RetryBudget(total=2)
+        queue = ReliableQueue(
+            sim,
+            retry=RetryPolicy.fixed(max_attempts=10, delay=1.0).with_budget(budget),
+        )
+        deliveries = []
+        queue.subscribe("t", lambda message: (deliveries.append(message), False)[1])
+        queue.enqueue("t", {})
+        sim.run()
+        # Initial delivery + the two budgeted retries, then dead-letter.
+        assert len(deliveries) == 3
+        assert len(queue.dead_letters) == 1
+        assert budget.remaining == 0
+
+
+class TestDeadlinePropagation:
+    @staticmethod
+    def make_engine(delivery_delay: float, overall: float):
+        sim = Simulator()
+        queue = ReliableQueue(sim, delivery_delay=delivery_delay)
+        store = LSDBStore(clock=lambda: sim.now)
+        manager = TransactionManager(store, sim=sim, queue=queue)
+        engine = ProcessEngine(
+            manager, queue, timeout=TimeoutPolicy(overall=overall)
+        )
+        return sim, queue, engine
+
+    def test_deadline_travels_through_a_three_step_process(self):
+        sim, queue, engine = self.make_engine(delivery_delay=5.0, overall=100.0)
+        seen = []
+
+        @engine.step("a", "t.a")
+        def step_a(ctx):
+            seen.append(ctx.message.deadline)
+            ctx.insert("ent", "k1", {"v": 1})
+            ctx.emit("t.b", {})
+
+        @engine.step("b", "t.b")
+        def step_b(ctx):
+            seen.append(ctx.message.deadline)
+            ctx.insert("ent", "k2", {"v": 2})
+            ctx.emit("t.c", {})
+
+        @engine.step("c", "t.c")
+        def step_c(ctx):
+            seen.append(ctx.message.deadline)
+            ctx.insert("ent", "k3", {"v": 3})
+
+        engine.start_process("t.a", {})
+        sim.run()
+        # One deadline, stamped at start, shared by every hop.
+        assert seen == [100.0, 100.0, 100.0]
+        assert engine.stats.steps_committed == 3
+
+    def test_expired_deadline_stops_the_chain(self):
+        sim, queue, engine = self.make_engine(delivery_delay=50.0, overall=60.0)
+        ran = []
+
+        @engine.step("a", "t.a")
+        def step_a(ctx):
+            ran.append("a")
+            ctx.insert("ent", "k1", {"v": 1})
+            ctx.emit("t.b", {})
+
+        @engine.step("b", "t.b")
+        def step_b(ctx):  # pragma: no cover - must not run
+            ran.append("b")
+            ctx.insert("ent", "k2", {"v": 2})
+
+        engine.start_process("t.a", {})
+        sim.run()
+        # Step a ran at t=50 (inside the deadline); its emitted event
+        # would arrive at t=100 > 60 and is dropped by the queue.
+        assert ran == ["a"]
+        assert queue.stats.deadline_expired == 1
+
+    def test_engine_retry_cap_gives_up_before_queue_cap(self):
+        sim = Simulator()
+        queue = ReliableQueue(
+            sim, retry=RetryPolicy.fixed(max_attempts=6, delay=1.0)
+        )
+        store = LSDBStore(clock=lambda: sim.now)
+        manager = TransactionManager(store, sim=sim, queue=queue)
+        engine = ProcessEngine(
+            manager, queue, retry=RetryPolicy(max_attempts=2, base_delay=1.0)
+        )
+        attempts = []
+
+        @engine.step("boom", "t")
+        def boom(ctx):
+            attempts.append(ctx.message.attempts)
+            raise RuntimeError("still broken")
+
+        engine.start_process("t", {})
+        sim.run()
+        # The engine ran the handler twice, then acknowledged and gave
+        # up — well before the queue's own six-attempt cap.
+        assert attempts == [1, 2]
+        assert engine.stats.giveups == 1
+        assert not queue.dead_letters

@@ -208,3 +208,66 @@ class TestReadProtocol:
             assert isinstance(builder, ClusterBuilder)
             assert cluster.replication is not None
             assert cluster.store is not None
+
+
+class TestChaosAndPolicyDeclarations:
+    def test_with_chaos_builds_an_engine(self):
+        from repro.chaos import ChaosEngine
+
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(3, mode="active_active")
+            .with_chaos(profile="light")
+            .create()
+        )
+        assert isinstance(cluster.chaos, ChaosEngine)
+        assert cluster.chaos.profile.name == "light"
+
+    def test_with_chaos_implies_a_network(self):
+        cluster = Cluster.build(seed=5).with_chaos().create()
+        assert cluster.network is not None
+        assert cluster.chaos is not None
+
+    def test_with_chaos_private_seed_pins_schedule(self):
+        def plan(chaos_seed):
+            cluster = (
+                Cluster.build(seed=1)
+                .with_replicas(3, mode="active_active")
+                .with_chaos(seed=chaos_seed)
+                .create()
+            )
+            return cluster.chaos.plan(1000.0)
+
+        assert plan(99) == plan(99)
+        assert plan(99) != plan(100)
+
+    def test_with_policies_flows_into_queue_and_schemes(self):
+        from repro.core.policy import RetryPolicy, TimeoutPolicy
+
+        retry = RetryPolicy.exponential(max_attempts=3, base_delay=5.0)
+        timeout = TimeoutPolicy(per_attempt=40.0, overall=200.0)
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(3, mode="quorum")
+            .with_queue()
+            .with_policies(retry=retry, timeout=timeout)
+            .create()
+        )
+        assert cluster.queue.retry_policy is retry
+        assert cluster.queue.timeout_policy is timeout
+        assert cluster.replication.retry_policy is retry
+        assert cluster.replication.timeout_policy is timeout
+        assert cluster.retry_policy is retry
+
+    def test_explicit_component_policy_beats_cluster_default(self):
+        from repro.core.policy import RetryPolicy
+
+        cluster_default = RetryPolicy.fixed(max_attempts=9, delay=1.0)
+        queue_specific = RetryPolicy.fixed(max_attempts=2, delay=3.0)
+        cluster = (
+            Cluster.build(seed=5)
+            .with_queue(retry=queue_specific)
+            .with_policies(retry=cluster_default)
+            .create()
+        )
+        assert cluster.queue.retry_policy is queue_specific

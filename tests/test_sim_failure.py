@@ -66,3 +66,75 @@ class TestPartitionWindows:
         partition_records = [r for r in injector.records if r.kind == "partition"]
         assert partition_records[0].detail == "a | b"
         assert any(record.kind == "heal" for record in injector.records)
+
+
+def make_quad():
+    sim = Simulator()
+    net = Network(sim, latency=1.0)
+    for node_id in ("a", "b", "c", "d"):
+        net.register(Node(node_id))
+    return sim, net
+
+
+class TestOverlappingPartitionWindows:
+    """Regression: an inner window's heal used to erase the outer
+    partition entirely; heal must restore the prior topology."""
+
+    def test_inner_window_heal_restores_outer_partition(self):
+        sim, net = make_quad()
+        injector = FailureInjector(sim, net)
+        # Outer window: {a,b} | {c,d} over [10, 110).
+        injector.partition_window([["a", "b"], ["c", "d"]], start=10.0, duration=100.0)
+        # Inner window: {a} | {b,c,d} over [30, 60) — overlaps the outer.
+        injector.partition_window([["a"], ["b", "c", "d"]], start=30.0, duration=30.0)
+
+        sim.run(until=20.0)
+        assert net.is_partitioned("a", "c")
+        assert not net.is_partitioned("a", "b")
+
+        sim.run(until=40.0)  # inner window in force: a is fully isolated
+        assert net.is_partitioned("a", "b")
+        assert net.is_partitioned("a", "c")
+
+        sim.run(until=70.0)  # inner healed: the OUTER topology is back
+        assert not net.is_partitioned("a", "b")
+        assert net.is_partitioned("a", "c")
+
+        sim.run(until=120.0)  # outer healed: fully connected again
+        assert net.partition is None
+
+    def test_staggered_windows_keep_newest_topology(self):
+        sim, net = make_quad()
+        injector = FailureInjector(sim, net)
+        # First window ends while the second is still open.
+        injector.partition_window([["a"], ["b", "c", "d"]], start=0.0, duration=50.0)
+        injector.partition_window([["a", "b"], ["c", "d"]], start=20.0, duration=60.0)
+
+        sim.run(until=60.0)  # first healed at 50; second still in force
+        assert net.is_partitioned("a", "c")
+        assert not net.is_partitioned("a", "b")
+
+        sim.run(until=90.0)
+        assert net.partition is None
+
+    def test_heal_restoration_is_recorded(self):
+        sim, net = make_quad()
+        injector = FailureInjector(sim, net)
+        injector.partition_window([["a", "b"], ["c", "d"]], start=0.0, duration=40.0)
+        injector.partition_window([["a"], ["b", "c", "d"]], start=10.0, duration=10.0)
+        sim.run()
+        heal_details = [r.detail for r in injector.records if r.kind == "heal"]
+        assert heal_details == ["restored: a,b | c,d", ""]
+
+    def test_heal_all_drops_every_window(self):
+        sim, net = make_quad()
+        injector = FailureInjector(sim, net)
+        injector.partition_window([["a", "b"], ["c", "d"]], start=0.0, duration=100.0)
+        injector.partition_window([["a"], ["b", "c", "d"]], start=5.0, duration=100.0)
+        sim.run(until=10.0)
+        assert net.partition is not None
+        injector.heal_all()
+        assert net.partition is None
+        # The windows' own scheduled heals later become harmless no-ops.
+        sim.run()
+        assert net.partition is None
