@@ -95,6 +95,7 @@ EXPERIMENTS = [
     "bench_a02_propagation_modes",
     "bench_a03_reorder_buffer",
     "bench_a04_relocation",
+    "bench_a05_elasticity",
 ]
 
 

@@ -92,6 +92,12 @@ from repro.merge import (
 )
 from repro.cluster import Cluster, ClusterBuilder
 from repro.obs import MetricsRegistry, MetricsReport, Tracer
+from repro.partition import (
+    ConsistentHashRing,
+    RebalancePlanner,
+    Rebalancer,
+    SerializationUnit,
+)
 from repro.queues import IdempotentReceiver, Message, ReliableQueue
 from repro.sim import FailureInjector, Network, Node, Simulator
 
@@ -143,6 +149,10 @@ __all__ = [
     "VersionVector",
     "Cluster",
     "ClusterBuilder",
+    "ConsistentHashRing",
+    "RebalancePlanner",
+    "Rebalancer",
+    "SerializationUnit",
     "MetricsRegistry",
     "MetricsReport",
     "Tracer",

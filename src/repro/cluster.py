@@ -39,6 +39,10 @@ from repro.lsdb.store import LSDBStore
 from repro.obs.export import render_timeline, trace_payload
 from repro.obs.metrics import MetricsRegistry, MetricsReport
 from repro.obs.trace import Tracer
+from repro.partition.rebalance import RebalanceRun, Rebalancer
+from repro.partition.relocation import EntityMover
+from repro.partition.ring import ConsistentHashRing, RebalancePlanner
+from repro.partition.router import DynamicDirectory
 from repro.partition.units import SerializationUnit
 from repro.queues.reliable import ReliableQueue
 from repro.replication.active_active import ActiveActiveGroup
@@ -73,6 +77,14 @@ class Cluster:
             one was requested, else the scheme's primary/master store.
         queue: The reliable queue, if requested.
         units: Serialization units by name, if requested.
+        ring: The consistent-hash membership (``with_ring``); after a
+            ``scale_out``/``scale_in`` this is the *target* membership —
+            the directory keeps routing correctly mid-rebalance.
+        directory: The dynamic directory over the ring (``with_ring``).
+        mover: The per-entity relocation engine (``with_ring``).
+        rebalancer: The bulk rebalance executor (``with_ring``).
+        retired_units: Units scaled in and drained; kept for their audit
+            history (tombstoned ``migrated-out`` events stay readable).
         warehouse: The warehouse extract, if requested.
         transactions: The transaction manager, if requested.
         constraints: The constraint manager, if requested.
@@ -92,6 +104,11 @@ class Cluster:
         self.store: Optional[LSDBStore] = None
         self.queue: Optional[ReliableQueue] = None
         self.units: dict[str, SerializationUnit] = {}
+        self.ring: Optional[ConsistentHashRing] = None
+        self.directory: Optional[DynamicDirectory] = None
+        self.mover: Optional[EntityMover] = None
+        self.rebalancer: Optional[Rebalancer] = None
+        self.retired_units: dict[str, SerializationUnit] = {}
         self.warehouse: Optional[WarehouseExtract] = None
         self.transactions: Optional[TransactionManager] = None
         self.constraints: Optional[ConstraintManager] = None
@@ -129,6 +146,80 @@ class Cluster:
         return read_from(
             surface, entity_type, entity_key, consistency=consistency
         )
+
+    # ------------------------------------------------------------------ #
+    # Elasticity (ring membership changes)
+    # ------------------------------------------------------------------ #
+
+    def scale_out(
+        self,
+        unit: str,
+        on_done: Optional[Callable[[RebalanceRun], None]] = None,
+        **unit_options: Any,
+    ) -> RebalanceRun:
+        """Add a unit to the ring and start draining keys onto it.
+
+        Returns the live :class:`~repro.partition.rebalance.RebalanceRun`
+        immediately — batches execute as the simulator runs (call
+        ``run.wait()`` to drive the simulator to completion).  Only the
+        keys the new membership assigns to ``unit`` move (~``1/(N+1)``
+        of the data); the directory keeps every entity reachable
+        throughout, and once the plan drains the ring becomes the
+        directory's base router and the per-entity overrides compact
+        away.
+
+        Args:
+            unit: Name of the new serialization unit.
+            on_done: Called once with the finished run (e.g. to chain
+                staged scale-out steps).
+            **unit_options: Forwarded to :class:`SerializationUnit`
+                (``local_commit_cost``, ``snapshot_interval``).
+        """
+        if self.ring is None or self.rebalancer is None:
+            raise RuntimeError("cluster built without with_ring()")
+        if unit in self.units:
+            raise ValueError(f"unit {unit!r} already in the cluster")
+        self.units[unit] = SerializationUnit(unit, sim=self.sim, **unit_options)
+        self.mover.units[unit] = self.units[unit]
+        new_ring = self.ring.with_unit(unit)
+        plan = RebalancePlanner(self.directory, new_ring).plan_from_units(
+            self.mover.units
+        )
+        run = self.rebalancer.execute(plan, new_router=new_ring, on_done=on_done)
+        self.ring = new_ring
+        return run
+
+    def scale_in(
+        self,
+        unit: str,
+        on_done: Optional[Callable[[RebalanceRun], None]] = None,
+    ) -> RebalanceRun:
+        """Remove a unit from the ring, draining its keys first.
+
+        Every entity the unit owns moves to the unit inheriting its ring
+        arcs; nothing else moves.  When the drain completes the unit is
+        retired into :attr:`retired_units` (its store keeps the
+        tombstoned audit history).  Returns the live run.
+        """
+        if self.ring is None or self.rebalancer is None:
+            raise RuntimeError("cluster built without with_ring()")
+        if unit not in self.units:
+            raise KeyError(f"unknown unit {unit!r}")
+        new_ring = self.ring.without_unit(unit)
+        plan = RebalancePlanner(self.directory, new_ring).plan_from_units(
+            self.mover.units
+        )
+
+        def retire(run: RebalanceRun) -> None:
+            # The mover keeps the unit: pinned stragglers (exhausted
+            # retries) and audit reads still resolve through it.
+            self.retired_units[unit] = self.units.pop(unit)
+            if on_done is not None:
+                on_done(run)
+
+        run = self.rebalancer.execute(plan, new_router=new_ring, on_done=retire)
+        self.ring = new_ring
+        return run
 
     # ------------------------------------------------------------------ #
     # Observability views
@@ -172,6 +263,7 @@ class ClusterBuilder:
         self._replica_mode = ""
         self._replica_kwargs: dict[str, Any] = {}
         self._unit_names: tuple[str, ...] = ()
+        self._ring_kwargs: Optional[dict[str, Any]] = None
         self._store_kwargs: Optional[dict[str, Any]] = None
         self._queue_kwargs: Optional[dict[str, Any]] = None
         self._warehouse_kwargs: Optional[dict[str, Any]] = None
@@ -243,6 +335,37 @@ class ClusterBuilder:
         if not names:
             raise ValueError("with_partition_units needs at least one name")
         self._unit_names = tuple(names)
+        return self
+
+    def with_ring(
+        self,
+        *names: str,
+        vnodes: int = 64,
+        batch_size: int = 16,
+        batch_interval: float = 1.0,
+    ) -> "ClusterBuilder":
+        """Add serialization units routed by a consistent-hash ring.
+
+        Implies the units (like ``with_partition_units``) plus the whole
+        elasticity stack: a :class:`ConsistentHashRing` over the names,
+        a :class:`DynamicDirectory` on top of it, an :class:`EntityMover`
+        and a :class:`~repro.partition.rebalance.Rebalancer` — which is
+        what makes ``Cluster.scale_out`` / ``Cluster.scale_in`` work.
+
+        Args:
+            names: Initial unit names (at least one).
+            vnodes: Virtual nodes per unit on the ring.
+            batch_size: Entities the rebalancer moves per batch.
+            batch_interval: Virtual time between rebalance batches.
+        """
+        if not names:
+            raise ValueError("with_ring needs at least one unit name")
+        self._ring_kwargs = {
+            "names": tuple(names),
+            "vnodes": vnodes,
+            "batch_size": batch_size,
+            "batch_interval": batch_interval,
+        }
         return self
 
     def with_store(self, name: str = "store", origin: str = "local", **kwargs: Any) -> "ClusterBuilder":
@@ -356,6 +479,24 @@ class ClusterBuilder:
 
         for name in self._unit_names:
             cluster.units[name] = SerializationUnit(name, sim=sim)
+
+        if self._ring_kwargs is not None:
+            ring_kwargs = self._ring_kwargs
+            for name in ring_kwargs["names"]:
+                cluster.units[name] = SerializationUnit(name, sim=sim)
+            cluster.ring = ConsistentHashRing(
+                ring_kwargs["names"], vnodes=ring_kwargs["vnodes"]
+            )
+            cluster.directory = DynamicDirectory(cluster.ring)
+            cluster.mover = EntityMover(cluster.units, cluster.directory)
+            cluster.rebalancer = Rebalancer(
+                cluster.mover,
+                sim=sim,
+                retry=self._retry_policy,
+                timeout=self._timeout_policy,
+                batch_size=ring_kwargs["batch_size"],
+                batch_interval=ring_kwargs["batch_interval"],
+            )
 
         if self._queue_kwargs is not None:
             queue_kwargs = dict(self._queue_kwargs)

@@ -1,7 +1,15 @@
-"""Partitioning: serialization units with separate logs and dynamic
-entity location (principle 2.5)."""
+"""Partitioning: serialization units with separate logs, dynamic entity
+location, and elastic membership via consistent-hash rebalancing
+(principle 2.5)."""
 
 from repro.partition.relocation import EntityMover, MoveReport
+from repro.partition.ring import (
+    ConsistentHashRing,
+    PlannedMove,
+    RebalancePlan,
+    RebalancePlanner,
+)
+from repro.partition.rebalance import RebalanceReport, RebalanceRun, Rebalancer
 from repro.partition.router import (
     DynamicDirectory,
     HashRouter,
@@ -11,8 +19,15 @@ from repro.partition.router import (
 from repro.partition.units import SerializationUnit
 
 __all__ = [
+    "ConsistentHashRing",
     "EntityMover",
     "MoveReport",
+    "PlannedMove",
+    "RebalancePlan",
+    "RebalancePlanner",
+    "RebalanceReport",
+    "RebalanceRun",
+    "Rebalancer",
     "DynamicDirectory",
     "HashRouter",
     "RangeRouter",

@@ -1,0 +1,280 @@
+"""Consistent-hash ring routing and rebalance planning.
+
+Principle 2.5 says entity location is determined *dynamically*.  The
+:class:`~repro.partition.router.HashRouter` is mod-N over a fixed unit
+list — correct, but adding or removing one unit reshuffles nearly every
+key, so a cluster built on it cannot actually scale out.  A
+:class:`ConsistentHashRing` fixes the churn: every unit owns ``vnodes``
+pseudo-random arcs of a 128-bit hash circle, and a key belongs to the
+unit owning the first arc token at or after the key's hash.  Membership
+changes then move only the keys whose arc changed hands:
+
+* adding one unit to an ``N``-unit ring relocates ~``1/(N+1)`` of the
+  keys, and every relocated key moves *to* the new unit;
+* removing a unit relocates only that unit's keys, each *to* the unit
+  that inherits its arcs.
+
+Both statements are exact (not just expectations) and are asserted as
+properties in ``tests/test_partition_ring_properties.py``.
+
+The ring is a pure placement function.  Turning a membership change
+into actual data movement is a two-step affair: a
+:class:`RebalancePlanner` diffs two routers over the entities that
+exist and emits a minimal :class:`RebalancePlan`; the
+:class:`~repro.partition.rebalance.Rebalancer` executes the plan over
+live units.
+
+Hashing uses MD5 (like :class:`HashRouter`) because Python's ``hash``
+is salted per process and would break cross-run determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.partition.router import Router
+
+__all__ = [
+    "ConsistentHashRing",
+    "PlannedMove",
+    "RebalancePlan",
+    "RebalancePlanner",
+]
+
+
+def _key_token(entity_type: str, entity_key: str) -> int:
+    """A key's position on the hash circle (same digest family as
+    :class:`~repro.partition.router.HashRouter`)."""
+    digest = hashlib.md5(f"{entity_type}/{entity_key}".encode()).hexdigest()
+    return int(digest, 16)
+
+
+def _vnode_token(unit: str, replica: int) -> int:
+    """The position of one of a unit's virtual nodes."""
+    digest = hashlib.md5(f"{unit}#{replica}".encode()).hexdigest()
+    return int(digest, 16)
+
+
+class ConsistentHashRing:
+    """A deterministic consistent-hash ring with virtual nodes.
+
+    The ring is a value: placement depends only on the *set* of unit
+    names and the vnode count, never on insertion order or history, so
+    two rings built from the same membership agree on every key — the
+    property that lets a planner diff memberships offline.
+
+    Args:
+        units: Unit names (order-insensitive; duplicates rejected).
+        vnodes: Virtual nodes per unit.  More vnodes spread each unit's
+            arcs more evenly (64 keeps the largest/smallest unit load
+            ratio near 1 for realistic fleet sizes).
+
+    Example:
+        >>> ring = ConsistentHashRing(["u1", "u2", "u3"])
+        >>> ring.unit_for("order", "o-17") in {"u1", "u2", "u3"}
+        True
+        >>> grown = ring.with_unit("u4")
+        >>> moved = [k for k in ("a", "b", "c", "d", "e")
+        ...          if ring.unit_for("t", k) != grown.unit_for("t", k)]
+        >>> all(grown.unit_for("t", k) == "u4" for k in moved)
+        True
+    """
+
+    def __init__(self, units: Sequence[str], vnodes: int = 64):
+        names = list(units)
+        if not names:
+            raise ValueError("ConsistentHashRing needs at least one unit")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate unit names in {names!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._units = sorted(names)
+        self._vnodes = vnodes
+        entries = sorted(
+            (_vnode_token(unit, replica), unit)
+            for unit in self._units
+            for replica in range(vnodes)
+        )
+        self._tokens = [token for token, _ in entries]
+        self._owners = [owner for _, owner in entries]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def unit_for(self, entity_type: str, entity_key: str) -> str:
+        """The unit owning the first vnode at or after the key's hash
+        (wrapping past the top of the circle)."""
+        index = bisect_right(self._tokens, _key_token(entity_type, entity_key))
+        if index == len(self._tokens):
+            index = 0
+        return self._owners[index]
+
+    # ------------------------------------------------------------------ #
+    # Membership (value semantics: every change is a new ring)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def units(self) -> list[str]:
+        """The member unit names, sorted."""
+        return list(self._units)
+
+    @property
+    def vnodes(self) -> int:
+        """Virtual nodes per unit."""
+        return self._vnodes
+
+    def __contains__(self, unit: str) -> bool:
+        return unit in self._units
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def with_unit(self, unit: str) -> "ConsistentHashRing":
+        """A new ring with ``unit`` added."""
+        if unit in self._units:
+            raise ValueError(f"unit {unit!r} already on the ring")
+        return ConsistentHashRing([*self._units, unit], vnodes=self._vnodes)
+
+    def without_unit(self, unit: str) -> "ConsistentHashRing":
+        """A new ring with ``unit`` removed."""
+        if unit not in self._units:
+            raise ValueError(f"unit {unit!r} not on the ring")
+        if len(self._units) == 1:
+            raise ValueError("cannot remove the last unit from the ring")
+        return ConsistentHashRing(
+            [name for name in self._units if name != unit], vnodes=self._vnodes
+        )
+
+    def spread(self, keys: Iterable[tuple[str, str]]) -> dict[str, int]:
+        """How many of ``keys`` each unit owns (diagnostic/balance view;
+        every member appears, even with zero keys)."""
+        counts = {unit: 0 for unit in self._units}
+        for entity_type, entity_key in keys:
+            counts[self.unit_for(entity_type, entity_key)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ConsistentHashRing({len(self._units)} units x "
+            f"{self._vnodes} vnodes)"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Planning
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """One entity that must change units for the new membership."""
+
+    entity_type: str
+    entity_key: str
+    source: str
+    target: str
+
+
+@dataclass
+class RebalancePlan:
+    """The minimal bulk move set for one membership change.
+
+    Attributes:
+        moves: Every entity whose owner differs between the old and new
+            routing, with its current and target unit.
+        keys_total: How many entities the planner examined.
+    """
+
+    moves: list[PlannedMove] = field(default_factory=list)
+    keys_total: int = 0
+
+    @property
+    def keys_moved(self) -> int:
+        """How many entities the plan relocates."""
+        return len(self.moves)
+
+    @property
+    def moved_fraction(self) -> float:
+        """Relocated share of the examined entities (0 when none)."""
+        return self.keys_moved / self.keys_total if self.keys_total else 0.0
+
+    def batches(self, batch_size: int) -> Iterator[list[PlannedMove]]:
+        """The moves in execution batches of at most ``batch_size``."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for start in range(0, len(self.moves), batch_size):
+            yield self.moves[start:start + batch_size]
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-friendly summary (not the full move list)."""
+        per_edge: dict[str, int] = {}
+        for move in self.moves:
+            edge = f"{move.source}->{move.target}"
+            per_edge[edge] = per_edge.get(edge, 0) + 1
+        return {
+            "keys_moved": self.keys_moved,
+            "keys_total": self.keys_total,
+            "moved_fraction": round(self.moved_fraction, 6),
+            "per_edge": dict(sorted(per_edge.items())),
+        }
+
+
+class RebalancePlanner:
+    """Diffs two routings into a minimal move plan.
+
+    The planner is membership-agnostic: ``old`` and ``new`` are any two
+    :class:`~repro.partition.router.Router` implementations (two rings,
+    a directory and a ring, a mod-N router and a ring during migration
+    onto consistent hashing).  An entity is planned for a move exactly
+    when the two routers disagree on it — nothing else touches the wire.
+
+    Args:
+        old: Where entities live now (usually the current
+            :class:`~repro.partition.router.DynamicDirectory`, which by
+            construction points at the physical location).
+        new: Where entities must live after the change.
+    """
+
+    def __init__(self, old: Router, new: Router):
+        self.old = old
+        self.new = new
+
+    def plan(self, entities: Iterable[tuple[str, str]]) -> RebalancePlan:
+        """The move plan over an explicit entity population."""
+        plan = RebalancePlan()
+        for entity_type, entity_key in entities:
+            plan.keys_total += 1
+            source = self.old.unit_for(entity_type, entity_key)
+            target = self.new.unit_for(entity_type, entity_key)
+            if source != target:
+                plan.moves.append(
+                    PlannedMove(entity_type, entity_key, source, target)
+                )
+        return plan
+
+    def plan_from_units(
+        self, units: Mapping[str, "object"]
+    ) -> RebalancePlan:
+        """The move plan over every live entity currently stored in
+        ``units`` (unit name -> :class:`SerializationUnit`).
+
+        Enumeration order is deterministic: units by name, entities by
+        log order within each store.  Tombstoned entities (including
+        ``migrated-out`` marks from earlier moves) stay where they are —
+        history keeps audit locality.
+        """
+        def live_entities() -> Iterator[tuple[str, str]]:
+            for name in sorted(units):
+                store = units[name].store  # type: ignore[attr-defined]
+                for ref, state in store.current_state().items():
+                    if state.deleted or state.obsolete:
+                        continue
+                    # Only the physical owner may nominate the entity,
+                    # so an entity never appears twice in one plan.
+                    if self.old.unit_for(*ref) == name:
+                        yield ref
+        return self.plan(live_entities())

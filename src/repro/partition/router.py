@@ -106,13 +106,54 @@ class DynamicDirectory:
     def move(self, entity_type: str, entity_key: str, unit: str) -> None:
         """Relocate one entity to ``unit`` (takes effect immediately for
         subsequent lookups; migrating the entity's events between stores
-        is the caller's job, typically via a process step)."""
-        self._overrides[(entity_type, entity_key)] = unit
+        is the caller's job, typically via a process step).
+
+        An override that merely restates the base router is not stored
+        (and any existing one is dropped): before this, every entity a
+        bulk rebalance touched kept a directory entry forever, even once
+        the base router agreed — O(entities-ever-moved) memory for zero
+        routing information.
+        """
+        if self.base.unit_for(entity_type, entity_key) == unit:
+            self._overrides.pop((entity_type, entity_key), None)
+        else:
+            self._overrides[(entity_type, entity_key)] = unit
         self.moves += 1
 
     def placement_of(self, entity_type: str, entity_key: str) -> Optional[str]:
         """The explicit override for an entity, if any."""
         return self._overrides.get((entity_type, entity_key))
+
+    def compact_overrides(self) -> int:
+        """Drop every override the base router already agrees with.
+
+        Returns the number dropped.  Routing is unchanged — an override
+        matching the base answer carries no information, it only costs
+        memory (the failure mode of a bulk rebalance, which records one
+        override per moved entity and then swaps in a base router that
+        agrees with all of them).
+        """
+        stale = [
+            ref
+            for ref, unit in self._overrides.items()
+            if self.base.unit_for(*ref) == unit
+        ]
+        for ref in stale:
+            del self._overrides[ref]
+        return len(stale)
+
+    def rebase(self, base: Router) -> int:
+        """Swap the base router and compact the overrides it absorbs.
+
+        The bulk-rebalance finale: per-entity moves accumulated one
+        override each; the new base (e.g. the grown
+        :class:`~repro.partition.ring.ConsistentHashRing`) now gives the
+        same answers, so those overrides evaporate.  Overrides the new
+        base *disagrees* with stay — they are real placement decisions
+        (pinned entities, hot-key moves).  Returns the number dropped.
+        """
+        self.base = base
+        return self.compact_overrides()
 
     @property
     def override_count(self) -> int:

@@ -271,3 +271,93 @@ class TestChaosAndPolicyDeclarations:
             .create()
         )
         assert cluster.queue.retry_policy is queue_specific
+
+
+class TestElasticCluster:
+    """with_ring / scale_out / scale_in on the builder facade."""
+
+    def make_cluster(self, *, seed=11, units=("u1", "u2", "u3", "u4")):
+        cluster = (
+            Cluster.build(seed=seed)
+            .with_ring(*units, vnodes=32, batch_size=8)
+            .create()
+        )
+        for index in range(60):
+            key = f"k{index}"
+            owner = cluster.directory.unit_for("order", key)
+            cluster.units[owner].store.insert("order", key, {"n": index})
+        return cluster
+
+    def test_with_ring_wires_the_elastic_stack(self):
+        from repro.partition import (
+            ConsistentHashRing,
+            DynamicDirectory,
+            EntityMover,
+            Rebalancer,
+        )
+
+        cluster = self.make_cluster()
+        assert isinstance(cluster.ring, ConsistentHashRing)
+        assert isinstance(cluster.directory, DynamicDirectory)
+        assert isinstance(cluster.mover, EntityMover)
+        assert isinstance(cluster.rebalancer, Rebalancer)
+        assert cluster.directory.base is cluster.ring
+        assert set(cluster.units) == {"u1", "u2", "u3", "u4"}
+
+    def test_scale_out_relocates_and_compacts(self):
+        cluster = self.make_cluster()
+        run = cluster.scale_out("u5")
+        run.wait()
+        assert run.done
+        assert "u5" in cluster.ring
+        assert "u5" in cluster.units
+        assert run.report.completed == run.report.planned
+        assert run.report.failed == 0
+        assert cluster.directory.override_count == 0
+        for index in range(60):
+            key = f"k{index}"
+            owner = cluster.directory.unit_for("order", key)
+            assert cluster.units[owner].store.get("order", key).fields["n"] == index
+
+    def test_scale_out_moves_a_minority_of_keys(self):
+        cluster = self.make_cluster()
+        run = cluster.scale_out("u5")
+        run.wait()
+        # Consistent hashing: ~1/(N+1) of keys move, never a reshuffle.
+        assert 0 < run.report.completed <= 60 * 2 // 5
+
+    def test_scale_in_drains_the_unit(self):
+        cluster = self.make_cluster()
+        run = cluster.scale_in("u4")
+        run.wait()
+        assert run.done
+        assert "u4" not in cluster.ring
+        assert "u4" not in cluster.units
+        assert "u4" in cluster.retired_units
+        for index in range(60):
+            key = f"k{index}"
+            owner = cluster.directory.unit_for("order", key)
+            assert owner != "u4"
+            assert cluster.units[owner].store.get("order", key).fields["n"] == index
+
+    def test_scale_out_duplicate_unit_rejected(self):
+        cluster = self.make_cluster()
+        with pytest.raises(ValueError):
+            cluster.scale_out("u1")
+
+    def test_scale_in_unknown_unit_rejected(self):
+        cluster = self.make_cluster()
+        with pytest.raises(KeyError):
+            cluster.scale_in("u99")
+
+    def test_scale_out_without_ring_raises(self):
+        cluster = Cluster.build(seed=1).with_partition_units("u1", "u2").create()
+        with pytest.raises(RuntimeError):
+            cluster.scale_out("u3")
+
+    def test_scale_out_on_done_callback_fires(self):
+        cluster = self.make_cluster()
+        seen = []
+        run = cluster.scale_out("u5", on_done=lambda r: seen.append(r))
+        run.wait()
+        assert seen and seen[0] is run

@@ -1,0 +1,137 @@
+"""Deterministic simulation: staged scale-out under live writes + chaos.
+
+The acceptance experiment for elastic sharding (principle 2.5): a
+4 -> 8 staged scale-out runs under an open-loop write workload while
+the chaos engine crashes and partitions the unit hosts, and afterwards
+the chaos subsystem's invariant checkers must still hold — convergence
+(directory and final ring agree on placement, and everything is where
+they say), no lost acknowledged writes, monotonic reads per session.
+The whole report must be byte-identical across runs with one seed, and
+the consistent-hash churn must stay at or below 60% of what the old
+mod-N router would have reshuffled over the same membership steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.elasticity import (
+    ElasticityConfig,
+    elasticity_report_json,
+    run_elastic_scaleout,
+)
+
+CHAOS_CONFIG = ElasticityConfig(
+    seed=42,
+    keys=64,
+    duration=600.0,
+    quiesce_grace=300.0,
+    profile="moderate",
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_runs():
+    """One fixed-seed chaos scale-out, run twice (shared: the run is the
+    expensive part, every test here asserts a different facet of it)."""
+    return run_elastic_scaleout(CHAOS_CONFIG), run_elastic_scaleout(CHAOS_CONFIG)
+
+
+class TestInvariantsUnderChaos:
+    def test_run_verdict_ok(self, chaos_runs):
+        report, _ = chaos_runs
+        assert report["ok"], report["invariants"]
+
+    def test_no_lost_acknowledged_writes(self, chaos_runs):
+        report, _ = chaos_runs
+        results = {r["name"]: r for r in report["invariants"]["results"]}
+        verdict = results["no_lost_acked_writes"]
+        assert verdict["passed"], verdict["detail"]
+        assert verdict["checked"] == CHAOS_CONFIG.keys
+
+    def test_convergence_of_directory_and_ring(self, chaos_runs):
+        report, _ = chaos_runs
+        results = {r["name"]: r for r in report["invariants"]["results"]}
+        assert results["convergence"]["passed"], results["convergence"]["detail"]
+
+    def test_monotonic_reads_per_session(self, chaos_runs):
+        report, _ = chaos_runs
+        results = {r["name"]: r for r in report["invariants"]["results"]}
+        verdict = results["monotonic_reads"]
+        assert verdict["passed"], verdict["detail"]
+        assert verdict["checked"] > 0  # sessions actually read something
+
+    def test_no_entity_was_ever_unreachable(self, chaos_runs):
+        report, _ = chaos_runs
+        assert report["workload"]["reads_missing"] == 0
+
+    def test_chaos_actually_happened(self, chaos_runs):
+        report, _ = chaos_runs
+        assert "crash" in report["faults"]
+        assert "partition" in report["faults"]
+        # The chaos forced at least some handoff retries or blocked ops.
+        blocked = (
+            report["workload"]["writes_rejected"]
+            + report["workload"]["reads_skipped"]
+            + sum(step.get("retried", 0) for step in report["elasticity"]["steps"])
+        )
+        assert blocked > 0
+
+    def test_scale_out_completed_all_steps(self, chaos_runs):
+        report, _ = chaos_runs
+        steps = report["elasticity"]["steps"]
+        assert [step["unit"] for step in steps] == ["u5", "u6", "u7", "u8"]
+        assert all(step["deadline_exceeded"] is False for step in steps)
+
+    def test_directory_compacted_after_rebalance(self, chaos_runs):
+        report, _ = chaos_runs
+        elasticity = report["elasticity"]
+        # Overrides grew during the handoff and evaporated at the flip.
+        assert elasticity["overrides_peak"] > 0
+        assert elasticity["overrides_final"] == 0
+
+
+class TestChurnBound:
+    def test_ring_moves_at_most_60pct_of_modn(self, chaos_runs):
+        report, _ = chaos_runs
+        elasticity = report["elasticity"]
+        assert elasticity["modn_keys_moved"] > 0
+        assert elasticity["churn_ratio"] <= 0.6, elasticity
+
+    def test_availability_stayed_high_during_rebalance(self, chaos_runs):
+        report, _ = chaos_runs
+        # Chaos crashes cost some reads/writes, but the rebalance itself
+        # must not take the data offline.
+        assert report["availability"]["reads_during_rebalance"] >= 0.8
+        assert report["availability"]["writes_during_rebalance"] >= 0.8
+
+
+class TestDeterminism:
+    def test_report_byte_identical_per_seed(self, chaos_runs):
+        first, second = chaos_runs
+        assert elasticity_report_json(first) == elasticity_report_json(second)
+
+    def test_different_seed_different_schedule(self):
+        other = run_elastic_scaleout(
+            ElasticityConfig(
+                seed=7, keys=32, duration=300.0, quiesce_grace=200.0,
+                profile="moderate",
+            )
+        )
+        assert other["config"]["seed"] == 7
+        assert other["faults"] != {}
+
+
+class TestNoChaosBaseline:
+    def test_clean_scaleout_moves_nothing_twice_and_loses_nothing(self):
+        report = run_elastic_scaleout(
+            ElasticityConfig(seed=3, keys=48, duration=300.0, quiesce_grace=100.0)
+        )
+        assert report["ok"], report["invariants"]
+        assert report["faults"] == {}
+        elasticity = report["elasticity"]
+        # Without chaos nothing fails, nothing needs repair passes.
+        assert elasticity["moves_failed"] == 0
+        assert elasticity["repair_rounds"] == 0
+        assert elasticity["moves_completed"] == elasticity["ring_keys_moved"]
+        assert report["workload"]["writes_rejected"] == 0

@@ -128,3 +128,163 @@ class TestRebalance:
 
         units[target].store.apply_delta("order", "hot", Delta.add("total", 3))
         assert units[target].store.get("order", "hot").fields["total"] == 8
+
+
+class TestOverrideCompaction:
+    """Regression: bulk moves used to leave one directory override per
+    moved entity forever, even once the base router agreed — directory
+    memory grew with every rebalance and never shrank."""
+
+    def test_move_back_to_base_placement_leaves_no_override(self):
+        units, directory, mover = make_world()
+        source = seed_entity(units, directory)
+        target = "u2" if source != "u2" else "u3"
+        mover.move("order", "hot", target)
+        assert directory.override_count == 1
+        mover.move("order", "hot", source)  # back where the base says
+        assert directory.override_count == 0
+        assert mover.location_of("order", "hot") == source
+
+    def test_compact_drops_only_agreeing_overrides(self):
+        directory = DynamicDirectory(HashRouter(["u1", "u2", "u3"]))
+        base_of_a = directory.unit_for("order", "a")
+        disagreeing = "u2" if base_of_a != "u2" else "u3"
+        directory._overrides[("order", "a")] = base_of_a  # stale (pre-fix state)
+        directory.move("order", "b", disagreeing if directory.unit_for("order", "b") != disagreeing else "u1")
+        live = directory.override_count
+        assert directory.compact_overrides() == 1
+        assert directory.override_count == live - 1
+        assert directory.placement_of("order", "a") is None
+        assert directory.unit_for("order", "a") == base_of_a
+
+    def test_bulk_rebalance_does_not_grow_the_directory(self):
+        from repro.partition.rebalance import Rebalancer
+        from repro.partition.ring import ConsistentHashRing, RebalancePlanner
+
+        ring = ConsistentHashRing(["u1", "u2", "u3"], vnodes=32)
+        units = {name: SerializationUnit(name) for name in ring.units}
+        units["u4"] = SerializationUnit("u4")
+        directory = DynamicDirectory(ring)
+        mover = EntityMover(units, directory)
+        for index in range(120):
+            key = f"k{index}"
+            units[directory.unit_for("order", key)].store.insert(
+                "order", key, {"n": index}
+            )
+        grown = ring.with_unit("u4")
+        plan = RebalancePlanner(directory, grown).plan_from_units(units)
+        assert plan.keys_moved > 0
+        run = Rebalancer(mover, sim=None).execute(plan, new_router=grown)
+        assert run.done
+        assert run.report.completed == plan.keys_moved
+        # The fix: the flip compacts every override the new base absorbs.
+        assert directory.base is grown
+        assert directory.override_count == 0
+        assert run.report.overrides_compacted == plan.keys_moved
+        # Routing still resolves every entity to where its data is.
+        for index in range(120):
+            key = f"k{index}"
+            owner = directory.unit_for("order", key)
+            assert units[owner].store.get("order", key).fields["n"] == index
+
+    def test_given_up_move_is_pinned_at_its_physical_unit(self):
+        """Regression: pins used to be resolved *after* the base flip,
+        so ``unit_for`` answered with the new base's target — where the
+        data is not — and the 'pin' compacted away as agreeing with the
+        base, stranding the entity."""
+        from repro.core.policy import RetryPolicy
+        from repro.locks.logical import LockMode
+        from repro.partition.rebalance import Rebalancer
+        from repro.partition.ring import ConsistentHashRing, RebalancePlanner
+
+        ring = ConsistentHashRing(["u1", "u2", "u3"], vnodes=32)
+        grown = ring.with_unit("u4")
+        units = {name: SerializationUnit(name) for name in grown.units}
+        directory = DynamicDirectory(ring)
+        mover = EntityMover(units, directory)
+        for index in range(80):
+            key = f"k{index}"
+            units[directory.unit_for("order", key)].store.insert(
+                "order", key, {"n": index}
+            )
+        stuck_key = next(
+            f"k{index}" for index in range(80)
+            if grown.unit_for("order", f"k{index}")
+            != ring.unit_for("order", f"k{index}")
+        )
+        source = ring.unit_for("order", stuck_key)
+        units[source].locks.acquire(
+            f"order/{stuck_key}", "busy-user", LockMode.EXCLUSIVE
+        )
+        plan = RebalancePlanner(directory, grown).plan_from_units(units)
+        rebalancer = Rebalancer(
+            mover, sim=None, retry=RetryPolicy.fixed(max_attempts=1, delay=0.0)
+        )
+        run = rebalancer.execute(plan, new_router=grown)
+        assert run.done
+        assert run.report.failed == 1
+        # The stuck entity is pinned where its data physically is...
+        assert directory.unit_for("order", stuck_key) == source
+        assert units[source].store.get("order", stuck_key).fields is not None
+        # ...as a real override the compaction must not drop.
+        assert directory.placement_of("order", stuck_key) == source
+        assert directory.override_count == 1
+
+    def test_deadline_expiry_pins_everything_unresolved(self):
+        from repro.core.policy import RetryPolicy, TimeoutPolicy
+        from repro.partition.rebalance import Rebalancer
+        from repro.partition.ring import ConsistentHashRing, RebalancePlanner
+        from repro.sim.scheduler import Simulator
+
+        ring = ConsistentHashRing(["u1", "u2"], vnodes=32)
+        grown = ring.with_unit("u3")
+        sim = Simulator(seed=5)
+        units = {name: SerializationUnit(name, sim) for name in grown.units}
+        directory = DynamicDirectory(ring)
+        mover = EntityMover(units, directory)
+        for index in range(40):
+            key = f"k{index}"
+            units[directory.unit_for("order", key)].store.insert(
+                "order", key, {"n": index}
+            )
+        plan = RebalancePlanner(directory, grown).plan_from_units(units)
+        assert plan.keys_moved > 1
+        rebalancer = Rebalancer(
+            mover,
+            sim=sim,
+            retry=RetryPolicy.fixed(max_attempts=100, delay=5.0),
+            timeout=TimeoutPolicy(overall=12.0),
+            gate=lambda source, target: False,  # nothing is ever reachable
+        )
+        run = rebalancer.execute(plan, new_router=grown)
+        report = run.wait()
+        assert run.done
+        assert report.deadline_exceeded
+        assert report.completed == 0
+        assert report.failed == plan.keys_moved
+        assert run.outstanding == 0
+        # Every entity stays reachable at its pre-rebalance unit.
+        for index in range(40):
+            key = f"k{index}"
+            owner = directory.unit_for("order", key)
+            assert units[owner].store.get("order", key).fields["n"] == index
+
+    def test_pinned_override_survives_rebase(self):
+        """An override the new base disagrees with is a real placement
+        decision and must not be compacted away."""
+        from repro.partition.ring import ConsistentHashRing
+
+        old = ConsistentHashRing(["u1", "u2"], vnodes=16)
+        new = old.with_unit("u3")
+        directory = DynamicDirectory(old)
+        pinned_key = next(
+            f"k{index}" for index in range(100)
+            if new.unit_for("order", f"k{index}") != old.unit_for("order", f"k{index}")
+        )
+        stay_at = old.unit_for("order", pinned_key)
+        directory.move("order", pinned_key, stay_at)  # no-op vs old base
+        directory.rebase(new)
+        directory.move("order", pinned_key, stay_at)  # now a real pin
+        assert directory.placement_of("order", pinned_key) == stay_at
+        assert directory.compact_overrides() == 0
+        assert directory.unit_for("order", pinned_key) == stay_at

@@ -1,0 +1,223 @@
+"""Property-based tests for routing: the elasticity contract.
+
+Consistent hashing earns its keep through two *exact* properties —
+adding a unit moves keys only **to** it, removing a unit moves keys
+only **from** it — plus a statistical one (the moved fraction is
+~``1/(N+1)``, nowhere near the ~``N/(N+1)`` a mod-N reshuffle causes).
+All three are asserted here over hypothesis-generated memberships,
+alongside the total-coverage and cross-instance-stability properties
+every router must satisfy for deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.ring import ConsistentHashRing, RebalancePlanner
+from repro.partition.router import DynamicDirectory, HashRouter, RangeRouter
+
+#: A fixed key population large enough for the statistical bounds.
+KEYS = [("order", f"k{index}") for index in range(400)]
+
+UNIT_NAMES = st.lists(
+    st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+EXTRA_UNIT = st.text(
+    alphabet=string.ascii_uppercase, min_size=1, max_size=8
+)  # uppercase: never collides with UNIT_NAMES draws
+VNODES = st.sampled_from([1, 8, 64])
+
+
+class TestRingMonotonicity:
+    @given(units=UNIT_NAMES, extra=EXTRA_UNIT, vnodes=VNODES)
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_unit_moves_keys_only_to_it(self, units, extra, vnodes):
+        ring = ConsistentHashRing(units, vnodes=vnodes)
+        grown = ring.with_unit(extra)
+        for key in KEYS:
+            before, after = ring.unit_for(*key), grown.unit_for(*key)
+            if before != after:
+                assert after == extra
+
+    @given(units=UNIT_NAMES, vnodes=VNODES)
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_unit_moves_only_its_keys(self, units, vnodes):
+        ring = ConsistentHashRing(units, vnodes=vnodes)
+        victim = ring.units[0]
+        shrunk = ring.without_unit(victim)
+        for key in KEYS:
+            before, after = ring.unit_for(*key), shrunk.unit_for(*key)
+            if before != victim:
+                assert after == before  # untouched keys stay put
+            else:
+                assert after != victim
+
+    @given(units=UNIT_NAMES, extra=EXTRA_UNIT)
+    @settings(max_examples=25, deadline=None)
+    def test_add_relocates_bounded_fraction(self, units, extra):
+        """Adding one unit to N relocates ~1/(N+1) of the keys; 2/(N+1)
+        is a generous ceiling that still excludes mod-N behaviour
+        (which reshuffles ~N/(N+1))."""
+        ring = ConsistentHashRing(units, vnodes=64)
+        grown = ring.with_unit(extra)
+        moved = sum(
+            1 for key in KEYS if ring.unit_for(*key) != grown.unit_for(*key)
+        )
+        assert moved / len(KEYS) <= 2.0 / (len(units) + 1)
+
+    def test_modn_baseline_actually_reshuffles(self):
+        """The property the ring fixes: mod-N add-one moves most keys."""
+        old = HashRouter(["u1", "u2", "u3", "u4"])
+        new = HashRouter(["u1", "u2", "u3", "u4", "u5"])
+        moved = sum(
+            1 for key in KEYS if old.unit_for(*key) != new.unit_for(*key)
+        )
+        assert moved / len(KEYS) > 0.5  # ~4/5 in expectation
+
+
+class TestRingStability:
+    @given(units=UNIT_NAMES, vnodes=VNODES)
+    @settings(max_examples=40, deadline=None)
+    def test_identical_construction_identical_placement(self, units, vnodes):
+        ring_a = ConsistentHashRing(units, vnodes=vnodes)
+        ring_b = ConsistentHashRing(units, vnodes=vnodes)
+        for key in KEYS[:100]:
+            assert ring_a.unit_for(*key) == ring_b.unit_for(*key)
+
+    @given(units=UNIT_NAMES, vnodes=VNODES)
+    @settings(max_examples=40, deadline=None)
+    def test_membership_is_a_set_not_a_sequence(self, units, vnodes):
+        ring = ConsistentHashRing(units, vnodes=vnodes)
+        reversed_ring = ConsistentHashRing(list(reversed(units)), vnodes=vnodes)
+        for key in KEYS[:100]:
+            assert ring.unit_for(*key) == reversed_ring.unit_for(*key)
+
+    def test_placement_pinned_across_processes(self):
+        """MD5, not salted ``hash``: these placements must never drift
+        (a drift would silently reshuffle every persisted cluster)."""
+        ring = ConsistentHashRing(["u1", "u2", "u3"], vnodes=8)
+        placements = [ring.unit_for("order", f"k{index}") for index in range(6)]
+        assert placements == ["u3", "u2", "u2", "u3", "u2", "u1"]
+
+
+class TestTotalCoverage:
+    @given(units=UNIT_NAMES, vnodes=VNODES)
+    @settings(max_examples=40, deadline=None)
+    def test_ring_always_answers_with_a_member(self, units, vnodes):
+        ring = ConsistentHashRing(units, vnodes=vnodes)
+        members = set(ring.units)
+        for key in KEYS[:100]:
+            assert ring.unit_for(*key) in members
+
+    @given(units=UNIT_NAMES)
+    @settings(max_examples=25, deadline=None)
+    def test_ring_spread_reaches_every_unit(self, units):
+        ring = ConsistentHashRing(units, vnodes=64)
+        spread = ring.spread(KEYS)
+        assert set(spread) == set(units)
+        assert all(count > 0 for count in spread.values())
+
+    @given(units=UNIT_NAMES)
+    @settings(max_examples=40, deadline=None)
+    def test_hash_router_always_answers_with_a_member(self, units):
+        router = HashRouter(units)
+        members = set(units)
+        for key in KEYS[:100]:
+            assert router.unit_for(*key) in members
+
+    @given(
+        bounds=st.lists(
+            st.tuples(
+                st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4),
+                st.sampled_from(["u1", "u2", "u3"]),
+            ),
+            max_size=5,
+        ),
+        key=st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_router_always_answers_with_a_member(self, bounds, key):
+        router = RangeRouter(bounds, default_unit="fallback")
+        members = {unit for _, unit in bounds} | {"fallback"}
+        assert router.unit_for("order", key) in members
+
+
+class TestDynamicDirectoryProperties:
+    @given(units=UNIT_NAMES, vnodes=VNODES)
+    @settings(max_examples=25, deadline=None)
+    def test_directory_without_overrides_is_its_base(self, units, vnodes):
+        ring = ConsistentHashRing(units, vnodes=vnodes)
+        directory = DynamicDirectory(ring)
+        for key in KEYS[:100]:
+            assert directory.unit_for(*key) == ring.unit_for(*key)
+
+    @given(units=UNIT_NAMES)
+    @settings(max_examples=25, deadline=None)
+    def test_rebase_compacts_exactly_the_agreeing_overrides(self, units):
+        """After moving every key to its grown-ring placement and
+        rebasing onto the grown ring, no override should survive —
+        and routing must be unchanged by the compaction."""
+        ring = ConsistentHashRing(units, vnodes=64)
+        grown = ring.with_unit("NEW")
+        directory = DynamicDirectory(ring)
+        plan = RebalancePlanner(directory, grown).plan(KEYS)
+        for move in plan.moves:
+            directory.move(move.entity_type, move.entity_key, move.target)
+        before = {key: directory.unit_for(*key) for key in KEYS}
+        dropped = directory.rebase(grown)
+        assert dropped == plan.keys_moved
+        assert directory.override_count == 0
+        assert {key: directory.unit_for(*key) for key in KEYS} == before
+
+
+class TestPlannerProperties:
+    @given(units=UNIT_NAMES, extra=EXTRA_UNIT)
+    @settings(max_examples=25, deadline=None)
+    def test_plan_is_minimal_and_complete(self, units, extra):
+        """The plan contains exactly the keys the two routers disagree
+        on — no gratuitous moves, no missed ones."""
+        ring = ConsistentHashRing(units, vnodes=64)
+        grown = ring.with_unit(extra)
+        plan = RebalancePlanner(ring, grown).plan(KEYS)
+        planned = {(move.entity_type, move.entity_key) for move in plan.moves}
+        disagreeing = {
+            key for key in KEYS if ring.unit_for(*key) != grown.unit_for(*key)
+        }
+        assert planned == disagreeing
+        assert plan.keys_total == len(KEYS)
+        for move in plan.moves:
+            assert move.source == ring.unit_for(move.entity_type, move.entity_key)
+            assert move.target == grown.unit_for(move.entity_type, move.entity_key)
+
+
+class TestRingValidation:
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["u1", "u1"])
+
+    def test_rejects_removing_last_unit(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["u1"]).without_unit("u1")
+
+    def test_rejects_adding_existing_unit(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["u1", "u2"]).with_unit("u1")
+
+    def test_rejects_removing_unknown_unit(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["u1", "u2"]).without_unit("u3")
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["u1"], vnodes=0)
