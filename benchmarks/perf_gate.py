@@ -30,6 +30,7 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = ROOT / "BENCH_core_hotpaths.json"
+DATAPLANE = ROOT / "BENCH_dataplane.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -40,11 +41,11 @@ KEY_METRICS = (
 )
 
 
-def load_trajectory() -> dict:
-    if not TRAJECTORY.exists():
-        print(f"perf gate: missing {TRAJECTORY}", file=sys.stderr)
+def load_trajectory(path: pathlib.Path = TRAJECTORY) -> dict:
+    if not path.exists():
+        print(f"perf gate: missing {path}", file=sys.stderr)
         raise SystemExit(1)
-    return json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    return json.loads(path.read_text(encoding="utf-8"))
 
 
 def check_claims(data: dict, min_speedup: float, min_wins: int) -> bool:
@@ -64,6 +65,46 @@ def check_claims(data: dict, min_speedup: float, min_wins: int) -> bool:
     ok = wins >= min_wins
     print(f"perf gate: {wins}/{len(KEY_METRICS)} key metrics at or above "
           f"{min_speedup:g}x -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def check_dataplane(
+    data: dict,
+    min_ship_speedup: float,
+    min_wire_reduction: float,
+    max_recovery_ratio: float,
+) -> bool:
+    """Validate the recorded data-plane claims (PR 5 acceptance).
+
+    Three gates over ``BENCH_dataplane.json``'s ``speedup`` block:
+    frame-64 shipping must beat unbatched by ``min_ship_speedup``, put
+    ``min_wire_reduction`` times fewer messages on the wire, and
+    checkpointed recovery time must be independent of log length
+    (long/short ratio at most ``max_recovery_ratio``).
+    """
+    speedup = data.get("speedup", {})
+    gates = (
+        ("ship_throughput_eps", speedup.get("ship_throughput_eps"),
+         min_ship_speedup, True),
+        ("wire_message_reduction", speedup.get("wire_message_reduction"),
+         min_wire_reduction, True),
+        ("recovery_independence_ratio",
+         speedup.get("recovery_independence_ratio"),
+         max_recovery_ratio, False),
+    )
+    ok = True
+    print("perf gate: data plane (BENCH_dataplane.json)")
+    for name, value, bound, higher_is_better in gates:
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value >= bound if higher_is_better else value <= bound
+        relation = ">=" if higher_is_better else "<="
+        print(f"  {name:32s} {value:g} (must be {relation} {bound:g}) "
+              f"{'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    print(f"perf gate: data plane -> {'PASS' if ok else 'FAIL'}")
     return ok
 
 
@@ -109,10 +150,22 @@ def main() -> None:
                              "varies; default 0.25)")
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--min-wins", type=int, default=2)
+    parser.add_argument("--min-ship-speedup", type=float, default=5.0,
+                        help="frame-64 shipping vs unbatched (recorded)")
+    parser.add_argument("--min-wire-reduction", type=float, default=10.0,
+                        help="wire messages saved at frame 64 (recorded)")
+    parser.add_argument("--max-recovery-ratio", type=float, default=3.0,
+                        help="checkpointed recovery time, long/short log")
     args = parser.parse_args()
 
     data = load_trajectory()
     ok = check_claims(data, args.min_speedup, args.min_wins)
+    ok = check_dataplane(
+        load_trajectory(DATAPLANE),
+        args.min_ship_speedup,
+        args.min_wire_reduction,
+        args.max_recovery_ratio,
+    ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok
     raise SystemExit(0 if ok else 1)

@@ -43,6 +43,7 @@ def traced_demo(trace_out: str = "") -> None:
         Cluster.build(seed=7)
         .with_network(latency=5.0)
         .with_replicas(2, mode="async", ship_interval=10.0)
+        .with_batching(max_batch=64)
         .with_tracing()
         .create()
     )
@@ -79,6 +80,7 @@ def traced_demo(trace_out: str = "") -> None:
 
 EXPERIMENTS = [
     "bench_core_hotpaths",
+    "bench_dataplane",
     "bench_e01_availability",
     "bench_e02_deferred_updates",
     "bench_e03_soups_vs_2pc",

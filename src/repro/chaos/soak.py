@@ -33,6 +33,7 @@ from repro.chaos.profiles import ChaosProfile, get_profile
 from repro.merge.deltas import Delta
 from repro.obs.metrics import MetricsRegistry
 from repro.replication.active_active import ActiveActiveGroup
+from repro.replication.batching import BatchPolicy
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
 
@@ -55,6 +56,13 @@ class SoakConfig:
     anti_entropy_interval: float = 20.0
     network_latency: float = 2.0
     staleness_bound: Optional[float] = None  # default derived from profile
+    # Wire batching for the group's eager propagation.  Soaks run with
+    # batching ON by default so the chaos schedule exercises the
+    # frame-granular loss/duplication path end to end; set
+    # ``max_batch=None`` and ``flush_interval=0`` for the legacy
+    # one-event-per-frame wire behaviour.
+    max_batch: Optional[int] = 32
+    flush_interval: float = 5.0
 
     def resolved_staleness_bound(self) -> float:
         """The bound used when none is given: the longest fault window
@@ -93,6 +101,9 @@ def run_soak(config: SoakConfig) -> dict[str, Any]:
         replica_ids,
         anti_entropy_interval=config.anti_entropy_interval,
         gossip_fanout=2,
+        batching=BatchPolicy(
+            max_batch=config.max_batch, flush_interval=config.flush_interval
+        ),
     )
     chaos = ChaosEngine(sim, network, group.replica_list(), profile=config.profile)
     recorder = _Recorder()
@@ -215,6 +226,8 @@ def run_soak(config: SoakConfig) -> dict[str, Any]:
     return {
         "config": {
             "duration": config.duration,
+            "flush_interval": config.flush_interval,
+            "max_batch": config.max_batch,
             "profile": profile.name,
             "quiesce_grace": config.quiesce_grace,
             "replicas": config.replicas,
@@ -231,6 +244,8 @@ def run_soak(config: SoakConfig) -> dict[str, Any]:
             "dropped_loss": stats.dropped_loss,
             "dropped_partition": stats.dropped_partition,
             "duplicated": stats.duplicated,
+            "frame_payloads": stats.frame_payloads,
+            "frames": stats.frames,
             "sent": stats.sent,
         },
         "ok": report.ok and len(chaos.fault_kinds) >= 4,

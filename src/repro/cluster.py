@@ -47,6 +47,7 @@ from repro.partition.units import SerializationUnit
 from repro.queues.reliable import ReliableQueue
 from repro.replication.active_active import ActiveActiveGroup
 from repro.replication.asynchronous import AsyncPrimaryBackup
+from repro.replication.batching import BatchPolicy
 from repro.replication.master_slave import MasterSlaveGroup
 from repro.replication.quorum import QuorumGroup
 from repro.replication.synchronous import SyncPrimaryBackup
@@ -116,6 +117,7 @@ class Cluster:
         self.chaos: Any = None  # ChaosEngine when with_chaos() was declared
         self.retry_policy: Any = None  # cluster-wide defaults (with_policies)
         self.timeout_policy: Any = None
+        self.batching: Optional[BatchPolicy] = None  # with_batching default
 
     @staticmethod
     def build(seed: int = 0) -> "ClusterBuilder":
@@ -273,6 +275,7 @@ class ClusterBuilder:
         self._chaos_kwargs: Optional[dict[str, Any]] = None
         self._retry_policy: Any = None
         self._timeout_policy: Any = None
+        self._batching: Optional[BatchPolicy] = None
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -444,6 +447,36 @@ class ClusterBuilder:
         self._timeout_policy = timeout
         return self
 
+    def with_batching(
+        self,
+        max_batch: Optional[int] = 64,
+        flush_interval: float = 0.0,
+    ) -> "ClusterBuilder":
+        """Set the cluster-wide wire-batching policy for the data plane.
+
+        Applies to every asynchronous event feed the builder creates —
+        async primary/backup, master/slave shipping, active/active
+        eager propagation — and bounds the warehouse feed's per-round
+        fold to ``max_batch`` events.  Synchronous and quorum schemes
+        are unaffected: their replication unit is the transaction, and
+        each transaction already ships as one frame.
+
+        Args:
+            max_batch: Largest LSN-contiguous run shipped per wire
+                frame (``None`` keeps the unbatched one-event-per-frame
+                default).
+            flush_interval: When positive, eager shipments coalesce in
+                a per-destination buffer for at most this much virtual
+                time before flushing as one frame.
+
+        A ``batching=BatchPolicy(...)`` passed explicitly to
+        ``with_replicas`` wins over this cluster-wide default.
+        """
+        self._batching = BatchPolicy(
+            max_batch=max_batch, flush_interval=flush_interval
+        )
+        return self
+
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
@@ -464,6 +497,7 @@ class ClusterBuilder:
 
         cluster.retry_policy = self._retry_policy
         cluster.timeout_policy = self._timeout_policy
+        cluster.batching = self._batching
 
         needs_network = (
             self._network_kwargs is not None
@@ -548,9 +582,12 @@ class ClusterBuilder:
                     "with_warehouse needs a source store: declare "
                     "with_replicas or with_store first"
                 )
-            cluster.warehouse = WarehouseExtract(
-                sim, source, **self._warehouse_kwargs
-            )
+            warehouse_kwargs = dict(self._warehouse_kwargs)
+            if self._batching is not None and self._batching.max_batch is not None:
+                # The warehouse feed is a data-plane feed too: bound the
+                # per-round fold to one frame's worth of events.
+                warehouse_kwargs.setdefault("max_batch", self._batching.max_batch)
+            cluster.warehouse = WarehouseExtract(sim, source, **warehouse_kwargs)
 
         if self._chaos_kwargs is not None:
             from repro.chaos.engine import ChaosEngine
@@ -574,6 +611,10 @@ class ClusterBuilder:
                 options.setdefault("retry", self._retry_policy)
             if self._timeout_policy is not None:
                 options.setdefault("timeout", self._timeout_policy)
+        elif self._batching is not None:
+            # Wire batching covers the asynchronous feeds; sync/quorum
+            # ship per-transaction frames regardless.
+            options.setdefault("batching", self._batching)
         if mode == "async" and count == 2:
             return AsyncPrimaryBackup(sim, network, **options)
         if mode == "sync":

@@ -179,6 +179,7 @@ class SchemaMigrationManager:
         self.catalog = catalog
         self._upcasts: dict[tuple[str, int], Upcast] = {}
         self.migrations_applied = 0
+        self._attached_stores: list = []
 
     def attach_store(self, store) -> None:
         """Wire a store into the migration machinery.
@@ -193,6 +194,7 @@ class SchemaMigrationManager:
         store.schema_version_source = self._current_version
         for type_name in self.catalog.names():
             store.register_reducer(type_name, MigratingReducer(self))
+        self._attached_stores.append(store)
 
     def _current_version(self, entity_type: str) -> int:
         if entity_type in self.catalog:
@@ -245,6 +247,13 @@ class SchemaMigrationManager:
             lambda payload: payload
         )
         self.migrations_applied += 1
+        # The log's interpretation just changed: rollup checkpoints on
+        # attached stores froze states folded under the old upcast chain
+        # and must not shortcut the post-migration rebuild.
+        for store in self._attached_stores:
+            manager = getattr(store, "checkpoints", None)
+            if manager is not None:
+                manager.invalidate()
         return plan
 
     def upcast_payload(

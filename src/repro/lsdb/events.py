@@ -44,9 +44,15 @@ class EventKind(enum.Enum):
     SUMMARY = "summary"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEvent:
     """An immutable record of one operation on one entity.
+
+    Slotted: a log holds one instance per event *forever* (insert-only
+    storage, 2.7), so the per-instance ``__dict__`` of an unslotted
+    class dominated the store's memory footprint.  With ``__slots__``
+    an event is a fixed 13-pointer record; the bench suite records the
+    measured footprint/throughput delta in ``BENCH_dataplane.json``.
 
     Attributes:
         lsn: Log sequence number, assigned by the owning log at append
@@ -92,13 +98,27 @@ class LogEvent:
     def with_lsn(self, lsn: int) -> "LogEvent":
         """A copy with the log-assigned sequence number.
 
-        Built by cloning the instance dict rather than re-running the
+        Built by copying slots directly rather than re-running the
         dataclass ``__init__`` — this runs once per append, and the
-        constructor is the single most expensive step on that path.
+        (frozen) constructor is the single most expensive step on that
+        path.  ``object.__setattr__`` is the only way to populate a
+        frozen instance made with ``__new__``.
         """
         clone = object.__new__(LogEvent)
-        clone.__dict__.update(self.__dict__)
-        clone.__dict__["lsn"] = lsn
+        assign = object.__setattr__
+        assign(clone, "lsn", lsn)
+        assign(clone, "timestamp", self.timestamp)
+        assign(clone, "entity_type", self.entity_type)
+        assign(clone, "entity_key", self.entity_key)
+        assign(clone, "kind", self.kind)
+        assign(clone, "payload", self.payload)
+        assign(clone, "origin", self.origin)
+        assign(clone, "origin_seq", self.origin_seq)
+        assign(clone, "tx_id", self.tx_id)
+        assign(clone, "schema_version", self.schema_version)
+        assign(clone, "tags", self.tags)
+        assign(clone, "trace_id", self.trace_id)
+        assign(clone, "span_id", self.span_id)
         return clone
 
     @property

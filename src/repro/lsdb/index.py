@@ -138,6 +138,39 @@ class SecondaryIndex:
         last refresh* — staleness is part of the contract."""
         return set(self._buckets.get(value, set()))
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self):
+        """Freeze the index (buckets, fold states, applied LSN) for a
+        store checkpoint; the copies share nothing mutable with the
+        live index."""
+        from repro.lsdb.checkpoint import IndexSnapshot
+
+        return IndexSnapshot(
+            applied_lsn=self.applied_lsn,
+            buckets={value: set(keys) for value, keys in self._buckets.items()},
+            states={ref: state.copy() for ref, state in self._states.items()},
+        )
+
+    def restore(self, snapshot) -> None:
+        """Reinstall a frozen snapshot (copying out of it, so the same
+        checkpoint can be restored more than once)."""
+        self.applied_lsn = snapshot.applied_lsn
+        self._buckets = {
+            value: set(keys) for value, keys in snapshot.buckets.items()
+        }
+        self._states = {
+            ref: state.copy() for ref, state in snapshot.states.items()
+        }
+
+    def reset(self) -> None:
+        """Forget everything; the next refresh re-folds from LSN 0."""
+        self.applied_lsn = 0
+        self._buckets = {}
+        self._states = {}
+
     @property
     def lag(self) -> int:
         """How many LSNs the index is behind the log head."""

@@ -21,9 +21,14 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Protocol
 from repro.lsdb.events import EventKind, LogEvent
 
 
-@dataclass
+@dataclass(slots=True)
 class EntityState:
     """The rolled-up state of one entity.
+
+    Slotted like :class:`~repro.lsdb.events.LogEvent`: one instance
+    lives in the incremental cache per entity, and copies of all of
+    them live in every snapshot and rollup checkpoint, so the instance
+    dict was pure overhead.
 
     Attributes:
         entity_type: Catalog name of the type.

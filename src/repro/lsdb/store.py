@@ -19,7 +19,13 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Callable, Iterable, Optional
 
-from repro.errors import EntityNotFound
+from repro.errors import EntityNotFound, ReproError
+from repro.lsdb.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointPolicy,
+    RecoveryReport,
+)
 from repro.lsdb.compaction import Archive, CompactionReport, Compactor
 from repro.lsdb.events import EventKind, LogEvent
 from repro.lsdb.index import SecondaryIndex
@@ -111,6 +117,9 @@ class LSDBStore:
         #: lazy upcasting (repro.core.migration) knows what each event
         #: already conforms to.  ``None`` stamps version 1.
         self.schema_version_source: Optional[Callable[[str], int]] = None
+        #: Checkpoint manager (None until :meth:`enable_checkpoints`);
+        #: when armed, cache rebuilds become checkpoint + suffix.
+        self.checkpoints: Optional[CheckpointManager] = None
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -120,9 +129,28 @@ class LSDBStore:
         """Install a domain-specific reducer for ``entity_type``.
 
         Must be called before events of that type are appended; the
-        incremental cache folds each event exactly once.
+        incremental cache folds each event exactly once.  Any existing
+        checkpoint is invalidated: it froze states folded under the old
+        reducer, and restoring it would keep the old interpretation.
         """
         self.rollup.register(entity_type, reducer)
+        if self.checkpoints is not None:
+            self.checkpoints.invalidate()
+
+    def enable_checkpoints(
+        self, policy: Optional[CheckpointPolicy] = None
+    ) -> CheckpointManager:
+        """Arm rollup checkpointing (see :mod:`repro.lsdb.checkpoint`).
+
+        Once armed, :meth:`rebuild_cache` and :meth:`recover` restore
+        from the latest checkpoint plus ``events_since(checkpoint.lsn)``
+        — O(delta since the checkpoint) instead of O(log).
+        """
+        if self.checkpoints is None:
+            self.checkpoints = CheckpointManager(self, policy)
+        elif policy is not None:
+            self.checkpoints.policy = policy
+        return self.checkpoints
 
     def register_index(self, entity_type: str, field_name: str) -> SecondaryIndex:
         """Create (or return) an asynchronously maintained equality index."""
@@ -144,6 +172,31 @@ class LSDBStore:
         """The span id under which ``event`` was stored locally (the
         parent for its index-refresh span), if tracing recorded one."""
         return self._span_by_identity.get(event.identity)
+
+    # ------------------------------------------------------------------ #
+    # Read-only views (checkpoint capture & diagnostics)
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> float:
+        """The store's current (virtual) clock reading."""
+        return self._clock()
+
+    @property
+    def origin_seq(self) -> int:
+        """The last locally assigned per-origin sequence number."""
+        return self._origin_seq
+
+    def states_view(self) -> StateMap:
+        """The live incremental state map — do not mutate."""
+        return self._states
+
+    def type_refs_view(self) -> dict[str, list[tuple[str, str]]]:
+        """The live type -> refs (first-event order) map — do not mutate."""
+        return self._type_refs
+
+    def indexes_view(self) -> dict[tuple[str, str], SecondaryIndex]:
+        """The registered secondary indexes — do not mutate."""
+        return self._indexes
 
     # ------------------------------------------------------------------ #
     # Local writes (each becomes one log event)
@@ -312,15 +365,64 @@ class LSDBStore:
             if span is not None:
                 tracer.end_span(span, status="buffered")
             return False
+        # ``append`` re-stamps the LSN itself, so the incoming event
+        # (carrying its origin store's LSN) goes straight in — no
+        # intermediate zeroed copy.
         if span is None:
-            self.log.append(event.with_lsn(0))
+            self.log.append(event)
         else:
             self._span_by_identity[event.identity] = span.span_id
             with tracer.resume(span.span_id):
-                self.log.append(event.with_lsn(0))
+                self.log.append(event)
             tracer.end_span(span, status="applied")
         self._drain_buffer(event.origin)
         return True
+
+    def apply_remote_batch(self, events: list[LogEvent]) -> int:
+        """Apply a frame of remote events, amortising the apply prologue.
+
+        Frames ship contiguous runs, so instead of paying the
+        duplicate/gap checks per event this validates a run's head
+        against the version vector once and appends the rest of the run
+        in a tight loop (the vector advances with every append, keeping
+        the invariant intact).  Events that are *not* the next expected
+        sequence — duplicates, gaps, interleaved origins — fall back to
+        :meth:`apply_remote` individually, so the semantics are
+        identical to applying the frame event by event.
+
+        Returns:
+            How many events were appended now (buffered or duplicate
+            events are not counted, matching :meth:`apply_remote`).
+        """
+        if self.tracer is not None:
+            return sum(1 for event in events if self.apply_remote(event))
+        applied = 0
+        vector = self.version_vector
+        log_append = self.log.append
+        position = 0
+        count = len(events)
+        while position < count:
+            event = events[position]
+            origin = event.origin
+            if event.origin_seq != vector.get(origin) + 1:
+                if self.apply_remote(event):
+                    applied += 1
+                position += 1
+                continue
+            expected = event.origin_seq
+            run_end = position
+            while run_end < count:
+                event = events[run_end]
+                if event.origin != origin or event.origin_seq != expected:
+                    break
+                log_append(event)
+                expected += 1
+                run_end += 1
+            applied += run_end - position
+            position = run_end
+            if self._reorder_buffer.get(origin):
+                self._drain_buffer(origin)
+        return applied
 
     def _drain_buffer(self, origin: str) -> None:
         buffered = self._reorder_buffer.get(origin)
@@ -333,7 +435,7 @@ class LSDBStore:
             if event is None:
                 break
             if tracer is None:
-                self.log.append(event.with_lsn(0))
+                self.log.append(event)
             else:
                 span = tracer.start_span(
                     "store.apply",
@@ -344,7 +446,7 @@ class LSDBStore:
                 )
                 self._span_by_identity[event.identity] = span.span_id
                 with tracer.resume(span.span_id):
-                    self.log.append(event.with_lsn(0))
+                    self.log.append(event)
                 tracer.end_span(span, status="applied_from_buffer")
         if not buffered:
             self._reorder_buffer.pop(origin, None)
@@ -442,23 +544,143 @@ class LSDBStore:
         served from snapshots plus suffix replay."""
         return self.snapshots.state_at(lsn)
 
-    def rebuild_cache(self) -> int:
-        """Re-fold the live log into the incremental state cache.
+    def rebuild_cache(self, *, full: bool = False) -> int:
+        """Rebuild the incremental state cache.
 
-        Needed when the *interpretation* of existing events changes —
-        e.g. a schema migration installed a new upcast chain
+        With checkpoints armed (:meth:`enable_checkpoints`) and a valid
+        checkpoint available, the rebuild restores the frozen state map
+        and folds only ``log.since(checkpoint.lsn)`` — O(delta), not
+        O(log).  Without one (or with ``full=True``) the whole live log
+        is re-folded from scratch.
+
+        The full path is what a changed *interpretation* needs — e.g. a
+        schema migration installed a new upcast chain
         (:class:`repro.core.migration.MigratingReducer`): events already
-        folded under the old schema re-fold under the new one.
+        folded under the old schema re-fold under the new one.  Both
+        :meth:`register_reducer` and migrations invalidate checkpoints,
+        so a plain ``rebuild_cache()`` after either automatically falls
+        back to the full replay.
 
         Returns:
-            The number of events re-folded.
+            The number of events (re-)folded.
         """
-        events = self.log.events()
-        self._states = self.rollup.fold(events)
-        self._type_refs = {}
-        for ref in self._states:
-            self._type_refs.setdefault(ref[0], []).append(ref)
-        return len(events)
+        checkpoint = None
+        if not full and self.checkpoints is not None:
+            checkpoint = self.checkpoints.latest()
+        if checkpoint is None:
+            events = self.log.events()
+            self._states = self.rollup.fold(events)
+            self._type_refs = {}
+            for ref in self._states:
+                self._type_refs.setdefault(ref[0], []).append(ref)
+            return len(events)
+        return self._restore_states(checkpoint)
+
+    def _restore_states(self, checkpoint: Checkpoint) -> int:
+        """Install a checkpoint's state map and fold the log suffix over
+        it.  Returns the number of suffix events folded."""
+        self._states = {
+            ref: state.copy() for ref, state in checkpoint.states.items()
+        }
+        self._type_refs = {
+            entity_type: list(refs)
+            for entity_type, refs in checkpoint.type_refs.items()
+        }
+        states = self._states
+        type_refs = self._type_refs
+        fold_into = self.rollup.fold_into
+        suffix = self.log.since(checkpoint.lsn)
+        for event in suffix:
+            ref = event.entity_ref
+            if ref not in states:
+                type_refs.setdefault(event.entity_type, []).append(ref)
+            fold_into(states, event)
+        return len(suffix)
+
+    def recover(self) -> RecoveryReport:
+        """Cold-start recovery of every derived structure.
+
+        Models a restart where the log is durable but the caches are
+        gone: the reorder buffer is cleared, the state map is rebuilt
+        (checkpoint + suffix when available, full replay otherwise) and
+        every secondary index is restored from its checkpoint snapshot
+        then refreshed to the log head.  The recovered cache is
+        byte-identical to one that was never torn down — the incremental
+        cache *is* the fold of the log, and a checkpoint is a prefix of
+        that fold.
+        """
+        self._reorder_buffer = {}
+        self._update_reorder_gauge()
+        checkpoint = (
+            self.checkpoints.latest() if self.checkpoints is not None else None
+        )
+        indexes_restored = 0
+        if checkpoint is None:
+            replayed = self.rebuild_cache(full=True)
+            for index in self._indexes.values():
+                index.reset()
+                index.refresh()
+            return RecoveryReport(
+                used_checkpoint=False,
+                checkpoint_lsn=0,
+                events_replayed=replayed,
+                indexes_restored=0,
+            )
+        replayed = self._restore_states(checkpoint)
+        for key, index in self._indexes.items():
+            snapshot = checkpoint.index_snapshots.get(key)
+            if snapshot is not None:
+                index.restore(snapshot)
+                indexes_restored += 1
+            else:
+                index.reset()
+            index.refresh()
+        return RecoveryReport(
+            used_checkpoint=True,
+            checkpoint_lsn=checkpoint.lsn,
+            events_replayed=replayed,
+            indexes_restored=indexes_restored,
+        )
+
+    def install_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Bootstrap an **empty** store from a peer's checkpoint.
+
+        This is how a brand-new replica joins without replaying the
+        donor's whole log: it receives the frozen state map plus the
+        per-origin watermarks, so the version vector immediately rejects
+        pre-checkpoint events and replication only has to ship the delta
+        (anti-entropy probes fill the rest).  The local log stays empty
+        — history from before the checkpoint lives at the donors, which
+        is exactly the paper's summarization trade-off: this node serves
+        current state and *new* history, not the archived past.
+        """
+        if len(self.log) or self._states:
+            raise ReproError(
+                f"store {self.name!r} is not empty; install_checkpoint "
+                "is a bootstrap-only operation"
+            )
+        self._states = {
+            ref: state.copy() for ref, state in checkpoint.states.items()
+        }
+        self._type_refs = {
+            entity_type: list(refs)
+            for entity_type, refs in checkpoint.type_refs.items()
+        }
+        self.version_vector = VersionVector(dict(checkpoint.version_vector))
+        # If this node's id appears in the donor's watermarks (a rejoin
+        # under the same name), continue the sequence rather than reuse it.
+        self._origin_seq = max(
+            self._origin_seq, checkpoint.version_vector.get(self.origin, 0)
+        )
+        for key, snapshot in checkpoint.index_snapshots.items():
+            index = self._indexes.get(key)
+            if index is not None:
+                index.restore(snapshot)
+                # The donor's applied_lsn is meaningless in this store's
+                # (empty) LSN space: the buckets are warm as of the
+                # checkpoint, and every *local* append still needs to be
+                # folded in, so refreshes must start from LSN 0.
+                index.applied_lsn = 0
 
     def rollup_from_scratch(self) -> StateMap:
         """Fold the entire live log (the unaccelerated rollup the paper
@@ -512,8 +734,17 @@ class LSDBStore:
         return len(seqs) - bisect_right(seqs, after_seq)
 
     def compact(self, keep_recent: int = 0) -> CompactionReport:
-        """Summarise all but the newest ``keep_recent`` events."""
-        return self.compactor.compact_keep_recent(keep_recent)
+        """Summarise all but the newest ``keep_recent`` events.
+
+        With checkpoints armed, the pre-compaction checkpoint is
+        discarded (the prefix it expected to replay over was just
+        rewritten) and — under the default policy — a fresh one is taken
+        immediately, so recovery stays O(delta) across compactions.
+        """
+        report = self.compactor.compact_keep_recent(keep_recent)
+        if self.checkpoints is not None:
+            self.checkpoints.on_compaction()
+        return report
 
     @property
     def live_events(self) -> int:

@@ -11,14 +11,50 @@ principle 2.9).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
+from repro.replication.batching import BatchPolicy
 from repro.replication.replica import ReplicaNode
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
+
+#: Shipping cadence used when the caller does not pick one.
+DEFAULT_SHIP_INTERVAL = 10.0
+
+
+def resolve_batching(
+    ship_interval: Optional[float],
+    batching: Optional[BatchPolicy],
+    scheme: str,
+) -> tuple[float, BatchPolicy]:
+    """Shared constructor shim for the interval-shipping schemes.
+
+    The modern signature is ``batching=BatchPolicy(...)`` (plus an
+    optional explicit ``ship_interval``).  The legacy
+    ``ship_interval``-only form still works — it means *unbatched*
+    (``max_batch=None``, one event per wire frame) — but earns a
+    :class:`DeprecationWarning`, mirroring the PR 3 policy-kwarg
+    migration pattern.
+    """
+    if batching is None:
+        if ship_interval is not None:
+            warnings.warn(
+                f"{scheme}(ship_interval=...) without batching= is "
+                "deprecated; pass batching=BatchPolicy(max_batch=...) "
+                "to choose a frame size (ship_interval alone keeps the "
+                "unbatched one-event-per-frame wire behaviour)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        batching = BatchPolicy()
+    return (
+        DEFAULT_SHIP_INTERVAL if ship_interval is None else ship_interval,
+        batching,
+    )
 
 
 @dataclass
@@ -36,13 +72,20 @@ class AsyncPrimaryBackup:
     Args:
         sim: The simulator.
         network: The network both nodes attach to.
-        ship_interval: Virtual time between shipping rounds.
+        ship_interval: Virtual time between shipping rounds.  Passing
+            it *without* ``batching`` is deprecated (it keeps the
+            unbatched one-event-per-frame wire behaviour).
         primary_id: Node id of the primary.
         backup_id: Node id of the backup.
+        batching: Frame policy for the shipper — a backlog of N events
+            ships as ``ceil(N / max_batch)`` wire frames instead of N
+            messages.
 
     Example:
+        >>> from repro.replication.batching import BatchPolicy
         >>> sim = Simulator(); net = Network(sim, latency=5.0)
-        >>> pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        >>> pair = AsyncPrimaryBackup(
+        ...     sim, net, ship_interval=10.0, batching=BatchPolicy(max_batch=64))
         >>> _ = pair.primary.store.insert("order", "o1", {"total": 9})
         >>> _ = sim.run(until=20.0)
         >>> pair.backup.store.get("order", "o1").fields["total"]
@@ -53,15 +96,19 @@ class AsyncPrimaryBackup:
         self,
         sim: Simulator,
         network: Network,
-        ship_interval: float = 10.0,
+        ship_interval: Optional[float] = None,
         primary_id: str = "primary",
         backup_id: str = "backup",
+        *,
+        batching: Optional[BatchPolicy] = None,
     ):
         self.sim = sim
         self.network = network
-        self.ship_interval = ship_interval
-        self.primary = ReplicaNode(primary_id, sim)
-        self.backup = ReplicaNode(backup_id, sim)
+        self.ship_interval, self.batching = resolve_batching(
+            ship_interval, batching, "AsyncPrimaryBackup"
+        )
+        self.primary = ReplicaNode(primary_id, sim, batching=self.batching)
+        self.backup = ReplicaNode(backup_id, sim, batching=self.batching)
         network.register(self.primary)
         network.register(self.backup)
         self._shipped_lsn = 0

@@ -20,6 +20,8 @@ from typing import Any, Optional
 from repro.errors import NotMaster
 from repro.lsdb.rollup import EntityState
 from repro.merge.deltas import Delta
+from repro.replication.asynchronous import resolve_batching
+from repro.replication.batching import BatchPolicy
 from repro.replication.replica import ReplicaNode
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
@@ -34,12 +36,16 @@ class MasterSlaveGroup:
         master_id: Node id of the master.
         slave_ids: Node ids of the slaves.
         ship_interval: Period of the master's log-shipping loop (the
-            knob that sets slave staleness).
+            knob that sets slave staleness).  Deprecated without
+            ``batching`` (keeps the unbatched wire behaviour).
+        batching: Frame policy for the per-slave shippers.
 
     Example:
+        >>> from repro.replication.batching import BatchPolicy
         >>> sim = Simulator(); net = Network(sim, latency=2.0)
         >>> group = MasterSlaveGroup(sim, net, "master", ["slave-1"],
-        ...                          ship_interval=10.0)
+        ...                          ship_interval=10.0,
+        ...                          batching=BatchPolicy(max_batch=64))
         >>> _ = group.write_insert("stock", "book", {"copies": 5})
         >>> group.read("slave-1", "stock", "book") is None   # not shipped yet
         True
@@ -54,15 +60,23 @@ class MasterSlaveGroup:
         network: Network,
         master_id: str = "master",
         slave_ids: Optional[list[str]] = None,
-        ship_interval: float = 10.0,
+        ship_interval: Optional[float] = None,
+        *,
+        batching: Optional[BatchPolicy] = None,
     ):
         self.sim = sim
         self.network = network
-        self.ship_interval = ship_interval
-        self.master = network.register(ReplicaNode(master_id, sim))
+        self.ship_interval, self.batching = resolve_batching(
+            ship_interval, batching, "MasterSlaveGroup"
+        )
+        self.master = network.register(
+            ReplicaNode(master_id, sim, batching=self.batching)
+        )
         self.slaves: dict[str, ReplicaNode] = {}
         for slave_id in slave_ids or ["slave"]:
-            self.slaves[slave_id] = network.register(ReplicaNode(slave_id, sim))
+            self.slaves[slave_id] = network.register(
+                ReplicaNode(slave_id, sim, batching=self.batching)
+            )
         self._shipped: dict[str, int] = {slave_id: 0 for slave_id in self.slaves}
         self.rejected_writes = 0
         self._h_staleness = (

@@ -24,6 +24,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.lsdb.events import LogEvent
 from repro.lsdb.store import LSDBStore
 from repro.merge.clock import VersionVector
+from repro.replication.batching import BatchPolicy, FrameShipper
 from repro.sim.network import Network, Node
 from repro.sim.scheduler import Simulator
 
@@ -35,6 +36,8 @@ class ReplicaNode(Node):
         node_id: Network id, also the store's origin id.
         sim: Simulator providing the store's clock.
         snapshot_interval: Forwarded to the store.
+        batching: Frame policy for outgoing event shipments; defaults
+            to the degenerate one-event-per-frame policy.
     """
 
     def __init__(
@@ -42,6 +45,7 @@ class ReplicaNode(Node):
         node_id: str,
         sim: Simulator,
         snapshot_interval: int = 0,
+        batching: Optional[BatchPolicy] = None,
     ):
         super().__init__(node_id)
         self.sim = sim
@@ -57,10 +61,24 @@ class ReplicaNode(Node):
         )
         self.events_received = 0
         self.anti_entropy_rounds = 0
+        self.batching = BatchPolicy()
+        self.shipper: Optional[FrameShipper] = None
+        self.configure_batching(batching)
         self._m_received = (
             sim.metrics.counter("replica.events_received", node=node_id)
             if sim.metrics is not None
             else None
+        )
+
+    def configure_batching(self, batching: Optional[BatchPolicy]) -> None:
+        """Install a frame policy (schemes call this after construction).
+
+        A coalescing policy (``flush_interval > 0``) also arms a
+        :class:`FrameShipper` that eager propagation routes through.
+        """
+        self.batching = batching if batching is not None else BatchPolicy()
+        self.shipper = (
+            FrameShipper(self, self.batching) if self.batching.coalesces else None
         )
 
     # ------------------------------------------------------------------ #
@@ -75,7 +93,18 @@ class ReplicaNode(Node):
             # the apply span chains onto it (the causal hop).
             ctx = message.get("ctx")
             tracer = self.store.tracer
-            for event in message.get("events", ()):
+            events = message.get("events", ())
+            if ctx is None and tracer is None and len(events) > 1:
+                # Untraced multi-event frame: the store's batch apply
+                # validates whole contiguous runs at once instead of
+                # paying the per-event apply prologue.
+                applied = self.store.apply_remote_batch(events)
+                if applied:
+                    self.events_received += applied
+                    if self._m_received is not None:
+                        self._m_received.inc(applied)
+                return
+            for event in events:
                 ship_id = None
                 if ctx is not None:
                     ship_id = ctx.get(f"{event.origin}:{event.origin_seq}")
@@ -89,6 +118,14 @@ class ReplicaNode(Node):
                         self._m_received.inc()
         elif kind == "vv":
             self._answer_probe(source, message)
+        elif kind == "bootstrap":
+            self._serve_bootstrap(source)
+        elif kind == "checkpoint":
+            self.store.install_checkpoint(message["checkpoint"])
+            # Immediately probe the donor so the post-checkpoint delta
+            # starts flowing — bootstrap is checkpoint + events_since,
+            # not checkpoint alone.
+            self.probe(source)
         else:
             self.handle_extra_message(source, message)
 
@@ -113,32 +150,52 @@ class ReplicaNode(Node):
     # ------------------------------------------------------------------ #
 
     def ship_events(self, destination: str, events: list[LogEvent]) -> bool:
-        """Send a batch of events to one peer (best-effort).
+        """Ship a run of events to one peer as wire frames (best-effort).
+
+        The run is cut into LSN-contiguous frames by this node's
+        :class:`~repro.replication.batching.BatchPolicy` — one network
+        frame (one latency draw, one loss coin) per chunk, with the
+        unbatched default degenerating to one event per frame.  Returns
+        ``True`` only when every frame was accepted; callers treat a
+        ``False`` as "re-ship the whole run later", which idempotent
+        apply makes safe.
 
         With tracing on, each traced event gets a ``replicate.ship``
         span parented on its append span; the span ids ride along in
-        the message's ``ctx`` and are closed by the receiver.  A batch
+        the frame's ``ctx`` and are closed by the receiver.  A frame
         that never arrives leaves its ship spans open — the timeline's
         way of showing a lost replication hop.
         """
         if not events:
             return True
-        message: dict[str, Any] = {"type": "events", "events": events}
         tracer = self.store.tracer
-        if tracer is not None:
-            ctx: dict[str, str] = {}
-            for event in events:
-                if event.span_id:
-                    span = tracer.start_span(
-                        "replicate.ship",
-                        parent=event.span_id,
-                        node=self.node_id,
-                        dst=destination,
-                    )
-                    ctx[f"{event.origin}:{event.origin_seq}"] = span.span_id
-            if ctx:
-                message["ctx"] = ctx
-        return self.send(destination, message)
+        shipped_all = True
+        for chunk in self.batching.chunk(events):
+            message: dict[str, Any] = {"type": "events", "events": chunk}
+            if tracer is not None:
+                ctx: dict[str, str] = {}
+                for event in chunk:
+                    if event.span_id:
+                        span = tracer.start_span(
+                            "replicate.ship",
+                            parent=event.span_id,
+                            node=self.node_id,
+                            dst=destination,
+                        )
+                        ctx[f"{event.origin}:{event.origin_seq}"] = span.span_id
+                if ctx:
+                    message["ctx"] = ctx
+            if not self.send_batch(destination, [message], size=len(chunk)):
+                shipped_all = False
+        return shipped_all
+
+    def offer_events(self, destination: str, events: list[LogEvent]) -> None:
+        """Eager-shipping entry point: coalesce when a flush timer is
+        configured, ship immediately otherwise."""
+        if self.shipper is not None:
+            self.shipper.offer(destination, events)
+        else:
+            self.ship_events(destination, events)
 
     def probe(self, destination: str) -> bool:
         """Send our version vector to a peer, inviting it to fill our
@@ -146,6 +203,35 @@ class ReplicaNode(Node):
         return self.send(
             destination,
             {"type": "vv", "vector": self.store.version_vector.to_dict()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # New-replica bootstrap (checkpoint + delta, O(delta) not O(log))
+    # ------------------------------------------------------------------ #
+
+    def request_bootstrap(self, donor_id: str) -> bool:
+        """Ask ``donor_id`` for its latest rollup checkpoint.
+
+        The donor replies with a ``checkpoint`` message; installing it
+        seeds this (empty) replica's state map and per-origin watermarks
+        so replication only ships events *since* the checkpoint instead
+        of the donor's entire history.
+        """
+        return self.send(donor_id, {"type": "bootstrap"})
+
+    def _serve_bootstrap(self, destination: str) -> None:
+        manager = self.store.checkpoints
+        checkpoint = manager.latest() if manager is not None else None
+        if checkpoint is None:
+            # No checkpoint on file — capture an ad-hoc one; the donor
+            # pays one O(entities) copy instead of shipping O(log) events.
+            from repro.lsdb.checkpoint import Checkpoint
+
+            checkpoint = Checkpoint.capture(self.store)
+        self.send_batch(
+            destination,
+            [{"type": "checkpoint", "checkpoint": checkpoint}],
+            size=checkpoint.entity_count,
         )
 
     # ------------------------------------------------------------------ #

@@ -212,9 +212,13 @@ class SyncPrimaryBackup:
                 self.sim.schedule(
                     wait, on_timeout, label=f"sync-timeout:{tx_id}"
                 )
-            self.primary.send(
+            # A transaction's events are LSN-contiguous by construction,
+            # so each replicate shipment is one wire frame: loss and
+            # duplication hit the whole transaction, never half of it.
+            self.primary.send_batch(
                 self.backup.node_id,
-                {"type": "replicate", "tx": tx_id, "events": [stored]},
+                [{"type": "replicate", "tx": tx_id, "events": [stored]}],
+                size=1,
             )
 
         def on_timeout() -> None:

@@ -26,6 +26,12 @@ class WarehouseExtract:
         source: The OLTP store to extract from.
         interval: Extraction period (staleness bound: a query is at most
             ``interval`` behind the OLTP system).
+        max_batch: Flow control for the incremental feed: at most this
+            many OLTP events are folded per extract round (one frame of
+            the feed).  A backlog larger than the frame waits for the
+            next round and shows up in :attr:`lag_events` — bounded work
+            per round instead of unbounded catch-up stalls.  ``None``
+            folds the whole backlog at once (the legacy behaviour).
     """
 
     def __init__(
@@ -34,17 +40,22 @@ class WarehouseExtract:
         source: LSDBStore,
         interval: float = 100.0,
         incremental: bool = True,
+        max_batch: Optional[int] = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.sim = sim
         self.source = source
         self.interval = interval
         self.incremental = incremental
+        self.max_batch = max_batch
         self.extracted_at: float = -1.0
         self.extracted_lsn: int = 0
         self.extracts_taken = 0
         self.events_applied_incrementally = 0
+        self.feed_frames = 0
         self._snapshot: dict[tuple[str, str], EntityState] = {}
         self._g_lag = (
             sim.metrics.gauge("warehouse.lag_events")
@@ -65,12 +76,21 @@ class WarehouseExtract:
             # rollup(prefix + suffix) (the snapshot identity; see
             # tests/test_rollup_properties.py).
             suffix = self.source.events_since(self.extracted_lsn)
+            if self.max_batch is not None and len(suffix) > self.max_batch:
+                # One frame of the feed per round; the remainder stays
+                # visible as lag until the next round drains it.
+                suffix = suffix[: self.max_batch]
             self._snapshot = self.source.rollup.fold(suffix, initial=self._snapshot)
             self.events_applied_incrementally += len(suffix)
+            if suffix:
+                self.feed_frames += 1
+            self.extracted_lsn = (
+                suffix[-1].lsn if suffix else self.source.log.head_lsn
+            )
         else:
             self._snapshot = self.source.current_state()
+            self.extracted_lsn = self.source.log.head_lsn
         self.extracted_at = self.sim.now
-        self.extracted_lsn = self.source.log.head_lsn
         self.extracts_taken += 1
         if self._g_lag is not None:
             self._g_lag.set(self.lag_events)

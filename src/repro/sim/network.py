@@ -21,6 +21,30 @@ from repro.errors import NetworkError
 from repro.sim.scheduler import Simulator
 
 
+@dataclass(frozen=True)
+class Frame:
+    """Wire envelope bundling several application messages into one
+    network unit.
+
+    A frame is the granularity at which the network makes decisions:
+    one latency draw, one loss coin, one duplication coin — for the
+    whole frame.  That is exactly how a real batched transport behaves
+    (a TCP segment is lost whole, not per row), and it is why chaos
+    loss/duplication operates per frame, not per event: a lost frame
+    loses the entire LSN-contiguous run, which the reorder buffer and
+    anti-entropy repair must then recover.
+
+    Attributes:
+        messages: The application payloads, delivered in order to the
+            destination's :meth:`Node.handle_message`.
+        size: Logical size for metrics — callers shipping event batches
+            pass the event count; defaults to ``len(messages)``.
+    """
+
+    messages: tuple
+    size: int
+
+
 class Node:
     """A participant in the simulated distributed system.
 
@@ -55,6 +79,23 @@ class Node:
         if self.network is None:
             raise NetworkError(f"node {self.node_id!r} is not on a network")
         return self.network.send(self.node_id, destination, message)
+
+    def send_batch(
+        self, destination: str, messages: list, *, size: Optional[int] = None
+    ) -> bool:
+        """Ship ``messages`` to ``destination`` as one wire frame.
+
+        Returns ``True`` if the frame was accepted for (possible)
+        delivery — the whole frame is accepted or dropped as a unit.
+
+        Raises:
+            NetworkError: If the node was never registered on a network.
+        """
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not on a network")
+        return self.network.send_batch(
+            self.node_id, destination, messages, size=size
+        )
 
     def crash(self) -> None:
         """Stop receiving messages until :meth:`recover` is called."""
@@ -106,6 +147,11 @@ class NetworkStats:
     dropped_partition: int = 0
     dropped_loss: int = 0
     dropped_crashed: int = 0
+    #: Wire messages that were multi-payload frames (each also counted
+    #: once in :attr:`sent`) and the application payloads they carried.
+    #: ``frame_payloads / frames`` is the realised batching factor.
+    frames: int = 0
+    frame_payloads: int = 0
 
     @property
     def dropped(self) -> int:
@@ -186,8 +232,11 @@ class Network:
                 "crashed": counter("net.dropped", reason="crashed"),
             }
             self._m_latency = self.metrics.histogram("net.latency")
+            self._m_frames = counter("net.frames")
+            self._m_frame_size = self.metrics.histogram("net.frame_size")
         else:
             self._m_sent = self._m_delivered = self._m_latency = None
+            self._m_frames = self._m_frame_size = None
             self._m_dropped = {}
 
     # ------------------------------------------------------------------ #
@@ -281,6 +330,89 @@ class Network:
             )
         return True
 
+    def send_batch(
+        self,
+        source: str,
+        destination: str,
+        messages: list,
+        *,
+        size: Optional[int] = None,
+    ) -> bool:
+        """Route several messages as ONE wire frame.
+
+        The frame costs one :attr:`NetworkStats.sent`, one latency draw,
+        one loss coin and one duplication coin regardless of how many
+        payloads it carries — batching trades wire messages for payload
+        fate-sharing (a dropped frame drops every payload in it).  On
+        delivery the payloads are handed to the destination's
+        :meth:`Node.handle_message` one by one, in order, so receivers
+        written for single messages work unchanged.
+
+        A single-payload frame is the degenerate case: it behaves
+        exactly like :meth:`send` (same decisions, same counters except
+        the frame accounting), which is what keeps chaos fault injection
+        meaningful for unbatched shippers.
+
+        Returns ``True`` if the frame was accepted for delivery.
+        """
+        payloads = tuple(messages)
+        if not payloads:
+            return True
+        frame = Frame(messages=payloads, size=len(payloads) if size is None else size)
+        self.stats.sent += 1
+        self.stats.frames += 1
+        # Logical payloads (the caller's ``size``, e.g. events in an
+        # "events" message), so frame_payloads / frames is the realized
+        # batching factor even when a frame wraps one envelope dict.
+        self.stats.frame_payloads += frame.size
+        if self._m_sent is not None:
+            self._m_sent.inc()
+            self._m_frames.inc()
+            self._m_frame_size.record(frame.size)
+        if destination not in self.nodes:
+            raise NetworkError(f"unknown destination {destination!r}")
+        if source not in self.nodes:
+            raise NetworkError(f"unknown source {source!r}")
+        if self.nodes[source].crashed:
+            self._drop("crashed", source, destination)
+            return False
+        if self.is_partitioned(source, destination):
+            self._drop("partition", source, destination)
+            return False
+        if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
+            self._drop("loss", source, destination)
+            return False
+        delay = self._scaled_latency(source, destination)
+        if self._m_latency is not None:
+            self._m_latency.record(delay)
+        hop = None
+        tracer = self.tracer
+        if tracer is not None and tracer.current is not None:
+            hop = tracer.start_span(
+                "net.hop", node=source, src=source, dst=destination,
+                payloads=frame.size,
+            )
+        self.sim.schedule(
+            delay,
+            lambda: self._deliver(source, destination, frame, hop),
+            label=f"net {source}->{destination}",
+        )
+        if self.duplication_probability > 0 and self._rng.coin(
+            self.duplication_probability
+        ):
+            # The whole frame is duplicated — at-least-once hazards
+            # arrive in bulk, which is exactly what the idempotent apply
+            # path must absorb.
+            self.stats.duplicated += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.duplicated").inc()
+            self.sim.schedule(
+                self._scaled_latency(source, destination),
+                lambda: self._deliver(source, destination, frame, None),
+                label=f"net dup {source}->{destination}",
+            )
+        return True
+
     def _drop(self, reason: str, source: str, destination: str) -> None:
         """Record a dropped message in stats, metrics, and (when inside
         an active trace) as an instantly-closed hop span."""
@@ -304,12 +436,71 @@ class Network:
     def broadcast(self, source: str, message: Any) -> int:
         """Send ``message`` from ``source`` to every other node.
 
+        The broadcast reuses the batched decision model: ONE loss coin,
+        ONE base latency draw and ONE duplication coin shared by every
+        copy (a broadcast leaves the source as one wire operation that
+        the fabric fans out), while partition and crash checks — and the
+        :attr:`NetworkStats.sent` accounting — stay per destination,
+        because reachability is a property of each link.  Per-node
+        ``slow_nodes`` factors still scale the shared draw per
+        destination.
+
         Returns the number of sends accepted for delivery.
         """
+        if source not in self.nodes:
+            raise NetworkError(f"unknown source {source!r}")
+        destinations = [n for n in self.nodes if n != source]
+        src_crashed = self.nodes[source].crashed
+        lost = self.loss_probability > 0 and self._rng.coin(self.loss_probability)
+        base: Optional[float] = None
+        dup_base: Optional[float] = None
         accepted = 0
-        for node_id in list(self.nodes):
-            if node_id != source and self.send(source, node_id, message):
-                accepted += 1
+        for destination in destinations:
+            self.stats.sent += 1
+            if self._m_sent is not None:
+                self._m_sent.inc()
+            if src_crashed:
+                self._drop("crashed", source, destination)
+                continue
+            if self.is_partitioned(source, destination):
+                self._drop("partition", source, destination)
+                continue
+            if lost:
+                self._drop("loss", source, destination)
+                continue
+            if base is None:
+                # Draws happen lazily, on the first reachable
+                # destination, so a fully-dropped broadcast consumes no
+                # randomness beyond the loss coin.
+                base = self._draw_latency()
+                if self.duplication_probability > 0 and self._rng.coin(
+                    self.duplication_probability
+                ):
+                    dup_base = self._draw_latency()
+            delay = self._apply_latency_knobs(base, source, destination)
+            if self._m_latency is not None:
+                self._m_latency.record(delay)
+            hop = None
+            tracer = self.tracer
+            if tracer is not None and tracer.current is not None:
+                hop = tracer.start_span(
+                    "net.hop", node=source, src=source, dst=destination,
+                )
+            self.sim.schedule(
+                delay,
+                lambda d=destination, h=hop: self._deliver(source, d, message, h),
+                label=f"net {source}->{destination}",
+            )
+            if dup_base is not None:
+                self.stats.duplicated += 1
+                if self.metrics is not None:
+                    self.metrics.counter("net.duplicated").inc()
+                self.sim.schedule(
+                    self._apply_latency_knobs(dup_base, source, destination),
+                    lambda d=destination: self._deliver(source, d, message, None),
+                    label=f"net dup {source}->{destination}",
+                )
+            accepted += 1
         return accepted
 
     def _draw_latency(self) -> float:
@@ -321,7 +512,15 @@ class Network:
         """One latency draw with the chaos knobs applied.  With the
         knobs at their defaults this is a single extra float compare
         over the raw draw — nothing on the hot path."""
-        delay = self._draw_latency()
+        return self._apply_latency_knobs(
+            self._draw_latency(), source, destination
+        )
+
+    def _apply_latency_knobs(
+        self, delay: float, source: str, destination: str
+    ) -> float:
+        """Scale an already-drawn delay by the chaos knobs (global
+        factor plus per-endpoint slow-node multipliers)."""
         if self.latency_factor != 1.0:
             delay *= self.latency_factor
         if self.slow_nodes:
@@ -364,7 +563,17 @@ class Network:
         if hop is not None:
             tracer.end_span(hop, status="delivered")
             with tracer.resume(hop.span_id):
-                node.handle_message(source, message)
+                self._dispatch(node, source, message)
+        else:
+            self._dispatch(node, source, message)
+
+    @staticmethod
+    def _dispatch(node: Node, source: str, message: Any) -> None:
+        """Hand a delivered wire message to the node — unpacking frames
+        so handlers only ever see application payloads."""
+        if type(message) is Frame:
+            for payload in message.messages:
+                node.handle_message(source, payload)
         else:
             node.handle_message(source, message)
 

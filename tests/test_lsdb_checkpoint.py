@@ -1,0 +1,210 @@
+"""Rollup checkpoints and O(delta) recovery.
+
+A checkpoint freezes the incremental cache (states, type refs, version
+vector, index snapshots) as of one LSN; recovery restores it and folds
+only the suffix.  These tests pin the byte-identity of restored state,
+the policy triggers, the invalidation rules (reducer, migration,
+compaction), and the checkpoint-seeded bootstrap of a brand-new replica.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entity import EntityCatalog, EntityType, FieldSpec
+from repro.core.migration import SchemaMigrationManager
+from repro.errors import ReproError
+from repro.lsdb.checkpoint import Checkpoint, CheckpointPolicy
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.replication.batching import BatchPolicy
+from repro.replication.replica import ReplicaNode
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+def populated_store(events: int = 60, **store_kwargs) -> LSDBStore:
+    store = LSDBStore(**store_kwargs)
+    store.insert("acct", "a", {"bal": 0, "tier": "gold"})
+    store.insert("acct", "b", {"bal": 0, "tier": "silver"})
+    for index in range(events):
+        store.apply_delta("acct", "a" if index % 2 else "b", Delta.add("bal", 1))
+    return store
+
+
+class TestPolicyTriggers:
+    def test_every_events_takes_checkpoints(self):
+        store = LSDBStore()
+        manager = store.enable_checkpoints(CheckpointPolicy(every_events=10))
+        for index in range(25):
+            store.insert("acct", f"k{index}", {"bal": index})
+        assert manager.taken == 2
+        assert manager.latest().lsn == 20
+        assert manager.delta_events == 5
+
+    def test_manual_take_always_works(self):
+        store = populated_store()
+        manager = store.enable_checkpoints()  # no count trigger
+        assert manager.latest() is None
+        checkpoint = manager.take()
+        assert checkpoint.lsn == store.log.head_lsn
+        assert manager.latest() is checkpoint
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_events=-1)
+
+
+class TestRecovery:
+    def test_rebuild_from_checkpoint_is_byte_identical_to_full_fold(self):
+        store = populated_store(50)
+        store.enable_checkpoints().take()
+        for _ in range(7):  # delta after the checkpoint
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        live = {ref: state.copy() for ref, state in store.current_state().items()}
+        replayed = store.rebuild_cache()
+        assert replayed == 7  # only the suffix was folded
+        assert store.current_state() == live
+        assert store.rebuild_cache(full=True) == store.log.head_lsn
+        assert store.current_state() == live
+
+    def test_recover_reports_what_it_did(self):
+        store = populated_store(40)
+        store.enable_checkpoints(CheckpointPolicy(every_events=10))
+        index = store.register_index("acct", "tier")
+        index.refresh()
+        store.checkpoints.take()
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        report = store.recover()
+        assert report.used_checkpoint
+        assert report.checkpoint_lsn == store.log.head_lsn - 1
+        assert report.events_replayed == 1
+        assert report.indexes_restored == 1
+        assert index.lookup("gold") == {"a"}
+
+    def test_recover_without_checkpoint_replays_everything(self):
+        store = populated_store(30)
+        report = store.recover()
+        assert not report.used_checkpoint
+        assert report.events_replayed == store.log.head_lsn
+        assert store.get("acct", "a").fields["bal"] == 15
+
+    def test_index_snapshot_round_trip(self):
+        store = populated_store(20)
+        index = store.register_index("acct", "tier")
+        index.refresh()
+        store.enable_checkpoints().take()
+        store.set_fields("acct", "a", {"tier": "platinum"})
+        index.refresh()
+        assert index.lookup("platinum") == {"a"}
+        store.recover()
+        # Restored from the snapshot, then refreshed over the suffix.
+        assert index.lookup("platinum") == {"a"}
+        assert index.lookup("gold") == set()
+
+
+class TestInvalidation:
+    def test_new_reducer_discards_the_checkpoint(self):
+        store = populated_store()
+        manager = store.enable_checkpoints()
+        manager.take()
+        store.register_reducer("acct", store.rollup.reducer_for("acct"))
+        assert manager.latest() is None
+        assert manager.invalidations == 1
+
+    def test_migration_discards_the_checkpoint(self):
+        catalog = EntityCatalog()
+        catalog.register(
+            EntityType.define("order", [FieldSpec("total", "int", required=True)])
+        )
+        migrations = SchemaMigrationManager(catalog)
+        store = LSDBStore()
+        migrations.attach_store(store)
+        manager = store.enable_checkpoints()
+        store.insert("order", "o1", {"total": 1})
+        manager.take()
+        migrations.apply(
+            EntityType.define(
+                "order",
+                [FieldSpec("total", "int", required=True),
+                 FieldSpec("currency", "str")],
+                schema_version=2,
+            )
+        )
+        assert manager.latest() is None
+
+    def test_compaction_invalidates_then_retakes(self):
+        store = populated_store(40)
+        manager = store.enable_checkpoints()  # on_compaction=True default
+        manager.take()
+        before = manager.latest().lsn
+        store.compact(keep_recent=5)
+        assert manager.invalidations == 1
+        fresh = manager.latest()
+        assert fresh is not None and fresh.lsn >= before
+        # The live checkpoint never predates the compaction boundary.
+        assert fresh.lsn == store.log.head_lsn
+        assert store.recover().used_checkpoint
+
+    def test_compaction_without_retake_leaves_no_checkpoint(self):
+        store = populated_store(40)
+        manager = store.enable_checkpoints(
+            CheckpointPolicy(on_compaction=False)
+        )
+        manager.take()
+        store.compact(keep_recent=5)
+        assert manager.latest() is None
+
+
+class TestInstallCheckpoint:
+    def test_install_on_empty_store_seeds_state_and_watermarks(self):
+        donor = populated_store(30, origin="donor")
+        checkpoint = Checkpoint.capture(donor)
+        newbie = LSDBStore(origin="newbie")
+        newbie.install_checkpoint(checkpoint)
+        assert newbie.current_state() == donor.current_state()
+        assert (
+            newbie.version_vector.to_dict() == donor.version_vector.to_dict()
+        )
+        # Pre-checkpoint redeliveries are rejected by the watermark.
+        old = donor.events_from_origin("donor", 0)[0]
+        assert not newbie.apply_remote(old)
+
+    def test_install_refuses_non_empty_store(self):
+        donor = populated_store(10)
+        checkpoint = Checkpoint.capture(donor)
+        target = LSDBStore()
+        target.insert("acct", "x", {"bal": 1})
+        with pytest.raises(ReproError):
+            target.install_checkpoint(checkpoint)
+
+    def test_bootstrap_protocol_ships_checkpoint_plus_delta(self):
+        sim = Simulator(seed=21)
+        net = Network(sim, latency=2.0)
+        policy = BatchPolicy(max_batch=16)
+        donor = net.register(ReplicaNode("donor", sim, batching=policy))
+        donor.store.enable_checkpoints(CheckpointPolicy(every_events=20))
+        donor.store.insert("acct", "a", {"bal": 0})
+        for _ in range(39):  # head=40, latest checkpoint at 40
+            donor.store.apply_delta("acct", "a", Delta.add("bal", 1))
+        for _ in range(5):  # delta beyond the checkpoint
+            donor.store.apply_delta("acct", "a", Delta.add("bal", 1))
+        newbie = net.register(ReplicaNode("newbie", sim, batching=policy))
+        newbie.request_bootstrap("donor")
+        sim.run(until=50.0)
+        assert newbie.observable_state() == donor.observable_state()
+        assert newbie.store.get("acct", "a").fields["bal"] == 44
+        # O(delta): the event frames carried only the post-checkpoint
+        # suffix, not the 45-event history.
+        assert newbie.events_received == 5
+
+    def test_bootstrap_without_checkpoint_manager_uses_adhoc_capture(self):
+        sim = Simulator(seed=22)
+        net = Network(sim, latency=2.0)
+        donor = net.register(ReplicaNode("donor", sim))
+        donor.store.insert("acct", "a", {"bal": 7})
+        newbie = net.register(ReplicaNode("newbie", sim))
+        newbie.request_bootstrap("donor")
+        sim.run(until=20.0)
+        assert newbie.observable_state() == donor.observable_state()
+        assert newbie.events_received == 0  # everything came in the checkpoint
