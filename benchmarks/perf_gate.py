@@ -31,6 +31,7 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = ROOT / "BENCH_core_hotpaths.json"
 DATAPLANE = ROOT / "BENCH_dataplane.json"
+COLUMNAR = ROOT / "BENCH_columnar.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -108,6 +109,44 @@ def check_dataplane(
     return ok
 
 
+def check_columnar(
+    data: dict,
+    min_create_speedup: float,
+    min_fold_speedup: float,
+) -> bool:
+    """Validate the recorded columnar-log claims (PR 6 acceptance).
+
+    Three gates over ``BENCH_columnar.json``'s ``speedup`` block:
+    column-arena event creation must beat object construction by
+    ``min_create_speedup``, the fused slice fold must beat the
+    per-event loop by ``min_fold_speedup``, and the frame codec
+    round-trip must have reproduced every event byte-for-byte.
+    """
+    speedup = data.get("speedup", {})
+    ok = True
+    print("perf gate: columnar log (BENCH_columnar.json)")
+    for name, bound in (
+        ("event_create", min_create_speedup),
+        ("fold_throughput", min_fold_speedup),
+    ):
+        value = speedup.get(name)
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value >= bound
+        print(f"  {name:32s} {value:g}x (must be >= {bound:g}x) "
+              f"{'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    equal = speedup.get("frame_codec_roundtrip_equal")
+    passed = equal is True
+    print(f"  {'frame_codec_roundtrip_equal':32s} {equal} "
+          f"{'PASS' if passed else 'FAIL'}")
+    ok = ok and passed
+    print(f"perf gate: columnar log -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def check_live(data: dict, tolerance: float, quick: bool) -> bool:
     """Re-run the bench and compare against the recorded after-numbers."""
     sys.path.insert(0, str(ROOT / "benchmarks"))
@@ -156,6 +195,10 @@ def main() -> None:
                         help="wire messages saved at frame 64 (recorded)")
     parser.add_argument("--max-recovery-ratio", type=float, default=3.0,
                         help="checkpointed recovery time, long/short log")
+    parser.add_argument("--min-create-speedup", type=float, default=3.0,
+                        help="columnar event creation vs object path (recorded)")
+    parser.add_argument("--min-fold-speedup", type=float, default=2.0,
+                        help="fused slice fold vs per-event loop (recorded)")
     args = parser.parse_args()
 
     data = load_trajectory()
@@ -165,6 +208,11 @@ def main() -> None:
         args.min_ship_speedup,
         args.min_wire_reduction,
         args.max_recovery_ratio,
+    ) and ok
+    ok = check_columnar(
+        load_trajectory(COLUMNAR),
+        args.min_create_speedup,
+        args.min_fold_speedup,
     ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok

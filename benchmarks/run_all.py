@@ -80,6 +80,7 @@ def traced_demo(trace_out: str = "") -> None:
 
 EXPERIMENTS = [
     "bench_core_hotpaths",
+    "bench_columnar",
     "bench_dataplane",
     "bench_e01_availability",
     "bench_e02_deferred_updates",

@@ -154,16 +154,18 @@ class CheckpointManager:
             self._g_lsn = metrics.gauge("checkpoint.lsn", origin=store.origin)
         else:
             self._m_taken = self._m_invalidated = self._g_lsn = None
-        store.log.subscribe(self._on_append)
+        # Cadence metering only: the counts channel never materializes
+        # events, so bulk frame applies stay columnar end to end.
+        store.log.subscribe_counts(self._on_appends)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
-    def _on_append(self, event: Any) -> None:
+    def _on_appends(self, count: int) -> None:
         if not self.policy.every_events:
             return
-        self._appends_since += 1
+        self._appends_since += count
         if self._appends_since >= self.policy.every_events:
             self.take()
 

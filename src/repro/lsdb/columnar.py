@@ -1,0 +1,516 @@
+"""Columnar event storage: parallel arrays with lazy row materialization.
+
+The log stores every event forever (insert-only storage, principle 2.7),
+so raw append/scan throughput is the ceiling on the whole data plane.
+PR 5 plateaued at ~500k events/sec created with per-event ``LogEvent``
+object churn as the dominant cost: thirteen pointer writes, a payload
+reference, an enum member, and two interned strings per record, plus a
+Python object header — all for rows whose hot consumers (folds, frame
+shipping, version-vector accounting) read two or three fields.
+
+This module is the row-store→column-store shift: an
+:class:`EventColumns` *arena* keeps the thirteen logical fields as
+parallel columns —
+
+.. code-block:: text
+
+    row          0      1      2      3   ...
+    lsns        [1,     2,     3,     4]       array('q')
+    timestamps  [0.0,   0.1,   0.4,   0.9]     array('d')
+    kinds       [0,     1,     1,     3]       array('b')   EventKind code
+    ref_ids     [0,     0,     1,     0]       array('i')   → ref_tuples
+    origin_ids  [0,     0,     1,     0]       array('i')   → origins
+    origin_seqs [1,     2,     1,     3]       array('q')
+    schema_vs   [1,     1,     1,     1]       array('i')
+    payloads    [{...}, {...}, {...}, {...}]   list
+    (tx/tags/trace/span: sparse dicts keyed by row; "" / frozenset())
+
+— with entity refs and origin replica ids *dictionary-interned*: a
+string appears once in the arena no matter how many million rows carry
+it, and per-row columns store small integers in C arrays.  A full
+:class:`~repro.lsdb.events.LogEvent` is materialized lazily, only when
+an API boundary actually needs the object form.
+
+The arena is *immortal*: rows are appended and never moved or freed, so
+a row index is a stable forever-name for an event.  Log compaction
+(``rewrite_prefix``) changes which rows are *live*, never the rows
+themselves — which is exactly what the anti-entropy feeds need, since
+they ship raw pre-compaction originals by arena row long after the live
+log has been summarised.
+
+Three views complete the picture:
+
+* :class:`EventSlice` — a read-only ``Sequence`` of events backed by
+  ``(arena, rows)``; feed methods return these instead of list copies.
+* :class:`ColumnFrame` — the zero-copy wire codec: a self-contained
+  frame holding column slices plus frame-local ref/origin tables, so a
+  receiver interns each distinct string once per frame rather than
+  hashing strings once per event.
+* ``KIND_CODES`` / ``CODE_KINDS`` — the fixed :class:`EventKind`
+  encoding shared by arenas and frames (definition order, so the codes
+  are a wire-stable contract).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.lsdb.events import EventKind, LogEvent
+
+_EMPTY_TAGS: frozenset[str] = frozenset()
+
+# EventKind codes in definition order: INSERT=0, DELTA=1, SET_FIELDS=2,
+# TOMBSTONE=3, OBSOLETE=4, SUMMARY=5.  Global constants shared by every
+# arena and every frame, so decode never translates kind codes.
+KIND_CODES: dict[EventKind, int] = {
+    kind: code for code, kind in enumerate(EventKind)
+}
+CODE_KINDS: tuple[EventKind, ...] = tuple(EventKind)
+
+
+class StringDictionary:
+    """Bidirectional string interning: string ↔ dense integer id.
+
+    One dictionary lookup on the append path (``dict.setdefault``), one
+    list index on the read path.  Ids are dense and allocation-ordered,
+    so a column of ids round-trips through ``array('i')``.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._values: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, value: str) -> int:
+        """Id for ``value``, allocating one on first sight."""
+        ident = self._ids.setdefault(value, len(self._values))
+        if ident == len(self._values):
+            self._values.append(value)
+        return ident
+
+    def value(self, ident: int) -> str:
+        """The string behind ``ident`` (O(1) list index)."""
+        return self._values[ident]
+
+    def lookup(self, value: str) -> Optional[int]:
+        """Id for ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+
+class EventColumns:
+    """The immortal columnar arena: one growing column per event field.
+
+    Rows are append-only and never freed; every integer row index handed
+    out stays valid for the life of the arena.  Entity refs are interned
+    through a two-level string map (type → key → ref id) so the append
+    path never allocates a lookup tuple, and ``ref_tuples`` keeps one
+    shared ``(type, key)`` tuple per distinct entity for the read path.
+    """
+
+    __slots__ = (
+        "lsns",
+        "timestamps",
+        "kinds",
+        "ref_ids",
+        "origin_ids",
+        "origin_seqs",
+        "schema_versions",
+        "payloads",
+        "origins",
+        "ref_tuples",
+        "_ref_lookup",
+        "tx_ids",
+        "tags",
+        "trace_ids",
+        "span_ids",
+    )
+
+    def __init__(self) -> None:
+        self.lsns = array("q")
+        self.timestamps = array("d")
+        self.kinds = array("b")
+        self.ref_ids = array("i")
+        self.origin_ids = array("i")
+        self.origin_seqs = array("q")
+        self.schema_versions = array("i")
+        self.payloads: list[Mapping[str, Any]] = []
+        self.origins = StringDictionary()
+        self.ref_tuples: list[tuple[str, str]] = []
+        self._ref_lookup: dict[str, dict[str, int]] = {}
+        # Sparse columns: almost every row has the default ("" or the
+        # empty tag set), so a dict keyed by row beats a dense column.
+        self.tx_ids: dict[int, str] = {}
+        self.tags: dict[int, frozenset[str]] = {}
+        self.trace_ids: dict[int, str] = {}
+        self.span_ids: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self.lsns)
+
+    # ------------------------------------------------------------- #
+    # Interning
+    # ------------------------------------------------------------- #
+
+    def ref_id(self, entity_type: str, entity_key: str) -> int:
+        """Intern ``(entity_type, entity_key)``; returns its dense id."""
+        by_key = self._ref_lookup.get(entity_type)
+        if by_key is None:
+            by_key = self._ref_lookup[entity_type] = {}
+        rid = by_key.get(entity_key)
+        if rid is None:
+            rid = by_key[entity_key] = len(self.ref_tuples)
+            self.ref_tuples.append((entity_type, entity_key))
+        return rid
+
+    def lookup_ref(self, entity_type: str, entity_key: str) -> Optional[int]:
+        """Ref id if the entity has ever been seen, else ``None``."""
+        by_key = self._ref_lookup.get(entity_type)
+        if by_key is None:
+            return None
+        return by_key.get(entity_key)
+
+    # ------------------------------------------------------------- #
+    # Appends
+    # ------------------------------------------------------------- #
+
+    def append_row(
+        self,
+        lsn: int,
+        timestamp: float,
+        entity_type: str,
+        entity_key: str,
+        kind: EventKind,
+        payload: Mapping[str, Any],
+        origin: str = "local",
+        origin_seq: int = 0,
+        tx_id: str = "",
+        schema_version: int = 1,
+        tags: frozenset[str] = _EMPTY_TAGS,
+        trace_id: str = "",
+        span_id: str = "",
+    ) -> int:
+        """Append one event from loose fields; returns its arena row.
+
+        This is the hot ingestion path: eight C-array/list appends plus
+        two interning lookups, no ``LogEvent`` object.  The ref
+        interning is :meth:`ref_id` inlined — at millions of calls the
+        function-call overhead alone is measurable.
+        """
+        lsns = self.lsns
+        row = len(lsns)
+        lsns.append(lsn)
+        self.timestamps.append(timestamp)
+        self.kinds.append(KIND_CODES[kind])
+        by_key = self._ref_lookup.get(entity_type)
+        if by_key is None:
+            by_key = self._ref_lookup[entity_type] = {}
+        rid = by_key.get(entity_key)
+        if rid is None:
+            rid = by_key[entity_key] = len(self.ref_tuples)
+            self.ref_tuples.append((entity_type, entity_key))
+        self.ref_ids.append(rid)
+        self.origin_ids.append(self.origins.intern(origin))
+        self.origin_seqs.append(origin_seq)
+        self.schema_versions.append(schema_version)
+        self.payloads.append(payload)
+        if tx_id:
+            self.tx_ids[row] = tx_id
+        if tags:
+            self.tags[row] = tags
+        if trace_id:
+            self.trace_ids[row] = trace_id
+        if span_id:
+            self.span_ids[row] = span_id
+        return row
+
+    def append_event(self, event: LogEvent, lsn: int) -> int:
+        """Append a materialized event under ``lsn``; returns its row."""
+        return self.append_row(
+            lsn,
+            event.timestamp,
+            event.entity_type,
+            event.entity_key,
+            event.kind,
+            event.payload,
+            event.origin,
+            event.origin_seq,
+            event.tx_id,
+            event.schema_version,
+            event.tags,
+            event.trace_id,
+            event.span_id,
+        )
+
+    # ------------------------------------------------------------- #
+    # Row reads
+    # ------------------------------------------------------------- #
+
+    def event_at(self, row: int) -> LogEvent:
+        """Materialize the :class:`LogEvent` stored at ``row``."""
+        entity_type, entity_key = self.ref_tuples[self.ref_ids[row]]
+        return LogEvent.build(
+            self.lsns[row],
+            self.timestamps[row],
+            entity_type,
+            entity_key,
+            CODE_KINDS[self.kinds[row]],
+            self.payloads[row],
+            self.origins.value(self.origin_ids[row]),
+            self.origin_seqs[row],
+            self.tx_ids.get(row, ""),
+            self.schema_versions[row],
+            self.tags.get(row, _EMPTY_TAGS),
+            self.trace_ids.get(row, ""),
+            self.span_ids.get(row, ""),
+        )
+
+    def ref_at(self, row: int) -> tuple[str, str]:
+        """The shared ``(entity_type, entity_key)`` tuple for ``row``."""
+        return self.ref_tuples[self.ref_ids[row]]
+
+    def origin_at(self, row: int) -> str:
+        """Origin replica id string for ``row``."""
+        return self.origins.value(self.origin_ids[row])
+
+    def identity_at(self, row: int) -> tuple[str, int]:
+        """``(origin, origin_seq)`` for ``row``."""
+        return (self.origin_at(row), self.origin_seqs[row])
+
+    def tags_at(self, row: int) -> frozenset[str]:
+        """Tag set for ``row`` (shared empty set when untagged)."""
+        return self.tags.get(row, _EMPTY_TAGS)
+
+
+class EventSlice(Sequence):
+    """A read-only view of arena rows that quacks like a list of events.
+
+    Feed methods return these instead of materialized lists: the view is
+    ``(arena, rows)`` where ``rows`` is a ``range`` (contiguous suffix —
+    zero copies) or a list of row indices.  Events materialize one at a
+    time, on access, so a consumer that only reads ``len()`` or the last
+    LSN never pays for object construction at all.
+    """
+
+    __slots__ = ("arena", "rows")
+
+    def __init__(self, arena: EventColumns, rows) -> None:
+        self.arena = arena
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return len(self.rows) > 0
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventSlice(self.arena, self.rows[index])
+        return self.arena.event_at(self.rows[index])
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        event_at = self.arena.event_at
+        for row in self.rows:
+            yield event_at(row)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, EventSlice):
+            if self.arena is other.arena and self.rows == other.rows:
+                return True
+        if not isinstance(other, Sequence) or isinstance(other, (str, bytes)):
+            return NotImplemented
+        if len(other) != len(self.rows):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __add__(self, other) -> list[LogEvent]:
+        return list(self) + list(other)
+
+    def __radd__(self, other) -> list[LogEvent]:
+        return list(other) + list(self)
+
+    def __repr__(self) -> str:
+        return f"EventSlice({len(self.rows)} rows)"
+
+    def lsn_at(self, index: int) -> int:
+        """LSN of the ``index``-th event without materializing it."""
+        return self.arena.lsns[self.rows[index]]
+
+    def identities(self) -> list[tuple[str, int]]:
+        """All ``(origin, origin_seq)`` identities, built in one bulk
+        pass over the columns (no per-event ``LogEvent`` or property
+        call)."""
+        arena = self.arena
+        origin_ids = arena.origin_ids
+        seqs = arena.origin_seqs
+        value = arena.origins.value
+        return [(value(origin_ids[r]), seqs[r]) for r in self.rows]
+
+    def to_events(self) -> list[LogEvent]:
+        """Materialize the whole view as a plain list."""
+        return list(self)
+
+
+class ColumnFrame:
+    """Zero-copy wire codec: a self-contained batch of event columns.
+
+    Encoding slices the arena's C arrays directly (a ``memcpy``, no
+    Python-object hops) and builds *frame-local* dictionaries: each
+    distinct entity ref and origin string appears once in the frame's
+    ``ref_table`` / ``origin_table``, and the per-event columns carry
+    small frame-local codes.  Decoding therefore interns each distinct
+    string once per frame — one dictionary lookup per *batch value*, not
+    one per event — and bulk-extends the receiver's arena columns.
+
+    Kind codes are the global ``KIND_CODES`` contract, so they cross the
+    wire untranslated.  Payload mappings are shared by reference, as the
+    in-memory simulated network shares all message objects.
+    """
+
+    __slots__ = (
+        "lsns",
+        "timestamps",
+        "kinds",
+        "ref_codes",
+        "origin_codes",
+        "origin_seqs",
+        "schema_versions",
+        "payloads",
+        "ref_table",
+        "origin_table",
+        "tx_ids",
+        "tags",
+        "trace_ids",
+        "span_ids",
+    )
+
+    def __len__(self) -> int:
+        return len(self.lsns)
+
+    @classmethod
+    def from_slice(cls, view: EventSlice) -> "ColumnFrame":
+        """Encode an :class:`EventSlice` into a frame."""
+        arena = view.arena
+        rows = view.rows
+        frame = object.__new__(cls)
+        if isinstance(rows, range) and rows.step == 1:
+            lo, hi = rows.start, rows.stop
+            frame.lsns = arena.lsns[lo:hi]
+            frame.timestamps = arena.timestamps[lo:hi]
+            frame.kinds = arena.kinds[lo:hi]
+            frame.origin_seqs = arena.origin_seqs[lo:hi]
+            frame.schema_versions = arena.schema_versions[lo:hi]
+            frame.payloads = arena.payloads[lo:hi]
+            ref_codes = arena.ref_ids[lo:hi]
+            origin_codes = arena.origin_ids[lo:hi]
+        else:
+            frame.lsns = array("q", (arena.lsns[r] for r in rows))
+            frame.timestamps = array("d", (arena.timestamps[r] for r in rows))
+            frame.kinds = array("b", (arena.kinds[r] for r in rows))
+            frame.origin_seqs = array(
+                "q", (arena.origin_seqs[r] for r in rows)
+            )
+            frame.schema_versions = array(
+                "i", (arena.schema_versions[r] for r in rows)
+            )
+            frame.payloads = [arena.payloads[r] for r in rows]
+            ref_codes = array("i", (arena.ref_ids[r] for r in rows))
+            origin_codes = array("i", (arena.origin_ids[r] for r in rows))
+        # Re-code arena ids to frame-local tables (one table entry per
+        # distinct value; the remap is an int-keyed dict hit per row).
+        ref_map: dict[int, int] = {}
+        ref_table: list[tuple[str, str]] = []
+        ref_tuples = arena.ref_tuples
+        for index, rid in enumerate(ref_codes):
+            code = ref_map.get(rid)
+            if code is None:
+                code = ref_map[rid] = len(ref_table)
+                ref_table.append(ref_tuples[rid])
+            ref_codes[index] = code
+        origin_map: dict[int, int] = {}
+        origin_table: list[str] = []
+        origin_value = arena.origins.value
+        for index, oid in enumerate(origin_codes):
+            code = origin_map.get(oid)
+            if code is None:
+                code = origin_map[oid] = len(origin_table)
+                origin_table.append(origin_value(oid))
+            origin_codes[index] = code
+        frame.ref_codes = ref_codes
+        frame.origin_codes = origin_codes
+        frame.ref_table = ref_table
+        frame.origin_table = origin_table
+        # Sparse columns, re-keyed to frame positions.  Guarded on the
+        # arena dict being non-empty so untagged/untraced arenas pay
+        # nothing.
+        frame.tx_ids = cls._gather_sparse(arena.tx_ids, rows)
+        frame.tags = cls._gather_sparse(arena.tags, rows)
+        frame.trace_ids = cls._gather_sparse(arena.trace_ids, rows)
+        frame.span_ids = cls._gather_sparse(arena.span_ids, rows)
+        return frame
+
+    @staticmethod
+    def _gather_sparse(column: dict, rows) -> dict:
+        if not column:
+            return {}
+        return {
+            index: column[row]
+            for index, row in enumerate(rows)
+            if row in column
+        }
+
+    # ------------------------------------------------------------- #
+    # Decode-side reads
+    # ------------------------------------------------------------- #
+
+    def origin_strings(self) -> list[str]:
+        """Per-event origin strings, via one list-index per event."""
+        table = self.origin_table
+        return [table[code] for code in self.origin_codes]
+
+    def identities(self) -> list[tuple[str, int]]:
+        """Bulk ``(origin, origin_seq)`` identities for dedup checks."""
+        table = self.origin_table
+        return [
+            (table[code], seq)
+            for code, seq in zip(self.origin_codes, self.origin_seqs)
+        ]
+
+    def event_at(self, index: int) -> LogEvent:
+        """Materialize one event (per-event fallback paths only)."""
+        entity_type, entity_key = self.ref_table[self.ref_codes[index]]
+        return LogEvent.build(
+            self.lsns[index],
+            self.timestamps[index],
+            entity_type,
+            entity_key,
+            CODE_KINDS[self.kinds[index]],
+            self.payloads[index],
+            self.origin_table[self.origin_codes[index]],
+            self.origin_seqs[index],
+            self.tx_ids.get(index, ""),
+            self.schema_versions[index],
+            self.tags.get(index, _EMPTY_TAGS),
+            self.trace_ids.get(index, ""),
+            self.span_ids.get(index, ""),
+        )
+
+    def events(self) -> list[LogEvent]:
+        """Materialize every event in the frame."""
+        return [self.event_at(index) for index in range(len(self.lsns))]

@@ -125,13 +125,14 @@ class Compactor:
         prefix = self.log.up_to(lsn)
         if not prefix:
             return CompactionReport(compacted_up_to_lsn=lsn)
+        # One columnar fold gives everything the summaries need: the
+        # rolled-up fields plus ``last_lsn``/``last_timestamp``, which
+        # the fold tracks as running maxima — and within one log the
+        # per-entity maximum LSN *is* the entity's last prefix event, so
+        # the old last-event-per-ref scan over the prefix is redundant.
         states = self.rollup.fold(prefix)
-        last_lsn_of: dict[tuple[str, str], LogEvent] = {}
-        for event in prefix:
-            last_lsn_of[event.entity_ref] = event
         summaries: list[LogEvent] = []
         for ref, state in states.items():
-            marker = last_lsn_of[ref]
             tags = set()
             if state.deleted:
                 tags.add("deleted")
@@ -139,7 +140,7 @@ class Compactor:
                 tags.add("obsolete")
             summaries.append(
                 LogEvent(
-                    lsn=marker.lsn,
+                    lsn=state.last_lsn,
                     timestamp=state.last_timestamp,
                     entity_type=ref[0],
                     entity_key=ref[1],

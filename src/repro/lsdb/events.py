@@ -121,6 +121,47 @@ class LogEvent:
         assign(clone, "span_id", self.span_id)
         return clone
 
+    @staticmethod
+    def build(
+        lsn: int,
+        timestamp: float,
+        entity_type: str,
+        entity_key: str,
+        kind: "EventKind",
+        payload: Mapping[str, Any],
+        origin: str,
+        origin_seq: int,
+        tx_id: str,
+        schema_version: int,
+        tags: frozenset[str],
+        trace_id: str,
+        span_id: str,
+    ) -> "LogEvent":
+        """Fast positional constructor bypassing the dataclass ``__init__``.
+
+        The columnar arena materializes a :class:`LogEvent` lazily, only
+        when an API boundary needs the object form; this is the single
+        place outside :meth:`with_lsn` allowed to populate a frozen
+        instance made with ``__new__``, so knowledge of the slot layout
+        stays in this module.
+        """
+        clone = object.__new__(LogEvent)
+        assign = object.__setattr__
+        assign(clone, "lsn", lsn)
+        assign(clone, "timestamp", timestamp)
+        assign(clone, "entity_type", entity_type)
+        assign(clone, "entity_key", entity_key)
+        assign(clone, "kind", kind)
+        assign(clone, "payload", payload)
+        assign(clone, "origin", origin)
+        assign(clone, "origin_seq", origin_seq)
+        assign(clone, "tx_id", tx_id)
+        assign(clone, "schema_version", schema_version)
+        assign(clone, "tags", tags)
+        assign(clone, "trace_id", trace_id)
+        assign(clone, "span_id", span_id)
+        return clone
+
     @property
     def identity(self) -> tuple[str, int]:
         """Globally unique event identity: ``(origin, origin_seq)``.

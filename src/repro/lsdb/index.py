@@ -91,11 +91,17 @@ class SecondaryIndex:
         # Only this type's events need folding; the typed feed skips the
         # rest instead of filtering the whole suffix event by event.
         tracer = self.tracer
-        for event in self.log.for_type_since(
-            self.entity_type, self.applied_lsn, target
-        ):
-            self._apply(event)
-            if tracer is not None:
+        feed = self.log.for_type_since(self.entity_type, self.applied_lsn, target)
+        if tracer is None:
+            # Columnar catch-up: fold straight from the feed's arena
+            # rows, never materializing the events.
+            arena = feed.arena
+            apply_row = self._apply_row
+            for row in feed.rows:
+                apply_row(arena, row)
+        else:
+            for event in feed:
+                self._apply(event)
                 parent = self._span_of(event) if self._span_of else None
                 tracer.end_span(
                     tracer.start_span(
@@ -121,6 +127,20 @@ class SecondaryIndex:
         # The index exclusively owns its state map, so the in-place fold
         # path is safe (old value/liveness are captured above).
         new_state = self.rollup.folder_for(self.entity_type)(old_state, event)
+        self._move_buckets(ref, new_state, old_value, old_live)
+
+    def _apply_row(self, arena, row: int) -> None:
+        """Columnar twin of :meth:`_apply`: folds one arena row."""
+        ref: EntityRef = arena.ref_tuples[arena.ref_ids[row]]
+        old_state = self._states.get(ref)
+        old_value = old_state.get(self.field_name) if old_state else None
+        old_live = old_state.live if old_state else False
+        new_state = self.rollup.rows_folder_for(self.entity_type)(
+            old_state, arena, (row,), ref
+        )
+        self._move_buckets(ref, new_state, old_value, old_live)
+
+    def _move_buckets(self, ref, new_state, old_value, old_live) -> None:
         self._states[ref] = new_state
         new_value = new_state.get(self.field_name)
         new_live = new_state.live

@@ -7,18 +7,34 @@ appends are totally ordered by LSN within the log, and there is no
 cross-log ordering (that absence is precisely what makes cross-partition
 transactions expensive, measured in experiment E3).
 
+Since PR 6 the log is *columnar*: events live in an
+:class:`~repro.lsdb.columnar.EventColumns` arena (parallel C arrays plus
+interned strings) and the log itself only tracks which arena rows are
+live, in what order.  Feed methods return
+:class:`~repro.lsdb.columnar.EventSlice` views — lightweight
+``(arena, rows)`` pairs that materialize :class:`LogEvent` objects
+lazily — instead of list copies.
+
 The only structural mutation besides append is :meth:`rewrite_prefix`,
 used by compaction (:mod:`repro.lsdb.compaction`) to replace a prefix of
 old events with summary events — the "data summarization and archival
-functionality" of principle 2.7.
+functionality" of principle 2.7.  The arena is immortal: a rewrite
+changes the live row set, never the rows, so views handed out before a
+compaction (per-origin anti-entropy feeds, archives) stay valid.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 from repro.errors import ReproError
+from repro.lsdb.columnar import (
+    _EMPTY_TAGS,
+    ColumnFrame,
+    EventColumns,
+    EventSlice,
+)
 from repro.lsdb.events import EventKind, LogEvent
 
 
@@ -30,12 +46,29 @@ class AppendOnlyLog:
     "events since LSN x" remains meaningful to subscribers after a
     compaction.
 
-    Feeds are indexed: a parallel LSN array (with an arithmetic fast
-    path while the live log is contiguous) makes :meth:`since` /
-    :meth:`up_to` O(log n + result), and per-entity / per-type indexes
-    make :meth:`for_entity` and :meth:`for_type_since` O(result).  The
-    indexes are maintained on append (O(1) amortised) and rebuilt on the
-    rare prefix rewrite, whose cost compaction already pays.
+    Storage is columnar: one :class:`EventColumns` arena per log, with
+    the live log represented as either *all arena rows in order* (the
+    common, never-compacted case — no per-row bookkeeping at all, and
+    feed positions are pure arithmetic because live LSNs are exactly
+    ``1..n``) or an explicit row list plus a parallel LSN array after
+    the first :meth:`rewrite_prefix`.
+
+    Feeds are indexed: :meth:`since` / :meth:`up_to` are O(log n) to
+    locate plus O(1) to return (they hand back views, not copies), and
+    per-entity / per-type row indexes make :meth:`for_entity` and
+    :meth:`for_type_since` O(result) integers copied rather than
+    O(result) objects.
+
+    Three subscription channels serve the three kinds of consumer:
+
+    * :meth:`subscribe` — legacy per-event callbacks; sees every
+      append, including each event of a bulk frame apply, as a
+      materialized :class:`LogEvent` (materialized lazily, only when
+      such subscribers exist).
+    * :meth:`subscribe_columnar` — ``(on_row, on_batch)`` pairs that
+      read columns directly; the store's incremental cache lives here.
+    * :meth:`subscribe_counts` — append-count callbacks for consumers
+      that only meter volume (checkpoint/snapshot cadence).
 
     Args:
         name: Diagnostic name (usually the owning serialization unit).
@@ -43,17 +76,31 @@ class AppendOnlyLog:
 
     def __init__(self, name: str = "log"):
         self.name = name
-        self._events: list[LogEvent] = []
-        #: Parallel array of ``event.lsn`` for O(log n) position lookup.
-        self._lsns: list[int] = []
-        #: True while ``lsn[i] == lsn[0] + i`` for every live event
-        #: (always true until the first compaction leaves holes).
+        self._cols = EventColumns()
+        #: ``None`` means "every arena row is live, in row order" — and,
+        #: because appends assign sequential LSNs from 1, live LSNs are
+        #: then exactly ``1..len(arena)``.  After the first prefix
+        #: rewrite this becomes an explicit row list.
+        self._rows: Optional[list[int]] = None
+        #: Parallel ``lsn`` array for the explicit-row regime (unused
+        #: while ``_rows is None``).
+        self._live_lsns: list[int] = []
+        #: True while live LSNs form one gap-free run (enables the
+        #: arithmetic position fast path in the explicit-row regime).
         self._contiguous = True
-        self._by_entity: dict[tuple[str, str], list[LogEvent]] = {}
-        #: entity type -> (events, parallel lsns) in LSN order.
-        self._by_type: dict[str, tuple[list[LogEvent], list[int]]] = {}
+        #: ref id -> live arena rows for that entity, in LSN order.
+        self._by_ref: dict[int, list[int]] = {}
+        #: entity type -> (rows, parallel lsns) in LSN order.
+        self._by_type: dict[str, tuple[list[int], list[int]]] = {}
         self._next_lsn = 1
         self._subscribers: list[Callable[[LogEvent], None]] = []
+        self._columnar: list[tuple[Callable, Callable]] = []
+        self._counts: list[Callable[[int], None]] = []
+
+    @property
+    def arena(self) -> EventColumns:
+        """The backing columnar arena (shared with views)."""
+        return self._cols
 
     # ------------------------------------------------------------------ #
     # Appending
@@ -65,49 +112,168 @@ class AppendOnlyLog:
         Returns:
             The stored event (a copy of ``event`` with its LSN set).
         """
-        stored = event.with_lsn(self._next_lsn)
-        self._next_lsn += 1
-        lsns = self._lsns
-        if not lsns:
-            self._contiguous = True
-        elif self._contiguous and stored.lsn != lsns[-1] + 1:
-            self._contiguous = False
-        self._events.append(stored)
-        lsns.append(stored.lsn)
-        self._index_event(stored)
+        lsn = self._next_lsn
+        self._next_lsn = lsn + 1
+        row = self._cols.append_event(event, lsn)
+        self._index_row(row, lsn)
+        stored = event.with_lsn(lsn)
+        for on_row, _on_batch in self._columnar:
+            on_row(self._cols, row)
         for subscriber in self._subscribers:
             subscriber(stored)
+        for counter in self._counts:
+            counter(1)
         return stored
 
-    def _index_event(self, stored: LogEvent) -> None:
-        self._by_entity.setdefault(stored.entity_ref, []).append(stored)
-        entry = self._by_type.get(stored.entity_type)
-        if entry is None:
-            self._by_type[stored.entity_type] = ([stored], [stored.lsn])
-        else:
-            entry[0].append(stored)
-            entry[1].append(stored.lsn)
+    def append_row(
+        self,
+        timestamp: float,
+        entity_type: str,
+        entity_key: str,
+        kind: EventKind,
+        payload: Mapping[str, Any],
+        origin: str = "local",
+        origin_seq: int = 0,
+        tx_id: str = "",
+        schema_version: int = 1,
+        tags: frozenset[str] = _EMPTY_TAGS,
+    ) -> int:
+        """Append one event from loose fields, without constructing a
+        :class:`LogEvent`.  The hot ingestion path.
 
-    def _rebuild_indexes(self) -> None:
-        """Recompute all derived structures from ``self._events``
-        (called after a prefix rewrite)."""
-        self._lsns = [event.lsn for event in self._events]
-        self._contiguous = (
-            not self._lsns
-            or self._lsns[-1] - self._lsns[0] + 1 == len(self._lsns)
+        Returns:
+            The arena row of the new event (its LSN is
+            ``arena.lsns[row]``).
+        """
+        lsn = self._next_lsn
+        self._next_lsn = lsn + 1
+        cols = self._cols
+        row = cols.append_row(
+            lsn, timestamp, entity_type, entity_key, kind, payload,
+            origin, origin_seq, tx_id, schema_version, tags,
         )
-        self._by_entity = {}
-        self._by_type = {}
-        for event in self._events:
-            self._index_event(event)
+        self._index_row(row, lsn)
+        for on_row, _on_batch in self._columnar:
+            on_row(cols, row)
+        if self._subscribers:
+            stored = cols.event_at(row)
+            for subscriber in self._subscribers:
+                subscriber(stored)
+        for counter in self._counts:
+            counter(1)
+        return row
+
+    def extend_frame(
+        self, frame: ColumnFrame, start: int, stop: int
+    ) -> EventSlice:
+        """Bulk-append frame positions ``[start, stop)`` — the decode
+        half of the zero-copy codec.
+
+        Columns are extended with array slices (a ``memcpy`` each);
+        entity refs and origins are interned once per distinct *table
+        entry*, then the per-event codes translate through a plain list
+        index.  LSNs are re-stamped with this log's sequence.
+
+        Returns:
+            An :class:`EventSlice` over the newly appended rows.
+        """
+        cols = self._cols
+        row0 = len(cols.lsns)
+        count = stop - start
+        first_lsn = self._next_lsn
+        self._next_lsn = first_lsn + count
+        cols.lsns.extend(range(first_lsn, first_lsn + count))
+        cols.timestamps.extend(frame.timestamps[start:stop])
+        cols.kinds.extend(frame.kinds[start:stop])
+        cols.origin_seqs.extend(frame.origin_seqs[start:stop])
+        cols.schema_versions.extend(frame.schema_versions[start:stop])
+        cols.payloads.extend(frame.payloads[start:stop])
+        ref_ids = [cols.ref_id(t, k) for t, k in frame.ref_table]
+        cols.ref_ids.extend(
+            ref_ids[code] for code in frame.ref_codes[start:stop]
+        )
+        origin_ids = [cols.origins.intern(o) for o in frame.origin_table]
+        cols.origin_ids.extend(
+            origin_ids[code] for code in frame.origin_codes[start:stop]
+        )
+        for source, sink in (
+            (frame.tx_ids, cols.tx_ids),
+            (frame.tags, cols.tags),
+            (frame.trace_ids, cols.trace_ids),
+            (frame.span_ids, cols.span_ids),
+        ):
+            if source:
+                for index, value in source.items():
+                    if start <= index < stop:
+                        sink[row0 + index - start] = value
+        for offset in range(count):
+            self._index_row(row0 + offset, first_lsn + offset)
+        view = EventSlice(cols, range(row0, row0 + count))
+        for _on_row, on_batch in self._columnar:
+            on_batch(view)
+        if self._subscribers:
+            for stored in view:
+                for subscriber in self._subscribers:
+                    subscriber(stored)
+        for counter in self._counts:
+            counter(count)
+        return view
+
+    def _index_row(self, row: int, lsn: int) -> None:
+        cols = self._cols
+        if self._rows is not None:
+            lsns = self._live_lsns
+            if not lsns:
+                self._contiguous = True
+            elif self._contiguous and lsn != lsns[-1] + 1:
+                self._contiguous = False
+            self._rows.append(row)
+            lsns.append(lsn)
+        rid = cols.ref_ids[row]
+        bucket = self._by_ref.get(rid)
+        if bucket is None:
+            self._by_ref[rid] = [row]
+        else:
+            bucket.append(row)
+        entry = self._by_type.get(cols.ref_tuples[rid][0])
+        if entry is None:
+            self._by_type[cols.ref_tuples[rid][0]] = ([row], [lsn])
+        else:
+            entry[0].append(row)
+            entry[1].append(lsn)
+
+    # ------------------------------------------------------------------ #
+    # Subscriptions
+    # ------------------------------------------------------------------ #
 
     def subscribe(self, callback: Callable[[LogEvent], None]) -> None:
-        """Invoke ``callback`` synchronously for every future append.
+        """Invoke ``callback`` synchronously for every future append,
+        with the stored (materialized) event.
 
-        Used by incremental state caches, asynchronous index maintenance
-        and replication shippers.
+        Used by replication shippers and tests.  Per-event and
+        object-based by contract; consumers that can read columns should
+        prefer :meth:`subscribe_columnar`, and consumers that only count
+        should use :meth:`subscribe_counts` — a log with neither legacy
+        subscriber never materializes on the bulk path.
         """
         self._subscribers.append(callback)
+
+    def subscribe_columnar(
+        self,
+        on_row: Callable[[EventColumns, int], None],
+        on_batch: Callable[[EventSlice], None],
+    ) -> None:
+        """Columnar append notifications: ``on_row(arena, row)`` per
+        single append, ``on_batch(view)`` per bulk frame apply (the two
+        are exclusive — a bulk apply fires one ``on_batch``, not n
+        ``on_row`` calls)."""
+        self._columnar.append((on_row, on_batch))
+
+    def subscribe_counts(self, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(n)`` after every append of ``n`` events —
+        for cadence meters (checkpoints, snapshots) that never look at
+        the events themselves."""
+        self._counts.append(callback)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -116,45 +282,85 @@ class AppendOnlyLog:
     @property
     def head_lsn(self) -> int:
         """LSN of the most recent event (0 if the log is empty)."""
-        return self._lsns[-1] if self._lsns else 0
+        if self._rows is None:
+            return self._next_lsn - 1 if len(self._cols) else 0
+        return self._live_lsns[-1] if self._live_lsns else 0
 
     @property
     def tail_lsn(self) -> int:
         """LSN of the oldest *live* event (0 if empty); events below
         this were compacted away."""
-        return self._lsns[0] if self._lsns else 0
+        if self._rows is None:
+            return 1 if len(self._cols) else 0
+        return self._live_lsns[0] if self._live_lsns else 0
 
     def __len__(self) -> int:
-        return len(self._events)
+        if self._rows is None:
+            return len(self._cols)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[LogEvent]:
-        return iter(self._events)
+        return self.iter_since(0)
 
-    def events(self) -> list[LogEvent]:
-        """A shallow copy of the live events, in LSN order."""
-        return list(self._events)
+    def _live_rows(self):
+        if self._rows is None:
+            return range(len(self._cols))
+        return self._rows
 
-    def since(self, lsn: int) -> list[LogEvent]:
+    def events(self) -> EventSlice:
+        """A view of the live events, in LSN order (zero-copy while the
+        log has never been compacted)."""
+        return EventSlice(self._cols, self._live_rows())
+
+    def since(self, lsn: int) -> EventSlice:
         """Events with LSN strictly greater than ``lsn``.
 
-        This is the replication/catch-up primitive: a subscriber that has
-        applied up to ``lsn`` calls ``since(lsn)`` to fetch its backlog.
-        O(log n + result) — O(result) while the log is uncompacted.
+        This is the replication/catch-up primitive: a subscriber that
+        has applied up to ``lsn`` calls ``since(lsn)`` to fetch its
+        backlog.  O(log n) to locate; the result is a view, so nothing
+        is materialized until the caller actually touches events.
         """
-        if not self._events or lsn >= self._lsns[-1]:
-            return []
         low = self._bisect_gt(lsn)
-        return self._events[low:]
+        if self._rows is None:
+            return EventSlice(self._cols, range(low, len(self._cols)))
+        return EventSlice(self._cols, self._rows[low:])
 
-    def up_to(self, lsn: int) -> list[LogEvent]:
+    def iter_since(self, lsn: int) -> Iterator[LogEvent]:
+        """Lazily iterate events with LSN strictly greater than ``lsn``.
+
+        The zero-copy streaming variant of :meth:`since`: no row list is
+        copied even in the post-compaction regime, and each event
+        materializes only as the iterator reaches it.  The view is live
+        — appends made during iteration are yielded; don't do that.
+        """
+        low = self._bisect_gt(lsn)
+        cols = self._cols
+        event_at = cols.event_at
+        if self._rows is None:
+            for row in range(low, len(cols)):
+                yield event_at(row)
+        else:
+            rows = self._rows
+            for index in range(low, len(rows)):
+                yield event_at(rows[index])
+
+    def up_to(self, lsn: int) -> EventSlice:
         """Events with LSN less than or equal to ``lsn``."""
         high = self._bisect_gt(lsn)
-        return self._events[:high]
+        if self._rows is None:
+            return EventSlice(self._cols, range(0, high))
+        return EventSlice(self._cols, self._rows[:high])
 
-    def between(self, after_lsn: int, up_to_lsn: int) -> list[LogEvent]:
+    def between(self, after_lsn: int, up_to_lsn: int) -> EventSlice:
         """Events with ``after_lsn < LSN <= up_to_lsn`` (the bounded
         catch-up feed snapshot replay uses)."""
-        return self._events[self._bisect_gt(after_lsn):self._bisect_gt(up_to_lsn)]
+        low = self._bisect_gt(after_lsn)
+        high = self._bisect_gt(up_to_lsn)
+        if high < low:
+            high = low
+        if self._rows is None:
+            return EventSlice(self._cols, range(low, high))
+        return EventSlice(self._cols, self._rows[low:high])
 
     def count_between(self, after_lsn: int, up_to_lsn: int) -> int:
         """How many live events fall in ``(after_lsn, up_to_lsn]``,
@@ -164,24 +370,34 @@ class AppendOnlyLog:
     def last_lsn_at_or_below(self, lsn: int) -> int:
         """The largest live LSN <= ``lsn`` (0 if none)."""
         high = self._bisect_gt(lsn)
-        return self._lsns[high - 1] if high else 0
+        if not high:
+            return 0
+        if self._rows is None:
+            return high  # live LSNs are exactly 1..n
+        return self._live_lsns[high - 1]
 
-    def for_entity(self, entity_type: str, entity_key: str) -> list[LogEvent]:
-        """The full live history of one entity, in LSN order.
+    def for_entity(self, entity_type: str, entity_key: str) -> EventSlice:
+        """The full history of one entity, in LSN order.
 
         This is the audit/history view principle 2.7 calls for ("past
-        descriptions are available"), e.g. tracing which operations drove
-        inventory negative (principle 2.1).  Served from the per-entity
-        index: O(result), not O(log).
+        descriptions are available"), e.g. tracing which operations
+        drove inventory negative (principle 2.1).  Served from the
+        per-entity row index: O(result) integers, no object copies.
         """
-        return list(self._by_entity.get((entity_type, entity_key), ()))
+        rid = self._cols.lookup_ref(entity_type, entity_key)
+        if rid is None:
+            return EventSlice(self._cols, ())
+        rows = self._by_ref.get(rid)
+        if rows is None:
+            return EventSlice(self._cols, ())
+        return EventSlice(self._cols, rows[:])
 
     def for_type_since(
         self,
         entity_type: str,
         lsn: int,
         up_to_lsn: Optional[int] = None,
-    ) -> list[LogEvent]:
+    ) -> EventSlice:
         """Events of one entity type with ``lsn < LSN <= up_to_lsn``
         (``up_to_lsn=None`` means the head), in LSN order.
 
@@ -190,20 +406,24 @@ class AppendOnlyLog:
         """
         entry = self._by_type.get(entity_type)
         if entry is None:
-            return []
-        events, lsns = entry
+            return EventSlice(self._cols, ())
+        rows, lsns = entry
         low = bisect_right(lsns, lsn)
-        high = len(events) if up_to_lsn is None else bisect_right(lsns, up_to_lsn)
-        return events[low:high]
+        high = len(rows) if up_to_lsn is None else bisect_right(lsns, up_to_lsn)
+        return EventSlice(self._cols, rows[low:high])
 
     def _bisect_gt(self, lsn: int) -> int:
-        """Index of the first event with LSN > ``lsn``."""
-        lsns = self._lsns
+        """Position of the first live event with LSN > ``lsn``."""
+        if self._rows is None:
+            # Live LSNs are exactly 1..n: pure arithmetic.
+            count = len(self._cols)
+            if lsn <= 0:
+                return 0
+            return count if lsn >= count else lsn
+        lsns = self._live_lsns
         if not lsns:
             return 0
         if self._contiguous:
-            # Live LSNs are first, first+1, ..., so the position is
-            # pure arithmetic — no search at all.
             if lsn < lsns[0]:
                 return 0
             return min(len(lsns), lsn - lsns[0] + 1)
@@ -217,22 +437,24 @@ class AppendOnlyLog:
         self,
         up_to_lsn: int,
         replacement: Iterable[LogEvent],
-    ) -> list[LogEvent]:
+    ) -> EventSlice:
         """Replace all events with LSN <= ``up_to_lsn`` by ``replacement``.
 
         Replacement events must already carry LSNs within the replaced
         range and in ascending order (the compactor reuses the LSN of the
         last summarised event so "since" queries stay correct).
 
+        The arena keeps the replaced rows forever — only the live row
+        set changes — so previously handed-out views (per-origin feeds,
+        archives) remain valid.
+
         Returns:
-            The removed events (the caller archives them).
+            A view of the removed events (the caller archives them).
 
         Raises:
             ReproError: If a replacement event's LSN falls outside the
                 replaced range or breaks ordering.
         """
-        cut = self._bisect_gt(up_to_lsn)
-        removed = self._events[:cut]
         replacement_list = list(replacement)
         previous = 0
         for event in replacement_list:
@@ -241,12 +463,43 @@ class AppendOnlyLog:
                     f"replacement LSN {event.lsn} outside (0, {up_to_lsn}]"
                 )
             previous = event.lsn
-        self._events = replacement_list + self._events[cut:]
-        self._rebuild_indexes()
+        cols = self._cols
+        live = self._live_rows()
+        cut = self._bisect_gt(up_to_lsn)
+        removed = EventSlice(cols, live[:cut])
+        suffix_rows = list(live[cut:])
+        new_rows = [
+            cols.append_event(event, event.lsn) for event in replacement_list
+        ]
+        self._rows = new_rows + suffix_rows
+        lsns = self._cols.lsns
+        self._live_lsns = [lsns[row] for row in self._rows]
+        live_lsns = self._live_lsns
+        self._contiguous = (
+            not live_lsns
+            or live_lsns[-1] - live_lsns[0] + 1 == len(live_lsns)
+        )
+        self._by_ref = {}
+        self._by_type = {}
+        ref_ids = cols.ref_ids
+        ref_tuples = cols.ref_tuples
+        for row, lsn in zip(self._rows, live_lsns):
+            rid = ref_ids[row]
+            bucket = self._by_ref.get(rid)
+            if bucket is None:
+                self._by_ref[rid] = [row]
+            else:
+                bucket.append(row)
+            entry = self._by_type.get(ref_tuples[rid][0])
+            if entry is None:
+                self._by_type[ref_tuples[rid][0]] = ([row], [lsn])
+            else:
+                entry[0].append(row)
+                entry[1].append(lsn)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"AppendOnlyLog({self.name!r}, live={len(self._events)}, "
+            f"AppendOnlyLog({self.name!r}, live={len(self)}, "
             f"head={self.head_lsn})"
         )

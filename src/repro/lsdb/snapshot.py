@@ -58,10 +58,12 @@ class SnapshotManager:
         self._snapshots: list[Snapshot] = []
         self._since_last = 0
         if interval:
-            log.subscribe(self._on_append)
+            # Counts channel: snapshot cadence never needs the events,
+            # so no materialization happens on its account.
+            log.subscribe_counts(self._on_appends)
 
-    def _on_append(self, _event) -> None:
-        self._since_last += 1
+    def _on_appends(self, count: int) -> None:
+        self._since_last += count
         if self._since_last >= self.interval:
             self.take_snapshot()
 

@@ -26,11 +26,14 @@ from repro.lsdb.checkpoint import (
     CheckpointPolicy,
     RecoveryReport,
 )
+from repro.lsdb.columnar import ColumnFrame, EventColumns, EventSlice
 from repro.lsdb.compaction import Archive, CompactionReport, Compactor
 from repro.lsdb.events import EventKind, LogEvent
 from repro.lsdb.index import SecondaryIndex
 from repro.lsdb.log import AppendOnlyLog
 from repro.lsdb.rollup import EntityState, Reducer, Rollup, StateMap
+
+_EMPTY_TAGS: frozenset[str] = frozenset()
 from repro.lsdb.snapshot import SnapshotManager
 from repro.merge.clock import VersionVector
 from repro.merge.deltas import Delta
@@ -78,15 +81,19 @@ class LSDBStore:
         self.log = AppendOnlyLog(name)
         self.rollup = Rollup()
         self._states: StateMap = {}
-        self.log.subscribe(self._on_append)
+        self.log.subscribe_columnar(self._on_append_row, self._on_append_batch)
         self.snapshots = SnapshotManager(self.log, self.rollup, snapshot_interval)
         self.archive = Archive()
         self.compactor = Compactor(self.log, self.rollup, self.archive)
         self.version_vector = VersionVector()
         self._origin_seq = 0
-        #: origin -> events in origin-sequence order, with a parallel
-        #: seq array so catch-up feeds bisect instead of scanning.
-        self._by_origin: dict[str, list[LogEvent]] = {}
+        #: origin -> arena rows in origin-sequence order, with a
+        #: parallel seq array so catch-up feeds bisect instead of
+        #: scanning.  Rows, not events: the arena is immortal, so this
+        #: feed keeps serving raw originals after compaction rewrites
+        #: the live log (anti-entropy repairs ship pre-compaction
+        #: events verbatim).
+        self._by_origin: dict[str, list[int]] = {}
         self._by_origin_seqs: dict[str, list[int]] = {}
         #: entity type -> refs in first-event order (entities are never
         #: physically removed, so this only grows).
@@ -267,6 +274,48 @@ class LSDBStore:
             entity_type, entity_key, EventKind.OBSOLETE, {}, tx_id, tags
         )
 
+    def append_raw(
+        self,
+        entity_type: str,
+        entity_key: str,
+        kind: EventKind,
+        payload: dict[str, Any],
+        tx_id: str = "",
+        tags: Iterable[str] = (),
+    ) -> int:
+        """Hot-path local write: append without materializing the stored
+        :class:`LogEvent` at all — fields go straight into the columnar
+        arena.  Returns the assigned LSN.
+
+        Semantically identical to the typed write methods (which return
+        the materialized event because they are API boundaries); use
+        this in bulk ingestion loops where the caller does not look at
+        the stored record.
+        """
+        if self.tracer is not None:
+            return self._append_local(
+                entity_type, entity_key, kind, payload, tx_id, tags
+            ).lsn
+        self._origin_seq += 1
+        schema_version = (
+            self.schema_version_source(entity_type)
+            if self.schema_version_source is not None
+            else 1
+        )
+        row = self.log.append_row(
+            self._clock(),
+            entity_type,
+            entity_key,
+            kind,
+            payload,
+            self.origin,
+            self._origin_seq,
+            tx_id,
+            schema_version,
+            frozenset(tags) if tags else _EMPTY_TAGS,
+        )
+        return self.log.arena.lsns[row]
+
     def _append_local(
         self,
         entity_type: str,
@@ -276,23 +325,41 @@ class LSDBStore:
         tx_id: str,
         tags: Iterable[str],
     ) -> LogEvent:
+        tracer = self.tracer
+        if tracer is None:
+            # Untraced fast path: write columns directly, materialize
+            # the stored event once for the API-boundary return value.
+            self._origin_seq += 1
+            schema_version = (
+                self.schema_version_source(entity_type)
+                if self.schema_version_source is not None
+                else 1
+            )
+            row = self.log.append_row(
+                self._clock(),
+                entity_type,
+                entity_key,
+                kind,
+                payload,
+                self.origin,
+                self._origin_seq,
+                tx_id,
+                schema_version,
+                frozenset(tags) if tags else _EMPTY_TAGS,
+            )
+            return self.log.arena.event_at(row)
         self._origin_seq += 1
         schema_version = (
             self.schema_version_source(entity_type)
             if self.schema_version_source is not None
             else 1
         )
-        tracer = self.tracer
-        span = None
-        trace_id = span_id = ""
-        if tracer is not None:
-            span = tracer.start_span(
-                "store.append",
-                node=self.origin,
-                entity=f"{entity_type}/{entity_key}",
-                kind=kind.value,
-            )
-            trace_id, span_id = span.trace_id, span.span_id
+        span = tracer.start_span(
+            "store.append",
+            node=self.origin,
+            entity=f"{entity_type}/{entity_key}",
+            kind=kind.value,
+        )
         event = LogEvent(
             lsn=0,
             timestamp=self._clock(),
@@ -305,11 +372,9 @@ class LSDBStore:
             tx_id=tx_id,
             schema_version=schema_version,
             tags=frozenset(tags),
-            trace_id=trace_id,
-            span_id=span_id,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
         )
-        if span is None:
-            return self.log.append(event)
         self._span_by_identity[event.identity] = span.span_id
         with tracer.resume(span.span_id):
             stored = self.log.append(event)
@@ -424,6 +489,55 @@ class LSDBStore:
                 self._drain_buffer(origin)
         return applied
 
+    def apply_remote_frame(self, frame: ColumnFrame) -> int:
+        """Apply a :class:`ColumnFrame` of remote events — the columnar
+        twin of :meth:`apply_remote_batch`, without materializing
+        :class:`LogEvent` objects for in-order runs.
+
+        Origins come out of the frame's dictionary in one bulk pass
+        (one list-index per event — no per-event identity tuples or
+        string hashing); runs that continue an origin's sequence
+        bulk-extend the log's columns via
+        :meth:`~repro.lsdb.log.AppendOnlyLog.extend_frame`; everything
+        else (duplicates, gaps, interleavings) falls back to per-event
+        :meth:`apply_remote`, so the semantics are identical to applying
+        the frame's events one by one.
+        """
+        if self.tracer is not None:
+            return sum(
+                1 for event in frame.events() if self.apply_remote(event)
+            )
+        applied = 0
+        vector = self.version_vector
+        origins = frame.origin_strings()
+        seqs = frame.origin_seqs
+        extend_frame = self.log.extend_frame
+        position = 0
+        count = len(seqs)
+        while position < count:
+            origin = origins[position]
+            expected = vector.get(origin) + 1
+            if seqs[position] != expected:
+                if self.apply_remote(frame.event_at(position)):
+                    applied += 1
+                position += 1
+                continue
+            run_end = position + 1
+            expected += 1
+            while (
+                run_end < count
+                and origins[run_end] == origin
+                and seqs[run_end] == expected
+            ):
+                run_end += 1
+                expected += 1
+            extend_frame(frame, position, run_end)
+            applied += run_end - position
+            position = run_end
+            if self._reorder_buffer.get(origin):
+                self._drain_buffer(origin)
+        return applied
+
     def _drain_buffer(self, origin: str) -> None:
         buffered = self._reorder_buffer.get(origin)
         if not buffered:
@@ -462,34 +576,91 @@ class LSDBStore:
     # Append bookkeeping (runs for local and remote appends alike)
     # ------------------------------------------------------------------ #
 
-    def _on_append(self, event: LogEvent) -> None:
+    def _on_append_row(self, cols: EventColumns, row: int) -> None:
+        """Columnar per-append bookkeeping: fold into the incremental
+        cache and maintain the per-origin feed, reading columns directly
+        (no materialized event on this path)."""
         states = self._states
-        ref = event.entity_ref
-        if ref not in states:
-            self._type_refs.setdefault(event.entity_type, []).append(ref)
-        self.rollup.fold_into(states, event)
+        ref = cols.ref_tuples[cols.ref_ids[row]]
+        state = states.get(ref)
+        if state is None:
+            self._type_refs.setdefault(ref[0], []).append(ref)
+        states[ref] = self.rollup.rows_folder_for(ref[0])(
+            state, cols, (row,), ref
+        )
         if self._m_appends is not None:
             self._m_appends.inc()
             self._m_folds.inc()
-        if event.origin_seq:
-            self.version_vector.record(event.origin, event.origin_seq)
-        origin = event.origin
-        events = self._by_origin.get(origin)
-        if events is None:
-            self._by_origin[origin] = [event]
-            self._by_origin_seqs[origin] = [event.origin_seq]
+        seq = cols.origin_seqs[row]
+        origin = cols.origins.value(cols.origin_ids[row])
+        if seq:
+            self.version_vector.record(origin, seq)
+        rows = self._by_origin.get(origin)
+        if rows is None:
+            self._by_origin[origin] = [row]
+            self._by_origin_seqs[origin] = [seq]
             return
         seqs = self._by_origin_seqs[origin]
-        if event.origin_seq >= seqs[-1]:
-            events.append(event)
-            seqs.append(event.origin_seq)
+        if seq >= seqs[-1]:
+            rows.append(row)
+            seqs.append(seq)
         else:
             # Out-of-sequence arrival (only possible for events injected
             # outside the replication protocol): keep the feed sorted so
             # bisect stays correct.
-            position = bisect_right(seqs, event.origin_seq)
-            seqs.insert(position, event.origin_seq)
-            events.insert(position, event)
+            position = bisect_right(seqs, seq)
+            seqs.insert(position, seq)
+            rows.insert(position, row)
+
+    def _on_append_batch(self, view: EventSlice) -> None:
+        """Bulk bookkeeping for a frame apply: one grouped fold over the
+        slice, one version-vector record per origin run, and array
+        extends on the per-origin feed — O(distinct entities + rows)
+        dictionary work instead of O(rows)."""
+        self.rollup.fold_slice_into(self._states, view, self._type_refs)
+        count = len(view)
+        if self._m_appends is not None:
+            self._m_appends.inc(count)
+            self._m_folds.inc(count)
+        cols = view.arena
+        rows = view.rows
+        seqs_col = cols.origin_seqs
+        origin_ids = cols.origin_ids
+        origin_value = cols.origins.value
+        position = 0
+        while position < count:
+            first_row = rows[position]
+            oid = origin_ids[first_row]
+            run_end = position + 1
+            while run_end < count and origin_ids[rows[run_end]] == oid:
+                run_end += 1
+            origin = origin_value(oid)
+            run_rows = rows[position:run_end]
+            # Frame runs carry ascending sequences, so recording the
+            # last one is the same set of vector updates as recording
+            # each (record keeps the max).
+            last_seq = seqs_col[rows[run_end - 1]]
+            if last_seq:
+                self.version_vector.record(origin, last_seq)
+            bucket = self._by_origin.get(origin)
+            if bucket is None:
+                self._by_origin[origin] = list(run_rows)
+                self._by_origin_seqs[origin] = [
+                    seqs_col[r] for r in run_rows
+                ]
+            else:
+                seqs = self._by_origin_seqs[origin]
+                if seqs_col[first_row] >= seqs[-1]:
+                    bucket.extend(run_rows)
+                    seqs.extend(seqs_col[r] for r in run_rows)
+                else:  # pragma: no cover - frames never regress, but
+                    # keep the sorted-feed invariant for direct callers
+                    for r in run_rows:
+                        seq = seqs_col[r]
+                        insert_at = bisect_right(seqs, seq)
+                        seqs.insert(insert_at, seq)
+                        bucket.insert(insert_at, r)
+            position = run_end
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -586,15 +757,9 @@ class LSDBStore:
             entity_type: list(refs)
             for entity_type, refs in checkpoint.type_refs.items()
         }
-        states = self._states
-        type_refs = self._type_refs
-        fold_into = self.rollup.fold_into
         suffix = self.log.since(checkpoint.lsn)
-        for event in suffix:
-            ref = event.entity_ref
-            if ref not in states:
-                type_refs.setdefault(event.entity_type, []).append(ref)
-            fold_into(states, event)
+        # Grouped columnar replay: one run fold per touched entity.
+        self.rollup.fold_slice_into(self._states, suffix, self._type_refs)
         return len(suffix)
 
     def recover(self) -> RecoveryReport:
@@ -712,18 +877,29 @@ class LSDBStore:
     # Replication feeds & maintenance
     # ------------------------------------------------------------------ #
 
-    def events_since(self, lsn: int) -> list[LogEvent]:
-        """Local-log catch-up feed (async backup shipping)."""
+    def events_since(self, lsn: int) -> EventSlice:
+        """Local-log catch-up feed (async backup shipping).  A columnar
+        view — nothing materializes until the consumer touches events,
+        and frame shipping encodes straight from the columns."""
         return self.log.since(lsn)
 
-    def events_from_origin(self, origin: str, after_seq: int) -> list[LogEvent]:
+    def iter_events_since(self, lsn: int) -> Iterable[LogEvent]:
+        """Streaming variant of :meth:`events_since` (see
+        :meth:`~repro.lsdb.log.AppendOnlyLog.iter_since`)."""
+        return self.log.iter_since(lsn)
+
+    def events_from_origin(self, origin: str, after_seq: int) -> EventSlice:
         """Events originated at ``origin`` with sequence > ``after_seq``
         (anti-entropy fills version-vector gaps from this feed).
-        O(log n + result) via bisect over the per-origin sequence array."""
+        O(log n + result) via bisect over the per-origin sequence array.
+        Served from arena rows, so the feed still carries raw originals
+        for sequences whose live-log events were compacted away."""
+        arena = self.log.arena
         seqs = self._by_origin_seqs.get(origin)
         if not seqs or after_seq >= seqs[-1]:
-            return []
-        return self._by_origin[origin][bisect_right(seqs, after_seq):]
+            return EventSlice(arena, ())
+        rows = self._by_origin[origin]
+        return EventSlice(arena, rows[bisect_right(seqs, after_seq):])
 
     def count_from_origin(self, origin: str, after_seq: int) -> int:
         """How many events from ``origin`` have sequence > ``after_seq``,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
+from repro.lsdb.columnar import EventSlice
 from repro.lsdb.events import LogEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,6 +85,40 @@ class BatchPolicy:
             previous = event
         if chunk:
             yield chunk
+
+    def chunk_rows(self, view: EventSlice) -> Iterator[EventSlice]:
+        """Columnar twin of :meth:`chunk`: split an :class:`EventSlice`
+        into frame-sized contiguous runs *without materializing events*.
+
+        Succession is decided straight from the arena's LSN / origin-id
+        / origin-seq columns with exactly the :func:`_succeeds` logic,
+        so a slice chunks into the same frame boundaries the event list
+        would — the property the chaos determinism signature pins.
+        """
+        arena = view.arena
+        rows = view.rows
+        count = len(rows)
+        if not count:
+            return
+        limit = 1 if self.max_batch is None else self.max_batch
+        lsns = arena.lsns
+        origin_ids = arena.origin_ids
+        origin_seqs = arena.origin_seqs
+        start = 0
+        previous = rows[0]
+        for position in range(1, count):
+            row = rows[position]
+            if position - start >= limit or not (
+                (lsns[previous] > 0 and lsns[row] == lsns[previous] + 1)
+                or (
+                    origin_ids[row] == origin_ids[previous]
+                    and origin_seqs[row] == origin_seqs[previous] + 1
+                )
+            ):
+                yield EventSlice(arena, rows[start:position])
+                start = position
+            previous = row
+        yield EventSlice(arena, rows[start:count])
 
 
 def _succeeds(previous: LogEvent, event: LogEvent) -> bool:

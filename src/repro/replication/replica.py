@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Optional
 
+from repro.lsdb.columnar import ColumnFrame, EventSlice
 from repro.lsdb.events import LogEvent
 from repro.lsdb.store import LSDBStore
 from repro.merge.clock import VersionVector
@@ -93,6 +94,17 @@ class ReplicaNode(Node):
             # the apply span chains onto it (the causal hop).
             ctx = message.get("ctx")
             tracer = self.store.tracer
+            frame = message.get("frame")
+            if frame is not None:
+                # Columnar frame: decode straight into the local arena —
+                # one dictionary lookup per distinct string in the frame
+                # tables, not one per event.
+                applied = self.store.apply_remote_frame(frame)
+                if applied:
+                    self.events_received += applied
+                    if self._m_received is not None:
+                        self._m_received.inc(applied)
+                return
             events = message.get("events", ())
             if ctx is None and tracer is None and len(events) > 1:
                 # Untraced multi-event frame: the store's batch apply
@@ -134,25 +146,35 @@ class ReplicaNode(Node):
 
     def _answer_probe(self, source: str, message: Mapping[str, Any]) -> None:
         remote_vector = VersionVector(message.get("vector", {}))
-        missing: list[LogEvent] = []
+        # Per-origin repair feeds all come from our own arena, so the
+        # gaps concatenate into one slice (no materialization).  The
+        # combined slice chunks into exactly the frame boundaries the
+        # old concatenated event list produced.
+        rows: list[int] = []
         for origin, have in remote_vector.missing_from(self.store.version_vector).items():
             # ``have`` is (their_count, my_count): ship the gap.
             their_count, _my_count = have
-            missing.extend(self.store.events_from_origin(origin, their_count))
+            rows.extend(self.store.events_from_origin(origin, their_count).rows)
         self.anti_entropy_rounds += 1
-        if missing:
+        if rows:
             # ship_events (not raw send) so anti-entropy repairs carry
             # per-event ship spans like first-time shipping does.
-            self.ship_events(source, missing)
+            self.ship_events(source, EventSlice(self.store.log.arena, rows))
 
     # ------------------------------------------------------------------ #
     # Propagation helpers
     # ------------------------------------------------------------------ #
 
-    def ship_events(self, destination: str, events: list[LogEvent]) -> bool:
+    def ship_events(
+        self, destination: str, events: "list[LogEvent] | EventSlice"
+    ) -> bool:
         """Ship a run of events to one peer as wire frames (best-effort).
 
-        The run is cut into LSN-contiguous frames by this node's
+        An untraced :class:`EventSlice` run ships multi-event chunks as
+        zero-copy :class:`ColumnFrame` messages (one dictionary lookup
+        per distinct string per frame); everything else — traced runs,
+        plain lists, single-event chunks — keeps the per-event message
+        shape.  The run is cut into LSN-contiguous frames by this node's
         :class:`~repro.replication.batching.BatchPolicy` — one network
         frame (one latency draw, one loss coin) per chunk, with the
         unbatched default degenerating to one event per frame.  Returns
@@ -170,6 +192,21 @@ class ReplicaNode(Node):
             return True
         tracer = self.store.tracer
         shipped_all = True
+        if tracer is None and isinstance(events, EventSlice):
+            # Columnar fast path: cut the slice into the same contiguous
+            # runs ``chunk`` would produce, but ship multi-event runs as
+            # :class:`ColumnFrame` codecs built straight from the arena
+            # columns.  Single-event runs keep the legacy message shape
+            # so the degenerate unbatched wire model is unchanged.
+            for chunk in self.batching.chunk_rows(events):
+                size = len(chunk)
+                if size == 1:
+                    message = {"type": "events", "events": [chunk[0]]}
+                else:
+                    message = {"type": "events", "frame": ColumnFrame.from_slice(chunk)}
+                if not self.send_batch(destination, [message], size=size):
+                    shipped_all = False
+            return shipped_all
         for chunk in self.batching.chunk(events):
             message: dict[str, Any] = {"type": "events", "events": chunk}
             if tracer is not None:

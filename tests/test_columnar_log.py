@@ -1,0 +1,293 @@
+"""Property suite for the columnar event log.
+
+The columnar re-architecture stores events as parallel arrays and
+materializes :class:`~repro.lsdb.events.LogEvent` objects only at API
+boundaries, so correctness rests on three agreements these properties
+pin over random event sequences:
+
+* the two ingestion paths (``append`` an event object, ``append_row``
+  from loose fields) produce byte-identical logs, and every slice feed
+  agrees with a brute-force scan of the materialized events;
+* events survive columnar storage byte-for-byte (``to_dict`` /
+  ``from_dict`` round-trips, and the :class:`ColumnFrame` wire codec
+  decodes into an equal log);
+* ``rewrite_prefix`` keeps feeds correct, keeps already-handed-out
+  views valid (the arena is immortal), and checkpointed recovery after
+  a compaction rewrite reproduces the never-torn-down cache.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsdb.checkpoint import CheckpointPolicy
+from repro.lsdb.columnar import ColumnFrame
+from repro.lsdb.events import EventKind, LogEvent
+from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.replication.batching import BatchPolicy
+
+KINDS = [
+    EventKind.INSERT,
+    EventKind.DELTA,
+    EventKind.SET_FIELDS,
+    EventKind.TOMBSTONE,
+    EventKind.OBSOLETE,
+]
+
+
+@st.composite
+def event_sequences(draw):
+    """Random mixed-kind events over a few entities, types and origins.
+
+    LSNs are left at 0 (the log stamps them); per-origin sequences are
+    monotone, as replication produces them.
+    """
+    count = draw(st.integers(1, 30))
+    seqs = {"r1": 0, "r2": 0, "local": 0}
+    events = []
+    for index in range(count):
+        kind = draw(st.sampled_from(KINDS))
+        entity_type = draw(st.sampled_from(["t", "u"]))
+        key = draw(st.sampled_from(["a", "b", "c"]))
+        field = draw(st.sampled_from(["x", "y"]))
+        if kind is EventKind.DELTA:
+            payload = Delta.add(field, draw(st.integers(-5, 5))).to_payload()
+        elif kind in (EventKind.TOMBSTONE, EventKind.OBSOLETE):
+            payload = {}
+        else:
+            payload = {field: draw(st.integers(0, 9))}
+        origin = draw(st.sampled_from(["r1", "r2", "local"]))
+        seqs[origin] += 1
+        events.append(
+            LogEvent(
+                lsn=0,
+                timestamp=float(draw(st.integers(0, 10))),
+                entity_type=entity_type,
+                entity_key=key,
+                kind=kind,
+                payload=payload,
+                origin=origin,
+                origin_seq=seqs[origin],
+                tx_id=draw(st.sampled_from(["", "tx1"])),
+                tags=draw(st.sampled_from([frozenset(), frozenset({"reg"})])),
+            )
+        )
+    return events
+
+
+def build_log(events) -> AppendOnlyLog:
+    log = AppendOnlyLog()
+    for event in events:
+        log.append(event)
+    return log
+
+
+class TestIngestionAgreement:
+    @settings(max_examples=80)
+    @given(events=event_sequences())
+    def test_append_row_agrees_with_append(self, events):
+        """Loose-field ingestion stores byte-identical events."""
+        object_log = build_log(events)
+        row_log = AppendOnlyLog()
+        for event in events:
+            row_log.append_row(
+                event.timestamp,
+                event.entity_type,
+                event.entity_key,
+                event.kind,
+                event.payload,
+                origin=event.origin,
+                origin_seq=event.origin_seq,
+                tx_id=event.tx_id,
+                schema_version=event.schema_version,
+                tags=event.tags,
+            )
+        assert list(object_log.events()) == list(row_log.events())
+
+    @settings(max_examples=80)
+    @given(events=event_sequences())
+    def test_dict_round_trip_through_columns(self, events):
+        """Materialized events survive to_dict/from_dict byte-for-byte."""
+        for event in build_log(events).events():
+            assert LogEvent.from_dict(event.to_dict()) == event
+
+
+class TestFeedAgreement:
+    @settings(max_examples=60)
+    @given(events=event_sequences())
+    def test_slice_feeds_match_brute_force(self, events):
+        log = build_log(events)
+        stored = list(log.events())
+        head = log.head_lsn
+        for lsn in range(head + 2):
+            assert list(log.since(lsn)) == [e for e in stored if e.lsn > lsn]
+            assert list(log.iter_since(lsn)) == list(log.since(lsn))
+            assert list(log.up_to(lsn)) == [e for e in stored if e.lsn <= lsn]
+            assert log.last_lsn_at_or_below(lsn) == max(
+                (e.lsn for e in stored if e.lsn <= lsn), default=0
+            )
+        for low in range(0, head + 1, 3):
+            for high in range(low, head + 1, 3):
+                expected = [e for e in stored if low < e.lsn <= high]
+                assert list(log.between(low, high)) == expected
+                assert log.count_between(low, high) == len(expected)
+        for entity_type in ("t", "u"):
+            for key in ("a", "b", "c"):
+                assert list(log.for_entity(entity_type, key)) == [
+                    e for e in stored
+                    if e.entity_type == entity_type and e.entity_key == key
+                ]
+            assert list(log.for_type_since(entity_type, 0, head)) == [
+                e for e in stored if e.entity_type == entity_type
+            ]
+
+    @settings(max_examples=60)
+    @given(events=event_sequences())
+    def test_bulk_identities_match_per_event(self, events):
+        view = build_log(events).events()
+        assert list(view.identities()) == [e.identity for e in view]
+
+
+class TestFrameCodec:
+    @settings(max_examples=60)
+    @given(events=event_sequences(), max_batch=st.integers(1, 8))
+    def test_round_trip_is_byte_identical(self, events, max_batch):
+        """chunk_rows -> ColumnFrame -> extend_frame reproduces the log."""
+        source = build_log(events)
+        view = source.events()
+        destination = AppendOnlyLog()
+        for chunk in BatchPolicy(max_batch=max_batch).chunk_rows(view):
+            frame = ColumnFrame.from_slice(chunk)
+            destination.extend_frame(frame, 0, len(chunk))
+        assert list(destination.events()) == list(view)
+
+    @settings(max_examples=60)
+    @given(events=event_sequences())
+    def test_frame_events_match_slice(self, events):
+        """Frame-side materialization equals slice-side materialization."""
+        view = build_log(events).events()
+        frame = ColumnFrame.from_slice(view)
+        assert list(frame.events()) == list(view)
+        assert [frame.event_at(i) for i in range(len(view))] == list(view)
+
+
+def summaries_for(prefix_events, boundary):
+    """One SUMMARY per entity in the prefix, compactor-style: placed at
+    the entity's last prefix LSN, ascending."""
+    last: dict = {}
+    for event in prefix_events:
+        last[(event.entity_type, event.entity_key)] = event
+    summaries = [
+        LogEvent(
+            lsn=event.lsn,
+            timestamp=event.timestamp,
+            entity_type=ref[0],
+            entity_key=ref[1],
+            kind=EventKind.SUMMARY,
+            payload={"s": 1},
+            origin="compactor",
+            origin_seq=0,
+        )
+        for ref, event in last.items()
+    ]
+    summaries.sort(key=lambda event: event.lsn)
+    return summaries
+
+
+class TestRewritePrefix:
+    @settings(max_examples=60)
+    @given(events=event_sequences(), data=st.data())
+    def test_feeds_stay_correct_and_views_stay_valid(self, events, data):
+        log = build_log(events)
+        boundary = data.draw(st.integers(1, log.head_lsn))
+        prefix = list(log.up_to(boundary))
+        suffix = list(log.since(boundary))
+        # A view handed out before the rewrite must stay readable after
+        # it (the arena never drops rows).
+        pre_view = log.events()
+        pre_events = list(pre_view)
+        replacement = summaries_for(prefix, boundary)
+        removed = log.rewrite_prefix(boundary, replacement)
+        assert list(removed) == prefix
+        live = replacement + suffix
+        assert list(log.events()) == live
+        assert list(pre_view) == pre_events
+        head = log.head_lsn
+        for lsn in range(head + 2):
+            assert list(log.since(lsn)) == [e for e in live if e.lsn > lsn]
+        for entity_type in ("t", "u"):
+            for key in ("a", "b", "c"):
+                assert list(log.for_entity(entity_type, key)) == [
+                    e for e in live
+                    if e.entity_type == entity_type and e.entity_key == key
+                ]
+
+
+def canonical(states):
+    return {
+        ref: (
+            dict(state.fields),
+            state.deleted,
+            state.obsolete,
+            state.version_count,
+            state.event_count,
+            state.last_lsn,
+            state.last_timestamp,
+        )
+        for ref, state in states.items()
+    }
+
+
+@st.composite
+def store_scripts(draw):
+    """Random write scripts against one store: (op, key, field, value)."""
+    count = draw(st.integers(5, 40))
+    script = []
+    for _ in range(count):
+        op = draw(st.sampled_from(["insert", "delta", "set", "delete"]))
+        key = draw(st.sampled_from(["a", "b", "c", "d"]))
+        field = draw(st.sampled_from(["x", "y"]))
+        value = draw(st.integers(-5, 9))
+        script.append((op, key, field, value))
+    return script
+
+
+def run_script(store, script):
+    inserted = set()
+    for op, key, field, value in script:
+        if op == "insert" or key not in inserted:
+            store.insert("acct", key, {field: value})
+            inserted.add(key)
+        elif op == "delta":
+            store.apply_delta("acct", key, Delta.add(field, value))
+        elif op == "set":
+            store.set_fields("acct", key, {field: value})
+        else:
+            store.tombstone("acct", key)
+            inserted.discard(key)
+
+
+class TestCheckpointSurvival:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        script=store_scripts(),
+        keep=st.integers(0, 5),
+        post=store_scripts(),
+    )
+    def test_recovery_after_compaction_rewrite_is_identical(
+        self, script, keep, post
+    ):
+        """compact (rewrite_prefix) + checkpoint + more writes, then
+        recover: the rebuilt cache equals the never-torn-down one."""
+        store = LSDBStore()
+        store.enable_checkpoints(CheckpointPolicy(on_compaction=True))
+        run_script(store, script)
+        store.compact(keep_recent=keep)
+        run_script(store, post)
+        live = canonical(store.states_view())
+        report = store.recover()
+        assert report.used_checkpoint
+        assert canonical(store.states_view()) == live
