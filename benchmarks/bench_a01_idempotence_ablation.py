@@ -14,6 +14,7 @@ it, every redelivery double-credits.
 from __future__ import annotations
 
 from repro.bench.report import ExperimentReport
+from repro.core.policy import RetryPolicy
 from repro.lsdb.store import LSDBStore
 from repro.merge.deltas import Delta
 from repro.queues.idempotence import IdempotentReceiver
@@ -26,7 +27,7 @@ EVENTS = 200
 def run_queue(ack_loss: float, idempotent: bool, seed: int = 0) -> dict[str, float]:
     sim = Simulator(seed=seed)
     queue = ReliableQueue(
-        sim, ack_loss_probability=ack_loss, redelivery_timeout=1.0, max_attempts=50
+        sim, ack_loss_probability=ack_loss, retry=RetryPolicy(max_attempts=50, base_delay=1.0)
     )
     store = LSDBStore(clock=lambda: sim.now)
     store.insert("account", "a", {"balance": 0})

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.bench.metrics import AvailabilityProbe
 from repro.bench.report import ExperimentReport
+from repro.core.policy import TimeoutPolicy
 from repro.merge.deltas import Delta
 from repro.replication import ActiveActiveGroup, QuorumGroup, SyncPrimaryBackup
 from repro.sim.network import Network
@@ -64,7 +65,9 @@ def run_active_active(partition_duration: float, seed: int = 0) -> float:
 def run_quorum(partition_duration: float, seed: int = 0) -> float:
     sim = Simulator(seed=seed)
     net = Network(sim, latency=LATENCY)
-    group = QuorumGroup(sim, net, ["q1", "q2", "q3"], timeout=20.0)
+    group = QuorumGroup(
+        sim, net, ["q1", "q2", "q3"], timeout=TimeoutPolicy(per_attempt=20.0)
+    )
     probe = AvailabilityProbe()
     partition_end = PARTITION_START + partition_duration
 
@@ -93,7 +96,7 @@ def run_quorum(partition_duration: float, seed: int = 0) -> float:
 def run_sync_backup(partition_duration: float, seed: int = 0) -> float:
     sim = Simulator(seed=seed)
     net = Network(sim, latency=LATENCY)
-    pair = SyncPrimaryBackup(sim, net, ack_timeout=20.0)
+    pair = SyncPrimaryBackup(sim, net, timeout=TimeoutPolicy(per_attempt=20.0))
     probe = AvailabilityProbe()
     partition_end = PARTITION_START + partition_duration
 

@@ -24,6 +24,7 @@ from repro.bench.report import ExperimentReport
 from repro.core.compensation import CompensationManager
 from repro.obs.metrics import MetricsRegistry
 from repro.replication import MasterSlaveGroup
+from repro.replication.batching import BatchPolicy
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
 
@@ -56,7 +57,8 @@ def run_deployment(ship_interval: float, read_at_master: bool, seed: int = 0) ->
     sim = Simulator(seed=seed, metrics=metrics)
     net = Network(sim, latency=1.0)
     group = MasterSlaveGroup(
-        sim, net, "master", ["slave"], ship_interval=ship_interval
+        sim, net, "master", ["slave"], ship_interval=ship_interval,
+        batching=BatchPolicy(),
     )
     compensation = CompensationManager(group.master.store, clock=lambda: sim.now)
     shop = Bookstore(compensation)

@@ -32,6 +32,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = ROOT / "BENCH_core_hotpaths.json"
 DATAPLANE = ROOT / "BENCH_dataplane.json"
 COLUMNAR = ROOT / "BENCH_columnar.json"
+FRONTDOOR = ROOT / "BENCH_frontdoor.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -147,6 +148,44 @@ def check_columnar(
     return ok
 
 
+def check_frontdoor(
+    data: dict,
+    min_goodput_ratio: float,
+    max_reject_ratio: float,
+) -> bool:
+    """Validate the recorded overload frontier (PR 7 acceptance).
+
+    Two gates over ``BENCH_frontdoor.json``'s ``acceptance`` block, at
+    the 2x-overload point: goodput (served/offered, degraded serves
+    count) must be at least ``min_goodput_ratio`` and hard rejects at
+    most ``max_reject_ratio``.  The strict baseline is printed for
+    context — it is what goodput looks like without the degrade ladder.
+    """
+    acceptance = data.get("acceptance", {})
+    ok = True
+    print("perf gate: front door (BENCH_frontdoor.json)")
+    for name, bound, higher_is_better in (
+        ("goodput_ratio", min_goodput_ratio, True),
+        ("reject_ratio", max_reject_ratio, False),
+    ):
+        value = acceptance.get(name)
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value >= bound if higher_is_better else value <= bound
+        relation = ">=" if higher_is_better else "<="
+        print(f"  {name:32s} {value:g} at {acceptance.get('multiplier', '?')}x "
+              f"(must be {relation} {bound:g}) {'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    strict = acceptance.get("strict_goodput_ratio")
+    if strict is not None:
+        print(f"  {'strict_goodput_ratio':32s} {strict:g} "
+              "(context: same load, allow_degraded=False)")
+    print(f"perf gate: front door -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def check_live(data: dict, tolerance: float, quick: bool) -> bool:
     """Re-run the bench and compare against the recorded after-numbers."""
     sys.path.insert(0, str(ROOT / "benchmarks"))
@@ -199,6 +238,10 @@ def main() -> None:
                         help="columnar event creation vs object path (recorded)")
     parser.add_argument("--min-fold-speedup", type=float, default=2.0,
                         help="fused slice fold vs per-event loop (recorded)")
+    parser.add_argument("--min-goodput-ratio", type=float, default=0.9,
+                        help="front-door goodput at 2x overload (recorded)")
+    parser.add_argument("--max-reject-ratio", type=float, default=0.05,
+                        help="front-door hard rejects at 2x overload (recorded)")
     args = parser.parse_args()
 
     data = load_trajectory()
@@ -213,6 +256,11 @@ def main() -> None:
         load_trajectory(COLUMNAR),
         args.min_create_speedup,
         args.min_fold_speedup,
+    ) and ok
+    ok = check_frontdoor(
+        load_trajectory(FRONTDOOR),
+        args.min_goodput_ratio,
+        args.max_reject_ratio,
     ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok

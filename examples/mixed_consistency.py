@@ -51,25 +51,28 @@ def main() -> None:
     for policy in policies:
         router.add_policy(policy)
 
-    # The bindings use the canonical read protocol (repro.core.readpath):
-    # the group routes STRONG to the master and weaker levels to a slave.
+    # The bindings speak the typed read protocol (repro.core.readpath):
+    # the router hands each read a ReadRequest built from the policy
+    # table, and the scheme answers with a stamped ReadResult — the
+    # group routes STRONG to the master and weaker levels to a slave.
     router.bind(ConsistencyLevel.STRONG, SchemeBinding(
         write=lambda etype, key, fields: group.write_insert(etype, key, fields),
-        read=lambda etype, key: group.read(
-            etype, key, consistency=ConsistencyLevel.STRONG
-        ),
+        read=lambda etype, key, request: group.read(etype, key, request=request),
+        reads_typed=True,
         describe="master reads/writes (unapologetic, 3.1)",
     ))
     router.bind(ConsistencyLevel.BOUNDED_STALENESS, SchemeBinding(
         write=lambda etype, key, fields: group.write_insert(etype, key, fields),
-        read=lambda etype, key: group.read(
-            etype, key, consistency=ConsistencyLevel.BOUNDED_STALENESS
-        ),
+        read=lambda etype, key, request: group.read(etype, key, request=request),
+        reads_typed=True,
         describe="master writes, slave reads (may apologise)",
     ))
     router.bind(ConsistencyLevel.EXTRACT, SchemeBinding(
         write=lambda *args: (_ for _ in ()).throw(RuntimeError("read-only")),
-        read=lambda etype, key: warehouse.get(etype, key),
+        read=lambda etype, key, request: warehouse.read(
+            etype, key, request=request
+        ),
+        reads_typed=True,
         describe="periodic OLTP extract (read-only)",
     ))
 

@@ -24,6 +24,7 @@ from repro import (
     LSDBStore,
     ProcessEngine,
     ReliableQueue,
+    RetryPolicy,
     Simulator,
     TransactionManager,
 )
@@ -35,7 +36,7 @@ def main() -> None:
     sim = Simulator(seed=31)
     # At-least-once with lost acks: duplicates are guaranteed.
     queue = ReliableQueue(
-        sim, ack_loss_probability=0.3, redelivery_timeout=2.0, max_attempts=30
+        sim, ack_loss_probability=0.3, retry=RetryPolicy(max_attempts=30, base_delay=2.0)
     )
     store = LSDBStore(name="settlements", clock=lambda: sim.now)
     engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)

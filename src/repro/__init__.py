@@ -50,6 +50,7 @@ from repro.core import (
     ConflictResolver,
     ConsistencyLevel,
     ConsistencyPolicy,
+    ConsistencyUnavailable,
     ConstraintManager,
     ConstraintMode,
     Deadline,
@@ -64,6 +65,8 @@ from repro.core import (
     Principle,
     ProcessEngine,
     ProcessStep,
+    ReadRequest,
+    ReadResult,
     ReferentialConstraint,
     RetryBudget,
     RetryPolicy,
@@ -79,6 +82,7 @@ from repro.core import (
     get_principle,
 )
 from repro.errors import DeadlineExceeded, RetryExhausted
+from repro.frontdoor import DegradeLadder, FrontDoor, TenantQuota
 from repro.lsdb import EventKind, LSDBStore, LogEvent
 from repro.merge import (
     Delta,
@@ -113,6 +117,7 @@ __all__ = [
     "ConflictResolver",
     "ConsistencyLevel",
     "ConsistencyPolicy",
+    "ConsistencyUnavailable",
     "ConstraintManager",
     "ConstraintMode",
     "EntityCatalog",
@@ -126,6 +131,8 @@ __all__ = [
     "Principle",
     "ProcessEngine",
     "ProcessStep",
+    "ReadRequest",
+    "ReadResult",
     "ReferentialConstraint",
     "SchemeBinding",
     "StepContext",
@@ -173,5 +180,8 @@ __all__ = [
     "TimeoutPolicy",
     "DeadlineExceeded",
     "RetryExhausted",
+    "DegradeLadder",
+    "FrontDoor",
+    "TenantQuota",
     "__version__",
 ]

@@ -34,6 +34,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.compensation import CompensationManager
 from repro.core.constraints import ConstraintManager
+from repro.core.readpath import _UNSET as _READ_UNSET
 from repro.core.transaction import TransactionManager
 from repro.lsdb.store import LSDBStore
 from repro.obs.export import render_timeline, trace_payload
@@ -118,6 +119,7 @@ class Cluster:
         self.retry_policy: Any = None  # cluster-wide defaults (with_policies)
         self.timeout_policy: Any = None
         self.batching: Optional[BatchPolicy] = None  # with_batching default
+        self.front_door: Any = None  # FrontDoor when with_front_door()
 
     @staticmethod
     def build(seed: int = 0) -> "ClusterBuilder":
@@ -133,21 +135,34 @@ class Cluster:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = None,
+        request: Any = None,
+        consistency: Any = _READ_UNSET,
     ) -> Optional[Any]:
         """Canonical read against the cluster's primary read surface.
 
-        Prefers the replication scheme (which routes on
-        ``consistency``), falling back to the standalone store.
+        With a typed ``request`` (:class:`~repro.core.readpath.ReadRequest`)
+        the read goes through the front door when one was built
+        (``with_front_door``) — admission, backpressure, breakers and
+        the degrade ladder all apply, and the answer is a
+        :class:`~repro.core.readpath.ReadResult` stamped with the
+        delivered consistency and measured staleness.  Without a front
+        door the typed read goes straight to the replication scheme
+        (or the standalone store).  The bare legacy call returns the
+        raw state; the loose ``consistency=`` keyword is a deprecated
+        alias.
         """
+        from repro.core.readpath import read_from
+
+        if request is not None and self.front_door is not None:
+            return self.front_door.read(entity_type, entity_key, request=request)
         surface = self.replication if self.replication is not None else self.store
         if surface is None:
             raise RuntimeError("cluster has no readable surface")
-        from repro.core.readpath import read_from
-
-        return read_from(
-            surface, entity_type, entity_key, consistency=consistency
-        )
+        if consistency is not _READ_UNSET:
+            return read_from(
+                surface, entity_type, entity_key, consistency=consistency
+            )
+        return read_from(surface, entity_type, entity_key, request=request)
 
     # ------------------------------------------------------------------ #
     # Elasticity (ring membership changes)
@@ -276,6 +291,7 @@ class ClusterBuilder:
         self._retry_policy: Any = None
         self._timeout_policy: Any = None
         self._batching: Optional[BatchPolicy] = None
+        self._front_door_kwargs: Optional[dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -477,6 +493,28 @@ class ClusterBuilder:
         )
         return self
 
+    def with_front_door(self, **options: Any) -> "ClusterBuilder":
+        """Put the overload front door in front of the cluster's reads.
+
+        Wires a :class:`~repro.frontdoor.FrontDoor` over whatever read
+        surfaces the cluster ends up with — the replication scheme's
+        strong and replica copies, the warehouse extract or checkpoint
+        snapshots as the bottom rung — with per-tenant admission
+        control, backpressure signals, circuit breakers, and the
+        degrade ladder.  ``cluster.read(..., request=ReadRequest(...))``
+        then routes through the door.
+
+        Args:
+            **options: Forwarded to
+                :meth:`repro.frontdoor.FrontDoor.for_cluster` —
+                ``quotas``, ``default_quota``, ``bounded_staleness``,
+                ``queue_depth_limit``, ``lag_limit_events``,
+                ``strong_capacity``, ``bounded_capacity``,
+                ``breaker_threshold``, ``breaker_reset``, ``apologies``.
+        """
+        self._front_door_kwargs = dict(options)
+        return self
+
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
@@ -600,6 +638,13 @@ class ClusterBuilder:
                 profile=self._chaos_kwargs["profile"],
                 rng=SeededRNG(chaos_seed) if chaos_seed is not None else None,
             )
+
+        if self._front_door_kwargs is not None:
+            from repro.frontdoor import FrontDoor
+
+            cluster.front_door = FrontDoor.for_cluster(
+                cluster, **self._front_door_kwargs
+            )
         return cluster
 
     def _build_replication(self, sim: Simulator, network: Network) -> Any:
@@ -611,10 +656,17 @@ class ClusterBuilder:
                 options.setdefault("retry", self._retry_policy)
             if self._timeout_policy is not None:
                 options.setdefault("timeout", self._timeout_policy)
-        elif self._batching is not None:
+        else:
             # Wire batching covers the asynchronous feeds; sync/quorum
-            # ship per-transaction frames regardless.
-            options.setdefault("batching", self._batching)
+            # ship per-transaction frames regardless.  The builder is a
+            # facade, so it supplies the modern default (an unbatched
+            # BatchPolicy) when neither with_batching nor an explicit
+            # option chose one — scheme constructors themselves now
+            # reject ship_interval without a frame policy.
+            options.setdefault(
+                "batching",
+                self._batching if self._batching is not None else BatchPolicy(),
+            )
         if mode == "async" and count == 2:
             return AsyncPrimaryBackup(sim, network, **options)
         if mode == "sync":

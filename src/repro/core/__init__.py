@@ -63,6 +63,13 @@ from repro.core.migration import (
 from repro.core.ops import PendingOp, preview_state
 from repro.core.policy import Deadline, RetryBudget, RetryPolicy, TimeoutPolicy
 from repro.core.principles import PRINCIPLES, Principle, get_principle
+from repro.core.readpath import (
+    ConsistencyUnavailable,
+    ReadRequest,
+    ReadResult,
+    ReadSurface,
+    read_from,
+)
 from repro.core.process import JoinContext, ProcessEngine, ProcessStep, StepContext
 from repro.core.transaction import (
     CCMode,
@@ -114,6 +121,11 @@ __all__ = [
     "PRINCIPLES",
     "Principle",
     "get_principle",
+    "ConsistencyUnavailable",
+    "ReadRequest",
+    "ReadResult",
+    "ReadSurface",
+    "read_from",
     "JoinContext",
     "ProcessEngine",
     "ProcessStep",

@@ -1,4 +1,4 @@
-"""The unified read protocol.
+"""The unified read protocol, now typed.
 
 Historically each surface grew its own read-path name: stores exposed
 ``get``/``require``, replication groups exposed positional ``read``
@@ -6,35 +6,296 @@ variants keyed by node id, warehouses exposed ``get`` over extracts,
 indexes exposed ``lookup``.  Call sites could not swap one surface for
 another without rewriting every read.
 
-The protocol, implemented by every surface in the library::
+The canonical protocol, implemented by every surface in the library::
 
-    surface.read(entity_type, entity_key, *, consistency=None)
+    surface.read(entity_type, entity_key)                      # legacy
+    surface.read(entity_type, entity_key, request=ReadRequest(...))
 
 * ``entity_type`` / ``entity_key`` name the entity, exactly as in the
   entity catalog.
-* ``consistency`` is an optional
-  :class:`~repro.core.consistency.ConsistencyLevel`; surfaces that can
-  serve multiple levels route on it (a master/slave group sends
-  ``STRONG`` to the master and anything weaker to a slave), surfaces
-  with a single level accept and ignore it — the parameter exists so a
-  call site can be pointed at a different surface without edits.
-* Returns the entity's :class:`~repro.lsdb.rollup.EntityState`, or
-  ``None`` when the surface has never seen the entity (which, on a
-  stale surface, includes "written but not replicated here yet").
+* ``request`` is a :class:`ReadRequest` carrying everything the caller
+  wants the read path to honour: the requested
+  :class:`~repro.core.consistency.ConsistencyLevel`, a tolerated
+  staleness bound, a deadline, the requesting tenant, and whether the
+  caller accepts a degraded (weaker-than-requested) answer.
+* With a ``request``, the surface returns a :class:`ReadResult` stamped
+  with the consistency *actually delivered* and the staleness it
+  measured while serving — delivered-vs-requested is first-class, which
+  is what lets the front door degrade reads honestly instead of lying
+  about them (paper sections 2.3/2.9: serve and apologize rather than
+  block).
+* Without a ``request`` the legacy behaviour is unchanged: the raw
+  :class:`~repro.lsdb.rollup.EntityState` (or ``None``) comes back.
 
-Legacy forms remain as thin aliases and are not scheduled for removal:
-``store.get(...)`` and ``warehouse.get(...)`` are the same read without
-the consistency parameter, and the three-positional
-``group.read(node_id, entity_type, entity_key)`` addresses an explicit
-replica.  New code should prefer the canonical form.
+The old loose keyword ``consistency=<level>`` remains as a
+DeprecationWarning alias for one more cycle; it still returns the raw
+state.  ``store.get(...)`` / ``warehouse.get(...)`` and the
+three-positional ``group.read(node_id, entity_type, entity_key)`` forms
+are unaffected aliases, not scheduled for removal.
 
 :func:`read_from` is the dispatch helper for code that receives an
-arbitrary surface (the policy router, experiment harnesses).
+arbitrary surface (the policy router, the front door, experiment
+harnesses).  It is also where :class:`ConsistencyPolicy.max_staleness`
+is finally enforced: a delivered staleness above the declared bound
+marks the result and increments ``read.staleness_violations``.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.policy import Deadline
+from repro.errors import ConsistencyPolicyError
+
+
+class ConsistencyUnavailable(ConsistencyPolicyError):
+    """The surface cannot serve the requested level and the request
+    forbids degradation (``allow_degraded=False``)."""
+
+
+#: Strongest-to-weakest rank used for degradation decisions.  A read is
+#: *degraded* when its delivered level ranks strictly weaker than the
+#: requested one.
+LEVEL_STRENGTH: dict[ConsistencyLevel, int] = {
+    ConsistencyLevel.STRONG: 0,
+    ConsistencyLevel.BOUNDED_STALENESS: 1,
+    ConsistencyLevel.EVENTUAL: 2,
+    ConsistencyLevel.TENTATIVE: 3,
+    ConsistencyLevel.EXTRACT: 4,
+}
+
+
+def is_weaker(level: ConsistencyLevel, than: ConsistencyLevel) -> bool:
+    """Whether ``level`` gives strictly weaker guarantees than ``than``."""
+    return LEVEL_STRENGTH[level] > LEVEL_STRENGTH[than]
+
+
+def replica_level(requested: ConsistencyLevel) -> ConsistencyLevel:
+    """The level a lagging replica read actually delivers: the requested
+    level, floored at ``BOUNDED_STALENESS`` when the caller asked for
+    something stronger than a replica can promise."""
+    if LEVEL_STRENGTH[requested] < LEVEL_STRENGTH[
+        ConsistencyLevel.BOUNDED_STALENESS
+    ]:
+        return ConsistencyLevel.BOUNDED_STALENESS
+    return requested
+
+
+#: Sentinel distinguishing "caller never passed consistency=" from an
+#: explicit ``consistency=None`` (both legal in the legacy form).
+_UNSET: Any = object()
+
+
+def warn_loose_consistency(where: str) -> None:
+    """Emit the one deprecation warning for the loose kwarg form."""
+    warnings.warn(
+        f"{where}: the loose consistency=<level> keyword is deprecated; "
+        "pass request=ReadRequest(level=...) and receive a ReadResult",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Everything a caller declares about one read.
+
+    Attributes:
+        level: Requested :class:`ConsistencyLevel`.  Defaults to
+            ``STRONG`` — the caller who does not think about
+            consistency gets the unapologetic semantics and pays for
+            them, exactly the paper's framing of the default.
+        max_staleness: Tolerated staleness in simulated time units;
+            ``None`` means unbounded.  A surface that measures a larger
+            staleness while serving marks the result
+            ``bound_violated`` and bumps ``read.staleness_violations``.
+        deadline: Optional :class:`~repro.core.policy.Deadline`; the
+            front door rejects expired requests instead of serving them.
+        tenant: Admission-control identity; empty string is the
+            anonymous/default tenant.
+        allow_degraded: Whether the caller accepts a weaker-than-
+            requested answer.  ``False`` turns degradation into
+            :class:`ConsistencyUnavailable` (or a rejection at the
+            front door).
+    """
+
+    level: ConsistencyLevel = ConsistencyLevel.STRONG
+    max_staleness: Optional[float] = None
+    deadline: Optional[Deadline] = None
+    tenant: str = ""
+    allow_degraded: bool = True
+
+    @classmethod
+    def strong(cls, **kwargs: Any) -> "ReadRequest":
+        return cls(level=ConsistencyLevel.STRONG, **kwargs)
+
+    @classmethod
+    def bounded(cls, max_staleness: float, **kwargs: Any) -> "ReadRequest":
+        return cls(
+            level=ConsistencyLevel.BOUNDED_STALENESS,
+            max_staleness=max_staleness,
+            **kwargs,
+        )
+
+    @classmethod
+    def eventual(cls, **kwargs: Any) -> "ReadRequest":
+        return cls(level=ConsistencyLevel.EVENTUAL, **kwargs)
+
+
+class ReadResult:
+    """One read's answer plus the truth about how it was served.
+
+    Wraps the raw :class:`~repro.lsdb.rollup.EntityState` (or ``None``)
+    and stamps what the infrastructure actually did: the delivered
+    level, the staleness measured at serve time, whether the answer is
+    degraded below the requested level, which physical unit served it,
+    and — when the front door had to apologize — the apology token.
+
+    The wrapper *unwraps transparently*: it compares equal to its
+    value, is falsy when the value is ``None`` (or the read was
+    rejected), and forwards attribute access to the value, so seed-era
+    call sites reading ``result.fields["qty"]`` or ``result == state``
+    keep working unchanged.
+    """
+
+    __slots__ = (
+        "value",
+        "requested_level",
+        "delivered_level",
+        "staleness",
+        "degraded",
+        "served_by",
+        "rejected",
+        "reject_reason",
+        "bound_violated",
+        "apology",
+    )
+
+    def __init__(
+        self,
+        value: Any,
+        *,
+        requested_level: ConsistencyLevel,
+        delivered_level: Optional[ConsistencyLevel],
+        staleness: Optional[float] = 0.0,
+        degraded: bool = False,
+        served_by: str = "",
+        rejected: bool = False,
+        reject_reason: str = "",
+        bound_violated: bool = False,
+        apology: Any = None,
+    ):
+        self.value = value
+        self.requested_level = requested_level
+        self.delivered_level = delivered_level
+        self.staleness = staleness
+        self.degraded = degraded
+        self.served_by = served_by
+        self.rejected = rejected
+        self.reject_reason = reject_reason
+        self.bound_violated = bound_violated
+        self.apology = apology
+
+    # ------------------------------------------------------------------ #
+    # Transparent unwrap
+    # ------------------------------------------------------------------ #
+
+    def unwrap(self) -> Any:
+        """The raw entity state (or ``None``)."""
+        return self.value
+
+    @property
+    def ok(self) -> bool:
+        """Served (possibly degraded) rather than rejected."""
+        return not self.rejected
+
+    def __bool__(self) -> bool:
+        return self.value is not None and not self.rejected
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ReadResult):
+            return self.value == other.value
+        return self.value == other
+
+    # EntityState itself is unhashable (mutable dataclass); mirror that.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called for names not in __slots__: forward to the value
+        # so ``result.fields`` / ``result.live`` read like the state.
+        value = object.__getattribute__(self, "value")
+        if value is None:
+            raise AttributeError(
+                f"ReadResult has no attribute {name!r} (value is None)"
+            )
+        return getattr(value, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        delivered = self.delivered_level.value if self.delivered_level else None
+        flags = []
+        if self.degraded:
+            flags.append("degraded")
+        if self.bound_violated:
+            flags.append("bound_violated")
+        if self.rejected:
+            flags.append(f"rejected:{self.reject_reason}")
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return (
+            f"ReadResult({self.value!r}, delivered={delivered}, "
+            f"staleness={self.staleness}{suffix})"
+        )
+
+
+def deliver(
+    value: Any,
+    request: ReadRequest,
+    delivered_level: ConsistencyLevel,
+    *,
+    staleness: Optional[float] = 0.0,
+    served_by: str = "",
+    metrics: Any = None,
+) -> ReadResult:
+    """Stamp one served read into a :class:`ReadResult`.
+
+    Centralizes the two policy checks every surface owes the caller:
+
+    * *degradation* — delivered weaker than requested is marked, and
+      raises :class:`ConsistencyUnavailable` when the request forbids it;
+    * *staleness bound* — measured staleness above
+      ``request.max_staleness`` marks ``bound_violated`` and increments
+      the ``read.staleness_violations`` counter (labelled by delivered
+      level) on ``metrics``.  This is the enforcement
+      :class:`~repro.core.consistency.ConsistencyPolicy.max_staleness`
+      always promised and never had.
+    """
+    degraded = is_weaker(delivered_level, request.level)
+    if degraded and not request.allow_degraded:
+        raise ConsistencyUnavailable(
+            f"read served at {delivered_level.value} but "
+            f"{request.level.value} was required and degradation is not allowed"
+        )
+    result = ReadResult(
+        value,
+        requested_level=request.level,
+        delivered_level=delivered_level,
+        staleness=staleness,
+        degraded=degraded,
+        served_by=served_by,
+    )
+    if (
+        request.max_staleness is not None
+        and staleness is not None
+        and staleness > request.max_staleness
+    ):
+        result.bound_violated = True
+        if metrics is not None:
+            metrics.counter(
+                "read.staleness_violations", level=delivered_level.value
+            ).inc()
+    return result
 
 
 @runtime_checkable
@@ -46,9 +307,10 @@ class ReadSurface(Protocol):
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = None,
+        request: Optional[ReadRequest] = None,
     ) -> Optional[Any]:
-        """Current state of one entity at this surface's consistency."""
+        """Current state of one entity; a :class:`ReadResult` when a
+        typed request is passed, the raw state otherwise."""
         ...
 
 
@@ -57,14 +319,81 @@ def read_from(
     entity_type: str,
     entity_key: str,
     *,
-    consistency: Any = None,
-) -> Optional[Any]:
+    request: Optional[ReadRequest] = None,
+    consistency: Any = _UNSET,
+    policy: Any = None,
+    metrics: Any = None,
+) -> Any:
     """Read from any surface, old or new.
 
     Prefers the canonical ``read`` protocol; falls back to a bare
-    ``get`` for objects predating it.
+    ``get`` for objects predating it.  With a typed ``request`` the
+    answer is a :class:`ReadResult`; surfaces that predate the typed
+    protocol get wrapped with an honest "staleness unknown" stamp.
+
+    ``policy`` (a :class:`~repro.core.consistency.ConsistencyPolicy`)
+    fills in the request's level and staleness bound when the caller
+    has only metadata — this is how the policy router finally enforces
+    ``max_staleness`` on EVENTUAL/EXTRACT paths.
     """
+    if consistency is not _UNSET:
+        warn_loose_consistency("read_from")
+        reader = getattr(surface, "read", None)
+        if reader is not None:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                return reader(entity_type, entity_key, consistency=consistency)
+        return surface.get(entity_type, entity_key)
+
+    if request is None and policy is not None:
+        request = ReadRequest(
+            level=policy.level, max_staleness=policy.max_staleness
+        )
+    elif request is not None and policy is not None:
+        if request.max_staleness is None and policy.max_staleness is not None:
+            request = ReadRequest(
+                level=request.level,
+                max_staleness=policy.max_staleness,
+                deadline=request.deadline,
+                tenant=request.tenant,
+                allow_degraded=request.allow_degraded,
+            )
+
     reader = getattr(surface, "read", None)
+    if request is None:
+        if reader is not None:
+            return reader(entity_type, entity_key)
+        return surface.get(entity_type, entity_key)
+
     if reader is not None:
-        return reader(entity_type, entity_key, consistency=consistency)
-    return surface.get(entity_type, entity_key)
+        try:
+            result = reader(entity_type, entity_key, request=request)
+        except TypeError:
+            # Pre-typed surface: serve legacy, wrap with unknown staleness.
+            value = reader(entity_type, entity_key)
+            result = deliver(
+                value, request, request.level, staleness=None, metrics=metrics
+            )
+        if isinstance(result, ReadResult):
+            # Re-check the bound here for surfaces that stamped staleness
+            # but had no registry of their own to count violations in.
+            if (
+                metrics is not None
+                and not result.bound_violated
+                and request.max_staleness is not None
+                and result.staleness is not None
+                and result.staleness > request.max_staleness
+            ):
+                result.bound_violated = True
+                metrics.counter(
+                    "read.staleness_violations",
+                    level=(
+                        result.delivered_level.value
+                        if result.delivered_level
+                        else "unknown"
+                    ),
+                ).inc()
+            return result
+        return deliver(result, request, request.level, staleness=None, metrics=metrics)
+    value = surface.get(entity_type, entity_key)
+    return deliver(value, request, request.level, staleness=None, metrics=metrics)

@@ -1,0 +1,38 @@
+"""The overload front door: admission, backpressure, breakers, and the
+degrade ladder (paper sections 2.3/2.9 — serve fast and apologize,
+never block, reject last).
+
+Public surface::
+
+    from repro.frontdoor import (
+        AdmissionController, TenantQuota, TokenBucket,
+        BackpressureMonitor, BackpressureSignal,
+        BreakerBoard, BreakerState, CircuitBreaker,
+        DegradeLadder, Rung,
+        FrontDoor,
+    )
+
+Most users get a wired door from
+``Cluster.build().with_front_door(...)``; the pieces are public for
+hand-assembled ladders (the benchmark builds its own capacity model).
+"""
+
+from repro.frontdoor.admission import AdmissionController, TenantQuota, TokenBucket
+from repro.frontdoor.backpressure import BackpressureMonitor, BackpressureSignal
+from repro.frontdoor.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.frontdoor.door import FrontDoor
+from repro.frontdoor.ladder import DegradeLadder, Rung
+
+__all__ = [
+    "AdmissionController",
+    "BackpressureMonitor",
+    "BackpressureSignal",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradeLadder",
+    "FrontDoor",
+    "Rung",
+    "TenantQuota",
+    "TokenBucket",
+]

@@ -1,0 +1,153 @@
+"""The degrade ladder: consistency downgrade as the shedding valve.
+
+The paper's answer to overload is not a queue and not a rejection — it
+is a weaker read served *now* with an honest stamp (sections 2.3/2.9:
+"serve fast and apologize" beats blocking; Meiklejohn's *Certain
+Tendency* argues single-system-image semantics are the wrong default
+for exactly this case).  The ladder encodes that as an ordered list of
+:class:`Rung` s, strongest first::
+
+    STRONG            master / quorum read        staleness 0
+    BOUNDED_STALENESS slave / backup read         staleness <= declared bound
+    EVENTUAL          checkpoint snapshot read    staleness measured, unbounded
+
+Each rung owns a reader closure, an optional service-capacity
+:class:`~repro.frontdoor.admission.TokenBucket` (the rung's throughput
+model), an optional circuit breaker, and — for the bounded rung — a
+*declared* staleness bound the rung refuses to exceed: a slave that has
+fallen further behind than its declaration passes the read down the
+ladder rather than serve a lie.  The front door walks rungs from the
+requested level toward the bottom and rejects only when every rung
+refuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import LEVEL_STRENGTH, ReadRequest, ReadResult
+from repro.frontdoor.admission import TokenBucket
+from repro.frontdoor.breaker import CircuitBreaker
+
+
+@dataclass
+class Rung:
+    """One step of the ladder.
+
+    Args:
+        level: The consistency level this rung delivers.
+        reader: ``(entity_type, entity_key, request) -> ReadResult``
+            closure serving at this level.
+        cost: Admission tokens a read on this rung charges the tenant
+            (strong reads cost more than snapshot reads).
+        capacity: Optional service-capacity bucket — the rung's
+            throughput model; an empty bucket means "this rung is
+            saturated, try a weaker one".
+        breaker: Optional circuit breaker around the rung's physical
+            unit.
+        declared_bound: For the bounded rung: the staleness this rung
+            promises.  A measured staleness above it makes the rung
+            refuse (:meth:`serve` returns ``None``) instead of serving
+            beyond its declaration.
+    """
+
+    level: ConsistencyLevel
+    reader: Callable[[str, str, ReadRequest], ReadResult]
+    cost: float = 1.0
+    capacity: Optional[TokenBucket] = None
+    breaker: Optional[CircuitBreaker] = None
+    declared_bound: Optional[float] = None
+    #: Serves refused because the measured staleness broke the declared
+    #: bound (visible to tests and reports).
+    bound_refusals: int = field(default=0, compare=False)
+
+    def available(self) -> bool:
+        """Breaker and capacity both willing (does not spend tokens)."""
+        if self.breaker is not None and not self.breaker.allow():
+            return False
+        if self.capacity is not None and self.capacity.available < 1.0:
+            return False
+        return True
+
+    def serve(
+        self, entity_type: str, entity_key: str, request: ReadRequest
+    ) -> Optional[ReadResult]:
+        """Attempt the read at this rung.
+
+        Returns ``None`` when the rung refuses (capacity empty, reader
+        raised, or the measured staleness exceeds the declared bound);
+        the caller then falls through to the next rung.
+        """
+        if self.capacity is not None and not self.capacity.try_take(1.0):
+            return None
+        try:
+            result = self.reader(entity_type, entity_key, request)
+        except Exception:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return None
+        if (
+            self.declared_bound is not None
+            and result.staleness is not None
+            and result.staleness > self.declared_bound
+        ):
+            # Serving would exceed what this rung declares; refuse and
+            # let a rung with no bound (or a wider one) answer.
+            self.bound_refusals += 1
+            return None
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
+
+
+class DegradeLadder:
+    """Ordered rungs, strongest first."""
+
+    def __init__(self, rungs: list[Rung]):
+        if not rungs:
+            raise ValueError("a ladder needs at least one rung")
+        order = [LEVEL_STRENGTH[rung.level] for rung in rungs]
+        if order != sorted(order):
+            raise ValueError("rungs must be ordered strongest to weakest")
+        self.rungs = list(rungs)
+
+    def candidates(self, request: ReadRequest) -> list[Rung]:
+        """Rungs eligible for ``request``: the requested level's rung
+        first, then — when degradation is allowed — every weaker rung.
+        Rungs *stronger* than the request are never used: a caller who
+        asked for an eventual read must not be billed a master read.
+        """
+        wanted = LEVEL_STRENGTH[request.level]
+        eligible = [
+            rung for rung in self.rungs if LEVEL_STRENGTH[rung.level] >= wanted
+        ]
+        if not request.allow_degraded:
+            return [
+                rung for rung in eligible if LEVEL_STRENGTH[rung.level] == wanted
+            ]
+        if not eligible:
+            # A request weaker than the weakest rung (e.g. EXTRACT on a
+            # ladder that bottoms out at EVENTUAL) gets the bottom rung:
+            # serving slightly stronger than asked is never a downgrade.
+            return [self.rungs[-1]]
+        return eligible
+
+    def rung_for(self, level: ConsistencyLevel) -> Optional[Rung]:
+        for rung in self.rungs:
+            if rung.level is level:
+                return rung
+        return None
+
+    def describe(self) -> list[dict[str, Any]]:
+        """One dict per rung, for reports."""
+        return [
+            {
+                "level": rung.level.value,
+                "cost": rung.cost,
+                "declared_bound": rung.declared_bound,
+                "breaker": rung.breaker.state.value if rung.breaker else None,
+            }
+            for rung in self.rungs
+        ]

@@ -19,7 +19,6 @@ The two costs the paper alludes to are both observable here:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -147,8 +146,10 @@ class TwoPCCoordinator(Node):
         retry: A :class:`~repro.core.policy.RetryPolicy` re-sending
             ``prepare`` to participants whose votes are missing before
             giving up.  Default: one round, the pre-policy behaviour.
-        vote_timeout: Deprecated alias for
-            ``timeout=TimeoutPolicy(per_attempt=vote_timeout)``.
+
+    The pre-policy ``vote_timeout`` kwarg, deprecated in PR 3, has
+    completed its cycle and was removed; the read-only property of that
+    name remains.
     """
 
     #: The historical single-round vote timeout.
@@ -157,24 +158,10 @@ class TwoPCCoordinator(Node):
     def __init__(
         self,
         node_id: str,
-        vote_timeout: Optional[float] = None,
         timeout: Optional[TimeoutPolicy] = None,
         retry: Optional[RetryPolicy] = None,
     ):
         super().__init__(node_id)
-        if vote_timeout is not None:
-            if timeout is not None:
-                raise TypeError(
-                    "pass either timeout=TimeoutPolicy(...) or the legacy "
-                    "vote_timeout, not both"
-                )
-            warnings.warn(
-                "vote_timeout is deprecated; pass "
-                "timeout=TimeoutPolicy(per_attempt=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            timeout = TimeoutPolicy(per_attempt=float(vote_timeout))
         self.timeout_policy = timeout if timeout is not None else self.DEFAULT_TIMEOUT
         self.retry_policy = retry if retry is not None else RetryPolicy.none()
         self.retries = 0

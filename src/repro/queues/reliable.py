@@ -15,9 +15,8 @@ with :class:`~repro.queues.idempotence.IdempotentReceiver`.
 
 from __future__ import annotations
 
-import warnings
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
 from repro.core.policy import RetryPolicy, TimeoutPolicy
@@ -28,46 +27,6 @@ Handler = Callable[[Message], bool]
 
 #: Reusable no-op context for the tracing-off delivery path.
 _NULL_CTX = nullcontext()
-
-#: Sentinel distinguishing "kwarg not passed" from any real value, so the
-#: deprecated aliases can warn only when actually used.
-_UNSET: Any = object()
-
-
-def resolve_legacy_retry(
-    retry: Optional[RetryPolicy],
-    *,
-    defaults: RetryPolicy,
-    **legacy: Any,
-) -> RetryPolicy:
-    """Map deprecated retry/timeout kwargs onto a :class:`RetryPolicy`.
-
-    ``legacy`` maps old kwarg names to their passed values (``_UNSET``
-    when the caller omitted them).  Passing both a policy and a legacy
-    kwarg is an error; passing only legacy kwargs warns and builds a
-    policy from them over ``defaults``.
-    """
-    used = {name: value for name, value in legacy.items() if value is not _UNSET}
-    if not used:
-        return retry if retry is not None else defaults
-    if retry is not None:
-        raise TypeError(
-            f"pass either retry=RetryPolicy(...) or the legacy kwargs "
-            f"{sorted(used)}, not both"
-        )
-    warnings.warn(
-        f"{sorted(used)} are deprecated; pass retry=RetryPolicy(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    from dataclasses import replace
-
-    mapped: dict[str, Any] = {}
-    if "redelivery_timeout" in used:
-        mapped["base_delay"] = float(used["redelivery_timeout"])
-    if "max_attempts" in used:
-        mapped["max_attempts"] = int(used["max_attempts"])
-    return replace(defaults, **mapped)
 
 
 @dataclass
@@ -100,8 +59,10 @@ class ReliableQueue:
             ``overall`` limit becomes the default message deadline — a
             message still undelivered past its deadline is parked with a
             ``deadline_expired`` verdict instead of being retried.
-        redelivery_timeout: Deprecated alias for ``retry.base_delay``.
-        max_attempts: Deprecated alias for ``retry.max_attempts``.
+            (The pre-policy ``redelivery_timeout``/``max_attempts``
+            kwargs, deprecated in PR 3, have completed their cycle and
+            were removed; the read-only properties of those names
+            remain.)
         ack_loss_probability: Probability that a *successful* handler
             run's ack is lost (consumer crashed after processing, before
             acknowledging) — the classic source of duplicates that
@@ -126,8 +87,6 @@ class ReliableQueue:
         sim: Simulator,
         name: str = "queue",
         delivery_delay: float = 0.0,
-        redelivery_timeout: float = _UNSET,
-        max_attempts: int = _UNSET,
         ack_loss_probability: float = 0.0,
         tracer=None,
         metrics=None,
@@ -137,12 +96,7 @@ class ReliableQueue:
         self.sim = sim
         self.name = name
         self.delivery_delay = delivery_delay
-        self.retry_policy = resolve_legacy_retry(
-            retry,
-            defaults=self.DEFAULT_RETRY,
-            redelivery_timeout=redelivery_timeout,
-            max_attempts=max_attempts,
-        )
+        self.retry_policy = retry if retry is not None else self.DEFAULT_RETRY
         self.timeout_policy = timeout if timeout is not None else TimeoutPolicy.none()
         # Hot-path cache: a trivial policy redelivers after a constant
         # wait, exactly like the pre-policy queue — no per-delivery

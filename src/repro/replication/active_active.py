@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.merge.deltas import Delta
 from repro.replication.anti_entropy import AntiEntropy
 from repro.replication.batching import BatchPolicy
@@ -141,16 +142,23 @@ class ActiveActiveGroup:
         self.writes_accepted += 1
         return self.sim.now
 
-    def read(self, *args: str, consistency: Any = None):
-        """Subjective read — canonical or legacy form.
+    def read(self, *args: str, consistency: Any = _UNSET, request=None):
+        """Subjective read — typed, canonical, or legacy form.
 
-        Canonical (unified protocol): ``read(entity_type, entity_key,
-        consistency=...)`` serves from the first replica; there is no
-        strong copy in an active/active group, so every consistency
-        level gets a subjective answer.  Legacy three-positional form:
-        ``read(replica_id, entity_type, entity_key)`` reads whatever
-        that replica currently knows.
+        Typed (unified protocol): ``read(entity_type, entity_key,
+        request=ReadRequest(...))`` serves from the first replica and
+        returns a :class:`~repro.core.readpath.ReadResult` delivered at
+        ``EVENTUAL`` at best — there is no strong copy in an
+        active/active group, so a ``STRONG`` request is honestly
+        stamped as degraded.  The staleness stamp is the simulator's
+        omniscient view: the age of the oldest peer event the serving
+        replica has not applied yet.  Canonical two-arg and legacy
+        three-positional ``read(replica_id, entity_type, entity_key)``
+        forms return the raw state; the loose ``consistency=`` keyword
+        is a deprecated alias.
         """
+        if consistency is not _UNSET:
+            warn_loose_consistency("ActiveActiveGroup.read")
         if len(args) == 3:
             replica_id, entity_type, entity_key = args
         elif len(args) == 2:
@@ -161,7 +169,29 @@ class ActiveActiveGroup:
                 "read() takes (entity_type, entity_key) or "
                 f"(replica_id, entity_type, entity_key); got {len(args)} args"
             )
-        return self.replicas[replica_id].store.get(entity_type, entity_key)
+        state = self.replicas[replica_id].store.get(entity_type, entity_key)
+        if request is None:
+            return state
+        from repro.core.consistency import ConsistencyLevel
+        from repro.core.readpath import LEVEL_STRENGTH, deliver
+        from repro.replication.replica import staleness_behind
+
+        serving = self.replicas[replica_id]
+        staleness = 0.0
+        for peer in self.replicas.values():
+            if peer is not serving:
+                staleness = max(staleness, staleness_behind(peer, serving))
+        delivered = request.level
+        if LEVEL_STRENGTH[delivered] < LEVEL_STRENGTH[ConsistencyLevel.EVENTUAL]:
+            delivered = ConsistencyLevel.EVENTUAL
+        return deliver(
+            state,
+            request,
+            delivered,
+            staleness=staleness,
+            served_by=replica_id,
+            metrics=self.sim.metrics,
+        )
 
     # ------------------------------------------------------------------ #
     # Propagation & convergence

@@ -11,10 +11,10 @@ principle 2.9).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
 from repro.replication.batching import BatchPolicy
@@ -33,22 +33,21 @@ def resolve_batching(
 ) -> tuple[float, BatchPolicy]:
     """Shared constructor shim for the interval-shipping schemes.
 
-    The modern signature is ``batching=BatchPolicy(...)`` (plus an
-    optional explicit ``ship_interval``).  The legacy
-    ``ship_interval``-only form still works — it means *unbatched*
-    (``max_batch=None``, one event per wire frame) — but earns a
-    :class:`DeprecationWarning`, mirroring the PR 3 policy-kwarg
-    migration pattern.
+    The signature is ``batching=BatchPolicy(...)`` plus an optional
+    explicit ``ship_interval``.  The legacy ``ship_interval``-only form
+    — deprecated since PR 5 — has completed its cycle and is now an
+    error: a shipping cadence without a frame policy raises
+    :class:`TypeError` (pass ``batching=BatchPolicy()`` explicitly for
+    the unbatched one-event-per-frame wire behaviour).
     """
     if batching is None:
         if ship_interval is not None:
-            warnings.warn(
-                f"{scheme}(ship_interval=...) without batching= is "
-                "deprecated; pass batching=BatchPolicy(max_batch=...) "
-                "to choose a frame size (ship_interval alone keeps the "
-                "unbatched one-event-per-frame wire behaviour)",
-                DeprecationWarning,
-                stacklevel=3,
+            raise TypeError(
+                f"{scheme}(ship_interval=...) without batching= was "
+                "deprecated in PR 5 and has been removed; pass "
+                "batching=BatchPolicy() for the unbatched "
+                "one-event-per-frame wire behaviour, or "
+                "BatchPolicy(max_batch=...) to choose a frame size"
             )
         batching = BatchPolicy()
     return (
@@ -73,7 +72,8 @@ class AsyncPrimaryBackup:
         sim: The simulator.
         network: The network both nodes attach to.
         ship_interval: Virtual time between shipping rounds.  Passing
-            it *without* ``batching`` is deprecated (it keeps the
+            it *without* ``batching`` is a :class:`TypeError` — a
+            cadence needs a frame policy (``BatchPolicy()`` keeps the
             unbatched one-event-per-frame wire behaviour).
         primary_id: Node id of the primary.
         backup_id: Node id of the backup.
@@ -141,18 +141,54 @@ class AsyncPrimaryBackup:
         self.primary.store.apply_delta(entity_type, entity_key, delta, tx_id=tx_id)
         return self.sim.now
 
-    def read(self, entity_type: str, entity_key: str, *, consistency: Any = None):
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = _UNSET,
+        request=None,
+    ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
 
-        ``STRONG`` (and the default) reads the primary, which has every
-        acknowledged write; weaker levels read the backup, which lags by
-        up to one shipping interval.
+        A ``STRONG`` request (and the bare legacy call) reads the
+        primary, which has every acknowledged write; weaker levels read
+        the backup, which lags by up to one shipping interval.  With a
+        typed ``request`` the answer is a
+        :class:`~repro.core.readpath.ReadResult` whose staleness is the
+        age of the oldest primary event the backup has not applied; the
+        loose ``consistency=`` keyword is a deprecated alias returning
+        the raw state.
         """
         from repro.core.consistency import ConsistencyLevel
 
-        if consistency is None or consistency is ConsistencyLevel.STRONG:
+        if consistency is not _UNSET:
+            warn_loose_consistency("AsyncPrimaryBackup.read")
+            if consistency is None or consistency is ConsistencyLevel.STRONG:
+                return self.primary.store.get(entity_type, entity_key)
+            return self.backup.store.get(entity_type, entity_key)
+        if request is None:
             return self.primary.store.get(entity_type, entity_key)
-        return self.backup.store.get(entity_type, entity_key)
+        from repro.core.readpath import deliver, replica_level
+        from repro.replication.replica import staleness_behind
+
+        if request.level is ConsistencyLevel.STRONG:
+            return deliver(
+                self.primary.store.get(entity_type, entity_key),
+                request,
+                ConsistencyLevel.STRONG,
+                staleness=0.0,
+                served_by=self.primary.node_id,
+                metrics=self.sim.metrics,
+            )
+        return deliver(
+            self.backup.store.get(entity_type, entity_key),
+            request,
+            replica_level(request.level),
+            staleness=staleness_behind(self.primary, self.backup),
+            served_by=self.backup.node_id,
+            metrics=self.sim.metrics,
+        )
 
     # ------------------------------------------------------------------ #
     # Shipping loop

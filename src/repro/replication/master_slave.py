@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.errors import NotMaster
 from repro.lsdb.rollup import EntityState
 from repro.merge.deltas import Delta
@@ -119,30 +120,42 @@ class MasterSlaveGroup:
     # Reads: anywhere, with staleness at slaves
     # ------------------------------------------------------------------ #
 
-    def read(self, *args: str, consistency: Any = None) -> Optional[EntityState]:
-        """Read an entity — canonical or legacy form.
+    def read(self, *args: str, consistency: Any = _UNSET, request=None):
+        """Read an entity — typed, canonical, or legacy form.
 
-        Canonical (the unified protocol, :mod:`repro.core.readpath`)::
+        Typed (the unified protocol, :mod:`repro.core.readpath`)::
 
-            group.read(entity_type, entity_key, consistency=...)
+            group.read(entity_type, entity_key, request=ReadRequest(...))
 
-        routes by consistency level: ``STRONG`` goes to the master,
-        anything weaker (or ``None``'s default of ``EVENTUAL``) goes to
-        the first slave and may be stale.  The legacy three-positional
-        form ``read(node_id, entity_type, entity_key)`` addresses an
-        explicit node and keeps existing call sites working.
+        routes by the requested level — ``STRONG`` to the master,
+        anything weaker to the first slave — and returns a
+        :class:`~repro.core.readpath.ReadResult` stamped with the
+        delivered level and the slave's measured staleness (age of the
+        oldest master event the slave has not applied).
+
+        Canonical ``read(entity_type, entity_key)`` serves the master
+        and returns the raw state; the legacy three-positional form
+        ``read(node_id, entity_type, entity_key)`` addresses an
+        explicit node.  The loose ``consistency=<level>`` keyword is a
+        deprecated alias for the typed form (still returning the raw
+        state).
 
         Slave reads record their staleness (master events not yet
         applied at the serving slave) into the ``read.staleness_events``
         histogram when metrics are attached.
         """
+        if consistency is not _UNSET:
+            warn_loose_consistency("MasterSlaveGroup.read")
         if len(args) == 3:
             node_id, entity_type, entity_key = args
         elif len(args) == 2:
             entity_type, entity_key = args
             from repro.core.consistency import ConsistencyLevel
 
-            if consistency is None or consistency is ConsistencyLevel.STRONG:
+            level = request.level if request is not None else (
+                None if consistency is _UNSET else consistency
+            )
+            if level is None or level is ConsistencyLevel.STRONG:
                 node_id = self.master.node_id
             else:
                 node_id = next(iter(self.slaves))
@@ -152,10 +165,36 @@ class MasterSlaveGroup:
                 f"(node_id, entity_type, entity_key); got {len(args)} args"
             )
         if node_id == self.master.node_id:
-            return self.master.store.get(entity_type, entity_key)
+            state = self.master.store.get(entity_type, entity_key)
+            if request is None:
+                return state
+            from repro.core.consistency import ConsistencyLevel
+            from repro.core.readpath import deliver
+
+            return deliver(
+                state,
+                request,
+                ConsistencyLevel.STRONG,
+                staleness=0.0,
+                served_by=node_id,
+                metrics=self.sim.metrics,
+            )
         if self._h_staleness is not None:
             self._h_staleness.record(self.slave_lag_events(node_id))
-        return self.slaves[node_id].store.get(entity_type, entity_key)
+        state = self.slaves[node_id].store.get(entity_type, entity_key)
+        if request is None:
+            return state
+        from repro.core.readpath import deliver, replica_level
+        from repro.replication.replica import staleness_behind
+
+        return deliver(
+            state,
+            request,
+            replica_level(request.level),
+            staleness=staleness_behind(self.master, self.slaves[node_id]),
+            served_by=node_id,
+            metrics=self.sim.metrics,
+        )
 
     def slave_lag_events(self, slave_id: str) -> int:
         """Master events not yet applied at ``slave_id``."""

@@ -13,7 +13,6 @@ the active/active group.
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -284,9 +283,8 @@ class QuorumGroup:
         read_quorum: Replies required for a read (``R``).
         timeout: A :class:`~repro.core.policy.TimeoutPolicy` — the
             per-attempt limit is the classic "no quorum" signal, the
-            overall limit bounds the operation across retries.  Passing
-            a bare number is deprecated and maps to
-            ``TimeoutPolicy(per_attempt=number)``.
+            overall limit bounds the operation across retries.  (The
+            bare-number alias was removed after its deprecation cycle.)
         retry: A :class:`~repro.core.policy.RetryPolicy` re-issuing the
             request to all replicas after a per-attempt timeout (late
             replies from earlier attempts still count).  Default: no
@@ -322,13 +320,11 @@ class QuorumGroup:
         elif isinstance(timeout, TimeoutPolicy):
             self.timeout_policy = timeout
         else:
-            warnings.warn(
-                "QuorumGroup(timeout=<number>) is deprecated; pass "
-                "timeout=TimeoutPolicy(per_attempt=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            # The PR 3 bare-number alias completed its deprecation cycle.
+            raise TypeError(
+                "QuorumGroup(timeout=<number>) was deprecated and has been "
+                "removed; pass timeout=TimeoutPolicy(per_attempt=...)"
             )
-            self.timeout_policy = TimeoutPolicy(per_attempt=float(timeout))
         self.retry_policy = retry if retry is not None else RetryPolicy.none()
         self.retries = 0
         self._rng = sim.fork_rng()
@@ -387,8 +383,74 @@ class QuorumGroup:
         entity_type: str,
         entity_key: str,
         on_done: Optional[Callable[[QuorumOutcome], None]] = None,
-    ) -> str:
-        """Quorum read; the freshest replica value wins."""
+        *,
+        request=None,
+    ):
+        """Quorum read; the freshest replica value wins.
+
+        The callback form (``on_done``) starts a quorum read and
+        returns the request id, as ever.  With a typed ``request``
+        (:class:`~repro.core.readpath.ReadRequest`) the behaviour
+        depends on the requested level:
+
+        * ``STRONG`` starts the quorum read and returns a
+          :class:`~repro.core.readpath.ReadResult` immediately; the
+          result is *pending* (``delivered_level`` is ``None``) and is
+          completed in place — ``value`` (the winning fields dict),
+          delivered level, or a ``quorum_unavailable`` rejection — once
+          the simulator delivers the quorum.  ``on_done`` still fires.
+        * anything weaker is the consistency downgrade: skip the quorum
+          entirely and serve one replica's local state right now, with
+          measured staleness.  This is the cheap rung the front door
+          degrades to when the quorum is slow or unreachable.
+        """
+        if request is not None:
+            from repro.core.consistency import ConsistencyLevel
+            from repro.core.readpath import ReadResult, deliver, replica_level
+            from repro.replication.replica import staleness_behind
+
+            if request.level is not ConsistencyLevel.STRONG:
+                serving = self.replicas[0]
+                state = serving.store.get(entity_type, entity_key)
+                staleness = 0.0
+                for peer in self.replicas:
+                    if peer is not serving:
+                        staleness = max(
+                            staleness, staleness_behind(peer, serving)
+                        )
+                return deliver(
+                    state,
+                    request,
+                    replica_level(request.level),
+                    staleness=staleness,
+                    served_by=serving.node_id,
+                    metrics=self.sim.metrics,
+                )
+            result = ReadResult(
+                None,
+                requested_level=request.level,
+                delivered_level=None,
+                staleness=None,
+            )
+
+            def _complete(outcome: QuorumOutcome) -> None:
+                result.value = outcome.value
+                if outcome.ok:
+                    result.delivered_level = ConsistencyLevel.STRONG
+                    result.staleness = 0.0
+                else:
+                    result.rejected = True
+                    result.reject_reason = "quorum_unavailable"
+                if on_done is not None:
+                    on_done(outcome)
+
+            self.coordinator.start(
+                "read",
+                self.read_quorum,
+                {"entity_type": entity_type, "entity_key": entity_key},
+                _complete,
+            )
+            return result
         return self.coordinator.start(
             "read",
             self.read_quorum,

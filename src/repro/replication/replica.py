@@ -284,6 +284,23 @@ class ReplicaNode(Node):
         }
 
 
+def staleness_behind(authority: ReplicaNode, follower: ReplicaNode) -> float:
+    """How long ``follower`` has been behind ``authority``, in sim time.
+
+    ``0.0`` when the follower has applied every event the authority
+    originated; otherwise the age of the *oldest* authority event the
+    follower has not applied yet — "this copy is missing writes from
+    ``t`` seconds ago", which is the staleness number a degraded read
+    gets stamped with (the measurement-first posture of the consistency
+    simulation literature: measure the distribution, don't assert it).
+    """
+    applied = follower.store.version_vector.get(authority.node_id)
+    backlog = authority.store.events_from_origin(authority.node_id, applied)
+    if not backlog:
+        return 0.0
+    return max(0.0, authority.sim.now - backlog[0].timestamp)
+
+
 def converged(replicas: list[ReplicaNode]) -> bool:
     """Whether all replicas expose identical observable state.
 

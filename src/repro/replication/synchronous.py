@@ -13,11 +13,11 @@ system must receive transaction records before a transaction commits").
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
 from repro.core.policy import RetryPolicy, TimeoutPolicy
+from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.errors import DeadlineExceeded, RetryExhausted
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
@@ -80,8 +80,11 @@ class SyncPrimaryBackup:
             transaction's events after an ack timeout (the backup's
             apply is idempotent, so re-shipping is safe).  Default: no
             retries, the pre-policy behaviour.
-        ack_timeout: Deprecated alias for
-            ``timeout=TimeoutPolicy(per_attempt=ack_timeout)``.
+
+    The PR 3 legacy ``ack_timeout=<seconds>`` constructor kwarg has
+    completed its deprecation cycle and was removed; pass
+    ``timeout=TimeoutPolicy(per_attempt=...)``.  The read-only
+    :attr:`ack_timeout` property remains for introspection.
     """
 
     #: The historical single-knob ack timeout.
@@ -91,7 +94,6 @@ class SyncPrimaryBackup:
         self,
         sim: Simulator,
         network: Network,
-        ack_timeout: Optional[float] = None,
         primary_id: str = "sync-primary",
         backup_id: str = "sync-backup",
         timeout: Optional[TimeoutPolicy] = None,
@@ -99,19 +101,6 @@ class SyncPrimaryBackup:
     ):
         self.sim = sim
         self.network = network
-        if ack_timeout is not None:
-            if timeout is not None:
-                raise TypeError(
-                    "pass either timeout=TimeoutPolicy(...) or the legacy "
-                    "ack_timeout, not both"
-                )
-            warnings.warn(
-                "ack_timeout is deprecated; pass "
-                "timeout=TimeoutPolicy(per_attempt=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            timeout = TimeoutPolicy(per_attempt=float(ack_timeout))
         self.timeout_policy = timeout if timeout is not None else self.DEFAULT_TIMEOUT
         self.retry_policy = retry if retry is not None else RetryPolicy.none()
         self.retries = 0
@@ -166,18 +155,53 @@ class SyncPrimaryBackup:
         )
         return self._write(event, on_done)
 
-    def read(self, entity_type: str, entity_key: str, *, consistency: Any = None):
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        consistency: Any = _UNSET,
+        request=None,
+    ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
 
         Both nodes hold every acknowledged write, so the level only
-        picks which copy answers: ``STRONG`` (and the default) reads the
-        primary, weaker levels read the backup.
+        picks which copy answers: ``STRONG`` (and the bare legacy call)
+        reads the primary, weaker levels read the backup.  With a typed
+        ``request`` the answer is a
+        :class:`~repro.core.readpath.ReadResult`; the backup can still
+        be mid-flight on an unacknowledged write, so its staleness is
+        measured rather than assumed zero.
         """
         from repro.core.consistency import ConsistencyLevel
 
-        if consistency is None or consistency is ConsistencyLevel.STRONG:
+        if consistency is not _UNSET:
+            warn_loose_consistency("SyncPrimaryBackup.read")
+            if consistency is None or consistency is ConsistencyLevel.STRONG:
+                return self.primary.store.get(entity_type, entity_key)
+            return self.backup.store.get(entity_type, entity_key)
+        if request is None:
             return self.primary.store.get(entity_type, entity_key)
-        return self.backup.store.get(entity_type, entity_key)
+        from repro.core.readpath import deliver, replica_level
+        from repro.replication.replica import staleness_behind
+
+        if request.level is ConsistencyLevel.STRONG:
+            return deliver(
+                self.primary.store.get(entity_type, entity_key),
+                request,
+                ConsistencyLevel.STRONG,
+                staleness=0.0,
+                served_by=self.primary.node_id,
+                metrics=self.sim.metrics,
+            )
+        return deliver(
+            self.backup.store.get(entity_type, entity_key),
+            request,
+            replica_level(request.level),
+            staleness=staleness_behind(self.primary, self.backup),
+            served_by=self.backup.node_id,
+            metrics=self.sim.metrics,
+        )
 
     def _write(
         self,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.lsdb.rollup import EntityState
 from repro.lsdb.store import LSDBStore
 from repro.sim.scheduler import Simulator
@@ -110,15 +111,37 @@ class WarehouseExtract:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = None,
-    ) -> Optional[EntityState]:
+        consistency: Any = _UNSET,
+        request=None,
+    ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
 
         A warehouse has exactly one consistency level — ``EXTRACT`` —
-        so the parameter is accepted for surface compatibility and the
-        answer is always the last extract's.
+        so every answer comes from the last extract regardless of what
+        was requested.  With a typed ``request`` the
+        :class:`~repro.core.readpath.ReadResult` stamps ``EXTRACT`` as
+        the delivered level and the extract's measured staleness: zero
+        when the feed has drained (:attr:`lag_events` is zero, the
+        snapshot *is* current), otherwise the time since the extract
+        was taken.
         """
-        return self.get(entity_type, entity_key)
+        if consistency is not _UNSET:
+            warn_loose_consistency("WarehouseExtract.read")
+        state = self.get(entity_type, entity_key)
+        if request is None:
+            return state
+        from repro.core.consistency import ConsistencyLevel
+        from repro.core.readpath import deliver
+
+        staleness = 0.0 if self.lag_events == 0 else self.staleness
+        return deliver(
+            state,
+            request,
+            ConsistencyLevel.EXTRACT,
+            staleness=staleness,
+            served_by="warehouse",
+            metrics=self.sim.metrics,
+        )
 
     def scan(self, entity_type: str) -> list[EntityState]:
         """All live entities of a type as of the last extract."""

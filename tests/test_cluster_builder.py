@@ -14,6 +14,7 @@ from repro.replication import (
     QuorumGroup,
     SyncPrimaryBackup,
 )
+from repro.replication.batching import BatchPolicy
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
 
@@ -141,7 +142,9 @@ class TestLegacyConstructors:
     def test_hand_wired_async_pair(self):
         sim = Simulator(seed=3)
         net = Network(sim, latency=5.0)
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        pair = AsyncPrimaryBackup(
+            sim, net, ship_interval=10.0, batching=BatchPolicy()
+        )
         pair.write_insert("order", "o-1", {"total": 9})
         sim.run(until=30.0)
         assert pair.backup.store.get("order", "o-1").fields["total"] == 9
@@ -149,7 +152,10 @@ class TestLegacyConstructors:
     def test_legacy_node_addressed_read(self):
         sim = Simulator(seed=3)
         net = Network(sim, latency=1.0)
-        group = MasterSlaveGroup(sim, net, "master", ["slave"], ship_interval=5.0)
+        group = MasterSlaveGroup(
+            sim, net, "master", ["slave"], ship_interval=5.0,
+            batching=BatchPolicy(),
+        )
         group.write_insert("order", "o-1", {"total": 4})
         sim.run(until=20.0)
         # Three-positional form still addresses an explicit replica.

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.process import ProcessEngine, ProcessStep
+from repro.core.policy import RetryPolicy
 from repro.core.transaction import TransactionManager
 from repro.errors import SoupsViolation
 from repro.lsdb.store import LSDBStore
@@ -15,7 +16,9 @@ from repro.sim.scheduler import Simulator
 
 def make_engine(sim=None, enforce_soups=True, max_attempts=2):
     sim = sim or Simulator()
-    queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=max_attempts)
+    queue = ReliableQueue(
+        sim, retry=RetryPolicy(max_attempts=max_attempts, base_delay=1.0)
+    )
     store = LSDBStore(clock=lambda: sim.now)
     manager = TransactionManager(store, sim=sim, queue=queue)
     return sim, ProcessEngine(manager, queue, enforce_soups=enforce_soups)
@@ -97,7 +100,7 @@ class TestSteps:
     def test_idempotent_redelivery_does_not_rerun_handler(self):
         sim = Simulator(seed=2)
         queue = ReliableQueue(
-            sim, ack_loss_probability=0.5, redelivery_timeout=1.0, max_attempts=30
+            sim, ack_loss_probability=0.5, retry=RetryPolicy(max_attempts=30, base_delay=1.0)
         )
         store = LSDBStore(clock=lambda: sim.now)
         engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.process import JoinContext, ProcessEngine, ProcessStep
+from repro.core.policy import RetryPolicy
 from repro.core.transaction import TransactionManager
 from repro.lsdb.store import LSDBStore
 from repro.merge.deltas import Delta
@@ -15,7 +16,9 @@ from repro.sim.scheduler import Simulator
 def make_engine(seed=0, ack_loss=0.0):
     sim = Simulator(seed=seed)
     queue = ReliableQueue(
-        sim, ack_loss_probability=ack_loss, redelivery_timeout=1.0, max_attempts=30
+        sim,
+        ack_loss_probability=ack_loss,
+        retry=RetryPolicy(max_attempts=30, base_delay=1.0),
     )
     store = LSDBStore(clock=lambda: sim.now)
     engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)

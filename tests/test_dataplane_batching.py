@@ -296,20 +296,19 @@ class TestBatchedReplication:
 
 
 class TestSchemeKnobs:
-    def test_ship_interval_alone_warns_and_stays_unbatched(self):
+    def test_ship_interval_alone_is_an_error(self):
+        # The PR 5 deprecation completed its cycle: a shipping cadence
+        # without a frame policy no longer falls back to unbatched wire.
         sim = Simulator(seed=11)
         net = Network(sim, latency=1.0)
-        with pytest.warns(DeprecationWarning, match="batching"):
-            pair = AsyncPrimaryBackup(sim, net, ship_interval=7.0)
-        assert pair.ship_interval == 7.0
-        assert pair.batching.max_batch is None
+        with pytest.raises(TypeError, match="batching"):
+            AsyncPrimaryBackup(sim, net, ship_interval=7.0)
 
     def test_master_slave_shim_matches(self):
         sim = Simulator(seed=12)
         net = Network(sim, latency=1.0)
-        with pytest.warns(DeprecationWarning, match="batching"):
-            group = MasterSlaveGroup(sim, net, "m", ["s1"], ship_interval=3.0)
-        assert group.batching.max_batch is None
+        with pytest.raises(TypeError, match="batching"):
+            MasterSlaveGroup(sim, net, "m", ["s1"], ship_interval=3.0)
 
     def test_batching_kwarg_does_not_warn(self):
         import warnings

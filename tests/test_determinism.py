@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.merge.deltas import Delta
+from repro.core.policy import RetryPolicy
 from repro.queues.idempotence import IdempotentReceiver
 from repro.queues.reliable import ReliableQueue
 from repro.replication import ActiveActiveGroup
@@ -51,7 +52,7 @@ def run_queue_scenario(seed: int) -> tuple:
     """A lossy-ack queue run; returns delivery accounting."""
     sim = Simulator(seed=seed)
     queue = ReliableQueue(sim, ack_loss_probability=0.3,
-                          redelivery_timeout=1.0, max_attempts=30)
+                          retry=RetryPolicy(max_attempts=30, base_delay=1.0))
     receiver = IdempotentReceiver(lambda message: True)
     queue.subscribe("t", receiver)
     for _ in range(40):

@@ -9,6 +9,8 @@ documented degradation and recovery behaviour.
 from __future__ import annotations
 
 from repro.merge.deltas import Delta
+from repro.core.policy import TimeoutPolicy
+from repro.replication.batching import BatchPolicy
 from repro.replication import (
     ActiveActiveGroup,
     AsyncPrimaryBackup,
@@ -29,7 +31,7 @@ def world(latency=2.0, seed=0, loss=0.0):
 class TestAsyncReplicationFailures:
     def test_primary_crash_during_lag_loses_exact_tail(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=50.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=50.0, batching=BatchPolicy())
         pair.write_insert("o", "o1", {}, tx_id="t1")
         sim.run(until=60.0)  # first shipping round done
         pair.write_insert("o", "o2", {}, tx_id="t2")
@@ -41,7 +43,7 @@ class TestAsyncReplicationFailures:
 
     def test_backup_crash_window_heals_via_reprobe(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0, batching=BatchPolicy())
         injector = FailureInjector(sim, net)
         injector.crash_window(pair.backup, start=5.0, duration=30.0)
         pair.write_insert("o", "o1", {})
@@ -55,7 +57,7 @@ class TestAsyncReplicationFailures:
 class TestSyncReplicationFailures:
     def test_backup_crash_fails_writes_then_recovers(self):
         sim, net = world()
-        pair = SyncPrimaryBackup(sim, net, ack_timeout=20.0)
+        pair = SyncPrimaryBackup(sim, net, timeout=TimeoutPolicy(per_attempt=20.0))
         injector = FailureInjector(sim, net)
         injector.crash_window(pair.backup, start=0.0, duration=50.0)
         pair.write_insert("o", "down", {})
@@ -67,7 +69,7 @@ class TestSyncReplicationFailures:
 
     def test_partition_mid_write_times_out(self):
         sim, net = world(latency=10.0)
-        pair = SyncPrimaryBackup(sim, net, ack_timeout=15.0)
+        pair = SyncPrimaryBackup(sim, net, timeout=TimeoutPolicy(per_attempt=15.0))
         pair.write_insert("o", "o1", {})
         # Partition before the replicate message lands (latency 10).
         sim.schedule_at(
@@ -133,7 +135,10 @@ class TestActiveActiveFailures:
 class TestQuorumFailures:
     def test_exactly_minority_crash_is_tolerated(self):
         sim, net = world()
-        group = QuorumGroup(sim, net, ["q1", "q2", "q3", "q4", "q5"], timeout=30.0)
+        group = QuorumGroup(
+            sim, net, ["q1", "q2", "q3", "q4", "q5"],
+            timeout=TimeoutPolicy(per_attempt=30.0),
+        )
         group.replicas[0].crash()
         group.replicas[1].crash()
         group.write("stock", "w", {"n": 1})
@@ -142,7 +147,10 @@ class TestQuorumFailures:
 
     def test_majority_crash_blocks_writes(self):
         sim, net = world()
-        group = QuorumGroup(sim, net, ["q1", "q2", "q3", "q4", "q5"], timeout=30.0)
+        group = QuorumGroup(
+            sim, net, ["q1", "q2", "q3", "q4", "q5"],
+            timeout=TimeoutPolicy(per_attempt=30.0),
+        )
         for replica in group.replicas[:3]:
             replica.crash()
         group.write("stock", "w", {"n": 1})
@@ -151,7 +159,9 @@ class TestQuorumFailures:
 
     def test_recovered_majority_resumes_service(self):
         sim, net = world()
-        group = QuorumGroup(sim, net, ["q1", "q2", "q3"], timeout=30.0)
+        group = QuorumGroup(
+            sim, net, ["q1", "q2", "q3"], timeout=TimeoutPolicy(per_attempt=30.0)
+        )
         injector = FailureInjector(sim, net)
         injector.crash_window(group.replicas[0], start=0.0, duration=40.0)
         injector.crash_window(group.replicas[1], start=0.0, duration=40.0)
@@ -166,7 +176,9 @@ class TestQuorumFailures:
 class TestMasterSlaveFailures:
     def test_slave_crash_window_catches_up(self):
         sim, net = world()
-        group = MasterSlaveGroup(sim, net, "m", ["s1"], ship_interval=10.0)
+        group = MasterSlaveGroup(
+            sim, net, "m", ["s1"], ship_interval=10.0, batching=BatchPolicy()
+        )
         injector = FailureInjector(sim, net)
         injector.crash_window(group.slaves["s1"], start=0.0, duration=35.0)
         group.write_insert("stock", "b", {"copies": 5})

@@ -1,0 +1,355 @@
+"""The overload front door: admission, backpressure, breakers, ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import ReadRequest, ReadResult
+from repro.frontdoor import (
+    AdmissionController,
+    BackpressureMonitor,
+    BreakerState,
+    CircuitBreaker,
+    DegradeLadder,
+    FrontDoor,
+    Rung,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.scheduler import Simulator
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert all(bucket.try_take() for _ in range(3))
+        assert not bucket.try_take()
+
+    def test_refills_with_virtual_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_take()
+        clock.now = 1.0  # 2 tokens back
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_infinite_rate_never_throttles(self):
+        bucket = TokenBucket(
+            rate=float("inf"), burst=float("inf"), clock=FakeClock()
+        )
+        assert all(bucket.try_take(100.0) for _ in range(50))
+
+
+class TestAdmissionController:
+    def test_default_is_unmetered(self):
+        admission = AdmissionController(FakeClock())
+        assert all(admission.try_admit("anyone", 10.0) for _ in range(100))
+
+    def test_tenant_quota_enforced(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            clock, quotas={"mobile": TenantQuota(rate=1.0, burst=2.0)}
+        )
+        assert admission.try_admit("mobile", 1.0)
+        assert admission.try_admit("mobile", 1.0)
+        assert not admission.try_admit("mobile", 1.0)  # burst spent
+        assert admission.try_admit("web", 1.0)  # other tenants unmetered
+        clock.now = 5.0
+        assert admission.try_admit("mobile", 1.0)  # refilled
+
+    def test_throttle_metric(self):
+        metrics = MetricsRegistry()
+        admission = AdmissionController(
+            FakeClock(),
+            default_quota=TenantQuota(rate=0.0, burst=1.0),
+            metrics=metrics,
+        )
+        admission.try_admit("t1", 1.0)
+        admission.try_admit("t1", 1.0)
+        assert metrics.value("frontdoor.throttled", tenant="t1") == 1
+
+
+class TestBackpressureMonitor:
+    def test_tripped_lists_hot_signals(self):
+        depth = {"value": 0.0}
+        monitor = BackpressureMonitor().add(
+            "queue_depth", lambda: depth["value"], limit=10.0
+        )
+        assert monitor.tripped() == []
+        depth["value"] = 11.0
+        assert monitor.tripped() == ["queue_depth"]
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("unit", clock, failure_threshold=2)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("unit", clock, failure_threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 1000.0  # past the reset deadline
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens_with_backoff(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("unit", clock, failure_threshold=1)
+        breaker.record_failure()
+        first_deadline = breaker._retry_at.at
+        clock.now = first_deadline + 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state is BreakerState.OPEN
+        # Second open waits longer than the first (exponential reset).
+        assert (breaker._retry_at.at - clock.now) > (first_deadline - 0.0)
+
+    def test_health_probe_short_circuits(self):
+        crashed = {"value": False}
+        breaker = CircuitBreaker(
+            "unit", FakeClock(), health=lambda: not crashed["value"]
+        )
+        assert breaker.allow()
+        crashed["value"] = True
+        assert not breaker.allow()
+
+
+def make_rung(level, value="v", *, staleness=0.0, **kwargs):
+    def reader(entity_type, entity_key, request):
+        return ReadResult(
+            value,
+            requested_level=request.level,
+            delivered_level=level,
+            staleness=staleness,
+            degraded=level is not request.level,
+        )
+
+    return Rung(level=level, reader=reader, **kwargs)
+
+
+class TestDegradeLadder:
+    def test_rungs_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            DegradeLadder([
+                make_rung(ConsistencyLevel.EVENTUAL),
+                make_rung(ConsistencyLevel.STRONG),
+            ])
+
+    def test_candidates_never_stronger_than_asked(self):
+        ladder = DegradeLadder([
+            make_rung(ConsistencyLevel.STRONG),
+            make_rung(ConsistencyLevel.EVENTUAL),
+        ])
+        levels = [
+            rung.level for rung in ladder.candidates(ReadRequest.eventual())
+        ]
+        assert levels == [ConsistencyLevel.EVENTUAL]
+
+    def test_no_degrade_pins_exact_level(self):
+        ladder = DegradeLadder([
+            make_rung(ConsistencyLevel.STRONG),
+            make_rung(ConsistencyLevel.EVENTUAL),
+        ])
+        request = ReadRequest(
+            level=ConsistencyLevel.STRONG, allow_degraded=False
+        )
+        levels = [rung.level for rung in ladder.candidates(request)]
+        assert levels == [ConsistencyLevel.STRONG]
+
+    def test_request_below_bottom_gets_bottom_rung(self):
+        ladder = DegradeLadder([
+            make_rung(ConsistencyLevel.STRONG),
+            make_rung(ConsistencyLevel.EVENTUAL),
+        ])
+        request = ReadRequest(level=ConsistencyLevel.EXTRACT)
+        levels = [rung.level for rung in ladder.candidates(request)]
+        assert levels == [ConsistencyLevel.EVENTUAL]
+
+    def test_rung_refuses_beyond_declared_bound(self):
+        rung = make_rung(
+            ConsistencyLevel.BOUNDED_STALENESS,
+            staleness=50.0,
+            declared_bound=10.0,
+        )
+        assert rung.serve("order", "o-1", ReadRequest.bounded(10.0)) is None
+        assert rung.bound_refusals == 1
+
+
+def make_door(sim, rungs, **kwargs):
+    return FrontDoor(sim, DegradeLadder(rungs), **kwargs)
+
+
+class TestFrontDoor:
+    def test_serves_at_requested_level(self):
+        sim = Simulator(seed=1, metrics=MetricsRegistry())
+        door = make_door(sim, [
+            make_rung(ConsistencyLevel.STRONG),
+            make_rung(ConsistencyLevel.EVENTUAL),
+        ])
+        result = door.read("order", "o-1", request=ReadRequest.strong())
+        assert result.ok and not result.degraded
+        assert result.delivered_level is ConsistencyLevel.STRONG
+
+    def test_dry_strong_rung_degrades_with_apology(self):
+        sim = Simulator(seed=1, metrics=MetricsRegistry())
+        clock = lambda: sim.now
+        strong = make_rung(
+            ConsistencyLevel.STRONG,
+            capacity=TokenBucket(0.0, 1.0, clock),
+        )
+        door = make_door(sim, [strong, make_rung(ConsistencyLevel.EVENTUAL)])
+        first = door.read("order", "o-1", request=ReadRequest.strong())
+        assert first.delivered_level is ConsistencyLevel.STRONG
+        second = door.read("order", "o-1", request=ReadRequest.strong())
+        assert second.ok and second.degraded
+        assert second.delivered_level is ConsistencyLevel.EVENTUAL
+        assert second.apology["reason"] == "degraded_read"
+        assert door.degraded_serves == 1
+        assert (
+            sim.metrics.value(
+                "frontdoor.degraded", requested="strong", delivered="eventual"
+            )
+            == 1
+        )
+
+    def test_backpressure_sheds_strong_rung(self):
+        sim = Simulator(seed=1, metrics=MetricsRegistry())
+        monitor = BackpressureMonitor().add("queue_depth", lambda: 99.0, 10.0)
+        door = make_door(
+            sim,
+            [
+                make_rung(ConsistencyLevel.STRONG),
+                make_rung(ConsistencyLevel.EVENTUAL),
+            ],
+            backpressure=monitor,
+        )
+        result = door.read("order", "o-1", request=ReadRequest.strong())
+        assert result.degraded
+        assert result.delivered_level is ConsistencyLevel.EVENTUAL
+        assert sim.metrics.value("frontdoor.shed", reason="queue_depth") == 1
+
+    def test_quota_exhaustion_rejects(self):
+        sim = Simulator(seed=1, metrics=MetricsRegistry())
+        admission = AdmissionController(
+            lambda: sim.now,
+            default_quota=TenantQuota(rate=0.0, burst=1.0),
+            metrics=sim.metrics,
+        )
+        door = make_door(
+            sim, [make_rung(ConsistencyLevel.EVENTUAL)], admission=admission
+        )
+        assert door.read("order", "o-1", request=ReadRequest.eventual()).ok
+        rejected = door.read("order", "o-1", request=ReadRequest.eventual())
+        assert rejected.rejected and rejected.reject_reason == "quota"
+        assert rejected.apology == {"reason": "rejected_quota"}
+
+    def test_expired_deadline_rejects(self):
+        from repro.core.policy import Deadline
+
+        sim = Simulator(seed=1)
+        door = make_door(sim, [make_rung(ConsistencyLevel.STRONG)])
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        request = ReadRequest(
+            level=ConsistencyLevel.STRONG, deadline=Deadline(at=5.0)
+        )
+        result = door.read("order", "o-1", request=request)
+        assert result.rejected and result.reject_reason == "deadline"
+
+    def test_every_rung_refusing_is_saturated(self):
+        sim = Simulator(seed=1)
+        clock = lambda: sim.now
+        door = make_door(sim, [
+            make_rung(
+                ConsistencyLevel.EVENTUAL,
+                capacity=TokenBucket(0.0, 0.0, clock),
+            ),
+        ])
+        result = door.read("order", "o-1", request=ReadRequest.eventual())
+        assert result.rejected and result.reject_reason == "saturated"
+
+    def test_breaker_failure_path(self):
+        sim = Simulator(seed=1)
+
+        def exploding(entity_type, entity_key, request):
+            raise RuntimeError("replica down")
+
+        breaker = CircuitBreaker("strong", lambda: sim.now, failure_threshold=2)
+        broken = Rung(
+            level=ConsistencyLevel.STRONG, reader=exploding, breaker=breaker
+        )
+        door = make_door(sim, [broken, make_rung(ConsistencyLevel.EVENTUAL)])
+        for _ in range(2):
+            result = door.read("order", "o-1", request=ReadRequest.strong())
+            assert result.degraded  # fell through to the eventual rung
+        assert breaker.state is BreakerState.OPEN
+        # With the breaker open the failing reader is not even attempted.
+        result = door.read("order", "o-1", request=ReadRequest.strong())
+        assert result.delivered_level is ConsistencyLevel.EVENTUAL
+
+
+class TestForCluster:
+    def make_cluster(self, **door_kwargs):
+        from repro import Cluster
+
+        return (
+            Cluster.build(seed=7)
+            .with_tracing()
+            .with_network(latency=2.0)
+            .with_replicas(2, mode="master_slave", ship_interval=10.0)
+            .with_front_door(**door_kwargs)
+            .create()
+        )
+
+    def test_builder_wires_a_door(self):
+        cluster = self.make_cluster()
+        assert cluster.front_door is not None
+        levels = [rung.level for rung in cluster.front_door.ladder.rungs]
+        assert levels == [
+            ConsistencyLevel.STRONG,
+            ConsistencyLevel.BOUNDED_STALENESS,
+            ConsistencyLevel.EVENTUAL,
+        ]
+
+    def test_cluster_read_routes_via_door(self):
+        cluster = self.make_cluster()
+        cluster.replication.write_insert("order", "o-1", {"total": 4})
+        result = cluster.read(
+            "order", "o-1", request=ReadRequest.strong()
+        )
+        assert isinstance(result, ReadResult)
+        assert result.delivered_level is ConsistencyLevel.STRONG
+        assert result.fields["total"] == 4
+        assert cluster.front_door.reads == 1
+
+    def test_crashed_master_degrades_to_replica(self):
+        cluster = self.make_cluster(bounded_staleness=100.0)
+        cluster.replication.write_insert("order", "o-1", {"total": 4})
+        cluster.sim.run(until=30.0)  # shipped to the slave
+        cluster.replication.master.crash()
+        result = cluster.read("order", "o-1", request=ReadRequest.strong())
+        assert result.ok and result.degraded
+        assert result.delivered_level is ConsistencyLevel.BOUNDED_STALENESS
+        assert result.fields["total"] == 4

@@ -1,0 +1,138 @@
+"""Satellite: the chaos soak for the front door (fixed seed).
+
+A master/slave cluster behind the front door, with the master crashed
+mid-run: the door must walk the ladder (STRONG while healthy, then
+BOUNDED_STALENESS from the slave, then EVENTUAL once the slave is
+partitioned too), never lose an acknowledged write, honour the declared
+staleness bound on every bounded serve, and produce byte-identical
+signatures across two runs of the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import Cluster
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import ReadRequest
+from repro.sim.failure import FailureInjector
+
+BOUND = 25.0
+
+
+def run_soak(seed):
+    """One deterministic overload-plus-failure run; returns the
+    (serve log, cluster) pair."""
+    cluster = (
+        Cluster.build(seed=seed)
+        .with_tracing()
+        .with_network(latency=2.0)
+        .with_replicas(2, mode="master_slave", ship_interval=10.0)
+        .with_front_door(bounded_staleness=BOUND)
+        .create()
+    )
+    sim = cluster.sim
+    group = cluster.replication
+    injector = FailureInjector(sim, cluster.network)
+
+    # The master is down for t in [100, 200); the slave too for
+    # t in [150, 200) — the window where only the bottom rung answers.
+    injector.crash_window(group.master, start=100.0, duration=100.0)
+    injector.crash_window(group.slaves["slave-1"], start=150.0, duration=50.0)
+
+    acked = []
+
+    def write(index):
+        # Writes pause while the master is down (a crashed primary
+        # cannot acknowledge anything, so nothing new can be lost).
+        if not group.master.crashed:
+            group.write_insert("order", f"o-{index}", {"n": index})
+            acked.append(f"o-{index}")
+
+    serves = []
+
+    def read(index):
+        key = f"o-{max(0, index - 5)}"  # read a recently-acked key
+        result = cluster.read("order", key, request=ReadRequest.strong())
+        serves.append(
+            {
+                "t": sim.now,
+                "key": key,
+                "delivered": (
+                    result.delivered_level.value
+                    if result.delivered_level
+                    else None
+                ),
+                "staleness": result.staleness,
+                "degraded": result.degraded,
+                "rejected": result.rejected,
+                "found": bool(result),
+            }
+        )
+
+    for index in range(60):
+        sim.schedule_at(5.0 * index, lambda i=index: write(i), label="write")
+        sim.schedule_at(
+            5.0 * index + 2.5, lambda i=index: read(i), label="read"
+        )
+    sim.run(until=400.0)
+    return serves, acked, cluster
+
+
+class TestFrontDoorChaosSoak:
+    def setup_method(self):
+        self.serves, self.acked, self.cluster = run_soak(seed=42)
+
+    def test_ladder_walked_under_failures(self):
+        delivered = {
+            serve["delivered"] for serve in self.serves if not serve["rejected"]
+        }
+        assert ConsistencyLevel.STRONG.value in delivered
+        assert ConsistencyLevel.BOUNDED_STALENESS.value in delivered
+        assert ConsistencyLevel.EVENTUAL.value in delivered
+
+    def test_strong_before_failure_degraded_during(self):
+        healthy = [serve for serve in self.serves if serve["t"] < 100.0]
+        assert healthy and all(
+            serve["delivered"] == "strong" and not serve["degraded"]
+            for serve in healthy
+        )
+        down = [serve for serve in self.serves if 100.0 < serve["t"] < 150.0]
+        assert down and all(serve["degraded"] for serve in down)
+
+    def test_no_acked_write_lost_after_heal(self):
+        # After recovery and a shipping round, every acknowledged write
+        # is readable at STRONG through the door.
+        for key in self.acked:
+            result = self.cluster.read(
+                "order", key, request=ReadRequest.strong()
+            )
+            assert result.delivered_level is ConsistencyLevel.STRONG
+            assert bool(result), f"acked write {key} lost"
+
+    def test_bounded_serves_honour_declared_bound(self):
+        bounded = [
+            serve
+            for serve in self.serves
+            if serve["delivered"] == "bounded_staleness"
+        ]
+        assert bounded  # the window [100, 150) must produce some
+        assert all(serve["staleness"] <= BOUND for serve in bounded)
+
+    def test_soak_is_byte_deterministic(self):
+        def signature(seed):
+            serves, acked, cluster = run_soak(seed)
+            return json.dumps(
+                {
+                    "serves": serves,
+                    "acked": acked,
+                    "now": cluster.sim.now,
+                    "breakers": cluster.front_door.ladder.describe(),
+                    "reads": cluster.front_door.reads,
+                    "rejects": cluster.front_door.rejects,
+                    "degraded": cluster.front_door.degraded_serves,
+                },
+                sort_keys=True,
+            ).encode()
+
+        assert signature(7) == signature(7)

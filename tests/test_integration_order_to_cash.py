@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.apps.banking import BankApp
 from repro.core.constraints import ConstraintManager, ReferentialConstraint
+from repro.core.policy import RetryPolicy
 from repro.core.process import JoinContext, ProcessEngine
 from repro.core.transaction import TransactionManager
 from repro.lsdb.store import LSDBStore
@@ -27,7 +28,7 @@ class TestOrderToCash:
     def _build(self, seed=17):
         sim = Simulator(seed=seed)
         queue = ReliableQueue(
-            sim, ack_loss_probability=0.25, redelivery_timeout=2.0, max_attempts=40
+            sim, ack_loss_probability=0.25, retry=RetryPolicy(max_attempts=40, base_delay=2.0)
         )
         store = LSDBStore(name="otc", clock=lambda: sim.now)
         constraints = ConstraintManager(store, queue, clock=lambda: sim.now)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from repro.apps.bookstore import ENTERED, Bookstore, ReplicaSurface
 from repro.core.compensation import CompensationManager
+from repro.core.policy import RetryPolicy
+from repro.replication.batching import BatchPolicy
 from repro.core.consistency import (
     ConsistencyLevel,
     ConsistencyPolicy,
@@ -104,7 +106,7 @@ class TestSoupsPipelineUnderLossyMessaging:
     def test_order_pipeline_with_lost_acks(self):
         sim = Simulator(seed=6)
         queue = ReliableQueue(
-            sim, ack_loss_probability=0.3, redelivery_timeout=2.0, max_attempts=40
+            sim, ack_loss_probability=0.3, retry=RetryPolicy(max_attempts=40, base_delay=2.0)
         )
         store = LSDBStore(clock=lambda: sim.now)
         engine = ProcessEngine(TransactionManager(store, sim=sim, queue=queue), queue)
@@ -141,7 +143,10 @@ class TestMixedConsistencySingleInfrastructure:
     def test_policy_routed_bookstore(self):
         sim = Simulator(seed=9)
         net = Network(sim, latency=2.0)
-        group = MasterSlaveGroup(sim, net, "master", ["slave"], ship_interval=10.0)
+        group = MasterSlaveGroup(
+            sim, net, "master", ["slave"], ship_interval=10.0,
+            batching=BatchPolicy(),
+        )
         warehouse = WarehouseExtract(sim, group.master.store, interval=25.0)
 
         router = PolicyRouter()

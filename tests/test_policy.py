@@ -115,57 +115,64 @@ class TestTimeoutPolicyAndDeadline:
         assert deadline.remaining(1e12) == float("inf")
 
 
-class TestDeprecatedKwargs:
-    """Satellite: legacy retry/timeout kwargs warn but keep working."""
+class TestRemovedLegacyKwargs:
+    """Satellite: the PR 3 deprecation cycle is complete — the legacy
+    retry/timeout kwargs are gone, but the read-only introspection
+    properties of those names survive."""
 
-    def test_queue_legacy_kwargs_warn_and_map(self):
-        from repro.queues.reliable import ReliableQueue
-        from repro.sim.scheduler import Simulator
-
-        with pytest.warns(DeprecationWarning):
-            queue = ReliableQueue(
-                Simulator(), redelivery_timeout=3.0, max_attempts=7
-            )
-        assert queue.retry_policy.base_delay == 3.0
-        assert queue.retry_policy.max_attempts == 7
-        assert queue.redelivery_timeout == 3.0  # legacy introspection alias
-        assert queue.max_attempts == 7
-
-    def test_queue_rejects_policy_plus_legacy(self):
+    def test_queue_legacy_kwargs_removed(self):
         from repro.queues.reliable import ReliableQueue
         from repro.sim.scheduler import Simulator
 
         with pytest.raises(TypeError):
-            ReliableQueue(
-                Simulator(), retry=RetryPolicy.none(), max_attempts=2
-            )
+            ReliableQueue(Simulator(), redelivery_timeout=3.0, max_attempts=7)
 
-    def test_sync_replication_legacy_ack_timeout(self):
+    def test_queue_legacy_properties_survive(self):
+        from repro.queues.reliable import ReliableQueue
+        from repro.sim.scheduler import Simulator
+
+        queue = ReliableQueue(
+            Simulator(), retry=RetryPolicy(max_attempts=7, base_delay=3.0)
+        )
+        assert queue.redelivery_timeout == 3.0  # legacy introspection alias
+        assert queue.max_attempts == 7
+
+    def test_sync_replication_ack_timeout_removed(self):
+        from repro.core.policy import TimeoutPolicy
         from repro.replication.synchronous import SyncPrimaryBackup
         from repro.sim.network import Network
         from repro.sim.scheduler import Simulator
 
         sim = Simulator()
-        with pytest.warns(DeprecationWarning):
-            pair = SyncPrimaryBackup(sim, Network(sim), ack_timeout=40.0)
-        assert pair.timeout_policy.per_attempt == 40.0
+        with pytest.raises(TypeError):
+            SyncPrimaryBackup(sim, Network(sim), ack_timeout=40.0)
+        pair = SyncPrimaryBackup(
+            sim, Network(sim), timeout=TimeoutPolicy(per_attempt=40.0)
+        )
         assert pair.ack_timeout == 40.0
 
-    def test_quorum_legacy_float_timeout(self):
+    def test_quorum_float_timeout_removed(self):
+        from repro.core.policy import TimeoutPolicy
         from repro.replication.quorum import QuorumGroup
         from repro.sim.network import Network
         from repro.sim.scheduler import Simulator
 
         sim = Simulator()
-        with pytest.warns(DeprecationWarning):
-            group = QuorumGroup(sim, Network(sim), ["a", "b", "c"], timeout=33.0)
-        assert group.timeout_policy.per_attempt == 33.0
+        with pytest.raises(TypeError):
+            QuorumGroup(sim, Network(sim), ["a", "b", "c"], timeout=33.0)
+        group = QuorumGroup(
+            sim, Network(sim), ["a", "b", "c"],
+            timeout=TimeoutPolicy(per_attempt=33.0),
+        )
         assert group.timeout == 33.0
 
-    def test_twopc_legacy_vote_timeout(self):
+    def test_twopc_vote_timeout_removed(self):
+        from repro.core.policy import TimeoutPolicy
         from repro.locks.two_pc import TwoPCCoordinator
 
-        with pytest.warns(DeprecationWarning):
-            coordinator = TwoPCCoordinator("c", vote_timeout=25.0)
-        assert coordinator.timeout_policy.per_attempt == 25.0
+        with pytest.raises(TypeError):
+            TwoPCCoordinator("c", vote_timeout=25.0)
+        coordinator = TwoPCCoordinator(
+            "c", timeout=TimeoutPolicy(per_attempt=25.0)
+        )
         assert coordinator.vote_timeout == 25.0

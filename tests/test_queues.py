@@ -6,6 +6,7 @@ import pytest
 
 from repro.queues.idempotence import IdempotentReceiver
 from repro.queues.message import Message, next_message_id
+from repro.core.policy import RetryPolicy
 from repro.queues.reliable import ReliableQueue
 from repro.queues.transactional import TransactionalOutbox
 from repro.sim.scheduler import Simulator
@@ -30,7 +31,7 @@ class TestReliableQueue:
         assert times == [5.0]
 
     def test_nack_triggers_redelivery(self, sim):
-        queue = ReliableQueue(sim, redelivery_timeout=2.0)
+        queue = ReliableQueue(sim, retry=RetryPolicy(base_delay=2.0))
         attempts = []
 
         def handler(message):
@@ -45,7 +46,7 @@ class TestReliableQueue:
         assert queue.stats.acked == 1
 
     def test_exception_counts_as_failure(self, sim):
-        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+        queue = ReliableQueue(sim, retry=RetryPolicy(max_attempts=2, base_delay=1.0))
 
         def explode(_message):
             raise RuntimeError("boom")
@@ -57,7 +58,7 @@ class TestReliableQueue:
         assert queue.stats.dead_lettered == 1
 
     def test_dead_letter_after_max_attempts(self, sim):
-        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=3)
+        queue = ReliableQueue(sim, retry=RetryPolicy(max_attempts=3, base_delay=1.0))
         queue.subscribe("t", lambda m: False)
         message = queue.enqueue("t", {"v": 1})
         sim.run()
@@ -65,7 +66,7 @@ class TestReliableQueue:
         assert message.attempts == 3
 
     def test_no_subscriber_means_retry_then_dead_letter(self, sim):
-        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+        queue = ReliableQueue(sim, retry=RetryPolicy(max_attempts=2, base_delay=1.0))
         queue.enqueue("nobody-listens", {})
         sim.run()
         assert queue.stats.dead_lettered == 1
@@ -73,7 +74,7 @@ class TestReliableQueue:
     def test_ack_loss_causes_duplicate_delivery(self):
         sim = Simulator(seed=3)
         queue = ReliableQueue(
-            sim, ack_loss_probability=0.5, redelivery_timeout=1.0, max_attempts=30
+            sim, ack_loss_probability=0.5, retry=RetryPolicy(max_attempts=30, base_delay=1.0)
         )
         deliveries = []
         queue.subscribe("t", lambda m: deliveries.append(m.message_id) or True)
@@ -84,7 +85,7 @@ class TestReliableQueue:
         assert queue.stats.acked == 30  # but everything eventually acked
 
     def test_all_handlers_must_ack(self, sim):
-        queue = ReliableQueue(sim, redelivery_timeout=1.0, max_attempts=2)
+        queue = ReliableQueue(sim, retry=RetryPolicy(max_attempts=2, base_delay=1.0))
         first_calls, second_calls = [], []
         queue.subscribe("t", lambda m: first_calls.append(1) or True)
         queue.subscribe("t", lambda m: second_calls.append(1) or False)
@@ -128,7 +129,9 @@ class TestIdempotentReceiver:
 
     def test_end_to_end_with_lossy_acks(self):
         sim = Simulator(seed=5)
-        queue = ReliableQueue(sim, ack_loss_probability=0.4, redelivery_timeout=1.0)
+        queue = ReliableQueue(
+            sim, ack_loss_probability=0.4, retry=RetryPolicy(base_delay=1.0)
+        )
         effects = []
         receiver = IdempotentReceiver(lambda m: effects.append(m.payload["n"]) or True)
         queue.subscribe("t", receiver)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.merge.deltas import Delta
+from repro.core.policy import TimeoutPolicy
+from repro.replication.batching import BatchPolicy
 from repro.replication.active_active import ActiveActiveGroup
 from repro.replication.anti_entropy import AntiEntropy
 from repro.replication.asynchronous import AsyncPrimaryBackup
@@ -56,13 +58,13 @@ class TestReplicaProtocol:
 class TestAsyncPrimaryBackup:
     def test_writes_ack_immediately(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0, batching=BatchPolicy())
         acked_at = pair.write_insert("order", "o1", {"v": 1})
         assert acked_at == sim.now  # no waiting on the backup
 
     def test_backup_catches_up_after_interval(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=10.0, batching=BatchPolicy())
         pair.write_insert("order", "o1", {"v": 1})
         assert pair.backup.store.get("order", "o1") is None
         sim.run(until=20.0)
@@ -71,7 +73,7 @@ class TestAsyncPrimaryBackup:
 
     def test_failover_loses_unshipped_tail(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=100.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=100.0, batching=BatchPolicy())
         for index in range(3):
             pair.write_insert("order", f"o{index}", {}, tx_id=f"t{index}")
         report = pair.failover()  # before any shipping round
@@ -80,7 +82,7 @@ class TestAsyncPrimaryBackup:
 
     def test_no_loss_after_shipping(self):
         sim, net = world()
-        pair = AsyncPrimaryBackup(sim, net, ship_interval=5.0)
+        pair = AsyncPrimaryBackup(sim, net, ship_interval=5.0, batching=BatchPolicy())
         pair.write_insert("order", "o1", {}, tx_id="t1")
         sim.run(until=20.0)
         assert pair.failover().lost_events == 0
@@ -110,7 +112,7 @@ class TestSyncPrimaryBackup:
 
     def test_partition_makes_writes_fail(self):
         sim, net = world()
-        pair = SyncPrimaryBackup(sim, net, ack_timeout=50.0)
+        pair = SyncPrimaryBackup(sim, net, timeout=TimeoutPolicy(per_attempt=50.0))
         net.partition_into({pair.primary.node_id}, {pair.backup.node_id})
         pair.write_insert("order", "o1", {"v": 1})
         sim.run()
@@ -209,7 +211,9 @@ class TestQuorum:
 
     def test_unavailable_under_partition(self):
         sim, net = world()
-        group = QuorumGroup(sim, net, ["q1", "q2", "q3"], timeout=30.0)
+        group = QuorumGroup(
+            sim, net, ["q1", "q2", "q3"], timeout=TimeoutPolicy(per_attempt=30.0)
+        )
         net.partition_into({"quorum-coordinator", "q1"}, {"q2", "q3"})
         group.write("stock", "w", {"n": 1})
         sim.run()
@@ -246,7 +250,9 @@ class TestQuorum:
 class TestMasterSlave:
     def test_slave_reads_lag_by_ship_interval(self):
         sim, net = world()
-        group = MasterSlaveGroup(sim, net, "m", ["s1"], ship_interval=10.0)
+        group = MasterSlaveGroup(
+            sim, net, "m", ["s1"], ship_interval=10.0, batching=BatchPolicy()
+        )
         group.write_insert("stock", "b", {"copies": 5})
         assert group.read("s1", "stock", "b") is None
         assert group.slave_lag_events("s1") == 1
@@ -271,7 +277,9 @@ class TestMasterSlave:
 
     def test_multiple_slaves_each_catch_up(self):
         sim, net = world()
-        group = MasterSlaveGroup(sim, net, "m", ["s1", "s2"], ship_interval=5.0)
+        group = MasterSlaveGroup(
+            sim, net, "m", ["s1", "s2"], ship_interval=5.0, batching=BatchPolicy()
+        )
         group.write_delta("stock", "b", Delta.add("copies", 3))
         sim.run(until=20.0)
         assert group.read("s1", "stock", "b").fields["copies"] == 3

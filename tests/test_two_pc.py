@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.policy import TimeoutPolicy
 from repro.locks.two_pc import TwoPCCoordinator, TwoPCParticipant
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
@@ -10,7 +11,11 @@ from repro.sim.scheduler import Simulator
 def make_world(latency=5.0, participant_count=2, vote=None, vote_timeout=100.0):
     sim = Simulator()
     net = Network(sim, latency=latency)
-    coordinator = net.register(TwoPCCoordinator("coord", vote_timeout=vote_timeout))
+    coordinator = net.register(
+        TwoPCCoordinator(
+            "coord", timeout=TimeoutPolicy(per_attempt=vote_timeout)
+        )
+    )
     participants = []
     for index in range(participant_count):
         can_commit = vote[index] if vote else (lambda _tx: True)
