@@ -11,9 +11,13 @@ Usage::
     PYTHONPATH=src python benchmarks/chaos_soak.py --seed 42
     PYTHONPATH=src python benchmarks/chaos_soak.py --profile heavy \
         --duration 3000 --check-determinism
+    PYTHONPATH=src python benchmarks/chaos_soak.py --geo --seed 42 \
+        --check-determinism
 
 ``--check-determinism`` runs the soak twice and additionally fails if
 the two reports are not byte-identical (the seeded-chaos contract).
+``--geo`` runs the geo-distributed soak instead: a 3-site partial
+placement under site-level faults plus a scripted whole-site outage.
 """
 
 from __future__ import annotations
@@ -21,14 +25,31 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.chaos import PROFILES, SoakConfig, report_json, run_soak
+from repro.chaos import (
+    PROFILES,
+    GeoSoakConfig,
+    SoakConfig,
+    report_json,
+    run_geo_soak,
+    run_soak,
+)
 
 #: The acceptance floor: a soak that exercised fewer distinct fault
 #: kinds than this is not considered a chaos run at all.
 MIN_FAULT_KINDS = 4
 
 
-def build_config(args: argparse.Namespace) -> SoakConfig:
+def build_config(args: argparse.Namespace) -> "SoakConfig | GeoSoakConfig":
+    if args.geo:
+        return GeoSoakConfig(
+            seed=args.seed,
+            profile=args.profile,
+            sites=args.sites,
+            replicas=args.geo_replicas,
+            duration=args.duration,
+            quiesce_grace=args.grace,
+            write_rate=args.rate,
+        )
     return SoakConfig(
         seed=args.seed,
         profile=args.profile,
@@ -47,6 +68,18 @@ def main(argv: list[str] | None = None) -> int:
         help="chaos intensity profile",
     )
     parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument(
+        "--geo", action="store_true",
+        help="run the geo soak: 3-site partial placement, site-level "
+             "faults, scripted whole-site outage",
+    )
+    parser.add_argument(
+        "--sites", type=int, default=3, help="datacenters (with --geo)"
+    )
+    parser.add_argument(
+        "--geo-replicas", type=int, default=2,
+        help="hosting sites per shard (with --geo)",
+    )
     parser.add_argument(
         "--duration", type=float, default=2000.0,
         help="virtual time of the chaos+workload window",
@@ -68,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     config = build_config(args)
-    report = run_soak(config)
+    soak = run_geo_soak if args.geo else run_soak
+    report = soak(config)
     rendered = report_json(report)
     if not args.quiet:
         print(rendered)
@@ -92,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         ok = False
 
     if args.check_determinism:
-        second = report_json(run_soak(config))
+        second = report_json(soak(config))
         if second != rendered:
             print("FAIL: report is not byte-deterministic", file=sys.stderr)
             ok = False

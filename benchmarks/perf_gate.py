@@ -33,6 +33,7 @@ TRAJECTORY = ROOT / "BENCH_core_hotpaths.json"
 DATAPLANE = ROOT / "BENCH_dataplane.json"
 COLUMNAR = ROOT / "BENCH_columnar.json"
 FRONTDOOR = ROOT / "BENCH_frontdoor.json"
+GEO = ROOT / "BENCH_geo.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -186,6 +187,46 @@ def check_frontdoor(
     return ok
 
 
+def check_geo(
+    data: dict,
+    max_wan_ratio: float,
+    min_failover_availability: float,
+) -> bool:
+    """Validate the recorded geo-replication claims (PR 8 acceptance).
+
+    Three gates over ``BENCH_geo.json``'s ``acceptance`` block: the
+    2-of-3 partial placement must ship at most ``max_wan_ratio`` times
+    the WAN payloads of full replication under the identical workload,
+    typed reads during a whole-site outage must stay available at
+    ``min_failover_availability`` or better, and the group must have
+    reconverged after the site came back.
+    """
+    acceptance = data.get("acceptance", {})
+    ok = True
+    print("perf gate: geo replication (BENCH_geo.json)")
+    for name, bound, higher_is_better in (
+        ("wan_ratio", max_wan_ratio, False),
+        ("failover_availability", min_failover_availability, True),
+    ):
+        value = acceptance.get(name)
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value >= bound if higher_is_better else value <= bound
+        relation = ">=" if higher_is_better else "<="
+        print(f"  {name:32s} {value:g} (must be {relation} {bound:g}) "
+              f"{'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    converged = acceptance.get("converged_after_recovery")
+    passed = converged is True
+    print(f"  {'converged_after_recovery':32s} {converged} "
+          f"{'PASS' if passed else 'FAIL'}")
+    ok = ok and passed
+    print(f"perf gate: geo replication -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def check_live(data: dict, tolerance: float, quick: bool) -> bool:
     """Re-run the bench and compare against the recorded after-numbers."""
     sys.path.insert(0, str(ROOT / "benchmarks"))
@@ -242,6 +283,11 @@ def main() -> None:
                         help="front-door goodput at 2x overload (recorded)")
     parser.add_argument("--max-reject-ratio", type=float, default=0.05,
                         help="front-door hard rejects at 2x overload (recorded)")
+    parser.add_argument("--max-wan-ratio", type=float, default=0.6,
+                        help="partial vs full replication WAN payloads (recorded)")
+    parser.add_argument("--min-failover-availability", type=float, default=0.99,
+                        help="typed-read availability during a site outage "
+                             "(recorded)")
     args = parser.parse_args()
 
     data = load_trajectory()
@@ -261,6 +307,11 @@ def main() -> None:
         load_trajectory(FRONTDOOR),
         args.min_goodput_ratio,
         args.max_reject_ratio,
+    ) and ok
+    ok = check_geo(
+        load_trajectory(GEO),
+        args.max_wan_ratio,
+        args.min_failover_availability,
     ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok

@@ -19,7 +19,13 @@ from repro.chaos.invariants import (
     check_no_lost_acked_writes,
 )
 from repro.chaos.profiles import PROFILES, ChaosProfile, get_profile
-from repro.chaos.soak import SoakConfig, report_json, run_soak
+from repro.chaos.soak import (
+    GeoSoakConfig,
+    SoakConfig,
+    report_json,
+    run_geo_soak,
+    run_soak,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -27,6 +33,7 @@ __all__ = [
     "ChaosEngine",
     "ChaosProfile",
     "FaultEvent",
+    "GeoSoakConfig",
     "InvariantReport",
     "InvariantResult",
     "SoakConfig",
@@ -36,5 +43,6 @@ __all__ = [
     "check_no_lost_acked_writes",
     "get_profile",
     "report_json",
+    "run_geo_soak",
     "run_soak",
 ]

@@ -60,6 +60,13 @@ class ChaosEngine:
             simulator so the simulator seed pins the schedule.
         injector: Optional :class:`~repro.sim.failure.FailureInjector`
             to share a failure timeline with scripted injections.
+        topology: Optional :class:`~repro.sim.topology.SiteTopology`.
+            When given, crash and partition faults are drawn over
+            *sites* instead of nodes — a crash window takes every node
+            of one site down (whole-datacenter outage) and a partition
+            window cuts one site off from the rest.  Site details are
+            encoded ``"site:<name>"``.  Without a topology the drawing
+            is byte-identical to before (no extra RNG draws).
     """
 
     def __init__(
@@ -70,10 +77,12 @@ class ChaosEngine:
         profile: str | ChaosProfile = "moderate",
         rng: Optional[SeededRNG] = None,
         injector: Optional[FailureInjector] = None,
+        topology=None,
     ):
         self.sim = sim
         self.network = network
         self._nodes = list(nodes) if nodes is not None else None
+        self.topology = topology
         self.profile = get_profile(profile)
         self._rng = rng if rng is not None else sim.fork_rng()
         self.injector = injector if injector is not None else FailureInjector(sim, network)
@@ -138,6 +147,10 @@ class ChaosEngine:
         return f"{prefix}_{suffix}"
 
     def _draw_detail(self, kind: str, node_ids: list[str]) -> str:
+        if self.topology is not None and kind in ("crash", "partition"):
+            # Geo mode: the failure unit is the datacenter.  One draw
+            # per window, over the sorted site names.
+            return f"site:{self._rng.choice(list(self.topology.sites))}"
         if kind in ("crash", "slow"):
             return self._rng.choice(node_ids)
         if kind == "partition":
@@ -182,9 +195,14 @@ class ChaosEngine:
             depth = self._crash_depth.get(event.detail, 0)
             self._crash_depth[event.detail] = depth + 1
             if depth == 0:
-                self.injector._crash(self.network.nodes[event.detail])
+                for node in self._detail_nodes(event.detail):
+                    self.injector._crash(node)
         elif kind == "partition":
-            groups = [part.split(",") for part in event.detail.split("|")]
+            if event.detail.startswith("site:"):
+                # Cut one whole site off from every other assigned node.
+                groups = self.topology.site_partition_groups(event.detail[5:])
+            else:
+                groups = [part.split(",") for part in event.detail.split("|")]
             # Route through the injector so overlapping windows restore
             # correctly (the partition-stack semantics).
             self.injector.partition_window(groups, self.sim.now, event.duration)
@@ -217,7 +235,8 @@ class ChaosEngine:
             depth = self._crash_depth.get(event.detail, 0) - 1
             self._crash_depth[event.detail] = max(0, depth)
             if depth == 0:
-                self.injector._recover(self.network.nodes[event.detail])
+                for node in self._detail_nodes(event.detail):
+                    self.injector._recover(node)
         elif kind == "partition":
             pass  # partition_window scheduled its own heal
         elif kind == "slow":
@@ -236,6 +255,17 @@ class ChaosEngine:
                 elif kind == "delay":
                     self.network.latency_factor = self._baseline_latency_factor
 
+    def _detail_nodes(self, detail: str) -> list[Node]:
+        """The nodes a crash detail names: one node, or — for a
+        ``"site:<name>"`` detail — every node assigned to the site."""
+        if detail.startswith("site:"):
+            return [
+                self.network.nodes[node_id]
+                for node_id in self.topology.nodes_of(detail[len("site:"):])
+                if node_id in self.network.nodes
+            ]
+        return [self.network.nodes[detail]]
+
     # ------------------------------------------------------------------ #
     # Quiesce
     # ------------------------------------------------------------------ #
@@ -250,9 +280,10 @@ class ChaosEngine:
         for handle in self._handles:
             handle.cancel()
         self._handles.clear()
-        for node_id, depth in self._crash_depth.items():
+        for detail, depth in self._crash_depth.items():
             if depth > 0:
-                self.injector._recover(self.network.nodes[node_id])
+                for node in self._detail_nodes(detail):
+                    self.injector._recover(node)
         self._crash_depth.clear()
         self.injector.heal_all()
         self.network.loss_probability = self._baseline_loss

@@ -34,7 +34,6 @@ from typing import Any, Callable, Optional
 
 from repro.core.compensation import CompensationManager
 from repro.core.constraints import ConstraintManager
-from repro.core.readpath import _UNSET as _READ_UNSET
 from repro.core.transaction import TransactionManager
 from repro.lsdb.store import LSDBStore
 from repro.obs.export import render_timeline, trace_payload
@@ -95,6 +94,12 @@ class Cluster:
         retry_policy / timeout_policy: The cluster-wide fault-tolerance
             defaults declared via ``with_policies`` (``None`` when
             unset; components built with explicit policies keep them).
+        topology: The :class:`~repro.sim.topology.SiteTopology`, if the
+            cluster is geo-distributed (``with_topology``).
+        placement: The :class:`~repro.partition.placement.PlacementPolicy`
+            mapping shards to sites (``with_placement``); together with
+            the topology this makes ``replication`` a
+            :class:`~repro.replication.geo.GeoReplicaGroup`.
     """
 
     def __init__(self, sim: Simulator):
@@ -120,6 +125,8 @@ class Cluster:
         self.timeout_policy: Any = None
         self.batching: Optional[BatchPolicy] = None  # with_batching default
         self.front_door: Any = None  # FrontDoor when with_front_door()
+        self.topology: Any = None  # SiteTopology when with_topology()
+        self.placement: Any = None  # PlacementPolicy when with_placement()
 
     @staticmethod
     def build(seed: int = 0) -> "ClusterBuilder":
@@ -136,7 +143,7 @@ class Cluster:
         entity_key: str,
         *,
         request: Any = None,
-        consistency: Any = _READ_UNSET,
+        site: Optional[str] = None,
     ) -> Optional[Any]:
         """Canonical read against the cluster's primary read surface.
 
@@ -145,23 +152,28 @@ class Cluster:
         (``with_front_door``) — admission, backpressure, breakers and
         the degrade ladder all apply, and the answer is a
         :class:`~repro.core.readpath.ReadResult` stamped with the
-        delivered consistency and measured staleness.  Without a front
-        door the typed read goes straight to the replication scheme
-        (or the standalone store).  The bare legacy call returns the
-        raw state; the loose ``consistency=`` keyword is a deprecated
-        alias.
+        delivered consistency, measured staleness, and — on a
+        geo-replicated cluster — the site that served it.  Without a
+        front door the typed read goes straight to the replication
+        scheme (or the standalone store).  The bare legacy call returns
+        the raw state.
+
+        Args:
+            site: On a geo cluster, the datacenter the caller is in;
+                reads prefer replicas local to it.  Ignored (and
+                rejected when the cluster has no topology) otherwise.
         """
         from repro.core.readpath import read_from
 
+        if site is not None and self.placement is None:
+            raise ValueError("site= requires a geo cluster (with_topology)")
         if request is not None and self.front_door is not None:
             return self.front_door.read(entity_type, entity_key, request=request)
         surface = self.replication if self.replication is not None else self.store
         if surface is None:
             raise RuntimeError("cluster has no readable surface")
-        if consistency is not _READ_UNSET:
-            return read_from(
-                surface, entity_type, entity_key, consistency=consistency
-            )
+        if site is not None:
+            return surface.read(entity_type, entity_key, request=request, site=site)
         return read_from(surface, entity_type, entity_key, request=request)
 
     # ------------------------------------------------------------------ #
@@ -292,6 +304,8 @@ class ClusterBuilder:
         self._timeout_policy: Any = None
         self._batching: Optional[BatchPolicy] = None
         self._front_door_kwargs: Optional[dict[str, Any]] = None
+        self._topology_kwargs: Optional[dict[str, Any]] = None
+        self._placement_kwargs: Optional[dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -510,9 +524,86 @@ class ClusterBuilder:
                 ``quotas``, ``default_quota``, ``bounded_staleness``,
                 ``queue_depth_limit``, ``lag_limit_events``,
                 ``strong_capacity``, ``bounded_capacity``,
-                ``breaker_threshold``, ``breaker_reset``, ``apologies``.
+                ``breaker_threshold``, ``breaker_reset``, ``apologies``,
+                and — on a geo cluster — ``site`` (the datacenter this
+                door fronts; rungs prefer site-local replicas).
         """
         self._front_door_kwargs = dict(options)
+        return self
+
+    def with_topology(
+        self,
+        sites: tuple[str, ...] | list[str],
+        *,
+        wan_latency: float = 30.0,
+        wan_loss: float = 0.0,
+        links: Optional[dict[tuple[str, str], Any]] = None,
+    ) -> "ClusterBuilder":
+        """Make the cluster geo-distributed: named sites over WAN links.
+
+        Declares a :class:`~repro.sim.topology.SiteTopology` the network
+        layers onto its fabric — cross-site frames pay the link's WAN
+        latency, flip its extra loss coin, and are booked per directed
+        link in ``NetworkStats.links`` / ``net.wan_*`` metrics.
+        Combined with :meth:`with_placement` it replaces
+        ``with_replicas``: replication becomes a per-shard, partially
+        replicated :class:`~repro.replication.geo.GeoReplicaGroup`.
+
+        Args:
+            sites: Datacenter names (at least one).
+            wan_latency: Default one-way extra latency for every
+                inter-site link.
+            wan_loss: Default extra per-frame loss probability on every
+                inter-site link.
+            links: Optional ``{(src, dst): WanLink}`` overrides for
+                specific directed site pairs.
+        """
+        if not sites:
+            raise ValueError("with_topology needs at least one site")
+        self._topology_kwargs = {
+            "sites": tuple(sites),
+            "wan_latency": wan_latency,
+            "wan_loss": wan_loss,
+            "links": dict(links) if links else None,
+        }
+        return self
+
+    def with_placement(
+        self,
+        policy: Any = None,
+        *,
+        replicas: int = 2,
+        shards: int = 16,
+        vnodes: int = 64,
+        ship_interval: float = 10.0,
+        anti_entropy_interval: float = 25.0,
+    ) -> "ClusterBuilder":
+        """Place shards across the topology's sites (partial replication).
+
+        Either pass a prebuilt
+        :class:`~repro.partition.placement.PlacementPolicy` or let the
+        builder construct one over the ``with_topology`` sites.  The
+        policy decides which sites host each shard; the geo group then
+        ships a shard's frames only to its hosting sites.
+
+        Args:
+            policy: A prebuilt placement (its site set must match the
+                topology's).
+            replicas: Copies of each shard (when building the policy).
+            shards: Shard count (when building the policy).
+            vnodes: Placement-ring vnodes per site (when building).
+            ship_interval: The geo group's shipping cadence.
+            anti_entropy_interval: The geo group's gossip/repair period
+                (``0`` disables anti-entropy).
+        """
+        self._placement_kwargs = {
+            "policy": policy,
+            "replicas": replicas,
+            "shards": shards,
+            "vnodes": vnodes,
+            "ship_interval": ship_interval,
+            "anti_entropy_interval": anti_entropy_interval,
+        }
         return self
 
     # ------------------------------------------------------------------ #
@@ -541,9 +632,26 @@ class ClusterBuilder:
             self._network_kwargs is not None
             or self._replica_count
             or self._chaos_kwargs is not None
+            or self._topology_kwargs is not None
         )
         if needs_network:
             cluster.network = Network(sim, **(self._network_kwargs or {}))
+
+        if self._placement_kwargs is not None and self._topology_kwargs is None:
+            raise ValueError("with_placement requires with_topology")
+        if self._topology_kwargs is not None:
+            cluster.topology = self._build_topology()
+            cluster.network.attach_topology(cluster.topology)
+            if self._placement_kwargs is not None:
+                if self._replica_count:
+                    raise ValueError(
+                        "with_placement replaces with_replicas: declare "
+                        "one replication style, not both"
+                    )
+                cluster.replication, cluster.placement = self._build_geo(
+                    sim, cluster
+                )
+                cluster.store = self._primary_store_of(cluster.replication)
 
         if self._replica_count:
             cluster.replication = self._build_replication(sim, cluster.network)
@@ -637,6 +745,7 @@ class ClusterBuilder:
                 cluster.network,
                 profile=self._chaos_kwargs["profile"],
                 rng=SeededRNG(chaos_seed) if chaos_seed is not None else None,
+                topology=cluster.topology,
             )
 
         if self._front_door_kwargs is not None:
@@ -646,6 +755,48 @@ class ClusterBuilder:
                 cluster, **self._front_door_kwargs
             )
         return cluster
+
+    def _build_topology(self) -> Any:
+        from repro.sim.topology import SiteTopology, WanLink
+
+        kwargs = self._topology_kwargs
+        return SiteTopology(
+            kwargs["sites"],
+            default_link=WanLink(
+                latency=kwargs["wan_latency"],
+                loss_probability=kwargs["wan_loss"],
+            ),
+            links=kwargs["links"],
+        )
+
+    def _build_geo(self, sim: Simulator, cluster: Cluster) -> tuple[Any, Any]:
+        from repro.partition.placement import PlacementPolicy
+        from repro.replication.geo import GeoReplicaGroup
+
+        kwargs = self._placement_kwargs
+        placement = kwargs["policy"]
+        if placement is None:
+            placement = PlacementPolicy(
+                cluster.topology.sites,
+                replicas=kwargs["replicas"],
+                shards=kwargs["shards"],
+                vnodes=kwargs["vnodes"],
+            )
+        elif tuple(placement.sites) != tuple(cluster.topology.sites):
+            raise ValueError(
+                f"placement sites {placement.sites} do not match "
+                f"topology sites {cluster.topology.sites}"
+            )
+        group = GeoReplicaGroup(
+            sim,
+            cluster.network,
+            cluster.topology,
+            placement,
+            ship_interval=kwargs["ship_interval"],
+            anti_entropy_interval=kwargs["anti_entropy_interval"],
+            batching=self._batching,
+        )
+        return group, placement
 
     def _build_replication(self, sim: Simulator, network: Network) -> Any:
         count, mode = self._replica_count, self._replica_mode

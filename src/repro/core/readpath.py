@@ -27,11 +27,12 @@ The canonical protocol, implemented by every surface in the library::
 * Without a ``request`` the legacy behaviour is unchanged: the raw
   :class:`~repro.lsdb.rollup.EntityState` (or ``None``) comes back.
 
-The old loose keyword ``consistency=<level>`` remains as a
-DeprecationWarning alias for one more cycle; it still returns the raw
-state.  ``store.get(...)`` / ``warehouse.get(...)`` and the
-three-positional ``group.read(node_id, entity_type, entity_key)`` forms
-are unaffected aliases, not scheduled for removal.
+The loose ``consistency`` keyword argument that predated the typed
+protocol completed its one-cycle deprecation and is gone; passing it
+now raises ``TypeError`` like any unknown keyword.  ``store.get(...)``
+/ ``warehouse.get(...)`` and the three-positional
+``group.read(node_id, entity_type, entity_key)`` forms are unaffected
+aliases, not scheduled for removal.
 
 :func:`read_from` is the dispatch helper for code that receives an
 arbitrary surface (the policy router, the front door, experiment
@@ -42,7 +43,6 @@ marks the result and increments ``read.staleness_violations``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Protocol, runtime_checkable
 
@@ -82,21 +82,6 @@ def replica_level(requested: ConsistencyLevel) -> ConsistencyLevel:
     ]:
         return ConsistencyLevel.BOUNDED_STALENESS
     return requested
-
-
-#: Sentinel distinguishing "caller never passed consistency=" from an
-#: explicit ``consistency=None`` (both legal in the legacy form).
-_UNSET: Any = object()
-
-
-def warn_loose_consistency(where: str) -> None:
-    """Emit the one deprecation warning for the loose kwarg form."""
-    warnings.warn(
-        f"{where}: the loose consistency=<level> keyword is deprecated; "
-        "pass request=ReadRequest(level=...) and receive a ReadResult",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass(frozen=True)
@@ -151,8 +136,9 @@ class ReadResult:
     Wraps the raw :class:`~repro.lsdb.rollup.EntityState` (or ``None``)
     and stamps what the infrastructure actually did: the delivered
     level, the staleness measured at serve time, whether the answer is
-    degraded below the requested level, which physical unit served it,
-    and — when the front door had to apologize — the apology token.
+    degraded below the requested level, which physical unit (and, in a
+    geo deployment, which site) served it, and — when the front door had
+    to apologize — the apology token.
 
     The wrapper *unwraps transparently*: it compares equal to its
     value, is falsy when the value is ``None`` (or the read was
@@ -168,6 +154,7 @@ class ReadResult:
         "staleness",
         "degraded",
         "served_by",
+        "site",
         "rejected",
         "reject_reason",
         "bound_violated",
@@ -183,6 +170,7 @@ class ReadResult:
         staleness: Optional[float] = 0.0,
         degraded: bool = False,
         served_by: str = "",
+        site: str = "",
         rejected: bool = False,
         reject_reason: str = "",
         bound_violated: bool = False,
@@ -194,6 +182,7 @@ class ReadResult:
         self.staleness = staleness
         self.degraded = degraded
         self.served_by = served_by
+        self.site = site
         self.rejected = rejected
         self.reject_reason = reject_reason
         self.bound_violated = bound_violated
@@ -256,6 +245,7 @@ def deliver(
     *,
     staleness: Optional[float] = 0.0,
     served_by: str = "",
+    site: str = "",
     metrics: Any = None,
 ) -> ReadResult:
     """Stamp one served read into a :class:`ReadResult`.
@@ -284,6 +274,7 @@ def deliver(
         staleness=staleness,
         degraded=degraded,
         served_by=served_by,
+        site=site,
     )
     if (
         request.max_staleness is not None
@@ -320,7 +311,6 @@ def read_from(
     entity_key: str,
     *,
     request: Optional[ReadRequest] = None,
-    consistency: Any = _UNSET,
     policy: Any = None,
     metrics: Any = None,
 ) -> Any:
@@ -336,15 +326,6 @@ def read_from(
     has only metadata — this is how the policy router finally enforces
     ``max_staleness`` on EVENTUAL/EXTRACT paths.
     """
-    if consistency is not _UNSET:
-        warn_loose_consistency("read_from")
-        reader = getattr(surface, "read", None)
-        if reader is not None:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                return reader(entity_type, entity_key, consistency=consistency)
-        return surface.get(entity_type, entity_key)
-
     if request is None and policy is not None:
         request = ReadRequest(
             level=policy.level, max_staleness=policy.max_staleness

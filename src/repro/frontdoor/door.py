@@ -30,12 +30,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.core.consistency import ConsistencyLevel
-from repro.core.readpath import (
-    ReadRequest,
-    ReadResult,
-    _UNSET,
-    warn_loose_consistency,
-)
+from repro.core.readpath import ReadRequest, ReadResult
 from repro.frontdoor.admission import AdmissionController, TenantQuota, TokenBucket
 from repro.frontdoor.backpressure import BackpressureMonitor
 from repro.frontdoor.breaker import BreakerBoard
@@ -93,19 +88,10 @@ class FrontDoor:
         entity_key: str,
         *,
         request: Optional[ReadRequest] = None,
-        consistency: Any = _UNSET,
     ) -> ReadResult:
         """Serve one read through the valve chain; always returns a
         :class:`ReadResult` (rejections come back with
         ``rejected=True`` and a reason, never as exceptions)."""
-        if consistency is not _UNSET:
-            warn_loose_consistency("FrontDoor.read")
-            level = (
-                consistency
-                if consistency is not None
-                else ConsistencyLevel.STRONG
-            )
-            request = ReadRequest(level=level)
         if request is None:
             request = ReadRequest()
         self.reads += 1
@@ -263,6 +249,7 @@ class FrontDoor:
         breaker_threshold: int = 3,
         breaker_reset=None,
         apologies=None,
+        site: Optional[str] = None,
     ) -> "FrontDoor":
         """Wire a door over whatever the cluster was built with.
 
@@ -279,6 +266,14 @@ class FrontDoor:
         * **EVENTUAL** — the cheapest copy that never says no: the
           warehouse extract when one was built, else the primary
           store's latest rollup checkpoint, else the store itself.
+
+        On a geo-replicated cluster the door is additionally *sited*:
+        ``site`` names the datacenter this door fronts, and every rung
+        prefers a site-local replica before crossing the WAN — the
+        strong rung refuses (walking the ladder) rather than lie when
+        a true strong read is unreachable, the bounded rung serves the
+        nearest hosting replica with its measured cross-DC staleness
+        against the declared bound.
 
         Backpressure signals are registered for ``queue_depth_limit``
         (over ``sim.pending``), ``lag_limit_events`` (over the scheme's
@@ -297,104 +292,27 @@ class FrontDoor:
             failure_threshold=breaker_threshold,
             reset=breaker_reset,
         )
-        rungs: list[Rung] = []
-
-        primary_node = (
-            getattr(scheme, "primary", None)
-            or getattr(scheme, "master", None)
-            or getattr(scheme, "coordinator", None)
-        )
-        strong_surface = scheme if scheme is not None else store
-
-        def strong_reader(entity_type, entity_key, request):
-            result = strong_surface.read(
-                entity_type,
-                entity_key,
-                request=ReadRequest(
-                    level=ConsistencyLevel.STRONG,
-                    max_staleness=request.max_staleness,
-                    tenant=request.tenant,
-                ),
+        if _is_geo(scheme):
+            rungs = _geo_rungs(
+                scheme,
+                site,
+                clock=clock,
+                board=board,
+                bounded_staleness=bounded_staleness,
+                strong_capacity=strong_capacity,
+                bounded_capacity=bounded_capacity,
             )
-            return ReadResult(
-                result.unwrap() if isinstance(result, ReadResult) else result,
-                requested_level=request.level,
-                delivered_level=ConsistencyLevel.STRONG,
-                staleness=result.staleness if isinstance(result, ReadResult) else 0.0,
-                served_by=result.served_by if isinstance(result, ReadResult) else "",
+        else:
+            rungs = _flat_rungs(
+                cluster,
+                scheme,
+                store,
+                clock=clock,
+                board=board,
+                bounded_staleness=bounded_staleness,
+                strong_capacity=strong_capacity,
+                bounded_capacity=bounded_capacity,
             )
-
-        strong_health = None
-        if primary_node is not None:
-            strong_health = lambda: not getattr(primary_node, "crashed", False)
-        rungs.append(
-            Rung(
-                level=ConsistencyLevel.STRONG,
-                reader=strong_reader,
-                cost=4.0,
-                capacity=(
-                    TokenBucket(strong_capacity, strong_capacity, clock)
-                    if strong_capacity is not None
-                    else None
-                ),
-                breaker=board.get("strong", health=strong_health),
-            )
-        )
-
-        replica_surface = scheme if _has_replica_copy(scheme) else None
-        if replica_surface is not None:
-            if bounded_staleness is None:
-                ship = getattr(scheme, "ship_interval", None)
-                bounded_staleness = 2.0 * ship if ship else 100.0
-
-            def bounded_reader(entity_type, entity_key, request):
-                result = replica_surface.read(
-                    entity_type,
-                    entity_key,
-                    request=ReadRequest(
-                        level=ConsistencyLevel.BOUNDED_STALENESS,
-                        max_staleness=request.max_staleness,
-                        tenant=request.tenant,
-                    ),
-                )
-                return ReadResult(
-                    result.unwrap(),
-                    requested_level=request.level,
-                    delivered_level=ConsistencyLevel.BOUNDED_STALENESS,
-                    staleness=result.staleness,
-                    degraded=request.level is ConsistencyLevel.STRONG,
-                    served_by=result.served_by,
-                )
-
-            backup_node = _replica_node_of(scheme)
-            bounded_health = None
-            if backup_node is not None:
-                bounded_health = (
-                    lambda: not getattr(backup_node, "crashed", False)
-                )
-            rungs.append(
-                Rung(
-                    level=ConsistencyLevel.BOUNDED_STALENESS,
-                    reader=bounded_reader,
-                    cost=2.0,
-                    capacity=(
-                        TokenBucket(bounded_capacity, bounded_capacity, clock)
-                        if bounded_capacity is not None
-                        else None
-                    ),
-                    breaker=board.get("bounded", health=bounded_health),
-                    declared_bound=bounded_staleness,
-                )
-            )
-
-        eventual_reader = _eventual_reader_for(cluster)
-        rungs.append(
-            Rung(
-                level=ConsistencyLevel.EVENTUAL,
-                reader=eventual_reader,
-                cost=1.0,
-            )
-        )
 
         monitor = BackpressureMonitor(metrics=sim.metrics)
         if queue_depth_limit is not None:
@@ -430,6 +348,221 @@ class FrontDoor:
             backpressure=monitor,
             apologies=apologies,
         )
+
+
+# ---------------------------------------------------------------------- #
+# Rung assembly
+# ---------------------------------------------------------------------- #
+
+
+def _is_geo(scheme) -> bool:
+    """Whether the scheme is a geo-replicated group (site placement plus
+    per-site WAN gateways)."""
+    return (
+        getattr(scheme, "placement", None) is not None
+        and hasattr(scheme, "gateways")
+    )
+
+
+def _flat_rungs(
+    cluster,
+    scheme,
+    store,
+    *,
+    clock,
+    board,
+    bounded_staleness,
+    strong_capacity,
+    bounded_capacity,
+) -> list:
+    """The single-datacenter ladder: master/primary/quorum strong rung,
+    backup/slave bounded rung, warehouse/checkpoint/store eventual rung."""
+    rungs: list[Rung] = []
+
+    primary_node = (
+        getattr(scheme, "primary", None)
+        or getattr(scheme, "master", None)
+        or getattr(scheme, "coordinator", None)
+    )
+    strong_surface = scheme if scheme is not None else store
+
+    def strong_reader(entity_type, entity_key, request):
+        result = strong_surface.read(
+            entity_type,
+            entity_key,
+            request=ReadRequest(
+                level=ConsistencyLevel.STRONG,
+                max_staleness=request.max_staleness,
+                tenant=request.tenant,
+            ),
+        )
+        return ReadResult(
+            result.unwrap() if isinstance(result, ReadResult) else result,
+            requested_level=request.level,
+            delivered_level=ConsistencyLevel.STRONG,
+            staleness=result.staleness if isinstance(result, ReadResult) else 0.0,
+            served_by=result.served_by if isinstance(result, ReadResult) else "",
+        )
+
+    strong_health = None
+    if primary_node is not None:
+        strong_health = lambda: not getattr(primary_node, "crashed", False)
+    rungs.append(
+        Rung(
+            level=ConsistencyLevel.STRONG,
+            reader=strong_reader,
+            cost=4.0,
+            capacity=(
+                TokenBucket(strong_capacity, strong_capacity, clock)
+                if strong_capacity is not None
+                else None
+            ),
+            breaker=board.get("strong", health=strong_health),
+        )
+    )
+
+    replica_surface = scheme if _has_replica_copy(scheme) else None
+    if replica_surface is not None:
+        if bounded_staleness is None:
+            ship = getattr(scheme, "ship_interval", None)
+            bounded_staleness = 2.0 * ship if ship else 100.0
+
+        def bounded_reader(entity_type, entity_key, request):
+            result = replica_surface.read(
+                entity_type,
+                entity_key,
+                request=ReadRequest(
+                    level=ConsistencyLevel.BOUNDED_STALENESS,
+                    max_staleness=request.max_staleness,
+                    tenant=request.tenant,
+                ),
+            )
+            return ReadResult(
+                result.unwrap(),
+                requested_level=request.level,
+                delivered_level=ConsistencyLevel.BOUNDED_STALENESS,
+                staleness=result.staleness,
+                degraded=request.level is ConsistencyLevel.STRONG,
+                served_by=result.served_by,
+            )
+
+        backup_node = _replica_node_of(scheme)
+        bounded_health = None
+        if backup_node is not None:
+            bounded_health = (
+                lambda: not getattr(backup_node, "crashed", False)
+            )
+        rungs.append(
+            Rung(
+                level=ConsistencyLevel.BOUNDED_STALENESS,
+                reader=bounded_reader,
+                cost=2.0,
+                capacity=(
+                    TokenBucket(bounded_capacity, bounded_capacity, clock)
+                    if bounded_capacity is not None
+                    else None
+                ),
+                breaker=board.get("bounded", health=bounded_health),
+                declared_bound=bounded_staleness,
+            )
+        )
+
+    eventual_reader = _eventual_reader_for(cluster)
+    rungs.append(
+        Rung(
+            level=ConsistencyLevel.EVENTUAL,
+            reader=eventual_reader,
+            cost=1.0,
+        )
+    )
+    return rungs
+
+
+def _geo_rungs(
+    scheme,
+    site,
+    *,
+    clock,
+    board,
+    bounded_staleness,
+    strong_capacity,
+    bounded_capacity,
+) -> list:
+    """The sited ladder over a geo group.
+
+    Every rung delegates to the group's placement-aware read with the
+    door's home ``site``, so site-local replicas answer before any WAN
+    hop.  The strong rung forbids degradation — when the shard's home
+    replica is down or lagging, the group raises and the rung refuses,
+    which is exactly how the walk reaches the bounded rung instead of
+    serving a strong lie.  The scheme's own honest stamp (delivered
+    level, measured cross-DC staleness, serving site) is re-anchored to
+    the outer request so degradation accounting stays truthful.
+    """
+    from repro.core.readpath import is_weaker
+
+    def sited_reader(level, allow_degraded):
+        def reader(entity_type, entity_key, request):
+            result = scheme.read(
+                entity_type,
+                entity_key,
+                request=ReadRequest(
+                    level=level,
+                    max_staleness=request.max_staleness,
+                    tenant=request.tenant,
+                    allow_degraded=allow_degraded,
+                ),
+                site=site,
+            )
+            delivered = result.delivered_level
+            return ReadResult(
+                result.unwrap(),
+                requested_level=request.level,
+                delivered_level=delivered,
+                staleness=result.staleness,
+                degraded=is_weaker(delivered, request.level),
+                served_by=result.served_by,
+                site=result.site,
+            )
+
+        return reader
+
+    def any_gateway_up():
+        return any(not gw.crashed for gw in scheme.gateways.values())
+
+    if bounded_staleness is None:
+        bounded_staleness = 2.0 * scheme.ship_interval
+
+    return [
+        Rung(
+            level=ConsistencyLevel.STRONG,
+            reader=sited_reader(ConsistencyLevel.STRONG, False),
+            cost=4.0,
+            capacity=(
+                TokenBucket(strong_capacity, strong_capacity, clock)
+                if strong_capacity is not None
+                else None
+            ),
+            breaker=board.get("strong", health=any_gateway_up),
+        ),
+        Rung(
+            level=ConsistencyLevel.BOUNDED_STALENESS,
+            reader=sited_reader(ConsistencyLevel.BOUNDED_STALENESS, True),
+            cost=2.0,
+            capacity=(
+                TokenBucket(bounded_capacity, bounded_capacity, clock)
+                if bounded_capacity is not None
+                else None
+            ),
+            breaker=board.get("bounded", health=any_gateway_up),
+            declared_bound=bounded_staleness,
+        ),
+        Rung(
+            level=ConsistencyLevel.EVENTUAL,
+            reader=sited_reader(ConsistencyLevel.EVENTUAL, True),
+            cost=1.0,
+        ),
+    ]
 
 
 # ---------------------------------------------------------------------- #

@@ -677,24 +677,18 @@ class LSDBStore:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = None,
         request=None,
     ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
 
         A single store has one copy of the data, so every consistency
-        level reads the same rollup; the parameters exist so callers
+        level reads the same rollup; the parameter exists so callers
         can swap a store for a replicated surface without changing call
         sites.  With a typed ``request`` the answer is a
         :class:`~repro.core.readpath.ReadResult` delivered at the
         requested level with zero staleness (this *is* the copy of
-        record in an unreplicated deployment); the loose
-        ``consistency=`` keyword is a deprecated alias.
+        record in an unreplicated deployment).
         """
-        if consistency is not None:
-            from repro.core.readpath import warn_loose_consistency
-
-            warn_loose_consistency("LSDBStore.read")
         state = self.get(entity_type, entity_key)
         if request is None:
             return state

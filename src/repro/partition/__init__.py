@@ -1,7 +1,9 @@
 """Partitioning: serialization units with separate logs, dynamic entity
-location, and elastic membership via consistent-hash rebalancing
-(principle 2.5)."""
+location, elastic membership via consistent-hash rebalancing
+(principle 2.5), and site-aware shard placement for geo-distributed
+partial replication."""
 
+from repro.partition.placement import PlacementPolicy, diff_placements
 from repro.partition.relocation import EntityMover, MoveReport
 from repro.partition.ring import (
     ConsistentHashRing,
@@ -21,6 +23,8 @@ from repro.partition.units import SerializationUnit
 __all__ = [
     "ConsistentHashRing",
     "EntityMover",
+    "PlacementPolicy",
+    "diff_placements",
     "MoveReport",
     "PlannedMove",
     "RebalancePlan",

@@ -4,13 +4,15 @@ The paper's section 2 preamble names the design space this package
 implements: "active systems with asynchronous commits to backups, active
 systems with synchronous commits to backups, active/active replication
 with subjective/eventual consistency, and replication with strong
-consistency" — plus the master/slave mixed-consistency approach and the
-read-only warehouse extract from section 3.1.
+consistency" — plus the master/slave mixed-consistency approach, the
+read-only warehouse extract from section 3.1, and the geo-distributed
+partially replicated shard groups of :mod:`repro.replication.geo`.
 """
 
 from repro.replication.active_active import ActiveActiveGroup
 from repro.replication.anti_entropy import AntiEntropy
 from repro.replication.asynchronous import AsyncPrimaryBackup, FailoverReport
+from repro.replication.geo import GeoReplicaGroup, GeoShardReplica, WanGateway
 from repro.replication.master_slave import MasterSlaveGroup
 from repro.replication.quorum import QuorumGroup, QuorumOutcome
 from repro.replication.replica import ReplicaNode, converged
@@ -22,7 +24,10 @@ __all__ = [
     "AntiEntropy",
     "AsyncPrimaryBackup",
     "FailoverReport",
+    "GeoReplicaGroup",
+    "GeoShardReplica",
     "MasterSlaveGroup",
+    "WanGateway",
     "QuorumGroup",
     "QuorumOutcome",
     "ReplicaNode",

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.merge.deltas import Delta
 from repro.replication.anti_entropy import AntiEntropy
 from repro.replication.batching import BatchPolicy
@@ -142,7 +141,7 @@ class ActiveActiveGroup:
         self.writes_accepted += 1
         return self.sim.now
 
-    def read(self, *args: str, consistency: Any = _UNSET, request=None):
+    def read(self, *args: str, request=None):
         """Subjective read — typed, canonical, or legacy form.
 
         Typed (unified protocol): ``read(entity_type, entity_key,
@@ -154,11 +153,8 @@ class ActiveActiveGroup:
         omniscient view: the age of the oldest peer event the serving
         replica has not applied yet.  Canonical two-arg and legacy
         three-positional ``read(replica_id, entity_type, entity_key)``
-        forms return the raw state; the loose ``consistency=`` keyword
-        is a deprecated alias.
+        forms return the raw state.
         """
-        if consistency is not _UNSET:
-            warn_loose_consistency("ActiveActiveGroup.read")
         if len(args) == 3:
             replica_id, entity_type, entity_key = args
         elif len(args) == 2:

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
 from repro.replication.batching import BatchPolicy
@@ -146,7 +145,6 @@ class AsyncPrimaryBackup:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = _UNSET,
         request=None,
     ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
@@ -156,17 +154,10 @@ class AsyncPrimaryBackup:
         the backup, which lags by up to one shipping interval.  With a
         typed ``request`` the answer is a
         :class:`~repro.core.readpath.ReadResult` whose staleness is the
-        age of the oldest primary event the backup has not applied; the
-        loose ``consistency=`` keyword is a deprecated alias returning
-        the raw state.
+        age of the oldest primary event the backup has not applied.
         """
         from repro.core.consistency import ConsistencyLevel
 
-        if consistency is not _UNSET:
-            warn_loose_consistency("AsyncPrimaryBackup.read")
-            if consistency is None or consistency is ConsistencyLevel.STRONG:
-                return self.primary.store.get(entity_type, entity_key)
-            return self.backup.store.get(entity_type, entity_key)
         if request is None:
             return self.primary.store.get(entity_type, entity_key)
         from repro.core.readpath import deliver, replica_level

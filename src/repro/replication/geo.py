@@ -1,0 +1,520 @@
+"""Geo-distributed partial replication: shard groups behind site gateways.
+
+Full replication ships every write to every datacenter.  The paper's
+geo sections (2.7-2.10) never assume that: replicas that cannot all see
+every write promptly are the *premise*, and WAN egress is the dominant
+cost.  This module makes replication genuinely partial — a site only
+receives :class:`~repro.lsdb.columnar.ColumnFrame` shipments for the
+shards its :class:`~repro.partition.placement.PlacementPolicy` places on
+it — while keeping the LSDB's per-origin contiguity invariant intact.
+
+The structural trick is the unit of replication.  Filtering one big
+replica's event stream per shard would tear holes in per-origin
+sequences (``apply_remote`` requires each origin's feed to be
+contiguous, so a receiver that skips "not my shard" events would wedge
+its reorder buffer forever).  Instead each **(site, shard)** pair gets
+its own :class:`GeoShardReplica` — node id ``"{site}/s{shard}"`` — so
+every origin stream belongs to exactly one shard group and partial
+replication is just "this group has members on 2 of 3 sites".
+
+Shard replicas are not network endpoints.  Each site has one
+:class:`WanGateway`, the only node the :class:`~repro.sim.network.Network`
+(and the site topology, and chaos) sees.  Replicas hand outgoing
+messages to their gateway, which buffers envelopes per destination site
+and flushes them at the end of the instant as **one frame per WAN link**
+— one latency/loss draw covers every shard group that shipped in that
+round, extending the PR 5 frame amortization across the WAN.  Crashing
+a gateway takes the whole site down, which is exactly the failure unit
+the geo chaos soak exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import (
+    LEVEL_STRENGTH,
+    ConsistencyUnavailable,
+    deliver,
+    replica_level,
+)
+from repro.errors import ReplicationError
+from repro.merge.deltas import Delta
+from repro.partition.placement import PlacementPolicy
+from repro.replication.batching import BatchPolicy
+from repro.replication.replica import ReplicaNode, converged, staleness_behind
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Simulator
+from repro.sim.topology import SiteTopology
+
+__all__ = ["WanGateway", "GeoShardReplica", "GeoReplicaGroup", "site_of_replica"]
+
+
+def site_of_replica(replica_id: str) -> str:
+    """The site component of a ``"{site}/s{shard}"`` replica id."""
+    return replica_id.split("/", 1)[0]
+
+
+class WanGateway(Node):
+    """One site's network endpoint: the WAN aggregation point.
+
+    All of a site's shard replicas route through its gateway.  Same-site
+    deliveries short-circuit (no wire hop — the LAN inside a site is not
+    modelled beyond the network's base latency, which gateway-to-gateway
+    frames already pay).  Cross-site messages are buffered per
+    destination site and flushed at the end of the current instant as a
+    single :meth:`~repro.sim.network.Node.send_batch` per link, so every
+    shard group shipping in the same round shares one latency draw and
+    one loss coin per WAN link.
+
+    Envelopes are ``{"to": replica_id, "frm": replica_id, "msg": ...}``;
+    the receiving gateway unwraps each and hands it to the addressed
+    local replica.
+    """
+
+    def __init__(self, node_id: str, site: str, sim: Simulator):
+        super().__init__(node_id)
+        self.site = site
+        self.sim = sim
+        self.locals: dict[str, "GeoShardReplica"] = {}
+        self._buffers: dict[str, list[dict[str, Any]]] = {}
+        self._sizes: dict[str, int] = {}
+        self._armed = False
+
+    def route(
+        self, src_id: str, dst_id: str, message: Any, *, size: int = 1
+    ) -> bool:
+        """Accept one replica-to-replica message for delivery."""
+        if self.crashed:
+            return False
+        dst_site = site_of_replica(dst_id)
+        if dst_site == self.site:
+            target = self.locals.get(dst_id)
+            if target is None or target.crashed:
+                return False
+            target.handle_message(src_id, message)
+            return True
+        envelope = {"to": dst_id, "frm": src_id, "msg": message}
+        self._buffers.setdefault(dst_site, []).append(envelope)
+        self._sizes[dst_site] = self._sizes.get(dst_site, 0) + size
+        if not self._armed:
+            self._armed = True
+            # End-of-instant flush: everything routed at the same virtual
+            # time coalesces into one frame per WAN link.
+            self.sim.schedule(0.0, self.flush, label=f"wan-flush {self.node_id}")
+        return True
+
+    def flush(self) -> None:
+        """Ship every buffered envelope, one frame per destination site."""
+        self._armed = False
+        if not self._buffers:
+            return
+        buffers, self._buffers = self._buffers, {}
+        sizes, self._sizes = self._sizes, {}
+        for dst_site in sorted(buffers):
+            self.send_batch(
+                f"gw.{dst_site}", buffers[dst_site], size=sizes[dst_site]
+            )
+
+    def handle_message(self, source: str, message: Mapping[str, Any]) -> None:
+        target = self.locals.get(message["to"])
+        if target is None or target.crashed:
+            return
+        target.handle_message(message["frm"], message["msg"])
+
+
+class GeoShardReplica(ReplicaNode):
+    """One shard's copy at one site.
+
+    A normal :class:`~repro.replication.replica.ReplicaNode` — same
+    store, same two-message protocol, same frame shipping — except it is
+    not registered on the network: ``send``/``send_batch`` hand frames
+    to the site's :class:`WanGateway` instead, after refusing any
+    destination whose site does not host this shard (the placement
+    guard that keeps replication partial even against buggy callers).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        shard: int,
+        gateway: WanGateway,
+        placement: PlacementPolicy,
+        sim: Simulator,
+        *,
+        batching: Optional[BatchPolicy] = None,
+    ):
+        super().__init__(f"{site}/s{shard}", sim, batching=batching)
+        self.site = site
+        self.shard = shard
+        self.gateway = gateway
+        self.placement = placement
+
+    def _admit(self, destination: str) -> bool:
+        return not self.crashed and self.placement.hosts(
+            site_of_replica(destination), self.shard
+        )
+
+    def send(self, destination: str, message: Any) -> bool:
+        if not self._admit(destination):
+            return False
+        return self.gateway.route(self.node_id, destination, message)
+
+    def send_batch(
+        self, destination: str, messages: list, *, size: Optional[int] = None
+    ) -> bool:
+        if not self._admit(destination):
+            return False
+        count = size if size is not None else len(messages)
+        shipped_all = True
+        for message in messages:
+            if not self.gateway.route(
+                self.node_id, destination, message, size=count
+            ):
+                shipped_all = False
+            count = 0  # the frame's logical size is booked once
+        return shipped_all
+
+
+class GeoReplicaGroup:
+    """Partially replicated shard groups across datacenters.
+
+    The geo twin of the flat replication schemes: ``placement`` decides
+    which sites copy which shards, one :class:`WanGateway` per site is
+    the network/chaos-visible failure unit, and one
+    :class:`GeoShardReplica` per (hosting site, shard) carries the data.
+    Writes route to the shard's first *live* preference site and ack
+    immediately (subjective commit); a periodic ship loop propagates
+    per-origin backlogs inside each group, and anti-entropy probes
+    repair whatever shipping lost.
+
+    Args:
+        sim: The simulator.
+        network: The network the gateways attach to.
+        topology: Site topology; every placement site must be a
+            topology site.  Gateways are assigned to their sites here,
+            which is what puts WAN latency/loss on inter-site frames.
+        placement: The shard-to-site :class:`PlacementPolicy`.
+        ship_interval: Period of the per-group log shipping loop.
+        anti_entropy_interval: Gossip period inside each shard group;
+            ``0`` disables repair probes.
+        batching: Frame policy for event shipments.
+
+    Example:
+        >>> from repro.sim.scheduler import Simulator
+        >>> from repro.sim.network import Network
+        >>> from repro.sim.topology import SiteTopology, WanLink
+        >>> from repro.partition.placement import PlacementPolicy
+        >>> sim = Simulator(); net = Network(sim, latency=1.0)
+        >>> topo = SiteTopology(["dc1", "dc2", "dc3"],
+        ...                     default_link=WanLink(latency=30.0))
+        >>> net.attach_topology(topo)
+        >>> group = GeoReplicaGroup(sim, net, topo,
+        ...     PlacementPolicy(["dc1", "dc2", "dc3"], replicas=2, shards=4))
+        >>> _ = group.write_insert("stock", "widget", {"on_hand": 5})
+        >>> _ = sim.run(until=200.0)
+        >>> group.is_converged()
+        True
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        topology: SiteTopology,
+        placement: PlacementPolicy,
+        *,
+        ship_interval: float = 10.0,
+        anti_entropy_interval: float = 25.0,
+        batching: Optional[BatchPolicy] = None,
+    ):
+        if ship_interval <= 0:
+            raise ValueError(f"ship_interval must be positive, got {ship_interval}")
+        missing = [s for s in placement.sites if s not in topology.sites]
+        if missing:
+            raise ValueError(
+                f"placement sites {missing} are not in the topology "
+                f"{list(topology.sites)}"
+            )
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.placement = placement
+        self.ship_interval = ship_interval
+        self.anti_entropy_interval = anti_entropy_interval
+        self.batching = batching if batching is not None else BatchPolicy()
+        self.gateways: dict[str, WanGateway] = {}
+        for site in placement.sites:
+            gateway = WanGateway(f"gw.{site}", site, sim)
+            network.register(gateway)
+            topology.assign(gateway.node_id, site)
+            self.gateways[site] = gateway
+        self.replicas: dict[str, GeoShardReplica] = {}
+        self.groups: dict[int, list[GeoShardReplica]] = {}
+        for shard in range(placement.shards):
+            members: list[GeoShardReplica] = []
+            for site in placement.sites_for_shard(shard):
+                replica = GeoShardReplica(
+                    site,
+                    shard,
+                    self.gateways[site],
+                    placement,
+                    sim,
+                    batching=self.batching,
+                )
+                self.gateways[site].locals[replica.node_id] = replica
+                self.replicas[replica.node_id] = replica
+                members.append(replica)
+            self.groups[shard] = members
+        # Per (source, destination) origin-sequence watermark: what the
+        # ship loop believes the destination already holds.  A False
+        # ship return leaves the watermark alone, so the whole run is
+        # re-shipped next round (idempotent apply makes that safe).
+        self._shipped: dict[tuple[str, str], int] = {}
+        self.writes_accepted = 0
+        self._h_staleness = (
+            sim.metrics.histogram("read.staleness_events", scheme="geo")
+            if sim.metrics is not None
+            else None
+        )
+        sim.schedule(self.ship_interval, self._ship_round, label="geo-ship")
+        if anti_entropy_interval > 0:
+            sim.schedule(
+                anti_entropy_interval, self._anti_entropy_round, label="geo-gossip"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Writes: routed to the shard's first live site, acked immediately
+    # ------------------------------------------------------------------ #
+
+    def coordinator(self, entity_type: str, entity_key: str) -> GeoShardReplica:
+        """The replica that accepts writes for an entity right now: the
+        first site on the shard's preference list whose gateway is up.
+
+        Raises:
+            ReplicationError: When every hosting site is down.
+        """
+        shard = self.placement.shard_of(entity_type, entity_key)
+        for site in self.placement.sites_for_shard(shard):
+            if not self.gateways[site].crashed:
+                return self.replicas[f"{site}/s{shard}"]
+        raise ReplicationError(
+            f"no live site hosts shard {shard} "
+            f"(preference {self.placement.sites_for_shard(shard)})"
+        )
+
+    def write_insert(
+        self, entity_type: str, entity_key: str, fields: dict[str, Any], tx_id: str = ""
+    ) -> float:
+        """Insert at the shard's coordinator; ack immediate."""
+        replica = self.coordinator(entity_type, entity_key)
+        replica.store.insert(entity_type, entity_key, fields, tx_id=tx_id)
+        self.writes_accepted += 1
+        return self.sim.now
+
+    def write_delta(
+        self, entity_type: str, entity_key: str, delta: Delta, tx_id: str = ""
+    ) -> float:
+        """Apply a commutative delta at the coordinator; ack immediate."""
+        replica = self.coordinator(entity_type, entity_key)
+        replica.store.apply_delta(entity_type, entity_key, delta, tx_id=tx_id)
+        self.writes_accepted += 1
+        return self.sim.now
+
+    def write_set_fields(
+        self, entity_type: str, entity_key: str, fields: dict[str, Any], tx_id: str = ""
+    ) -> float:
+        """Overwrite fields at the coordinator (LWW across the group)."""
+        replica = self.coordinator(entity_type, entity_key)
+        replica.store.set_fields(entity_type, entity_key, fields, tx_id=tx_id)
+        self.writes_accepted += 1
+        return self.sim.now
+
+    # ------------------------------------------------------------------ #
+    # Reads: site-local preference, honest delivered-level stamping
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        request=None,
+        site: Optional[str] = None,
+    ):
+        """Read an entity from its shard group.
+
+        ``site`` names where the reader sits: among the live hosting
+        replicas the site-local one is preferred, then the nearest by
+        WAN latency — a cross-DC hop only happens when the local site
+        does not host (or has lost) the shard.  ``STRONG`` requests are
+        served by the shard's home replica and stamped ``STRONG`` only
+        when it has genuinely seen every group write (measured staleness
+        zero); anything else is stamped with the replica floor and the
+        measured cross-site staleness, which is what the front door's
+        bounded rung gates on.
+
+        Without ``request`` the legacy raw-state form serves from the
+        first live hosting replica (site preference still applies).
+
+        Raises:
+            ConsistencyUnavailable: No live site hosts the shard, or
+                ``STRONG`` was required (``allow_degraded=False``) and
+                the home site cannot serve it.
+        """
+        shard = self.placement.shard_of(entity_type, entity_key)
+        members = self.groups[shard]
+        live = [m for m in members if not self.gateways[m.site].crashed]
+        if not live:
+            raise ConsistencyUnavailable(
+                f"no live site hosts shard {shard} for "
+                f"{entity_type}/{entity_key}"
+            )
+        level = request.level if request is not None else ConsistencyLevel.STRONG
+        home = members[0]
+        strong_wanted = (
+            LEVEL_STRENGTH[level] <= LEVEL_STRENGTH[ConsistencyLevel.STRONG]
+        )
+        if strong_wanted and home in live:
+            serving = home
+        else:
+            if (
+                strong_wanted
+                and request is not None
+                and not request.allow_degraded
+            ):
+                raise ConsistencyUnavailable(
+                    f"shard {shard} home site {home.site!r} is down and the "
+                    "request forbids degradation"
+                )
+            serving = self._nearest(live, site)
+        staleness = 0.0
+        for peer in members:
+            if peer is not serving:
+                staleness = max(staleness, staleness_behind(peer, serving))
+        state = serving.store.get(entity_type, entity_key)
+        if request is None:
+            return state
+        if serving is home and staleness == 0.0:
+            delivered = level
+        else:
+            delivered = replica_level(level)
+        if self._h_staleness is not None and serving is not home:
+            self._h_staleness.record(
+                sum(
+                    peer.store.count_from_origin(
+                        peer.node_id,
+                        serving.store.version_vector.get(peer.node_id),
+                    )
+                    for peer in members
+                    if peer is not serving
+                )
+            )
+        return deliver(
+            state,
+            request,
+            delivered,
+            staleness=staleness,
+            served_by=serving.node_id,
+            site=serving.site,
+            metrics=self.sim.metrics,
+        )
+
+    def _nearest(
+        self, live: list[GeoShardReplica], site: Optional[str]
+    ) -> GeoShardReplica:
+        """Site-local member if there is one, else the live member with
+        the lowest WAN latency from ``site`` (preference order breaks
+        ties); plain preference order when the reader is siteless."""
+        if site is None:
+            return live[0]
+        best = live[0]
+        best_cost = self.topology.latency_between(site, best.site)
+        for member in live[1:]:
+            cost = self.topology.latency_between(site, member.site)
+            if cost < best_cost:
+                best, best_cost = member, cost
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Propagation: per-group shipping + anti-entropy via the gateways
+    # ------------------------------------------------------------------ #
+
+    def _ship_round(self) -> None:
+        for shard in self.groups:
+            members = self.groups[shard]
+            for source in members:
+                if self.gateways[source.site].crashed:
+                    continue
+                for destination in members:
+                    if destination is source:
+                        continue
+                    key = (source.node_id, destination.node_id)
+                    sent = self._shipped.get(key, 0)
+                    backlog = source.store.events_from_origin(
+                        source.node_id, sent
+                    )
+                    if backlog and source.ship_events(
+                        destination.node_id, backlog
+                    ):
+                        self._shipped[key] = backlog[-1].origin_seq
+        self.sim.schedule(self.ship_interval, self._ship_round, label="geo-ship")
+
+    def _anti_entropy_round(self) -> None:
+        for shard in self.groups:
+            members = self.groups[shard]
+            for replica in members:
+                if self.gateways[replica.site].crashed:
+                    continue
+                for peer in members:
+                    if peer is not replica:
+                        replica.probe(peer.node_id)
+        self.sim.schedule(
+            self.anti_entropy_interval,
+            self._anti_entropy_round,
+            label="geo-gossip",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convergence and lag (tests, soaks, benchmarks)
+    # ------------------------------------------------------------------ #
+
+    def replica_list(self) -> list[GeoShardReplica]:
+        """All shard replicas, group by group in preference order."""
+        return [m for shard in sorted(self.groups) for m in self.groups[shard]]
+
+    def is_converged(self) -> bool:
+        """Whether every shard group's members agree (per-group
+        convergence is all partial replication can promise — sites do
+        not hold shards they were never placed)."""
+        return all(converged(members) for members in self.groups.values())
+
+    @property
+    def replication_lag_events(self) -> int:
+        """Total events some group member has not applied yet, summed
+        over all (origin, follower) pairs — the group-wide backlog."""
+        lag = 0
+        for members in self.groups.values():
+            for origin in members:
+                for follower in members:
+                    if follower is origin:
+                        continue
+                    applied = follower.store.version_vector.get(origin.node_id)
+                    lag += origin.store.count_from_origin(
+                        origin.node_id, applied
+                    )
+        return lag
+
+    def site_replicas(self, site: str) -> list[GeoShardReplica]:
+        """The shard replicas hosted at one site, ascending by shard."""
+        return [
+            self.replicas[f"{site}/s{shard}"]
+            for shard in self.placement.shards_of(site)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GeoReplicaGroup({len(self.placement.sites)} sites, "
+            f"{self.placement.shards} shards x{self.placement.replicas})"
+        )

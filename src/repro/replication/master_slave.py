@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.errors import NotMaster
 from repro.lsdb.rollup import EntityState
 from repro.merge.deltas import Delta
@@ -120,7 +119,7 @@ class MasterSlaveGroup:
     # Reads: anywhere, with staleness at slaves
     # ------------------------------------------------------------------ #
 
-    def read(self, *args: str, consistency: Any = _UNSET, request=None):
+    def read(self, *args: str, request=None):
         """Read an entity — typed, canonical, or legacy form.
 
         Typed (the unified protocol, :mod:`repro.core.readpath`)::
@@ -136,25 +135,19 @@ class MasterSlaveGroup:
         Canonical ``read(entity_type, entity_key)`` serves the master
         and returns the raw state; the legacy three-positional form
         ``read(node_id, entity_type, entity_key)`` addresses an
-        explicit node.  The loose ``consistency=<level>`` keyword is a
-        deprecated alias for the typed form (still returning the raw
-        state).
+        explicit node.
 
         Slave reads record their staleness (master events not yet
         applied at the serving slave) into the ``read.staleness_events``
         histogram when metrics are attached.
         """
-        if consistency is not _UNSET:
-            warn_loose_consistency("MasterSlaveGroup.read")
         if len(args) == 3:
             node_id, entity_type, entity_key = args
         elif len(args) == 2:
             entity_type, entity_key = args
             from repro.core.consistency import ConsistencyLevel
 
-            level = request.level if request is not None else (
-                None if consistency is _UNSET else consistency
-            )
+            level = request.level if request is not None else None
             if level is None or level is ConsistencyLevel.STRONG:
                 node_id = self.master.node_id
             else:

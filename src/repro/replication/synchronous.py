@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
 from repro.core.policy import RetryPolicy, TimeoutPolicy
-from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.errors import DeadlineExceeded, RetryExhausted
 from repro.lsdb.events import LogEvent
 from repro.merge.deltas import Delta
@@ -160,7 +159,6 @@ class SyncPrimaryBackup:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = _UNSET,
         request=None,
     ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
@@ -175,11 +173,6 @@ class SyncPrimaryBackup:
         """
         from repro.core.consistency import ConsistencyLevel
 
-        if consistency is not _UNSET:
-            warn_loose_consistency("SyncPrimaryBackup.read")
-            if consistency is None or consistency is ConsistencyLevel.STRONG:
-                return self.primary.store.get(entity_type, entity_key)
-            return self.backup.store.get(entity_type, entity_key)
         if request is None:
             return self.primary.store.get(entity_type, entity_key)
         from repro.core.readpath import deliver, replica_level

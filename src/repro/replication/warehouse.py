@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.readpath import _UNSET, warn_loose_consistency
 from repro.lsdb.rollup import EntityState
 from repro.lsdb.store import LSDBStore
 from repro.sim.scheduler import Simulator
@@ -111,7 +110,6 @@ class WarehouseExtract:
         entity_type: str,
         entity_key: str,
         *,
-        consistency: Any = _UNSET,
         request=None,
     ):
         """The unified read protocol (see :mod:`repro.core.readpath`).
@@ -125,8 +123,6 @@ class WarehouseExtract:
         snapshot *is* current), otherwise the time since the extract
         was taken.
         """
-        if consistency is not _UNSET:
-            warn_loose_consistency("WarehouseExtract.read")
         state = self.get(entity_type, entity_key)
         if request is None:
             return state

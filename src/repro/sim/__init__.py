@@ -16,6 +16,9 @@ The substrate is intentionally small and fully deterministic:
   distributions, message loss and partitions.
 * :class:`~repro.sim.failure.FailureInjector` — scripted crash/recover
   schedules for nodes.
+* :class:`~repro.sim.topology.SiteTopology` — named sites with per-link
+  WAN latency/loss profiles layered onto the network, plus the site-level
+  fault units geo chaos draws over.
 * :mod:`~repro.sim.rng` — seeded random-variate helpers (exponential
   inter-arrival times, Zipf key skew) used by workload generators.
 """
@@ -24,6 +27,7 @@ from repro.sim.scheduler import Simulator, ScheduledEvent
 from repro.sim.network import Network, Node, Partition
 from repro.sim.failure import FailureInjector
 from repro.sim.rng import SeededRNG, ZipfGenerator
+from repro.sim.topology import SiteTopology, WanLink
 
 __all__ = [
     "Simulator",
@@ -34,4 +38,6 @@ __all__ = [
     "FailureInjector",
     "SeededRNG",
     "ZipfGenerator",
+    "SiteTopology",
+    "WanLink",
 ]

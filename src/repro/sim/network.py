@@ -138,6 +138,39 @@ class Partition:
 
 
 @dataclass
+class LinkStats:
+    """Per-(source-site, destination-site) wire counters.
+
+    The global :class:`NetworkStats` aggregates across the whole fabric;
+    when a :class:`~repro.sim.topology.SiteTopology` is attached, every
+    cross-site send is *also* booked against its directed link so WAN
+    frame amortization (payloads per frame, per link) is observable and
+    gateable per datacenter pair.
+    """
+
+    sent: int = 0
+    delivered: int = 0
+    frames: int = 0
+    payloads: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_crashed: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_loss + self.dropped_partition + self.dropped_crashed
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "frames": self.frames,
+            "payloads": self.payloads,
+            "sent": self.sent,
+        }
+
+
+@dataclass
 class NetworkStats:
     """Counters describing what the network did to traffic."""
 
@@ -152,11 +185,39 @@ class NetworkStats:
     #: ``frame_payloads / frames`` is the realised batching factor.
     frames: int = 0
     frame_payloads: int = 0
+    #: Per-directed-WAN-link counters, keyed ``(src_site, dst_site)``.
+    #: Populated only for cross-site traffic of an attached topology.
+    links: dict = field(default_factory=dict)
 
     @property
     def dropped(self) -> int:
         """Total messages that never reached a handler."""
         return self.dropped_partition + self.dropped_loss + self.dropped_crashed
+
+    def link(self, src_site: str, dst_site: str) -> LinkStats:
+        """The (created-on-demand) counters for one directed link."""
+        key = (src_site, dst_site)
+        stats = self.links.get(key)
+        if stats is None:
+            stats = self.links[key] = LinkStats()
+        return stats
+
+    @property
+    def wan_frames(self) -> int:
+        """Cross-site wire frames, summed over every link."""
+        return sum(link.frames for link in self.links.values())
+
+    @property
+    def wan_payloads(self) -> int:
+        """Cross-site logical payloads, summed over every link."""
+        return sum(link.payloads for link in self.links.values())
+
+    def links_to_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-friendly per-link view, keys ``"src->dst"`` sorted."""
+        return {
+            f"{src}->{dst}": self.links[(src, dst)].to_dict()
+            for src, dst in sorted(self.links)
+        }
 
 
 class Network:
@@ -215,6 +276,10 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.partition: Optional[Partition] = None
         self.stats = NetworkStats()
+        #: Optional :class:`~repro.sim.topology.SiteTopology`; when set,
+        #: cross-site traffic pays the link's WAN latency, flips its
+        #: extra loss coin, and is booked per directed link.
+        self.topology = None
         self._rng = sim.fork_rng()
         self._trace: list[tuple[float, str, str, Any]] = []
         self.tracing = False
@@ -250,6 +315,32 @@ class Network:
         self.nodes[node.node_id] = node
         node.network = self
         return node
+
+    def attach_topology(self, topology) -> None:
+        """Layer a :class:`~repro.sim.topology.SiteTopology` onto the
+        fabric.  From now on a send whose endpoints sit in different
+        sites pays the link's WAN latency on top of the base draw,
+        flips the link's extra loss coin (only when its probability is
+        positive — same-site traffic consumes no extra randomness), and
+        is counted in :attr:`NetworkStats.links` plus the ``net.wan_*``
+        metrics.  Attaching the same topology twice is a no-op."""
+        if self.topology is topology:
+            return
+        if self.topology is not None:
+            raise NetworkError("network already has a topology attached")
+        self.topology = topology
+
+    def _wan_hop(self, source: str, destination: str):
+        """``(src_site, dst_site, link, link_stats)`` for a cross-site
+        send, ``None`` otherwise.  One dict lookup per endpoint when a
+        topology is attached; nothing at all when it is not."""
+        if self.topology is None:
+            return None
+        hop = self.topology.wan_link_for(source, destination)
+        if hop is None:
+            return None
+        src_site, dst_site, link = hop
+        return src_site, dst_site, link, self.stats.link(src_site, dst_site)
 
     def partition_into(self, *groups: set[str] | list[str]) -> Partition:
         """Split the network into isolated groups (heals any prior
@@ -289,16 +380,31 @@ class Network:
         self.stats.sent += 1
         if self._m_sent is not None:
             self._m_sent.inc()
+        wan = self._wan_hop(source, destination)
+        if wan is not None:
+            wan[3].sent += 1
+            wan[3].frames += 1
+            wan[3].payloads += 1
         if self.nodes[source].crashed:
-            self._drop("crashed", source, destination)
+            self._drop("crashed", source, destination, wan)
             return False
         if self.is_partitioned(source, destination):
-            self._drop("partition", source, destination)
+            self._drop("partition", source, destination, wan)
             return False
         if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
-            self._drop("loss", source, destination)
+            self._drop("loss", source, destination, wan)
+            return False
+        if (
+            wan is not None
+            and wan[2].loss_probability > 0
+            and self._rng.coin(wan[2].loss_probability)
+        ):
+            self._drop("loss", source, destination, wan)
             return False
         delay = self._scaled_latency(source, destination)
+        if wan is not None:
+            delay += wan[2].latency
+            self._record_wan(wan, 1, delay)
         if self._m_latency is not None:
             self._m_latency.record(delay)
         # A hop span is opened only when the send happens inside an
@@ -318,13 +424,17 @@ class Network:
         if self.duplication_probability > 0 and self._rng.coin(
             self.duplication_probability
         ):
-            # The ghost copy takes its own (scaled) latency draw, so the
-            # duplicate may arrive before or after the original.
+            # The ghost copy takes its own (scaled) latency draw — plus
+            # the same constant WAN leg — so the duplicate may arrive
+            # before or after the original.
             self.stats.duplicated += 1
             if self.metrics is not None:
                 self.metrics.counter("net.duplicated").inc()
+            dup_delay = self._scaled_latency(source, destination)
+            if wan is not None:
+                dup_delay += wan[2].latency
             self.sim.schedule(
-                self._scaled_latency(source, destination),
+                dup_delay,
                 lambda: self._deliver(source, destination, message, None),
                 label=f"net dup {source}->{destination}",
             )
@@ -373,16 +483,31 @@ class Network:
             raise NetworkError(f"unknown destination {destination!r}")
         if source not in self.nodes:
             raise NetworkError(f"unknown source {source!r}")
+        wan = self._wan_hop(source, destination)
+        if wan is not None:
+            wan[3].sent += 1
+            wan[3].frames += 1
+            wan[3].payloads += frame.size
         if self.nodes[source].crashed:
-            self._drop("crashed", source, destination)
+            self._drop("crashed", source, destination, wan)
             return False
         if self.is_partitioned(source, destination):
-            self._drop("partition", source, destination)
+            self._drop("partition", source, destination, wan)
             return False
         if self.loss_probability > 0 and self._rng.coin(self.loss_probability):
-            self._drop("loss", source, destination)
+            self._drop("loss", source, destination, wan)
+            return False
+        if (
+            wan is not None
+            and wan[2].loss_probability > 0
+            and self._rng.coin(wan[2].loss_probability)
+        ):
+            self._drop("loss", source, destination, wan)
             return False
         delay = self._scaled_latency(source, destination)
+        if wan is not None:
+            delay += wan[2].latency
+            self._record_wan(wan, frame.size, delay)
         if self._m_latency is not None:
             self._m_latency.record(delay)
         hop = None
@@ -406,14 +531,27 @@ class Network:
             self.stats.duplicated += 1
             if self.metrics is not None:
                 self.metrics.counter("net.duplicated").inc()
+            dup_delay = self._scaled_latency(source, destination)
+            if wan is not None:
+                dup_delay += wan[2].latency
             self.sim.schedule(
-                self._scaled_latency(source, destination),
+                dup_delay,
                 lambda: self._deliver(source, destination, frame, None),
                 label=f"net dup {source}->{destination}",
             )
         return True
 
-    def _drop(self, reason: str, source: str, destination: str) -> None:
+    def _record_wan(self, wan, payloads: int, delay: float) -> None:
+        """Metric side of a cross-site frame that made it onto the wire:
+        per-link ``net.wan_*`` counters plus the one-way WAN latency."""
+        if self.metrics is None:
+            return
+        label = f"{wan[0]}->{wan[1]}"
+        self.metrics.counter("net.wan_frames", link=label).inc()
+        self.metrics.counter("net.wan_payloads", link=label).inc(payloads)
+        self.metrics.histogram("net.wan_latency", link=label).record(delay)
+
+    def _drop(self, reason: str, source: str, destination: str, wan=None) -> None:
         """Record a dropped message in stats, metrics, and (when inside
         an active trace) as an instantly-closed hop span."""
         setattr(
@@ -421,6 +559,13 @@ class Network:
             f"dropped_{reason}",
             getattr(self.stats, f"dropped_{reason}") + 1,
         )
+        if wan is not None:
+            link_stats = wan[3]
+            setattr(
+                link_stats,
+                f"dropped_{reason}",
+                getattr(link_stats, f"dropped_{reason}") + 1,
+            )
         counter = self._m_dropped.get(reason)
         if counter is not None:
             counter.inc()
@@ -444,6 +589,11 @@ class Network:
         because reachability is a property of each link.  Per-node
         ``slow_nodes`` factors still scale the shared draw per
         destination.
+
+        Broadcast is a LAN primitive: it ignores any attached topology
+        (no WAN latency, no link coins, no per-link booking).  Cross-site
+        fan-out goes through the per-site gateways, which turn it into
+        explicit per-link :meth:`send_batch` frames.
 
         Returns the number of sends accepted for delivery.
         """
@@ -556,6 +706,9 @@ class Network:
             # never arrived, which the timeline renders as "open".
             return
         self.stats.delivered += 1
+        wan = self._wan_hop(source, destination)
+        if wan is not None:
+            wan[3].delivered += 1
         if self._m_delivered is not None:
             self._m_delivered.inc()
         if self.tracing:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Cluster, ClusterBuilder, ConsistencyLevel
-from repro.core.readpath import ReadSurface, read_from
+from repro.core.readpath import ReadRequest, ReadSurface, read_from
 from repro.lsdb.store import LSDBStore
 from repro.replication import (
     ActiveActiveGroup,
@@ -31,7 +31,7 @@ class TestBuilderModes:
         cluster.sim.run(until=30.0)
         assert cluster.read("order", "o-1").fields["total"] == 5
         assert cluster.read(
-            "order", "o-1", consistency=ConsistencyLevel.EVENTUAL
+            "order", "o-1", request=ReadRequest.eventual()
         ).fields["total"] == 5
 
     def test_async_generalises_to_master_slave(self):
@@ -174,14 +174,16 @@ class TestReadProtocol:
         cluster.replication.write_insert("order", "o-1", {"total": 4})
         # Before shipping: the master has it, the slave does not.
         assert cluster.read(
-            "order", "o-1", consistency=ConsistencyLevel.STRONG
+            "order", "o-1", request=ReadRequest.strong()
         ).fields["total"] == 4
         assert cluster.read(
-            "order", "o-1", consistency=ConsistencyLevel.BOUNDED_STALENESS
-        ) is None
+            "order", "o-1",
+            request=ReadRequest(level=ConsistencyLevel.BOUNDED_STALENESS),
+        ).unwrap() is None
         cluster.sim.run(until=30.0)
         assert cluster.read(
-            "order", "o-1", consistency=ConsistencyLevel.BOUNDED_STALENESS
+            "order", "o-1",
+            request=ReadRequest(level=ConsistencyLevel.BOUNDED_STALENESS),
         ).fields["total"] == 4
 
     def test_store_implements_protocol(self):
@@ -189,10 +191,10 @@ class TestReadProtocol:
         store.insert("order", "o-1", {"total": 1})
         assert isinstance(store, ReadSurface)
         assert store.read("order", "o-1").fields["total"] == 1
-        # Consistency is accepted (and ignored) on single-level surfaces.
-        assert store.read(
-            "order", "o-1", consistency=ConsistencyLevel.STRONG
-        ).fields["total"] == 1
+        # The deprecated loose keyword finished its cycle: it now fails
+        # like any unknown keyword instead of being quietly accepted.
+        with pytest.raises(TypeError):
+            store.read("order", "o-1", consistency=ConsistencyLevel.STRONG)
 
     def test_read_from_falls_back_to_get(self):
         class LegacySurface:

@@ -209,16 +209,14 @@ class TestTypedSchemeReads:
             >= 1
         )
 
-    def test_loose_consistency_kwarg_warns_and_returns_raw(self):
+    def test_loose_consistency_kwarg_removed(self):
         sim = Simulator(seed=1)
         group = make_group(sim)
         group.write_insert("order", "o-1", {"total": 4})
-        with pytest.warns(DeprecationWarning, match="consistency"):
-            state = group.read(
-                "order", "o-1", consistency=ConsistencyLevel.STRONG
-            )
-        assert not isinstance(state, ReadResult)
-        assert state.fields["total"] == 4
+        # One deprecation cycle later, the loose keyword is gone: it
+        # fails like any unknown keyword.
+        with pytest.raises(TypeError):
+            group.read("order", "o-1", consistency=ConsistencyLevel.STRONG)
 
 
 class TestReadFrom:
@@ -238,15 +236,14 @@ class TestReadFrom:
         assert isinstance(result, ReadResult)
         assert result.delivered_level is ConsistencyLevel.STRONG
 
-    def test_deprecated_consistency_warns_once_per_site(self):
+    def test_deprecated_consistency_kwarg_removed(self):
         store = LSDBStore()
         store.insert("order", "o-1", {"total": 1})
-        with pytest.warns(DeprecationWarning):
-            state = read_from(
+        with pytest.raises(TypeError):
+            read_from(
                 store, "order", "o-1",
                 consistency=ConsistencyLevel.EVENTUAL,
             )
-        assert not isinstance(state, ReadResult)
 
     def test_pre_typed_surface_falls_back(self):
         class OldSurface:
