@@ -34,6 +34,7 @@ DATAPLANE = ROOT / "BENCH_dataplane.json"
 COLUMNAR = ROOT / "BENCH_columnar.json"
 FRONTDOOR = ROOT / "BENCH_frontdoor.json"
 GEO = ROOT / "BENCH_geo.json"
+ISOLATION = ROOT / "BENCH_isolation.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -227,6 +228,96 @@ def check_geo(
     return ok
 
 
+#: The ISSUE 9 acceptance cells, re-derived here so the gate does not
+#: trust the artefact's own ``matches_theory`` verdict alone:
+#: serializable admits nothing; SI forbids lost updates and long forks
+#: but admits write skew; NMSI additionally admits long forks and
+#: non-monotonic snapshots while still forbidding lost updates;
+#: solipsistic admits lost updates.
+REQUIRED_MATRIX_CELLS = (
+    ("serializable", "dirty_read", False),
+    ("serializable", "read_skew", False),
+    ("serializable", "lost_update", False),
+    ("serializable", "write_skew", False),
+    ("serializable", "long_fork", False),
+    ("serializable", "non_monotonic_snapshot", False),
+    ("snapshot", "lost_update", False),
+    ("snapshot", "long_fork", False),
+    ("snapshot", "write_skew", True),
+    ("nmsi", "lost_update", False),
+    ("nmsi", "long_fork", True),
+    ("nmsi", "non_monotonic_snapshot", True),
+    ("solipsistic", "lost_update", True),
+)
+
+
+def check_isolation(
+    data: dict,
+    max_si_abort_ratio: float,
+    max_si_latency_ratio: float,
+) -> bool:
+    """Validate the recorded anomaly scorecard (ISSUE 9 acceptance).
+
+    Three gates over ``BENCH_isolation.json``: the executed anomaly
+    matrix must match theory exactly (both the artefact's own diff and
+    the :data:`REQUIRED_MATRIX_CELLS` re-derived here), SI's abort rate
+    and p95 commit latency under the open-loop load must stay within
+    the given ratios of serializable's, and the lost-update ledger must
+    show solipsism actually losing updates while every snapshot level
+    loses none.
+    """
+    acceptance = data.get("acceptance", {})
+    matrix = data.get("matrix", {})
+    ok = True
+    print("perf gate: isolation spectrum (BENCH_isolation.json)")
+    matches = acceptance.get("matches_theory")
+    passed = matches is True
+    print(f"  {'matches_theory':32s} {matches} {'PASS' if passed else 'FAIL'}")
+    for mismatch in acceptance.get("mismatches", []):
+        print(f"    mismatch: {mismatch}")
+    ok = ok and passed
+    for mode, anomaly, expected in REQUIRED_MATRIX_CELLS:
+        cell = matrix.get(mode, {}).get(anomaly, {})
+        observed = cell.get("materialized")
+        passed = observed is expected
+        if not passed:
+            print(f"  matrix[{mode}][{anomaly}] = {observed} "
+                  f"(must be {expected}) FAIL")
+        ok = ok and passed
+    print(f"  {'required_matrix_cells':32s} "
+          f"{len(REQUIRED_MATRIX_CELLS)} cells checked "
+          f"{'PASS' if ok else 'FAIL'}")
+    for name, bound in (
+        ("si_abort_ratio", max_si_abort_ratio),
+        ("si_latency_ratio", max_si_latency_ratio),
+    ):
+        value = acceptance.get(name)
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value <= bound
+        print(f"  {name:32s} {value:g} (must be <= {bound:g}) "
+              f"{'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    lost = acceptance.get("lost_updates", {})
+    for mode, bad in (("solipsistic", False), ("nmsi", True),
+                      ("snapshot", True), ("serializable", True)):
+        value = lost.get(mode)
+        if value is None:
+            print(f"  lost_updates[{mode}] missing FAIL")
+            ok = False
+            continue
+        passed = value == 0 if bad else value > 0
+        relation = "== 0" if bad else "> 0"
+        label = f"lost_updates[{mode}]"
+        print(f"  {label:32s} {value} (must be {relation}) "
+              f"{'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    print(f"perf gate: isolation spectrum -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def check_live(data: dict, tolerance: float, quick: bool) -> bool:
     """Re-run the bench and compare against the recorded after-numbers."""
     sys.path.insert(0, str(ROOT / "benchmarks"))
@@ -288,6 +379,11 @@ def main() -> None:
     parser.add_argument("--min-failover-availability", type=float, default=0.99,
                         help="typed-read availability during a site outage "
                              "(recorded)")
+    parser.add_argument("--max-si-abort-ratio", type=float, default=1.0,
+                        help="SI vs serializable abort rate under the "
+                             "open-loop load (recorded)")
+    parser.add_argument("--max-si-latency-ratio", type=float, default=1.25,
+                        help="SI vs serializable p95 commit latency (recorded)")
     args = parser.parse_args()
 
     data = load_trajectory()
@@ -312,6 +408,11 @@ def main() -> None:
         load_trajectory(GEO),
         args.max_wan_ratio,
         args.min_failover_availability,
+    ) and ok
+    ok = check_isolation(
+        load_trajectory(ISOLATION),
+        args.max_si_abort_ratio,
+        args.max_si_latency_ratio,
     ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok

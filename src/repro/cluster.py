@@ -422,6 +422,36 @@ class ClusterBuilder:
         self._transactions_kwargs = dict(kwargs)
         return self
 
+    def with_isolation(
+        self,
+        level: Any,
+        propagation_lag: float = 0.0,
+        **kwargs: Any,
+    ) -> "ClusterBuilder":
+        """Add a transaction manager defaulting to an isolation level.
+
+        Args:
+            level: An :class:`repro.core.transaction.IsolationLevel` or
+                its string value (``"snapshot"``, ``"nmsi"``, ...).
+            propagation_lag: Virtual time an NMSI commit stays
+                invisible to other sites.
+            kwargs: Further :class:`TransactionManager` arguments,
+                merged with (and overriding) any earlier
+                :meth:`with_transactions` declaration.
+        """
+        from repro.core.transaction import IsolationLevel
+
+        resolved = (
+            level if isinstance(level, IsolationLevel)
+            else IsolationLevel(level)
+        )
+        merged = dict(self._transactions_kwargs or {})
+        merged.update(kwargs)
+        merged["isolation"] = resolved
+        merged["propagation_lag"] = propagation_lag
+        self._transactions_kwargs = merged
+        return self
+
     def with_constraints(self, *constraints: Any) -> "ClusterBuilder":
         """Add a constraint manager (with optional initial constraints)
         over the primary store."""
@@ -709,12 +739,14 @@ class ClusterBuilder:
                 for constraint in self._constraint_objs:
                     cluster.constraints.add(constraint)
             if self._transactions_kwargs is not None:
+                tx_kwargs = dict(self._transactions_kwargs)
+                tx_kwargs.setdefault("metrics", metrics)
                 cluster.transactions = TransactionManager(
                     cluster.store,
                     sim=sim,
                     queue=cluster.queue,
                     constraints=cluster.constraints,
-                    **self._transactions_kwargs,
+                    **tx_kwargs,
                 )
             if self._with_compensation:
                 cluster.compensation = CompensationManager(

@@ -21,6 +21,20 @@ This module implements the paper's transaction model:
   ``UpdateMode.SYNCHRONOUS`` is the alternative the paper also supports:
   actions run before the acknowledgement — slower, but no
   read-your-writes staleness window.
+* **The isolation spectrum** (:class:`IsolationLevel`): the middle
+  ground the paper argues for.  Between solipsistic commits and
+  serializable OCC sit *snapshot isolation* (``SNAPSHOT``: a consistent
+  snapshot at ``begin()``, first-committer-wins write-write validation
+  at commit) and *non-monotonic snapshot isolation* (``NMSI``, after
+  Ardekani/Sutra/Preguiça/Shapiro): snapshots lose monotonicity —
+  a transaction beginning at one site sees site-local commits
+  immediately but remote commits only after ``propagation_lag`` —
+  while commit-time validation is still global, so independent
+  transactions may observe long-fork snapshots yet lost updates remain
+  impossible.  Snapshots are expressed as vector clocks over per-site
+  commit sequences (:mod:`repro.merge.clock`), so "two transactions
+  observed incomparable states" is literally
+  ``VectorClock.concurrent_with``.
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from repro.locks.optimistic import OCCValidator
 from repro.lsdb.events import EventKind, LogEvent
 from repro.lsdb.rollup import EntityState
 from repro.lsdb.store import LSDBStore
+from repro.merge.clock import VectorClock, VersionVector
 from repro.merge.deltas import Delta
 from repro.queues.reliable import ReliableQueue
 from repro.queues.transactional import TransactionalOutbox
@@ -61,6 +76,86 @@ class UpdateMode(enum.Enum):
 
     DEFERRED = "deferred"
     SYNCHRONOUS = "synchronous"
+
+
+class IsolationLevel(enum.Enum):
+    """A point on the consistency spectrum a transaction runs at.
+
+    Ordered weakest to strongest (see :data:`ISOLATION_SPECTRUM`):
+
+    * ``SOLIPSISTIC`` — live reads, no validation; commits always
+      succeed (principle 2.10).  Admits lost updates.
+    * ``NMSI`` — snapshot reads with per-site visibility: a commit is
+      visible at its own site immediately and elsewhere only after the
+      manager's ``propagation_lag``; write-write validation is global.
+      Admits long forks and non-monotonic snapshots, forbids lost
+      updates.
+    * ``SNAPSHOT`` — classic SI: a consistent snapshot of everything
+      committed at ``begin()``, first-committer-wins write-write
+      validation.  Admits write skew, forbids lost updates and long
+      forks.
+    * ``SERIALIZABLE`` — OCC backward validation over the read set;
+      admits no anomaly the harness knows.
+    """
+
+    SOLIPSISTIC = "solipsistic"
+    NMSI = "nmsi"
+    SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
+
+    @property
+    def rank(self) -> int:
+        """Position on the spectrum (0 = weakest)."""
+        return ISOLATION_SPECTRUM.index(self)
+
+    def at_least(self, other: "IsolationLevel") -> bool:
+        """Whether this level is at least as strong as ``other``."""
+        return self.rank >= other.rank
+
+
+#: The mode lattice, weakest to strongest.  On a single serialization
+#: unit this is a chain; the interesting structure is which anomalies
+#: each rung admits (see ``repro.isolation.scorecard.THEORY``).
+ISOLATION_SPECTRUM: tuple[IsolationLevel, ...] = (
+    IsolationLevel.SOLIPSISTIC,
+    IsolationLevel.NMSI,
+    IsolationLevel.SNAPSHOT,
+    IsolationLevel.SERIALIZABLE,
+)
+
+#: Levels whose reads come from a begin-time snapshot instead of the
+#: live rollup.
+SNAPSHOT_LEVELS = frozenset({IsolationLevel.SNAPSHOT, IsolationLevel.NMSI})
+
+#: IsolationLevel -> the concurrency-control discipline implementing it.
+#: Snapshot levels run lock-free (their validation is first-committer-
+#: wins at commit); serializable rides the OCC validator.
+_CC_FOR_LEVEL = {
+    IsolationLevel.SOLIPSISTIC: CCMode.SOLIPSISTIC,
+    IsolationLevel.NMSI: CCMode.SOLIPSISTIC,
+    IsolationLevel.SNAPSHOT: CCMode.SOLIPSISTIC,
+    IsolationLevel.SERIALIZABLE: CCMode.OPTIMISTIC,
+}
+
+
+@dataclass(frozen=True)
+class CommittedTx:
+    """The commit record the isolation machinery keeps per transaction.
+
+    Attributes:
+        tx_id: The committed transaction.
+        site: Where it committed (visibility origin for NMSI).
+        seq: Its position in the site's commit sequence (the component
+            the site's entry in a snapshot vector counts up to).
+        committed_at: Virtual commit time (drives NMSI propagation).
+        write_refs: Entity refs it wrote (first-committer-wins input).
+    """
+
+    tx_id: str
+    site: str
+    seq: int
+    committed_at: float
+    write_refs: frozenset[tuple[str, str]]
 
 
 @dataclass
@@ -94,6 +189,17 @@ class CommitReceipt:
         actions_done_at: Virtual time the last deferred action applied.
         events: Log events the transaction appended.
         violations: Managed constraint violations recorded at commit.
+        isolation: The :class:`IsolationLevel` value the transaction ran
+            at ("" for plain :class:`CCMode` transactions).
+        site: The site the transaction ran at ("" when untracked).
+        began_at: Virtual time ``begin()`` was called.
+        snapshot_lsn: Store head LSN the snapshot was taken at (-1 when
+            the transaction did not run at an isolation level).
+        snapshot_txids: Committed transactions visible in the snapshot,
+            sorted (empty for live-read levels and plain transactions).
+        snapshot_vector: Per-site commit-sequence vector of the snapshot
+            (``None`` when not tracked).  Two receipts with
+            ``concurrent_with`` vectors witnessed a long fork.
     """
 
     tx_id: str
@@ -104,6 +210,12 @@ class CommitReceipt:
     actions_done_at: float = 0.0
     events: list[LogEvent] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
+    isolation: str = ""
+    site: str = ""
+    began_at: float = 0.0
+    snapshot_lsn: int = -1
+    snapshot_txids: tuple[str, ...] = ()
+    snapshot_vector: Optional[VectorClock] = None
 
     @property
     def response_time(self) -> float:
@@ -115,6 +227,13 @@ class CommitReceipt:
         """How long committed-but-unapplied secondary updates linger."""
         return max(0.0, self.actions_done_at - self.acked_at)
 
+    @property
+    def snapshot_age(self) -> float:
+        """How old the begin-time snapshot was when commit was
+        submitted — the window another transaction had to sneak a
+        conflicting write in (0 for plain transactions)."""
+        return max(0.0, self.submitted_at - self.began_at)
+
 
 class Transaction:
     """One open transaction: buffered ops, reads, events, actions.
@@ -123,10 +242,19 @@ class Transaction:
     directly.
     """
 
-    def __init__(self, manager: "TransactionManager", tx_id: str, mode: CCMode):
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        tx_id: str,
+        mode: CCMode,
+        isolation: Optional[IsolationLevel] = None,
+        site: str = "",
+    ):
         self.manager = manager
         self.tx_id = tx_id
         self.mode = mode
+        self.isolation = isolation
+        self.site = site or manager.default_site
         self.ops: list[PendingOp] = []
         self.actions: list[DeferredAction] = []
         self.read_set: set[str] = set()
@@ -135,6 +263,17 @@ class Transaction:
         )
         self.begun_at = manager.now()
         self.finished = False
+        #: Snapshot metadata (populated for any isolation level, so
+        #: receipts are uniform across the spectrum; only snapshot
+        #: levels *read* through it).
+        self.snapshot_lsn = -1
+        self.snapshot_txids: frozenset[str] = frozenset()
+        self.snapshot_vector: Optional[VectorClock] = None
+        if isolation is not None:
+            self.snapshot_lsn = manager.store.log.head_lsn
+            self.snapshot_txids, self.snapshot_vector = manager._snapshot_for(
+                self.site, self.begun_at, isolation
+            )
         if mode is CCMode.OPTIMISTIC:
             manager.occ.begin(tx_id)
 
@@ -145,13 +284,18 @@ class Transaction:
     def read(self, entity_type: str, entity_key: str) -> Optional[EntityState]:
         """Read an entity, overlaying this transaction's pending writes.
 
-        Records the read for optimistic validation.  Note the subjective
-        framing: this is the *local replica's* current state, nothing
-        more (paper section 1).
+        Records the read for optimistic validation.  At a snapshot
+        level the answer comes from the begin-time snapshot (the
+        visible prefix of the entity's history); otherwise it is the
+        *local replica's* current state, nothing more — the subjective
+        framing of paper section 1.
         """
         self._check_open()
         self.read_set.add(f"{entity_type}/{entity_key}")
-        base = self.manager.store.get(entity_type, entity_key)
+        if self.isolation in SNAPSHOT_LEVELS:
+            base = self.manager._snapshot_read(self, entity_type, entity_key)
+        else:
+            base = self.manager.store.get(entity_type, entity_key)
         own_ops = [op for op in self.ops if op.entity_ref == (entity_type, entity_key)]
         if not own_ops:
             return base
@@ -299,6 +443,17 @@ class TransactionManager:
             action starting (queueing/dispatch delay).
         locks: Logical lock manager; required for ``TRY_LOCK`` mode and
             used to hold entity locks while deferred actions run.
+        isolation: Default :class:`IsolationLevel` for new transactions
+            (``None`` keeps the plain :class:`CCMode` behaviour; an
+            explicit ``mode=`` to :meth:`begin` always wins).
+        propagation_lag: Virtual time an NMSI commit takes to become
+            visible at *other* sites (its own site sees it at once).
+        default_site: Site attributed to transactions that do not pass
+            one to :meth:`begin`.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; commits
+            and aborts count into ``tx.commits``/``tx.aborts`` (labelled
+            by mode) and snapshot transactions record their begin-to-
+            commit ``tx.snapshot_age``.
     """
 
     def __init__(
@@ -312,6 +467,10 @@ class TransactionManager:
         commit_cost: float = 1.0,
         defer_lag: float = 1.0,
         locks: Optional[LogicalLockManager] = None,
+        isolation: Optional[IsolationLevel] = None,
+        propagation_lag: float = 0.0,
+        default_site: str = "local",
+        metrics=None,
     ):
         self.store = store
         self.sim = sim
@@ -323,22 +482,164 @@ class TransactionManager:
         self.defer_lag = defer_lag
         self.locks = locks or LogicalLockManager()
         self.occ = OCCValidator()
+        self.isolation = isolation
+        self.propagation_lag = propagation_lag
+        self.default_site = default_site
+        self.metrics = metrics
         self._tx_ids = itertools.count(1)
         self.commits = 0
         self.aborts = 0
         self.abort_reasons: dict[str, int] = {}
+        #: Commit history the isolation levels validate against: commit
+        #: order, per-tx records, and the per-site commit sequence
+        #: vector snapshots are cut from.
+        self._commit_order: list[CommittedTx] = []
+        self._committed: dict[str, CommittedTx] = {}
+        self._site_vector = VersionVector()
 
     def now(self) -> float:
         """Current virtual time."""
         return self.sim.now if self.sim else 0.0
 
-    def begin(self, mode: Optional[CCMode] = None, tx_id: str = "") -> Transaction:
-        """Open a transaction (one per process step — principle 2.4)."""
+    def begin(
+        self,
+        mode: Optional[CCMode] = None,
+        tx_id: str = "",
+        isolation: Optional[IsolationLevel] = None,
+        site: str = "",
+    ) -> Transaction:
+        """Open a transaction (one per process step — principle 2.4).
+
+        Args:
+            mode: Explicit concurrency-control mode.  Passing one opts
+                out of the isolation spectrum entirely (the plain
+                pre-spectrum behaviour).
+            tx_id: Optional explicit id.
+            isolation: Level on the spectrum; defaults to the manager's
+                ``isolation`` (``None`` means plain ``cc_mode``).
+            site: Site the transaction runs at (NMSI visibility origin).
+        """
+        resolved = isolation if mode is None else None
+        if resolved is None and mode is None:
+            resolved = self.isolation
         return Transaction(
             self,
             tx_id or f"tx-{next(self._tx_ids)}",
-            mode or self.cc_mode,
+            _CC_FOR_LEVEL[resolved] if resolved is not None else (mode or self.cc_mode),
+            isolation=resolved,
+            site=site,
         )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot machinery (SNAPSHOT / NMSI)
+    # ------------------------------------------------------------------ #
+
+    def _snapshot_for(
+        self, site: str, now: float, isolation: IsolationLevel
+    ) -> tuple[frozenset[str], VectorClock]:
+        """The committed transactions visible to a transaction beginning
+        now at ``site``, plus the per-site commit-sequence vector of
+        that visible set.
+
+        Every level except NMSI sees the full committed prefix —
+        snapshots are monotonic by construction.  NMSI sees site-local
+        commits immediately and remote commits only once
+        ``propagation_lag`` has elapsed since they committed; because a
+        site's commits propagate in commit order, the visible set is a
+        per-site prefix and the vector representation is exact.
+        """
+        if isolation is IsolationLevel.NMSI:
+            visible = [
+                record
+                for record in self._commit_order
+                if record.site == site
+                or record.committed_at + self.propagation_lag <= now
+            ]
+        else:
+            visible = self._commit_order
+        counts: dict[str, int] = {}
+        for record in visible:
+            if record.seq > counts.get(record.site, 0):
+                counts[record.site] = record.seq
+        return (
+            frozenset(record.tx_id for record in visible),
+            VectorClock(counts),
+        )
+
+    def _event_visible(self, event: LogEvent, tx: Transaction) -> bool:
+        """Whether a committed log event belongs in ``tx``'s snapshot.
+
+        Events from tracked transactions follow the snapshot's visible
+        set; everything else (direct store writes, deferred actions,
+        foreign managers) counts as committed-at-append and is visible
+        iff it predates the snapshot LSN.
+        """
+        if event.tx_id and event.tx_id in self._committed:
+            return event.tx_id in tx.snapshot_txids
+        return event.lsn <= tx.snapshot_lsn
+
+    def _snapshot_read(
+        self, tx: Transaction, entity_type: str, entity_key: str
+    ) -> Optional[EntityState]:
+        """Fold the visible prefix of one entity's history — the
+        snapshot levels' read path.  O(entity history), which is the
+        price of reading the past out of an insert-only log without a
+        multi-version cache."""
+        events = [
+            event
+            for event in self.store.history(entity_type, entity_key)
+            if self._event_visible(event, tx)
+        ]
+        if not events:
+            return None
+        return self.store.rollup.fold(events).get((entity_type, entity_key))
+
+    def _first_committer_conflict(self, tx: Transaction) -> str:
+        """First-committer-wins validation: a write-write conflict
+        exists when any committed event on a ref this transaction
+        writes is *outside* its snapshot.  Returns the abort reason
+        ("" when the transaction may commit).
+
+        For SNAPSHOT the invisible writers are exactly those that
+        committed after ``begin()``; for NMSI they additionally include
+        remote commits still inside the propagation window, which is
+        the conservative reading that keeps lost updates impossible
+        even though the snapshot itself may be stale.
+        """
+        for ref in sorted(tx.touched_entities()):
+            for event in self.store.history(*ref):
+                if event.tx_id == tx.tx_id:
+                    continue
+                if not self._event_visible(event, tx):
+                    writer = event.tx_id or f"non-transactional lsn {event.lsn}"
+                    return (
+                        f"write-write conflict on {ref[0]}/{ref[1]} "
+                        f"with {writer}"
+                    )
+        return ""
+
+    def _register_commit(self, tx: Transaction) -> None:
+        """Record a tracked commit in the site-sequenced history."""
+        record = CommittedTx(
+            tx_id=tx.tx_id,
+            site=tx.site,
+            seq=self._site_vector.advance(tx.site),
+            committed_at=self.now(),
+            write_refs=frozenset(tx.touched_entities()),
+        )
+        self._commit_order.append(record)
+        self._committed[tx.tx_id] = record
+
+    def _count_outcome(self, tx: Transaction, committed: bool) -> None:
+        if self.metrics is None:
+            return
+        label = tx.isolation.value if tx.isolation is not None else tx.mode.value
+        name = "tx.commits" if committed else "tx.aborts"
+        self.metrics.counter(name, mode=label).inc()
+        if committed and tx.isolation is not None:
+            self.metrics.histogram("tx.snapshot_age", mode=label).record(
+                max(0.0, self.now() - tx.begun_at)
+            )
 
     # ------------------------------------------------------------------ #
     # Commit path
@@ -347,6 +648,10 @@ class TransactionManager:
     def _commit(self, tx: Transaction) -> CommitReceipt:
         submitted_at = self.now()
         # 1. Concurrency control.  Solipsists skip straight through.
+        if tx.isolation in SNAPSHOT_LEVELS:
+            conflict = self._first_committer_conflict(tx)
+            if conflict:
+                return self._abort(tx, conflict, occ_done=True)
         if tx.mode is CCMode.OPTIMISTIC:
             write_keys = [f"{ref[0]}/{ref[1]}" for ref in tx.touched_entities()]
             try:
@@ -376,6 +681,8 @@ class TransactionManager:
             violations = outcome.violations
         # 3. Make the primary events durable.
         events = [self._append_op(op, tx.tx_id) for op in tx.ops]
+        if tx.isolation is not None:
+            self._register_commit(tx)
         # 4. Commit the descriptor listing pending actions (the SAP
         #    model's durable to-do list).
         if tx.actions:
@@ -404,6 +711,7 @@ class TransactionManager:
             self.locks.release_all(tx.tx_id)
         tx.finished = True
         self.commits += 1
+        self._count_outcome(tx, committed=True)
         return CommitReceipt(
             tx_id=tx.tx_id,
             committed=True,
@@ -412,6 +720,7 @@ class TransactionManager:
             actions_done_at=actions_done_at,
             events=events,
             violations=violations,
+            **self._receipt_tracking(tx),
         )
 
     def _append_op(self, op: PendingOp, tx_id: str) -> LogEvent:
@@ -489,6 +798,7 @@ class TransactionManager:
         tx.finished = True
         self.aborts += 1
         self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+        self._count_outcome(tx, committed=False)
         now = self.now()
         return CommitReceipt(
             tx_id=tx.tx_id,
@@ -497,7 +807,22 @@ class TransactionManager:
             submitted_at=now,
             acked_at=now,
             actions_done_at=now,
+            **self._receipt_tracking(tx),
         )
+
+    def _receipt_tracking(self, tx: Transaction) -> dict[str, Any]:
+        """The isolation-tracking receipt fields (uniform across
+        commit and abort)."""
+        if tx.isolation is None:
+            return {"began_at": tx.begun_at}
+        return {
+            "isolation": tx.isolation.value,
+            "site": tx.site,
+            "began_at": tx.begun_at,
+            "snapshot_lsn": tx.snapshot_lsn,
+            "snapshot_txids": tuple(sorted(tx.snapshot_txids)),
+            "snapshot_vector": tx.snapshot_vector,
+        }
 
     @property
     def abort_rate(self) -> float:

@@ -1,0 +1,155 @@
+"""Decides whether an anomaly actually materialized in an execution.
+
+The :class:`AnomalyDetector` is deliberately dumb about *modes*: it
+looks only at what the :class:`~repro.isolation.histories.HistoryRunner`
+recorded — observations, :class:`~repro.core.transaction.CommitReceipt`
+metadata (including snapshot vectors) and final committed state — and
+answers "did the bad thing happen?".  The scorecard compares its
+verdicts against the published ``THEORY`` matrix; any disagreement is a
+bug in the isolation implementation, not a tunable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isolation.histories import HistoryResult
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One anomaly decision for one execution.
+
+    Attributes:
+        anomaly: The anomaly (== the history name).
+        isolation: Level the history ran under.
+        materialized: Whether the anomaly occurred.
+        evidence: Human-readable account of what the detector saw.
+    """
+
+    anomaly: str
+    isolation: str
+    materialized: bool
+    evidence: str
+
+
+def _v(fields, default=0):
+    return (fields or {}).get("v", default)
+
+
+class AnomalyDetector:
+    """Maps a :class:`HistoryResult` to a :class:`Verdict`.
+
+    One predicate per canned history; :meth:`judge` dispatches on the
+    history's name.
+    """
+
+    def judge(self, result: HistoryResult) -> Verdict:
+        try:
+            predicate = getattr(self, f"_{result.history.name}")
+        except AttributeError:
+            raise KeyError(
+                f"no detector for history {result.history.name!r}"
+            ) from None
+        materialized, evidence = predicate(result)
+        return Verdict(
+            anomaly=result.history.name,
+            isolation=result.isolation,
+            materialized=materialized,
+            evidence=evidence,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-anomaly predicates: (materialized, evidence)
+    # ------------------------------------------------------------------ #
+
+    def _dirty_read(self, result: HistoryResult):
+        seen = _v(result.observed("O", "acct", "x"))
+        aborted = not result.committed("W")
+        if seen == 1 and aborted:
+            return True, "observer returned v=1 buffered by the aborted writer"
+        return False, (
+            f"observer saw v={seen}; the aborted writer's buffered write "
+            "never escaped its transaction"
+        )
+
+    def _read_skew(self, result: HistoryResult):
+        x = _v(result.observed("O", "pair", "x"))
+        y = _v(result.observed("O", "pair", "y"))
+        if not result.committed("O"):
+            return False, (
+                f"observer read x={x},y={y} but was aborted "
+                f"({result.receipts['O'].reason})"
+            )
+        if x == 0 and y == 1:
+            return True, "committed observer read x=0 before and y=1 after W"
+        return False, f"committed observer read the consistent pair x={x},y={y}"
+
+    def _lost_update(self, result: HistoryResult):
+        final = result.final.get("counter/x") or {}
+        n = final.get("n", 0)
+        commits = sum(
+            1 for session in ("A", "B") if result.committed(session)
+        )
+        if commits == 2 and n < 2:
+            return True, (
+                f"both increments committed but the counter shows n={n} "
+                "(one update clobbered the other)"
+            )
+        survivors = [s for s in ("A", "B") if result.committed(s)]
+        return False, (
+            f"{commits} of 2 increments committed "
+            f"({', '.join(survivors) or 'none'}), counter n={n}: "
+            "every committed update is reflected"
+        )
+
+    def _write_skew(self, result: HistoryResult):
+        x = _v(result.final.get("oncall/x"), default=1)
+        y = _v(result.final.get("oncall/y"), default=1)
+        both = result.committed("A") and result.committed("B")
+        if both and x + y == 0:
+            return True, (
+                "both sessions committed their disjoint writes; the "
+                "'someone stays on call' invariant x+y>=1 is broken (0+0)"
+            )
+        return False, (
+            f"final on-call rows x={x},y={y} "
+            f"(A committed={result.committed('A')}, "
+            f"B committed={result.committed('B')}): invariant holds"
+        )
+
+    def _long_fork(self, result: HistoryResult):
+        o1 = (_v(result.observed("O1", "reg", "x")),
+              _v(result.observed("O1", "reg", "y")))
+        o2 = (_v(result.observed("O2", "reg", "x")),
+              _v(result.observed("O2", "reg", "y")))
+        both = result.committed("O1") and result.committed("O2")
+        forked = both and {o1, o2} == {(1, 0), (0, 1)}
+        if forked:
+            vectors_concurrent = False
+            r1, r2 = result.receipts["O1"], result.receipts["O2"]
+            if r1.snapshot_vector is not None and r2.snapshot_vector is not None:
+                vectors_concurrent = r1.snapshot_vector.concurrent_with(
+                    r2.snapshot_vector
+                )
+            return True, (
+                f"O1 saw (x,y)={o1}, O2 saw (x,y)={o2}: the two writes "
+                "were observed in incomparable orders "
+                f"(snapshot vectors concurrent={vectors_concurrent})"
+            )
+        return False, (
+            f"O1 saw (x,y)={o1}, O2 saw (x,y)={o2}: both observations "
+            "are ordered states of one timeline"
+        )
+
+    def _non_monotonic_snapshot(self, result: HistoryResult):
+        x = _v(result.observed("O", "reg", "x"))
+        y = _v(result.observed("O", "reg", "y"))
+        if result.committed("O") and x == 0 and y == 1:
+            return True, (
+                "observer's snapshot holds the newer commit (y=1) while "
+                "missing the older one (x=0): time ran backwards"
+            )
+        return False, (
+            f"observer saw x={x},y={y}: its snapshot respects commit order"
+        )

@@ -1,0 +1,377 @@
+"""Canned anomaly histories as deterministic virtual-time schedules.
+
+Each :class:`History` is a named multi-session, multi-entity schedule:
+setup writes at t=0, then timestamped :class:`Step`\\ s (begin / read /
+set / rmw / commit / abort) attributed to sessions pinned to sites.
+The :class:`HistoryRunner` executes one against a
+:class:`~repro.core.transaction.TransactionManager` by scheduling every
+step on the simulator, recording an :class:`Observation` per read and a
+:class:`~repro.core.transaction.CommitReceipt` per session, then
+probing the final committed state.
+
+The histories are the textbook witnesses, one per anomaly:
+
+* ``dirty_read`` — an observer overlaps a writer that later aborts.
+* ``read_skew`` — an observer straddles a committed two-entity write.
+* ``lost_update`` — two read-modify-write increments race on one
+  counter.
+* ``write_skew`` — two sessions each read both on-call rows and zero a
+  *different* one (the constraint "at least one on call" breaks only if
+  both commit).
+* ``long_fork`` — two independent single-entity writers at different
+  sites; two observers each see *their* site's write but not the other.
+* ``non_monotonic_snapshot`` — an observer's snapshot includes a newer
+  site-local commit while missing an older remote one still inside the
+  propagation window.
+
+Every schedule is pure data: same history + same manager configuration
+⇒ byte-identical observations, receipts and final state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.transaction import CommitReceipt, Transaction, TransactionManager
+from repro.sim.scheduler import Simulator
+
+#: Sites the canned histories span.  NMSI visibility is what separates
+#: them; every other level ignores the site tag.
+SITE_A = "dc-a"
+SITE_B = "dc-b"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scheduled action of one session.
+
+    Attributes:
+        at: Virtual time the step fires.
+        session: Session name (one transaction per session).
+        action: ``begin`` / ``read`` / ``set`` / ``rmw`` / ``commit`` /
+            ``abort``.
+        entity: ``(type, key)`` for read/set/rmw steps.
+        fields: Field overwrite payload for ``set``.
+        delta: For ``rmw``: the increment applied to ``field_name`` of
+            the session's *last read* of ``entity`` (missing entity or
+            field reads as 0) — the classic fetch-add.
+        field_name: The field ``rmw`` increments.
+        site: Site for ``begin`` (defaults to :data:`SITE_A`).
+    """
+
+    at: float
+    session: str
+    action: str
+    entity: Optional[tuple[str, str]] = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    delta: int = 0
+    field_name: str = ""
+    site: str = SITE_A
+
+
+@dataclass(frozen=True)
+class History:
+    """A named anomaly schedule plus the state it starts from.
+
+    Attributes:
+        name: Anomaly name (keys ``repro.isolation.scorecard.THEORY``).
+        description: One-line statement of the anomaly.
+        setup: Initial committed entities: ``(type, key) -> fields``,
+            written directly to the store at t=0 (outside any session).
+        steps: The schedule, fired in ``at`` order (ties impossible by
+            construction — every step has a distinct time).
+        probes: Entity refs whose final committed state the runner
+            reads back after the schedule drains.
+    """
+
+    name: str
+    description: str
+    setup: tuple[tuple[tuple[str, str], tuple[tuple[str, Any], ...]], ...]
+    steps: tuple[Step, ...]
+    probes: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one read step returned.
+
+    Attributes:
+        at: Virtual time of the read.
+        session: The reading session.
+        entity: The ref read.
+        fields: Observed fields (``None`` when the entity was absent
+            from the session's view).
+    """
+
+    at: float
+    session: str
+    entity: tuple[str, str]
+    fields: Optional[dict[str, Any]]
+
+
+@dataclass
+class HistoryResult:
+    """Everything a detector needs about one execution.
+
+    Attributes:
+        history: The schedule that ran.
+        isolation: The level it ran under (its ``value`` string).
+        observations: Every read, in schedule order.
+        receipts: Session -> commit/abort receipt.
+        final: ``"type/key" -> fields`` committed state after the run
+            (``None`` for absent probes).
+    """
+
+    history: History
+    isolation: str
+    observations: list[Observation] = field(default_factory=list)
+    receipts: dict[str, CommitReceipt] = field(default_factory=dict)
+    final: dict[str, Optional[dict[str, Any]]] = field(default_factory=dict)
+
+    def committed(self, session: str) -> bool:
+        receipt = self.receipts.get(session)
+        return bool(receipt and receipt.committed)
+
+    def observed(
+        self, session: str, entity_type: str, entity_key: str
+    ) -> Optional[dict[str, Any]]:
+        """The session's last observation of one ref (``None`` if the
+        read returned nothing; raises if the session never read it)."""
+        hits = [
+            obs
+            for obs in self.observations
+            if obs.session == session and obs.entity == (entity_type, entity_key)
+        ]
+        if not hits:
+            raise KeyError(f"{session} never read {entity_type}/{entity_key}")
+        return hits[-1].fields
+
+
+class HistoryRunner:
+    """Executes one :class:`History` against one manager/simulator pair.
+
+    The runner owns no policy: the manager's isolation level (and
+    ``propagation_lag``) decide what each read sees and which commits
+    survive.  Reuse a runner only with a fresh manager — histories
+    assume they start from their own setup state.
+    """
+
+    def __init__(self, manager: TransactionManager, sim: Simulator):
+        self.manager = manager
+        self.sim = sim
+
+    def run(self, history: History, isolation=None) -> HistoryResult:
+        """Schedule every step, drain the simulator, probe final state.
+
+        Args:
+            history: The schedule to execute.
+            isolation: Level passed to ``begin`` (defaults to the
+                manager's own).
+        """
+        level = isolation if isolation is not None else self.manager.isolation
+        result = HistoryResult(
+            history=history,
+            isolation=level.value if level is not None else "",
+        )
+        for ref, fields in history.setup:
+            self.manager.store.set_fields(ref[0], ref[1], dict(fields))
+        sessions: dict[str, Transaction] = {}
+        last_read: dict[tuple[str, tuple[str, str]], Optional[dict[str, Any]]] = {}
+        for step in history.steps:
+            self.sim.schedule_at(
+                step.at,
+                self._runner_for(step, level, sessions, last_read, result),
+                label=f"{history.name}:{step.session}:{step.action}",
+            )
+        horizon = max(step.at for step in history.steps)
+        self.sim.run(until=horizon + 1000.0)
+        for ref in history.probes:
+            state = self.manager.store.get(*ref)
+            result.final[f"{ref[0]}/{ref[1]}"] = (
+                dict(state.fields) if state is not None else None
+            )
+        return result
+
+    def _runner_for(self, step, level, sessions, last_read, result):
+        def fire() -> None:
+            if step.action == "begin":
+                sessions[step.session] = self.manager.begin(
+                    isolation=level, site=step.site
+                )
+                return
+            tx = sessions[step.session]
+            if step.action == "read":
+                state = tx.read(*step.entity)
+                fields = dict(state.fields) if state is not None else None
+                last_read[(step.session, step.entity)] = fields
+                result.observations.append(
+                    Observation(
+                        at=step.at,
+                        session=step.session,
+                        entity=step.entity,
+                        fields=fields,
+                    )
+                )
+            elif step.action == "set":
+                tx.set_fields(step.entity[0], step.entity[1], dict(step.fields))
+            elif step.action == "rmw":
+                seen = last_read.get((step.session, step.entity)) or {}
+                base = seen.get(step.field_name, 0)
+                tx.set_fields(
+                    step.entity[0],
+                    step.entity[1],
+                    {step.field_name: base + step.delta},
+                )
+            elif step.action == "commit":
+                result.receipts[step.session] = tx.commit()
+            elif step.action == "abort":
+                result.receipts[step.session] = tx.abort()
+            else:  # pragma: no cover - schedule construction error
+                raise ValueError(f"unknown step action {step.action!r}")
+
+        return fire
+
+
+def _setup(*entries: tuple[tuple[str, str], dict[str, Any]]):
+    return tuple(
+        (ref, tuple(sorted(fields.items()))) for ref, fields in entries
+    )
+
+
+DIRTY_READ = History(
+    name="dirty_read",
+    description="observer returns a write buffered by a transaction "
+    "that later aborts",
+    setup=_setup((("acct", "x"), {"v": 0})),
+    steps=(
+        Step(at=1.0, session="W", action="begin", site=SITE_A),
+        Step(at=2.0, session="W", action="set", entity=("acct", "x"), fields={"v": 1}),
+        Step(at=3.0, session="O", action="begin", site=SITE_A),
+        Step(at=4.0, session="O", action="read", entity=("acct", "x")),
+        Step(at=5.0, session="W", action="abort"),
+        Step(at=6.0, session="O", action="commit"),
+    ),
+    probes=(("acct", "x"),),
+)
+
+READ_SKEW = History(
+    name="read_skew",
+    description="observer sees x before and y after one committed "
+    "two-entity write",
+    setup=_setup((("pair", "x"), {"v": 0}), (("pair", "y"), {"v": 0})),
+    steps=(
+        Step(at=1.0, session="O", action="begin", site=SITE_A),
+        Step(at=2.0, session="O", action="read", entity=("pair", "x")),
+        Step(at=3.0, session="W", action="begin", site=SITE_A),
+        Step(at=4.0, session="W", action="set", entity=("pair", "x"), fields={"v": 1}),
+        Step(at=5.0, session="W", action="set", entity=("pair", "y"), fields={"v": 1}),
+        Step(at=6.0, session="W", action="commit"),
+        Step(at=7.0, session="O", action="read", entity=("pair", "y")),
+        Step(at=8.0, session="O", action="commit"),
+    ),
+    probes=(("pair", "x"), ("pair", "y")),
+)
+
+LOST_UPDATE = History(
+    name="lost_update",
+    description="two read-modify-write increments race; one survives "
+    "only if the other's effect is clobbered",
+    setup=_setup((("counter", "x"), {"n": 0})),
+    steps=(
+        Step(at=1.0, session="A", action="begin", site=SITE_A),
+        Step(at=2.0, session="B", action="begin", site=SITE_A),
+        Step(at=3.0, session="A", action="read", entity=("counter", "x")),
+        Step(at=4.0, session="B", action="read", entity=("counter", "x")),
+        Step(at=5.0, session="A", action="rmw", entity=("counter", "x"),
+             field_name="n", delta=1),
+        Step(at=6.0, session="B", action="rmw", entity=("counter", "x"),
+             field_name="n", delta=1),
+        Step(at=7.0, session="A", action="commit"),
+        Step(at=8.0, session="B", action="commit"),
+    ),
+    probes=(("counter", "x"),),
+)
+
+WRITE_SKEW = History(
+    name="write_skew",
+    description="each session reads both on-call rows and zeroes a "
+    "different one; both committing breaks the invariant",
+    setup=_setup((("oncall", "x"), {"v": 1}), (("oncall", "y"), {"v": 1})),
+    steps=(
+        Step(at=1.0, session="A", action="begin", site=SITE_A),
+        Step(at=2.0, session="B", action="begin", site=SITE_A),
+        Step(at=3.0, session="A", action="read", entity=("oncall", "x")),
+        Step(at=4.0, session="A", action="read", entity=("oncall", "y")),
+        Step(at=5.0, session="B", action="read", entity=("oncall", "x")),
+        Step(at=6.0, session="B", action="read", entity=("oncall", "y")),
+        Step(at=7.0, session="A", action="set", entity=("oncall", "x"), fields={"v": 0}),
+        Step(at=8.0, session="B", action="set", entity=("oncall", "y"), fields={"v": 0}),
+        Step(at=9.0, session="A", action="commit"),
+        Step(at=10.0, session="B", action="commit"),
+    ),
+    probes=(("oncall", "x"), ("oncall", "y")),
+)
+
+LONG_FORK = History(
+    name="long_fork",
+    description="two observers see two independent committed writes in "
+    "incomparable orders (their snapshots fork)",
+    setup=_setup((("reg", "x"), {"v": 0}), (("reg", "y"), {"v": 0})),
+    steps=(
+        Step(at=1.0, session="W1", action="begin", site=SITE_A),
+        Step(at=2.0, session="W2", action="begin", site=SITE_B),
+        Step(at=3.0, session="W1", action="set", entity=("reg", "x"), fields={"v": 1}),
+        Step(at=4.0, session="W2", action="set", entity=("reg", "y"), fields={"v": 1}),
+        Step(at=5.0, session="W1", action="commit"),
+        Step(at=6.0, session="W2", action="commit"),
+        Step(at=10.0, session="O1", action="begin", site=SITE_A),
+        Step(at=11.0, session="O1", action="read", entity=("reg", "x")),
+        Step(at=12.0, session="O1", action="read", entity=("reg", "y")),
+        Step(at=13.0, session="O1", action="commit"),
+        Step(at=14.0, session="O2", action="begin", site=SITE_B),
+        Step(at=15.0, session="O2", action="read", entity=("reg", "x")),
+        Step(at=16.0, session="O2", action="read", entity=("reg", "y")),
+        Step(at=17.0, session="O2", action="commit"),
+    ),
+    probes=(("reg", "x"), ("reg", "y")),
+)
+
+NON_MONOTONIC_SNAPSHOT = History(
+    name="non_monotonic_snapshot",
+    description="an observer's snapshot contains a newer site-local "
+    "commit while missing an older remote one",
+    setup=_setup((("reg", "x"), {"v": 0}), (("reg", "y"), {"v": 0})),
+    steps=(
+        Step(at=1.0, session="W1", action="begin", site=SITE_B),
+        Step(at=2.0, session="W1", action="set", entity=("reg", "x"), fields={"v": 1}),
+        Step(at=3.0, session="W1", action="commit"),
+        Step(at=20.0, session="W2", action="begin", site=SITE_A),
+        Step(at=21.0, session="W2", action="set", entity=("reg", "y"), fields={"v": 1}),
+        Step(at=22.0, session="W2", action="commit"),
+        Step(at=25.0, session="O", action="begin", site=SITE_A),
+        Step(at=26.0, session="O", action="read", entity=("reg", "x")),
+        Step(at=27.0, session="O", action="read", entity=("reg", "y")),
+        Step(at=28.0, session="O", action="commit"),
+    ),
+    probes=(("reg", "x"), ("reg", "y")),
+)
+
+#: All canned histories, detection order = anomaly order of the THEORY
+#: matrix (weak anomalies first).
+HISTORIES: tuple[History, ...] = (
+    DIRTY_READ,
+    READ_SKEW,
+    LOST_UPDATE,
+    WRITE_SKEW,
+    LONG_FORK,
+    NON_MONOTONIC_SNAPSHOT,
+)
+
+
+def history_named(name: str) -> History:
+    """Look a canned history up by anomaly name."""
+    for history in HISTORIES:
+        if history.name == name:
+            return history
+    raise KeyError(f"no canned history named {name!r}")

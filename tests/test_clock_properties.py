@@ -1,0 +1,150 @@
+"""Property tests for the clock laws the isolation spectrum leans on.
+
+SI/NMSI snapshots are `VectorClock`s cut from per-site commit
+sequences, and "two transactions observed incomparable states" is
+literally ``concurrent_with`` — so the spectrum's correctness rests on
+``compare`` being a genuine partial order and ``merge`` a genuine join.
+These are the laws, stated as hypothesis properties.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.merge.clock import Ordering, VectorClock, VersionVector
+
+REPLICAS = ("r1", "r2", "r3", "r4")
+
+counts = st.dictionaries(
+    st.sampled_from(REPLICAS), st.integers(min_value=0, max_value=8)
+)
+clocks = counts.map(VectorClock)
+vectors = counts.map(VersionVector)
+
+_FLIP = {
+    Ordering.BEFORE: Ordering.AFTER,
+    Ordering.AFTER: Ordering.BEFORE,
+    Ordering.EQUAL: Ordering.EQUAL,
+    Ordering.CONCURRENT: Ordering.CONCURRENT,
+}
+
+
+def _at_most(a: VectorClock, b: VectorClock) -> bool:
+    """a <= b in the causal order."""
+    return a.compare(b) in (Ordering.BEFORE, Ordering.EQUAL)
+
+
+class TestVectorClockPartialOrder:
+    @given(clocks)
+    def test_reflexive_equal(self, a):
+        assert a.compare(a) is Ordering.EQUAL
+
+    @given(clocks, clocks)
+    def test_comparison_antisymmetric(self, a, b):
+        # Swapping the operands flips BEFORE/AFTER and fixes
+        # EQUAL/CONCURRENT; in particular a<=b and b<=a force a == b.
+        assert b.compare(a) is _FLIP[a.compare(b)]
+        if _at_most(a, b) and _at_most(b, a):
+            assert a == b
+
+    @given(clocks, clocks, clocks)
+    def test_transitive(self, a, b, c):
+        if _at_most(a, b) and _at_most(b, c):
+            assert _at_most(a, c)
+
+    @given(clocks, clocks)
+    def test_concurrent_symmetric(self, a, b):
+        assert a.concurrent_with(b) == b.concurrent_with(a)
+
+    @given(clocks, clocks)
+    def test_concurrent_excludes_order(self, a, b):
+        if a.concurrent_with(b):
+            assert not _at_most(a, b)
+            assert not _at_most(b, a)
+
+    @given(clocks, st.sampled_from(REPLICAS))
+    def test_increment_strictly_after(self, a, replica):
+        assert a.compare(a.increment(replica)) is Ordering.BEFORE
+
+
+class TestVectorClockMergeLaws:
+    @given(clocks, clocks)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(clocks, clocks, clocks)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(clocks)
+    def test_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(clocks, clocks)
+    def test_merge_is_upper_bound(self, a, b):
+        joined = a.merge(b)
+        assert joined.dominates(a)
+        assert joined.dominates(b)
+
+    @given(clocks, clocks, clocks)
+    def test_merge_is_least_upper_bound(self, a, b, c):
+        if c.dominates(a) and c.dominates(b):
+            assert c.dominates(a.merge(b))
+
+
+class TestVersionVectorLaws:
+    @given(vectors, vectors)
+    def test_merge_commutative(self, a, b):
+        left = VersionVector(a.to_dict())
+        left.merge(b)
+        right = VersionVector(b.to_dict())
+        right.merge(a)
+        assert left == right
+
+    @given(vectors, vectors, vectors)
+    def test_merge_associative(self, a, b, c):
+        left = VersionVector(a.to_dict())
+        left.merge(b)
+        left.merge(c)
+        bc = VersionVector(b.to_dict())
+        bc.merge(c)
+        right = VersionVector(a.to_dict())
+        right.merge(bc)
+        assert left == right
+
+    @given(vectors)
+    def test_merge_idempotent(self, a):
+        merged = VersionVector(a.to_dict())
+        merged.merge(a)
+        assert merged == a
+
+    @given(vectors, st.sampled_from(REPLICAS), st.integers(0, 8),
+           st.integers(0, 8))
+    def test_record_monotone(self, a, replica, first, second):
+        a.record(replica, first)
+        high = a.get(replica)
+        a.record(replica, second)
+        assert a.get(replica) == max(high, second)
+
+    @given(vectors, vectors)
+    def test_missing_from_closes_the_gap(self, a, b):
+        # Applying exactly the ranges missing_from reports leaves
+        # nothing missing — the anti-entropy convergence step.
+        for origin, (_, want) in a.missing_from(b).items():
+            a.record(origin, want)
+        assert a.missing_from(b) == {}
+
+    @given(vectors, vectors)
+    def test_snapshot_reflects_merge(self, a, b):
+        before = a.snapshot()
+        other = b.snapshot()
+        a.merge(b)
+        after = a.snapshot()
+        assert after == before.merge(other)
+        assert after.dominates(before)
+
+    @given(vectors, st.sampled_from(REPLICAS))
+    def test_advance_is_increment(self, a, replica):
+        before = a.snapshot()
+        sequence = a.advance(replica)
+        assert sequence == before.get(replica) + 1
+        assert a.snapshot() == before.increment(replica)

@@ -12,6 +12,7 @@ from repro.core.constraints import (
 from repro.core.transaction import (
     DESCRIPTOR_TYPE,
     CCMode,
+    IsolationLevel,
     TransactionManager,
     UpdateMode,
 )
@@ -237,6 +238,140 @@ class TestDeferredUpdates:
         tx.defer("agg", lambda s: s.insert("agg", "day", {"n": 1}))
         tx.commit()
         assert store.get("agg", "day").fields["n"] == 1
+
+
+class TestReceiptTiming:
+    """CommitReceipt timing semantics across update modes and outcomes."""
+
+    def _manager(self, sim, update_mode=UpdateMode.DEFERRED, **kwargs):
+        store = LSDBStore(clock=lambda: sim.now)
+        return TransactionManager(
+            store,
+            sim=sim,
+            update_mode=update_mode,
+            commit_cost=1.0,
+            defer_lag=2.0,
+            **kwargs,
+        )
+
+    def test_commit_without_actions_collapses_timeline(self):
+        sim = Simulator()
+        manager = self._manager(sim)
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        tx = manager.begin()
+        tx.insert("order", "o1", {})
+        receipt = tx.commit()
+        assert receipt.submitted_at == 5.0
+        assert receipt.acked_at == 6.0  # commit_cost only
+        assert receipt.actions_done_at == receipt.acked_at
+        assert receipt.response_time == 1.0
+        assert receipt.staleness_window == 0.0
+
+    def test_deferred_vs_synchronous_same_work(self):
+        def run(update_mode):
+            sim = Simulator()
+            manager = self._manager(sim, update_mode=update_mode)
+            tx = manager.begin()
+            tx.insert("order", "o1", {})
+            tx.defer("agg", lambda s: None, cost=4.0)
+            return tx.commit()
+
+        deferred = run(UpdateMode.DEFERRED)
+        synchronous = run(UpdateMode.SYNCHRONOUS)
+        # Deferral buys exactly the action cost off the response time
+        # and pays it back as a staleness window (plus the defer lag).
+        assert deferred.response_time == 1.0
+        assert synchronous.response_time == 5.0
+        assert deferred.staleness_window == 6.0  # lag 2 + cost 4
+        assert synchronous.staleness_window == 0.0
+        assert (
+            deferred.acked_at + deferred.staleness_window
+            == deferred.actions_done_at
+        )
+
+    def test_abort_receipt_times_collapse_to_now(self):
+        sim = Simulator()
+        manager = self._manager(sim)
+        tx = manager.begin()
+        tx.insert("order", "o1", {})
+        tx.defer("never", lambda s: None, cost=9.0)
+        sim.schedule_at(3.0, lambda: None)
+        sim.run()
+        receipt = tx.abort("operator said no")
+        assert receipt.submitted_at == 3.0
+        assert receipt.acked_at == 3.0
+        assert receipt.actions_done_at == 3.0
+        assert receipt.response_time == 0.0
+        assert receipt.staleness_window == 0.0
+        assert receipt.began_at == 0.0
+        # No descriptor was ever committed for the aborted work.
+        assert manager.store.get(DESCRIPTOR_TYPE, receipt.tx_id) is None
+
+    def test_began_at_feeds_snapshot_age(self):
+        sim = Simulator()
+        manager = self._manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        tx = manager.begin()
+        sim.schedule_at(7.0, lambda: None)
+        sim.run()
+        receipt = tx.commit()
+        assert receipt.began_at == 0.0
+        assert receipt.snapshot_age == 7.0
+        assert receipt.snapshot_age == receipt.submitted_at - receipt.began_at
+
+    def test_deferred_action_that_itself_aborts(self):
+        # A deferred action runs its own transaction which aborts: the
+        # outer receipt's timeline is unaffected, the outer descriptor
+        # still completes, and the inner abort is accounted.
+        sim = Simulator()
+        manager = self._manager(sim)
+
+        def flaky_action(store):
+            inner = manager.begin()
+            inner.insert("agg", "day", {"n": 1})
+            inner.abort("downstream rejected")
+
+        tx = manager.begin()
+        tx.insert("order", "o1", {})
+        tx.defer("flaky", flaky_action, cost=2.0)
+        receipt = tx.commit()
+        sim.run()
+        assert receipt.committed
+        assert receipt.staleness_window == 4.0  # lag 2 + cost 2
+        assert manager.store.get("agg", "day") is None
+        assert manager.store.get(DESCRIPTOR_TYPE, receipt.tx_id).fields[
+            "status"
+        ] == "done"
+        assert manager.aborts == 1
+        assert manager.abort_reasons == {"downstream rejected": 1}
+        assert not manager.locks.is_locked("order/o1")
+
+    def test_deferred_action_abort_under_isolation_conflict(self):
+        # The inner transaction aborts for a *real* reason: its write
+        # races a concurrent snapshot-level commit on the same ref.
+        sim = Simulator()
+        manager = self._manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        outcomes = []
+
+        def racing_action(store):
+            inner = manager.begin()
+            inner.set_fields("agg", "day", {"n": 1})
+            rival = manager.begin()
+            rival.set_fields("agg", "day", {"n": 2})
+            assert rival.commit().committed
+            outcomes.append(inner.commit())
+
+        tx = manager.begin()
+        tx.insert("order", "o1", {})
+        tx.defer("racing", racing_action, cost=2.0)
+        receipt = tx.commit()
+        sim.run()
+        assert receipt.committed
+        inner_receipt = outcomes[0]
+        assert not inner_receipt.committed
+        assert "write-write conflict" in inner_receipt.reason
+        assert inner_receipt.isolation == "snapshot"
+        assert manager.store.get("agg", "day").fields["n"] == 2
 
 
 class TestOutboxIntegration:

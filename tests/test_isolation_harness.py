@@ -1,0 +1,183 @@
+"""The anomaly harness: histories, detector verdicts, scorecard, load.
+
+The contract under test is the executable version of the isolation
+spectrum's promise: each canned anomaly materializes under exactly the
+modes ``THEORY`` says admit it, the detector's evidence is grounded in
+the recorded observations, and the open-loop load probe prices the
+modes the way the paper predicts (solipsism trades lost updates for a
+zero abort rate; snapshot levels lose nothing).
+"""
+
+import json
+
+import pytest
+
+from repro.core.transaction import IsolationLevel
+from repro.isolation import (
+    ANOMALIES,
+    AnomalyDetector,
+    HISTORIES,
+    MODES,
+    THEORY,
+    anomaly_matrix,
+    history_named,
+    matrix_bools,
+    matches_theory,
+    run_history,
+    run_open_loop,
+)
+
+detector = AnomalyDetector()
+
+
+def judge(name, level):
+    return detector.judge(run_history(history_named(name), level))
+
+
+class TestHistories:
+    def test_canned_set_is_the_anomaly_set(self):
+        assert ANOMALIES == (
+            "dirty_read",
+            "read_skew",
+            "lost_update",
+            "write_skew",
+            "long_fork",
+            "non_monotonic_snapshot",
+        )
+        assert {h.name for h in HISTORIES} == set(ANOMALIES)
+
+    def test_history_named_unknown(self):
+        with pytest.raises(KeyError):
+            history_named("phantom")
+
+    def test_result_records_observations_and_receipts(self):
+        result = run_history(
+            history_named("lost_update"), IsolationLevel.SOLIPSISTIC
+        )
+        assert result.isolation == "solipsistic"
+        assert result.committed("A") and result.committed("B")
+        assert result.observed("A", "counter", "x") == {"n": 0}
+        assert result.final["counter/x"] == {"n": 1}
+        with pytest.raises(KeyError):
+            result.observed("A", "counter", "missing")
+
+
+class TestAnomalyByMode:
+    def test_lost_update_solipsistic_only(self):
+        assert judge("lost_update", IsolationLevel.SOLIPSISTIC).materialized
+        for level in (IsolationLevel.NMSI, IsolationLevel.SNAPSHOT,
+                      IsolationLevel.SERIALIZABLE):
+            verdict = judge("lost_update", level)
+            assert not verdict.materialized, level
+
+    def test_write_skew_everywhere_but_serializable(self):
+        for level in (IsolationLevel.SOLIPSISTIC, IsolationLevel.NMSI,
+                      IsolationLevel.SNAPSHOT):
+            assert judge("write_skew", level).materialized, level
+        assert not judge(
+            "write_skew", IsolationLevel.SERIALIZABLE
+        ).materialized
+
+    def test_long_fork_nmsi_only(self):
+        assert judge("long_fork", IsolationLevel.NMSI).materialized
+        for level in (IsolationLevel.SOLIPSISTIC, IsolationLevel.SNAPSHOT,
+                      IsolationLevel.SERIALIZABLE):
+            assert not judge("long_fork", level).materialized, level
+
+    def test_non_monotonic_snapshot_nmsi_only(self):
+        assert judge(
+            "non_monotonic_snapshot", IsolationLevel.NMSI
+        ).materialized
+        for level in (IsolationLevel.SOLIPSISTIC, IsolationLevel.SNAPSHOT,
+                      IsolationLevel.SERIALIZABLE):
+            assert not judge("non_monotonic_snapshot", level).materialized
+
+    def test_read_skew_solipsistic_only(self):
+        assert judge("read_skew", IsolationLevel.SOLIPSISTIC).materialized
+        for level in (IsolationLevel.NMSI, IsolationLevel.SNAPSHOT,
+                      IsolationLevel.SERIALIZABLE):
+            assert not judge("read_skew", level).materialized, level
+
+    def test_dirty_read_structurally_impossible(self):
+        # Writes are buffered until commit, so no mode can leak them.
+        for level in MODES:
+            assert not judge("dirty_read", level).materialized, level
+
+    def test_evidence_is_grounded(self):
+        verdict = judge("long_fork", IsolationLevel.NMSI)
+        assert "concurrent=True" in verdict.evidence
+        verdict = judge("lost_update", IsolationLevel.SNAPSHOT)
+        assert "1 of 2 increments committed" in verdict.evidence
+
+
+class TestScorecard:
+    def test_matrix_matches_theory(self):
+        ok, mismatches = matches_theory(matrix_bools(anomaly_matrix()))
+        assert ok, mismatches
+
+    def test_theory_is_monotone_down_the_spectrum(self):
+        # Moving up the spectrum never *introduces* an anomaly that
+        # both adjacent modes' semantics forbid... except NMSI, whose
+        # whole point is trading monotonicity away: it sits above
+        # solipsistic by fixing lost updates/read skew, not by
+        # shrinking the anomaly set pointwise.
+        assert THEORY["serializable"] == {a: False for a in ANOMALIES}
+        for anomaly in ANOMALIES:
+            assert not (
+                THEORY["snapshot"][anomaly]
+                and not THEORY["nmsi"][anomaly]
+            ), f"SI admits {anomaly} but NMSI forbids it"
+
+    def test_matrix_deterministic(self):
+        first = json.dumps(anomaly_matrix(), sort_keys=True)
+        second = json.dumps(anomaly_matrix(), sort_keys=True)
+        assert first == second
+
+
+class TestOpenLoopLoad:
+    @pytest.fixture(scope="class")
+    def load(self):
+        return {
+            mode.value: run_open_loop(mode, transactions=120)
+            for mode in MODES
+        }
+
+    def test_solipsism_trades_lost_updates_for_zero_aborts(self, load):
+        stats = load["solipsistic"]
+        assert stats["aborts"] == 0
+        assert stats["lost_updates"] > 0
+
+    def test_snapshot_levels_lose_nothing(self, load):
+        for mode in ("nmsi", "snapshot", "serializable"):
+            assert load[mode]["lost_updates"] == 0, mode
+            assert load[mode]["updates_applied"] == load[mode]["rmw_commits"]
+
+    def test_si_aborts_no_more_than_serializable(self, load):
+        assert load["snapshot"]["abort_rate"] <= load["serializable"]["abort_rate"]
+        assert load["snapshot"]["abort_rate"] > 0
+
+    def test_nmsi_pays_for_the_propagation_window(self, load):
+        # NMSI's conservative validation aborts at least as often as SI
+        # under the same cross-site load.
+        assert load["nmsi"]["abort_rate"] >= load["snapshot"]["abort_rate"]
+        assert load["nmsi"]["ww_conflict_aborts"] == load["nmsi"]["aborts"]
+
+    def test_conflict_attribution_by_mode(self, load):
+        assert load["serializable"]["occ_aborts"] == load["serializable"]["aborts"]
+        assert load["snapshot"]["ww_conflict_aborts"] == load["snapshot"]["aborts"]
+
+    def test_accounting_closes(self, load):
+        for stats in load.values():
+            assert stats["commits"] + stats["aborts"] == stats["transactions"]
+            assert stats["goodput"] == pytest.approx(
+                stats["commits"] / stats["transactions"]
+            )
+
+    def test_load_deterministic(self):
+        first = json.dumps(
+            run_open_loop(IsolationLevel.NMSI, transactions=60), sort_keys=True
+        )
+        second = json.dumps(
+            run_open_loop(IsolationLevel.NMSI, transactions=60), sort_keys=True
+        )
+        assert first == second

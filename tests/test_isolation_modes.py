@@ -1,0 +1,294 @@
+"""Unit semantics of the isolation spectrum (ISSUE 9 tentpole).
+
+Covers the transaction-layer half: snapshot reads, first-committer-wins
+validation, NMSI per-site visibility, receipt metadata (snapshot LSN /
+txid set / vector clock), spectrum ordering, tx metrics, and the
+``with_isolation`` builder entry.
+"""
+
+import pytest
+
+from repro.core.transaction import (
+    CCMode,
+    ISOLATION_SPECTRUM,
+    IsolationLevel,
+    SNAPSHOT_LEVELS,
+    TransactionManager,
+)
+from repro.cluster import Cluster
+from repro.lsdb.store import LSDBStore
+from repro.merge.clock import VectorClock
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.scheduler import Simulator
+
+
+def make_manager(sim, isolation=None, propagation_lag=0.0, metrics=None):
+    store = LSDBStore(name="iso", origin="tx", clock=lambda: sim.now)
+    return TransactionManager(
+        store,
+        sim=sim,
+        isolation=isolation,
+        propagation_lag=propagation_lag,
+        metrics=metrics,
+    )
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+class TestSpectrum:
+    def test_ordering_weakest_to_strongest(self):
+        assert ISOLATION_SPECTRUM == (
+            IsolationLevel.SOLIPSISTIC,
+            IsolationLevel.NMSI,
+            IsolationLevel.SNAPSHOT,
+            IsolationLevel.SERIALIZABLE,
+        )
+        assert IsolationLevel.SERIALIZABLE.at_least(IsolationLevel.SNAPSHOT)
+        assert IsolationLevel.SNAPSHOT.at_least(IsolationLevel.NMSI)
+        assert not IsolationLevel.NMSI.at_least(IsolationLevel.SNAPSHOT)
+        assert all(level.at_least(level) for level in ISOLATION_SPECTRUM)
+
+    def test_snapshot_levels(self):
+        assert SNAPSHOT_LEVELS == {IsolationLevel.SNAPSHOT, IsolationLevel.NMSI}
+
+    def test_explicit_mode_opts_out(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        tx = manager.begin(mode=CCMode.TRY_LOCK)
+        assert tx.isolation is None
+        assert tx.mode is CCMode.TRY_LOCK
+        assert tx.commit().isolation == ""
+
+    def test_serializable_rides_occ(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SERIALIZABLE)
+        assert manager.begin().mode is CCMode.OPTIMISTIC
+
+
+class TestSnapshotIsolation:
+    def test_reads_come_from_begin_snapshot(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        writer = manager.begin()
+        writer.set_fields("k", "x", {"v": 1})
+        assert writer.commit().committed
+        reader = manager.begin()
+        late = manager.begin()
+        late.set_fields("k", "x", {"v": 2})
+        assert late.commit().committed
+        # The reader's snapshot predates the late commit.
+        assert reader.read("k", "x").fields["v"] == 1
+        assert manager.store.get("k", "x").fields["v"] == 2
+
+    def test_read_your_own_buffered_writes(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        tx = manager.begin()
+        assert tx.read("k", "x") is None
+        tx.set_fields("k", "x", {"v": 7})
+        assert tx.read("k", "x").fields["v"] == 7
+
+    def test_first_committer_wins(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        first = manager.begin()
+        second = manager.begin()
+        first.set_fields("counter", "x", {"n": 1})
+        second.set_fields("counter", "x", {"n": 1})
+        assert first.commit().committed
+        receipt = second.commit()
+        assert not receipt.committed
+        assert "write-write conflict on counter/x" in receipt.reason
+        assert first.tx_id in receipt.reason
+        assert manager.abort_rate == pytest.approx(0.5)
+
+    def test_disjoint_writes_both_commit(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        a, b = manager.begin(), manager.begin()
+        a.set_fields("k", "x", {"v": 1})
+        b.set_fields("k", "y", {"v": 1})
+        assert a.commit().committed
+        assert b.commit().committed
+
+    def test_non_transactional_write_conflicts(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        tx = manager.begin()
+        tx.set_fields("k", "x", {"v": 1})
+        # A direct store write (no tx) after begin is outside the
+        # snapshot and must still trigger first-committer-wins.
+        manager.store.set_fields("k", "x", {"v": 99})
+        receipt = tx.commit()
+        assert not receipt.committed
+        assert "non-transactional" in receipt.reason
+
+    def test_snapshot_sees_pre_begin_store_writes(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        manager.store.set_fields("k", "x", {"v": 5})
+        tx = manager.begin()
+        assert tx.read("k", "x").fields["v"] == 5
+
+
+class TestReceiptMetadata:
+    def test_committed_receipt_tracking(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        seeder = manager.begin(site="dc-a")
+        seeder.set_fields("k", "x", {"v": 1})
+        assert seeder.commit().committed
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        tx = manager.begin(site="dc-b")
+        sim.schedule_at(14.0, lambda: None)
+        sim.run()
+        receipt = tx.commit()
+        assert receipt.committed
+        assert receipt.isolation == "snapshot"
+        assert receipt.site == "dc-b"
+        assert receipt.began_at == 10.0
+        assert receipt.snapshot_age == pytest.approx(4.0)
+        assert receipt.snapshot_txids == (seeder.tx_id,)
+        assert receipt.snapshot_vector == VectorClock({"dc-a": 1})
+
+    def test_abort_receipt_tracking(self, sim):
+        manager = make_manager(sim, isolation=IsolationLevel.SNAPSHOT)
+        a, b = manager.begin(), manager.begin()
+        a.set_fields("k", "x", {"v": 1})
+        b.set_fields("k", "x", {"v": 2})
+        assert a.commit().committed
+        receipt = b.commit()
+        assert not receipt.committed
+        assert receipt.isolation == "snapshot"
+        assert receipt.snapshot_lsn >= 0
+        assert receipt.snapshot_vector is not None
+
+    def test_plain_transactions_untracked(self, sim):
+        manager = make_manager(sim)
+        tx = manager.begin()
+        tx.set_fields("k", "x", {"v": 1})
+        receipt = tx.commit()
+        assert receipt.isolation == ""
+        assert receipt.snapshot_lsn == -1
+        assert receipt.snapshot_vector is None
+
+
+class TestNMSI:
+    def test_remote_commits_invisible_inside_lag(self, sim):
+        manager = make_manager(
+            sim, isolation=IsolationLevel.NMSI, propagation_lag=50.0
+        )
+        writer = manager.begin(site="dc-a")
+        writer.set_fields("k", "x", {"v": 1})
+        assert writer.commit().committed
+        local = manager.begin(site="dc-a")
+        remote = manager.begin(site="dc-b")
+        assert local.read("k", "x").fields["v"] == 1
+        assert remote.read("k", "x") is None
+
+    def test_remote_commits_visible_after_lag(self, sim):
+        manager = make_manager(
+            sim, isolation=IsolationLevel.NMSI, propagation_lag=50.0
+        )
+        writer = manager.begin(site="dc-a")
+        writer.set_fields("k", "x", {"v": 1})
+        assert writer.commit().committed
+        sim.schedule_at(60.0, lambda: None)
+        sim.run()
+        remote = manager.begin(site="dc-b")
+        assert remote.read("k", "x").fields["v"] == 1
+
+    def test_invisible_remote_write_still_conflicts(self, sim):
+        # The conservative reading that keeps lost updates impossible:
+        # a remote commit inside the propagation window is invisible to
+        # reads yet still aborts an overlapping writer.
+        manager = make_manager(
+            sim, isolation=IsolationLevel.NMSI, propagation_lag=50.0
+        )
+        writer = manager.begin(site="dc-a")
+        writer.set_fields("k", "x", {"v": 1})
+        assert writer.commit().committed
+        remote = manager.begin(site="dc-b")
+        assert remote.read("k", "x") is None
+        remote.set_fields("k", "x", {"v": 2})
+        receipt = remote.commit()
+        assert not receipt.committed
+        assert "write-write conflict" in receipt.reason
+
+    def test_long_fork_snapshot_vectors_concurrent(self, sim):
+        manager = make_manager(
+            sim, isolation=IsolationLevel.NMSI, propagation_lag=50.0
+        )
+        w1 = manager.begin(site="dc-a")
+        w1.set_fields("k", "x", {"v": 1})
+        assert w1.commit().committed
+        w2 = manager.begin(site="dc-b")
+        w2.set_fields("k", "y", {"v": 1})
+        assert w2.commit().committed
+        o1 = manager.begin(site="dc-a")
+        o2 = manager.begin(site="dc-b")
+        r1, r2 = o1.commit(), o2.commit()
+        assert r1.snapshot_vector.concurrent_with(r2.snapshot_vector)
+        assert r1.snapshot_txids == (w1.tx_id,)
+        assert r2.snapshot_txids == (w2.tx_id,)
+
+
+class TestMetrics:
+    def test_commit_abort_and_age_metrics(self, sim):
+        metrics = MetricsRegistry()
+        manager = make_manager(
+            sim, isolation=IsolationLevel.SNAPSHOT, metrics=metrics
+        )
+        a, b = manager.begin(), manager.begin()
+        a.set_fields("k", "x", {"v": 1})
+        b.set_fields("k", "x", {"v": 2})
+        a.commit()
+        b.commit()
+        assert metrics.counter("tx.commits", mode="snapshot").value == 1
+        assert metrics.counter("tx.aborts", mode="snapshot").value == 1
+        assert metrics.histogram("tx.snapshot_age", mode="snapshot").count == 1
+
+    def test_plain_mode_label(self, sim):
+        metrics = MetricsRegistry()
+        manager = make_manager(sim, metrics=metrics)
+        tx = manager.begin(mode=CCMode.OPTIMISTIC)
+        tx.set_fields("k", "x", {"v": 1})
+        tx.commit()
+        assert metrics.counter("tx.commits", mode="optimistic").value == 1
+
+
+class TestBuilder:
+    def test_with_isolation_string_level(self):
+        cluster = Cluster.build(seed=3).with_isolation("snapshot").create()
+        manager = cluster.transactions
+        assert manager.isolation is IsolationLevel.SNAPSHOT
+        a, b = manager.begin(), manager.begin()
+        a.set_fields("k", "x", {"v": 1})
+        b.set_fields("k", "x", {"v": 2})
+        assert a.commit().committed
+        assert not b.commit().committed
+
+    def test_with_isolation_enum_and_lag(self):
+        cluster = (
+            Cluster.build(seed=3)
+            .with_isolation(IsolationLevel.NMSI, propagation_lag=25.0)
+            .create()
+        )
+        assert cluster.transactions.isolation is IsolationLevel.NMSI
+        assert cluster.transactions.propagation_lag == 25.0
+
+    def test_with_isolation_merges_with_transactions(self):
+        cluster = (
+            Cluster.build(seed=3)
+            .with_transactions(commit_cost=3.0)
+            .with_isolation("serializable")
+            .create()
+        )
+        manager = cluster.transactions
+        assert manager.commit_cost == 3.0
+        assert manager.isolation is IsolationLevel.SERIALIZABLE
+
+    def test_with_isolation_metrics_flow(self):
+        cluster = (
+            Cluster.build(seed=3).with_tracing().with_isolation("snapshot").create()
+        )
+        manager = cluster.transactions
+        tx = manager.begin()
+        tx.set_fields("k", "x", {"v": 1})
+        tx.commit()
+        assert cluster.metrics.counter("tx.commits", mode="snapshot").value == 1
