@@ -35,6 +35,7 @@ COLUMNAR = ROOT / "BENCH_columnar.json"
 FRONTDOOR = ROOT / "BENCH_frontdoor.json"
 GEO = ROOT / "BENCH_geo.json"
 ISOLATION = ROOT / "BENCH_isolation.json"
+HOTPATH = ROOT / "BENCH_hotpath.json"
 
 #: The metrics the PR's speedup claim is made on (ISSUE 1 acceptance:
 #: >= 3x on at least two of these).
@@ -318,6 +319,45 @@ def check_isolation(
     return ok
 
 
+def check_hotpath(
+    data: dict,
+    min_speedup: float,
+    min_hit_ratio: float,
+) -> bool:
+    """Validate the recorded skew-aware hot path (ISSUE 10 acceptance).
+
+    Three gates over ``BENCH_hotpath.json``'s ``acceptance`` block, on
+    the θ=0.99 headline scenario: cached read throughput must beat
+    fold-on-read by ``min_speedup``, the hot-set hit ratio must reach
+    ``min_hit_ratio``, and — summed over **every** scenario — zero
+    cache answers may have exceeded their requested staleness bound.
+    """
+    acceptance = data.get("acceptance", {})
+    ok = True
+    print("perf gate: hot path (BENCH_hotpath.json)")
+    for name, bound in (
+        ("read_speedup", min_speedup),
+        ("hot_hit_ratio", min_hit_ratio),
+    ):
+        value = acceptance.get(name)
+        if value is None:
+            print(f"  {name:32s} missing FAIL")
+            ok = False
+            continue
+        passed = value >= bound
+        print(f"  {name:32s} {value:g} on "
+              f"{acceptance.get('gate_scenario', '?')} "
+              f"(must be >= {bound:g}) {'PASS' if passed else 'FAIL'}")
+        ok = ok and passed
+    violations = acceptance.get("stale_beyond_bound_serves")
+    passed = violations == 0
+    print(f"  {'stale_beyond_bound_serves':32s} {violations} "
+          f"(must be == 0, all scenarios) {'PASS' if passed else 'FAIL'}")
+    ok = ok and passed
+    print(f"perf gate: hot path -> {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 def check_live(data: dict, tolerance: float, quick: bool) -> bool:
     """Re-run the bench and compare against the recorded after-numbers."""
     sys.path.insert(0, str(ROOT / "benchmarks"))
@@ -384,6 +424,12 @@ def main() -> None:
                              "open-loop load (recorded)")
     parser.add_argument("--max-si-latency-ratio", type=float, default=1.25,
                         help="SI vs serializable p95 commit latency (recorded)")
+    parser.add_argument("--min-hotpath-speedup", type=float, default=5.0,
+                        help="cached vs fold-on-read throughput at "
+                             "theta=0.99 (recorded)")
+    parser.add_argument("--min-hotpath-hit-ratio", type=float, default=0.8,
+                        help="cache hit ratio on the instantaneous hot set "
+                             "(recorded)")
     args = parser.parse_args()
 
     data = load_trajectory()
@@ -413,6 +459,11 @@ def main() -> None:
         load_trajectory(ISOLATION),
         args.max_si_abort_ratio,
         args.max_si_latency_ratio,
+    ) and ok
+    ok = check_hotpath(
+        load_trajectory(HOTPATH),
+        args.min_hotpath_speedup,
+        args.min_hotpath_hit_ratio,
     ) and ok
     if args.rerun:
         ok = check_live(data, args.tolerance, quick=not args.full) and ok

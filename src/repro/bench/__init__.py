@@ -5,8 +5,10 @@ from repro.bench.metrics import AvailabilityProbe, LatencyRecorder, ThroughputWi
 from repro.bench.report import ExperimentReport, format_table
 from repro.bench.workloads import (
     Arrival,
+    FlashCrowdChooser,
     KeyChooser,
     MixChooser,
+    RotatingHotSetChooser,
     open_loop_arrivals,
     shuffled_within_window,
 )
@@ -18,8 +20,10 @@ __all__ = [
     "ExperimentReport",
     "format_table",
     "Arrival",
+    "FlashCrowdChooser",
     "KeyChooser",
     "MixChooser",
+    "RotatingHotSetChooser",
     "open_loop_arrivals",
     "shuffled_within_window",
 ]

@@ -10,7 +10,7 @@ the same workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, TypeVar
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from repro.sim.rng import SeededRNG, ZipfGenerator, poisson_arrivals
 
@@ -40,9 +40,125 @@ class KeyChooser:
         self._keys = list(keys)
         self._zipf = ZipfGenerator(rng, len(self._keys), theta)
 
-    def choose(self) -> str:
-        """One skewed draw."""
+    def choose(self, at: float = 0.0) -> str:
+        """One skewed draw.  ``at`` (the arrival time) is accepted for
+        interface compatibility with the time-varying choosers and
+        ignored — a plain Zipf distribution does not shift."""
         return self._keys[self._zipf.draw()]
+
+    def hot_keys_at(self, at: float, k: int) -> tuple[str, ...]:
+        """The ``k`` hottest keys at time ``at`` (constant for Zipf:
+        rank order is the key order)."""
+        return tuple(self._keys[: min(k, len(self._keys))])
+
+
+class FlashCrowdChooser:
+    """Zipf choice with a flash crowd: from ``start`` onward, one key
+    (the *star*) absorbs an extra ``share`` of all draws.
+
+    The paper's hot-entity contention (principle 2.10) in its most
+    violent form — "one entity suddenly taking 30% of writes" (ROADMAP).
+    Before ``start`` the distribution is plain Zipf; after it, each
+    draw first flips a seeded coin for the star, then falls back to the
+    base Zipf.  Determinism contract: the same seed and the same
+    sequence of ``choose(at)`` calls reproduce the same keys (one or
+    two RNG draws per call, decided purely by ``at`` and the coin).
+
+    Args:
+        rng: Random stream.
+        keys: Key population (index 0 hottest in the base skew).
+        theta: Base Zipf skew.
+        star_index: Which key becomes the flash-crowd star.
+        start: Time at which the crowd arrives.
+        share: Fraction of post-``start`` draws the star absorbs.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRNG,
+        keys: Sequence[str],
+        theta: float = 0.99,
+        *,
+        star_index: int = 0,
+        start: float = 0.0,
+        share: float = 0.3,
+    ):
+        if not 0.0 <= share <= 1.0:
+            raise ValueError(f"share must be in [0, 1], got {share}")
+        self._keys = list(keys)
+        self._rng = rng
+        self._zipf = ZipfGenerator(rng, len(self._keys), theta)
+        self._star = self._keys[star_index]
+        self._start = start
+        self._share = share
+
+    def choose(self, at: float = 0.0) -> str:
+        """One draw at time ``at``."""
+        if at >= self._start and self._rng.random() < self._share:
+            return self._star
+        return self._keys[self._zipf.draw()]
+
+    def hot_keys_at(self, at: float, k: int) -> tuple[str, ...]:
+        """Top-``k`` hottest keys at ``at``: the star leads once the
+        crowd has arrived."""
+        base = [key for key in self._keys[:k + 1] if key != self._star]
+        if at >= self._start:
+            return tuple([self._star] + base[: max(0, k - 1)])
+        return tuple(self._keys[: min(k, len(self._keys))])
+
+
+class RotatingHotSetChooser:
+    """Zipf choice whose rank-to-key mapping rotates on a period — a
+    diurnal curve: the hot set drifts through the population as the
+    (virtual) day advances.
+
+    At time ``at`` the phase is ``int(at / period)`` and Zipf rank
+    ``r`` maps to key ``(r + phase * stride) % n``: same skew, shifting
+    identity.  Same determinism contract as the other choosers — the
+    phase is a pure function of ``at``, one RNG draw per choice.
+
+    Args:
+        rng: Random stream.
+        keys: Key population.
+        theta: Zipf skew within each phase.
+        period: Virtual-time length of one phase.
+        stride: How many ranks the mapping shifts per phase (defaults
+            to an eighth of the population, at least 1).
+    """
+
+    def __init__(
+        self,
+        rng: SeededRNG,
+        keys: Sequence[str],
+        theta: float = 0.99,
+        *,
+        period: float = 100.0,
+        stride: Optional[int] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._keys = list(keys)
+        self._zipf = ZipfGenerator(rng, len(self._keys), theta)
+        self._period = period
+        self._stride = (
+            stride if stride is not None else max(1, len(self._keys) // 8)
+        )
+
+    def phase_at(self, at: float) -> int:
+        """Which rotation phase time ``at`` falls in."""
+        return int(at / self._period)
+
+    def choose(self, at: float = 0.0) -> str:
+        """One draw at time ``at``."""
+        rank = self._zipf.draw()
+        offset = self.phase_at(at) * self._stride
+        return self._keys[(rank + offset) % len(self._keys)]
+
+    def hot_keys_at(self, at: float, k: int) -> tuple[str, ...]:
+        """Top-``k`` hottest keys during ``at``'s phase."""
+        n = len(self._keys)
+        offset = self.phase_at(at) * self._stride
+        return tuple(self._keys[(rank + offset) % n] for rank in range(min(k, n)))
 
 
 class MixChooser:
@@ -85,6 +201,7 @@ def open_loop_arrivals(
     theta: float = 0.0,
     kinds: Optional[dict[str, float]] = None,
     start: float = 0.0,
+    chooser: Optional[Any] = None,
 ) -> list[Arrival]:
     """An open-loop (Poisson) arrival schedule over skewed keys.
 
@@ -96,18 +213,25 @@ def open_loop_arrivals(
         theta: Zipf skew of key choice.
         kinds: Optional operation mix weights.
         start: Window start time.
+        chooser: Optional pre-built key chooser (any object with
+            ``choose(at)``) — how the time-varying choosers
+            (:class:`FlashCrowdChooser`, :class:`RotatingHotSetChooser`)
+            plug in; ``theta`` is ignored when given.  The default
+            builds a plain :class:`KeyChooser` from ``rng``/``theta``,
+            so existing seeded streams are unchanged.
 
     Returns:
         Arrivals sorted by time.
     """
-    chooser = KeyChooser(rng, keys, theta)
+    if chooser is None:
+        chooser = KeyChooser(rng, keys, theta)
     mix = MixChooser(rng, kinds) if kinds else None
     arrivals = []
     for index, at in enumerate(poisson_arrivals(rng, rate, duration, start=start)):
         arrivals.append(
             Arrival(
                 at=at,
-                key=chooser.choose(),
+                key=chooser.choose(at),
                 kind=mix.choose() if mix else "op",
                 index=index,
             )

@@ -127,6 +127,8 @@ class Cluster:
         self.front_door: Any = None  # FrontDoor when with_front_door()
         self.topology: Any = None  # SiteTopology when with_topology()
         self.placement: Any = None  # PlacementPolicy when with_placement()
+        self.read_caches: list[Any] = []  # ReadCaches when with_read_cache()
+        self.read_cache: Any = None  # the primary store's cache, if any
 
     @staticmethod
     def build(seed: int = 0) -> "ClusterBuilder":
@@ -306,6 +308,7 @@ class ClusterBuilder:
         self._front_door_kwargs: Optional[dict[str, Any]] = None
         self._topology_kwargs: Optional[dict[str, Any]] = None
         self._placement_kwargs: Optional[dict[str, Any]] = None
+        self._read_cache_kwargs: Optional[dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -414,6 +417,42 @@ class ClusterBuilder:
     def with_warehouse(self, interval: float = 100.0, **kwargs: Any) -> "ClusterBuilder":
         """Add a periodic warehouse extract of the primary store."""
         self._warehouse_kwargs = {"interval": interval, **kwargs}
+        return self
+
+    def with_read_cache(
+        self,
+        capacity: int = 512,
+        hot_capacity: int = 16,
+        coalesce_window: float = 0.0,
+        coalesce_max_batch: int = 64,
+    ) -> "ClusterBuilder":
+        """Put a watermark-validated read cache in front of every store
+        (:class:`~repro.lsdb.readcache.ReadCache`) — the skew-aware hot
+        path of DESIGN.md section 16.
+
+        Every store built by the cluster (primary, backups, slaves,
+        replicas, the warehouse extract) gets its own cache; typed
+        reads through :meth:`Cluster.read` and the front door's
+        BOUNDED/EVENTUAL rungs are then served from cached folds with
+        honest measured staleness, while STRONG reads revalidate
+        against the log watermark on every hit.
+
+        Args:
+            capacity: LRU entry bound per cache.
+            hot_capacity: Size of the pinned hot set (space-saving
+                top-k tracker).
+            coalesce_window: When positive, also enable hot-key write
+                coalescing on every store — incremental-cache folds
+                for appends inside one virtual-time window are fused
+                into a single batch fold.
+            coalesce_max_batch: Row bound per fused fold.
+        """
+        self._read_cache_kwargs = {
+            "capacity": capacity,
+            "hot_capacity": hot_capacity,
+            "coalesce_window": coalesce_window,
+            "coalesce_max_batch": coalesce_max_batch,
+        }
         return self
 
     def with_transactions(self, **kwargs: Any) -> "ClusterBuilder":
@@ -721,6 +760,7 @@ class ClusterBuilder:
             self._transactions_kwargs is not None
             or self._constraint_objs is not None
             or self._with_compensation
+            or self._read_cache_kwargs is not None
         ):
             store_kwargs = {"name": "store", "origin": "local"}
         if store_kwargs is not None:
@@ -766,6 +806,35 @@ class ClusterBuilder:
                 # per-round fold to one frame's worth of events.
                 warehouse_kwargs.setdefault("max_batch", self._batching.max_batch)
             cluster.warehouse = WarehouseExtract(sim, source, **warehouse_kwargs)
+
+        if self._read_cache_kwargs is not None:
+            from repro.lsdb.readcache import ReadCache
+
+            rc_kwargs = self._read_cache_kwargs
+            for store in self._all_stores_of(cluster):
+                cache = ReadCache.over_store(
+                    store,
+                    capacity=rc_kwargs["capacity"],
+                    hot_capacity=rc_kwargs["hot_capacity"],
+                    metrics=metrics,
+                )
+                cluster.read_caches.append(cache)
+                if store is cluster.store:
+                    cluster.read_cache = cache
+                if rc_kwargs["coalesce_window"] > 0:
+                    store.enable_coalescing(
+                        window=rc_kwargs["coalesce_window"],
+                        max_batch=rc_kwargs["coalesce_max_batch"],
+                    )
+            if cluster.warehouse is not None:
+                cluster.read_caches.append(
+                    ReadCache.over_warehouse(
+                        cluster.warehouse,
+                        capacity=rc_kwargs["capacity"],
+                        hot_capacity=rc_kwargs["hot_capacity"],
+                        metrics=metrics,
+                    )
+                )
 
         if self._chaos_kwargs is not None:
             from repro.chaos.engine import ChaosEngine
@@ -866,6 +935,36 @@ class ClusterBuilder:
             replica_ids = [f"q{i}" for i in range(1, count + 1)]
             return QuorumGroup(sim, network, replica_ids, **options)
         raise AssertionError(f"unhandled mode {mode!r}")  # pragma: no cover
+
+    @staticmethod
+    def _all_stores_of(cluster: Cluster) -> list[LSDBStore]:
+        """Every store the cluster built, primary first, deduplicated
+        (the primary is usually also a member of the scheme's replica
+        collection)."""
+        stores: list[LSDBStore] = []
+        seen: set[int] = set()
+
+        def add(store: Optional[LSDBStore]) -> None:
+            if store is not None and id(store) not in seen:
+                seen.add(id(store))
+                stores.append(store)
+
+        add(cluster.store)
+        scheme = cluster.replication
+        if scheme is not None:
+            for attr in ("primary", "master", "backup"):
+                node = getattr(scheme, attr, None)
+                if node is not None:
+                    add(node.store)
+            for attr in ("slaves", "replicas"):
+                members = getattr(scheme, attr, None)
+                if isinstance(members, dict):
+                    for node in members.values():
+                        add(node.store)
+                elif isinstance(members, list):
+                    for node in members:
+                        add(node.store)
+        return stores
 
     @staticmethod
     def _primary_store_of(scheme: Any) -> Optional[LSDBStore]:

@@ -20,6 +20,7 @@ from repro.lsdb.compaction import Archive, CompactionReport, Compactor
 from repro.lsdb.events import EventKind, LogEvent
 from repro.lsdb.index import SecondaryIndex
 from repro.lsdb.log import AppendOnlyLog
+from repro.lsdb.readcache import HotSetTracker, ReadCache, WriteCoalescer
 from repro.lsdb.rollup import EntityState, GenericReducer, Reducer, Rollup
 from repro.lsdb.snapshot import Snapshot, SnapshotManager
 from repro.lsdb.store import LSDBStore
@@ -32,6 +33,9 @@ __all__ = [
     "LogEvent",
     "SecondaryIndex",
     "AppendOnlyLog",
+    "HotSetTracker",
+    "ReadCache",
+    "WriteCoalescer",
     "EntityState",
     "GenericReducer",
     "Reducer",

@@ -1,0 +1,540 @@
+"""The skew-aware hot path: watermark-validated read cache + write coalescing.
+
+Paper principle 2.10 (contention concentrates on hot entities) and 2.9
+(demand versus supply) say real traffic is skewed: a few entities absorb
+most reads and writes.  This module serves that skew on both sides of
+the store:
+
+* :class:`ReadCache` — a read-through snapshot cache over the rollup,
+  keyed by ``(entity_type, key)``.  Every entry carries an **LSN
+  watermark**: the head LSN of the entity's log history at fill time.
+  Validation is one O(1) probe of the log's per-entity index ("any
+  events since my watermark?"); a current hit returns the cached folded
+  state without touching the arena or the live state map.  A *stale*
+  entry may still be served — but only when its measured age (the age
+  of the oldest event past the watermark, read from the log's
+  timestamps) fits the caller's staleness budget, so cache-served reads
+  stamp **honest measured staleness** and never silently exceed a
+  bound.  Eviction is size-bounded LRU with a space-saving top-k hot-set
+  tracker pinning the hot set.
+* :class:`WriteCoalescer` — hot-key write coalescing on the ingest
+  path.  The log append, per-origin feed and version-vector bookkeeping
+  stay immediate (replication correctness is untouched); only the
+  incremental-cache *fold* is deferred, and a burst against the same
+  hot entity fuses into one batch-apply run fold
+  (:meth:`~repro.lsdb.rollup.Rollup.fold_slice_into`, the PR 6 fused
+  pass) at flush.  The coalescing window runs on **virtual time** and
+  every state read flushes first, so read-your-writes holds and chaos
+  soaks stay byte-deterministic with coalescing on.
+
+Invalidation is structural, not temporal: compaction
+(:meth:`~repro.lsdb.log.AppendOnlyLog.rewrite_prefix`) rewrites history
+without changing the entity head LSN (the compactor reuses the last
+summarised LSN), so watermark comparison alone would keep serving
+pre-compaction folds.  The log's structure-change subscription and the
+store's checkpoint/reducer hooks drop every entry whenever the mapping
+from LSNs to folds changes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import deliver
+from repro.lsdb.rollup import EntityState
+
+EntityRef = tuple[str, str]
+
+
+class HotSetTracker:
+    """Space-saving top-k frequency sketch over entity refs.
+
+    The classic Metwally et al. *space-saving* summary: at most
+    ``capacity`` tracked keys; an untracked key evicts the
+    minimum-count entry and inherits its count plus one, so every key
+    whose true frequency exceeds ``n / capacity`` is guaranteed to be
+    tracked.  Deterministic: ties break on tracking order (dict
+    insertion order), never on hashing or randomness.
+    """
+
+    __slots__ = ("capacity", "_counts")
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[EntityRef, int] = {}
+
+    def touch(self, key: EntityRef) -> None:
+        """Record one access to ``key``."""
+        counts = self._counts
+        count = counts.get(key)
+        if count is not None:
+            counts[key] = count + 1
+            return
+        if len(counts) < self.capacity:
+            counts[key] = 1
+            return
+        victim, floor = min(counts.items(), key=lambda item: item[1])
+        del counts[victim]
+        counts[key] = floor + 1
+
+    def is_hot(self, key: EntityRef) -> bool:
+        """Whether ``key`` is currently in the tracked top-k."""
+        return key in self._counts
+
+    def hot_keys(self) -> list[EntityRef]:
+        """Tracked keys, hottest first (count desc, then key — stable)."""
+        return sorted(self._counts, key=lambda k: (-self._counts[k], k))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class ReadCache:
+    """A read-through, watermark-validated snapshot cache.
+
+    The cache never owns truth: ``head(ref)`` asks the backing surface
+    for the entity's current watermark (the newest LSN of its history),
+    ``age(ref, watermark)`` measures how old a stale entry is, and
+    ``fetch(ref)`` produces the authoritative current fold on a miss.
+    Entries are frozen copies — a hit hands the same object out
+    repeatedly; callers must treat it as immutable (the same contract
+    as reading the store's live state map).
+
+    Build one with :meth:`over_store` or :meth:`over_warehouse` rather
+    than calling the constructor directly.
+
+    Args:
+        name: Diagnostic/metric label.
+        fetch: ``ref -> Optional[EntityState]`` — authoritative read.
+        head: ``ref -> int`` — the entity's current watermark.
+        age: ``(ref, watermark) -> Optional[float]`` — measured age of a
+            fold taken at ``watermark``; ``None`` means "cannot measure,
+            refresh instead".  ``None`` callable disables stale serving.
+        capacity: Maximum cached entries (LRU beyond this).
+        hot_capacity: Top-k size of the hot-set tracker; hot entries are
+            pinned against LRU eviction.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; mirrors
+            the plain-int counters as ``cache.{hits,misses,evictions,
+            invalidations}`` counters and the ``cache.hot_keys`` gauge,
+            labelled ``cache=name``.
+        served_by: The ``ReadResult.served_by`` stamp for typed reads.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "cache",
+        fetch: Callable[[EntityRef], Optional[EntityState]],
+        head: Callable[[EntityRef], int],
+        age: Optional[Callable[[EntityRef, int], Optional[float]]] = None,
+        capacity: int = 512,
+        hot_capacity: int = 16,
+        metrics: Any = None,
+        served_by: str = "",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._fetch = fetch
+        self._head = head
+        self._age = age
+        self.tracker = HotSetTracker(hot_capacity)
+        #: ref -> (frozen state or None, watermark), LRU -> MRU order.
+        self._entries: "OrderedDict[EntityRef, tuple[Optional[EntityState], int]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.served_by = served_by or f"{name}"
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_hits = metrics.counter("cache.hits", cache=name)
+            self._m_misses = metrics.counter("cache.misses", cache=name)
+            self._m_evictions = metrics.counter("cache.evictions", cache=name)
+            self._m_invalidations = metrics.counter(
+                "cache.invalidations", cache=name
+            )
+            self._g_hot = metrics.gauge("cache.hot_keys", cache=name)
+        else:
+            self._m_hits = self._m_misses = None
+            self._m_evictions = self._m_invalidations = None
+            self._g_hot = None
+
+    # ------------------------------------------------------------------ #
+    # Construction over concrete surfaces
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def over_store(
+        cls,
+        store: Any,
+        *,
+        capacity: int = 512,
+        hot_capacity: int = 16,
+        metrics: Any = None,
+        name: Optional[str] = None,
+    ) -> "ReadCache":
+        """A cache over an :class:`~repro.lsdb.store.LSDBStore`.
+
+        Watermarks come from the log's O(1) per-entity index
+        (:meth:`~repro.lsdb.log.AppendOnlyLog.entity_head_lsn`); stale
+        ages from the first event past the watermark, in virtual time.
+        Attaches itself (:meth:`LSDBStore.attach_read_cache`), which
+        also subscribes the compaction/checkpoint invalidation hooks
+        and routes the store's typed reads through the cache.
+        """
+
+        def entity_age(ref: EntityRef, watermark: int) -> Optional[float]:
+            stamp = store.log.entity_first_timestamp_after(
+                ref[0], ref[1], watermark
+            )
+            if stamp is None:
+                return 0.0
+            return max(0.0, store.now() - stamp)
+
+        cache = cls(
+            name=name or f"{store.name}-cache",
+            fetch=lambda ref: store.get(*ref),
+            head=lambda ref: store.log.entity_head_lsn(*ref),
+            age=entity_age,
+            capacity=capacity,
+            hot_capacity=hot_capacity,
+            metrics=metrics if metrics is not None else store.metrics,
+            served_by=f"{store.name}+cache",
+        )
+        store.attach_read_cache(cache)
+        return cache
+
+    @classmethod
+    def over_warehouse(
+        cls,
+        warehouse: Any,
+        *,
+        capacity: int = 512,
+        hot_capacity: int = 16,
+        metrics: Any = None,
+        name: str = "warehouse-cache",
+    ) -> "ReadCache":
+        """A cache over a :class:`~repro.replication.warehouse.WarehouseExtract`.
+
+        The watermark is the extract's ``extracted_lsn`` — one number
+        for every entity, because an extract is an atomic snapshot.  A
+        new extract re-watermarks the world: old entries miss and
+        refresh on next touch (no stale serving below an extract; the
+        warehouse already stamps extract-level staleness itself).
+        """
+        cache = cls(
+            name=name,
+            fetch=lambda ref: warehouse.get(*ref),
+            head=lambda ref: warehouse.extracted_lsn,
+            age=None,
+            capacity=capacity,
+            hot_capacity=hot_capacity,
+            metrics=metrics if metrics is not None else warehouse.sim.metrics,
+            served_by="warehouse+cache",
+        )
+        warehouse.attach_read_cache(cache)
+        return cache
+
+    # ------------------------------------------------------------------ #
+    # The cache primitive
+    # ------------------------------------------------------------------ #
+
+    def lookup(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        budget: Optional[float] = None,
+        revalidate: bool = False,
+    ) -> tuple[Optional[EntityState], float]:
+        """The entity's folded state plus the measured age of that fold.
+
+        * watermark current → hit, age ``0.0`` (the cached fold *is*
+          the entity's present state — nothing appended since).
+        * watermark behind, ``revalidate=False`` and measured age within
+          ``budget`` (``None`` = unbounded) → hit, honest age stamped.
+        * otherwise → miss: refresh from the authoritative surface,
+          re-watermark, age ``0.0``.
+
+        A read can therefore never observe a fold older than its budget
+        — the "zero stale-beyond-bound serves" guarantee the perf gate
+        checks.
+        """
+        ref = (entity_type, entity_key)
+        self.tracker.touch(ref)
+        if self._g_hot is not None:
+            self._g_hot.set(len(self.tracker))
+        entry = self._entries.get(ref)
+        if entry is not None:
+            state, watermark = entry
+            if watermark == self._head(ref):
+                self._record_hit(ref)
+                return state, 0.0
+            if not revalidate and self._age is not None:
+                age = self._age(ref, watermark)
+                if age is not None and (budget is None or age <= budget):
+                    self._record_hit(ref)
+                    return state, age
+        self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
+        state = self._fetch(ref)
+        frozen = state.copy() if state is not None else None
+        self._install(ref, frozen, self._head(ref))
+        return frozen, 0.0
+
+    def read(
+        self,
+        entity_type: str,
+        entity_key: str,
+        *,
+        request=None,
+    ):
+        """The unified read protocol, served through the cache.
+
+        ``STRONG`` always revalidates (only a watermark-current entry
+        counts as a hit; anything else refreshes — staleness 0 by
+        construction).  ``BOUNDED_STALENESS`` serves a stale entry only
+        within ``request.max_staleness``; ``EVENTUAL`` and weaker serve
+        any cached entry, stamping its honest measured age.
+        """
+        if request is None:
+            state, _ = self.lookup(entity_type, entity_key)
+            return state
+        level = request.level
+        if level is ConsistencyLevel.STRONG:
+            state, age = self.lookup(entity_type, entity_key, revalidate=True)
+        elif level is ConsistencyLevel.BOUNDED_STALENESS:
+            state, age = self.lookup(
+                entity_type, entity_key, budget=request.max_staleness
+            )
+        else:
+            state, age = self.lookup(entity_type, entity_key, budget=None)
+        return deliver(
+            state,
+            request,
+            level,
+            staleness=age,
+            served_by=self.served_by,
+            metrics=self._metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, entity_type: str, entity_key: str) -> bool:
+        """Drop one entry (``True`` if it was cached)."""
+        if self._entries.pop((entity_type, entity_key), None) is None:
+            return False
+        self.invalidations += 1
+        if self._m_invalidations is not None:
+            self._m_invalidations.inc()
+        return True
+
+    def invalidate_all(self, reason: str = "") -> int:
+        """Drop every entry — the structural-change hook (compaction,
+        checkpoint install, reducer change).  Returns how many entries
+        were dropped."""
+        dropped = len(self._entries)
+        if dropped:
+            self._entries.clear()
+            self.invalidations += dropped
+            if self._m_invalidations is not None:
+                self._m_invalidations.inc(dropped)
+        return dropped
+
+    def on_structure_change(self) -> None:
+        """Log structure-change callback (``rewrite_prefix``): history
+        below an entity's head was rewritten, so watermark equality no
+        longer implies fold equality — drop everything."""
+        self.invalidate_all("structure")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ref: EntityRef) -> bool:
+        return ref in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Plain-int counters (metrics-free introspection)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hot_tracked": len(self.tracker),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _record_hit(self, ref: EntityRef) -> None:
+        self.hits += 1
+        if self._m_hits is not None:
+            self._m_hits.inc()
+        self._entries.move_to_end(ref)
+
+    def _install(
+        self, ref: EntityRef, frozen: Optional[EntityState], watermark: int
+    ) -> None:
+        entries = self._entries
+        entries[ref] = (frozen, watermark)
+        entries.move_to_end(ref)
+        while len(entries) > self.capacity:
+            self._evict()
+
+    def _evict(self) -> None:
+        entries = self._entries
+        is_hot = self.tracker.is_hot
+        victim = None
+        for ref in entries:  # LRU -> MRU
+            if not is_hot(ref):
+                victim = ref
+                break
+        if victim is None:
+            # Everything cached is hot: fall back to plain LRU.
+            victim = next(iter(entries))
+        del entries[victim]
+        self.evictions += 1
+        if self._m_evictions is not None:
+            self._m_evictions.inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReadCache({self.name!r}, entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class WriteCoalescer:
+    """Defer incremental-cache folds so hot-key bursts fuse into one
+    batch-apply run fold.
+
+    Only the *fold* is deferred: the log append, LSN assignment,
+    per-origin feed and version-vector bookkeeping all happen
+    immediately, so replication, staleness measurement and catch-up
+    feeds are untouched.  Pending rows flush
+
+    * when the **virtual-time window** since the batch's first row
+      expires (checked at the next append — no timers, no wall clock,
+      so seeded runs stay byte-deterministic),
+    * when the batch reaches ``max_batch`` rows,
+    * and before **any** state read (the store's read surfaces flush
+      first), which is what makes deferral unobservable: read-your-
+      writes holds and the final state map is byte-identical to folding
+      every row immediately (``fold_slice_into`` processes rows in the
+      exact append order).
+
+    Args:
+        fold: ``rows -> None`` — the store's batch fold over pending
+            arena rows (:meth:`LSDBStore._fold_rows_now`).
+        clock: Virtual-time source.
+        window: Coalescing window on virtual time.
+        max_batch: Flush when this many rows are pending.
+        metrics: Optional registry for ``store.coalesce_flushes`` /
+            ``store.coalesce_fused_rows`` counters.
+        origin: Metric label.
+    """
+
+    __slots__ = (
+        "window",
+        "max_batch",
+        "flushes",
+        "fused_rows",
+        "_fold",
+        "_clock",
+        "_pending",
+        "_window_start",
+        "_m_flushes",
+        "_m_fused",
+    )
+
+    def __init__(
+        self,
+        *,
+        fold: Callable[[list[int]], None],
+        clock: Callable[[], float],
+        window: float = 5.0,
+        max_batch: int = 64,
+        metrics: Any = None,
+        origin: str = "local",
+    ):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._fold = fold
+        self._clock = clock
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: list[int] = []
+        self._window_start = 0.0
+        self.flushes = 0
+        self.fused_rows = 0
+        if metrics is not None:
+            self._m_flushes = metrics.counter(
+                "store.coalesce_flushes", origin=origin
+            )
+            self._m_fused = metrics.counter(
+                "store.coalesce_fused_rows", origin=origin
+            )
+        else:
+            self._m_flushes = self._m_fused = None
+
+    def defer(self, row: int) -> None:
+        """Queue one freshly appended arena row for a fused fold."""
+        pending = self._pending
+        now = self._clock()
+        if pending and now - self._window_start > self.window:
+            self.flush()
+            pending = self._pending
+        if not pending:
+            self._window_start = now
+        pending.append(row)
+        if len(pending) >= self.max_batch:
+            self.flush()
+
+    def flush(self) -> int:
+        """Fold every pending row now (in append order).  Returns how
+        many rows were folded."""
+        pending = self._pending
+        if not pending:
+            return 0
+        self._pending = []
+        self._fold(pending)
+        count = len(pending)
+        self.flushes += 1
+        self.fused_rows += count
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
+            self._m_fused.inc(count)
+        return count
+
+    def discard(self) -> int:
+        """Drop pending rows without folding — for rebuilds that re-fold
+        the log wholesale (the pending rows are already in the log)."""
+        dropped = len(self._pending)
+        self._pending = []
+        return dropped
+
+    @property
+    def pending(self) -> int:
+        """Rows queued but not yet folded."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteCoalescer(window={self.window}, pending={self.pending}, "
+            f"flushes={self.flushes})"
+        )

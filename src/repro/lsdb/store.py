@@ -127,6 +127,12 @@ class LSDBStore:
         #: Checkpoint manager (None until :meth:`enable_checkpoints`);
         #: when armed, cache rebuilds become checkpoint + suffix.
         self.checkpoints: Optional[CheckpointManager] = None
+        #: Watermark-validated snapshot cache (None until
+        #: :meth:`attach_read_cache`); typed reads route through it.
+        self.read_cache = None
+        #: Hot-key write coalescer (None until
+        #: :meth:`enable_coalescing`); defers incremental-cache folds.
+        self.coalescer = None
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -143,6 +149,10 @@ class LSDBStore:
         self.rollup.register(entity_type, reducer)
         if self.checkpoints is not None:
             self.checkpoints.invalidate()
+        if self.read_cache is not None:
+            # Same reasoning as the checkpoint: cached folds froze the
+            # old interpretation of the events below their watermarks.
+            self.read_cache.invalidate_all("reducer")
 
     def enable_checkpoints(
         self, policy: Optional[CheckpointPolicy] = None
@@ -158,6 +168,54 @@ class LSDBStore:
         elif policy is not None:
             self.checkpoints.policy = policy
         return self.checkpoints
+
+    def attach_read_cache(self, cache) -> None:
+        """Serve this store's typed reads through ``cache`` (a
+        :class:`~repro.lsdb.readcache.ReadCache`).
+
+        Also wires the structural-invalidation contract: a compaction
+        (``rewrite_prefix``) reuses the last summarised LSN, so a cached
+        entry's watermark can match the post-compaction head while its
+        frozen fold is the *pre*-compaction one — the log's
+        structure-change subscription drops every entry whenever that
+        can happen.  :meth:`install_checkpoint`, :meth:`recover` and
+        :meth:`register_reducer` invalidate likewise.
+        """
+        self.read_cache = cache
+        self.log.subscribe_structure(cache.on_structure_change)
+
+    def enable_coalescing(self, window: float = 5.0, max_batch: int = 64):
+        """Arm hot-key write coalescing (see
+        :class:`~repro.lsdb.readcache.WriteCoalescer`): appended rows
+        queue instead of folding one by one, and flush as a single
+        fused batch-apply fold on window expiry (virtual time), batch
+        size, or — transparently — before any state read.
+        """
+        from repro.lsdb.readcache import WriteCoalescer
+
+        self.coalescer = WriteCoalescer(
+            fold=self._fold_rows_now,
+            clock=self._clock,
+            window=window,
+            max_batch=max_batch,
+            metrics=self.metrics,
+            origin=self.origin,
+        )
+        return self.coalescer
+
+    def _fold_rows_now(self, rows: list) -> None:
+        """Fold queued arena rows into the incremental cache, fused per
+        entity (the coalescer's flush target)."""
+        view = EventSlice(self.log.arena, rows)
+        self.rollup.fold_slice_into(self._states, view, self._type_refs)
+        if self._m_folds is not None:
+            self._m_folds.inc(len(rows))
+
+    def _flush_coalesced(self) -> None:
+        """Fold any pending coalesced rows — the read barrier every
+        state-reading surface passes first (read-your-writes)."""
+        if self.coalescer is not None:
+            self.coalescer.flush()
 
     def register_index(self, entity_type: str, field_name: str) -> SecondaryIndex:
         """Create (or return) an asynchronously maintained equality index."""
@@ -195,6 +253,7 @@ class LSDBStore:
 
     def states_view(self) -> StateMap:
         """The live incremental state map — do not mutate."""
+        self._flush_coalesced()
         return self._states
 
     def type_refs_view(self) -> dict[str, list[tuple[str, str]]]:
@@ -579,18 +638,29 @@ class LSDBStore:
     def _on_append_row(self, cols: EventColumns, row: int) -> None:
         """Columnar per-append bookkeeping: fold into the incremental
         cache and maintain the per-origin feed, reading columns directly
-        (no materialized event on this path)."""
-        states = self._states
-        ref = cols.ref_tuples[cols.ref_ids[row]]
-        state = states.get(ref)
-        if state is None:
-            self._type_refs.setdefault(ref[0], []).append(ref)
-        states[ref] = self.rollup.rows_folder_for(ref[0])(
-            state, cols, (row,), ref
-        )
-        if self._m_appends is not None:
-            self._m_appends.inc()
-            self._m_folds.inc()
+        (no materialized event on this path).
+
+        With coalescing armed the fold half is deferred (the coalescer
+        queues the row and fuses bursts into one batch-apply run fold);
+        the feed/version-vector half below always runs immediately —
+        replication correctness never waits on a flush.
+        """
+        if self.coalescer is not None:
+            self.coalescer.defer(row)
+            if self._m_appends is not None:
+                self._m_appends.inc()
+        else:
+            states = self._states
+            ref = cols.ref_tuples[cols.ref_ids[row]]
+            state = states.get(ref)
+            if state is None:
+                self._type_refs.setdefault(ref[0], []).append(ref)
+            states[ref] = self.rollup.rows_folder_for(ref[0])(
+                state, cols, (row,), ref
+            )
+            if self._m_appends is not None:
+                self._m_appends.inc()
+                self._m_folds.inc()
         seq = cols.origin_seqs[row]
         origin = cols.origins.value(cols.origin_ids[row])
         if seq:
@@ -617,6 +687,9 @@ class LSDBStore:
         slice, one version-vector record per origin run, and array
         extends on the per-origin feed — O(distinct entities + rows)
         dictionary work instead of O(rows)."""
+        # Pending coalesced rows precede this batch in LSN order: fold
+        # them first so the state map always reflects append order.
+        self._flush_coalesced()
         self.rollup.fold_slice_into(self._states, view, self._type_refs)
         count = len(view)
         if self._m_appends is not None:
@@ -670,6 +743,8 @@ class LSDBStore:
         """The current rolled-up state of one entity (``None`` if the
         entity has no events at all; a tombstoned entity is returned
         with ``deleted=True``)."""
+        if self.coalescer is not None:
+            self.coalescer.flush()
         return self._states.get((entity_type, entity_key))
 
     def read(
@@ -688,7 +763,14 @@ class LSDBStore:
         :class:`~repro.core.readpath.ReadResult` delivered at the
         requested level with zero staleness (this *is* the copy of
         record in an unreplicated deployment).
+
+        With a read cache attached (:meth:`attach_read_cache`) the read
+        routes through it: ``STRONG`` revalidates the watermark every
+        time, ``BOUNDED_STALENESS``/``EVENTUAL`` may serve a cached
+        fold stamped with its honest measured age.
         """
+        if self.read_cache is not None:
+            return self.read_cache.read(entity_type, entity_key, request=request)
         state = self.get(entity_type, entity_key)
         if request is None:
             return state
@@ -712,12 +794,14 @@ class LSDBStore:
 
     def current_state(self) -> StateMap:
         """A copy of the whole current-state map."""
+        self._flush_coalesced()
         return {ref: state.copy() for ref, state in self._states.items()}
 
     def entities_of_type(self, entity_type: str, live_only: bool = True) -> list[EntityState]:
         """All entities of a type (optionally excluding deleted/obsolete).
         Served from the per-type ref index: O(entities of the type), not
         O(all entities)."""
+        self._flush_coalesced()
         states = self._states
         return [
             state
@@ -750,6 +834,10 @@ class LSDBStore:
         Returns:
             The number of events (re-)folded.
         """
+        if self.coalescer is not None:
+            # Pending rows are already in the log; the rebuild re-folds
+            # them, so folding the queue first would be redundant work.
+            self.coalescer.discard()
         checkpoint = None
         if not full and self.checkpoints is not None:
             checkpoint = self.checkpoints.latest()
@@ -765,6 +853,8 @@ class LSDBStore:
     def _restore_states(self, checkpoint: Checkpoint) -> int:
         """Install a checkpoint's state map and fold the log suffix over
         it.  Returns the number of suffix events folded."""
+        if self.coalescer is not None:
+            self.coalescer.discard()  # suffix replay re-folds the queue
         self._states = {
             ref: state.copy() for ref, state in checkpoint.states.items()
         }
@@ -791,6 +881,10 @@ class LSDBStore:
         """
         self._reorder_buffer = {}
         self._update_reorder_gauge()
+        if self.read_cache is not None:
+            # A restart loses the cache along with every other derived
+            # structure; refills re-watermark against the rebuilt state.
+            self.read_cache.invalidate_all("recover")
         checkpoint = (
             self.checkpoints.latest() if self.checkpoints is not None else None
         )
@@ -839,6 +933,11 @@ class LSDBStore:
                 f"store {self.name!r} is not empty; install_checkpoint "
                 "is a bootstrap-only operation"
             )
+        if self.read_cache is not None:
+            # An empty store can still have cached negative entries
+            # (absent entities at watermark 0) that the installed states
+            # contradict — a bootstrap resets the cache with the rest.
+            self.read_cache.invalidate_all("install_checkpoint")
         self._states = {
             ref: state.copy() for ref, state in checkpoint.states.items()
         }
@@ -932,6 +1031,7 @@ class LSDBStore:
         rewritten) and — under the default policy — a fresh one is taken
         immediately, so recovery stays O(delta) across compactions.
         """
+        self._flush_coalesced()  # summarise folded truth, not a queue
         report = self.compactor.compact_keep_recent(keep_recent)
         if self.checkpoints is not None:
             self.checkpoints.on_compaction()

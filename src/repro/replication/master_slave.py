@@ -174,17 +174,35 @@ class MasterSlaveGroup:
             )
         if self._h_staleness is not None:
             self._h_staleness.record(self.slave_lag_events(node_id))
-        state = self.slaves[node_id].store.get(entity_type, entity_key)
+        follower = self.slaves[node_id]
         if request is None:
-            return state
+            return follower.store.get(entity_type, entity_key)
         from repro.core.readpath import deliver, replica_level
         from repro.replication.replica import staleness_behind
 
+        staleness = staleness_behind(self.master, follower)
+        cache = follower.store.read_cache
+        if cache is not None:
+            # The scheme's replication lag already eats part of the
+            # caller's staleness budget; the cache may only add what's
+            # left.  Total measured staleness is the oldest write the
+            # answer misses: scheme lag or cache age, whichever is
+            # worse.
+            if request.max_staleness is None:
+                budget = None
+            else:
+                budget = max(0.0, request.max_staleness - staleness)
+            state, cache_age = cache.lookup(
+                entity_type, entity_key, budget=budget
+            )
+            staleness = max(staleness, cache_age)
+        else:
+            state = follower.store.get(entity_type, entity_key)
         return deliver(
             state,
             request,
             replica_level(request.level),
-            staleness=staleness_behind(self.master, self.slaves[node_id]),
+            staleness=staleness,
             served_by=node_id,
             metrics=self.sim.metrics,
         )

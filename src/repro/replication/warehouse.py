@@ -56,6 +56,7 @@ class WarehouseExtract:
         self.extracts_taken = 0
         self.events_applied_incrementally = 0
         self.feed_frames = 0
+        self.read_cache = None
         self._snapshot: dict[tuple[str, str], EntityState] = {}
         self._g_lag = (
             sim.metrics.gauge("warehouse.lag_events")
@@ -100,6 +101,14 @@ class WarehouseExtract:
     # Read-only query surface
     # ------------------------------------------------------------------ #
 
+    def attach_read_cache(self, cache: Any) -> None:
+        """Route point reads through a watermark-validated cache (see
+        :class:`repro.lsdb.readcache.ReadCache`).  The watermark is
+        :attr:`extracted_lsn` — one number for the whole snapshot — so
+        every cached entry is implicitly refreshed when the next
+        extract lands (the watermark moves, entries revalidate)."""
+        self.read_cache = cache
+
     def get(self, entity_type: str, entity_key: str) -> Optional[EntityState]:
         """Entity state as of the last extract (``None`` before the
         first extract or for unknown entities)."""
@@ -123,7 +132,10 @@ class WarehouseExtract:
         snapshot *is* current), otherwise the time since the extract
         was taken.
         """
-        state = self.get(entity_type, entity_key)
+        if self.read_cache is not None:
+            state, _ = self.read_cache.lookup(entity_type, entity_key)
+        else:
+            state = self.get(entity_type, entity_key)
         if request is None:
             return state
         from repro.core.consistency import ConsistencyLevel
@@ -135,7 +147,7 @@ class WarehouseExtract:
             request,
             ConsistencyLevel.EXTRACT,
             staleness=staleness,
-            served_by="warehouse",
+            served_by="warehouse" if self.read_cache is None else "warehouse+cache",
             metrics=self.sim.metrics,
         )
 

@@ -1,0 +1,169 @@
+"""The pluggable scenario registry and the time-varying choosers.
+
+The suite pins the registry contract (lookup, unknown-name error,
+duplicate rejection), the determinism contract every scenario inherits
+(same seed, byte-identical op schedule), and the *shape* each stock
+scenario promises: Zipf skew concentrates traffic, the flash crowd's
+star absorbs its share mid-run, the diurnal hot set actually rotates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scenarios
+from repro.bench.workloads import (
+    FlashCrowdChooser,
+    KeyChooser,
+    RotatingHotSetChooser,
+    open_loop_arrivals,
+)
+from repro.sim.rng import SeededRNG
+
+
+class TestRegistry:
+    def test_stock_suite_registered(self):
+        assert scenarios.names() == [
+            "diurnal",
+            "flash_crowd",
+            "zipf_hot",
+            "zipf_mild",
+        ]
+
+    def test_get_returns_fresh_specs(self):
+        assert scenarios.get("zipf_hot").theta == 0.99
+        assert scenarios.get("zipf_mild").theta == 0.5
+
+    def test_unknown_name_lists_what_exists(self):
+        with pytest.raises(KeyError, match="zipf_hot"):
+            scenarios.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            scenarios.register(lambda: scenarios.Scenario(
+                name="zipf_hot", description="dup"
+            ))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["zipf_hot", "flash_crowd", "diurnal"])
+    def test_same_seed_same_schedule(self, name):
+        spec = scenarios.get(name).scaled(0.1)
+        assert spec.ops(seed=3) == spec.ops(seed=3)
+
+    def test_different_seeds_differ(self):
+        spec = scenarios.get("zipf_hot").scaled(0.1)
+        assert spec.ops(seed=3) != spec.ops(seed=4)
+
+    def test_schedule_sorted_and_indexed(self):
+        ops = scenarios.get("zipf_hot").scaled(0.1).ops(seed=1)
+        assert [op.index for op in ops] == list(range(len(ops)))
+        assert all(a.at <= b.at for a, b in zip(ops, ops[1:]))
+        kinds = {op.kind for op in ops}
+        assert kinds == {"read", "write"}
+
+
+class TestShapes:
+    def test_zipf_hot_concentrates_traffic(self):
+        spec = scenarios.get("zipf_hot").scaled(0.1)
+        ops = spec.ops(seed=2)
+        hot = set(spec.hot_keys_at(0.0))
+        share = sum(1 for op in ops if op.key in hot) / len(ops)
+        assert share > 0.4  # theta=0.99: the top-16 dominate
+
+    def test_flash_crowd_star_takes_its_share(self):
+        spec = scenarios.get("flash_crowd").scaled(0.1)
+        ops = spec.ops(seed=2)
+        flash_at = spec.flash_start * spec.duration
+        star = spec.hot_keys_at(spec.duration)[0]
+        before = [op for op in ops if op.at < flash_at]
+        after = [op for op in ops if op.at >= flash_at]
+        share_before = sum(1 for op in before if op.key == star) / len(before)
+        share_after = sum(1 for op in after if op.key == star) / len(after)
+        assert share_before < 0.05  # cold before the crowd
+        assert 0.2 < share_after < 0.45  # ~30% after
+
+    def test_flash_crowd_star_leads_hot_set_only_after_start(self):
+        spec = scenarios.get("flash_crowd").scaled(0.1)
+        star = spec.hot_keys_at(spec.duration)[0]
+        assert spec.hot_keys_at(0.0)[0] != star
+        assert spec.hot_keys_at(spec.duration)[0] == star
+
+    def test_diurnal_hot_set_rotates(self):
+        spec = scenarios.get("diurnal").scaled(0.1)
+        early = set(spec.hot_keys_at(0.0))
+        late = set(spec.hot_keys_at(spec.duration - 1.0))
+        assert early != late
+        # And the traffic follows: keys hot late in the run receive
+        # most of their ops late in the run.
+        ops = spec.ops(seed=5)
+        late_only = late - early
+        assert late_only
+        late_ops = [op for op in ops if op.key in late_only]
+        assert late_ops
+        median = sorted(op.at for op in late_ops)[len(late_ops) // 2]
+        assert median > spec.duration / 4
+
+    def test_scaled_preserves_shape(self):
+        spec = scenarios.get("flash_crowd")
+        small = spec.scaled(0.05)
+        assert small.theta == spec.theta
+        assert small.flash_start == spec.flash_start
+        assert small.entities < spec.entities
+
+
+class TestChoosers:
+    def test_key_chooser_accepts_time_argument(self):
+        rng = SeededRNG(1)
+        chooser = KeyChooser(rng, ["a", "b", "c"], theta=0.9)
+        assert chooser.choose(5.0) in ("a", "b", "c")
+        assert chooser.hot_keys_at(0.0, 2) == ("a", "b")
+
+    def test_flash_chooser_determinism(self):
+        keys = [f"k{i}" for i in range(50)]
+        draws = [
+            [
+                FlashCrowdChooser(
+                    SeededRNG(9), keys, star_index=30, start=10.0
+                ).choose(at)
+                for at in (0.0, 5.0, 15.0, 20.0)
+            ]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_flash_chooser_rejects_bad_share(self):
+        with pytest.raises(ValueError):
+            FlashCrowdChooser(SeededRNG(1), ["a"], share=1.5)
+
+    def test_rotating_chooser_phase_and_rotation(self):
+        keys = [f"k{i}" for i in range(16)]
+        chooser = RotatingHotSetChooser(
+            SeededRNG(3), keys, period=10.0, stride=4
+        )
+        assert chooser.phase_at(0.0) == 0
+        assert chooser.phase_at(25.0) == 2
+        assert chooser.hot_keys_at(0.0, 2) == ("k0", "k1")
+        assert chooser.hot_keys_at(10.0, 2) == ("k4", "k5")
+
+    def test_rotating_chooser_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            RotatingHotSetChooser(SeededRNG(1), ["a"], period=0.0)
+
+    def test_open_loop_arrivals_accepts_prebuilt_chooser(self):
+        keys = [f"k{i}" for i in range(8)]
+        rng = SeededRNG(4)
+        chooser = RotatingHotSetChooser(rng, keys, period=20.0, stride=2)
+        arrivals = open_loop_arrivals(
+            rng, rate=1.0, duration=50.0, keys=keys, chooser=chooser
+        )
+        assert arrivals
+        assert all(arrival.key in keys for arrival in arrivals)
+
+    def test_open_loop_arrivals_default_stream_unchanged(self):
+        # The chooser= parameter must not disturb the legacy seeded
+        # stream: the default path draws exactly as before.
+        keys = [f"k{i}" for i in range(8)]
+        a = open_loop_arrivals(SeededRNG(7), 1.0, 50.0, keys, theta=0.6)
+        b = open_loop_arrivals(SeededRNG(7), 1.0, 50.0, keys, theta=0.6)
+        assert a == b

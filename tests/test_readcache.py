@@ -1,0 +1,463 @@
+"""The skew-aware hot path: watermark-validated read cache + coalescing.
+
+Covers the cache primitive (hit/miss/watermark validation), bounded
+stale serving (honest measured staleness, never beyond the budget), the
+space-saving hot-set tracker and its LRU pinning, structural
+invalidation (compaction, checkpoint install, recover, reducer change
+— the regression this PR exists to prevent), write coalescing
+(window/batch flushes, read-your-writes, state equivalence), and the
+replication surfaces the cache plugs into (warehouse, master/slave,
+cluster builder).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.core.readpath import ConsistencyUnavailable, ReadRequest
+from repro.lsdb.readcache import HotSetTracker, ReadCache, WriteCoalescer
+from repro.lsdb.store import LSDBStore
+from repro.merge.deltas import Delta
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.scheduler import Simulator
+
+
+class Clock:
+    """A hand-advanced virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def store(clock: Clock) -> LSDBStore:
+    return LSDBStore(name="hot", origin="hot", clock=clock)
+
+
+@pytest.fixture
+def cache(store: LSDBStore) -> ReadCache:
+    return ReadCache.over_store(store)
+
+
+class TestHotSetTracker:
+    def test_tracks_up_to_capacity(self):
+        tracker = HotSetTracker(capacity=2)
+        tracker.touch(("t", "a"))
+        tracker.touch(("t", "b"))
+        assert tracker.is_hot(("t", "a")) and tracker.is_hot(("t", "b"))
+        assert len(tracker) == 2
+
+    def test_untracked_key_evicts_minimum_and_inherits_count(self):
+        tracker = HotSetTracker(capacity=2)
+        for _ in range(5):
+            tracker.touch(("t", "hot"))
+        tracker.touch(("t", "warm"))
+        tracker.touch(("t", "new"))  # evicts warm (count 1), inherits 2
+        assert tracker.is_hot(("t", "hot"))
+        assert tracker.is_hot(("t", "new"))
+        assert not tracker.is_hot(("t", "warm"))
+
+    def test_truly_hot_key_survives_churn(self):
+        # Space-saving guarantee: a key with frequency > n/capacity is
+        # always tracked, no matter how many cold keys churn past.
+        tracker = HotSetTracker(capacity=4)
+        for index in range(200):
+            tracker.touch(("t", "hot"))
+            tracker.touch(("t", f"cold-{index}"))
+        assert tracker.is_hot(("t", "hot"))
+        assert tracker.hot_keys()[0] == ("t", "hot")
+
+    def test_deterministic_tie_break(self):
+        a, b = HotSetTracker(capacity=2), HotSetTracker(capacity=2)
+        keys = [("t", "x"), ("t", "y"), ("t", "z"), ("t", "x")]
+        for key in keys:
+            a.touch(key)
+            b.touch(key)
+        assert a.hot_keys() == b.hot_keys()
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            HotSetTracker(capacity=0)
+
+
+class TestReadCachePrimitive:
+    def test_miss_then_watermark_current_hit(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        state, age = cache.lookup("acct", "a")
+        assert state.fields == {"bal": 10} and age == 0.0
+        assert cache.stats()["misses"] == 1
+        state, age = cache.lookup("acct", "a")
+        assert state.fields == {"bal": 10} and age == 0.0
+        assert cache.stats()["hits"] == 1
+
+    def test_hit_does_not_touch_live_state_map(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        fetched = []
+        original = store.get
+        store.__dict__["get"] = lambda *ref: fetched.append(ref) or original(*ref)
+        try:
+            cache.lookup("acct", "a")
+        finally:
+            store.__dict__.pop("get")
+        assert fetched == []  # the hit never called the store
+
+    def test_cached_state_is_frozen_copy(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        state, _ = cache.lookup("acct", "a")
+        live = store.get("acct", "a")
+        assert state is not live
+        assert state.fields == live.fields
+
+    def test_negative_entry_for_absent_entity(self, store, cache):
+        state, _ = cache.lookup("acct", "ghost")
+        assert state is None
+        state, _ = cache.lookup("acct", "ghost")
+        assert state is None and cache.stats()["hits"] == 1
+        # A write to the entity moves its watermark: a revalidating
+        # lookup refuses the negative entry and refreshes.
+        store.insert("acct", "ghost", {"bal": 1})
+        state, _ = cache.lookup("acct", "ghost", revalidate=True)
+        assert state is not None and state.fields == {"bal": 1}
+
+    def test_write_invalidate_via_watermark(self, store, cache, clock):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        # Watermark moved; a revalidating lookup refreshes to current.
+        state, age = cache.lookup("acct", "a", revalidate=True)
+        assert state.fields == {"bal": 15} and age == 0.0
+
+    def test_stale_serve_within_budget_stamps_honest_age(
+        self, store, cache, clock
+    ):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        clock.now = 2.0
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        clock.now = 3.0
+        state, age = cache.lookup("acct", "a", budget=5.0)
+        assert state.fields == {"bal": 10}  # the old fold, honestly aged
+        assert age == pytest.approx(1.0)  # first missed event is 1.0 old
+
+    def test_never_serves_beyond_budget(self, store, cache, clock):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        clock.now = 2.0
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        clock.now = 50.0  # missed event is now 48.0 old
+        state, age = cache.lookup("acct", "a", budget=5.0)
+        assert state.fields == {"bal": 15}  # refreshed, not served stale
+        assert age == 0.0
+
+    def test_revalidate_refuses_stale_entries(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        state, age = cache.lookup("acct", "a", revalidate=True)
+        assert state.fields == {"bal": 15} and age == 0.0
+
+    def test_lru_eviction_bounded(self, store):
+        cache = ReadCache.over_store(store, capacity=2, hot_capacity=1)
+        for key in ("a", "b", "c"):
+            store.insert("acct", key, {"bal": 1})
+        cache.lookup("acct", "a")
+        cache.lookup("acct", "b")
+        cache.lookup("acct", "c")
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_hot_entries_pinned_against_eviction(self, store):
+        cache = ReadCache.over_store(store, capacity=2, hot_capacity=2)
+        for key in ("hot", "b", "c", "d"):
+            store.insert("acct", key, {"bal": 1})
+        for _ in range(5):
+            cache.lookup("acct", "hot")  # clearly the hottest
+        cache.lookup("acct", "b")
+        cache.lookup("acct", "c")  # evicts b (hot is pinned), not hot
+        cache.lookup("acct", "d")  # evicts c
+        assert ("acct", "hot") in cache
+        assert ("acct", "b") not in cache
+
+    def test_metrics_mirror_counters(self, clock):
+        metrics = MetricsRegistry()
+        store = LSDBStore(name="m", origin="m", clock=clock, metrics=metrics)
+        cache = ReadCache.over_store(store, metrics=metrics)
+        store.insert("acct", "a", {"bal": 1})
+        cache.lookup("acct", "a")
+        cache.lookup("acct", "a")
+        assert metrics.counter("cache.misses", cache="m-cache").value == 1
+        assert metrics.counter("cache.hits", cache="m-cache").value == 1
+        assert metrics.gauge("cache.hot_keys", cache="m-cache").value == 1
+
+
+class TestTypedReadsThroughCache:
+    def test_strong_always_revalidates(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        store.read("acct", "a", request=ReadRequest.strong())
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        result = store.read("acct", "a", request=ReadRequest.strong())
+        assert result.value.fields == {"bal": 15}
+        assert result.staleness == 0.0
+        assert result.served_by == "hot+cache"
+
+    def test_bounded_serves_stale_within_bound(self, store, cache, clock):
+        store.insert("acct", "a", {"bal": 10})
+        store.read("acct", "a", request=ReadRequest.bounded(5.0))
+        clock.now = 2.0
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        clock.now = 3.0
+        result = store.read("acct", "a", request=ReadRequest.bounded(5.0))
+        assert result.value.fields == {"bal": 10}
+        assert result.staleness == pytest.approx(1.0)
+        assert not result.bound_violated
+
+    def test_bounded_never_violates_its_bound(self, store, cache, clock):
+        store.insert("acct", "a", {"bal": 10})
+        store.read("acct", "a", request=ReadRequest.bounded(5.0))
+        clock.now = 2.0
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        clock.now = 100.0
+        result = store.read("acct", "a", request=ReadRequest.bounded(5.0))
+        assert result.value.fields == {"bal": 15}
+        assert result.staleness == 0.0 and not result.bound_violated
+
+    def test_eventual_serves_any_age_honestly(self, store, cache, clock):
+        store.insert("acct", "a", {"bal": 10})
+        store.read("acct", "a", request=ReadRequest.eventual())
+        clock.now = 10.0
+        store.apply_delta("acct", "a", Delta.add("bal", 5))
+        clock.now = 500.0
+        result = store.read("acct", "a", request=ReadRequest.eventual())
+        assert result.value.fields == {"bal": 10}
+        assert result.staleness == pytest.approx(490.0)
+
+
+class TestStructuralInvalidation:
+    def test_compaction_drops_every_entry(self, store, cache):
+        """Compaction reuses the last summarised LSN, so the
+        post-compaction head can equal a cached watermark while the
+        history below it was rewritten — watermark comparison alone is
+        no longer sound.  The structure hook drops everything."""
+        for _ in range(10):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        cache.lookup("acct", "a")
+        cache.lookup("acct", "b")  # negative entry
+        assert len(cache) == 2
+        store.compact()
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 2
+        state, age = cache.lookup("acct", "a")
+        assert state.fields == {"bal": 10} and age == 0.0
+
+    def test_post_compaction_read_never_serves_pre_compaction_fold(
+        self, store, cache, clock
+    ):
+        """THE regression (satellite fix): a behind-watermark entry's
+        age is measured from the first event past its watermark —
+        timestamps that ``rewrite_prefix`` destroys.  Pre-compaction
+        history: fold cached at t=0, missed events at t=2 — the stale
+        fold is 98.0 old at t=100 and must NOT satisfy a 50.0 bound.
+        Post-compaction the summary event carries the *newest*
+        timestamp, so without invalidation the same entry would measure
+        young enough to serve.  The hook forces a refresh instead."""
+        store.insert("acct", "a", {"bal": 10})
+        store.read("acct", "a", request=ReadRequest.bounded(50.0))  # fill
+        clock.now = 2.0
+        for _ in range(5):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        store.compact()  # rewrites the t=2.0 events into one summary
+        clock.now = 100.0
+        result = store.read("acct", "a", request=ReadRequest.bounded(50.0))
+        assert result.value.fields == {"bal": 15}  # current, not cached
+        assert result.staleness == 0.0
+        assert not result.bound_violated
+
+    def test_recover_invalidates(self, store, cache):
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        store.recover()
+        assert len(cache) == 0
+
+    def test_register_reducer_invalidates(self, store, cache):
+        from repro.lsdb.rollup import GenericReducer
+
+        store.insert("acct", "a", {"bal": 10})
+        cache.lookup("acct", "a")
+        store.register_reducer("acct", GenericReducer())
+        assert len(cache) == 0
+
+    def test_install_checkpoint_drops_negative_entries(self, clock):
+        donor = LSDBStore(name="donor", origin="donor", clock=clock)
+        donor.insert("acct", "a", {"bal": 10})
+        checkpoint = donor.enable_checkpoints().take()
+        joiner = LSDBStore(name="joiner", origin="joiner", clock=clock)
+        cache = ReadCache.over_store(joiner)
+        state, _ = cache.lookup("acct", "a")
+        assert state is None  # cached negative entry
+        joiner.install_checkpoint(checkpoint)
+        state, _ = cache.lookup("acct", "a")
+        assert state is not None and state.fields == {"bal": 10}
+
+
+class TestWriteCoalescer:
+    def test_burst_fuses_into_one_fold(self, store, clock):
+        coalescer = store.enable_coalescing(window=5.0, max_batch=64)
+        for _ in range(10):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        assert coalescer.pending == 10
+        assert coalescer.flush() == 10
+        assert coalescer.flushes == 1
+        assert store.get("acct", "a").fields == {"bal": 10}
+
+    def test_window_expiry_flushes_on_next_append(self, store, clock):
+        coalescer = store.enable_coalescing(window=5.0)
+        store.apply_delta("acct", "a", Delta.add("bal", 1))
+        clock.now = 6.0  # past the window
+        store.apply_delta("acct", "a", Delta.add("bal", 1))
+        assert coalescer.flushes == 1
+        assert coalescer.pending == 1  # the second append started anew
+
+    def test_max_batch_flushes_eagerly(self, store):
+        coalescer = store.enable_coalescing(window=100.0, max_batch=3)
+        for _ in range(7):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        assert coalescer.flushes == 2
+        assert coalescer.pending == 1
+
+    def test_read_your_writes_via_read_barrier(self, store):
+        store.enable_coalescing(window=100.0)
+        store.apply_delta("acct", "a", Delta.add("bal", 7))
+        assert store.get("acct", "a").fields == {"bal": 7}
+        assert store.coalescer.pending == 0
+
+    def test_coalesced_state_identical_to_immediate(self, clock):
+        plain = LSDBStore(name="plain", origin="o", clock=clock)
+        fused = LSDBStore(name="fused", origin="o", clock=clock)
+        fused.enable_coalescing(window=50.0, max_batch=16)
+        for index in range(40):
+            key = f"k{index % 3}"
+            plain.apply_delta("acct", key, Delta.add("bal", index))
+            fused.apply_delta("acct", key, Delta.add("bal", index))
+            clock.now += 1.0
+        plain_view = {
+            ref: state.fields for ref, state in plain.current_state().items()
+        }
+        fused_view = {
+            ref: state.fields for ref, state in fused.current_state().items()
+        }
+        assert plain_view == fused_view
+
+    def test_log_and_feeds_stay_immediate(self, store):
+        store.enable_coalescing(window=100.0)
+        store.apply_delta("acct", "a", Delta.add("bal", 1))
+        assert store.log.head_lsn == 1  # append not deferred
+        assert store.coalescer.pending == 1  # only the fold is
+
+    def test_discard_for_rebuilds(self, store):
+        store.enable_coalescing(window=100.0)
+        store.apply_delta("acct", "a", Delta.add("bal", 1))
+        assert store.coalescer.discard() == 1
+        store.rebuild_cache()
+        assert store.get("acct", "a").fields == {"bal": 1}
+
+    def test_compact_flushes_first(self, store):
+        store.enable_coalescing(window=100.0, max_batch=64)
+        for _ in range(5):
+            store.apply_delta("acct", "a", Delta.add("bal", 1))
+        store.compact()
+        assert store.get("acct", "a").fields == {"bal": 5}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WriteCoalescer(fold=lambda rows: None, clock=lambda: 0.0, window=-1)
+        with pytest.raises(ValueError):
+            WriteCoalescer(
+                fold=lambda rows: None, clock=lambda: 0.0, max_batch=0
+            )
+
+
+class TestWarehouseCache:
+    def test_cache_refreshes_on_new_extract(self):
+        sim = Simulator(seed=1)
+        source = LSDBStore(name="oltp", origin="oltp", clock=lambda: sim.now)
+        from repro.replication.warehouse import WarehouseExtract
+
+        warehouse = WarehouseExtract(sim, source, interval=10.0)
+        cache = ReadCache.over_warehouse(warehouse)
+        source.insert("acct", "a", {"bal": 10})
+        sim.run(until=15.0)  # first extract lands
+        result = warehouse.read("acct", "a", request=ReadRequest.eventual())
+        assert result.value.fields == {"bal": 10}
+        assert result.served_by == "warehouse+cache"
+        source.apply_delta("acct", "a", Delta.add("bal", 5))
+        sim.run(until=25.0)  # second extract: watermark moves
+        result = warehouse.read("acct", "a", request=ReadRequest.eventual())
+        assert result.value.fields == {"bal": 15}
+        assert cache.stats()["misses"] == 2
+
+
+class TestReplicatedReadPath:
+    def test_slave_cache_budget_is_bound_minus_lag(self):
+        from repro.cluster import Cluster
+
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(3, mode="master_slave")
+            .with_read_cache()
+            .create()
+        )
+        group = cluster.replication
+        group.write_insert("acct", "a", {"bal": 10})
+        cluster.sim.run(until=100.0)
+        result = cluster.read("acct", "a", request=ReadRequest.bounded(50.0))
+        assert result.value.fields == {"bal": 10}
+        assert not result.bound_violated
+        # A second read hits the slave's cache at the same watermark.
+        slave = group.slaves[next(iter(group.slaves))]
+        hits_before = slave.store.read_cache.hits
+        result = cluster.read("acct", "a", request=ReadRequest.bounded(50.0))
+        assert slave.store.read_cache.hits == hits_before + 1
+        assert not result.bound_violated
+
+    def test_strong_reads_unaffected_by_cache(self):
+        from repro.cluster import Cluster
+
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(3, mode="master_slave")
+            .with_read_cache()
+            .create()
+        )
+        group = cluster.replication
+        group.write_insert("acct", "a", {"bal": 10})
+        result = cluster.read("acct", "a", request=ReadRequest.strong())
+        assert result.value.fields == {"bal": 10}
+        assert result.staleness == 0.0
+
+    def test_builder_wires_every_store_and_warehouse(self):
+        from repro.cluster import Cluster
+
+        cluster = (
+            Cluster.build(seed=5)
+            .with_replicas(3, mode="master_slave")
+            .with_warehouse(interval=50.0)
+            .with_read_cache(coalesce_window=2.0)
+            .create()
+        )
+        # master + 2 slaves + warehouse
+        assert len(cluster.read_caches) == 4
+        assert cluster.read_cache is cluster.store.read_cache
+        assert cluster.warehouse.read_cache is not None
+        for node in [cluster.replication.master, *cluster.replication.slaves.values()]:
+            assert node.store.read_cache is not None
+            assert node.store.coalescer is not None
